@@ -1,0 +1,25 @@
+//! E8 (ablation) — the batch as the unit of transaction execution: voter
+//! throughput vs border batch size. Small batches pay scheduling overhead
+//! per tuple; large batches amortize it but defer eliminations (latency).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sstore_bench::run_voter;
+use sstore_voter::WindowImpl;
+
+const VOTES: usize = 2_000;
+
+fn batch_size_sweep(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e8_batch_size");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(VOTES as u64));
+
+    for batch in [1usize, 4, 16, 64, 256, 1024] {
+        g.bench_function(BenchmarkId::new("sstore", batch), |b| {
+            b.iter(|| run_voter(true, WindowImpl::Native, VOTES, batch, 0, 0, 0))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, batch_size_sweep);
+criterion_main!(benches);

@@ -1,0 +1,135 @@
+//! Substrate microbenchmarks: the storage/EE primitives everything else
+//! sits on (insert, PK lookup, secondary-index lookup, window insert with
+//! maintenance, stream GC). Includes the E7 GC ablation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sstore_common::{BatchId, Column, DataType, Schema, Value};
+use sstore_engine::{ExecutionEngine, TxnScratch};
+use sstore_storage::catalog::{WindowKind, WindowSpec};
+use sstore_storage::{Database, IndexDef, Table, UndoLog};
+
+fn table_ops(c: &mut Criterion) {
+    let schema = || {
+        Schema::new(
+            vec![
+                Column::new("id", DataType::Int),
+                Column::new("v", DataType::Int),
+            ],
+            &["id"],
+        )
+        .unwrap()
+    };
+    let mut g = c.benchmark_group("storage_table");
+    g.throughput(Throughput::Elements(1));
+
+    g.bench_function("insert", |b| {
+        let mut t = Table::new("t", schema());
+        let mut i = 0i64;
+        b.iter(|| {
+            i += 1;
+            t.insert(vec![Value::Int(i), Value::Int(i)]).unwrap()
+        });
+    });
+
+    g.bench_function("pk_lookup", |b| {
+        let mut t = Table::new("t", schema());
+        for i in 0..100_000i64 {
+            t.insert(vec![Value::Int(i), Value::Int(i)]).unwrap();
+        }
+        let mut i = 0i64;
+        b.iter(|| {
+            i = (i + 7919) % 100_000;
+            t.pk_lookup(&[Value::Int(i)]).unwrap()
+        });
+    });
+
+    g.bench_function("secondary_lookup", |b| {
+        let mut t = Table::new("t", schema());
+        t.create_index(IndexDef {
+            name: "by_v".into(),
+            key_cols: vec![1],
+            unique: false,
+            ordered: false,
+        })
+        .unwrap();
+        for i in 0..100_000i64 {
+            t.insert(vec![Value::Int(i), Value::Int(i % 1000)]).unwrap();
+        }
+        let mut i = 0i64;
+        b.iter(|| {
+            i = (i + 31) % 1000;
+            t.index_lookup("by_v", &[Value::Int(i)]).unwrap()
+        });
+    });
+    g.finish();
+}
+
+fn window_ops(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ee_window");
+    g.throughput(Throughput::Elements(1));
+
+    for (name, size, slide) in [("w100s1", 100u64, 1u64), ("w1000s10", 1000, 10)] {
+        g.bench_function(BenchmarkId::new("insert", name), |b| {
+            let mut db = Database::new();
+            let schema = Schema::keyless(vec![Column::new("v", DataType::Int)]).unwrap();
+            let w = db
+                .create_window(
+                    "w",
+                    schema,
+                    WindowSpec {
+                        kind: WindowKind::Tuple { size, slide },
+                        owner: None,
+                    },
+                )
+                .unwrap();
+            let mut i = 0i64;
+            b.iter(|| {
+                i += 1;
+                let mut undo = UndoLog::new();
+                let r = sstore_engine::windows::insert_into_window(
+                    &mut db,
+                    &mut undo,
+                    w,
+                    vec![Value::Int(i)],
+                    i,
+                )
+                .unwrap();
+                undo.commit();
+                r
+            });
+        });
+    }
+    g.finish();
+}
+
+/// E7 — GC keeps memory bounded on unbounded input.
+fn gc_bound(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e7_gc");
+    g.sample_size(10);
+    for n in [10_000usize, 50_000] {
+        g.bench_function(BenchmarkId::new("stream_ingest_gc", n), |b| {
+            b.iter(|| {
+                let mut e = ExecutionEngine::new();
+                e.ddl_sql("CREATE STREAM s (v INT)").unwrap();
+                let s = e.db().resolve("s").unwrap();
+                for i in 0..n {
+                    let mut sc = TxnScratch::new(None, BatchId::new(i as u64));
+                    e.execute_sql(
+                        "INSERT INTO s (v) VALUES (?)",
+                        &[Value::Int(i as i64)],
+                        &mut sc,
+                        0,
+                    )
+                    .unwrap();
+                    sc.undo.commit();
+                    e.gc_stream(s, BatchId::new(i as u64)).unwrap();
+                }
+                e.db().approx_bytes()
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, table_ops, window_ops, gc_bound);
+criterion_main!(benches);

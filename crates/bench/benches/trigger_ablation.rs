@@ -1,0 +1,29 @@
+//! E3a — client↔PE round trips: push-based PE triggers vs client-driven
+//! polling, with simulated per-trip network cost swept over
+//! {0, 50, 200} µs. The paper's claim: "a reduction of Client-to-PE round
+//! trips due to push-based workflow processing".
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sstore_bench::run_voter;
+use sstore_voter::WindowImpl;
+
+const VOTES: usize = 500;
+
+fn trigger_ablation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e3a_pe_triggers");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(VOTES as u64));
+
+    for cost_us in [0u64, 50, 200] {
+        g.bench_function(BenchmarkId::new("push", cost_us), |b| {
+            b.iter(|| run_voter(true, WindowImpl::Native, VOTES, 1, 0, cost_us, 0))
+        });
+        g.bench_function(BenchmarkId::new("poll", cost_us), |b| {
+            b.iter(|| run_voter(false, WindowImpl::Native, VOTES, 1, 8, cost_us, 0))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, trigger_ablation);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! E2 — §3.1 throughput claim: S-Store vs H-Store on the full
+//! Voter-with-Leaderboard workflow ("displaying the number of transactions
+//! per second that each is processing").
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sstore_bench::run_voter;
+use sstore_voter::WindowImpl;
+
+const VOTES: usize = 2_000;
+
+fn voter_throughput(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e2_voter_throughput");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(VOTES as u64));
+
+    g.bench_function(BenchmarkId::new("sstore_push", VOTES), |b| {
+        b.iter(|| run_voter(true, WindowImpl::Native, VOTES, 1, 0, 0, 0))
+    });
+    g.bench_function(BenchmarkId::new("hstore_poll", VOTES), |b| {
+        b.iter(|| run_voter(false, WindowImpl::Emulated, VOTES, 1, 8, 0, 0))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, voter_throughput);
+criterion_main!(benches);

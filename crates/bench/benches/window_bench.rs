@@ -1,0 +1,29 @@
+//! E3b — PE↔EE round trips: native windows + EE triggers vs SQL-emulated
+//! windows, with simulated per-statement dispatch cost swept over
+//! {0, 20} µs. The paper's claim: "a reduction of PE-to-EE round trips due
+//! to native support for windowing".
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sstore_bench::run_voter;
+use sstore_voter::WindowImpl;
+
+const VOTES: usize = 500;
+
+fn window_bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e3b_windowing");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(VOTES as u64));
+
+    for cost_us in [0u64, 20] {
+        g.bench_function(BenchmarkId::new("native_window", cost_us), |b| {
+            b.iter(|| run_voter(true, WindowImpl::Native, VOTES, 1, 0, 0, cost_us))
+        });
+        g.bench_function(BenchmarkId::new("emulated_window", cost_us), |b| {
+            b.iter(|| run_voter(true, WindowImpl::Emulated, VOTES, 1, 0, 0, cost_us))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, window_bench);
+criterion_main!(benches);

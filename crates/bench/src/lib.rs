@@ -1,0 +1,183 @@
+//! Shared benchmark harness for the paper's experiments (DESIGN.md §3).
+//!
+//! Every experiment id (E1–E8) has a driver here; the criterion benches
+//! and the `figures` binary both call into these so numbers line up.
+
+use sstore_bikeshare::{BikeConfig, CitySim, SimReport};
+use sstore_core::{recover, SStore, SStoreBuilder};
+use sstore_voter::checker::oracle_state;
+use sstore_voter::workload::Vote;
+use sstore_voter::{
+    capture_state, diff_states, install, run_hstore, run_sstore, Discrepancies, Oracle,
+    RunReport, VoteGen, VoterConfig, WindowImpl,
+};
+
+/// Default Voter configuration for experiments (paper's parameters).
+pub fn voter_config() -> VoterConfig {
+    VoterConfig::default()
+}
+
+/// Deterministic vote stream shared by all experiments.
+pub fn votes(n: usize) -> Vec<Vote> {
+    VoteGen::new(2014, voter_config().num_contestants).take(n)
+}
+
+/// Build an installed S-Store Voter instance.
+pub fn sstore_voter(
+    window: WindowImpl,
+    client_cost_us: u64,
+    ee_cost_us: u64,
+) -> SStore {
+    let mut db = SStoreBuilder::new()
+        .client_trip_cost(client_cost_us)
+        .ee_trip_cost(ee_cost_us)
+        .build()
+        .expect("build");
+    install(&mut db, window, &voter_config()).expect("install");
+    db
+}
+
+/// Build an installed H-Store-mode Voter instance.
+pub fn hstore_voter(
+    window: WindowImpl,
+    client_cost_us: u64,
+    ee_cost_us: u64,
+) -> SStore {
+    let mut db = SStoreBuilder::new()
+        .hstore_mode()
+        .client_trip_cost(client_cost_us)
+        .ee_trip_cost(ee_cost_us)
+        .build()
+        .expect("build");
+    install(&mut db, window, &voter_config()).expect("install");
+    db
+}
+
+/// E1: anomaly counts for both systems against the oracle.
+pub fn exp_e1(n_votes: usize, inflight: usize) -> (Discrepancies, Discrepancies) {
+    let vs = votes(n_votes);
+    let mut oracle = Oracle::new(voter_config());
+    for v in &vs {
+        oracle.feed(v.phone, v.contestant);
+    }
+    let expected = oracle_state(&oracle);
+
+    let mut s = sstore_voter(WindowImpl::Native, 0, 0);
+    run_sstore(&mut s, &vs, 1).expect("sstore run");
+    let ds = diff_states(&expected, &capture_state(&mut s).expect("state"));
+
+    let mut h = hstore_voter(WindowImpl::Emulated, 0, 0);
+    run_hstore(&mut h, &vs, inflight).expect("hstore run");
+    let dh = diff_states(&expected, &capture_state(&mut h).expect("state"));
+    (ds, dh)
+}
+
+/// E2 / E3a / E3b / E8 share this: run one configuration, return the report.
+pub fn run_voter(
+    sstore_mode: bool,
+    window: WindowImpl,
+    n_votes: usize,
+    batch: usize,
+    inflight: usize,
+    client_cost_us: u64,
+    ee_cost_us: u64,
+) -> RunReport {
+    let vs = votes(n_votes);
+    if sstore_mode {
+        let mut db = sstore_voter(window, client_cost_us, ee_cost_us);
+        run_sstore(&mut db, &vs, batch).expect("run")
+    } else {
+        let mut db = hstore_voter(window, client_cost_us, ee_cost_us);
+        run_hstore(&mut db, &vs, inflight).expect("run")
+    }
+}
+
+/// E4: the BikeShare mixed workload.
+pub fn exp_e4(ticks: u64, seed: u64) -> (SimReport, SStore) {
+    let cfg = BikeConfig::default();
+    let mut db = SStoreBuilder::new().build().expect("build");
+    sstore_bikeshare::install(&mut db, &cfg).expect("install");
+    let mut sim = CitySim::new(&mut db, cfg.clone(), seed).expect("sim");
+    sim.p_start = 0.05;
+    sim.p_theft = 0.005;
+    let report = sim.run(&mut db, ticks).expect("run");
+    sstore_bikeshare::verify_invariants(&mut db, &cfg).expect("invariants");
+    (report, db)
+}
+
+/// E6 support: run `n` voter batches with durability under `dir`.
+pub fn run_durable_voter(dir: &std::path::Path, n_votes: usize, group_commit: usize) -> RunReport {
+    let vs = votes(n_votes);
+    let mut db = SStoreBuilder::new()
+        .durability(dir, group_commit)
+        .build()
+        .expect("build");
+    install(&mut db, WindowImpl::Native, &voter_config()).expect("install");
+    run_sstore(&mut db, &vs, 1).expect("run")
+}
+
+/// E6: measure recovery wall time for a log of `n_votes` border batches.
+pub fn exp_e6_recovery(dir: &std::path::Path, n_votes: usize) -> (f64, bool) {
+    // Populate durable state, capture the reference, then "crash".
+    let vs = votes(n_votes);
+    let reference = {
+        let mut db = SStoreBuilder::new()
+            .durability(dir, 8)
+            .build()
+            .expect("build");
+        install(&mut db, WindowImpl::Native, &voter_config()).expect("install");
+        run_sstore(&mut db, &vs, 1).expect("run");
+        capture_state(&mut db).expect("state")
+    };
+    let t0 = std::time::Instant::now();
+    let builder = SStoreBuilder::new().durability(dir, 8);
+    let mut recovered = recover(builder.config().clone(), |db| {
+        install(db, WindowImpl::Native, &voter_config())
+    })
+    .expect("recover");
+    let secs = t0.elapsed().as_secs_f64();
+    let matches = diff_states(&reference, &capture_state(&mut recovered).expect("state")).is_clean();
+    (secs, matches)
+}
+
+/// E7: memory growth with and without stream/window GC is implicit in the
+/// engine (GC always runs); we measure the *bound*: bytes after N tuples
+/// for two N values — bounded memory means they are close.
+pub fn exp_e7(n_tuples: usize) -> usize {
+    let mut db = SStoreBuilder::new().build().expect("build");
+    db.ddl("CREATE STREAM s_in (v INT)").expect("ddl");
+    db.ddl("CREATE WINDOW w (v INT) ROWS 1000 SLIDE 10").expect("ddl");
+    db.register(
+        sstore_core::ProcSpec::new("ingest", |ctx| {
+            for row in ctx.input().rows.clone() {
+                ctx.exec("win", &[row[0].clone()])?;
+            }
+            Ok(())
+        })
+        .consumes("s_in")
+        .owns_window("w")
+        .stmt("win", "INSERT INTO w VALUES (?)"),
+    )
+    .expect("register");
+    use sstore_core::common::Value;
+    for i in 0..n_tuples {
+        db.submit_batch("ingest", vec![vec![Value::Int(i as i64)]])
+            .expect("submit");
+    }
+    db.engine().db().approx_bytes()
+}
+
+/// A fresh scratch directory under the system temp dir.
+pub fn scratch_dir(tag: &str) -> std::path::PathBuf {
+    let p = std::env::temp_dir().join(format!(
+        "sstore-bench-{tag}-{}-{}",
+        std::process::id(),
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.subsec_nanos())
+            .unwrap_or(0)
+    ));
+    let _ = std::fs::remove_dir_all(&p);
+    std::fs::create_dir_all(&p).expect("mkdir");
+    p
+}

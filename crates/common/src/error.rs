@@ -1,0 +1,122 @@
+//! Crate-wide error type.
+//!
+//! Hand-rolled (no `thiserror`) per the dependency policy in DESIGN.md.
+
+use std::fmt;
+
+/// Convenient result alias used across all S-Store crates.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Every failure mode the S-Store engine can surface to a caller.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// SQL text could not be tokenized or parsed.
+    Parse(String),
+    /// Query referenced an unknown table, column, procedure, or stream.
+    NotFound(String),
+    /// An object with the same name already exists in the catalog.
+    AlreadyExists(String),
+    /// Value/type mismatch (e.g. inserting a string into an INT column).
+    TypeMismatch(String),
+    /// Schema-level violation: arity mismatch, NOT NULL, primary key dup.
+    Constraint(String),
+    /// The stored procedure aborted the transaction deliberately.
+    UserAbort(String),
+    /// Transaction machinery failure (double-commit, missing undo, ...).
+    Txn(String),
+    /// Scheduler rejected an invocation (e.g. TE order violation).
+    Schedule(String),
+    /// A window/stream scope rule was violated (paper §2, transaction scope).
+    Scope(String),
+    /// Durability subsystem failure (command log or snapshot I/O).
+    Io(String),
+    /// Recovery could not reconstruct a consistent state.
+    Recovery(String),
+    /// Internal invariant broken; indicates a bug in the engine itself.
+    Internal(String),
+}
+
+impl Error {
+    /// Short machine-readable category tag, used by tests and stats.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Error::Parse(_) => "parse",
+            Error::NotFound(_) => "not_found",
+            Error::AlreadyExists(_) => "already_exists",
+            Error::TypeMismatch(_) => "type_mismatch",
+            Error::Constraint(_) => "constraint",
+            Error::UserAbort(_) => "user_abort",
+            Error::Txn(_) => "txn",
+            Error::Schedule(_) => "schedule",
+            Error::Scope(_) => "scope",
+            Error::Io(_) => "io",
+            Error::Recovery(_) => "recovery",
+            Error::Internal(_) => "internal",
+        }
+    }
+
+    /// True when the error is a deliberate, application-level abort rather
+    /// than an engine failure. Aborted TEs roll back cleanly and do not
+    /// poison the workflow.
+    pub fn is_user_abort(&self) -> bool {
+        matches!(self, Error::UserAbort(_))
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let (tag, msg) = match self {
+            Error::Parse(m) => ("parse error", m),
+            Error::NotFound(m) => ("not found", m),
+            Error::AlreadyExists(m) => ("already exists", m),
+            Error::TypeMismatch(m) => ("type mismatch", m),
+            Error::Constraint(m) => ("constraint violation", m),
+            Error::UserAbort(m) => ("user abort", m),
+            Error::Txn(m) => ("transaction error", m),
+            Error::Schedule(m) => ("scheduling error", m),
+            Error::Scope(m) => ("scope violation", m),
+            Error::Io(m) => ("io error", m),
+            Error::Recovery(m) => ("recovery error", m),
+            Error::Internal(m) => ("internal error", m),
+        };
+        write!(f, "{tag}: {msg}")
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Error::Io(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_tag_and_message() {
+        let e = Error::Parse("unexpected token".into());
+        assert_eq!(e.to_string(), "parse error: unexpected token");
+    }
+
+    #[test]
+    fn kind_is_stable() {
+        assert_eq!(Error::Constraint("x".into()).kind(), "constraint");
+        assert_eq!(Error::UserAbort("x".into()).kind(), "user_abort");
+    }
+
+    #[test]
+    fn user_abort_detection() {
+        assert!(Error::UserAbort("done".into()).is_user_abort());
+        assert!(!Error::Txn("oops".into()).is_user_abort());
+    }
+
+    #[test]
+    fn io_error_converts() {
+        let io = std::io::Error::other("disk gone");
+        let e: Error = io.into();
+        assert_eq!(e.kind(), "io");
+    }
+}

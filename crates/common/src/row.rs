@@ -1,0 +1,79 @@
+//! Rows and stream batches.
+//!
+//! A [`Row`] is a plain `Vec<Value>`; a [`Batch`] is the unit of streaming
+//! work in the S-Store transaction model: one transaction execution (TE) is
+//! `(stored procedure, batch)` (paper §2, "Stream-oriented Transaction
+//! Model").
+
+use crate::ids::BatchId;
+use crate::value::Value;
+use serde::{Deserialize, Serialize};
+
+/// One tuple. Column order follows the owning schema.
+pub type Row = Vec<Value>;
+
+/// An atomically-processed group of stream tuples.
+///
+/// For a border stored procedure (BSP), the batch boundary is chosen by the
+/// client (e.g. "2 tuples"). For an interior stored procedure (ISP), the
+/// batch is whatever the immediate upstream TE emitted on its output stream.
+/// A transaction commits when its input batch has been completely processed.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Batch {
+    /// Identity of this batch within its workflow. Batch ids are assigned
+    /// by the input manager in arrival order; the scheduler preserves that
+    /// order end-to-end.
+    pub id: BatchId,
+    /// The tuples.
+    pub rows: Vec<Row>,
+}
+
+impl Batch {
+    /// Construct a batch.
+    pub fn new(id: BatchId, rows: Vec<Row>) -> Self {
+        Batch { id, rows }
+    }
+
+    /// An empty batch carrying only ordering information. Interior SPs can
+    /// receive empty batches when the upstream TE emitted nothing; they
+    /// still execute (windows may slide on time) but see no input rows.
+    pub fn empty(id: BatchId) -> Self {
+        Batch { id, rows: vec![] }
+    }
+
+    /// Number of tuples in the batch.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when the batch carries no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batch_basics() {
+        let b = Batch::new(BatchId::new(1), vec![vec![Value::Int(1)]]);
+        assert_eq!(b.len(), 1);
+        assert!(!b.is_empty());
+        let e = Batch::empty(BatchId::new(2));
+        assert!(e.is_empty());
+        assert_eq!(e.id, BatchId::new(2));
+    }
+
+    #[test]
+    fn batch_serde_round_trip() {
+        let b = Batch::new(
+            BatchId::new(7),
+            vec![vec![Value::Int(1), Value::Text("x".into())]],
+        );
+        let s = serde_json::to_string(&b).unwrap();
+        let back: Batch = serde_json::from_str(&s).unwrap();
+        assert_eq!(back, b);
+    }
+}

@@ -1,0 +1,237 @@
+//! Table schemas: column definitions, primary keys, and row validation.
+
+use crate::row::Row;
+use crate::types::DataType;
+use crate::value::Value;
+use crate::{Error, Result};
+use serde::{Deserialize, Serialize};
+
+/// One column definition.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Column {
+    /// Column name (case-insensitive in SQL; stored lower-case).
+    pub name: String,
+    /// Declared type.
+    pub ty: DataType,
+    /// Whether NULL is allowed.
+    pub nullable: bool,
+}
+
+impl Column {
+    /// A non-nullable column.
+    pub fn new(name: impl Into<String>, ty: DataType) -> Self {
+        Column {
+            name: name.into().to_ascii_lowercase(),
+            ty,
+            nullable: false,
+        }
+    }
+
+    /// A nullable column.
+    pub fn nullable(name: impl Into<String>, ty: DataType) -> Self {
+        Column {
+            nullable: true,
+            ..Column::new(name, ty)
+        }
+    }
+}
+
+/// An ordered list of columns plus an optional primary key.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Schema {
+    columns: Vec<Column>,
+    /// Indices (into `columns`) of the primary-key columns, in key order.
+    pk: Vec<usize>,
+}
+
+impl Schema {
+    /// Build a schema; fails on duplicate column names or bad PK references.
+    pub fn new(columns: Vec<Column>, pk_names: &[&str]) -> Result<Self> {
+        for (i, c) in columns.iter().enumerate() {
+            if columns[..i].iter().any(|o| o.name == c.name) {
+                return Err(Error::Constraint(format!("duplicate column `{}`", c.name)));
+            }
+        }
+        let mut pk = Vec::with_capacity(pk_names.len());
+        for name in pk_names {
+            let lname = name.to_ascii_lowercase();
+            let idx = columns
+                .iter()
+                .position(|c| c.name == lname)
+                .ok_or_else(|| Error::NotFound(format!("primary key column `{name}`")))?;
+            if pk.contains(&idx) {
+                return Err(Error::Constraint(format!(
+                    "duplicate primary key column `{name}`"
+                )));
+            }
+            pk.push(idx);
+        }
+        Ok(Schema { columns, pk })
+    }
+
+    /// Schema with no primary key.
+    pub fn keyless(columns: Vec<Column>) -> Result<Self> {
+        Schema::new(columns, &[])
+    }
+
+    /// All columns, in declaration order.
+    pub fn columns(&self) -> &[Column] {
+        &self.columns
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Index of `name` (case-insensitive).
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        let lname = name.to_ascii_lowercase();
+        self.columns.iter().position(|c| c.name == lname)
+    }
+
+    /// Column definition by name.
+    pub fn column(&self, name: &str) -> Option<&Column> {
+        self.column_index(name).map(|i| &self.columns[i])
+    }
+
+    /// The primary-key column indices (empty when keyless).
+    pub fn pk_indices(&self) -> &[usize] {
+        &self.pk
+    }
+
+    /// True if the schema declares a primary key.
+    pub fn has_pk(&self) -> bool {
+        !self.pk.is_empty()
+    }
+
+    /// Extract the primary-key values from a (validated) row.
+    pub fn pk_of(&self, row: &Row) -> Vec<Value> {
+        self.pk.iter().map(|&i| row[i].clone()).collect()
+    }
+
+    /// Validate arity, coerce each value to its column type, and enforce
+    /// NOT NULL. Returns the (possibly coerced) row.
+    pub fn validate(&self, mut row: Row) -> Result<Row> {
+        if row.len() != self.columns.len() {
+            return Err(Error::Constraint(format!(
+                "row arity {} does not match schema arity {}",
+                row.len(),
+                self.columns.len()
+            )));
+        }
+        for (i, col) in self.columns.iter().enumerate() {
+            let v = std::mem::replace(&mut row[i], Value::Null);
+            if v.is_null() {
+                if !col.nullable {
+                    return Err(Error::Constraint(format!(
+                        "NULL in non-nullable column `{}`",
+                        col.name
+                    )));
+                }
+                continue; // leave Null in place
+            }
+            let coerced = col.ty.coerce(v).ok_or_else(|| {
+                Error::TypeMismatch(format!("column `{}` expects {}", col.name, col.ty))
+            })?;
+            row[i] = coerced;
+        }
+        Ok(row)
+    }
+
+    /// Append extra (hidden) columns, producing a new schema with the same
+    /// primary key. Used by the storage layer to add `__batch`/`__seq`/`__ts`
+    /// lifecycle columns to streams and windows.
+    pub fn with_hidden(&self, extra: Vec<Column>) -> Result<Schema> {
+        let mut columns = self.columns.clone();
+        columns.extend(extra);
+        let mut s = Schema::keyless(columns)?;
+        s.pk = self.pk.clone();
+        Ok(s)
+    }
+
+    /// Names of all columns (useful for plan display and tests).
+    pub fn column_names(&self) -> Vec<&str> {
+        self.columns.iter().map(|c| c.name.as_str()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> Schema {
+        Schema::new(
+            vec![
+                Column::new("id", DataType::Int),
+                Column::new("name", DataType::Text),
+                Column::nullable("score", DataType::Float),
+            ],
+            &["id"],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn duplicate_columns_rejected() {
+        let e = Schema::keyless(vec![
+            Column::new("a", DataType::Int),
+            Column::new("A", DataType::Int),
+        ])
+        .unwrap_err();
+        assert_eq!(e.kind(), "constraint");
+    }
+
+    #[test]
+    fn pk_must_exist() {
+        let e = Schema::new(vec![Column::new("a", DataType::Int)], &["b"]).unwrap_err();
+        assert_eq!(e.kind(), "not_found");
+    }
+
+    #[test]
+    fn validate_coerces_and_checks_nulls() {
+        let s = schema();
+        let row = s
+            .validate(vec![Value::Int(1), Value::Text("x".into()), Value::Int(2)])
+            .unwrap();
+        assert_eq!(row[2], Value::Float(2.0));
+
+        let err = s
+            .validate(vec![Value::Null, Value::Text("x".into()), Value::Null])
+            .unwrap_err();
+        assert_eq!(err.kind(), "constraint");
+
+        // nullable column accepts NULL
+        let ok = s
+            .validate(vec![Value::Int(1), Value::Text("x".into()), Value::Null])
+            .unwrap();
+        assert!(ok[2].is_null());
+    }
+
+    #[test]
+    fn arity_mismatch() {
+        let s = schema();
+        assert!(s.validate(vec![Value::Int(1)]).is_err());
+    }
+
+    #[test]
+    fn pk_extraction_and_lookup() {
+        let s = schema();
+        assert_eq!(s.pk_indices(), &[0]);
+        assert!(s.has_pk());
+        let row = vec![Value::Int(9), Value::Text("n".into()), Value::Null];
+        assert_eq!(s.pk_of(&row), vec![Value::Int(9)]);
+        assert_eq!(s.column_index("NAME"), Some(1));
+        assert!(s.column("missing").is_none());
+    }
+
+    #[test]
+    fn hidden_columns_preserve_pk() {
+        let s = schema()
+            .with_hidden(vec![Column::new("__seq", DataType::Int)])
+            .unwrap();
+        assert_eq!(s.arity(), 4);
+        assert_eq!(s.pk_indices(), &[0]);
+        assert_eq!(s.column_index("__seq"), Some(3));
+    }
+}

@@ -1,0 +1,78 @@
+//! Property tests: the Value total order and hashing contracts that the
+//! index/sort layers depend on.
+
+use proptest::prelude::*;
+use sstore_common::{DataType, Value};
+use std::cmp::Ordering;
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        Just(Value::Null),
+        any::<i64>().prop_map(Value::Int),
+        any::<f64>().prop_map(Value::Float),
+        any::<bool>().prop_map(Value::Bool),
+        any::<i64>().prop_map(Value::Timestamp),
+        ".{0,16}".prop_map(Value::Text),
+    ]
+}
+
+fn hash_of(v: &Value) -> u64 {
+    let mut h = DefaultHasher::new();
+    v.hash(&mut h);
+    h.finish()
+}
+
+proptest! {
+    #[test]
+    fn total_order_is_antisymmetric_and_reflexive(a in arb_value(), b in arb_value()) {
+        let ab = a.cmp_total(&b);
+        let ba = b.cmp_total(&a);
+        prop_assert_eq!(ab, ba.reverse());
+        prop_assert_eq!(a.cmp_total(&a), Ordering::Equal);
+    }
+
+    #[test]
+    fn total_order_is_transitive(a in arb_value(), b in arb_value(), c in arb_value()) {
+        let mut v = [a, b, c];
+        // Sorting must not panic and must produce a totally ordered slice.
+        v.sort();
+        prop_assert!(v[0].cmp_total(&v[1]) != Ordering::Greater);
+        prop_assert!(v[1].cmp_total(&v[2]) != Ordering::Greater);
+        prop_assert!(v[0].cmp_total(&v[2]) != Ordering::Greater);
+    }
+
+    #[test]
+    fn eq_implies_hash_eq(a in arb_value(), b in arb_value()) {
+        if a == b {
+            prop_assert_eq!(hash_of(&a), hash_of(&b), "{:?} == {:?} but hashes differ", a, b);
+        }
+    }
+
+    #[test]
+    fn null_is_minimum(v in arb_value()) {
+        prop_assert!(Value::Null.cmp_total(&v) != Ordering::Greater);
+    }
+
+    #[test]
+    fn coercion_preserves_equality(i in any::<i64>()) {
+        // Int -> Float coercion must compare equal to the original when
+        // the float is exact (|i| < 2^53).
+        let small = i % (1i64 << 52);
+        let coerced = DataType::Float.coerce(Value::Int(small)).unwrap();
+        prop_assert_eq!(coerced, Value::Int(small));
+    }
+
+    #[test]
+    fn sql_cmp_is_none_iff_null(a in arb_value(), b in arb_value()) {
+        let got = a.sql_cmp(&b);
+        prop_assert_eq!(got.is_none(), a.is_null() || b.is_null());
+    }
+
+    #[test]
+    fn display_and_literal_never_panic(v in arb_value()) {
+        let _ = v.to_string();
+        let _ = v.to_literal();
+    }
+}

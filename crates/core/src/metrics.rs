@@ -1,0 +1,73 @@
+//! Throughput measurement helpers for the demo dashboards and benches.
+
+use std::time::Instant;
+
+/// Counts events against wall-clock time.
+#[derive(Debug, Clone)]
+pub struct Throughput {
+    start: Instant,
+    events: u64,
+}
+
+impl Default for Throughput {
+    fn default() -> Self {
+        Throughput::new()
+    }
+}
+
+impl Throughput {
+    /// Start measuring now.
+    pub fn new() -> Self {
+        Throughput {
+            start: Instant::now(),
+            events: 0,
+        }
+    }
+
+    /// Record `n` events.
+    pub fn add(&mut self, n: u64) {
+        self.events += n;
+    }
+
+    /// Events recorded.
+    pub fn events(&self) -> u64 {
+        self.events
+    }
+
+    /// Elapsed seconds since construction/reset.
+    pub fn elapsed_secs(&self) -> f64 {
+        self.start.elapsed().as_secs_f64()
+    }
+
+    /// Events per second.
+    pub fn per_sec(&self) -> f64 {
+        let secs = self.elapsed_secs();
+        if secs <= 0.0 {
+            0.0
+        } else {
+            self.events as f64 / secs
+        }
+    }
+
+    /// Reset the window (for rolling displays).
+    pub fn reset(&mut self) {
+        self.start = Instant::now();
+        self.events = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_and_rates() {
+        let mut t = Throughput::new();
+        t.add(10);
+        t.add(5);
+        assert_eq!(t.events(), 15);
+        assert!(t.per_sec() > 0.0);
+        t.reset();
+        assert_eq!(t.events(), 0);
+    }
+}

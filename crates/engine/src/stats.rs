@@ -1,0 +1,70 @@
+//! Execution-engine counters.
+//!
+//! The paper's performance argument is structural — S-Store wins by
+//! removing round trips between layers (§2, §3.1). These counters make
+//! that argument measurable: benches read them to report PE↔EE dispatches
+//! and trigger activity per workload.
+
+/// Monotone counters for one execution engine.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EeStats {
+    /// Statements dispatched from the PE into the EE. Each is one PE→EE
+    /// round trip; statements run by EE triggers do *not* count (that is
+    /// exactly the saving native triggers provide).
+    pub pe_ee_trips: u64,
+    /// Total statements executed, including trigger-initiated ones.
+    pub statements: u64,
+    /// EE insert-trigger firings (per row).
+    pub insert_trigger_firings: u64,
+    /// Window slide events (slide-trigger opportunities).
+    pub window_slides: u64,
+    /// Rows appended to streams.
+    pub stream_appends: u64,
+    /// Rows evicted from windows by slide maintenance.
+    pub window_evictions: u64,
+    /// Stream rows removed by garbage collection.
+    pub rows_gcd: u64,
+}
+
+impl EeStats {
+    /// Zeroed counters.
+    pub fn new() -> Self {
+        EeStats::default()
+    }
+
+    /// Difference `self - earlier` (for per-benchmark-window deltas).
+    pub fn delta_since(&self, earlier: &EeStats) -> EeStats {
+        EeStats {
+            pe_ee_trips: self.pe_ee_trips - earlier.pe_ee_trips,
+            statements: self.statements - earlier.statements,
+            insert_trigger_firings: self.insert_trigger_firings - earlier.insert_trigger_firings,
+            window_slides: self.window_slides - earlier.window_slides,
+            stream_appends: self.stream_appends - earlier.stream_appends,
+            window_evictions: self.window_evictions - earlier.window_evictions,
+            rows_gcd: self.rows_gcd - earlier.rows_gcd,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delta_subtracts_fieldwise() {
+        let a = EeStats {
+            pe_ee_trips: 10,
+            statements: 20,
+            ..EeStats::new()
+        };
+        let b = EeStats {
+            pe_ee_trips: 4,
+            statements: 5,
+            ..EeStats::new()
+        };
+        let d = a.delta_since(&b);
+        assert_eq!(d.pe_ee_trips, 6);
+        assert_eq!(d.statements, 15);
+        assert_eq!(d.rows_gcd, 0);
+    }
+}

@@ -1,0 +1,137 @@
+//! Property tests: native window maintenance against a reference model,
+//! for arbitrary (size, slide) and insert sequences; plus abort exactness.
+
+use proptest::prelude::*;
+use sstore_common::{Column, DataType, Schema, TableId, Value};
+use sstore_engine::windows::insert_into_window;
+use sstore_storage::catalog::{TableKind, WindowKind, WindowSpec};
+use sstore_storage::{Database, UndoLog};
+
+fn window_db(size: u64, slide: u64) -> (Database, TableId) {
+    let mut db = Database::new();
+    let schema = Schema::keyless(vec![Column::new("v", DataType::Int)]).unwrap();
+    let w = db
+        .create_window(
+            "w",
+            schema,
+            WindowSpec {
+                kind: WindowKind::Tuple { size, slide },
+                owner: None,
+            },
+        )
+        .unwrap();
+    (db, w)
+}
+
+fn contents(db: &Database, w: TableId) -> Vec<i64> {
+    let mut rows: Vec<(i64, i64)> = db
+        .table(w)
+        .unwrap()
+        .scan()
+        .map(|(_, r)| (r[1].as_int().unwrap(), r[0].as_int().unwrap()))
+        .collect();
+    rows.sort_unstable();
+    rows.into_iter().map(|(_, v)| v).collect()
+}
+
+/// Reference model: keeps all inserted tuples; after every slide event the
+/// window holds exactly the newest `size`. Between slides it may hold up
+/// to `size + slide - 1` (documented eviction-at-slide behaviour).
+struct Model {
+    size: u64,
+    slide: u64,
+    all: Vec<i64>,
+    pending: u64,
+    slides: u64,
+    evicted_upto: usize,
+}
+
+impl Model {
+    fn new(size: u64, slide: u64) -> Model {
+        Model {
+            size,
+            slide,
+            all: vec![],
+            pending: 0,
+            slides: 0,
+            evicted_upto: 0,
+        }
+    }
+    fn insert(&mut self, v: i64) -> bool {
+        self.all.push(v);
+        self.pending += 1;
+        if self.all.len() as u64 >= self.size && self.pending >= self.slide {
+            self.pending = 0;
+            self.slides += 1;
+            self.evicted_upto = self.all.len() - self.size as usize;
+            true
+        } else {
+            false
+        }
+    }
+    fn contents(&self) -> Vec<i64> {
+        self.all[self.evicted_upto..].to_vec()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn window_matches_model(
+        size in 1u64..20,
+        slide in 1u64..10,
+        values in prop::collection::vec(any::<i64>(), 0..100),
+    ) {
+        let (mut db, w) = window_db(size, slide);
+        let mut model = Model::new(size, slide);
+        let mut undo = UndoLog::new();
+        for (i, &v) in values.iter().enumerate() {
+            let r = insert_into_window(&mut db, &mut undo, w, vec![Value::Int(v)], i as i64)
+                .unwrap();
+            let model_slid = model.insert(v);
+            prop_assert_eq!(r.slid, model_slid, "slide mismatch at tuple {}", i);
+            prop_assert_eq!(contents(&db, w), model.contents(), "contents diverged at {}", i);
+        }
+        // Lifecycle counters agree.
+        match db.kind(w).unwrap() {
+            TableKind::Window(m) => {
+                prop_assert_eq!(m.total_inserted, values.len() as u64);
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn aborted_window_txn_leaves_no_trace(
+        size in 1u64..10,
+        slide in 1u64..5,
+        committed in prop::collection::vec(any::<i64>(), 0..40),
+        aborted in prop::collection::vec(any::<i64>(), 1..40),
+    ) {
+        let (mut db, w) = window_db(size, slide);
+        let mut undo = UndoLog::new();
+        for (i, &v) in committed.iter().enumerate() {
+            insert_into_window(&mut db, &mut undo, w, vec![Value::Int(v)], i as i64).unwrap();
+        }
+        undo.commit();
+        let snapshot_rows = contents(&db, w);
+        let snapshot_kind = db.kind(w).unwrap().clone();
+
+        let mut undo = UndoLog::new();
+        for (i, &v) in aborted.iter().enumerate() {
+            insert_into_window(
+                &mut db,
+                &mut undo,
+                w,
+                vec![Value::Int(v)],
+                (committed.len() + i) as i64,
+            )
+            .unwrap();
+        }
+        undo.rollback(&mut db).unwrap();
+
+        prop_assert_eq!(contents(&db, w), snapshot_rows);
+        prop_assert_eq!(db.kind(w).unwrap(), &snapshot_kind);
+    }
+}

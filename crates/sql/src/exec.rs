@@ -1,0 +1,866 @@
+//! Plan execution.
+//!
+//! The executor walks a [`PhysicalPlan`] row-at-a-time. Reads go straight
+//! to the [`Database`]; all mutations are routed through [`ExecContext`] so
+//! the execution engine layered above can attach undo logging, stream and
+//! window lifecycle maintenance, EE triggers, and round-trip accounting.
+
+use crate::expr::{eval, eval_pred, BoundExpr, EvalEnv};
+use crate::plan::{AccessPath, AggExpr, AggFunc, PhysicalPlan, PlannedStmt};
+use sstore_common::{Error, Result, Row, TableId, Value};
+use sstore_storage::{Database, RowId};
+use std::collections::{HashMap, HashSet};
+
+/// The storage/transaction facade the executor runs against.
+///
+/// `sstore-engine` provides the real implementation; a thin direct
+/// implementation ([`DirectContext`]) exists for tests and standalone use
+/// of this crate.
+pub trait ExecContext {
+    /// Read access to the partition's data.
+    fn db(&self) -> &Database;
+
+    /// Logical time for `NOW()`.
+    fn now(&self) -> i64;
+
+    /// Gate read access to a table (window scope enforcement).
+    fn check_read(&self, table: TableId) -> Result<()>;
+
+    /// Gate write access to a table.
+    fn check_write(&self, table: TableId) -> Result<()>;
+
+    /// Insert a row given in *visible-column* order. The implementation
+    /// appends hidden lifecycle columns for streams/windows, records undo,
+    /// and fires any EE triggers. Returns the new row id.
+    fn insert_visible(&mut self, table: TableId, row: Row) -> Result<RowId>;
+
+    /// Delete a row by id, recording undo. Returns the deleted row.
+    fn delete_row(&mut self, table: TableId, rid: RowId) -> Result<Row>;
+
+    /// Replace the *full storage* row at `rid`, recording undo.
+    fn update_row(&mut self, table: TableId, rid: RowId, new_row: Row) -> Result<()>;
+}
+
+/// Result of executing one statement.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct QueryResult {
+    /// Output column names (SELECT only).
+    pub columns: Vec<String>,
+    /// Output rows (SELECT only).
+    pub rows: Vec<Row>,
+    /// Rows inserted/updated/deleted (DML only).
+    pub rows_affected: usize,
+}
+
+impl QueryResult {
+    /// First row, first column — convenient for scalar queries.
+    pub fn scalar(&self) -> Option<&Value> {
+        self.rows.first().and_then(|r| r.first())
+    }
+
+    /// First row, first column as an integer (errors if absent/not int).
+    pub fn scalar_i64(&self) -> Result<i64> {
+        self.scalar()
+            .ok_or_else(|| Error::Internal("scalar query returned no rows".into()))?
+            .as_int()
+    }
+}
+
+/// Execute a planned statement.
+pub fn execute(
+    stmt: &PlannedStmt,
+    ctx: &mut dyn ExecContext,
+    params: &[Value],
+) -> Result<QueryResult> {
+    let now = ctx.now();
+    // Evaluate uncorrelated scalar subqueries once, in slot order. Earlier
+    // slots are visible to later ones (inner subqueries bind first).
+    let subs = match stmt {
+        PlannedStmt::Query { subqueries, .. }
+        | PlannedStmt::Insert { subqueries, .. }
+        | PlannedStmt::Update { subqueries, .. }
+        | PlannedStmt::Delete { subqueries, .. } => {
+            eval_subqueries(subqueries, ctx, params, now)?
+        }
+        PlannedStmt::Ddl(_) => Vec::new(),
+    };
+    let env = EvalEnv {
+        params,
+        now,
+        subs: &subs,
+    };
+    match stmt {
+        PlannedStmt::Query { plan, columns, .. } => {
+            let rows = run_plan(plan, ctx, &env)?;
+            Ok(QueryResult {
+                columns: columns.clone(),
+                rows,
+                rows_affected: 0,
+            })
+        }
+        PlannedStmt::Insert {
+            table,
+            source,
+            mapping,
+            ..
+        } => {
+            ctx.check_write(*table)?;
+            let src_rows = run_plan(source, ctx, &env)?;
+            let mut n = 0;
+            for src in src_rows {
+                let visible: Row = mapping
+                    .iter()
+                    .map(|m| match m {
+                        Some(i) => src
+                            .get(*i)
+                            .cloned()
+                            .ok_or_else(|| Error::Internal("insert mapping out of range".into())),
+                        None => Ok(Value::Null),
+                    })
+                    .collect::<Result<_>>()?;
+                ctx.insert_visible(*table, visible)?;
+                n += 1;
+            }
+            Ok(QueryResult {
+                rows_affected: n,
+                ..Default::default()
+            })
+        }
+        PlannedStmt::Update {
+            table,
+            path,
+            pred,
+            sets,
+            ..
+        } => {
+            ctx.check_write(*table)?;
+            let targets = matching_rows(*table, path, pred.as_ref(), ctx, &env)?;
+            let mut n = 0;
+            for (rid, old_row) in targets {
+                let mut new_row = old_row.clone();
+                for (pos, e) in sets {
+                    new_row[*pos] = eval(e, &old_row, &env)?;
+                }
+                ctx.update_row(*table, rid, new_row)?;
+                n += 1;
+            }
+            Ok(QueryResult {
+                rows_affected: n,
+                ..Default::default()
+            })
+        }
+        PlannedStmt::Delete {
+            table, path, pred, ..
+        } => {
+            ctx.check_write(*table)?;
+            let targets = matching_rows(*table, path, pred.as_ref(), ctx, &env)?;
+            let mut n = 0;
+            for (rid, _) in targets {
+                ctx.delete_row(*table, rid)?;
+                n += 1;
+            }
+            Ok(QueryResult {
+                rows_affected: n,
+                ..Default::default()
+            })
+        }
+        PlannedStmt::Ddl(_) => Err(Error::Txn(
+            "DDL cannot run through the statement executor; use the engine's DDL entry point"
+                .into(),
+        )),
+    }
+}
+
+/// Evaluate a statement's scalar subquery plans into their slot values.
+fn eval_subqueries(
+    subqueries: &[PhysicalPlan],
+    ctx: &dyn ExecContext,
+    params: &[Value],
+    now: i64,
+) -> Result<Vec<Value>> {
+    let mut vals: Vec<Value> = Vec::with_capacity(subqueries.len());
+    for plan in subqueries {
+        let rows = {
+            let env = EvalEnv {
+                params,
+                now,
+                subs: &vals,
+            };
+            run_plan(plan, ctx, &env)?
+        };
+        if rows.len() > 1 {
+            return Err(Error::Constraint(format!(
+                "scalar subquery returned {} rows",
+                rows.len()
+            )));
+        }
+        let v = rows
+            .into_iter()
+            .next()
+            .and_then(|mut r| if r.is_empty() { None } else { Some(r.remove(0)) })
+            .unwrap_or(Value::Null);
+        vals.push(v);
+    }
+    Ok(vals)
+}
+
+/// Materialize the `(rid, row)` pairs a DML predicate selects. Collected
+/// before mutation so the scan never observes its own writes (Halloween
+/// protection).
+fn matching_rows(
+    table: TableId,
+    path: &AccessPath,
+    pred: Option<&BoundExpr>,
+    ctx: &dyn ExecContext,
+    env: &EvalEnv<'_>,
+) -> Result<Vec<(RowId, Row)>> {
+    ctx.check_read(table)?;
+    let tb = ctx.db().table(table)?;
+    let candidates: Vec<RowId> = match path {
+        AccessPath::Full => tb.scan().map(|(rid, _)| rid).collect(),
+        AccessPath::PkPoint(keys) => {
+            let key: Vec<Value> = keys
+                .iter()
+                .map(|e| eval(e, &[], env))
+                .collect::<Result<_>>()?;
+            tb.pk_lookup(&key).into_iter().collect()
+        }
+        AccessPath::IndexPoint(name, keys) => {
+            let key: Vec<Value> = keys
+                .iter()
+                .map(|e| eval(e, &[], env))
+                .collect::<Result<_>>()?;
+            tb.index_lookup(name, &key)?
+        }
+    };
+    let mut out = Vec::new();
+    for rid in candidates {
+        let row = tb
+            .get(rid)
+            .ok_or_else(|| Error::Internal(format!("dangling row id {rid}")))?;
+        let keep = match pred {
+            Some(p) => eval_pred(p, row, env)?,
+            None => true,
+        };
+        if keep {
+            out.push((rid, row.clone()));
+        }
+    }
+    Ok(out)
+}
+
+/// Run a read-only plan to a materialized row set.
+pub fn run_plan(
+    plan: &PhysicalPlan,
+    ctx: &dyn ExecContext,
+    env: &EvalEnv<'_>,
+) -> Result<Vec<Row>> {
+    match plan {
+        PhysicalPlan::Values { rows } => rows
+            .iter()
+            .map(|exprs| exprs.iter().map(|e| eval(e, &[], env)).collect())
+            .collect(),
+        PhysicalPlan::Scan {
+            table,
+            path,
+            residual,
+        } => {
+            ctx.check_read(*table)?;
+            let tb = ctx.db().table(*table)?;
+            let mut out = Vec::new();
+            let candidates: Vec<RowId> = match path {
+                AccessPath::Full => tb.scan().map(|(rid, _)| rid).collect(),
+                AccessPath::PkPoint(keys) => {
+                    let key: Vec<Value> = keys
+                        .iter()
+                        .map(|e| eval(e, &[], env))
+                        .collect::<Result<_>>()?;
+                    tb.pk_lookup(&key).into_iter().collect()
+                }
+                AccessPath::IndexPoint(name, keys) => {
+                    let key: Vec<Value> = keys
+                        .iter()
+                        .map(|e| eval(e, &[], env))
+                        .collect::<Result<_>>()?;
+                    tb.index_lookup(name, &key)?
+                }
+            };
+            for rid in candidates {
+                let row = tb
+                    .get(rid)
+                    .ok_or_else(|| Error::Internal(format!("dangling row id {rid}")))?;
+                let keep = match residual {
+                    Some(p) => eval_pred(p, row, env)?,
+                    None => true,
+                };
+                if keep {
+                    out.push(row.clone());
+                }
+            }
+            Ok(out)
+        }
+        PhysicalPlan::NestedLoopJoin { left, right, on } => {
+            let lrows = run_plan(left, ctx, env)?;
+            let rrows = run_plan(right, ctx, env)?;
+            let mut out = Vec::new();
+            for l in &lrows {
+                for r in &rrows {
+                    let mut joined = l.clone();
+                    joined.extend(r.iter().cloned());
+                    if eval_pred(on, &joined, env)? {
+                        out.push(joined);
+                    }
+                }
+            }
+            Ok(out)
+        }
+        PhysicalPlan::Filter { input, pred } => {
+            let rows = run_plan(input, ctx, env)?;
+            let mut out = Vec::with_capacity(rows.len());
+            for row in rows {
+                if eval_pred(pred, &row, env)? {
+                    out.push(row);
+                }
+            }
+            Ok(out)
+        }
+        PhysicalPlan::Project { input, exprs } => {
+            let rows = run_plan(input, ctx, env)?;
+            rows.iter()
+                .map(|row| exprs.iter().map(|e| eval(e, row, env)).collect())
+                .collect()
+        }
+        PhysicalPlan::Aggregate {
+            input,
+            group_exprs,
+            aggs,
+        } => {
+            let rows = run_plan(input, ctx, env)?;
+            run_aggregate(&rows, group_exprs, aggs, env)
+        }
+        PhysicalPlan::Sort { input, keys } => {
+            let mut rows = run_plan(input, ctx, env)?;
+            rows.sort_by(|a, b| {
+                for (pos, desc) in keys {
+                    let ord = a[*pos].cmp_total(&b[*pos]);
+                    let ord = if *desc { ord.reverse() } else { ord };
+                    if ord != std::cmp::Ordering::Equal {
+                        return ord;
+                    }
+                }
+                std::cmp::Ordering::Equal
+            });
+            Ok(rows)
+        }
+        PhysicalPlan::Limit { input, n } => {
+            let mut rows = run_plan(input, ctx, env)?;
+            rows.truncate(*n as usize);
+            Ok(rows)
+        }
+        PhysicalPlan::Distinct { input } => {
+            let rows = run_plan(input, ctx, env)?;
+            let mut seen: std::collections::HashSet<Row> = HashSet::with_capacity(rows.len());
+            let mut out = Vec::with_capacity(rows.len());
+            for row in rows {
+                if seen.insert(row.clone()) {
+                    out.push(row);
+                }
+            }
+            Ok(out)
+        }
+    }
+}
+
+/// One in-progress aggregate value.
+#[derive(Debug, Clone)]
+enum AggState {
+    CountStar(i64),
+    Count(i64),
+    Sum { acc: Option<Value> },
+    Avg { sum: f64, n: i64 },
+    Min(Option<Value>),
+    Max(Option<Value>),
+}
+
+impl AggState {
+    fn new(func: AggFunc) -> AggState {
+        match func {
+            AggFunc::CountStar => AggState::CountStar(0),
+            AggFunc::Count => AggState::Count(0),
+            AggFunc::Sum => AggState::Sum { acc: None },
+            AggFunc::Avg => AggState::Avg { sum: 0.0, n: 0 },
+            AggFunc::Min => AggState::Min(None),
+            AggFunc::Max => AggState::Max(None),
+        }
+    }
+
+    fn update(&mut self, arg: Option<&Value>) -> Result<()> {
+        match self {
+            AggState::CountStar(n) => *n += 1,
+            AggState::Count(n) => {
+                if arg.is_some_and(|v| !v.is_null()) {
+                    *n += 1;
+                }
+            }
+            AggState::Sum { acc } => {
+                if let Some(v) = arg.filter(|v| !v.is_null()) {
+                    *acc = Some(match acc.take() {
+                        None => v.clone(),
+                        Some(Value::Int(a)) => match v {
+                            Value::Int(b) => Value::Int(a.checked_add(*b).ok_or_else(|| {
+                                Error::Constraint("integer overflow in SUM".into())
+                            })?),
+                            _ => Value::Float(a as f64 + v.as_float()?),
+                        },
+                        Some(prev) => Value::Float(prev.as_float()? + v.as_float()?),
+                    });
+                }
+            }
+            AggState::Avg { sum, n } => {
+                if let Some(v) = arg.filter(|v| !v.is_null()) {
+                    *sum += v.as_float()?;
+                    *n += 1;
+                }
+            }
+            AggState::Min(cur) => {
+                if let Some(v) = arg.filter(|v| !v.is_null()) {
+                    if cur.as_ref().is_none_or(|c| v.cmp_total(c).is_lt()) {
+                        *cur = Some(v.clone());
+                    }
+                }
+            }
+            AggState::Max(cur) => {
+                if let Some(v) = arg.filter(|v| !v.is_null()) {
+                    if cur.as_ref().is_none_or(|c| v.cmp_total(c).is_gt()) {
+                        *cur = Some(v.clone());
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn finish(self) -> Value {
+        match self {
+            AggState::CountStar(n) | AggState::Count(n) => Value::Int(n),
+            AggState::Sum { acc } => acc.unwrap_or(Value::Null),
+            AggState::Avg { sum, n } => {
+                if n == 0 {
+                    Value::Null
+                } else {
+                    Value::Float(sum / n as f64)
+                }
+            }
+            AggState::Min(v) | AggState::Max(v) => v.unwrap_or(Value::Null),
+        }
+    }
+}
+
+/// Per-group aggregate state plus the dedup set for DISTINCT aggregates.
+struct GroupState {
+    states: Vec<AggState>,
+    /// One seen-set per DISTINCT aggregate (indexed like `states`).
+    seen: Vec<Option<HashSet<Value>>>,
+}
+
+impl GroupState {
+    fn new(aggs: &[AggExpr]) -> GroupState {
+        GroupState {
+            states: aggs.iter().map(|a| AggState::new(a.func)).collect(),
+            seen: aggs
+                .iter()
+                .map(|a| a.distinct.then(HashSet::new))
+                .collect(),
+        }
+    }
+}
+
+fn run_aggregate(
+    rows: &[Row],
+    group_exprs: &[BoundExpr],
+    aggs: &[AggExpr],
+    env: &EvalEnv<'_>,
+) -> Result<Vec<Row>> {
+    // Group order = first appearance, so results are deterministic.
+    let mut order: Vec<Vec<Value>> = Vec::new();
+    let mut groups: HashMap<Vec<Value>, GroupState> = HashMap::new();
+
+    for row in rows {
+        let key: Vec<Value> = group_exprs
+            .iter()
+            .map(|e| eval(e, row, env))
+            .collect::<Result<_>>()?;
+        let group = match groups.get_mut(&key) {
+            Some(s) => s,
+            None => {
+                order.push(key.clone());
+                groups.entry(key).or_insert_with(|| GroupState::new(aggs))
+            }
+        };
+        for (i, agg) in aggs.iter().enumerate() {
+            let arg = agg
+                .arg
+                .as_ref()
+                .map(|e| eval(e, row, env))
+                .transpose()?;
+            if let Some(seen) = &mut group.seen[i] {
+                match &arg {
+                    Some(v) if !v.is_null()
+                        && !seen.insert(v.clone()) => {
+                            continue; // duplicate: skip for DISTINCT
+                        }
+                    _ => {}
+                }
+            }
+            group.states[i].update(arg.as_ref())?;
+        }
+    }
+
+    // Global aggregate over empty input still yields one row.
+    if groups.is_empty() && group_exprs.is_empty() {
+        let row: Row = aggs
+            .iter()
+            .map(|a| AggState::new(a.func).finish())
+            .collect();
+        return Ok(vec![row]);
+    }
+
+    let mut out = Vec::with_capacity(order.len());
+    for key in order {
+        let group = groups.remove(&key).expect("group recorded");
+        let mut row = key;
+        row.extend(group.states.into_iter().map(AggState::finish));
+        out.push(row);
+    }
+    Ok(out)
+}
+
+/// A minimal [`ExecContext`] that applies mutations directly with no undo,
+/// no triggers, and no scope checks. Used by this crate's tests and by
+/// standalone tools; the engine crate provides the real transactional one.
+#[derive(Debug)]
+pub struct DirectContext<'a> {
+    /// The database to operate on.
+    pub db: &'a mut Database,
+    /// Logical time reported by `now()`.
+    pub now_micros: i64,
+}
+
+impl ExecContext for DirectContext<'_> {
+    fn db(&self) -> &Database {
+        self.db
+    }
+    fn now(&self) -> i64 {
+        self.now_micros
+    }
+    fn check_read(&self, _table: TableId) -> Result<()> {
+        Ok(())
+    }
+    fn check_write(&self, _table: TableId) -> Result<()> {
+        Ok(())
+    }
+    fn insert_visible(&mut self, table: TableId, mut row: Row) -> Result<RowId> {
+        // Pad hidden columns with zeros (streams/windows outside the engine).
+        let arity = self.db.table(table)?.schema().arity();
+        while row.len() < arity {
+            row.push(Value::Int(0));
+        }
+        self.db.table_mut(table)?.insert(row)
+    }
+    fn delete_row(&mut self, table: TableId, rid: RowId) -> Result<Row> {
+        self.db.table_mut(table)?.delete(rid)
+    }
+    fn update_row(&mut self, table: TableId, rid: RowId, new_row: Row) -> Result<()> {
+        self.db.table_mut(table)?.update(rid, new_row)?;
+        Ok(())
+    }
+}
+
+/// Parse, plan, and execute a statement in one call (test/tool convenience).
+pub fn run_sql(
+    sql: &str,
+    ctx: &mut dyn ExecContext,
+    params: &[Value],
+) -> Result<QueryResult> {
+    let stmt = crate::parser::parse(sql)?;
+    let planned = crate::planner::plan_statement(&stmt, ctx.db())?;
+    execute(&planned, ctx, params)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sstore_common::{Column, DataType, Schema};
+
+    fn setup() -> Database {
+        let mut db = Database::new();
+        let schema = Schema::new(
+            vec![
+                Column::new("id", DataType::Int),
+                Column::new("name", DataType::Text),
+                Column::nullable("score", DataType::Float),
+            ],
+            &["id"],
+        )
+        .unwrap();
+        db.create_table("t", schema).unwrap();
+        db
+    }
+
+    fn sql(db: &mut Database, q: &str, params: &[Value]) -> QueryResult {
+        let mut ctx = DirectContext { db, now_micros: 0 };
+        run_sql(q, &mut ctx, params).unwrap()
+    }
+
+    fn sql_err(db: &mut Database, q: &str) -> Error {
+        let mut ctx = DirectContext { db, now_micros: 0 };
+        run_sql(q, &mut ctx, &[]).unwrap_err()
+    }
+
+    fn seed(db: &mut Database) {
+        for (id, name, score) in [
+            (1, "alice", Some(3.0)),
+            (2, "bob", Some(1.0)),
+            (3, "carol", None),
+            (4, "bob", Some(5.0)),
+        ] {
+            let s = score.map(Value::Float).unwrap_or(Value::Null);
+            sql(
+                db,
+                "INSERT INTO t VALUES (?, ?, ?)",
+                &[Value::Int(id), Value::Text(name.into()), s],
+            );
+        }
+    }
+
+    #[test]
+    fn insert_and_select_all() {
+        let mut db = setup();
+        seed(&mut db);
+        let r = sql(&mut db, "SELECT * FROM t ORDER BY id", &[]);
+        assert_eq!(r.columns, vec!["id", "name", "score"]);
+        assert_eq!(r.rows.len(), 4);
+        assert_eq!(r.rows[0][1], Value::Text("alice".into()));
+    }
+
+    #[test]
+    fn where_filter_and_params() {
+        let mut db = setup();
+        seed(&mut db);
+        let r = sql(
+            &mut db,
+            "SELECT id FROM t WHERE name = ? ORDER BY id",
+            &[Value::Text("bob".into())],
+        );
+        let ids: Vec<i64> = r.rows.iter().map(|r| r[0].as_int().unwrap()).collect();
+        assert_eq!(ids, vec![2, 4]);
+    }
+
+    #[test]
+    fn pk_point_lookup_works() {
+        let mut db = setup();
+        seed(&mut db);
+        let r = sql(&mut db, "SELECT name FROM t WHERE id = 3", &[]);
+        assert_eq!(r.rows.len(), 1);
+        assert_eq!(r.rows[0][0], Value::Text("carol".into()));
+        // missing key -> no rows
+        let r = sql(&mut db, "SELECT name FROM t WHERE id = 99", &[]);
+        assert!(r.rows.is_empty());
+    }
+
+    #[test]
+    fn aggregates_group_by_having_order() {
+        let mut db = setup();
+        seed(&mut db);
+        let r = sql(
+            &mut db,
+            "SELECT name, COUNT(*) AS c, SUM(score) AS s FROM t GROUP BY name \
+             HAVING COUNT(*) >= 1 ORDER BY c DESC, name LIMIT 2",
+            &[],
+        );
+        assert_eq!(r.columns, vec!["name", "c", "s"]);
+        assert_eq!(r.rows.len(), 2);
+        assert_eq!(r.rows[0][0], Value::Text("bob".into()));
+        assert_eq!(r.rows[0][1], Value::Int(2));
+        assert_eq!(r.rows[0][2], Value::Float(6.0));
+    }
+
+    #[test]
+    fn global_aggregate_on_empty_table() {
+        let mut db = setup();
+        let r = sql(&mut db, "SELECT COUNT(*), SUM(score), AVG(score), MIN(id), MAX(id) FROM t", &[]);
+        assert_eq!(r.rows.len(), 1);
+        assert_eq!(r.rows[0][0], Value::Int(0));
+        assert!(r.rows[0][1].is_null());
+        assert!(r.rows[0][2].is_null());
+        assert!(r.rows[0][3].is_null());
+    }
+
+    #[test]
+    fn count_ignores_nulls_count_star_does_not() {
+        let mut db = setup();
+        seed(&mut db);
+        let r = sql(&mut db, "SELECT COUNT(*), COUNT(score) FROM t", &[]);
+        assert_eq!(r.rows[0][0], Value::Int(4));
+        assert_eq!(r.rows[0][1], Value::Int(3));
+    }
+
+    #[test]
+    fn update_statement() {
+        let mut db = setup();
+        seed(&mut db);
+        let r = sql(
+            &mut db,
+            "UPDATE t SET score = score + 10 WHERE name = 'bob'",
+            &[],
+        );
+        assert_eq!(r.rows_affected, 2);
+        let r = sql(&mut db, "SELECT SUM(score) FROM t WHERE name = 'bob'", &[]);
+        assert_eq!(r.rows[0][0], Value::Float(26.0));
+    }
+
+    #[test]
+    fn delete_statement() {
+        let mut db = setup();
+        seed(&mut db);
+        let r = sql(&mut db, "DELETE FROM t WHERE score IS NULL", &[]);
+        assert_eq!(r.rows_affected, 1);
+        let r = sql(&mut db, "SELECT COUNT(*) FROM t", &[]);
+        assert_eq!(r.rows[0][0], Value::Int(3));
+    }
+
+    #[test]
+    fn join_execution() {
+        let mut db = setup();
+        seed(&mut db);
+        let s2 = Schema::new(
+            vec![
+                Column::new("tid", DataType::Int),
+                Column::new("tag", DataType::Text),
+            ],
+            &["tid"],
+        )
+        .unwrap();
+        db.create_table("u", s2).unwrap();
+        sql(
+            &mut db,
+            "INSERT INTO u VALUES (1, 'x'), (2, 'y')",
+            &[],
+        );
+        let r = sql(
+            &mut db,
+            "SELECT t.name, u.tag FROM t JOIN u ON t.id = u.tid ORDER BY t.id",
+            &[],
+        );
+        assert_eq!(r.rows.len(), 2);
+        assert_eq!(r.rows[0][1], Value::Text("x".into()));
+    }
+
+    #[test]
+    fn order_by_nulls_first_and_desc() {
+        let mut db = setup();
+        seed(&mut db);
+        let r = sql(&mut db, "SELECT score FROM t ORDER BY score", &[]);
+        assert!(r.rows[0][0].is_null()); // NULL sorts first ascending
+        let r = sql(&mut db, "SELECT score FROM t ORDER BY score DESC", &[]);
+        assert!(r.rows[3][0].is_null());
+    }
+
+    #[test]
+    fn limit_and_scalar_helpers() {
+        let mut db = setup();
+        seed(&mut db);
+        let r = sql(&mut db, "SELECT id FROM t ORDER BY id LIMIT 1", &[]);
+        assert_eq!(r.scalar_i64().unwrap(), 1);
+        let r = sql(&mut db, "SELECT COUNT(*) FROM t", &[]);
+        assert_eq!(r.scalar_i64().unwrap(), 4);
+    }
+
+    #[test]
+    fn insert_select() {
+        let mut db = setup();
+        seed(&mut db);
+        let s2 = Schema::keyless(vec![
+            Column::new("id", DataType::Int),
+            Column::nullable("name", DataType::Text),
+        ])
+        .unwrap();
+        db.create_table("copyt", s2).unwrap();
+        let r = sql(
+            &mut db,
+            "INSERT INTO copyt SELECT id, name FROM t WHERE score > 2.0",
+            &[],
+        );
+        assert_eq!(r.rows_affected, 2);
+    }
+
+    #[test]
+    fn insert_partial_columns_gives_null() {
+        let mut db = setup();
+        sql(&mut db, "INSERT INTO t (id, name) VALUES (9, 'zed')", &[]);
+        let r = sql(&mut db, "SELECT score FROM t WHERE id = 9", &[]);
+        assert!(r.rows[0][0].is_null());
+    }
+
+    #[test]
+    fn pk_violation_surfaces() {
+        let mut db = setup();
+        seed(&mut db);
+        let e = sql_err(&mut db, "INSERT INTO t VALUES (1, 'dup', NULL)");
+        assert_eq!(e.kind(), "constraint");
+    }
+
+    #[test]
+    fn tableless_select() {
+        let mut db = setup();
+        let r = sql(&mut db, "SELECT 1 + 2 AS three, 'x'", &[]);
+        assert_eq!(r.rows, vec![vec![Value::Int(3), Value::Text("x".into())]]);
+        assert_eq!(r.columns[0], "three");
+    }
+
+    #[test]
+    fn update_with_halloween_protection() {
+        // UPDATE that would re-match its own output must not loop.
+        let mut db = setup();
+        seed(&mut db);
+        let r = sql(&mut db, "UPDATE t SET score = 100.0 WHERE score < 100.0", &[]);
+        assert_eq!(r.rows_affected, 3);
+    }
+
+    #[test]
+    fn secondary_index_point_lookup() {
+        let mut db = setup();
+        seed(&mut db);
+        let t = db.resolve("t").unwrap();
+        db.table_mut(t)
+            .unwrap()
+            .create_index(sstore_storage::IndexDef {
+                name: "by_name".into(),
+                key_cols: vec![1],
+                unique: false,
+                ordered: false,
+            })
+            .unwrap();
+        let r = sql(
+            &mut db,
+            "SELECT id FROM t WHERE name = 'bob' ORDER BY id",
+            &[],
+        );
+        assert_eq!(r.rows.len(), 2);
+    }
+
+    #[test]
+    fn ddl_through_executor_rejected() {
+        let mut db = setup();
+        let e = sql_err(&mut db, "CREATE TABLE q (a INT)");
+        assert_eq!(e.kind(), "txn");
+    }
+
+    #[test]
+    fn avg_computation() {
+        let mut db = setup();
+        seed(&mut db);
+        let r = sql(&mut db, "SELECT AVG(score) FROM t", &[]);
+        assert_eq!(r.rows[0][0], Value::Float(3.0));
+    }
+}

@@ -1,0 +1,648 @@
+//! Bound expressions and their evaluation.
+//!
+//! The planner resolves AST expressions ([`crate::ast::Expr`]) into
+//! [`BoundExpr`]s whose column references are positional offsets into the
+//! executor's row layout, so evaluation is allocation-light and needs no
+//! name lookups.
+
+use crate::ast::{BinOp, UnaryOp};
+use sstore_common::{Error, Result, Value};
+
+/// A name-resolved expression, ready for evaluation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BoundExpr {
+    /// Constant.
+    Literal(Value),
+    /// Positional statement parameter.
+    Param(usize),
+    /// Offset into the current row.
+    ColumnRef(usize),
+    /// Unary op.
+    Unary {
+        /// Operator.
+        op: UnaryOp,
+        /// Operand.
+        expr: Box<BoundExpr>,
+    },
+    /// Binary op.
+    Binary {
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        left: Box<BoundExpr>,
+        /// Right operand.
+        right: Box<BoundExpr>,
+    },
+    /// `IS [NOT] NULL`.
+    IsNull {
+        /// Operand.
+        expr: Box<BoundExpr>,
+        /// Negation flag.
+        negated: bool,
+    },
+    /// `[NOT] IN (list)`.
+    InList {
+        /// Test expression.
+        expr: Box<BoundExpr>,
+        /// Candidates.
+        list: Vec<BoundExpr>,
+        /// Negation flag.
+        negated: bool,
+    },
+    /// `[NOT] BETWEEN`.
+    Between {
+        /// Test expression.
+        expr: Box<BoundExpr>,
+        /// Lower bound.
+        lo: Box<BoundExpr>,
+        /// Upper bound.
+        hi: Box<BoundExpr>,
+        /// Negation flag.
+        negated: bool,
+    },
+    /// Scalar function call.
+    Scalar {
+        /// Which function.
+        func: ScalarFn,
+        /// Arguments.
+        args: Vec<BoundExpr>,
+    },
+    /// Reference to a pre-evaluated uncorrelated scalar subquery (slot in
+    /// [`EvalEnv::subs`]). The executor evaluates the statement's subquery
+    /// plans once, in slot order, before running the main plan.
+    SubqueryRef(usize),
+}
+
+/// Supported scalar functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScalarFn {
+    /// `ABS(x)`
+    Abs,
+    /// `SQRT(x)`
+    Sqrt,
+    /// `FLOOR(x)`
+    Floor,
+    /// `CEIL(x)`
+    Ceil,
+    /// `POWER(x, y)`
+    Power,
+    /// `LENGTH(s)`
+    Length,
+    /// `LOWER(s)`
+    Lower,
+    /// `UPPER(s)`
+    Upper,
+    /// `COALESCE(a, b, ...)` — first non-NULL argument.
+    Coalesce,
+    /// `NOW()` — current logical time; substituted by the planner with the
+    /// statement's evaluation timestamp parameter, but kept as a function
+    /// for direct evaluation too (arg 0 = timestamp injected by executor).
+    Now,
+}
+
+impl ScalarFn {
+    /// Resolve a lower-cased function name.
+    pub fn by_name(name: &str) -> Option<ScalarFn> {
+        Some(match name {
+            "abs" => ScalarFn::Abs,
+            "sqrt" => ScalarFn::Sqrt,
+            "floor" => ScalarFn::Floor,
+            "ceil" | "ceiling" => ScalarFn::Ceil,
+            "power" | "pow" => ScalarFn::Power,
+            "length" | "len" => ScalarFn::Length,
+            "lower" => ScalarFn::Lower,
+            "upper" => ScalarFn::Upper,
+            "coalesce" => ScalarFn::Coalesce,
+            "now" => ScalarFn::Now,
+            _ => return None,
+        })
+    }
+
+    /// Expected argument count (`None` = variadic).
+    pub fn arity(self) -> Option<usize> {
+        match self {
+            ScalarFn::Power => Some(2),
+            ScalarFn::Coalesce => None,
+            ScalarFn::Now => Some(0),
+            _ => Some(1),
+        }
+    }
+}
+
+/// Everything evaluation needs besides the expression itself.
+#[derive(Debug, Clone, Copy)]
+pub struct EvalEnv<'a> {
+    /// Statement parameters (`?` placeholders).
+    pub params: &'a [Value],
+    /// Logical time at statement start (for `NOW()`).
+    pub now: i64,
+    /// Pre-evaluated scalar subquery results, by slot.
+    pub subs: &'a [Value],
+}
+
+impl<'a> EvalEnv<'a> {
+    /// Environment with no parameters.
+    pub fn empty() -> EvalEnv<'static> {
+        EvalEnv {
+            params: &[],
+            now: 0,
+            subs: &[],
+        }
+    }
+}
+
+/// Evaluate `expr` against `row`.
+pub fn eval(expr: &BoundExpr, row: &[Value], env: &EvalEnv<'_>) -> Result<Value> {
+    match expr {
+        BoundExpr::Literal(v) => Ok(v.clone()),
+        BoundExpr::Param(i) => env
+            .params
+            .get(*i)
+            .cloned()
+            .ok_or_else(|| Error::Constraint(format!("missing parameter ?{i}"))),
+        BoundExpr::ColumnRef(i) => row
+            .get(*i)
+            .cloned()
+            .ok_or_else(|| Error::Internal(format!("column offset {i} out of range"))),
+        BoundExpr::Unary { op, expr } => {
+            let v = eval(expr, row, env)?;
+            eval_unary(*op, v)
+        }
+        BoundExpr::Binary { op, left, right } => eval_binary(*op, left, right, row, env),
+        BoundExpr::IsNull { expr, negated } => {
+            let v = eval(expr, row, env)?;
+            Ok(Value::Bool(v.is_null() != *negated))
+        }
+        BoundExpr::InList {
+            expr,
+            list,
+            negated,
+        } => {
+            let v = eval(expr, row, env)?;
+            if v.is_null() {
+                return Ok(Value::Null);
+            }
+            let mut saw_null = false;
+            for item in list {
+                let cand = eval(item, row, env)?;
+                match v.sql_eq(&cand) {
+                    Some(true) => return Ok(Value::Bool(!*negated)),
+                    Some(false) => {}
+                    None => saw_null = true,
+                }
+            }
+            if saw_null {
+                Ok(Value::Null)
+            } else {
+                Ok(Value::Bool(*negated))
+            }
+        }
+        BoundExpr::Between {
+            expr,
+            lo,
+            hi,
+            negated,
+        } => {
+            let v = eval(expr, row, env)?;
+            let lo = eval(lo, row, env)?;
+            let hi = eval(hi, row, env)?;
+            let ge_lo = v.sql_cmp(&lo).map(|o| o != std::cmp::Ordering::Less);
+            let le_hi = v.sql_cmp(&hi).map(|o| o != std::cmp::Ordering::Greater);
+            match (ge_lo, le_hi) {
+                (Some(a), Some(b)) => Ok(Value::Bool((a && b) != *negated)),
+                _ => Ok(Value::Null),
+            }
+        }
+        BoundExpr::SubqueryRef(i) => env
+            .subs
+            .get(*i)
+            .cloned()
+            .ok_or_else(|| Error::Internal(format!("missing subquery slot {i}"))),
+        BoundExpr::Scalar { func, args } => {
+            if *func == ScalarFn::Now {
+                return Ok(Value::Timestamp(env.now));
+            }
+            let vals: Vec<Value> = args
+                .iter()
+                .map(|a| eval(a, row, env))
+                .collect::<Result<_>>()?;
+            eval_scalar(*func, vals)
+        }
+    }
+}
+
+/// Evaluate a predicate: NULL counts as false (SQL WHERE semantics).
+pub fn eval_pred(expr: &BoundExpr, row: &[Value], env: &EvalEnv<'_>) -> Result<bool> {
+    match eval(expr, row, env)? {
+        Value::Bool(b) => Ok(b),
+        Value::Null => Ok(false),
+        other => Err(Error::TypeMismatch(format!(
+            "predicate evaluated to non-boolean {other}"
+        ))),
+    }
+}
+
+fn eval_unary(op: UnaryOp, v: Value) -> Result<Value> {
+    match op {
+        UnaryOp::Neg => match v {
+            Value::Null => Ok(Value::Null),
+            Value::Int(i) => i
+                .checked_neg()
+                .map(Value::Int)
+                .ok_or_else(|| Error::Constraint("integer overflow in negation".into())),
+            Value::Float(f) => Ok(Value::Float(-f)),
+            other => Err(Error::TypeMismatch(format!("cannot negate {other}"))),
+        },
+        UnaryOp::Not => match v {
+            Value::Null => Ok(Value::Null),
+            Value::Bool(b) => Ok(Value::Bool(!b)),
+            other => Err(Error::TypeMismatch(format!("NOT applied to {other}"))),
+        },
+    }
+}
+
+fn eval_binary(
+    op: BinOp,
+    left: &BoundExpr,
+    right: &BoundExpr,
+    row: &[Value],
+    env: &EvalEnv<'_>,
+) -> Result<Value> {
+    // AND/OR get short-circuit + three-valued logic.
+    match op {
+        BinOp::And => {
+            let l = eval(left, row, env)?;
+            match l {
+                Value::Bool(false) => return Ok(Value::Bool(false)),
+                Value::Bool(true) | Value::Null => {}
+                other => {
+                    return Err(Error::TypeMismatch(format!("AND applied to {other}")));
+                }
+            }
+            let r = eval(right, row, env)?;
+            return match (l, r) {
+                (_, Value::Bool(false)) => Ok(Value::Bool(false)),
+                (Value::Null, _) | (_, Value::Null) => Ok(Value::Null),
+                (Value::Bool(a), Value::Bool(b)) => Ok(Value::Bool(a && b)),
+                (_, other) => Err(Error::TypeMismatch(format!("AND applied to {other}"))),
+            };
+        }
+        BinOp::Or => {
+            let l = eval(left, row, env)?;
+            match l {
+                Value::Bool(true) => return Ok(Value::Bool(true)),
+                Value::Bool(false) | Value::Null => {}
+                other => {
+                    return Err(Error::TypeMismatch(format!("OR applied to {other}")));
+                }
+            }
+            let r = eval(right, row, env)?;
+            return match (l, r) {
+                (_, Value::Bool(true)) => Ok(Value::Bool(true)),
+                (Value::Null, _) | (_, Value::Null) => Ok(Value::Null),
+                (Value::Bool(a), Value::Bool(b)) => Ok(Value::Bool(a || b)),
+                (_, other) => Err(Error::TypeMismatch(format!("OR applied to {other}"))),
+            };
+        }
+        _ => {}
+    }
+
+    let l = eval(left, row, env)?;
+    let r = eval(right, row, env)?;
+    match op {
+        BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div | BinOp::Mod => arith(op, l, r),
+        BinOp::Eq => Ok(tri(l.sql_eq(&r))),
+        BinOp::Neq => Ok(tri(l.sql_eq(&r).map(|b| !b))),
+        BinOp::Lt => Ok(tri(l.sql_cmp(&r).map(|o| o == std::cmp::Ordering::Less))),
+        BinOp::Le => Ok(tri(l.sql_cmp(&r).map(|o| o != std::cmp::Ordering::Greater))),
+        BinOp::Gt => Ok(tri(l.sql_cmp(&r).map(|o| o == std::cmp::Ordering::Greater))),
+        BinOp::Ge => Ok(tri(l.sql_cmp(&r).map(|o| o != std::cmp::Ordering::Less))),
+        BinOp::And | BinOp::Or => unreachable!("handled above"),
+    }
+}
+
+fn tri(b: Option<bool>) -> Value {
+    match b {
+        Some(b) => Value::Bool(b),
+        None => Value::Null,
+    }
+}
+
+fn arith(op: BinOp, l: Value, r: Value) -> Result<Value> {
+    if l.is_null() || r.is_null() {
+        return Ok(Value::Null);
+    }
+    // Timestamp arithmetic behaves like Int.
+    let as_int = |v: &Value| match v {
+        Value::Int(i) | Value::Timestamp(i) => Some(*i),
+        _ => None,
+    };
+    match (as_int(&l), as_int(&r)) {
+        (Some(a), Some(b)) => {
+            let out = match op {
+                BinOp::Add => a.checked_add(b),
+                BinOp::Sub => a.checked_sub(b),
+                BinOp::Mul => a.checked_mul(b),
+                BinOp::Div => {
+                    if b == 0 {
+                        return Err(Error::Constraint("division by zero".into()));
+                    }
+                    a.checked_div(b)
+                }
+                BinOp::Mod => {
+                    if b == 0 {
+                        return Err(Error::Constraint("modulo by zero".into()));
+                    }
+                    a.checked_rem(b)
+                }
+                _ => unreachable!(),
+            };
+            out.map(Value::Int)
+                .ok_or_else(|| Error::Constraint("integer overflow".into()))
+        }
+        _ => {
+            let a = l.as_float()?;
+            let b = r.as_float()?;
+            let out = match op {
+                BinOp::Add => a + b,
+                BinOp::Sub => a - b,
+                BinOp::Mul => a * b,
+                BinOp::Div => {
+                    if b == 0.0 {
+                        return Err(Error::Constraint("division by zero".into()));
+                    }
+                    a / b
+                }
+                BinOp::Mod => a % b,
+                _ => unreachable!(),
+            };
+            Ok(Value::Float(out))
+        }
+    }
+}
+
+fn eval_scalar(func: ScalarFn, mut vals: Vec<Value>) -> Result<Value> {
+    if let Some(expected) = func.arity() {
+        if vals.len() != expected {
+            return Err(Error::Constraint(format!(
+                "{func:?} expects {expected} argument(s), got {}",
+                vals.len()
+            )));
+        }
+    }
+    match func {
+        ScalarFn::Coalesce => Ok(vals
+            .into_iter()
+            .find(|v| !v.is_null())
+            .unwrap_or(Value::Null)),
+        ScalarFn::Abs => match vals.pop().unwrap() {
+            Value::Null => Ok(Value::Null),
+            Value::Int(i) => Ok(Value::Int(i.abs())),
+            Value::Float(f) => Ok(Value::Float(f.abs())),
+            other => Err(Error::TypeMismatch(format!("ABS of {other}"))),
+        },
+        ScalarFn::Sqrt => {
+            let v = vals.pop().unwrap();
+            if v.is_null() {
+                return Ok(Value::Null);
+            }
+            let f = v.as_float()?;
+            if f < 0.0 {
+                return Err(Error::Constraint("SQRT of negative value".into()));
+            }
+            Ok(Value::Float(f.sqrt()))
+        }
+        ScalarFn::Floor => {
+            let v = vals.pop().unwrap();
+            if v.is_null() {
+                return Ok(Value::Null);
+            }
+            Ok(Value::Int(v.as_float()?.floor() as i64))
+        }
+        ScalarFn::Ceil => {
+            let v = vals.pop().unwrap();
+            if v.is_null() {
+                return Ok(Value::Null);
+            }
+            Ok(Value::Int(v.as_float()?.ceil() as i64))
+        }
+        ScalarFn::Power => {
+            let y = vals.pop().unwrap();
+            let x = vals.pop().unwrap();
+            if x.is_null() || y.is_null() {
+                return Ok(Value::Null);
+            }
+            Ok(Value::Float(x.as_float()?.powf(y.as_float()?)))
+        }
+        ScalarFn::Length => match vals.pop().unwrap() {
+            Value::Null => Ok(Value::Null),
+            Value::Text(s) => Ok(Value::Int(s.chars().count() as i64)),
+            other => Err(Error::TypeMismatch(format!("LENGTH of {other}"))),
+        },
+        ScalarFn::Lower => match vals.pop().unwrap() {
+            Value::Null => Ok(Value::Null),
+            Value::Text(s) => Ok(Value::Text(s.to_lowercase())),
+            other => Err(Error::TypeMismatch(format!("LOWER of {other}"))),
+        },
+        ScalarFn::Upper => match vals.pop().unwrap() {
+            Value::Null => Ok(Value::Null),
+            Value::Text(s) => Ok(Value::Text(s.to_uppercase())),
+            other => Err(Error::TypeMismatch(format!("UPPER of {other}"))),
+        },
+        ScalarFn::Now => unreachable!("handled in eval"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lit(v: impl Into<Value>) -> BoundExpr {
+        BoundExpr::Literal(v.into())
+    }
+
+    fn bin(op: BinOp, l: BoundExpr, r: BoundExpr) -> BoundExpr {
+        BoundExpr::Binary {
+            op,
+            left: Box::new(l),
+            right: Box::new(r),
+        }
+    }
+
+    fn ev(e: &BoundExpr) -> Value {
+        eval(e, &[], &EvalEnv::empty()).unwrap()
+    }
+
+    #[test]
+    fn integer_arithmetic() {
+        assert_eq!(ev(&bin(BinOp::Add, lit(2), lit(3))), Value::Int(5));
+        assert_eq!(ev(&bin(BinOp::Div, lit(7), lit(2))), Value::Int(3));
+        assert_eq!(ev(&bin(BinOp::Mod, lit(7), lit(2))), Value::Int(1));
+    }
+
+    #[test]
+    fn mixed_arithmetic_is_float() {
+        assert_eq!(ev(&bin(BinOp::Mul, lit(2), lit(1.5))), Value::Float(3.0));
+    }
+
+    #[test]
+    fn division_by_zero_errors() {
+        let e = bin(BinOp::Div, lit(1), lit(0));
+        assert!(eval(&e, &[], &EvalEnv::empty()).is_err());
+        let e = bin(BinOp::Mod, lit(1), lit(0));
+        assert!(eval(&e, &[], &EvalEnv::empty()).is_err());
+    }
+
+    #[test]
+    fn overflow_is_an_error_not_a_panic() {
+        let e = bin(BinOp::Add, lit(i64::MAX), lit(1));
+        assert_eq!(eval(&e, &[], &EvalEnv::empty()).unwrap_err().kind(), "constraint");
+    }
+
+    #[test]
+    fn null_propagates_through_arithmetic() {
+        assert_eq!(
+            ev(&bin(BinOp::Add, lit(1), BoundExpr::Literal(Value::Null))),
+            Value::Null
+        );
+    }
+
+    #[test]
+    fn three_valued_and_or() {
+        let null = BoundExpr::Literal(Value::Null);
+        // false AND NULL = false; true AND NULL = NULL
+        assert_eq!(ev(&bin(BinOp::And, lit(false), null.clone())), Value::Bool(false));
+        assert_eq!(ev(&bin(BinOp::And, lit(true), null.clone())), Value::Null);
+        // true OR NULL = true; false OR NULL = NULL
+        assert_eq!(ev(&bin(BinOp::Or, lit(true), null.clone())), Value::Bool(true));
+        assert_eq!(ev(&bin(BinOp::Or, lit(false), null)), Value::Null);
+    }
+
+    #[test]
+    fn comparisons() {
+        assert_eq!(ev(&bin(BinOp::Lt, lit(1), lit(2))), Value::Bool(true));
+        assert_eq!(ev(&bin(BinOp::Ge, lit(2), lit(2))), Value::Bool(true));
+        assert_eq!(
+            ev(&bin(BinOp::Eq, lit("a"), lit("a"))),
+            Value::Bool(true)
+        );
+        assert_eq!(
+            ev(&bin(BinOp::Neq, lit(1), BoundExpr::Literal(Value::Null))),
+            Value::Null
+        );
+    }
+
+    #[test]
+    fn in_list_with_nulls() {
+        let e = BoundExpr::InList {
+            expr: Box::new(lit(3)),
+            list: vec![lit(1), BoundExpr::Literal(Value::Null)],
+            negated: false,
+        };
+        // not found but NULL present -> NULL
+        assert_eq!(ev(&e), Value::Null);
+        let e = BoundExpr::InList {
+            expr: Box::new(lit(1)),
+            list: vec![lit(1), BoundExpr::Literal(Value::Null)],
+            negated: false,
+        };
+        assert_eq!(ev(&e), Value::Bool(true));
+    }
+
+    #[test]
+    fn between() {
+        let e = BoundExpr::Between {
+            expr: Box::new(lit(5)),
+            lo: Box::new(lit(1)),
+            hi: Box::new(lit(10)),
+            negated: false,
+        };
+        assert_eq!(ev(&e), Value::Bool(true));
+        let e = BoundExpr::Between {
+            expr: Box::new(lit(5)),
+            lo: Box::new(lit(6)),
+            hi: Box::new(lit(10)),
+            negated: true,
+        };
+        assert_eq!(ev(&e), Value::Bool(true));
+    }
+
+    #[test]
+    fn column_and_param_refs() {
+        let row = vec![Value::Int(10), Value::Text("x".into())];
+        let env = EvalEnv {
+            params: &[Value::Int(99)],
+            now: 0,
+            subs: &[],
+        };
+        assert_eq!(
+            eval(&BoundExpr::ColumnRef(1), &row, &env).unwrap(),
+            Value::Text("x".into())
+        );
+        assert_eq!(
+            eval(&BoundExpr::Param(0), &row, &env).unwrap(),
+            Value::Int(99)
+        );
+        assert!(eval(&BoundExpr::Param(1), &row, &env).is_err());
+    }
+
+    #[test]
+    fn scalar_functions() {
+        let call = |f, args| BoundExpr::Scalar { func: f, args };
+        assert_eq!(ev(&call(ScalarFn::Abs, vec![lit(-4)])), Value::Int(4));
+        assert_eq!(ev(&call(ScalarFn::Sqrt, vec![lit(9.0)])), Value::Float(3.0));
+        assert_eq!(ev(&call(ScalarFn::Floor, vec![lit(2.7)])), Value::Int(2));
+        assert_eq!(ev(&call(ScalarFn::Ceil, vec![lit(2.1)])), Value::Int(3));
+        assert_eq!(
+            ev(&call(ScalarFn::Power, vec![lit(2.0), lit(10.0)])),
+            Value::Float(1024.0)
+        );
+        assert_eq!(ev(&call(ScalarFn::Length, vec![lit("héllo")])), Value::Int(5));
+        assert_eq!(
+            ev(&call(ScalarFn::Upper, vec![lit("ab")])),
+            Value::Text("AB".into())
+        );
+        assert_eq!(
+            ev(&call(
+                ScalarFn::Coalesce,
+                vec![BoundExpr::Literal(Value::Null), lit(7)]
+            )),
+            Value::Int(7)
+        );
+    }
+
+    #[test]
+    fn now_uses_env() {
+        let env = EvalEnv {
+            params: &[],
+            now: 1234,
+            subs: &[],
+        };
+        let e = BoundExpr::Scalar {
+            func: ScalarFn::Now,
+            args: vec![],
+        };
+        assert_eq!(eval(&e, &[], &env).unwrap(), Value::Timestamp(1234));
+    }
+
+    #[test]
+    fn pred_null_is_false() {
+        assert!(!eval_pred(&BoundExpr::Literal(Value::Null), &[], &EvalEnv::empty()).unwrap());
+        assert!(eval_pred(&lit(true), &[], &EvalEnv::empty()).unwrap());
+        assert!(eval_pred(&lit(1), &[], &EvalEnv::empty()).is_err());
+    }
+
+    #[test]
+    fn is_null_checks() {
+        let e = BoundExpr::IsNull {
+            expr: Box::new(BoundExpr::Literal(Value::Null)),
+            negated: false,
+        };
+        assert_eq!(ev(&e), Value::Bool(true));
+        let e = BoundExpr::IsNull {
+            expr: Box::new(lit(1)),
+            negated: true,
+        };
+        assert_eq!(ev(&e), Value::Bool(true));
+    }
+}

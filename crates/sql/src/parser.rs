@@ -1,0 +1,997 @@
+//! Recursive-descent parser for the S-Store SQL subset.
+
+use crate::ast::*;
+use crate::lexer::{tokenize, Token};
+use sstore_common::{DataType, Error, Result, Value};
+
+/// Parse one SQL statement (a trailing `;` is allowed).
+pub fn parse(sql: &str) -> Result<Stmt> {
+    let tokens = tokenize(sql)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let stmt = p.statement()?;
+    p.eat_optional_semi();
+    if !p.at_end() {
+        return Err(Error::Parse(format!(
+            "trailing tokens after statement: {:?}",
+            p.peek()
+        )));
+    }
+    Ok(stmt)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn peek2(&self) -> Option<&Token> {
+        self.tokens.get(self.pos + 1)
+    }
+
+    fn next(&mut self) -> Result<Token> {
+        let t = self
+            .tokens
+            .get(self.pos)
+            .cloned()
+            .ok_or_else(|| Error::Parse("unexpected end of input".into()))?;
+        self.pos += 1;
+        Ok(t)
+    }
+
+    fn eat(&mut self, t: &Token) -> bool {
+        if self.peek() == Some(t) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, t: &Token) -> Result<()> {
+        if self.eat(t) {
+            Ok(())
+        } else {
+            Err(Error::Parse(format!(
+                "expected {t:?}, found {:?}",
+                self.peek()
+            )))
+        }
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if self.peek().is_some_and(|t| t.is_kw(kw)) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<()> {
+        if self.eat_kw(kw) {
+            Ok(())
+        } else {
+            Err(Error::Parse(format!(
+                "expected `{kw}`, found {:?}",
+                self.peek()
+            )))
+        }
+    }
+
+    fn peek_kw(&self, kw: &str) -> bool {
+        self.peek().is_some_and(|t| t.is_kw(kw))
+    }
+
+    fn ident(&mut self) -> Result<String> {
+        match self.next()? {
+            Token::Ident(s) => Ok(s),
+            other => Err(Error::Parse(format!("expected identifier, found {other:?}"))),
+        }
+    }
+
+    fn eat_optional_semi(&mut self) {
+        while self.eat(&Token::Semi) {}
+    }
+
+    fn statement(&mut self) -> Result<Stmt> {
+        if self.peek_kw("select") {
+            Ok(Stmt::Select(self.select()?))
+        } else if self.peek_kw("insert") {
+            self.insert()
+        } else if self.peek_kw("update") {
+            self.update()
+        } else if self.peek_kw("delete") {
+            self.delete()
+        } else if self.peek_kw("create") {
+            self.create()
+        } else {
+            Err(Error::Parse(format!(
+                "expected a statement, found {:?}",
+                self.peek()
+            )))
+        }
+    }
+
+    // ---- SELECT ---------------------------------------------------------
+
+    fn select(&mut self) -> Result<Select> {
+        self.expect_kw("select")?;
+        let distinct = self.eat_kw("distinct");
+        let mut items = Vec::new();
+        loop {
+            if self.eat(&Token::Star) {
+                items.push(SelectItem::Star);
+            } else {
+                let expr = self.expr()?;
+                let alias = if self.eat_kw("as") {
+                    Some(self.ident()?)
+                } else {
+                    None
+                };
+                items.push(SelectItem::Expr { expr, alias });
+            }
+            if !self.eat(&Token::Comma) {
+                break;
+            }
+        }
+        let from = if self.eat_kw("from") {
+            Some(self.parse_from_clause()?)
+        } else {
+            None
+        };
+        let where_pred = if self.eat_kw("where") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        let mut group_by = Vec::new();
+        if self.eat_kw("group") {
+            self.expect_kw("by")?;
+            loop {
+                group_by.push(self.expr()?);
+                if !self.eat(&Token::Comma) {
+                    break;
+                }
+            }
+        }
+        let having = if self.eat_kw("having") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        let mut order_by = Vec::new();
+        if self.eat_kw("order") {
+            self.expect_kw("by")?;
+            loop {
+                let expr = self.expr()?;
+                let desc = if self.eat_kw("desc") {
+                    true
+                } else {
+                    self.eat_kw("asc");
+                    false
+                };
+                order_by.push(OrderKey { expr, desc });
+                if !self.eat(&Token::Comma) {
+                    break;
+                }
+            }
+        }
+        let limit = if self.eat_kw("limit") {
+            match self.next()? {
+                Token::Int(n) if n >= 0 => Some(n as u64),
+                other => return Err(Error::Parse(format!("bad LIMIT value {other:?}"))),
+            }
+        } else {
+            None
+        };
+        Ok(Select {
+            distinct,
+            items,
+            from,
+            where_pred,
+            group_by,
+            having,
+            order_by,
+            limit,
+        })
+    }
+
+    fn parse_from_clause(&mut self) -> Result<FromClause> {
+        let base = self.table_ref()?;
+        let mut joins = Vec::new();
+        loop {
+            // Support `JOIN`, `INNER JOIN`, and comma joins with WHERE.
+            if self.eat_kw("inner") {
+                self.expect_kw("join")?;
+            } else if !self.eat_kw("join") {
+                if self.eat(&Token::Comma) {
+                    // comma join: ON predicate folded into WHERE by planner;
+                    // represent as a TRUE join condition here.
+                    let t = self.table_ref()?;
+                    joins.push((t, Expr::Literal(Value::Bool(true))));
+                    continue;
+                }
+                break;
+            }
+            let t = self.table_ref()?;
+            self.expect_kw("on")?;
+            let on = self.expr()?;
+            joins.push((t, on));
+        }
+        Ok(FromClause { base, joins })
+    }
+
+    fn table_ref(&mut self) -> Result<TableRef> {
+        let name = self.ident()?;
+        let alias = if self.eat_kw("as") {
+            Some(self.ident()?)
+        } else if let Some(Token::Ident(s)) = self.peek() {
+            // Bare alias, unless it's a clause keyword.
+            const CLAUSE_KWS: &[&str] = &[
+                "where", "group", "having", "order", "limit", "join", "inner", "on", "set",
+                "values",
+            ];
+            if CLAUSE_KWS.iter().any(|k| s.eq_ignore_ascii_case(k)) {
+                None
+            } else {
+                Some(self.ident()?)
+            }
+        } else {
+            None
+        };
+        Ok(TableRef { name, alias })
+    }
+
+    // ---- INSERT / UPDATE / DELETE ---------------------------------------
+
+    fn insert(&mut self) -> Result<Stmt> {
+        self.expect_kw("insert")?;
+        self.expect_kw("into")?;
+        let table = self.ident()?;
+        let mut columns = Vec::new();
+        if self.eat(&Token::LParen) {
+            loop {
+                columns.push(self.ident()?);
+                if !self.eat(&Token::Comma) {
+                    break;
+                }
+            }
+            self.expect(&Token::RParen)?;
+        }
+        let source = if self.eat_kw("values") {
+            let mut rows = Vec::new();
+            loop {
+                self.expect(&Token::LParen)?;
+                let mut row = Vec::new();
+                loop {
+                    row.push(self.expr()?);
+                    if !self.eat(&Token::Comma) {
+                        break;
+                    }
+                }
+                self.expect(&Token::RParen)?;
+                rows.push(row);
+                if !self.eat(&Token::Comma) {
+                    break;
+                }
+            }
+            InsertSource::Values(rows)
+        } else if self.peek_kw("select") {
+            InsertSource::Select(Box::new(self.select()?))
+        } else {
+            return Err(Error::Parse(format!(
+                "expected VALUES or SELECT, found {:?}",
+                self.peek()
+            )));
+        };
+        Ok(Stmt::Insert(Insert {
+            table,
+            columns,
+            source,
+        }))
+    }
+
+    fn update(&mut self) -> Result<Stmt> {
+        self.expect_kw("update")?;
+        let table = self.ident()?;
+        self.expect_kw("set")?;
+        let mut sets = Vec::new();
+        loop {
+            let col = self.ident()?;
+            self.expect(&Token::Eq)?;
+            let e = self.expr()?;
+            sets.push((col, e));
+            if !self.eat(&Token::Comma) {
+                break;
+            }
+        }
+        let where_pred = if self.eat_kw("where") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        Ok(Stmt::Update(Update {
+            table,
+            sets,
+            where_pred,
+        }))
+    }
+
+    fn delete(&mut self) -> Result<Stmt> {
+        self.expect_kw("delete")?;
+        self.expect_kw("from")?;
+        let table = self.ident()?;
+        let where_pred = if self.eat_kw("where") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        Ok(Stmt::Delete(Delete { table, where_pred }))
+    }
+
+    // ---- CREATE ----------------------------------------------------------
+
+    fn create(&mut self) -> Result<Stmt> {
+        self.expect_kw("create")?;
+        if self.eat_kw("table") {
+            let name = self.ident()?;
+            let (columns, primary_key) = self.column_defs(true)?;
+            Ok(Stmt::CreateTable(CreateTable {
+                name,
+                columns,
+                primary_key,
+            }))
+        } else if self.eat_kw("stream") {
+            let name = self.ident()?;
+            let (columns, pk) = self.column_defs(false)?;
+            debug_assert!(pk.is_empty());
+            Ok(Stmt::CreateStream(CreateStream { name, columns }))
+        } else if self.eat_kw("window") {
+            let name = self.ident()?;
+            let (columns, pk) = self.column_defs(false)?;
+            debug_assert!(pk.is_empty());
+            let tuple_based = if self.eat_kw("rows") {
+                true
+            } else if self.eat_kw("range") {
+                false
+            } else {
+                return Err(Error::Parse(format!(
+                    "expected ROWS or RANGE, found {:?}",
+                    self.peek()
+                )));
+            };
+            let size = self.int_literal()?;
+            self.expect_kw("slide")?;
+            let slide = self.int_literal()?;
+            if size <= 0 || slide <= 0 {
+                return Err(Error::Parse(
+                    "window size and slide must be positive".into(),
+                ));
+            }
+            Ok(Stmt::CreateWindow(CreateWindow {
+                name,
+                columns,
+                tuple_based,
+                size,
+                slide,
+            }))
+        } else {
+            Err(Error::Parse(format!(
+                "expected TABLE, STREAM, or WINDOW, found {:?}",
+                self.peek()
+            )))
+        }
+    }
+
+    fn int_literal(&mut self) -> Result<i64> {
+        match self.next()? {
+            Token::Int(n) => Ok(n),
+            other => Err(Error::Parse(format!("expected integer, found {other:?}"))),
+        }
+    }
+
+    fn column_defs(&mut self, allow_pk: bool) -> Result<(Vec<ColumnDef>, Vec<String>)> {
+        self.expect(&Token::LParen)?;
+        let mut cols = Vec::new();
+        let mut pk = Vec::new();
+        loop {
+            if allow_pk && self.eat_kw("primary") {
+                self.expect_kw("key")?;
+                self.expect(&Token::LParen)?;
+                loop {
+                    pk.push(self.ident()?);
+                    if !self.eat(&Token::Comma) {
+                        break;
+                    }
+                }
+                self.expect(&Token::RParen)?;
+            } else {
+                let name = self.ident()?;
+                let ty = self.data_type()?;
+                let mut nullable = true;
+                if self.eat_kw("not") {
+                    self.expect_kw("null")?;
+                    nullable = false;
+                } else if self.eat_kw("null") {
+                    nullable = true;
+                }
+                cols.push(ColumnDef { name, ty, nullable });
+            }
+            if !self.eat(&Token::Comma) {
+                break;
+            }
+        }
+        self.expect(&Token::RParen)?;
+        Ok((cols, pk))
+    }
+
+    fn data_type(&mut self) -> Result<DataType> {
+        let name = self.ident()?;
+        let ty = match name.to_ascii_lowercase().as_str() {
+            "int" | "integer" | "bigint" | "smallint" | "tinyint" => DataType::Int,
+            "float" | "double" | "real" | "decimal" => DataType::Float,
+            "varchar" | "text" | "char" | "string" => {
+                // optional length, ignored
+                if self.eat(&Token::LParen) {
+                    self.int_literal()?;
+                    self.expect(&Token::RParen)?;
+                }
+                DataType::Text
+            }
+            "boolean" | "bool" => DataType::Bool,
+            "timestamp" => DataType::Timestamp,
+            other => return Err(Error::Parse(format!("unknown type `{other}`"))),
+        };
+        Ok(ty)
+    }
+
+    // ---- expressions (precedence climbing) -------------------------------
+
+    fn expr(&mut self) -> Result<Expr> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Expr> {
+        let mut left = self.and_expr()?;
+        while self.eat_kw("or") {
+            let right = self.and_expr()?;
+            left = Expr::Binary {
+                op: BinOp::Or,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
+        }
+        Ok(left)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr> {
+        let mut left = self.not_expr()?;
+        while self.eat_kw("and") {
+            let right = self.not_expr()?;
+            left = Expr::Binary {
+                op: BinOp::And,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
+        }
+        Ok(left)
+    }
+
+    fn not_expr(&mut self) -> Result<Expr> {
+        if self.eat_kw("not") {
+            let inner = self.not_expr()?;
+            // Fold `NOT EXISTS (...)` into the Exists node directly.
+            if let Expr::Exists { select, negated } = inner {
+                return Ok(Expr::Exists {
+                    select,
+                    negated: !negated,
+                });
+            }
+            Ok(Expr::Unary {
+                op: UnaryOp::Not,
+                expr: Box::new(inner),
+            })
+        } else {
+            self.comparison()
+        }
+    }
+
+    fn comparison(&mut self) -> Result<Expr> {
+        let left = self.additive()?;
+
+        // IS [NOT] NULL
+        if self.eat_kw("is") {
+            let negated = self.eat_kw("not");
+            self.expect_kw("null")?;
+            return Ok(Expr::IsNull {
+                expr: Box::new(left),
+                negated,
+            });
+        }
+        // [NOT] IN / [NOT] BETWEEN
+        let negated = if self.peek_kw("not")
+            && self
+                .peek2()
+                .is_some_and(|t| t.is_kw("in") || t.is_kw("between"))
+        {
+            self.pos += 1;
+            true
+        } else {
+            false
+        };
+        if self.eat_kw("in") {
+            self.expect(&Token::LParen)?;
+            let mut list = Vec::new();
+            loop {
+                list.push(self.expr()?);
+                if !self.eat(&Token::Comma) {
+                    break;
+                }
+            }
+            self.expect(&Token::RParen)?;
+            return Ok(Expr::InList {
+                expr: Box::new(left),
+                list,
+                negated,
+            });
+        }
+        if self.eat_kw("between") {
+            let lo = self.additive()?;
+            self.expect_kw("and")?;
+            let hi = self.additive()?;
+            return Ok(Expr::Between {
+                expr: Box::new(left),
+                lo: Box::new(lo),
+                hi: Box::new(hi),
+                negated,
+            });
+        }
+        if negated {
+            return Err(Error::Parse("dangling NOT".into()));
+        }
+
+        let op = match self.peek() {
+            Some(Token::Eq) => Some(BinOp::Eq),
+            Some(Token::Neq) => Some(BinOp::Neq),
+            Some(Token::Lt) => Some(BinOp::Lt),
+            Some(Token::Le) => Some(BinOp::Le),
+            Some(Token::Gt) => Some(BinOp::Gt),
+            Some(Token::Ge) => Some(BinOp::Ge),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.pos += 1;
+            let right = self.additive()?;
+            Ok(Expr::Binary {
+                op,
+                left: Box::new(left),
+                right: Box::new(right),
+            })
+        } else {
+            Ok(left)
+        }
+    }
+
+    fn additive(&mut self) -> Result<Expr> {
+        let mut left = self.multiplicative()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Plus) => BinOp::Add,
+                Some(Token::Minus) => BinOp::Sub,
+                _ => break,
+            };
+            self.pos += 1;
+            let right = self.multiplicative()?;
+            left = Expr::Binary {
+                op,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
+        }
+        Ok(left)
+    }
+
+    fn multiplicative(&mut self) -> Result<Expr> {
+        let mut left = self.unary()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Star) => BinOp::Mul,
+                Some(Token::Slash) => BinOp::Div,
+                Some(Token::Percent) => BinOp::Mod,
+                _ => break,
+            };
+            self.pos += 1;
+            let right = self.unary()?;
+            left = Expr::Binary {
+                op,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
+        }
+        Ok(left)
+    }
+
+    fn unary(&mut self) -> Result<Expr> {
+        if self.eat(&Token::Minus) {
+            let inner = self.unary()?;
+            Ok(Expr::Unary {
+                op: UnaryOp::Neg,
+                expr: Box::new(inner),
+            })
+        } else if self.eat(&Token::Plus) {
+            self.unary()
+        } else {
+            self.primary()
+        }
+    }
+
+    fn primary(&mut self) -> Result<Expr> {
+        match self.next()? {
+            Token::Int(n) => Ok(Expr::Literal(Value::Int(n))),
+            Token::Float(f) => Ok(Expr::Literal(Value::Float(f))),
+            Token::Str(s) => Ok(Expr::Literal(Value::Text(s))),
+            Token::Param => {
+                // Positional parameters number themselves left-to-right.
+                let n = self
+                    .tokens
+                    .iter()
+                    .take(self.pos - 1)
+                    .filter(|t| **t == Token::Param)
+                    .count();
+                Ok(Expr::Param(n))
+            }
+            Token::LParen => {
+                if self.peek_kw("select") {
+                    let sub = self.select()?;
+                    self.expect(&Token::RParen)?;
+                    return Ok(Expr::Subquery(Box::new(sub)));
+                }
+                let e = self.expr()?;
+                self.expect(&Token::RParen)?;
+                Ok(e)
+            }
+            Token::Ident(name) => {
+                let lower = name.to_ascii_lowercase();
+                match lower.as_str() {
+                    "null" => return Ok(Expr::Literal(Value::Null)),
+                    "true" => return Ok(Expr::Literal(Value::Bool(true))),
+                    "false" => return Ok(Expr::Literal(Value::Bool(false))),
+                    _ => {}
+                }
+                if self.eat(&Token::LParen) {
+                    // EXISTS (SELECT ...)
+                    if lower == "exists" && self.peek_kw("select") {
+                        let sub = self.select()?;
+                        self.expect(&Token::RParen)?;
+                        return Ok(Expr::Exists {
+                            select: Box::new(sub),
+                            negated: false,
+                        });
+                    }
+                    // function call, with optional DISTINCT modifier
+                    let distinct = self.eat_kw("distinct");
+                    let mut args = Vec::new();
+                    if !self.eat(&Token::RParen) {
+                        loop {
+                            if self.eat(&Token::Star) {
+                                args.push(Expr::Wildcard);
+                            } else {
+                                args.push(self.expr()?);
+                            }
+                            if !self.eat(&Token::Comma) {
+                                break;
+                            }
+                        }
+                        self.expect(&Token::RParen)?;
+                    } else if distinct {
+                        return Err(Error::Parse("DISTINCT requires an argument".into()));
+                    }
+                    Ok(Expr::Func {
+                        name: lower,
+                        args,
+                        distinct,
+                    })
+                } else if self.eat(&Token::Dot) {
+                    let col = self.ident()?;
+                    Ok(Expr::Column {
+                        table: Some(lower),
+                        name: col.to_ascii_lowercase(),
+                    })
+                } else {
+                    Ok(Expr::Column {
+                        table: None,
+                        name: lower,
+                    })
+                }
+            }
+            other => Err(Error::Parse(format!(
+                "unexpected token in expression: {other:?}"
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sel(sql: &str) -> Select {
+        match parse(sql).unwrap() {
+            Stmt::Select(s) => s,
+            other => panic!("expected select, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn simple_select() {
+        let s = sel("SELECT a, b FROM t WHERE a = 1");
+        assert_eq!(s.items.len(), 2);
+        assert!(s.where_pred.is_some());
+        assert_eq!(s.from.unwrap().base.name, "t");
+    }
+
+    #[test]
+    fn select_star_order_limit() {
+        let s = sel("SELECT * FROM t ORDER BY a DESC, b LIMIT 3");
+        assert_eq!(s.items, vec![SelectItem::Star]);
+        assert_eq!(s.order_by.len(), 2);
+        assert!(s.order_by[0].desc);
+        assert!(!s.order_by[1].desc);
+        assert_eq!(s.limit, Some(3));
+    }
+
+    #[test]
+    fn group_by_having() {
+        let s = sel("SELECT c, COUNT(*) FROM t GROUP BY c HAVING COUNT(*) > 2");
+        assert_eq!(s.group_by.len(), 1);
+        assert!(s.having.is_some());
+    }
+
+    #[test]
+    fn joins() {
+        let s = sel("SELECT * FROM a JOIN b ON a.x = b.y INNER JOIN c ON b.z = c.w");
+        let f = s.from.unwrap();
+        assert_eq!(f.joins.len(), 2);
+        assert_eq!(f.joins[1].0.name, "c");
+    }
+
+    #[test]
+    fn aliases() {
+        let s = sel("SELECT v.a AS first FROM votes v WHERE v.a = 1");
+        let f = s.from.unwrap();
+        assert_eq!(f.base.binding(), "v");
+        match &s.items[0] {
+            SelectItem::Expr { alias, .. } => assert_eq!(alias.as_deref(), Some("first")),
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn insert_values_multi_row() {
+        let stmt = parse("INSERT INTO t (a, b) VALUES (1, 'x'), (2, 'y')").unwrap();
+        match stmt {
+            Stmt::Insert(i) => {
+                assert_eq!(i.columns, vec!["a", "b"]);
+                match i.source {
+                    InsertSource::Values(rows) => assert_eq!(rows.len(), 2),
+                    _ => panic!(),
+                }
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn insert_select() {
+        let stmt = parse("INSERT INTO t SELECT a FROM s WHERE a > 0").unwrap();
+        match stmt {
+            Stmt::Insert(i) => assert!(matches!(i.source, InsertSource::Select(_))),
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn update_and_delete() {
+        let stmt = parse("UPDATE t SET a = a + 1, b = ? WHERE id = ?").unwrap();
+        match stmt {
+            Stmt::Update(u) => {
+                assert_eq!(u.sets.len(), 2);
+                // second param is ?1
+                assert_eq!(u.sets[1].1, Expr::Param(0));
+                match u.where_pred.unwrap() {
+                    Expr::Binary { right, .. } => assert_eq!(*right, Expr::Param(1)),
+                    _ => panic!(),
+                }
+            }
+            _ => panic!(),
+        }
+        assert!(matches!(
+            parse("DELETE FROM t WHERE a IS NOT NULL").unwrap(),
+            Stmt::Delete(_)
+        ));
+    }
+
+    #[test]
+    fn create_table_with_pk() {
+        let stmt =
+            parse("CREATE TABLE t (id INT NOT NULL, name VARCHAR(32), PRIMARY KEY (id))").unwrap();
+        match stmt {
+            Stmt::CreateTable(c) => {
+                assert_eq!(c.columns.len(), 2);
+                assert!(!c.columns[0].nullable);
+                assert!(c.columns[1].nullable);
+                assert_eq!(c.primary_key, vec!["id"]);
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn create_stream_and_window() {
+        assert!(matches!(
+            parse("CREATE STREAM s (v INT)").unwrap(),
+            Stmt::CreateStream(_)
+        ));
+        match parse("CREATE WINDOW w (v INT) ROWS 100 SLIDE 10").unwrap() {
+            Stmt::CreateWindow(w) => {
+                assert!(w.tuple_based);
+                assert_eq!((w.size, w.slide), (100, 10));
+            }
+            _ => panic!(),
+        }
+        match parse("CREATE WINDOW w (v INT) RANGE 1000000 SLIDE 1000").unwrap() {
+            Stmt::CreateWindow(w) => assert!(!w.tuple_based),
+            _ => panic!(),
+        }
+        assert!(parse("CREATE WINDOW w (v INT) ROWS 0 SLIDE 1").is_err());
+    }
+
+    #[test]
+    fn operator_precedence() {
+        // 1 + 2 * 3 = 7, not 9
+        let s = sel("SELECT 1 + 2 * 3");
+        match &s.items[0] {
+            SelectItem::Expr {
+                expr: Expr::Binary { op: BinOp::Add, right, .. },
+                ..
+            } => assert!(matches!(**right, Expr::Binary { op: BinOp::Mul, .. })),
+            other => panic!("{other:?}"),
+        }
+        // AND binds tighter than OR
+        let s = sel("SELECT * FROM t WHERE a OR b AND c");
+        match s.where_pred.unwrap() {
+            Expr::Binary { op: BinOp::Or, right, .. } => {
+                assert!(matches!(*right, Expr::Binary { op: BinOp::And, .. }))
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn in_between_not() {
+        let s = sel("SELECT * FROM t WHERE a IN (1,2) AND b NOT BETWEEN 1 AND 5");
+        match s.where_pred.unwrap() {
+            Expr::Binary { left, right, .. } => {
+                assert!(matches!(*left, Expr::InList { negated: false, .. }));
+                assert!(matches!(*right, Expr::Between { negated: true, .. }));
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn params_number_left_to_right() {
+        let s = sel("SELECT ? , ?, ?");
+        let params: Vec<usize> = s
+            .items
+            .iter()
+            .map(|i| match i {
+                SelectItem::Expr {
+                    expr: Expr::Param(n),
+                    ..
+                } => *n,
+                _ => panic!(),
+            })
+            .collect();
+        assert_eq!(params, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn literals() {
+        let s = sel("SELECT NULL, TRUE, FALSE, -5, 'str'");
+        assert_eq!(s.items.len(), 5);
+        match &s.items[3] {
+            SelectItem::Expr {
+                expr: Expr::Unary { op: UnaryOp::Neg, .. },
+                ..
+            } => {}
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        assert!(parse("SELECT 1 FROM t garbage garbage").is_err());
+        assert!(parse("").is_err());
+        assert!(parse("SELECT 1;").is_ok());
+    }
+
+    #[test]
+    fn distinct_parsing() {
+        let s = sel("SELECT DISTINCT a FROM t");
+        assert!(s.distinct);
+        let s = sel("SELECT a FROM t");
+        assert!(!s.distinct);
+        match &sel("SELECT COUNT(DISTINCT a) FROM t").items[0] {
+            SelectItem::Expr {
+                expr: Expr::Func { name, distinct, .. },
+                ..
+            } => {
+                assert_eq!(name, "count");
+                assert!(distinct);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(parse("SELECT COUNT(DISTINCT) FROM t").is_err());
+    }
+
+    #[test]
+    fn exists_parsing() {
+        let s = sel("SELECT * FROM t WHERE EXISTS (SELECT 1 FROM u)");
+        assert!(matches!(
+            s.where_pred.unwrap(),
+            Expr::Exists { negated: false, .. }
+        ));
+        let s = sel("SELECT * FROM t WHERE NOT EXISTS (SELECT 1 FROM u)");
+        assert!(matches!(
+            s.where_pred.unwrap(),
+            Expr::Exists { negated: true, .. }
+        ));
+        // `exists` as a plain function name still errors later (unknown
+        // function), but parses as a call:
+        let s = sel("SELECT exists(a)");
+        match &s.items[0] {
+            SelectItem::Expr {
+                expr: Expr::Func { name, .. },
+                ..
+            } => assert_eq!(name, "exists"),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn scalar_subquery_parsing() {
+        let s = sel("SELECT (SELECT MAX(v) FROM t)");
+        assert!(matches!(
+            &s.items[0],
+            SelectItem::Expr {
+                expr: Expr::Subquery(_),
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn count_star() {
+        let s = sel("SELECT COUNT(*) FROM t");
+        match &s.items[0] {
+            SelectItem::Expr {
+                expr: Expr::Func { name, args, .. },
+                ..
+            } => {
+                assert_eq!(name, "count");
+                assert_eq!(args[0], Expr::Wildcard);
+            }
+            _ => panic!(),
+        }
+    }
+}

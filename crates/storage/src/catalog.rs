@@ -1,0 +1,308 @@
+//! The catalog: object names, schemas, and kinds.
+//!
+//! S-Store's "uniform state management" (paper §2) stores streams and
+//! windows in ordinary tables; the catalog records which kind each table is
+//! plus the kind-specific lifecycle metadata:
+//!
+//! * **streams** carry hidden `__batch`/`__seq` columns and a GC watermark;
+//! * **windows** carry hidden `__seq`/`__ts` columns, a [`WindowSpec`], and
+//!   an owner procedure for the paper's transaction-scope rule.
+
+use serde::{Deserialize, Serialize};
+use sstore_common::{Column, DataType, Error, ProcId, Result, Schema, TableId};
+use std::collections::HashMap;
+
+/// Hidden column appended to streams/windows: batch id.
+pub const COL_BATCH: &str = "__batch";
+/// Hidden column appended to streams/windows: per-table sequence number.
+pub const COL_SEQ: &str = "__seq";
+/// Hidden column appended to windows: logical arrival timestamp (µs).
+pub const COL_TS: &str = "__ts";
+
+/// Sliding-window policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum WindowKind {
+    /// Tuple-based: keep the newest `size` tuples; downstream processing
+    /// fires every `slide` insertions.
+    Tuple {
+        /// Window size in tuples.
+        size: u64,
+        /// Slide interval in tuples.
+        slide: u64,
+    },
+    /// Time-based: keep tuples newer than `range` µs; fires every `slide` µs.
+    Time {
+        /// Window range in microseconds.
+        range: i64,
+        /// Slide interval in microseconds.
+        slide: i64,
+    },
+}
+
+/// Full window definition.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WindowSpec {
+    /// The slide policy.
+    pub kind: WindowKind,
+    /// Scope owner: only consecutive TEs of this procedure may read or
+    /// write the window (paper §2, "scope of a transaction execution").
+    /// `None` means the window is not yet bound to a procedure.
+    pub owner: Option<ProcId>,
+}
+
+/// Stream lifecycle metadata.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StreamMeta {
+    /// Next sequence number to assign on append.
+    pub next_seq: u64,
+    /// All tuples with `__batch <= gc_watermark` may be garbage collected
+    /// (their batch has been fully consumed downstream).
+    pub gc_watermark: Option<u64>,
+}
+
+/// Window lifecycle metadata.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WindowMeta {
+    /// The window definition.
+    pub spec: WindowSpec,
+    /// Next sequence number to assign on append.
+    pub next_seq: u64,
+    /// Tuples inserted since the window last slid (tuple windows) or the
+    /// logical time of the last slide (time windows).
+    pub pending: i64,
+    /// Total tuples ever inserted (for slide arithmetic and stats).
+    pub total_inserted: u64,
+}
+
+/// What kind of object a table is.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum TableKind {
+    /// Regular OLTP table.
+    Base,
+    /// Unbounded stream (append-only, GC'd after consumption).
+    Stream(StreamMeta),
+    /// Bounded sliding window over a stream.
+    Window(WindowMeta),
+}
+
+impl TableKind {
+    /// True for `TableKind::Stream`.
+    pub fn is_stream(&self) -> bool {
+        matches!(self, TableKind::Stream(_))
+    }
+    /// True for `TableKind::Window`.
+    pub fn is_window(&self) -> bool {
+        matches!(self, TableKind::Window(_))
+    }
+}
+
+/// Catalog entry for one table.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TableMeta {
+    /// Dense id used everywhere else in the engine.
+    pub id: TableId,
+    /// Lower-cased object name.
+    pub name: String,
+    /// The *visible* schema (what SQL sees). The storage schema may append
+    /// hidden lifecycle columns; see [`Catalog::storage_schema`].
+    pub visible_schema: Schema,
+    /// Object kind and lifecycle state.
+    pub kind: TableKind,
+}
+
+/// Name → metadata registry for one partition.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Catalog {
+    by_name: HashMap<String, TableId>,
+    metas: Vec<TableMeta>,
+}
+
+impl Catalog {
+    /// Empty catalog.
+    pub fn new() -> Self {
+        Catalog::default()
+    }
+
+    fn register(&mut self, name: &str, visible_schema: Schema, kind: TableKind) -> Result<TableId> {
+        let lname = name.to_ascii_lowercase();
+        if self.by_name.contains_key(&lname) {
+            return Err(Error::AlreadyExists(format!("table `{lname}`")));
+        }
+        let id = TableId::new(self.metas.len() as u32);
+        self.by_name.insert(lname.clone(), id);
+        self.metas.push(TableMeta {
+            id,
+            name: lname,
+            visible_schema,
+            kind,
+        });
+        Ok(id)
+    }
+
+    /// Register a base table.
+    pub fn add_table(&mut self, name: &str, schema: Schema) -> Result<TableId> {
+        self.register(name, schema, TableKind::Base)
+    }
+
+    /// Register a stream.
+    pub fn add_stream(&mut self, name: &str, schema: Schema) -> Result<TableId> {
+        self.register(name, schema, TableKind::Stream(StreamMeta::default()))
+    }
+
+    /// Register a window.
+    pub fn add_window(&mut self, name: &str, schema: Schema, spec: WindowSpec) -> Result<TableId> {
+        self.register(
+            name,
+            schema,
+            TableKind::Window(WindowMeta {
+                spec,
+                next_seq: 0,
+                pending: 0,
+                total_inserted: 0,
+            }),
+        )
+    }
+
+    /// The storage-level schema for a catalog entry: the visible schema
+    /// plus any hidden lifecycle columns required by the kind.
+    pub fn storage_schema(meta: &TableMeta) -> Result<Schema> {
+        match &meta.kind {
+            TableKind::Base => Ok(meta.visible_schema.clone()),
+            TableKind::Stream(_) => meta.visible_schema.with_hidden(vec![
+                Column::new(COL_BATCH, DataType::Int),
+                Column::new(COL_SEQ, DataType::Int),
+            ]),
+            TableKind::Window(_) => meta.visible_schema.with_hidden(vec![
+                Column::new(COL_SEQ, DataType::Int),
+                Column::new(COL_TS, DataType::Timestamp),
+            ]),
+        }
+    }
+
+    /// Resolve a name (case-insensitive).
+    pub fn resolve(&self, name: &str) -> Option<TableId> {
+        self.by_name.get(&name.to_ascii_lowercase()).copied()
+    }
+
+    /// Metadata by id.
+    pub fn meta(&self, id: TableId) -> Option<&TableMeta> {
+        self.metas.get(id.raw() as usize)
+    }
+
+    /// Mutable metadata by id (lifecycle updates: seq counters, watermarks).
+    pub fn meta_mut(&mut self, id: TableId) -> Option<&mut TableMeta> {
+        self.metas.get_mut(id.raw() as usize)
+    }
+
+    /// Metadata by name.
+    pub fn meta_by_name(&self, name: &str) -> Option<&TableMeta> {
+        self.resolve(name).and_then(|id| self.meta(id))
+    }
+
+    /// All registered objects.
+    pub fn all(&self) -> &[TableMeta] {
+        &self.metas
+    }
+
+    /// Number of registered objects.
+    pub fn len(&self) -> usize {
+        self.metas.len()
+    }
+
+    /// True when nothing is registered.
+    pub fn is_empty(&self) -> bool {
+        self.metas.is_empty()
+    }
+
+    /// Bind a window to its owning procedure (scope rule). Errors if the
+    /// window is already owned by a different procedure.
+    pub fn bind_window_owner(&mut self, id: TableId, owner: ProcId) -> Result<()> {
+        let meta = self
+            .meta_mut(id)
+            .ok_or_else(|| Error::NotFound(format!("table {id}")))?;
+        match &mut meta.kind {
+            TableKind::Window(w) => match w.spec.owner {
+                None => {
+                    w.spec.owner = Some(owner);
+                    Ok(())
+                }
+                Some(existing) if existing == owner => Ok(()),
+                Some(existing) => Err(Error::Scope(format!(
+                    "window `{}` is scoped to {existing}, cannot rebind to {owner}",
+                    meta.name
+                ))),
+            },
+            _ => Err(Error::Internal(format!(
+                "`{}` is not a window",
+                meta.name
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> Schema {
+        Schema::keyless(vec![Column::new("v", DataType::Int)]).unwrap()
+    }
+
+    #[test]
+    fn register_and_resolve_case_insensitive() {
+        let mut c = Catalog::new();
+        let id = c.add_table("Votes", schema()).unwrap();
+        assert_eq!(c.resolve("VOTES"), Some(id));
+        assert_eq!(c.meta(id).unwrap().name, "votes");
+        assert!(c.add_stream("votes", schema()).is_err());
+    }
+
+    #[test]
+    fn stream_gets_hidden_columns() {
+        let mut c = Catalog::new();
+        let id = c.add_stream("s1", schema()).unwrap();
+        let meta = c.meta(id).unwrap();
+        assert!(meta.kind.is_stream());
+        let storage = Catalog::storage_schema(meta).unwrap();
+        assert_eq!(storage.arity(), 3);
+        assert!(storage.column_index(COL_BATCH).is_some());
+        assert!(storage.column_index(COL_SEQ).is_some());
+    }
+
+    #[test]
+    fn window_gets_hidden_columns_and_owner_binding() {
+        let mut c = Catalog::new();
+        let spec = WindowSpec {
+            kind: WindowKind::Tuple { size: 100, slide: 1 },
+            owner: None,
+        };
+        let id = c.add_window("w1", schema(), spec).unwrap();
+        let storage = Catalog::storage_schema(c.meta(id).unwrap()).unwrap();
+        assert!(storage.column_index(COL_TS).is_some());
+
+        c.bind_window_owner(id, ProcId::new(1)).unwrap();
+        // Idempotent for the same owner.
+        c.bind_window_owner(id, ProcId::new(1)).unwrap();
+        // Different owner violates scope.
+        let err = c.bind_window_owner(id, ProcId::new(2)).unwrap_err();
+        assert_eq!(err.kind(), "scope");
+    }
+
+    #[test]
+    fn bind_owner_on_base_table_fails() {
+        let mut c = Catalog::new();
+        let id = c.add_table("t", schema()).unwrap();
+        assert!(c.bind_window_owner(id, ProcId::new(1)).is_err());
+    }
+
+    #[test]
+    fn meta_by_name_and_len() {
+        let mut c = Catalog::new();
+        assert!(c.is_empty());
+        c.add_table("a", schema()).unwrap();
+        c.add_stream("b", schema()).unwrap();
+        assert_eq!(c.len(), 2);
+        assert!(c.meta_by_name("b").unwrap().kind.is_stream());
+        assert!(c.meta_by_name("missing").is_none());
+    }
+}

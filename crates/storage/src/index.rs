@@ -1,0 +1,293 @@
+//! Secondary indexes: hash (point lookups) and ordered (range scans).
+//!
+//! Index keys are `Vec<Value>` (composite keys supported). Both index kinds
+//! map a key to the set of row ids holding it; unique indexes additionally
+//! reject duplicate keys at insert time.
+
+use serde::{Deserialize, Serialize};
+use sstore_common::{Error, Result, Value};
+use std::collections::{BTreeMap, HashMap};
+use std::ops::Bound;
+
+/// Stable identifier of a row slot within one table.
+///
+/// Row ids are never reused while a transaction that might undo is in
+/// flight, and undo restores a deleted row into its original slot, so the
+/// pair (table, row id) is a stable address for the lifetime of an undo log.
+pub type RowId = u64;
+
+/// Definition of a secondary index.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IndexDef {
+    /// Index name, unique within its table.
+    pub name: String,
+    /// Column positions forming the key, in key order.
+    pub key_cols: Vec<usize>,
+    /// Reject duplicate keys when true.
+    pub unique: bool,
+    /// Ordered (B-tree) index supporting range scans when true; hash
+    /// otherwise.
+    pub ordered: bool,
+}
+
+/// The index structure itself.
+#[derive(Debug, Clone)]
+pub enum IndexStore {
+    /// Hash index: key -> row ids.
+    Hash(HashMap<Vec<Value>, Vec<RowId>>),
+    /// Ordered index: key -> row ids, range-scannable.
+    Ordered(BTreeMap<Vec<Value>, Vec<RowId>>),
+}
+
+/// A live secondary index: definition plus data.
+///
+/// Serialized as `(def, entries)` pairs because JSON object keys must be
+/// strings; rebuilt into the hash/btree form on deserialization.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+#[serde(into = "IndexSerde", try_from = "IndexSerde")]
+pub struct Index {
+    /// The definition this index was created from.
+    pub def: IndexDef,
+    store: IndexStore,
+}
+
+/// Serde mirror of [`Index`]: entry list instead of a map.
+#[derive(Serialize, Deserialize)]
+struct IndexSerde {
+    def: IndexDef,
+    entries: Vec<(Vec<Value>, Vec<RowId>)>,
+}
+
+impl From<Index> for IndexSerde {
+    fn from(ix: Index) -> Self {
+        let entries = match ix.store {
+            IndexStore::Hash(m) => m.into_iter().collect(),
+            IndexStore::Ordered(m) => m.into_iter().collect(),
+        };
+        IndexSerde {
+            def: ix.def,
+            entries,
+        }
+    }
+}
+
+impl TryFrom<IndexSerde> for Index {
+    type Error = String;
+    fn try_from(s: IndexSerde) -> std::result::Result<Self, String> {
+        let store = if s.def.ordered {
+            IndexStore::Ordered(s.entries.into_iter().collect())
+        } else {
+            IndexStore::Hash(s.entries.into_iter().collect())
+        };
+        Ok(Index { def: s.def, store })
+    }
+}
+
+impl Index {
+    /// Create an empty index from a definition.
+    pub fn new(def: IndexDef) -> Self {
+        let store = if def.ordered {
+            IndexStore::Ordered(BTreeMap::new())
+        } else {
+            IndexStore::Hash(HashMap::new())
+        };
+        Index { def, store }
+    }
+
+    /// Extract this index's key from a full row.
+    pub fn key_of(&self, row: &[Value]) -> Vec<Value> {
+        self.def.key_cols.iter().map(|&i| row[i].clone()).collect()
+    }
+
+    /// Insert a (key, row id) pair. Fails on unique violation.
+    pub fn insert(&mut self, key: Vec<Value>, rid: RowId) -> Result<()> {
+        let ids = match &mut self.store {
+            IndexStore::Hash(m) => m.entry(key).or_default(),
+            IndexStore::Ordered(m) => m.entry(key).or_default(),
+        };
+        if self.def.unique && !ids.is_empty() {
+            return Err(Error::Constraint(format!(
+                "unique index `{}` violated",
+                self.def.name
+            )));
+        }
+        ids.push(rid);
+        Ok(())
+    }
+
+    /// Remove a (key, row id) pair; it must be present.
+    ///
+    /// Empty buckets are removed eagerly so `key_count` reflects live keys.
+    pub fn remove(&mut self, key: &[Value], rid: RowId) -> Result<()> {
+        let removed = match &mut self.store {
+            IndexStore::Hash(m) => {
+                if Self::remove_from(m.get_mut(key), rid) {
+                    if m.get(key).is_some_and(|v| v.is_empty()) {
+                        m.remove(key);
+                    }
+                    true
+                } else {
+                    false
+                }
+            }
+            IndexStore::Ordered(m) => {
+                if Self::remove_from(m.get_mut(key), rid) {
+                    if m.get(key).is_some_and(|v| v.is_empty()) {
+                        m.remove(key);
+                    }
+                    true
+                } else {
+                    false
+                }
+            }
+        };
+        if removed {
+            Ok(())
+        } else {
+            Err(Error::Internal(format!(
+                "index `{}` missing entry for row {rid}",
+                self.def.name
+            )))
+        }
+    }
+
+    fn remove_from(ids: Option<&mut Vec<RowId>>, rid: RowId) -> bool {
+        if let Some(ids) = ids {
+            if let Some(pos) = ids.iter().position(|&r| r == rid) {
+                ids.swap_remove(pos);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Row ids for an exact key.
+    pub fn get(&self, key: &[Value]) -> &[RowId] {
+        match &self.store {
+            IndexStore::Hash(m) => m.get(key).map(|v| v.as_slice()).unwrap_or(&[]),
+            IndexStore::Ordered(m) => m.get(key).map(|v| v.as_slice()).unwrap_or(&[]),
+        }
+    }
+
+    /// Range scan over an ordered index. Bounds are over full composite
+    /// keys. Returns row ids in key order. Errors on hash indexes.
+    pub fn range(
+        &self,
+        lo: Bound<Vec<Value>>,
+        hi: Bound<Vec<Value>>,
+    ) -> Result<Vec<RowId>> {
+        match &self.store {
+            IndexStore::Hash(_) => Err(Error::Internal(format!(
+                "index `{}` is not ordered; range scan unsupported",
+                self.def.name
+            ))),
+            IndexStore::Ordered(m) => {
+                let mut out = Vec::new();
+                for (_, ids) in m.range((lo, hi)) {
+                    out.extend_from_slice(ids);
+                }
+                Ok(out)
+            }
+        }
+    }
+
+    /// Number of distinct keys.
+    pub fn key_count(&self) -> usize {
+        match &self.store {
+            IndexStore::Hash(m) => m.len(),
+            IndexStore::Ordered(m) => m.len(),
+        }
+    }
+
+    /// Drop all entries (used when truncating a table).
+    pub fn clear(&mut self) {
+        match &mut self.store {
+            IndexStore::Hash(m) => m.clear(),
+            IndexStore::Ordered(m) => m.clear(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hash_idx(unique: bool) -> Index {
+        Index::new(IndexDef {
+            name: "ix".into(),
+            key_cols: vec![0],
+            unique,
+            ordered: false,
+        })
+    }
+
+    fn btree_idx() -> Index {
+        Index::new(IndexDef {
+            name: "ox".into(),
+            key_cols: vec![1],
+            unique: false,
+            ordered: true,
+        })
+    }
+
+    #[test]
+    fn insert_get_remove() {
+        let mut ix = hash_idx(false);
+        ix.insert(vec![Value::Int(1)], 10).unwrap();
+        ix.insert(vec![Value::Int(1)], 11).unwrap();
+        assert_eq!(ix.get(&[Value::Int(1)]).len(), 2);
+        ix.remove(&[Value::Int(1)], 10).unwrap();
+        assert_eq!(ix.get(&[Value::Int(1)]), &[11]);
+        assert!(ix.remove(&[Value::Int(1)], 99).is_err());
+    }
+
+    #[test]
+    fn unique_violation() {
+        let mut ix = hash_idx(true);
+        ix.insert(vec![Value::Int(1)], 10).unwrap();
+        let err = ix.insert(vec![Value::Int(1)], 11).unwrap_err();
+        assert_eq!(err.kind(), "constraint");
+    }
+
+    #[test]
+    fn key_extraction_composite() {
+        let ix = Index::new(IndexDef {
+            name: "c".into(),
+            key_cols: vec![2, 0],
+            unique: false,
+            ordered: false,
+        });
+        let row = vec![Value::Int(1), Value::Int(2), Value::Int(3)];
+        assert_eq!(ix.key_of(&row), vec![Value::Int(3), Value::Int(1)]);
+    }
+
+    #[test]
+    fn range_scan_ordered() {
+        let mut ix = btree_idx();
+        for (k, rid) in [(5, 1u64), (1, 2), (3, 3), (9, 4)] {
+            ix.insert(vec![Value::Int(k)], rid).unwrap();
+        }
+        let rids = ix
+            .range(
+                Bound::Included(vec![Value::Int(2)]),
+                Bound::Excluded(vec![Value::Int(9)]),
+            )
+            .unwrap();
+        assert_eq!(rids, vec![3, 1]);
+        assert_eq!(ix.key_count(), 4);
+    }
+
+    #[test]
+    fn range_on_hash_errors() {
+        let ix = hash_idx(false);
+        assert!(ix.range(Bound::Unbounded, Bound::Unbounded).is_err());
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut ix = btree_idx();
+        ix.insert(vec![Value::Int(1)], 1).unwrap();
+        ix.clear();
+        assert_eq!(ix.key_count(), 0);
+    }
+}

@@ -1,0 +1,26 @@
+//! # sstore-storage
+//!
+//! The in-memory storage engine underneath S-Store's execution engine —
+//! the H-Store-equivalent substrate described in DESIGN.md §1.1.
+//!
+//! * [`table::Table`] — slot-based heap tables with primary-key and
+//!   secondary indexes and stable row ids (stable ids make undo exact).
+//! * [`catalog::Catalog`] — names, schemas, and *kinds* (base table,
+//!   stream, window): the paper's "uniform state management" means all
+//!   three are the same storage structure with different lifecycle rules.
+//! * [`database::Database`] — one partition's worth of state.
+//! * [`undo::UndoLog`] — per-transaction undo for atomic aborts.
+//! * [`snapshot`] — whole-partition serialization for checkpointing.
+
+pub mod catalog;
+pub mod database;
+pub mod index;
+pub mod snapshot;
+pub mod table;
+pub mod undo;
+
+pub use catalog::{Catalog, StreamMeta, TableKind, TableMeta, WindowKind, WindowSpec};
+pub use database::Database;
+pub use index::{IndexDef, RowId};
+pub use table::Table;
+pub use undo::{UndoLog, UndoOp};

@@ -1,0 +1,166 @@
+//! Whole-partition snapshots.
+//!
+//! H-Store's fault tolerance combines command logging with periodic
+//! snapshots (Malviya et al., ICDE 2014 — the paper's reference 7).
+//! S-Store inherits that machinery; the recovery module in `sstore-txn`
+//! loads the latest snapshot and replays the command log from there.
+//!
+//! The format is a versioned JSON envelope. JSON (via `serde_json`) keeps
+//! snapshots debuggable in tests; the envelope records enough metadata
+//! (`last_txn`, `last_batch`, `clock_micros`) for replay to resume exactly.
+
+use crate::database::Database;
+use serde::{Deserialize, Serialize};
+use sstore_common::{BatchId, Error, Result, TxnId};
+use std::fs;
+use std::io::{BufReader, BufWriter, Write};
+use std::path::Path;
+
+/// Snapshot format version; bumped on breaking layout changes.
+pub const SNAPSHOT_VERSION: u32 = 1;
+
+/// A consistent point-in-time image of one partition.
+#[derive(Debug, Serialize, Deserialize)]
+pub struct Snapshot {
+    /// Format version (must equal [`SNAPSHOT_VERSION`]).
+    pub version: u32,
+    /// Highest transaction id included in the image.
+    pub last_txn: Option<TxnId>,
+    /// Highest border-input batch id fully applied in the image.
+    pub last_batch: Option<BatchId>,
+    /// Logical clock at snapshot time.
+    pub clock_micros: i64,
+    /// The data.
+    pub database: Database,
+}
+
+impl Snapshot {
+    /// Capture the current state.
+    pub fn capture(
+        db: &Database,
+        last_txn: Option<TxnId>,
+        last_batch: Option<BatchId>,
+        clock_micros: i64,
+    ) -> Self {
+        Snapshot {
+            version: SNAPSHOT_VERSION,
+            last_txn,
+            last_batch,
+            clock_micros,
+            database: db.clone(),
+        }
+    }
+
+    /// Write to `path` atomically (write temp + rename).
+    pub fn write_to(&self, path: &Path) -> Result<()> {
+        let tmp = path.with_extension("tmp");
+        {
+            let file = fs::File::create(&tmp)?;
+            let mut w = BufWriter::new(file);
+            serde_json::to_writer(&mut w, self)
+                .map_err(|e| Error::Io(format!("snapshot encode: {e}")))?;
+            w.flush()?;
+            w.get_ref().sync_all()?;
+        }
+        fs::rename(&tmp, path)?;
+        Ok(())
+    }
+
+    /// Load from `path`, verifying the version.
+    pub fn read_from(path: &Path) -> Result<Snapshot> {
+        let file = fs::File::open(path)?;
+        let snap: Snapshot = serde_json::from_reader(BufReader::new(file))
+            .map_err(|e| Error::Recovery(format!("snapshot decode: {e}")))?;
+        if snap.version != SNAPSHOT_VERSION {
+            return Err(Error::Recovery(format!(
+                "snapshot version {} unsupported (expected {SNAPSHOT_VERSION})",
+                snap.version
+            )));
+        }
+        Ok(snap)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sstore_common::{Column, DataType, Schema, Value};
+
+    fn tempdir() -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!(
+            "sstore-snap-test-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        fs::create_dir_all(&p).unwrap();
+        p
+    }
+
+    fn sample_db() -> Database {
+        let mut db = Database::new();
+        let schema = Schema::new(
+            vec![
+                Column::new("id", DataType::Int),
+                Column::new("name", DataType::Text),
+            ],
+            &["id"],
+        )
+        .unwrap();
+        let t = db.create_table("t", schema).unwrap();
+        for i in 0..10 {
+            db.table_mut(t)
+                .unwrap()
+                .insert(vec![Value::Int(i), Value::Text(format!("row{i}"))])
+                .unwrap();
+        }
+        db
+    }
+
+    #[test]
+    fn snapshot_round_trip() {
+        let dir = tempdir();
+        let path = dir.join("snap.json");
+        let db = sample_db();
+        let snap = Snapshot::capture(&db, Some(TxnId::new(7)), Some(BatchId::new(3)), 123);
+        snap.write_to(&path).unwrap();
+
+        let loaded = Snapshot::read_from(&path).unwrap();
+        assert_eq!(loaded.last_txn, Some(TxnId::new(7)));
+        assert_eq!(loaded.last_batch, Some(BatchId::new(3)));
+        assert_eq!(loaded.clock_micros, 123);
+        let t = loaded.database.resolve("t").unwrap();
+        assert_eq!(loaded.database.table(t).unwrap().len(), 10);
+        // Indexes survive the round trip.
+        assert!(loaded
+            .database
+            .table(t)
+            .unwrap()
+            .pk_lookup(&[Value::Int(5)])
+            .is_some());
+        fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn missing_snapshot_is_an_error() {
+        let dir = tempdir();
+        let err = Snapshot::read_from(&dir.join("nope.json")).unwrap_err();
+        assert_eq!(err.kind(), "io");
+        fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn version_mismatch_rejected() {
+        let dir = tempdir();
+        let path = dir.join("bad.json");
+        let db = Database::new();
+        let mut snap = Snapshot::capture(&db, None, None, 0);
+        snap.version = 999;
+        // Bypass write_to's implicit current-version (capture sets it; we
+        // overwrote it) — write manually.
+        fs::write(&path, serde_json::to_string(&snap).unwrap()).unwrap();
+        let err = Snapshot::read_from(&path).unwrap_err();
+        assert_eq!(err.kind(), "recovery");
+        fs::remove_dir_all(dir).ok();
+    }
+}

@@ -1,0 +1,459 @@
+//! Slot-based heap tables.
+//!
+//! A [`Table`] stores rows in slots addressed by stable [`RowId`]s, keeps
+//! the primary-key index and any secondary indexes consistent on every
+//! mutation, and exposes exactly the raw operations the undo log needs to
+//! reverse: `insert` ↔ `delete`, `update` ↔ `update`, and `restore` (which
+//! reinserts a deleted row into its original slot).
+
+use crate::index::{Index, IndexDef, RowId};
+use serde::{Deserialize, Serialize};
+use sstore_common::{Error, Result, Row, Schema, Value};
+
+/// One heap table (also the physical representation of streams and windows).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Table {
+    name: String,
+    schema: Schema,
+    /// Slot array; `None` marks a free slot.
+    slots: Vec<Option<Row>>,
+    /// Free slot ids available for reuse.
+    free: Vec<RowId>,
+    /// Live row count (slots minus free).
+    live: usize,
+    /// Primary-key index (unique) when the schema has a PK.
+    pk_index: Option<Index>,
+    /// Secondary indexes.
+    indexes: Vec<Index>,
+}
+
+impl Table {
+    /// Create an empty table. Builds the PK index automatically.
+    pub fn new(name: impl Into<String>, schema: Schema) -> Self {
+        let pk_index = if schema.has_pk() {
+            Some(Index::new(IndexDef {
+                name: "__pk".into(),
+                key_cols: schema.pk_indices().to_vec(),
+                unique: true,
+                ordered: true,
+            }))
+        } else {
+            None
+        };
+        Table {
+            name: name.into(),
+            schema,
+            slots: Vec::new(),
+            free: Vec::new(),
+            live: 0,
+            pk_index,
+            indexes: Vec::new(),
+        }
+    }
+
+    /// Table name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Table schema (including any hidden columns).
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of live rows.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// True when the table holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Add a secondary index over `key_cols`; backfills from existing rows.
+    pub fn create_index(&mut self, def: IndexDef) -> Result<()> {
+        if def.name == "__pk" || self.indexes.iter().any(|ix| ix.def.name == def.name) {
+            return Err(Error::AlreadyExists(format!("index `{}`", def.name)));
+        }
+        if def.key_cols.iter().any(|&c| c >= self.schema.arity()) {
+            return Err(Error::NotFound(format!(
+                "index `{}` references a column outside the schema",
+                def.name
+            )));
+        }
+        let mut ix = Index::new(def);
+        for (rid, slot) in self.slots.iter().enumerate() {
+            if let Some(row) = slot {
+                ix.insert(ix.key_of(row), rid as RowId)?;
+            }
+        }
+        self.indexes.push(ix);
+        Ok(())
+    }
+
+    /// Look up a secondary index by name.
+    pub fn index(&self, name: &str) -> Option<&Index> {
+        self.indexes.iter().find(|ix| ix.def.name == name)
+    }
+
+    /// All secondary indexes.
+    pub fn indexes(&self) -> &[Index] {
+        &self.indexes
+    }
+
+    /// Validate and insert a row; returns its stable row id.
+    pub fn insert(&mut self, row: Row) -> Result<RowId> {
+        let row = self.schema.validate(row)?;
+        let rid = match self.free.pop() {
+            Some(r) => r,
+            None => {
+                self.slots.push(None);
+                (self.slots.len() - 1) as RowId
+            }
+        };
+        if let Err(e) = self.index_insert(&row, rid) {
+            // Slot was not filled yet; return it to the free list.
+            self.free.push(rid);
+            return Err(e);
+        }
+        self.slots[rid as usize] = Some(row);
+        self.live += 1;
+        Ok(rid)
+    }
+
+    /// Delete by row id; returns the removed row (needed for undo).
+    pub fn delete(&mut self, rid: RowId) -> Result<Row> {
+        let row = self
+            .slots
+            .get_mut(rid as usize)
+            .and_then(Option::take)
+            .ok_or_else(|| Error::Internal(format!("delete of missing row {rid}")))?;
+        self.index_remove(&row, rid)?;
+        self.free.push(rid);
+        self.live -= 1;
+        Ok(row)
+    }
+
+    /// Replace the row at `rid`; returns the previous row (for undo).
+    pub fn update(&mut self, rid: RowId, new_row: Row) -> Result<Row> {
+        let new_row = self.schema.validate(new_row)?;
+        let old = self
+            .slots
+            .get(rid as usize)
+            .and_then(|s| s.as_ref())
+            .cloned()
+            .ok_or_else(|| Error::Internal(format!("update of missing row {rid}")))?;
+        self.index_remove(&old, rid)?;
+        if let Err(e) = self.index_insert(&new_row, rid) {
+            // Roll the index change back so the table stays consistent.
+            self.index_insert(&old, rid)
+                .expect("reinserting old index entries cannot fail");
+            return Err(e);
+        }
+        self.slots[rid as usize] = Some(new_row);
+        Ok(old)
+    }
+
+    /// Reinsert a previously deleted row into its original slot (undo path).
+    pub fn restore(&mut self, rid: RowId, row: Row) -> Result<()> {
+        match self.slots.get(rid as usize) {
+            None => {
+                return Err(Error::Internal(format!(
+                    "restore to out-of-range slot {rid}"
+                )))
+            }
+            Some(Some(_)) => {
+                return Err(Error::Internal(format!("restore to occupied slot {rid}")))
+            }
+            Some(None) => {}
+        }
+        // Undo bypasses validation: the row came out of this table.
+        self.index_insert(&row, rid)?;
+        self.slots[rid as usize] = Some(row);
+        if let Some(pos) = self.free.iter().position(|&f| f == rid) {
+            self.free.swap_remove(pos);
+        }
+        self.live += 1;
+        Ok(())
+    }
+
+    /// Fetch a row by id.
+    pub fn get(&self, rid: RowId) -> Option<&Row> {
+        self.slots.get(rid as usize).and_then(|s| s.as_ref())
+    }
+
+    /// Row ids matching a primary-key value.
+    pub fn pk_lookup(&self, key: &[Value]) -> Option<RowId> {
+        self.pk_index.as_ref()?.get(key).first().copied()
+    }
+
+    /// Row ids matching a secondary-index key.
+    pub fn index_lookup(&self, index_name: &str, key: &[Value]) -> Result<Vec<RowId>> {
+        let ix = self
+            .index(index_name)
+            .ok_or_else(|| Error::NotFound(format!("index `{index_name}`")))?;
+        Ok(ix.get(key).to_vec())
+    }
+
+    /// Iterate over (row id, row) for all live rows, in slot order.
+    /// Slot order equals insertion order for append-only tables (streams),
+    /// which the stream layer relies on.
+    pub fn scan(&self) -> impl Iterator<Item = (RowId, &Row)> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.as_ref().map(|r| (i as RowId, r)))
+    }
+
+    /// Collect all live row ids (used by mutating scans that cannot hold a
+    /// borrow across mutations).
+    pub fn row_ids(&self) -> Vec<RowId> {
+        self.scan().map(|(rid, _)| rid).collect()
+    }
+
+    /// Remove every row. Keeps indexes defined but empty.
+    pub fn truncate(&mut self) {
+        self.slots.clear();
+        self.free.clear();
+        self.live = 0;
+        if let Some(pk) = &mut self.pk_index {
+            pk.clear();
+        }
+        for ix in &mut self.indexes {
+            ix.clear();
+        }
+    }
+
+    fn index_insert(&mut self, row: &Row, rid: RowId) -> Result<()> {
+        if let Some(pk) = &mut self.pk_index {
+            let key = pk.key_of(row);
+            pk.insert(key, rid).map_err(|_| {
+                Error::Constraint(format!(
+                    "duplicate primary key {:?} in table `{}`",
+                    self.schema
+                        .pk_indices()
+                        .iter()
+                        .map(|&i| row[i].to_string())
+                        .collect::<Vec<_>>(),
+                    self.name
+                ))
+            })?;
+        }
+        for i in 0..self.indexes.len() {
+            let key = self.indexes[i].key_of(row);
+            if let Err(e) = self.indexes[i].insert(key, rid) {
+                // Unwind the partial index inserts.
+                for j in 0..i {
+                    let key = self.indexes[j].key_of(row);
+                    self.indexes[j]
+                        .remove(&key, rid)
+                        .expect("unwinding fresh index insert cannot fail");
+                }
+                if let Some(pk) = &mut self.pk_index {
+                    let key = pk.key_of(row);
+                    pk.remove(&key, rid)
+                        .expect("unwinding fresh pk insert cannot fail");
+                }
+                return Err(e);
+            }
+        }
+        Ok(())
+    }
+
+    fn index_remove(&mut self, row: &Row, rid: RowId) -> Result<()> {
+        if let Some(pk) = &mut self.pk_index {
+            let key = pk.key_of(row);
+            pk.remove(&key, rid)?;
+        }
+        for ix in &mut self.indexes {
+            let key = ix.key_of(row);
+            ix.remove(&key, rid)?;
+        }
+        Ok(())
+    }
+
+    /// Approximate memory footprint in bytes (rows only; used by the GC
+    /// experiment E7 to show bounded memory on unbounded streams).
+    pub fn approx_bytes(&self) -> usize {
+        let mut total = self.slots.capacity() * std::mem::size_of::<Option<Row>>();
+        for row in self.slots.iter().flatten() {
+            total += row.capacity() * std::mem::size_of::<Value>();
+            for v in row {
+                if let Value::Text(s) = v {
+                    total += s.capacity();
+                }
+            }
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sstore_common::{Column, DataType};
+
+    fn table() -> Table {
+        let schema = Schema::new(
+            vec![
+                Column::new("id", DataType::Int),
+                Column::new("name", DataType::Text),
+            ],
+            &["id"],
+        )
+        .unwrap();
+        Table::new("t", schema)
+    }
+
+    fn row(id: i64, name: &str) -> Row {
+        vec![Value::Int(id), Value::Text(name.into())]
+    }
+
+    #[test]
+    fn insert_get_delete_roundtrip() {
+        let mut t = table();
+        let rid = t.insert(row(1, "a")).unwrap();
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.get(rid).unwrap()[1], Value::Text("a".into()));
+        let deleted = t.delete(rid).unwrap();
+        assert_eq!(deleted[0], Value::Int(1));
+        assert!(t.get(rid).is_none());
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn pk_uniqueness_enforced() {
+        let mut t = table();
+        t.insert(row(1, "a")).unwrap();
+        let err = t.insert(row(1, "b")).unwrap_err();
+        assert_eq!(err.kind(), "constraint");
+        // Failed insert must not leak a slot or index entry.
+        assert_eq!(t.len(), 1);
+        t.insert(row(2, "b")).unwrap();
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn pk_lookup_finds_rows() {
+        let mut t = table();
+        let rid = t.insert(row(5, "x")).unwrap();
+        assert_eq!(t.pk_lookup(&[Value::Int(5)]), Some(rid));
+        assert_eq!(t.pk_lookup(&[Value::Int(6)]), None);
+    }
+
+    #[test]
+    fn update_maintains_indexes() {
+        let mut t = table();
+        let rid = t.insert(row(1, "a")).unwrap();
+        let old = t.update(rid, row(2, "b")).unwrap();
+        assert_eq!(old[0], Value::Int(1));
+        assert_eq!(t.pk_lookup(&[Value::Int(1)]), None);
+        assert_eq!(t.pk_lookup(&[Value::Int(2)]), Some(rid));
+    }
+
+    #[test]
+    fn update_pk_collision_rolls_back() {
+        let mut t = table();
+        let r1 = t.insert(row(1, "a")).unwrap();
+        t.insert(row(2, "b")).unwrap();
+        let err = t.update(r1, row(2, "dup")).unwrap_err();
+        assert_eq!(err.kind(), "constraint");
+        // Old entry must still be findable.
+        assert_eq!(t.pk_lookup(&[Value::Int(1)]), Some(r1));
+        assert_eq!(t.get(r1).unwrap()[1], Value::Text("a".into()));
+    }
+
+    #[test]
+    fn restore_reuses_slot() {
+        let mut t = table();
+        let rid = t.insert(row(1, "a")).unwrap();
+        let old = t.delete(rid).unwrap();
+        t.restore(rid, old).unwrap();
+        assert_eq!(t.pk_lookup(&[Value::Int(1)]), Some(rid));
+        assert_eq!(t.len(), 1);
+        // Restoring into an occupied slot is an internal error.
+        assert!(t.restore(rid, row(9, "z")).is_err());
+    }
+
+    #[test]
+    fn slots_are_reused_after_delete() {
+        let mut t = table();
+        let r1 = t.insert(row(1, "a")).unwrap();
+        t.delete(r1).unwrap();
+        let r2 = t.insert(row(2, "b")).unwrap();
+        assert_eq!(r1, r2);
+    }
+
+    #[test]
+    fn secondary_index_backfill_and_lookup() {
+        let mut t = table();
+        t.insert(row(1, "a")).unwrap();
+        t.insert(row(2, "a")).unwrap();
+        t.create_index(IndexDef {
+            name: "by_name".into(),
+            key_cols: vec![1],
+            unique: false,
+            ordered: false,
+        })
+        .unwrap();
+        let rids = t.index_lookup("by_name", &[Value::Text("a".into())]).unwrap();
+        assert_eq!(rids.len(), 2);
+        t.insert(row(3, "b")).unwrap();
+        let rids = t.index_lookup("by_name", &[Value::Text("b".into())]).unwrap();
+        assert_eq!(rids.len(), 1);
+    }
+
+    #[test]
+    fn duplicate_index_name_rejected() {
+        let mut t = table();
+        let def = IndexDef {
+            name: "ix".into(),
+            key_cols: vec![1],
+            unique: false,
+            ordered: false,
+        };
+        t.create_index(def.clone()).unwrap();
+        assert!(t.create_index(def).is_err());
+    }
+
+    #[test]
+    fn scan_in_slot_order() {
+        let mut t = table();
+        t.insert(row(3, "c")).unwrap();
+        t.insert(row(1, "a")).unwrap();
+        let ids: Vec<i64> = t.scan().map(|(_, r)| r[0].as_int().unwrap()).collect();
+        assert_eq!(ids, vec![3, 1]);
+    }
+
+    #[test]
+    fn truncate_clears_everything() {
+        let mut t = table();
+        t.insert(row(1, "a")).unwrap();
+        t.truncate();
+        assert!(t.is_empty());
+        assert_eq!(t.pk_lookup(&[Value::Int(1)]), None);
+        // And the table remains usable.
+        t.insert(row(1, "a")).unwrap();
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn validation_rejects_bad_rows() {
+        let mut t = table();
+        assert!(t.insert(vec![Value::Int(1)]).is_err()); // arity
+        assert!(t
+            .insert(vec![Value::Text("x".into()), Value::Text("y".into())])
+            .is_err()); // type
+    }
+
+    #[test]
+    fn approx_bytes_grows() {
+        let mut t = table();
+        let before = t.approx_bytes();
+        for i in 0..100 {
+            t.insert(row(i, "some name")).unwrap();
+        }
+        assert!(t.approx_bytes() > before);
+    }
+}

@@ -1,0 +1,35 @@
+//! # sstore-txn
+//!
+//! S-Store's **partition engine (PE)** — the upper layer of the paper's
+//! two-layer architecture (Fig. 1). It owns the execution engine and adds:
+//!
+//! * **stored procedures** ([`procedure`]): parameterized control code
+//!   (Rust closures standing in for H-Store's Java) around prepared SQL;
+//! * the **stream-oriented transaction model** ([`partition`]): a
+//!   transaction execution (TE) is `(procedure, batch)`; schedules preserve
+//!   per-procedure TE order and per-batch workflow order, and run whole
+//!   workflows serially when procedures share writable tables (paper §2);
+//! * **workflows & PE triggers** ([`workflow`]): committed TEs whose
+//!   output streams received tuples schedule the downstream procedure
+//!   inside the PE — no client polling, no client↔PE round trips;
+//! * **command logging + snapshots + upstream-backup recovery**
+//!   ([`log`], [`recovery`]): border inputs are logged with group commit;
+//!   recovery restores the latest snapshot and replays un-snapshotted
+//!   batches through the same workflow code;
+//! * an **H-Store compatibility mode**: PE triggers off, client-driven
+//!   invocations only — the paper's baseline, which both loses the ordering
+//!   guarantees (§3.1's anomalies) and pays extra round trips.
+
+pub mod log;
+pub mod partition;
+pub mod procedure;
+pub mod recovery;
+pub mod stats;
+pub mod transaction;
+pub mod workflow;
+
+pub use partition::{ExecMode, Partition, PeConfig};
+pub use procedure::{ProcContext, ProcSpec};
+pub use stats::PeStats;
+pub use transaction::{Invocation, InvocationOrigin, TxnOutcome, TxnStatus};
+pub use workflow::Workflow;

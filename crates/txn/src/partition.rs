@@ -1,0 +1,967 @@
+//! The partition executor — S-Store's stream-oriented transaction model.
+//!
+//! One [`Partition`] owns an [`ExecutionEngine`], a procedure registry, the
+//! derived [`Workflow`], the command log, and the scheduling queue. The
+//! paper demos the single-sited case; this is that site.
+//!
+//! **Scheduling invariants** (paper §2):
+//! 1. *TE order*: the i-th TE of procedure SPk precedes its (i+1)-th —
+//!    guaranteed because batches enter each procedure's pipeline in batch-id
+//!    order and the queue is FIFO per procedure.
+//! 2. *Workflow order*: for a given batch, upstream TEs commit before
+//!    downstream TEs are even scheduled (PE triggers fire at commit).
+//! 3. *Serial workflows*: when procedures share writable tables, the whole
+//!    workflow for batch *b* runs before any TE of batch *b+1* (downstream
+//!    work is scheduled ahead of queued border batches).
+//!
+//! **H-Store mode** disables PE triggers and workflow awareness: every
+//! invocation comes from the client and executes in arrival order. That is
+//! the paper's baseline; §3.1's anomalies come precisely from the client's
+//! delayed polling racing with new input.
+
+use crate::log::{CommandLog, LogConfig, LogRecord};
+use crate::procedure::{simulate_cost, stmt_effects, ProcContext, ProcSpec, Procedure};
+use crate::stats::PeStats;
+use crate::transaction::{Invocation, InvocationOrigin, TxnOutcome, TxnStatus};
+use crate::workflow::Workflow;
+use sstore_common::{
+    Batch, BatchId, Clock, Error, ProcId, Result, Row, TableId, TxnId, Value,
+};
+use sstore_engine::{EeConfig, ExecutionEngine, TxnScratch};
+use sstore_sql::exec::QueryResult;
+use sstore_storage::snapshot::Snapshot;
+use std::collections::{HashMap, VecDeque};
+
+/// Which system the partition behaves as.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecMode {
+    /// Full S-Store: PE triggers push batches through workflows; scheduling
+    /// preserves the stream transaction model's ordering guarantees.
+    SStore,
+    /// The paper's baseline: no PE triggers, no workflow awareness; the
+    /// client drives every invocation (polling), and invocations execute
+    /// in client-arrival order.
+    HStore,
+}
+
+/// Partition configuration.
+#[derive(Debug, Clone)]
+pub struct PeConfig {
+    /// S-Store vs H-Store behaviour.
+    pub mode: ExecMode,
+    /// PE triggers (ablation E3a; forced off in H-Store mode).
+    pub pe_triggers_enabled: bool,
+    /// Override the serial-workflow decision (None = derive from shared
+    /// writable tables, per the paper).
+    pub serial_workflow: Option<bool>,
+    /// Simulated client↔PE round-trip cost in µs (busy-wait per trip).
+    pub client_trip_cost_micros: u64,
+    /// Simulated PE↔EE dispatch cost in µs (busy-wait per statement).
+    pub ee_trip_cost_micros: u64,
+    /// Command logging (None = durability off).
+    pub log: Option<LogConfig>,
+    /// Execution-engine tunables.
+    pub ee: EeConfig,
+}
+
+impl Default for PeConfig {
+    fn default() -> Self {
+        PeConfig {
+            mode: ExecMode::SStore,
+            pe_triggers_enabled: true,
+            serial_workflow: None,
+            client_trip_cost_micros: 0,
+            ee_trip_cost_micros: 0,
+            log: None,
+            ee: EeConfig::default(),
+        }
+    }
+}
+
+impl PeConfig {
+    /// The paper's H-Store baseline configuration.
+    pub fn hstore() -> Self {
+        PeConfig {
+            mode: ExecMode::HStore,
+            pe_triggers_enabled: false,
+            ..PeConfig::default()
+        }
+    }
+}
+
+/// One partition: engine + procedures + workflow + scheduler + durability.
+///
+/// `Debug` prints a summary (procedures hold closures).
+pub struct Partition {
+    engine: ExecutionEngine,
+    procs: Vec<Procedure>,
+    by_name: HashMap<String, ProcId>,
+    workflow: Workflow,
+    clock: Clock,
+    log: Option<CommandLog>,
+    stats: PeStats,
+    config: PeConfig,
+    queue: VecDeque<Invocation>,
+    next_txn: u64,
+    next_batch: u64,
+    /// Outstanding TEs per batch (for completion acks).
+    batch_refs: HashMap<u64, usize>,
+    /// Remaining consumers per (stream, batch) before GC may run.
+    gc_pending: HashMap<(TableId, u64), usize>,
+    /// True while replaying the log (suppresses re-logging).
+    replaying: bool,
+    /// Output rows of the TE that just committed, handed from `run_te` to
+    /// `post_te` without cloning.
+    pending_outputs: Vec<(TableId, Row)>,
+}
+
+impl std::fmt::Debug for Partition {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Partition")
+            .field("mode", &self.config.mode)
+            .field("procedures", &self.procs.len())
+            .field("next_txn", &self.next_txn)
+            .field("next_batch", &self.next_batch)
+            .field("queued", &self.queue.len())
+            .finish()
+    }
+}
+
+impl Partition {
+    /// Create a partition. Opens the command log when configured.
+    pub fn new(config: PeConfig) -> Result<Partition> {
+        let log = match &config.log {
+            Some(cfg) => Some(CommandLog::open(cfg.clone())?),
+            None => None,
+        };
+        Ok(Partition {
+            engine: ExecutionEngine::with_config(config.ee.clone()),
+            procs: Vec::new(),
+            by_name: HashMap::new(),
+            workflow: Workflow::default(),
+            clock: Clock::new(),
+            log,
+            stats: PeStats::new(),
+            config,
+            queue: VecDeque::new(),
+            next_txn: 1,
+            next_batch: 0,
+            batch_refs: HashMap::new(),
+            gc_pending: HashMap::new(),
+            replaying: false,
+            pending_outputs: Vec::new(),
+        })
+    }
+
+    // ---- setup ---------------------------------------------------------------
+
+    /// Run DDL (CREATE TABLE/STREAM/WINDOW).
+    pub fn ddl(&mut self, sql: &str) -> Result<TableId> {
+        self.engine.ddl_sql(sql)
+    }
+
+    /// Create a secondary index.
+    pub fn create_index(
+        &mut self,
+        table: &str,
+        name: &str,
+        columns: &[&str],
+        unique: bool,
+    ) -> Result<()> {
+        self.engine.create_index(table, name, columns, unique, false)
+    }
+
+    /// Register an EE trigger (delegates to the engine).
+    pub fn create_ee_trigger(
+        &mut self,
+        name: &str,
+        on_table: &str,
+        event: sstore_engine::TriggerEvent,
+        statements: &[&str],
+    ) -> Result<()> {
+        self.engine.create_trigger(name, on_table, event, statements)
+    }
+
+    /// Register a stored procedure and rebuild the workflow.
+    pub fn register(&mut self, spec: ProcSpec) -> Result<ProcId> {
+        if self.by_name.contains_key(&spec.name) {
+            return Err(Error::AlreadyExists(format!("procedure `{}`", spec.name)));
+        }
+        let id = ProcId::new(self.procs.len() as u32);
+        let input_stream = spec
+            .input_stream
+            .as_deref()
+            .map(|s| self.engine.db().resolve(s))
+            .transpose()?;
+        let output_stream = spec
+            .output_stream
+            .as_deref()
+            .map(|s| self.engine.db().resolve(s))
+            .transpose()?;
+        for s in [input_stream, output_stream].into_iter().flatten() {
+            if !self.engine.db().kind(s)?.is_stream() {
+                return Err(Error::Constraint(format!(
+                    "procedure `{}` endpoint {s} is not a stream",
+                    spec.name
+                )));
+            }
+        }
+        let mut statements = HashMap::new();
+        let mut read_set = std::collections::HashSet::new();
+        let mut write_set = std::collections::HashSet::new();
+        for (name, sql) in &spec.statements {
+            let planned = self.engine.prepare(sql)?;
+            let (r, w) = stmt_effects(&planned);
+            read_set.extend(r);
+            write_set.extend(w);
+            if statements.insert(name.clone(), planned).is_some() {
+                return Err(Error::AlreadyExists(format!(
+                    "statement `{name}` in `{}`",
+                    spec.name
+                )));
+            }
+        }
+        // Emissions write the output stream.
+        if let Some(out) = output_stream {
+            write_set.insert(out);
+        }
+        if let Some(inp) = input_stream {
+            read_set.insert(inp);
+        }
+        for w in &spec.windows {
+            self.engine.bind_window_owner(w, id)?;
+            let wid = self.engine.db().resolve(w)?;
+            read_set.insert(wid);
+            write_set.insert(wid);
+        }
+        self.procs.push(Procedure {
+            id,
+            name: spec.name.clone(),
+            input_stream,
+            output_stream,
+            statements,
+            read_set,
+            write_set,
+            handler: spec.handler,
+        });
+        self.by_name.insert(spec.name, id);
+        self.workflow = Workflow::build(&self.procs)?;
+        Ok(id)
+    }
+
+    // ---- accessors -----------------------------------------------------------
+
+    /// The execution engine (read).
+    pub fn engine(&self) -> &ExecutionEngine {
+        &self.engine
+    }
+
+    /// The execution engine (setup/test mutation — not the txn path).
+    pub fn engine_mut(&mut self) -> &mut ExecutionEngine {
+        &mut self.engine
+    }
+
+    /// Partition counters.
+    pub fn stats(&self) -> &PeStats {
+        &self.stats
+    }
+
+    /// Reset PE and EE counters.
+    pub fn reset_stats(&mut self) {
+        self.stats = PeStats::new();
+        self.engine.reset_stats();
+    }
+
+    /// The logical clock.
+    pub fn clock(&self) -> &Clock {
+        &self.clock
+    }
+
+    /// Advance logical time by `micros`.
+    pub fn advance_clock(&self, micros: i64) {
+        self.clock.advance(micros);
+    }
+
+    /// The derived workflow.
+    pub fn workflow(&self) -> &Workflow {
+        &self.workflow
+    }
+
+    /// Which system this partition behaves as.
+    pub fn mode(&self) -> ExecMode {
+        self.config.mode
+    }
+
+    /// Resolve a procedure name.
+    pub fn proc_id(&self, name: &str) -> Result<ProcId> {
+        self.by_name
+            .get(name)
+            .copied()
+            .ok_or_else(|| Error::NotFound(format!("procedure `{name}`")))
+    }
+
+    /// Run one statement during deployment (seeding reference data).
+    /// Commits immediately, is not logged, and must therefore only be used
+    /// from deterministic setup code that recovery re-runs identically —
+    /// the same contract as DDL.
+    pub fn setup_sql(&mut self, sql: &str, params: &[Value]) -> Result<QueryResult> {
+        let mut scratch = TxnScratch::new(None, BatchId::new(0));
+        let now = self.clock.now();
+        let result = self.engine.execute_sql(sql, params, &mut scratch, now)?;
+        scratch.undo.commit();
+        Ok(result)
+    }
+
+    /// Run a read-only query outside any transaction (dashboard/test path;
+    /// one client↔PE round trip).
+    pub fn query(&mut self, sql: &str, params: &[Value]) -> Result<QueryResult> {
+        self.stats.client_pe_trips += 1;
+        simulate_cost(self.config.client_trip_cost_micros);
+        let mut scratch = TxnScratch::new(None, BatchId::new(0));
+        let now = self.clock.now();
+        let result = self.engine.execute_sql(sql, params, &mut scratch, now)?;
+        if !scratch.undo.is_empty() {
+            // Must stay read-only: roll anything back and refuse.
+            scratch.undo.rollback(self.engine.db_mut())?;
+            return Err(Error::Txn(
+                "query() is read-only; use a procedure for writes".into(),
+            ));
+        }
+        Ok(result)
+    }
+
+    // ---- the transaction path -------------------------------------------------
+
+    /// Submit one border input batch (S-Store mode's only client entry
+    /// point). Runs the batch through the workflow to completion and
+    /// returns every TE outcome, workflow order.
+    pub fn submit_batch(&mut self, proc: &str, rows: Vec<Row>) -> Result<Vec<TxnOutcome>> {
+        self.submit_batch_async(proc, rows)?;
+        self.run_queued()
+    }
+
+    /// Enqueue a border batch without draining (an asynchronous client:
+    /// more input arrives before earlier batches finish). Pair with
+    /// [`Partition::run_queued`]. With several batches queued, the
+    /// scheduling policy becomes observable: serial workflows run
+    /// batch-major; pipelined ones let batch *b+1*'s border TE run before
+    /// batch *b*'s interior TEs.
+    pub fn submit_batch_async(&mut self, proc: &str, rows: Vec<Row>) -> Result<BatchId> {
+        let pid = self.proc_id(proc)?;
+        if self.config.mode == ExecMode::SStore && !self.workflow.is_border(pid) {
+            return Err(Error::Schedule(format!(
+                "`{proc}` is an interior procedure; only PE triggers may invoke it"
+            )));
+        }
+        self.stats.client_pe_trips += 1;
+        simulate_cost(self.config.client_trip_cost_micros);
+        self.next_batch += 1;
+        let batch = BatchId::new(self.next_batch);
+        self.log_record(&LogRecord::BorderBatch {
+            batch,
+            proc: proc.to_string(),
+            rows: rows.clone(),
+            ts: self.clock.now(),
+        })?;
+        self.stats.batches_submitted += 1;
+        self.batch_refs.insert(batch.raw(), 1);
+        self.queue.push_back(Invocation {
+            proc: pid,
+            batch: Batch::new(batch, rows),
+            origin: if self.replaying {
+                InvocationOrigin::Recovery
+            } else {
+                InvocationOrigin::Client
+            },
+        });
+        Ok(batch)
+    }
+
+    /// Run every queued TE (and the TEs their commits trigger) to
+    /// completion, returning outcomes in execution order.
+    pub fn run_queued(&mut self) -> Result<Vec<TxnOutcome>> {
+        self.drain()
+    }
+
+    /// Directly invoke a procedure (H-Store mode requests, and OLTP-style
+    /// requests in either mode). One TE; returns its outcome.
+    pub fn invoke(&mut self, proc: &str, rows: Vec<Row>) -> Result<TxnOutcome> {
+        let pid = self.proc_id(proc)?;
+        self.stats.client_pe_trips += 1;
+        simulate_cost(self.config.client_trip_cost_micros);
+        self.next_batch += 1;
+        let batch = BatchId::new(self.next_batch);
+        self.log_record(&LogRecord::Invocation {
+            batch,
+            proc: proc.to_string(),
+            rows: rows.clone(),
+            ts: self.clock.now(),
+        })?;
+        self.batch_refs.insert(batch.raw(), 1);
+        self.queue.push_back(Invocation {
+            proc: pid,
+            batch: Batch::new(batch, rows),
+            origin: if self.replaying {
+                InvocationOrigin::Recovery
+            } else {
+                InvocationOrigin::Client
+            },
+        });
+        let outcomes = self.drain()?;
+        outcomes
+            .into_iter()
+            .next()
+            .ok_or_else(|| Error::Internal("invoke produced no outcome".into()))
+    }
+
+    /// Drain the ready queue, running TEs serially.
+    fn drain(&mut self) -> Result<Vec<TxnOutcome>> {
+        let mut outcomes = Vec::new();
+        while let Some(inv) = self.queue.pop_front() {
+            let outcome = self.run_te(&inv)?;
+            self.post_te(&inv, &outcome)?;
+            outcomes.push(outcome);
+        }
+        Ok(outcomes)
+    }
+
+    fn serial_workflow(&self) -> bool {
+        self.config
+            .serial_workflow
+            .unwrap_or_else(|| self.workflow.has_shared_writables())
+    }
+
+    /// Run one TE: execute the procedure body over its batch, commit or
+    /// roll back atomically.
+    fn run_te(&mut self, inv: &Invocation) -> Result<TxnOutcome> {
+        let start = std::time::Instant::now();
+        let txn = TxnId::new(self.next_txn);
+        self.next_txn += 1;
+        let now = self.clock.now();
+
+        let proc = &self.procs[inv.proc.raw() as usize];
+        let handler = proc.handler.clone();
+        let output_stream = proc.output_stream;
+
+        let mut scratch = TxnScratch::new(Some(inv.proc), inv.batch.id);
+        let mut ctx = ProcContext {
+            engine: &mut self.engine,
+            scratch: &mut scratch,
+            statements: &proc.statements,
+            input: &inv.batch,
+            now,
+            output_stream,
+            response: None,
+            ee_trip_cost_micros: self.config.ee_trip_cost_micros,
+        };
+        let result = handler(&mut ctx);
+        let response = ctx.response.take();
+
+        let outcome = match result {
+            Ok(()) => {
+                scratch.undo.commit();
+                self.stats.committed += 1;
+                self.stats.record_latency(start.elapsed().as_nanos());
+                TxnOutcome {
+                    txn,
+                    proc: inv.proc,
+                    batch: inv.batch.id,
+                    status: TxnStatus::Committed,
+                    response,
+                    error: None,
+                }
+            }
+            Err(e) => {
+                scratch.undo.rollback(self.engine.db_mut())?;
+                scratch.appended.clear();
+                let status = if e.is_user_abort() {
+                    self.stats.user_aborts += 1;
+                    TxnStatus::Aborted
+                } else {
+                    self.stats.failed += 1;
+                    TxnStatus::Failed
+                };
+                TxnOutcome {
+                    txn,
+                    proc: inv.proc,
+                    batch: inv.batch.id,
+                    status,
+                    response: None,
+                    error: Some(e.to_string()),
+                }
+            }
+        };
+
+        // Stash outputs for post_te (committed TEs only).
+        self.pending_outputs = if outcome.is_committed() {
+            scratch.appended
+        } else {
+            Vec::new()
+        };
+        Ok(outcome)
+    }
+
+    /// Post-commit bookkeeping: PE triggers, GC, batch completion acks.
+    fn post_te(&mut self, inv: &Invocation, outcome: &TxnOutcome) -> Result<()> {
+        let appended = std::mem::take(&mut self.pending_outputs);
+        let b = inv.batch.id;
+
+        if outcome.is_committed() {
+            // Group emitted rows by stream, preserving first-append order.
+            let mut order: Vec<TableId> = Vec::new();
+            let mut by_stream: HashMap<TableId, Vec<Row>> = HashMap::new();
+            for (stream, row) in appended {
+                if !by_stream.contains_key(&stream) {
+                    order.push(stream);
+                }
+                by_stream.entry(stream).or_default().push(row);
+            }
+
+            if self.config.pe_triggers_enabled && self.config.mode == ExecMode::SStore {
+                let serial = self.serial_workflow();
+                let mut to_schedule: Vec<Invocation> = Vec::new();
+                for stream in &order {
+                    let rows = &by_stream[stream];
+                    let consumers = self.workflow.consumers_of(*stream).to_vec();
+                    if !consumers.is_empty() {
+                        self.gc_pending
+                            .insert((*stream, b.raw()), consumers.len());
+                    }
+                    for consumer in consumers {
+                        self.stats.pe_trigger_firings += 1;
+                        *self.batch_refs.entry(b.raw()).or_insert(0) += 1;
+                        to_schedule.push(Invocation {
+                            proc: consumer,
+                            batch: Batch::new(b, rows.clone()),
+                            origin: InvocationOrigin::PeTrigger,
+                        });
+                    }
+                }
+                if serial {
+                    // Downstream of this batch runs before anything queued
+                    // (whole-workflow serial execution).
+                    for inv in to_schedule.into_iter().rev() {
+                        self.queue.push_front(inv);
+                    }
+                } else {
+                    self.queue.extend(to_schedule);
+                }
+            }
+
+        }
+
+        // GC this TE's *input* stream once all consumers are done. This
+        // runs for aborted TEs too: the batch is terminally consumed either
+        // way (upstream backup, not the stream table, is the replay source).
+        if let Some(input) = self.procs[inv.proc.raw() as usize].input_stream {
+            if let Some(remaining) = self.gc_pending.get_mut(&(input, b.raw())) {
+                *remaining -= 1;
+                if *remaining == 0 {
+                    self.gc_pending.remove(&(input, b.raw()));
+                    self.engine.gc_stream(input, b)?;
+                }
+            }
+        }
+
+        // Batch completion accounting.
+        if let Some(refs) = self.batch_refs.get_mut(&b.raw()) {
+            *refs -= 1;
+            if *refs == 0 {
+                self.batch_refs.remove(&b.raw());
+                self.stats.batches_completed += 1;
+                self.log_record(&LogRecord::Ack { batch: b })?;
+            }
+        }
+        Ok(())
+    }
+
+    fn log_record(&mut self, record: &LogRecord) -> Result<()> {
+        if self.replaying {
+            return Ok(());
+        }
+        if let Some(log) = &mut self.log {
+            log.append(record)?;
+            self.stats.log_records += 1;
+            self.stats.log_syncs = log.syncs();
+        }
+        Ok(())
+    }
+
+    /// Read rows currently buffered in a sink stream (a stream with no
+    /// consuming procedure), returning the visible columns and deleting the
+    /// consumed tuples — the client-side tap of the demo dashboards.
+    pub fn drain_sink(&mut self, stream: &str) -> Result<Vec<Row>> {
+        self.stats.client_pe_trips += 1;
+        simulate_cost(self.config.client_trip_cost_micros);
+        let sid = self.engine.db().resolve(stream)?;
+        if !self.engine.db().kind(sid)?.is_stream() {
+            return Err(Error::Constraint(format!("`{stream}` is not a stream")));
+        }
+        if !self.workflow.consumers_of(sid).is_empty() {
+            return Err(Error::Schedule(format!(
+                "`{stream}` has workflow consumers; draining it would steal their input"
+            )));
+        }
+        let meta = self
+            .engine
+            .db()
+            .catalog()
+            .meta(sid)
+            .ok_or_else(|| Error::NotFound(format!("stream `{stream}`")))?;
+        let visible_arity = meta.visible_schema.arity();
+        let rows: Vec<Row> = self
+            .engine
+            .db()
+            .table(sid)?
+            .scan()
+            .map(|(_, r)| r[..visible_arity].to_vec())
+            .collect();
+        // Everything in a sink stream is by definition consumed now.
+        self.engine.gc_stream(sid, BatchId::new(self.next_batch))?;
+        Ok(rows)
+    }
+
+    // ---- durability ------------------------------------------------------------
+
+    /// Write a snapshot and truncate the command log. Must be called at
+    /// quiescence (drain() is synchronous, so any time between client calls).
+    pub fn snapshot(&mut self) -> Result<()> {
+        let cfg = self
+            .config
+            .log
+            .clone()
+            .ok_or_else(|| Error::Io("snapshots require a log directory".into()))?;
+        let snap = Snapshot::capture(
+            self.engine.db(),
+            Some(TxnId::new(self.next_txn.saturating_sub(1))),
+            Some(BatchId::new(self.next_batch)),
+            self.clock.now(),
+        );
+        snap.write_to(&cfg.snapshot_path())?;
+        if let Some(log) = &mut self.log {
+            log.truncate()?;
+        }
+        Ok(())
+    }
+
+    /// Internal: used by recovery to restore state and replay.
+    pub(crate) fn restore_for_recovery(
+        &mut self,
+        snapshot: Option<Snapshot>,
+    ) -> Result<()> {
+        if let Some(snap) = snapshot {
+            self.next_batch = snap.last_batch.map(BatchId::raw).unwrap_or(0);
+            self.next_txn = snap.last_txn.map(|t| t.raw() + 1).unwrap_or(1);
+            self.clock = Clock::starting_at(snap.clock_micros);
+            self.engine.restore_db(snap.database);
+        }
+        Ok(())
+    }
+
+    /// Internal: replay one log record (recovery path).
+    pub(crate) fn replay_record(&mut self, record: LogRecord) -> Result<()> {
+        match record {
+            LogRecord::BorderBatch {
+                batch,
+                proc,
+                rows,
+                ts,
+            } => {
+                if batch.raw() <= self.next_batch {
+                    return Ok(()); // covered by the snapshot
+                }
+                self.clock.advance_to(ts);
+                self.replaying = true;
+                self.next_batch = batch.raw() - 1; // submit_batch re-increments
+                let r = self.submit_batch(&proc, rows);
+                self.replaying = false;
+                r.map(|_| ())
+            }
+            LogRecord::Invocation {
+                batch,
+                proc,
+                rows,
+                ts,
+            } => {
+                if batch.raw() <= self.next_batch {
+                    return Ok(());
+                }
+                self.clock.advance_to(ts);
+                self.replaying = true;
+                self.next_batch = batch.raw() - 1;
+                let r = self.invoke(&proc, rows);
+                self.replaying = false;
+                r.map(|_| ())
+            }
+            LogRecord::Ack { .. } => Ok(()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::procedure::ProcSpec;
+
+    /// votes_in -> validate -> validated -> count
+    /// `validate` drops negative values; `count` bumps a counter table.
+    fn pipeline(config: PeConfig) -> Partition {
+        let mut p = Partition::new(config).unwrap();
+        p.ddl("CREATE STREAM votes_in (v INT)").unwrap();
+        p.ddl("CREATE STREAM validated (v INT)").unwrap();
+        p.ddl("CREATE TABLE totals (k INT NOT NULL, n INT NOT NULL, PRIMARY KEY (k))")
+            .unwrap();
+        let mut sc = TxnScratch::new(None, BatchId::new(0));
+        p.engine_mut()
+            .execute_sql("INSERT INTO totals VALUES (1, 0)", &[], &mut sc, 0)
+            .unwrap();
+
+        p.register(
+            ProcSpec::new("validate", |ctx| {
+                let rows = ctx.input().rows.clone();
+                for row in rows {
+                    if row[0].as_int()? >= 0 {
+                        ctx.emit(row)?;
+                    }
+                }
+                Ok(())
+            })
+            .consumes("votes_in")
+            .emits("validated"),
+        )
+        .unwrap();
+
+        p.register(
+            ProcSpec::new("count", |ctx| {
+                let n = ctx.input().len() as i64;
+                ctx.exec("bump", &[Value::Int(n)])?;
+                Ok(())
+            })
+            .consumes("validated")
+            .stmt("bump", "UPDATE totals SET n = n + ? WHERE k = 1"),
+        )
+        .unwrap();
+        p
+    }
+
+    fn total(p: &mut Partition) -> i64 {
+        p.query("SELECT n FROM totals WHERE k = 1", &[])
+            .unwrap()
+            .scalar_i64()
+            .unwrap()
+    }
+
+    #[test]
+    fn workflow_pushes_batches_downstream() {
+        let mut p = pipeline(PeConfig::default());
+        let outcomes = p
+            .submit_batch(
+                "validate",
+                vec![vec![Value::Int(1)], vec![Value::Int(-5)], vec![Value::Int(2)]],
+            )
+            .unwrap();
+        // Two TEs: validate then count, same batch id.
+        assert_eq!(outcomes.len(), 2);
+        assert!(outcomes.iter().all(|o| o.is_committed()));
+        assert_eq!(outcomes[0].batch, outcomes[1].batch);
+        assert_eq!(total(&mut p), 2);
+        assert_eq!(p.stats().pe_trigger_firings, 1);
+        assert_eq!(p.stats().batches_completed, 1);
+    }
+
+    #[test]
+    fn empty_output_skips_downstream() {
+        let mut p = pipeline(PeConfig::default());
+        let outcomes = p
+            .submit_batch("validate", vec![vec![Value::Int(-1)]])
+            .unwrap();
+        assert_eq!(outcomes.len(), 1);
+        assert_eq!(total(&mut p), 0);
+        assert_eq!(p.stats().batches_completed, 1);
+    }
+
+    #[test]
+    fn interior_procs_rejected_from_clients_in_sstore_mode() {
+        let mut p = pipeline(PeConfig::default());
+        let err = p.submit_batch("count", vec![]).unwrap_err();
+        assert_eq!(err.kind(), "schedule");
+    }
+
+    #[test]
+    fn hstore_mode_requires_client_driving() {
+        let mut p = pipeline(PeConfig::hstore());
+        // Client invokes validate; downstream does NOT fire.
+        p.invoke("validate", vec![vec![Value::Int(1)]]).unwrap();
+        assert_eq!(total(&mut p), 0);
+        assert_eq!(p.stats().pe_trigger_firings, 0);
+        // Client must poll/invoke downstream itself.
+        p.invoke("count", vec![vec![Value::Int(1)]]).unwrap();
+        assert_eq!(total(&mut p), 1);
+        // That cost two extra client trips (one per invocation) plus the
+        // query trips.
+        assert!(p.stats().client_pe_trips >= 2);
+    }
+
+    #[test]
+    fn aborted_te_has_no_effects_and_no_downstream() {
+        let mut p = Partition::new(PeConfig::default()).unwrap();
+        p.ddl("CREATE STREAM s_in (v INT)").unwrap();
+        p.ddl("CREATE STREAM s_out (v INT)").unwrap();
+        p.ddl("CREATE TABLE t (id INT NOT NULL, PRIMARY KEY (id))")
+            .unwrap();
+        p.register(
+            ProcSpec::new("flaky", |ctx| {
+                ctx.exec("ins", &[Value::Int(1)])?;
+                ctx.emit(vec![Value::Int(9)])?;
+                Err(ctx.abort("changed my mind"))
+            })
+            .consumes("s_in")
+            .emits("s_out")
+            .stmt("ins", "INSERT INTO t VALUES (?)"),
+        )
+        .unwrap();
+        p.register(
+            ProcSpec::new("sink_proc", |_ctx| Ok(()))
+                .consumes("s_out"),
+        )
+        .unwrap();
+
+        let outcomes = p.submit_batch("flaky", vec![vec![Value::Int(1)]]).unwrap();
+        assert_eq!(outcomes.len(), 1);
+        assert_eq!(outcomes[0].status, TxnStatus::Aborted);
+        // Table write rolled back; stream append rolled back; no trigger.
+        assert_eq!(
+            p.query("SELECT COUNT(*) FROM t", &[]).unwrap().scalar_i64().unwrap(),
+            0
+        );
+        assert_eq!(p.stats().pe_trigger_firings, 0);
+        assert_eq!(p.stats().user_aborts, 1);
+    }
+
+    #[test]
+    fn te_order_and_batch_order_preserved() {
+        // Record (proc, batch) execution order via a table.
+        let mut p = Partition::new(PeConfig::default()).unwrap();
+        p.ddl("CREATE STREAM a_in (v INT)").unwrap();
+        p.ddl("CREATE STREAM a_mid (v INT)").unwrap();
+        p.ddl("CREATE TABLE trace (seq INT NOT NULL, tag VARCHAR, b INT, PRIMARY KEY (seq))")
+            .unwrap();
+        p.ddl("CREATE TABLE seqgen (k INT NOT NULL, n INT NOT NULL, PRIMARY KEY (k))")
+            .unwrap();
+        let mut sc = TxnScratch::new(None, BatchId::new(0));
+        p.engine_mut()
+            .execute_sql("INSERT INTO seqgen VALUES (1, 0)", &[], &mut sc, 0)
+            .unwrap();
+
+        let trace = |tag: &'static str| {
+            move |ctx: &mut ProcContext<'_>| {
+                ctx.sql("UPDATE seqgen SET n = n + 1 WHERE k = 1", &[])?;
+                let seq = ctx
+                    .sql("SELECT n FROM seqgen WHERE k = 1", &[])?
+                    .scalar_i64()?;
+                let b = ctx.input().id.raw() as i64;
+                ctx.sql(
+                    "INSERT INTO trace VALUES (?, ?, ?)",
+                    &[Value::Int(seq), Value::Text(tag.into()), Value::Int(b)],
+                )?;
+                if tag == "first" {
+                    for row in ctx.input().rows.clone() {
+                        ctx.emit(row)?;
+                    }
+                }
+                Ok(())
+            }
+        };
+        p.register(
+            ProcSpec::new("first", trace("first"))
+                .consumes("a_in")
+                .emits("a_mid"),
+        )
+        .unwrap();
+        p.register(ProcSpec::new("second", trace("second")).consumes("a_mid"))
+            .unwrap();
+
+        for i in 0..3 {
+            p.submit_batch("a_in_is_wrong", vec![]).err(); // wrong name ignored
+            p.submit_batch("first", vec![vec![Value::Int(i)]]).unwrap();
+        }
+        let r = p
+            .query("SELECT tag, b FROM trace ORDER BY seq", &[])
+            .unwrap();
+        // Workflow order per batch: first(b) before second(b); batch order
+        // per proc: b strictly increasing for each tag.
+        let mut first_batches = vec![];
+        let mut second_batches = vec![];
+        let mut seen_first: HashMap<i64, usize> = HashMap::new();
+        for (i, row) in r.rows.iter().enumerate() {
+            let tag = row[0].as_text().unwrap().to_string();
+            let b = row[1].as_int().unwrap();
+            if tag == "first" {
+                seen_first.insert(b, i);
+                first_batches.push(b);
+            } else {
+                assert!(seen_first[&b] < i, "workflow order violated");
+                second_batches.push(b);
+            }
+        }
+        let mut sorted = first_batches.clone();
+        sorted.sort_unstable();
+        assert_eq!(first_batches, sorted, "TE order violated for `first`");
+        let mut sorted = second_batches.clone();
+        sorted.sort_unstable();
+        assert_eq!(second_batches, sorted, "TE order violated for `second`");
+    }
+
+    #[test]
+    fn consumed_stream_batches_are_garbage_collected() {
+        let mut p = pipeline(PeConfig::default());
+        p.submit_batch("validate", vec![vec![Value::Int(1)], vec![Value::Int(2)]])
+            .unwrap();
+        // The intermediate stream is empty after consumption.
+        let validated = p.engine().db().resolve("validated").unwrap();
+        assert_eq!(p.engine().db().table(validated).unwrap().len(), 0);
+        assert!(p.engine().stats().rows_gcd >= 2);
+    }
+
+    #[test]
+    fn drain_sink_reads_and_clears() {
+        let mut p = Partition::new(PeConfig::default()).unwrap();
+        p.ddl("CREATE STREAM in_s (v INT)").unwrap();
+        p.ddl("CREATE STREAM alerts (v INT)").unwrap();
+        p.register(
+            ProcSpec::new("alerting", |ctx| {
+                for row in ctx.input().rows.clone() {
+                    ctx.emit(row)?;
+                }
+                Ok(())
+            })
+            .consumes("in_s")
+            .emits("alerts"),
+        )
+        .unwrap();
+        p.submit_batch("alerting", vec![vec![Value::Int(7)]]).unwrap();
+        let rows = p.drain_sink("alerts").unwrap();
+        assert_eq!(rows, vec![vec![Value::Int(7)]]);
+        assert!(p.drain_sink("alerts").unwrap().is_empty());
+        // Draining a consumed stream is refused.
+        let mut p2 = pipeline(PeConfig::default());
+        assert!(p2.drain_sink("validated").is_err());
+    }
+
+    #[test]
+    fn query_rejects_writes() {
+        let mut p = pipeline(PeConfig::default());
+        let err = p
+            .query("INSERT INTO totals VALUES (2, 0)", &[])
+            .unwrap_err();
+        assert_eq!(err.kind(), "txn");
+        // And the write was rolled back.
+        assert_eq!(
+            p.query("SELECT COUNT(*) FROM totals", &[])
+                .unwrap()
+                .scalar_i64()
+                .unwrap(),
+            1
+        );
+    }
+}

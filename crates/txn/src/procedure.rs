@@ -1,0 +1,403 @@
+//! Stored procedures.
+//!
+//! An S-Store stored procedure is parameterized control code wrapped around
+//! SQL — H-Store uses Java, we use Rust closures. Procedures are defined
+//! once via [`ProcSpec`], which pre-plans every SQL statement; at run time
+//! each transaction execution gets a [`ProcContext`] giving it its input
+//! batch, its prepared statements, ad-hoc SQL, and an `emit` path onto its
+//! output stream.
+
+use sstore_common::{Batch, Error, ProcId, Result, Row, TableId, Value};
+use sstore_engine::{ExecutionEngine, TxnScratch};
+use sstore_sql::exec::QueryResult;
+use sstore_sql::plan::{PhysicalPlan, PlannedStmt};
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+/// Procedure body: control code over the context.
+pub type ProcHandler = Arc<dyn Fn(&mut ProcContext<'_>) -> Result<()> + Send + Sync>;
+
+/// Declarative definition of a stored procedure, passed to
+/// [`crate::partition::Partition::register`].
+#[derive(Clone)]
+pub struct ProcSpec {
+    /// Procedure name (unique per partition).
+    pub name: String,
+    /// Stream this procedure consumes. Border procedures name the stream
+    /// clients push into; interior procedures name an upstream output.
+    pub input_stream: Option<String>,
+    /// Stream this procedure emits to (creates the workflow edge to any
+    /// downstream procedure that consumes it).
+    pub output_stream: Option<String>,
+    /// Windows owned by this procedure (bound to it for scope enforcement).
+    pub windows: Vec<String>,
+    /// Named SQL statements, planned at registration.
+    pub statements: Vec<(String, String)>,
+    /// The body.
+    pub handler: ProcHandler,
+}
+
+impl std::fmt::Debug for ProcSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ProcSpec")
+            .field("name", &self.name)
+            .field("input_stream", &self.input_stream)
+            .field("output_stream", &self.output_stream)
+            .field("windows", &self.windows)
+            .field("statements", &self.statements.len())
+            .finish()
+    }
+}
+
+impl ProcSpec {
+    /// Start a spec with just a name and handler.
+    pub fn new(
+        name: impl Into<String>,
+        handler: impl Fn(&mut ProcContext<'_>) -> Result<()> + Send + Sync + 'static,
+    ) -> Self {
+        ProcSpec {
+            name: name.into(),
+            input_stream: None,
+            output_stream: None,
+            windows: Vec::new(),
+            statements: Vec::new(),
+            handler: Arc::new(handler),
+        }
+    }
+
+    /// Set the input stream.
+    pub fn consumes(mut self, stream: &str) -> Self {
+        self.input_stream = Some(stream.to_string());
+        self
+    }
+
+    /// Set the output stream.
+    pub fn emits(mut self, stream: &str) -> Self {
+        self.output_stream = Some(stream.to_string());
+        self
+    }
+
+    /// Declare an owned window.
+    pub fn owns_window(mut self, window: &str) -> Self {
+        self.windows.push(window.to_string());
+        self
+    }
+
+    /// Add a named prepared statement.
+    pub fn stmt(mut self, name: &str, sql: &str) -> Self {
+        self.statements.push((name.to_string(), sql.to_string()));
+        self
+    }
+}
+
+/// A registered procedure (spec compiled against the catalog).
+pub struct Procedure {
+    /// Dense id.
+    pub id: ProcId,
+    /// Name.
+    pub name: String,
+    /// Resolved input stream.
+    pub input_stream: Option<TableId>,
+    /// Resolved output stream.
+    pub output_stream: Option<TableId>,
+    /// Prepared statements by name.
+    pub statements: HashMap<String, PlannedStmt>,
+    /// Tables read by the prepared statements (shared-table analysis).
+    pub read_set: HashSet<TableId>,
+    /// Tables written by the prepared statements.
+    pub write_set: HashSet<TableId>,
+    /// The body.
+    pub handler: ProcHandler,
+}
+
+impl std::fmt::Debug for Procedure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Procedure")
+            .field("id", &self.id)
+            .field("name", &self.name)
+            .field("input_stream", &self.input_stream)
+            .field("output_stream", &self.output_stream)
+            .finish()
+    }
+}
+
+/// Collect the tables a plan reads.
+pub fn plan_reads(plan: &PhysicalPlan, out: &mut HashSet<TableId>) {
+    match plan {
+        PhysicalPlan::Scan { table, .. } => {
+            out.insert(*table);
+        }
+        PhysicalPlan::NestedLoopJoin { left, right, .. } => {
+            plan_reads(left, out);
+            plan_reads(right, out);
+        }
+        PhysicalPlan::Filter { input, .. }
+        | PhysicalPlan::Project { input, .. }
+        | PhysicalPlan::Sort { input, .. }
+        | PhysicalPlan::Limit { input, .. }
+        | PhysicalPlan::Distinct { input }
+        | PhysicalPlan::Aggregate { input, .. } => plan_reads(input, out),
+        PhysicalPlan::Values { .. } => {}
+    }
+}
+
+/// Compute the (read, write) table sets of a planned statement.
+pub fn stmt_effects(stmt: &PlannedStmt) -> (HashSet<TableId>, HashSet<TableId>) {
+    let mut reads = HashSet::new();
+    let mut writes = HashSet::new();
+    match stmt {
+        PlannedStmt::Query {
+            plan, subqueries, ..
+        } => {
+            plan_reads(plan, &mut reads);
+            for s in subqueries {
+                plan_reads(s, &mut reads);
+            }
+        }
+        PlannedStmt::Insert {
+            table,
+            source,
+            subqueries,
+            ..
+        } => {
+            writes.insert(*table);
+            plan_reads(source, &mut reads);
+            for s in subqueries {
+                plan_reads(s, &mut reads);
+            }
+        }
+        PlannedStmt::Update {
+            table, subqueries, ..
+        }
+        | PlannedStmt::Delete {
+            table, subqueries, ..
+        } => {
+            writes.insert(*table);
+            reads.insert(*table);
+            for s in subqueries {
+                plan_reads(s, &mut reads);
+            }
+        }
+        PlannedStmt::Ddl(_) => {}
+    }
+    (reads, writes)
+}
+
+/// The per-TE context handed to procedure bodies.
+pub struct ProcContext<'a> {
+    /// The execution engine (all data access flows through it).
+    pub engine: &'a mut ExecutionEngine,
+    /// Transaction scratch (undo, output collection).
+    pub scratch: &'a mut TxnScratch,
+    /// Prepared statements of the running procedure.
+    pub statements: &'a HashMap<String, PlannedStmt>,
+    /// The input batch.
+    pub input: &'a Batch,
+    /// Logical time of the TE.
+    pub now: i64,
+    /// Output stream (for [`ProcContext::emit`]).
+    pub output_stream: Option<TableId>,
+    /// Response assembled for the client (OLTP-style procedures).
+    pub response: Option<QueryResult>,
+    /// Simulated PE→EE dispatch cost in µs (0 = off). Applied per
+    /// statement to model a networked/IPC\'d deployment (experiment E3b).
+    pub ee_trip_cost_micros: u64,
+}
+
+impl ProcContext<'_> {
+    /// The input batch.
+    pub fn input(&self) -> &Batch {
+        self.input
+    }
+
+    /// Execute a prepared statement by name.
+    pub fn exec(&mut self, stmt: &str, params: &[Value]) -> Result<QueryResult> {
+        let planned = self
+            .statements
+            .get(stmt)
+            .ok_or_else(|| Error::NotFound(format!("prepared statement `{stmt}`")))?
+            .clone();
+        self.dispatch(&planned, params)
+    }
+
+    /// Execute ad-hoc SQL (planned per call; prefer [`ProcContext::exec`]).
+    pub fn sql(&mut self, sql: &str, params: &[Value]) -> Result<QueryResult> {
+        let planned = self.engine.prepare(sql)?;
+        self.dispatch(&planned, params)
+    }
+
+    /// Append a tuple to this procedure's output stream. The tuples
+    /// emitted during one TE form the downstream procedure's input batch.
+    pub fn emit(&mut self, row: Row) -> Result<()> {
+        let stream = self.output_stream.ok_or_else(|| {
+            Error::Schedule("procedure has no output stream to emit to".into())
+        })?;
+        // Synthesize a parameterized insert through the engine so stream
+        // lifecycle (batch/seq stamping, EE triggers) applies.
+        let arity = row.len();
+        let planned = PlannedStmt::Insert {
+            table: stream,
+            source: PhysicalPlan::Values {
+                rows: vec![(0..arity)
+                    .map(sstore_sql::expr::BoundExpr::Param)
+                    .collect()],
+            },
+            mapping: (0..arity).map(Some).collect(),
+            subqueries: vec![],
+        };
+        self.dispatch(&planned, &row)?;
+        Ok(())
+    }
+
+    /// Set the rows returned to the client for this TE.
+    pub fn respond(&mut self, result: QueryResult) {
+        self.response = Some(result);
+    }
+
+    /// Logical time of this TE.
+    pub fn now(&self) -> i64 {
+        self.now
+    }
+
+    /// Deliberately abort the transaction (clean rollback).
+    pub fn abort(&self, msg: impl Into<String>) -> Error {
+        Error::UserAbort(msg.into())
+    }
+
+    fn dispatch(&mut self, planned: &PlannedStmt, params: &[Value]) -> Result<QueryResult> {
+        simulate_cost(self.ee_trip_cost_micros);
+        self.engine
+            .execute_planned(planned, params, self.scratch, self.now)
+    }
+}
+
+/// Busy-wait for `micros` to model a cross-layer round trip. Deterministic
+/// enough for benchmarking; 0 is a no-op.
+pub fn simulate_cost(micros: u64) {
+    if micros == 0 {
+        return;
+    }
+    let end = std::time::Instant::now() + std::time::Duration::from_micros(micros);
+    while std::time::Instant::now() < end {
+        std::hint::spin_loop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sstore_common::BatchId;
+
+    #[test]
+    fn spec_builder() {
+        let spec = ProcSpec::new("sp1", |_ctx| Ok(()))
+            .consumes("in_s")
+            .emits("out_s")
+            .owns_window("w")
+            .stmt("q", "SELECT 1");
+        assert_eq!(spec.name, "sp1");
+        assert_eq!(spec.input_stream.as_deref(), Some("in_s"));
+        assert_eq!(spec.output_stream.as_deref(), Some("out_s"));
+        assert_eq!(spec.windows, vec!["w"]);
+        assert_eq!(spec.statements.len(), 1);
+    }
+
+    #[test]
+    fn effects_analysis() {
+        let mut engine = ExecutionEngine::new();
+        engine
+            .ddl_sql("CREATE TABLE t (id INT, PRIMARY KEY (id))")
+            .unwrap();
+        engine.ddl_sql("CREATE TABLE u (id INT, PRIMARY KEY (id))").unwrap();
+        let t = engine.db().resolve("t").unwrap();
+        let u = engine.db().resolve("u").unwrap();
+
+        let q = engine.prepare("SELECT * FROM t").unwrap();
+        let (r, w) = stmt_effects(&q);
+        assert!(r.contains(&t) && w.is_empty());
+
+        let ins = engine.prepare("INSERT INTO u SELECT id FROM t").unwrap();
+        let (r, w) = stmt_effects(&ins);
+        assert!(r.contains(&t) && w.contains(&u));
+
+        let upd = engine
+            .prepare("UPDATE t SET id = id + (SELECT MAX(id) FROM u)")
+            .unwrap();
+        let (r, w) = stmt_effects(&upd);
+        assert!(r.contains(&t) && r.contains(&u) && w.contains(&t));
+    }
+
+    #[test]
+    fn context_exec_and_emit() {
+        let mut engine = ExecutionEngine::new();
+        engine.ddl_sql("CREATE STREAM out_s (v INT)").unwrap();
+        engine
+            .ddl_sql("CREATE TABLE t (id INT, PRIMARY KEY (id))")
+            .unwrap();
+        let out = engine.db().resolve("out_s").unwrap();
+        let mut scratch = TxnScratch::new(Some(ProcId::new(0)), BatchId::new(3));
+        let mut stmts = HashMap::new();
+        stmts.insert(
+            "ins".to_string(),
+            engine.prepare("INSERT INTO t VALUES (?)").unwrap(),
+        );
+        let input = Batch::new(BatchId::new(3), vec![vec![Value::Int(5)]]);
+        let mut ctx = ProcContext {
+            engine: &mut engine,
+            scratch: &mut scratch,
+            statements: &stmts,
+            input: &input,
+            now: 7,
+            output_stream: Some(out),
+            response: None,
+            ee_trip_cost_micros: 0,
+        };
+        assert_eq!(ctx.input().len(), 1);
+        assert_eq!(ctx.now(), 7);
+        ctx.exec("ins", &[Value::Int(1)]).unwrap();
+        assert!(ctx.exec("missing", &[]).is_err());
+        ctx.emit(vec![Value::Int(42)]).unwrap();
+        assert!(ctx.abort("nope").is_user_abort());
+        drop(ctx);
+        // Emitted row landed in the stream with batch id 3.
+        let rows: Vec<Row> = engine
+            .db()
+            .table(out)
+            .unwrap()
+            .scan()
+            .map(|(_, r)| r.clone())
+            .collect();
+        assert_eq!(rows[0][0], Value::Int(42));
+        assert_eq!(rows[0][1], Value::Int(3));
+        assert_eq!(scratch.appended.len(), 1);
+    }
+
+    #[test]
+    fn emit_without_output_stream_errors() {
+        let mut engine = ExecutionEngine::new();
+        let mut scratch = TxnScratch::new(None, BatchId::new(0));
+        let stmts = HashMap::new();
+        let input = Batch::empty(BatchId::new(0));
+        let mut ctx = ProcContext {
+            engine: &mut engine,
+            scratch: &mut scratch,
+            statements: &stmts,
+            input: &input,
+            now: 0,
+            output_stream: None,
+            response: None,
+            ee_trip_cost_micros: 0,
+        };
+        assert_eq!(
+            ctx.emit(vec![Value::Int(1)]).unwrap_err().kind(),
+            "schedule"
+        );
+    }
+
+    #[test]
+    fn simulate_cost_zero_is_noop() {
+        let t0 = std::time::Instant::now();
+        simulate_cost(0);
+        assert!(t0.elapsed().as_millis() < 5);
+    }
+}

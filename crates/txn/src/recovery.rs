@@ -1,0 +1,228 @@
+//! Upstream-backup recovery.
+//!
+//! H-Store recovers from a snapshot plus a command log of inputs; S-Store
+//! inherits this and extends it to workflows: because border inputs are the
+//! *only* nondeterminism, replaying the logged batches through the same
+//! deterministic procedures regenerates every interior stream, window, and
+//! table exactly (paper §2, "upstream backup based fault tolerance").
+//!
+//! Procedures are Rust closures and therefore not serialized; like H-Store,
+//! recovery **redeploys** the schema and procedures (the `setup` closure —
+//! it must match the pre-crash deployment) and then restores data:
+//!
+//! 1. run `setup` on a fresh partition (DDL + procedure registration);
+//! 2. load the latest snapshot, if any (replaces the database wholesale —
+//!    valid because deterministic setup yields identical catalogs);
+//! 3. replay log records with batch ids beyond the snapshot, pinning the
+//!    logical clock to each record's timestamp.
+
+use crate::log::{read_log, LogConfig};
+use crate::partition::{Partition, PeConfig};
+use sstore_common::Result;
+use sstore_storage::snapshot::Snapshot;
+
+/// Rebuild a partition from its durable state.
+///
+/// `setup` must recreate exactly the DDL, indexes, EE triggers, and
+/// procedure registrations that the crashed partition had (deterministic
+/// redeployment, as in H-Store).
+pub fn recover(
+    config: PeConfig,
+    setup: impl FnOnce(&mut Partition) -> Result<()>,
+) -> Result<Partition> {
+    let log_cfg: LogConfig = config
+        .log
+        .clone()
+        .ok_or_else(|| sstore_common::Error::Recovery("recovery requires a log dir".into()))?;
+
+    let mut p = Partition::new(config)?;
+    setup(&mut p)?;
+
+    // Snapshot (optional).
+    let snap_path = log_cfg.snapshot_path();
+    let snapshot = if snap_path.exists() {
+        Some(Snapshot::read_from(&snap_path)?)
+    } else {
+        None
+    };
+    p.restore_for_recovery(snapshot)?;
+
+    // Replay the tail of the log.
+    for record in read_log(&log_cfg.log_path())? {
+        p.replay_record(record)?;
+    }
+    Ok(p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::log::LogConfig;
+    use crate::procedure::ProcSpec;
+    use sstore_common::Value;
+    use std::path::PathBuf;
+
+    fn tempdir(tag: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("sstore-rec-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&p);
+        std::fs::create_dir_all(&p).unwrap();
+        p
+    }
+
+    fn setup(p: &mut Partition) -> Result<()> {
+        p.ddl("CREATE STREAM nums (v INT)")?;
+        p.ddl("CREATE STREAM doubled (v INT)")?;
+        p.ddl("CREATE TABLE sums (k INT NOT NULL, total INT NOT NULL, PRIMARY KEY (k))")?;
+        // Seed through a border "init" procedure so it's in the log? No —
+        // seed rows must come from setup DDL-equivalent deterministic code,
+        // which recovery reruns identically.
+        let mut sc = sstore_engine::TxnScratch::new(None, sstore_common::BatchId::new(0));
+        p.engine_mut()
+            .execute_sql("INSERT INTO sums VALUES (1, 0)", &[], &mut sc, 0)
+            .unwrap();
+        p.register(
+            ProcSpec::new("double", |ctx| {
+                for row in ctx.input().rows.clone() {
+                    let v = row[0].as_int()?;
+                    ctx.emit(vec![Value::Int(v * 2)])?;
+                }
+                Ok(())
+            })
+            .consumes("nums")
+            .emits("doubled"),
+        )?;
+        p.register(
+            ProcSpec::new("sum", |ctx| {
+                let mut s = 0;
+                for row in &ctx.input().rows {
+                    s += row[0].as_int()?;
+                }
+                ctx.exec("add", &[Value::Int(s)])?;
+                Ok(())
+            })
+            .consumes("doubled")
+            .stmt("add", "UPDATE sums SET total = total + ? WHERE k = 1"),
+        )?;
+        Ok(())
+    }
+
+    fn config(dir: &PathBuf) -> PeConfig {
+        PeConfig {
+            log: Some(LogConfig::new(dir)),
+            ..PeConfig::default()
+        }
+    }
+
+    fn total(p: &mut Partition) -> i64 {
+        p.query("SELECT total FROM sums WHERE k = 1", &[])
+            .unwrap()
+            .scalar_i64()
+            .unwrap()
+    }
+
+    #[test]
+    fn replay_from_log_only() {
+        let dir = tempdir("logonly");
+        {
+            let mut p = Partition::new(config(&dir)).unwrap();
+            setup(&mut p).unwrap();
+            for i in 1..=5 {
+                p.advance_clock(10);
+                p.submit_batch("double", vec![vec![Value::Int(i)]]).unwrap();
+            }
+            assert_eq!(total(&mut p), 30); // 2*(1+..+5)
+            // Crash: partition dropped without snapshot.
+        }
+        let mut r = recover(config(&dir), setup).unwrap();
+        assert_eq!(total(&mut r), 30);
+        // The recovered clock resumed past the last record.
+        assert!(r.clock().now() >= 50);
+        // And the system keeps working, with fresh batch ids.
+        r.submit_batch("double", vec![vec![Value::Int(10)]]).unwrap();
+        assert_eq!(total(&mut r), 50);
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn replay_from_snapshot_plus_log() {
+        let dir = tempdir("snaplog");
+        {
+            let mut p = Partition::new(config(&dir)).unwrap();
+            setup(&mut p).unwrap();
+            for i in 1..=3 {
+                p.submit_batch("double", vec![vec![Value::Int(i)]]).unwrap();
+            }
+            p.snapshot().unwrap(); // covers batches 1-3, truncates log
+            for i in 4..=5 {
+                p.submit_batch("double", vec![vec![Value::Int(i)]]).unwrap();
+            }
+            assert_eq!(total(&mut p), 30);
+        }
+        let mut r = recover(config(&dir), setup).unwrap();
+        assert_eq!(total(&mut r), 30);
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn recovery_is_idempotent() {
+        let dir = tempdir("idem");
+        {
+            let mut p = Partition::new(config(&dir)).unwrap();
+            setup(&mut p).unwrap();
+            p.submit_batch("double", vec![vec![Value::Int(7)]]).unwrap();
+        }
+        let mut r1 = recover(config(&dir), setup).unwrap();
+        let v1 = total(&mut r1);
+        drop(r1);
+        let mut r2 = recover(config(&dir), setup).unwrap();
+        assert_eq!(total(&mut r2), v1);
+        assert_eq!(v1, 14);
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn recovery_without_log_dir_errors() {
+        let err = recover(PeConfig::default(), |_| Ok(())).unwrap_err();
+        assert_eq!(err.kind(), "recovery");
+    }
+
+    #[test]
+    fn hstore_invocations_replay_too() {
+        let dir = tempdir("hstore");
+        let cfg = || PeConfig {
+            log: Some(LogConfig::new(&dir)),
+            ..PeConfig::hstore()
+        };
+        let hsetup = |p: &mut Partition| -> Result<()> {
+            p.ddl("CREATE TABLE acc (k INT NOT NULL, n INT NOT NULL, PRIMARY KEY (k))")?;
+            let mut sc = sstore_engine::TxnScratch::new(None, sstore_common::BatchId::new(0));
+            p.engine_mut()
+                .execute_sql("INSERT INTO acc VALUES (1, 0)", &[], &mut sc, 0)
+                .unwrap();
+            p.register(ProcSpec::new("bump", |ctx| {
+                let d = ctx.input().rows[0][0].clone();
+                ctx.exec("u", &[d])?;
+                Ok(())
+            })
+            .stmt("u", "UPDATE acc SET n = n + ? WHERE k = 1"))?;
+            Ok(())
+        };
+        {
+            let mut p = Partition::new(cfg()).unwrap();
+            hsetup(&mut p).unwrap();
+            for i in 1..=4 {
+                p.invoke("bump", vec![vec![Value::Int(i)]]).unwrap();
+            }
+        }
+        let mut r = recover(cfg(), hsetup).unwrap();
+        assert_eq!(
+            r.query("SELECT n FROM acc WHERE k = 1", &[])
+                .unwrap()
+                .scalar_i64()
+                .unwrap(),
+            10
+        );
+        std::fs::remove_dir_all(dir).ok();
+    }
+}

@@ -1,0 +1,108 @@
+//! Partition-engine counters and latency tracking.
+
+/// Monotone counters for one partition.
+#[derive(Debug, Clone, Default)]
+pub struct PeStats {
+    /// Client→PE round trips (batch submissions, direct invocations, and —
+    /// in H-Store mode — client polls). The quantity experiment E3a sweeps.
+    pub client_pe_trips: u64,
+    /// Committed transaction executions.
+    pub committed: u64,
+    /// TEs rolled back by a deliberate user abort.
+    pub user_aborts: u64,
+    /// TEs rolled back by engine errors.
+    pub failed: u64,
+    /// Downstream TEs scheduled by PE triggers.
+    pub pe_trigger_firings: u64,
+    /// Border batches submitted.
+    pub batches_submitted: u64,
+    /// Batches whose entire workflow committed (acked for upstream backup).
+    pub batches_completed: u64,
+    /// Command-log records written.
+    pub log_records: u64,
+    /// Command-log fsyncs issued (group commit makes this < records).
+    pub log_syncs: u64,
+    /// Sum of per-TE wall latencies, in nanoseconds (with `committed` this
+    /// gives mean latency; the histogram gives the shape).
+    pub latency_ns_total: u128,
+    /// Power-of-two latency histogram: bucket i counts TEs with latency in
+    /// `[2^i, 2^(i+1))` microseconds; bucket 0 is `< 2µs`.
+    pub latency_hist: [u64; 24],
+}
+
+impl PeStats {
+    /// Zeroed counters.
+    pub fn new() -> Self {
+        PeStats::default()
+    }
+
+    /// Record one TE latency.
+    pub fn record_latency(&mut self, nanos: u128) {
+        self.latency_ns_total += nanos;
+        let micros = (nanos / 1_000) as u64;
+        let bucket = (64 - micros.leading_zeros() as usize).min(self.latency_hist.len() - 1);
+        self.latency_hist[bucket] += 1;
+    }
+
+    /// Mean committed-TE latency in microseconds (0 if none committed).
+    pub fn mean_latency_us(&self) -> f64 {
+        if self.committed == 0 {
+            return 0.0;
+        }
+        self.latency_ns_total as f64 / self.committed as f64 / 1_000.0
+    }
+
+    /// Approximate p99 latency in microseconds from the histogram.
+    pub fn p99_latency_us(&self) -> f64 {
+        let total: u64 = self.latency_hist.iter().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let target = (total as f64 * 0.99).ceil() as u64;
+        let mut seen = 0;
+        for (i, &n) in self.latency_hist.iter().enumerate() {
+            seen += n;
+            if seen >= target {
+                return (1u64 << i) as f64;
+            }
+        }
+        (1u64 << (self.latency_hist.len() - 1)) as f64
+    }
+
+    /// Total TEs that finished (committed + aborted + failed).
+    pub fn total_tes(&self) -> u64 {
+        self.committed + self.user_aborts + self.failed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_recording() {
+        let mut s = PeStats::new();
+        s.committed = 2;
+        s.record_latency(1_000); // 1µs -> bucket 0 region
+        s.record_latency(3_000_000); // 3ms
+        assert!(s.mean_latency_us() > 1000.0);
+        assert!(s.p99_latency_us() >= 2048.0);
+    }
+
+    #[test]
+    fn p99_empty_is_zero() {
+        assert_eq!(PeStats::new().p99_latency_us(), 0.0);
+        assert_eq!(PeStats::new().mean_latency_us(), 0.0);
+    }
+
+    #[test]
+    fn totals() {
+        let s = PeStats {
+            committed: 5,
+            user_aborts: 2,
+            failed: 1,
+            ..PeStats::new()
+        };
+        assert_eq!(s.total_tes(), 8);
+    }
+}

@@ -1,0 +1,135 @@
+//! Property test for experiment E5: the scheduler's ordering invariants
+//! hold for random linear workflows and random input batches.
+//!
+//! For a workflow SP1 → SP2 → ... → SPk over random batches, every
+//! produced schedule must satisfy (paper §2):
+//!  1. TE order: per procedure, batches execute in submission order;
+//!  2. workflow order: for each batch, SPi precedes SPi+1;
+//!  3. serial execution: with shared writable tables, the schedule is
+//!     exactly batch-major (whole workflow per batch, no interleaving).
+
+use proptest::prelude::*;
+use sstore_common::Value;
+use sstore_txn::{PeConfig, Partition, ProcSpec};
+
+/// Build a traced linear workflow of `depth` stages. All stages share the
+/// trace table, so the serial rule applies.
+fn pipeline(depth: usize) -> Partition {
+    let mut p = Partition::new(PeConfig::default()).unwrap();
+    for i in 0..=depth {
+        p.ddl(&format!("CREATE STREAM st{i} (v INT)")).unwrap();
+    }
+    p.ddl(
+        "CREATE TABLE trace (seq INT NOT NULL, stage INT NOT NULL, batch INT NOT NULL, \
+         PRIMARY KEY (seq))",
+    )
+    .unwrap();
+    p.ddl("CREATE TABLE seqgen (k INT NOT NULL, n INT NOT NULL, PRIMARY KEY (k))")
+        .unwrap();
+    p.setup_sql("INSERT INTO seqgen VALUES (0, 0)", &[]).unwrap();
+    for i in 0..depth {
+        let last = i == depth - 1;
+        let spec = ProcSpec::new(format!("sp{i}"), move |ctx| {
+            ctx.exec("bump", &[])?;
+            let seq = ctx.exec("get", &[])?.scalar_i64()?;
+            ctx.exec(
+                "log",
+                &[
+                    Value::Int(seq),
+                    Value::Int(i as i64),
+                    Value::Int(ctx.input().id.raw() as i64),
+                ],
+            )?;
+            if !last {
+                for row in ctx.input().rows.clone() {
+                    ctx.emit(row)?;
+                }
+            }
+            Ok(())
+        })
+        .consumes(&format!("st{i}"))
+        .stmt("bump", "UPDATE seqgen SET n = n + 1 WHERE k = 0")
+        .stmt("get", "SELECT n FROM seqgen WHERE k = 0")
+        .stmt("log", "INSERT INTO trace VALUES (?, ?, ?)");
+        let spec = if last {
+            spec
+        } else {
+            spec.emits(&format!("st{}", i + 1))
+        };
+        p.register(spec).unwrap();
+    }
+    p
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn schedules_are_legal(
+        depth in 1usize..5,
+        batch_sizes in prop::collection::vec(1usize..6, 1..12),
+    ) {
+        let mut p = pipeline(depth);
+        if depth >= 2 {
+            // Sharing requires at least two procedures.
+            prop_assert!(p.workflow().has_shared_writables());
+        }
+
+        for (i, size) in batch_sizes.iter().enumerate() {
+            let rows = (0..*size).map(|j| vec![Value::Int((i * 10 + j) as i64)]).collect();
+            p.submit_batch("sp0", rows).unwrap();
+        }
+
+        let trace: Vec<(i64, i64)> = p
+            .query("SELECT stage, batch FROM trace ORDER BY seq", &[])
+            .unwrap()
+            .rows
+            .iter()
+            .map(|r| (r[0].as_int().unwrap(), r[1].as_int().unwrap()))
+            .collect();
+
+        prop_assert_eq!(trace.len(), batch_sizes.len() * depth);
+
+        // Invariant 3 (serial, batch-major): stages cycle 0..depth and
+        // batches are grouped contiguously.
+        for (i, (stage, _)) in trace.iter().enumerate() {
+            prop_assert_eq!(*stage as usize, i % depth, "not batch-major at {}", i);
+        }
+        // Invariant 1 (TE order per stage).
+        for s in 0..depth as i64 {
+            let batches: Vec<i64> = trace
+                .iter()
+                .filter(|(stage, _)| *stage == s)
+                .map(|(_, b)| *b)
+                .collect();
+            let mut sorted = batches.clone();
+            sorted.sort_unstable();
+            prop_assert_eq!(&batches, &sorted, "TE order violated for stage {}", s);
+        }
+        // Invariant 2 (workflow order per batch).
+        let pos = |stage: i64, batch: i64| {
+            trace.iter().position(|&(s, b)| s == stage && b == batch)
+        };
+        for b in trace.iter().map(|&(_, b)| b).collect::<std::collections::BTreeSet<_>>() {
+            for s in 1..depth as i64 {
+                let up = pos(s - 1, b);
+                let down = pos(s, b);
+                prop_assert!(up.is_some() && down.is_some());
+                prop_assert!(up < down, "workflow order violated for batch {}", b);
+            }
+        }
+    }
+
+    #[test]
+    fn every_submitted_batch_is_acked_exactly_once(
+        n_batches in 1usize..20,
+    ) {
+        let mut p = pipeline(2);
+        for i in 0..n_batches {
+            p.submit_batch("sp0", vec![vec![Value::Int(i as i64)]]).unwrap();
+        }
+        prop_assert_eq!(p.stats().batches_submitted, n_batches as u64);
+        prop_assert_eq!(p.stats().batches_completed, n_batches as u64);
+        prop_assert_eq!(p.stats().committed, (n_batches * 2) as u64);
+    }
+}

@@ -1,0 +1,219 @@
+//! State capture and anomaly detection (experiment E1).
+//!
+//! The demo's claim: running the same votes against naïve H-Store yields
+//! *incorrect results* — wrong candidates eliminated, stale tallies, even a
+//! false winner — while S-Store matches the rules exactly. This module
+//! captures an engine's Voter state and diffs it against the [`Oracle`].
+
+use crate::oracle::Oracle;
+use sstore_common::Result;
+use sstore_core::SStore;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A comparable snapshot of the Voter application state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VoterState {
+    /// Live contestants.
+    pub contestants: BTreeSet<i64>,
+    /// Per-contestant counted votes.
+    pub counts: BTreeMap<i64, i64>,
+    /// Eliminated contestants, in order.
+    pub eliminated: Vec<i64>,
+    /// Counted votes.
+    pub total: i64,
+    /// Rejected submissions.
+    pub rejected: i64,
+    /// Live rows in the votes table.
+    pub live_votes: i64,
+    /// Current leader (top of the leaderboard).
+    pub leader: Option<i64>,
+}
+
+/// Read the engine's state through SQL.
+pub fn capture_state(db: &mut SStore) -> Result<VoterState> {
+    let contestants = db
+        .query("SELECT contestant_number FROM contestants", &[])?
+        .rows
+        .iter()
+        .map(|r| r[0].as_int())
+        .collect::<Result<BTreeSet<_>>>()?;
+    let counts = db
+        .query("SELECT contestant_number, num_votes FROM lb_counts", &[])?
+        .rows
+        .iter()
+        .map(|r| Ok((r[0].as_int()?, r[1].as_int()?)))
+        .collect::<Result<BTreeMap<_, _>>>()?;
+    let eliminated = db
+        .query(
+            "SELECT contestant_number FROM eliminations ORDER BY elim_order",
+            &[],
+        )?
+        .rows
+        .iter()
+        .map(|r| r[0].as_int())
+        .collect::<Result<Vec<_>>>()?;
+    let totals = db.query(
+        "SELECT total, rejected FROM vote_totals WHERE k = 0",
+        &[],
+    )?;
+    let total = totals.rows[0][0].as_int()?;
+    let rejected = totals.rows[0][1].as_int()?;
+    let live_votes = db
+        .query("SELECT COUNT(*) FROM votes", &[])?
+        .scalar_i64()?;
+    let leader = db
+        .query(
+            "SELECT contestant_number FROM lb_counts \
+             ORDER BY num_votes DESC, contestant_number ASC LIMIT 1",
+            &[],
+        )?
+        .rows
+        .first()
+        .map(|r| r[0].as_int())
+        .transpose()?;
+    Ok(VoterState {
+        contestants,
+        counts,
+        eliminated,
+        total,
+        rejected,
+        live_votes,
+        leader,
+    })
+}
+
+/// Snapshot the oracle in the same shape.
+pub fn oracle_state(o: &Oracle) -> VoterState {
+    VoterState {
+        contestants: o.contestants.clone(),
+        counts: o.counts.clone(),
+        eliminated: o.eliminated.iter().map(|&(c, _)| c).collect(),
+        total: o.total,
+        rejected: o.rejected,
+        live_votes: o.live_votes() as i64,
+        leader: o.leader(),
+    }
+}
+
+/// The anomaly counts experiment E1 reports.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Discrepancies {
+    /// Positions where the elimination sequences differ (including length
+    /// differences) — "incorrect candidates being removed" (paper §3.1).
+    pub wrong_eliminations: usize,
+    /// Live contestants present in one state but not the other.
+    pub contestant_set_diff: usize,
+    /// Contestants whose counted-vote tallies differ.
+    pub tally_mismatches: usize,
+    /// Difference in total counted votes (absolute).
+    pub total_delta: i64,
+    /// "The possibility for a false winner": does the current leader
+    /// differ?
+    pub false_leader: bool,
+}
+
+impl Discrepancies {
+    /// True when the states agree completely.
+    pub fn is_clean(&self) -> bool {
+        *self == Discrepancies::default()
+    }
+
+    /// Total anomaly count (for one-line reporting).
+    pub fn total(&self) -> usize {
+        self.wrong_eliminations
+            + self.contestant_set_diff
+            + self.tally_mismatches
+            + self.total_delta.unsigned_abs() as usize
+            + usize::from(self.false_leader)
+    }
+}
+
+/// Diff two states (reference first).
+pub fn diff_states(expected: &VoterState, actual: &VoterState) -> Discrepancies {
+    let mut d = Discrepancies::default();
+
+    let max_len = expected.eliminated.len().max(actual.eliminated.len());
+    for i in 0..max_len {
+        if expected.eliminated.get(i) != actual.eliminated.get(i) {
+            d.wrong_eliminations += 1;
+        }
+    }
+    d.contestant_set_diff = expected
+        .contestants
+        .symmetric_difference(&actual.contestants)
+        .count();
+    let all_candidates: BTreeSet<i64> = expected
+        .counts
+        .keys()
+        .chain(actual.counts.keys())
+        .copied()
+        .collect();
+    for c in all_candidates {
+        if expected.counts.get(&c) != actual.counts.get(&c) {
+            d.tally_mismatches += 1;
+        }
+    }
+    d.total_delta = (expected.total - actual.total).abs();
+    d.false_leader = expected.leader != actual.leader;
+    d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::VoterConfig;
+
+    fn state(elims: &[i64], leader: Option<i64>) -> VoterState {
+        VoterState {
+            contestants: (1..=3).collect(),
+            counts: (1..=3).map(|c| (c, 10)).collect(),
+            eliminated: elims.to_vec(),
+            total: 30,
+            rejected: 0,
+            live_votes: 30,
+            leader,
+        }
+    }
+
+    #[test]
+    fn identical_states_are_clean() {
+        let a = state(&[4, 5], Some(1));
+        let d = diff_states(&a, &a.clone());
+        assert!(d.is_clean());
+        assert_eq!(d.total(), 0);
+    }
+
+    #[test]
+    fn elimination_divergence_counted() {
+        let a = state(&[4, 5], Some(1));
+        let b = state(&[4, 6, 7], Some(1));
+        let d = diff_states(&a, &b);
+        assert_eq!(d.wrong_eliminations, 2); // position 1 differs + extra
+        assert!(!d.is_clean());
+    }
+
+    #[test]
+    fn false_leader_detected() {
+        let a = state(&[], Some(1));
+        let b = state(&[], Some(2));
+        let d = diff_states(&a, &b);
+        assert!(d.false_leader);
+        assert_eq!(d.total(), 1);
+    }
+
+    #[test]
+    fn oracle_state_shape() {
+        let mut o = Oracle::new(VoterConfig {
+            num_contestants: 3,
+            elimination_every: 100,
+            trending_window: 10,
+            trending_slide: 1,
+        });
+        o.feed(1, 2);
+        let s = oracle_state(&o);
+        assert_eq!(s.total, 1);
+        assert_eq!(s.counts[&2], 1);
+        assert_eq!(s.leader, Some(2));
+        assert_eq!(s.live_votes, 1);
+    }
+}

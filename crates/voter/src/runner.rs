@@ -1,0 +1,249 @@
+//! Workload runners for both systems.
+//!
+//! * [`run_sstore`] — push-based: votes are submitted as border batches;
+//!   PE triggers drive SP2/SP3.
+//! * [`run_hstore`] — the paper's baseline: a [`PipelinedClient`] drives
+//!   the workflow itself. Follow-up invocations (SP2 for a validated vote,
+//!   SP3 for an elimination signal) join the request queue *behind* newer
+//!   votes — the reordering that produces §3.1's anomalies.
+
+use crate::workload::Vote;
+use sstore_common::{Result, Value};
+use sstore_core::{ClientRequest, PipelinedClient, SStore};
+use std::time::Instant;
+
+/// What a run measured.
+#[derive(Debug, Clone, Default)]
+pub struct RunReport {
+    /// Votes submitted.
+    pub votes: u64,
+    /// TEs committed.
+    pub committed: u64,
+    /// Wall time in seconds.
+    pub elapsed_secs: f64,
+    /// Client→PE round trips consumed.
+    pub client_pe_trips: u64,
+    /// PE→EE statement dispatches consumed.
+    pub pe_ee_trips: u64,
+    /// Votes per wall-second.
+    pub votes_per_sec: f64,
+}
+
+fn report(db: &SStore, votes: u64, elapsed_secs: f64) -> RunReport {
+    RunReport {
+        votes,
+        committed: db.stats().committed,
+        elapsed_secs,
+        client_pe_trips: db.stats().client_pe_trips,
+        pe_ee_trips: db.engine().stats().pe_ee_trips,
+        votes_per_sec: if elapsed_secs > 0.0 {
+            votes as f64 / elapsed_secs
+        } else {
+            0.0
+        },
+    }
+}
+
+/// Drive `votes` through the S-Store workflow in batches of `batch_size`.
+pub fn run_sstore(db: &mut SStore, votes: &[Vote], batch_size: usize) -> Result<RunReport> {
+    assert!(batch_size > 0);
+    db.reset_stats();
+    let start = Instant::now();
+    for chunk in votes.chunks(batch_size) {
+        let rows = chunk
+            .iter()
+            .map(|v| vec![Value::Int(v.phone), Value::Int(v.contestant)])
+            .collect();
+        db.submit_batch("validate", rows)?;
+        db.advance_clock(1_000); // 1ms of show time per submission
+    }
+    Ok(report(db, votes.len() as u64, start.elapsed().as_secs_f64()))
+}
+
+/// Drive `votes` against H-Store mode with a client-owned workflow.
+///
+/// `inflight` is the client's pipelining window: how many requests it keeps
+/// outstanding. With `inflight = 1` the client fully serializes (no
+/// anomalies, maximal latency); larger windows let fresh votes overtake
+/// pending SP2/SP3 follow-ups, exactly the paper's failure scenario.
+pub fn run_hstore(db: &mut SStore, votes: &[Vote], inflight: usize) -> Result<RunReport> {
+    assert!(inflight > 0);
+    db.reset_stats();
+    let start = Instant::now();
+
+    let mut client = PipelinedClient::new(|req, outcome, out| {
+        if !outcome.is_committed() {
+            return;
+        }
+        match req.proc.as_str() {
+            "validate" => {
+                // Forward each validated vote to the leaderboard proc.
+                if let Some(resp) = &outcome.response {
+                    if !resp.rows.is_empty() {
+                        out.push(ClientRequest::follow_up("leaderboard", resp.rows.clone()));
+                    }
+                }
+            }
+            "leaderboard" => {
+                // The response tells the client how many eliminations to run.
+                if let Some(resp) = &outcome.response {
+                    let signals = resp
+                        .scalar()
+                        .and_then(|v| v.as_int().ok())
+                        .unwrap_or(0);
+                    for _ in 0..signals {
+                        out.push(ClientRequest::follow_up(
+                            "eliminate",
+                            vec![vec![Value::Int(0)]],
+                        ));
+                    }
+                }
+            }
+            _ => {}
+        }
+    });
+
+    let mut pending_votes = votes.iter();
+    loop {
+        // Keep the pipeline full: new votes arrive while follow-ups wait.
+        while client.pending() < inflight {
+            match pending_votes.next() {
+                Some(v) => {
+                    client.feed(ClientRequest::external(
+                        "validate",
+                        vec![vec![Value::Int(v.phone), Value::Int(v.contestant)]],
+                    ));
+                    db.advance_clock(1_000);
+                }
+                None => break,
+            }
+        }
+        if client.step(db)?.is_none() {
+            break;
+        }
+    }
+    Ok(report(db, votes.len() as u64, start.elapsed().as_secs_f64()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::checker::{capture_state, diff_states, oracle_state};
+    use crate::oracle::Oracle;
+    use crate::procs::{install, WindowImpl};
+    use crate::schema::VoterConfig;
+    use crate::workload::VoteGen;
+    use sstore_core::SStoreBuilder;
+
+    fn cfg() -> VoterConfig {
+        VoterConfig {
+            num_contestants: 10,
+            elimination_every: 20,
+            trending_window: 20,
+            trending_slide: 5,
+        }
+    }
+
+    #[test]
+    fn sstore_matches_oracle_batch_1() {
+        let config = cfg();
+        let votes = VoteGen::new(11, config.num_contestants).take(300);
+        let mut db = SStoreBuilder::new().build().unwrap();
+        install(&mut db, WindowImpl::Native, &config).unwrap();
+        run_sstore(&mut db, &votes, 1).unwrap();
+
+        let mut oracle = Oracle::new(config);
+        for v in &votes {
+            oracle.feed(v.phone, v.contestant);
+        }
+        let d = diff_states(&oracle_state(&oracle), &capture_state(&mut db).unwrap());
+        assert!(d.is_clean(), "S-Store diverged from oracle: {d:?}");
+    }
+
+    #[test]
+    fn sstore_matches_oracle_batched() {
+        let config = cfg();
+        let votes = VoteGen::new(5, config.num_contestants).take(300);
+        for batch_size in [2usize, 10, 64] {
+            let mut db = SStoreBuilder::new().build().unwrap();
+            install(&mut db, WindowImpl::Native, &config).unwrap();
+            run_sstore(&mut db, &votes, batch_size).unwrap();
+
+            let mut oracle = Oracle::new(config.clone());
+            for chunk in votes.chunks(batch_size) {
+                let pairs: Vec<(i64, i64)> =
+                    chunk.iter().map(|v| (v.phone, v.contestant)).collect();
+                oracle.feed_batch(&pairs);
+            }
+            let d = diff_states(&oracle_state(&oracle), &capture_state(&mut db).unwrap());
+            assert!(d.is_clean(), "batch={batch_size} diverged: {d:?}");
+        }
+    }
+
+    #[test]
+    fn hstore_with_pipelining_produces_anomalies() {
+        let config = cfg();
+        let votes = VoteGen::new(11, config.num_contestants).take(600);
+
+        let mut db = SStoreBuilder::new().hstore_mode().build().unwrap();
+        install(&mut db, WindowImpl::Emulated, &config).unwrap();
+        run_hstore(&mut db, &votes, 16).unwrap();
+
+        let mut oracle = Oracle::new(config);
+        for v in &votes {
+            oracle.feed(v.phone, v.contestant);
+        }
+        let d = diff_states(&oracle_state(&oracle), &capture_state(&mut db).unwrap());
+        assert!(
+            !d.is_clean(),
+            "expected H-Store anomalies with inflight=16, got a clean run"
+        );
+        assert!(d.wrong_eliminations > 0 || d.tally_mismatches > 0);
+    }
+
+    #[test]
+    fn hstore_serialized_client_is_correct() {
+        // inflight=1 -> the client waits for every follow-up before the
+        // next vote: slow but correct, confirming the anomaly really is
+        // caused by reordering, not by some engine bug.
+        let config = cfg();
+        let votes = VoteGen::new(11, config.num_contestants).take(200);
+        let mut db = SStoreBuilder::new().hstore_mode().build().unwrap();
+        install(&mut db, WindowImpl::Emulated, &config).unwrap();
+        run_hstore(&mut db, &votes, 1).unwrap();
+
+        let mut oracle = Oracle::new(config);
+        for v in &votes {
+            oracle.feed(v.phone, v.contestant);
+        }
+        let d = diff_states(&oracle_state(&oracle), &capture_state(&mut db).unwrap());
+        assert!(d.is_clean(), "serialized H-Store client diverged: {d:?}");
+    }
+
+    #[test]
+    fn sstore_uses_fewer_client_trips() {
+        let config = cfg();
+        let votes = VoteGen::new(3, config.num_contestants).take(200);
+
+        let mut s = SStoreBuilder::new().build().unwrap();
+        install(&mut s, WindowImpl::Native, &config).unwrap();
+        let rs = run_sstore(&mut s, &votes, 1).unwrap();
+
+        let mut h = SStoreBuilder::new().hstore_mode().build().unwrap();
+        install(&mut h, WindowImpl::Emulated, &config).unwrap();
+        let rh = run_hstore(&mut h, &votes, 8).unwrap();
+
+        assert!(
+            rs.client_pe_trips < rh.client_pe_trips,
+            "push-based S-Store should need fewer client trips: {} vs {}",
+            rs.client_pe_trips,
+            rh.client_pe_trips
+        );
+        assert!(
+            rs.pe_ee_trips < rh.pe_ee_trips,
+            "native windows should need fewer PE-EE trips: {} vs {}",
+            rs.pe_ee_trips,
+            rh.pe_ee_trips
+        );
+    }
+}

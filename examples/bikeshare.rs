@@ -1,0 +1,85 @@
+//! The paper's §3.2 demo: BikeShare — OLTP + streaming in one system.
+//!
+//! Simulates a 50-station city for 10 simulated minutes: checkouts and
+//! returns (OLTP), 1 Hz GPS ingestion with ride statistics and stolen-bike
+//! alerts (streaming), and transactional real-time discounts (both). Then
+//! renders the company dashboard (Fig. 5's data, as text).
+//!
+//! Run with: `cargo run --release --example bikeshare`
+
+use sstore_bikeshare::{install, verify_invariants, BikeConfig, CitySim};
+use sstore_core::SStoreBuilder;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let cfg = BikeConfig::default(); // 50 stations, 300 bikes, 200 riders
+    let mut db = SStoreBuilder::new().build()?;
+    install(&mut db, &cfg)?;
+
+    let mut sim = CitySim::new(&mut db, cfg.clone(), 7)?;
+    sim.p_start = 0.05;
+    sim.p_theft = 0.005;
+
+    println!("simulating 600 seconds of city traffic...\n");
+    let report = sim.run(&mut db, 600)?;
+
+    println!("=== BikeShare operations report ===");
+    println!("  checkouts            {:>7}", report.checkouts);
+    println!("  returns              {:>7}", report.returns);
+    println!("  checkout aborts      {:>7}   (station empty / rider busy)", report.checkout_aborts);
+    println!("  return diversions    {:>7}   (station full)", report.return_aborts);
+    println!("  GPS pings ingested   {:>7}", report.gps_pings);
+    println!("  stolen-bike alerts   {:>7}", report.alerts);
+    println!("  discounts accepted   {:>7}", report.accepts);
+    println!("  acceptance conflicts {:>7}   (offer already claimed)", report.accept_conflicts);
+    println!("  revenue              {:>6}.{:02} $", report.total_charged / 100, report.total_charged % 100);
+
+    // --- Fig. 5: stations with availability and live discounts --------------
+    println!("\n=== Station dashboard (busiest 10 by traffic) ===");
+    let stations = db.query(
+        "SELECT s.station_id, s.bikes_available, s.docks, COUNT(r.ride_id) AS trips \
+         FROM stations s JOIN rides r ON r.end_station = s.station_id \
+         GROUP BY s.station_id, s.bikes_available, s.docks \
+         ORDER BY trips DESC, s.station_id ASC LIMIT 10",
+        &[],
+    )?;
+    println!("  station  bikes/docks  completed arrivals");
+    for row in &stations.rows {
+        println!(
+            "  {:>7}  {:>5}/{:<5}  {:>8}",
+            row[0], row[1], row[2], row[3]
+        );
+    }
+
+    let live_offers = db.query(
+        "SELECT station_id, pct FROM discounts WHERE status = 0 ORDER BY station_id LIMIT 5",
+        &[],
+    )?;
+    println!("\n=== Live discount offers (first 5) ===");
+    if live_offers.rows.is_empty() {
+        println!("  (none outstanding)");
+    }
+    for row in &live_offers.rows {
+        println!("  station {:>3}: {}% off for dropping a bike here", row[0], row[1]);
+    }
+
+    // --- Ride statistics (Fig. 4's per-ride data) ---------------------------
+    let rides = db.query(
+        "SELECT COUNT(*), AVG(distance), MAX(max_speed) FROM rides WHERE end_ts IS NOT NULL",
+        &[],
+    )?;
+    let r = &rides.rows[0];
+    println!("\n=== Completed rides ===");
+    println!("  rides: {}   mean distance: {:.0} m   max speed seen: {:.1} m/s",
+        r[0], r[1].as_float().unwrap_or(0.0), r[2].as_float().unwrap_or(0.0));
+
+    // The invariants every GUI relies on still hold after the whole run.
+    verify_invariants(&mut db, &cfg)?;
+    println!("\nall transactional invariants verified (bike conservation, dock \
+              capacity, discount exclusivity, single open ride per rider)");
+
+    let pe = db.stats();
+    let ee = db.engine().stats();
+    println!("\nengine counters: {} TEs committed, {} aborted, {} PE-trigger firings, {} stream rows GC'd",
+        pe.committed, pe.user_aborts, pe.pe_trigger_firings, ee.rows_gcd);
+    Ok(())
+}

@@ -1,0 +1,128 @@
+//! Quickstart: a minimal streaming workflow with OLTP state.
+//!
+//! Builds a two-procedure workflow — sensor readings are cleaned, then
+//! aggregated into a table — and shows the three things S-Store adds over
+//! a plain OLTP engine: push-based workflows (PE triggers), native windows
+//! with EE triggers, and transactional stream state.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use sstore_core::common::Value;
+use sstore_core::{ProcSpec, SStoreBuilder, TriggerEvent};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut db = SStoreBuilder::new().build()?;
+
+    // --- Schema: streams, a window, and regular tables ---------------------
+    db.ddl("CREATE STREAM readings (sensor INT, celsius FLOAT)")?;
+    db.ddl("CREATE STREAM cleaned (sensor INT, celsius FLOAT)")?;
+    db.ddl("CREATE WINDOW w_recent (sensor INT, celsius FLOAT) ROWS 5 SLIDE 1")?;
+    db.ddl(
+        "CREATE TABLE sensor_stats (sensor INT NOT NULL, readings INT NOT NULL, \
+         total FLOAT NOT NULL, PRIMARY KEY (sensor))",
+    )?;
+    db.ddl("CREATE TABLE rolling (k INT NOT NULL, avg_c FLOAT, PRIMARY KEY (k))")?;
+    db.setup_sql("INSERT INTO rolling VALUES (0, NULL)", &[])?;
+
+    // --- EE trigger: keep a rolling average fresh on every window slide ----
+    db.create_ee_trigger(
+        "rolling_avg",
+        "w_recent",
+        TriggerEvent::OnSlide,
+        &["UPDATE rolling SET avg_c = (SELECT AVG(celsius) FROM w_recent) WHERE k = 0"],
+    )?;
+
+    // --- SP1: validate (drop physically impossible readings) ---------------
+    db.register(
+        ProcSpec::new("validate", |ctx| {
+            for row in ctx.input().rows.clone() {
+                let c = row[1].as_float()?;
+                if (-80.0..=60.0).contains(&c) {
+                    ctx.emit(row)?;
+                }
+            }
+            Ok(())
+        })
+        .consumes("readings")
+        .emits("cleaned"),
+    )?;
+
+    // --- SP2: aggregate into OLTP state + feed the window ------------------
+    db.register(
+        ProcSpec::new("aggregate", |ctx| {
+            for row in ctx.input().rows.clone() {
+                let sensor = row[0].clone();
+                let celsius = row[1].clone();
+                let seen = ctx.exec("exists", std::slice::from_ref(&sensor))?;
+                if seen.rows.is_empty() {
+                    ctx.exec("init", &[sensor.clone(), celsius.clone()])?;
+                } else {
+                    ctx.exec("bump", &[celsius.clone(), sensor.clone()])?;
+                }
+                ctx.exec("window", &[sensor, celsius])?;
+            }
+            Ok(())
+        })
+        .consumes("cleaned")
+        .owns_window("w_recent")
+        .stmt("exists", "SELECT sensor FROM sensor_stats WHERE sensor = ?")
+        .stmt("init", "INSERT INTO sensor_stats VALUES (?, 1, ?)")
+        .stmt(
+            "bump",
+            "UPDATE sensor_stats SET readings = readings + 1, total = total + ? WHERE sensor = ?",
+        )
+        .stmt("window", "INSERT INTO w_recent VALUES (?, ?)"),
+    )?;
+
+    // --- Push data through the workflow ------------------------------------
+    println!("pushing 3 batches of readings (one bogus value)...\n");
+    let batches: Vec<Vec<(i64, f64)>> = vec![
+        vec![(1, 21.5), (2, 19.0)],
+        vec![(1, 22.0), (2, 250.0)], // 250°C: dropped by SP1
+        vec![(1, 22.5), (2, 19.4), (1, 23.0)],
+    ];
+    for batch in batches {
+        let rows = batch
+            .into_iter()
+            .map(|(s, c)| vec![Value::Int(s), Value::Float(c)])
+            .collect();
+        let outcomes = db.submit_batch("validate", rows)?;
+        println!(
+            "  batch {} ran {} transaction executions",
+            outcomes[0].batch,
+            outcomes.len()
+        );
+    }
+
+    // --- Inspect state with plain SQL ---------------------------------------
+    let stats = db.query(
+        "SELECT sensor, readings, total / readings AS mean FROM sensor_stats ORDER BY sensor",
+        &[],
+    )?;
+    println!("\nper-sensor statistics:");
+    for row in &stats.rows {
+        println!(
+            "  sensor {}: {} readings, mean {:.2} C",
+            row[0],
+            row[1],
+            row[2].as_float()?
+        );
+    }
+
+    let rolling = db.query("SELECT avg_c FROM rolling WHERE k = 0", &[])?;
+    println!(
+        "\nrolling average over the last 5 readings (EE-trigger maintained): {:.2} C",
+        rolling.rows[0][0].as_float()?
+    );
+
+    let pe = db.stats();
+    let ee = db.engine().stats();
+    println!("\nengine counters:");
+    println!("  client->PE round trips : {}", pe.client_pe_trips);
+    println!("  PE->EE dispatches      : {}", ee.pe_ee_trips);
+    println!("  PE trigger firings     : {}", pe.pe_trigger_firings);
+    println!("  EE trigger firings     : {}", ee.insert_trigger_firings);
+    println!("  window slides          : {}", ee.window_slides);
+    println!("  stream rows GC'd       : {}", ee.rows_gcd);
+    Ok(())
+}

@@ -1,0 +1,2 @@
+//! Umbrella crate: integration tests and examples live at the workspace root.
+pub use sstore_core as core;

@@ -1,0 +1,197 @@
+//! ACID guarantees across the whole stack: atomic aborts spanning SQL,
+//! streams, windows, and EE-trigger cascades; consistency of constraint
+//! enforcement; isolation via serial execution + window scope; durability
+//! via the recovery tests.
+
+use sstore_core::common::Value;
+use sstore_core::{ProcSpec, SStoreBuilder, TriggerEvent, TxnStatus};
+
+#[test]
+fn mid_procedure_failure_rolls_back_everything() {
+    let mut db = SStoreBuilder::new().build().unwrap();
+    db.ddl("CREATE STREAM a_in (v INT)").unwrap();
+    db.ddl("CREATE STREAM a_out (v INT)").unwrap();
+    db.ddl("CREATE TABLE t (id INT NOT NULL, PRIMARY KEY (id))").unwrap();
+    db.ddl("CREATE WINDOW w (v INT) ROWS 3 SLIDE 1").unwrap();
+
+    db.register(
+        ProcSpec::new("doomed", |ctx| {
+            // Touch a table, a window, and a stream...
+            ctx.exec("ins", &[Value::Int(1)])?;
+            ctx.exec("win", &[Value::Int(10)])?;
+            ctx.emit(vec![Value::Int(100)])?;
+            // ...then hit a constraint violation (duplicate PK).
+            ctx.exec("ins", &[Value::Int(1)])?;
+            Ok(())
+        })
+        .consumes("a_in")
+        .emits("a_out")
+        .owns_window("w")
+        .stmt("ins", "INSERT INTO t VALUES (?)")
+        .stmt("win", "INSERT INTO w VALUES (?)"),
+    )
+    .unwrap();
+
+    let outcomes = db.submit_batch("doomed", vec![vec![Value::Int(0)]]).unwrap();
+    assert_eq!(outcomes.len(), 1);
+    assert_eq!(outcomes[0].status, TxnStatus::Failed);
+
+    // Every effect is gone: table, window, stream, and downstream.
+    assert_eq!(
+        db.query("SELECT COUNT(*) FROM t", &[]).unwrap().scalar_i64().unwrap(),
+        0
+    );
+    let w = db.engine().db().resolve("w").unwrap();
+    assert_eq!(db.engine().db().table(w).unwrap().len(), 0);
+    let out = db.engine().db().resolve("a_out").unwrap();
+    assert_eq!(db.engine().db().table(out).unwrap().len(), 0);
+    assert_eq!(db.stats().failed, 1);
+}
+
+#[test]
+fn ee_trigger_cascade_rolls_back_with_its_transaction() {
+    let mut db = SStoreBuilder::new().build().unwrap();
+    db.ddl("CREATE STREAM c_in (v INT)").unwrap();
+    db.ddl("CREATE STREAM c_mid (v INT)").unwrap();
+    db.ddl("CREATE TABLE audit (n INT NOT NULL, PRIMARY KEY (n))").unwrap();
+    // Insert into c_mid cascades an audit row via EE trigger.
+    db.create_ee_trigger(
+        "audit_mid",
+        "c_mid",
+        TriggerEvent::OnInsert,
+        &["INSERT INTO audit VALUES (?)"],
+    )
+    .unwrap();
+    db.register(
+        ProcSpec::new("writer", |ctx| {
+            ctx.exec("mid", &[Value::Int(7)])?;
+            // The trigger already ran inside this TE; now abort.
+            Err(ctx.abort("never mind"))
+        })
+        .consumes("c_in")
+        .stmt("mid", "INSERT INTO c_mid (v) VALUES (?)"),
+    )
+    .unwrap();
+
+    let outcomes = db.submit_batch("writer", vec![vec![Value::Int(0)]]).unwrap();
+    assert_eq!(outcomes[0].status, TxnStatus::Aborted);
+    assert_eq!(
+        db.query("SELECT COUNT(*) FROM audit", &[]).unwrap().scalar_i64().unwrap(),
+        0,
+        "trigger effects must roll back with the transaction"
+    );
+}
+
+#[test]
+fn abort_in_downstream_does_not_undo_upstream() {
+    // Upstream and downstream are separate TEs: upstream commits stand
+    // even when the downstream TE aborts (stream semantics — the batch was
+    // delivered; the downstream abort is its own outcome).
+    let mut db = SStoreBuilder::new().build().unwrap();
+    db.ddl("CREATE STREAM d_in (v INT)").unwrap();
+    db.ddl("CREATE STREAM d_mid (v INT)").unwrap();
+    db.ddl("CREATE TABLE up_t (n INT NOT NULL, PRIMARY KEY (n))").unwrap();
+
+    db.register(
+        ProcSpec::new("up", |ctx| {
+            ctx.exec("ins", &[Value::Int(ctx.input().id.raw() as i64)])?;
+            for row in ctx.input().rows.clone() {
+                ctx.emit(row)?;
+            }
+            Ok(())
+        })
+        .consumes("d_in")
+        .emits("d_mid")
+        .stmt("ins", "INSERT INTO up_t VALUES (?)"),
+    )
+    .unwrap();
+    db.register(
+        ProcSpec::new("down", |ctx| Err(ctx.abort("downstream refuses")))
+            .consumes("d_mid"),
+    )
+    .unwrap();
+
+    let outcomes = db.submit_batch("up", vec![vec![Value::Int(1)]]).unwrap();
+    assert_eq!(outcomes.len(), 2);
+    assert_eq!(outcomes[0].status, TxnStatus::Committed);
+    assert_eq!(outcomes[1].status, TxnStatus::Aborted);
+    assert_eq!(
+        db.query("SELECT COUNT(*) FROM up_t", &[]).unwrap().scalar_i64().unwrap(),
+        1
+    );
+}
+
+#[test]
+fn per_batch_atomicity_all_tuples_or_none() {
+    // One bad tuple in a batch aborts the whole TE (the batch is the unit
+    // of atomicity in the stream transaction model).
+    let mut db = SStoreBuilder::new().build().unwrap();
+    db.ddl("CREATE STREAM b_in (v INT)").unwrap();
+    db.ddl("CREATE TABLE acc (id INT NOT NULL, PRIMARY KEY (id))").unwrap();
+    db.register(
+        ProcSpec::new("ingest", |ctx| {
+            for row in ctx.input().rows.clone() {
+                ctx.exec("ins", &[row[0].clone()])?; // dup PK -> error
+            }
+            Ok(())
+        })
+        .consumes("b_in")
+        .stmt("ins", "INSERT INTO acc VALUES (?)"),
+    )
+    .unwrap();
+
+    let outcomes = db
+        .submit_batch(
+            "ingest",
+            vec![vec![Value::Int(1)], vec![Value::Int(2)], vec![Value::Int(1)]],
+        )
+        .unwrap();
+    assert_eq!(outcomes[0].status, TxnStatus::Failed);
+    assert_eq!(
+        db.query("SELECT COUNT(*) FROM acc", &[]).unwrap().scalar_i64().unwrap(),
+        0,
+        "partial batch effects must not survive"
+    );
+    // The engine remains healthy for the next batch.
+    let ok = db
+        .submit_batch("ingest", vec![vec![Value::Int(1)], vec![Value::Int(2)]])
+        .unwrap();
+    assert_eq!(ok[0].status, TxnStatus::Committed);
+    assert_eq!(
+        db.query("SELECT COUNT(*) FROM acc", &[]).unwrap().scalar_i64().unwrap(),
+        2
+    );
+}
+
+#[test]
+fn stream_sequence_counters_rewind_on_abort() {
+    // After an aborted TE, the next commit uses the same sequence numbers
+    // the aborted one consumed (no gaps — determinism for replay).
+    let mut db = SStoreBuilder::new().build().unwrap();
+    db.ddl("CREATE STREAM q_in (v INT)").unwrap();
+    db.ddl("CREATE STREAM q_out (v INT)").unwrap();
+    db.register(
+        ProcSpec::new("maybe", |ctx| {
+            let v = ctx.input().rows[0][0].as_int()?;
+            ctx.emit(vec![Value::Int(v)])?;
+            if v < 0 {
+                return Err(ctx.abort("negative"));
+            }
+            Ok(())
+        })
+        .consumes("q_in")
+        .emits("q_out"),
+    )
+    .unwrap();
+    db.register(ProcSpec::new("sink2", |_| Ok(())).consumes("q_out"))
+        .unwrap();
+
+    db.submit_batch("maybe", vec![vec![Value::Int(-1)]]).unwrap(); // aborts
+    db.submit_batch("maybe", vec![vec![Value::Int(5)]]).unwrap(); // commits
+    use sstore_storage::catalog::TableKind;
+    let out = db.engine().db().resolve("q_out").unwrap();
+    match db.engine().db().kind(out).unwrap() {
+        TableKind::Stream(meta) => assert_eq!(meta.next_seq, 1, "seq must rewind on abort"),
+        _ => panic!(),
+    }
+}

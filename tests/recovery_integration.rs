@@ -1,0 +1,162 @@
+//! Integration test for experiment E6: upstream-backup fault tolerance on
+//! the real Voter application, with crash points swept across the run.
+
+use sstore_core::{recover, SStore, SStoreBuilder};
+use sstore_voter::{capture_state, diff_states, install, run_sstore, VoteGen, VoterConfig, WindowImpl};
+use std::path::PathBuf;
+
+fn tempdir(tag: &str) -> PathBuf {
+    let p = std::env::temp_dir().join(format!("sstore-it-rec-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&p);
+    std::fs::create_dir_all(&p).unwrap();
+    p
+}
+
+fn config() -> VoterConfig {
+    VoterConfig {
+        num_contestants: 10,
+        elimination_every: 25,
+        trending_window: 50,
+        trending_slide: 5,
+    }
+}
+
+fn setup(db: &mut SStore) -> sstore_core::common::Result<()> {
+    install(db, WindowImpl::Native, &config())
+}
+
+#[test]
+fn crash_at_any_point_recovers_exact_state() {
+    let votes = VoteGen::new(77, config().num_contestants).take(400);
+    for crash_after in [1usize, 37, 120, 399] {
+        let dir = tempdir(&format!("sweep{crash_after}"));
+        let reference = {
+            let mut db = SStoreBuilder::new().durability(&dir, 4).build().unwrap();
+            setup(&mut db).unwrap();
+            run_sstore(&mut db, &votes[..crash_after], 1).unwrap();
+            capture_state(&mut db).unwrap()
+            // drop = crash (group commit 4: a sync'd prefix is guaranteed
+            // only per 4 records; see torn-tail test for the boundary)
+        };
+        let builder = SStoreBuilder::new().durability(&dir, 4);
+        let mut recovered = recover(builder.config().clone(), setup).unwrap();
+        let state = capture_state(&mut recovered).unwrap();
+        // With group commit > 1, the tail beyond the last sync may be lost.
+        // Our CommandLog buffers through a BufWriter that flushes on drop,
+        // so in-process "crashes" keep the full log; state must match.
+        let d = diff_states(&reference, &state);
+        assert!(d.is_clean(), "crash_after={crash_after}: {d:?}");
+        std::fs::remove_dir_all(dir).ok();
+    }
+}
+
+#[test]
+fn snapshot_log_interleaving_recovers() {
+    let votes = VoteGen::new(13, config().num_contestants).take(300);
+    let dir = tempdir("interleave");
+    let reference = {
+        let mut db = SStoreBuilder::new().durability(&dir, 1).build().unwrap();
+        setup(&mut db).unwrap();
+        run_sstore(&mut db, &votes[..100], 1).unwrap();
+        db.snapshot().unwrap();
+        run_sstore(&mut db, &votes[100..200], 1).unwrap();
+        db.snapshot().unwrap();
+        run_sstore(&mut db, &votes[200..], 1).unwrap();
+        capture_state(&mut db).unwrap()
+    };
+    let builder = SStoreBuilder::new().durability(&dir, 1);
+    let mut recovered = recover(builder.config().clone(), setup).unwrap();
+    let d = diff_states(&reference, &capture_state(&mut recovered).unwrap());
+    assert!(d.is_clean(), "{d:?}");
+    std::fs::remove_dir_all(dir).ok();
+}
+
+#[test]
+fn recovered_partition_continues_identically_to_uncrashed() {
+    let votes = VoteGen::new(5, config().num_contestants).take(300);
+    let dir = tempdir("continue");
+
+    // Uncrashed reference run over all 300 votes.
+    let uncrashed = {
+        let mut db = SStoreBuilder::new().build().unwrap();
+        setup(&mut db).unwrap();
+        run_sstore(&mut db, &votes, 1).unwrap();
+        capture_state(&mut db).unwrap()
+    };
+
+    // Crash at 150, recover, process the rest.
+    {
+        let mut db = SStoreBuilder::new().durability(&dir, 2).build().unwrap();
+        setup(&mut db).unwrap();
+        run_sstore(&mut db, &votes[..150], 1).unwrap();
+    }
+    let builder = SStoreBuilder::new().durability(&dir, 2);
+    let mut recovered = recover(builder.config().clone(), setup).unwrap();
+    run_sstore(&mut recovered, &votes[150..], 1).unwrap();
+
+    let d = diff_states(&uncrashed, &capture_state(&mut recovered).unwrap());
+    assert!(d.is_clean(), "post-recovery divergence: {d:?}");
+    std::fs::remove_dir_all(dir).ok();
+}
+
+#[test]
+fn torn_log_tail_is_discarded_not_fatal() {
+    use std::io::Write;
+    let dir = tempdir("torn");
+    {
+        let mut db = SStoreBuilder::new().durability(&dir, 1).build().unwrap();
+        setup(&mut db).unwrap();
+        let votes = VoteGen::new(1, config().num_contestants).take(50);
+        run_sstore(&mut db, &votes, 1).unwrap();
+    }
+    // Append garbage simulating a torn write at crash time.
+    let log_path = dir.join("command.log");
+    let mut f = std::fs::OpenOptions::new()
+        .append(true)
+        .open(&log_path)
+        .unwrap();
+    f.write_all(b"{\"BorderBatch\":{\"batch\":999,\"proc\":\"validate").unwrap();
+    drop(f);
+
+    let builder = SStoreBuilder::new().durability(&dir, 1);
+    let mut recovered = recover(builder.config().clone(), setup).unwrap();
+    let total = recovered
+        .query("SELECT total FROM vote_totals WHERE k = 0", &[])
+        .unwrap()
+        .scalar_i64()
+        .unwrap();
+    assert!(total > 0, "prefix must replay despite the torn tail");
+    std::fs::remove_dir_all(dir).ok();
+}
+
+#[test]
+fn async_burst_submissions_recover_exactly() {
+    // Bursty async clients + serial workflow: the log records batches in
+    // submission order, replay runs them serially — same order the serial
+    // scheduler enforced, so state must match.
+    let votes = VoteGen::new(33, config().num_contestants).take(300);
+    let dir = tempdir("async");
+    let reference = {
+        let mut db = SStoreBuilder::new().durability(&dir, 4).build().unwrap();
+        setup(&mut db).unwrap();
+        for chunk in votes.chunks(16) {
+            for v in chunk {
+                db.submit_batch_async(
+                    "validate",
+                    vec![vec![
+                        sstore_core::common::Value::Int(v.phone),
+                        sstore_core::common::Value::Int(v.contestant),
+                    ]],
+                )
+                .unwrap();
+            }
+            db.run_queued().unwrap();
+        }
+        capture_state(&mut db).unwrap()
+    };
+    let builder = SStoreBuilder::new().durability(&dir, 4);
+    let mut recovered = recover(builder.config().clone(), setup).unwrap();
+    let d = diff_states(&reference, &capture_state(&mut recovered).unwrap());
+    assert!(d.is_clean(), "{d:?}");
+    std::fs::remove_dir_all(dir).ok();
+}

@@ -1,0 +1,206 @@
+//! Integration test for experiment E5: the stream-oriented transaction
+//! model's ordering guarantees (paper §2) observed end to end.
+
+use sstore_core::common::Value;
+use sstore_core::{ProcSpec, SStoreBuilder};
+
+/// Build a 3-stage workflow that writes an execution trace:
+/// in -> a -> mid1 -> b -> mid2 -> c, all sharing the trace table (which
+/// forces whole-workflow serial execution per the paper's rule).
+fn traced_pipeline() -> sstore_core::SStore {
+    let mut db = SStoreBuilder::new().build().unwrap();
+    db.ddl("CREATE STREAM s_in (v INT)").unwrap();
+    db.ddl("CREATE STREAM s_mid1 (v INT)").unwrap();
+    db.ddl("CREATE STREAM s_mid2 (v INT)").unwrap();
+    db.ddl(
+        "CREATE TABLE trace (seq INT NOT NULL, proc VARCHAR NOT NULL, batch INT NOT NULL, \
+         PRIMARY KEY (seq))",
+    )
+    .unwrap();
+    db.ddl("CREATE TABLE seqgen (k INT NOT NULL, n INT NOT NULL, PRIMARY KEY (k))")
+        .unwrap();
+    db.setup_sql("INSERT INTO seqgen VALUES (0, 0)", &[]).unwrap();
+
+    let stage = |name: &'static str, forward: bool| {
+        ProcSpec::new(name, move |ctx| {
+            ctx.exec("bump", &[])?;
+            let seq = ctx.exec("get", &[])?.scalar_i64()?;
+            ctx.exec(
+                "log",
+                &[
+                    Value::Int(seq),
+                    Value::Text(name.into()),
+                    Value::Int(ctx.input().id.raw() as i64),
+                ],
+            )?;
+            if forward {
+                for row in ctx.input().rows.clone() {
+                    ctx.emit(row)?;
+                }
+            }
+            Ok(())
+        })
+        .stmt("bump", "UPDATE seqgen SET n = n + 1 WHERE k = 0")
+        .stmt("get", "SELECT n FROM seqgen WHERE k = 0")
+        .stmt("log", "INSERT INTO trace VALUES (?, ?, ?)")
+    };
+
+    db.register(stage("a", true).consumes("s_in").emits("s_mid1"))
+        .unwrap();
+    db.register(stage("b", true).consumes("s_mid1").emits("s_mid2"))
+        .unwrap();
+    db.register(stage("c", false).consumes("s_mid2")).unwrap();
+    db
+}
+
+fn trace_of(db: &mut sstore_core::SStore) -> Vec<(String, i64)> {
+    db.query("SELECT proc, batch FROM trace ORDER BY seq", &[])
+        .unwrap()
+        .rows
+        .iter()
+        .map(|r| (r[0].as_text().unwrap().to_string(), r[1].as_int().unwrap()))
+        .collect()
+}
+
+#[test]
+fn workflow_order_te_order_and_serial_execution_hold() {
+    let mut db = traced_pipeline();
+    assert!(db.workflow().has_shared_writables());
+
+    for i in 0..10i64 {
+        db.submit_batch("a", vec![vec![Value::Int(i)]]).unwrap();
+    }
+    let trace = trace_of(&mut db);
+    assert_eq!(trace.len(), 30);
+
+    // Invariant 3 (serial workflows): with shared writables, the schedule
+    // is exactly a(b) b(b) c(b) per batch, no interleaving at all.
+    for (i, (proc, _)) in trace.iter().enumerate() {
+        let expect = ["a", "b", "c"][i % 3];
+        assert_eq!(proc, expect, "serial execution violated at {i}: {trace:?}");
+    }
+    // Invariant 1 (TE order per procedure): batch ids strictly increase.
+    for p in ["a", "b", "c"] {
+        let batches: Vec<i64> = trace
+            .iter()
+            .filter(|(proc, _)| proc == p)
+            .map(|(_, b)| *b)
+            .collect();
+        let mut sorted = batches.clone();
+        sorted.sort_unstable();
+        assert_eq!(batches, sorted, "TE order violated for {p}");
+    }
+    // Invariant 2 (workflow order per batch): a(b) < b(b) < c(b).
+    for b in 1..=10i64 {
+        let pos = |p: &str| {
+            trace
+                .iter()
+                .position(|(proc, batch)| proc == p && *batch == b)
+                .unwrap()
+        };
+        assert!(pos("a") < pos("b") && pos("b") < pos("c"));
+    }
+}
+
+#[test]
+fn non_shared_workflows_may_pipeline_but_keep_both_orders() {
+    // Stages write disjoint tables -> the engine may interleave batches
+    // (pipelining), but per-proc TE order and per-batch workflow order must
+    // still hold.
+    let mut db = SStoreBuilder::new().serial_workflow(false).build().unwrap();
+    db.ddl("CREATE STREAM p_in (v INT)").unwrap();
+    db.ddl("CREATE STREAM p_mid (v INT)").unwrap();
+    db.ddl("CREATE TABLE t_a (seq INT NOT NULL, batch INT NOT NULL, PRIMARY KEY (seq))")
+        .unwrap();
+    db.ddl("CREATE TABLE t_b (seq INT NOT NULL, batch INT NOT NULL, PRIMARY KEY (seq))")
+        .unwrap();
+
+    db.register(
+        ProcSpec::new("pa", |ctx| {
+            let b = ctx.input().id.raw() as i64;
+            let n = ctx.exec("count", &[])?.scalar_i64()?;
+            ctx.exec("ins", &[Value::Int(n + 1), Value::Int(b)])?;
+            for row in ctx.input().rows.clone() {
+                ctx.emit(row)?;
+            }
+            Ok(())
+        })
+        .consumes("p_in")
+        .emits("p_mid")
+        .stmt("count", "SELECT COUNT(*) FROM t_a")
+        .stmt("ins", "INSERT INTO t_a VALUES (?, ?)"),
+    )
+    .unwrap();
+    db.register(
+        ProcSpec::new("pb", |ctx| {
+            let b = ctx.input().id.raw() as i64;
+            let n = ctx.exec("count", &[])?.scalar_i64()?;
+            ctx.exec("ins", &[Value::Int(n + 1), Value::Int(b)])?;
+            Ok(())
+        })
+        .consumes("p_mid")
+        .stmt("count", "SELECT COUNT(*) FROM t_b")
+        .stmt("ins", "INSERT INTO t_b VALUES (?, ?)"),
+    )
+    .unwrap();
+
+    for i in 0..8i64 {
+        db.submit_batch("pa", vec![vec![Value::Int(i)]]).unwrap();
+    }
+    for table in ["t_a", "t_b"] {
+        let batches: Vec<i64> = db
+            .query(&format!("SELECT batch FROM {table} ORDER BY seq"), &[])
+            .unwrap()
+            .rows
+            .iter()
+            .map(|r| r[0].as_int().unwrap())
+            .collect();
+        let mut sorted = batches.clone();
+        sorted.sort_unstable();
+        assert_eq!(batches, sorted, "TE order violated in {table}");
+        assert_eq!(batches.len(), 8);
+    }
+}
+
+#[test]
+fn window_scope_blocks_foreign_procedures() {
+    let mut db = SStoreBuilder::new().build().unwrap();
+    db.ddl("CREATE STREAM w_in (v INT)").unwrap();
+    db.ddl("CREATE WINDOW w_owned (v INT) ROWS 4 SLIDE 1").unwrap();
+    // Owner writes happily.
+    db.register(
+        ProcSpec::new("owner", |ctx| {
+            for row in ctx.input().rows.clone() {
+                ctx.exec("w", &[row[0].clone()])?;
+            }
+            Ok(())
+        })
+        .consumes("w_in")
+        .owns_window("w_owned")
+        .stmt("w", "INSERT INTO w_owned VALUES (?)"),
+    )
+    .unwrap();
+    // An unrelated procedure trying to read the window must be denied.
+    db.register(
+        ProcSpec::new("intruder", |ctx| {
+            ctx.sql("SELECT COUNT(*) FROM w_owned", &[])?;
+            Ok(())
+        }),
+    )
+    .unwrap();
+
+    db.submit_batch("w_in_is_wrong", vec![]).err();
+    db.submit_batch("owner", vec![vec![Value::Int(1)]]).unwrap();
+    let outcome = db.invoke("intruder", vec![]).unwrap();
+    assert_eq!(outcome.status, sstore_core::TxnStatus::Failed);
+    assert!(outcome.error.unwrap().contains("scope"));
+}
+
+#[test]
+fn interior_procedures_cannot_be_invoked_by_clients() {
+    let mut db = traced_pipeline();
+    let err = db.submit_batch("b", vec![vec![Value::Int(1)]]).unwrap_err();
+    assert_eq!(err.kind(), "schedule");
+    let err = db.submit_batch("c", vec![]).unwrap_err();
+    assert_eq!(err.kind(), "schedule");
+}

@@ -1,0 +1,98 @@
+//! Ablation for the paper's serial-execution rule (§2): "when there are
+//! shared writable tables along a workflow, S-Store requires a serial
+//! execution of the involved stored procedures."
+//!
+//! With an asynchronous client (several border batches queued at once) we
+//! force the rule OFF on the Voter workflow — whose three procedures share
+//! the votes/counts tables — and show the same anomaly class the H-Store
+//! baseline exhibits. The rule is load-bearing, not incidental.
+
+use sstore_core::common::Value;
+use sstore_core::SStoreBuilder;
+use sstore_voter::checker::oracle_state;
+use sstore_voter::{capture_state, diff_states, install, Oracle, VoteGen, VoterConfig, WindowImpl};
+
+fn config() -> VoterConfig {
+    VoterConfig {
+        num_contestants: 10,
+        elimination_every: 20,
+        trending_window: 20,
+        trending_slide: 5,
+    }
+}
+
+#[test]
+fn auto_detection_enables_serial_for_voter() {
+    let mut db = SStoreBuilder::new().build().unwrap();
+    install(&mut db, WindowImpl::Native, &config()).unwrap();
+    assert!(
+        db.workflow().has_shared_writables(),
+        "Voter's SPs share writable tables; the engine must detect it"
+    );
+}
+
+/// Run the voter workload with `burst` batches queued before each drain.
+fn run_async(serial: Option<bool>, votes: &[sstore_voter::workload::Vote], burst: usize) -> sstore_voter::VoterState {
+    let mut builder = SStoreBuilder::new();
+    if let Some(s) = serial {
+        builder = builder.serial_workflow(s);
+    }
+    let mut db = builder.build().unwrap();
+    install(&mut db, WindowImpl::Native, &config()).unwrap();
+    for chunk in votes.chunks(burst) {
+        for v in chunk {
+            db.submit_batch_async(
+                "validate",
+                vec![vec![Value::Int(v.phone), Value::Int(v.contestant)]],
+            )
+            .unwrap();
+        }
+        db.run_queued().unwrap();
+    }
+    capture_state(&mut db).unwrap()
+}
+
+#[test]
+fn serial_execution_is_exact_even_with_async_clients() {
+    let cfg = config();
+    let votes = VoteGen::new(21, cfg.num_contestants).take(1_500);
+    let mut oracle = Oracle::new(cfg);
+    for v in &votes {
+        oracle.feed(v.phone, v.contestant);
+    }
+    let expected = oracle_state(&oracle);
+    for burst in [1usize, 8, 64] {
+        let state = run_async(None, &votes, burst);
+        let d = diff_states(&expected, &state);
+        assert!(d.is_clean(), "burst={burst}: serial S-Store diverged: {d:?}");
+    }
+}
+
+#[test]
+fn disabling_serial_execution_on_shared_tables_breaks_correctness() {
+    let cfg = config();
+    let votes = VoteGen::new(21, cfg.num_contestants).take(1_500);
+    let mut oracle = Oracle::new(cfg);
+    for v in &votes {
+        oracle.feed(v.phone, v.contestant);
+    }
+    let expected = oracle_state(&oracle);
+
+    // Pipelined scheduling + async bursts: batch b+1's SP1 runs before
+    // batch b's SP2/SP3 — eliminations fire late, tallies drift.
+    let state = run_async(Some(false), &votes, 64);
+    let d = diff_states(&expected, &state);
+    assert!(
+        !d.is_clean(),
+        "expected anomalies with serial execution disabled on shared tables"
+    );
+    assert!(
+        d.wrong_eliminations > 0 || d.tally_mismatches > 0,
+        "{d:?}"
+    );
+
+    // Control: with burst=1 there is nothing to interleave with; even the
+    // pipelined scheduler is exact.
+    let control = run_async(Some(false), &votes, 1);
+    assert!(diff_states(&expected, &control).is_clean());
+}

@@ -1,0 +1,79 @@
+//! Stream garbage collection across workflow outcomes (experiment E7's
+//! correctness side): consumed batches leave the intermediate streams no
+//! matter how the consuming TE ends.
+
+use sstore_core::common::Value;
+use sstore_core::{ProcSpec, SStoreBuilder, TxnStatus};
+
+fn pipeline() -> sstore_core::SStore {
+    let mut db = SStoreBuilder::new().build().unwrap();
+    db.ddl("CREATE STREAM g_in (v INT)").unwrap();
+    db.ddl("CREATE STREAM g_mid (v INT)").unwrap();
+    db.register(
+        ProcSpec::new("produce", |ctx| {
+            for row in ctx.input().rows.clone() {
+                ctx.emit(row)?;
+            }
+            Ok(())
+        })
+        .consumes("g_in")
+        .emits("g_mid"),
+    )
+    .unwrap();
+    db.register(
+        ProcSpec::new("consume", |ctx| {
+            // Abort on negative values.
+            if ctx.input().rows[0][0].as_int()? < 0 {
+                return Err(ctx.abort("refused"));
+            }
+            Ok(())
+        })
+        .consumes("g_mid"),
+    )
+    .unwrap();
+    db
+}
+
+fn mid_len(db: &sstore_core::SStore) -> usize {
+    let mid = db.engine().db().resolve("g_mid").unwrap();
+    db.engine().db().table(mid).unwrap().len()
+}
+
+#[test]
+fn committed_consumption_gcs_the_stream() {
+    let mut db = pipeline();
+    for i in 0..10i64 {
+        db.submit_batch("produce", vec![vec![Value::Int(i)]]).unwrap();
+        assert_eq!(mid_len(&db), 0, "batch {i} left tuples behind");
+    }
+    assert!(db.engine().stats().rows_gcd >= 10);
+}
+
+#[test]
+fn aborted_consumption_still_gcs_the_stream() {
+    let mut db = pipeline();
+    let outcomes = db
+        .submit_batch("produce", vec![vec![Value::Int(-1)]])
+        .unwrap();
+    assert_eq!(outcomes[1].status, TxnStatus::Aborted);
+    // The batch is terminally consumed: no residue in the stream table.
+    assert_eq!(mid_len(&db), 0);
+    // And the workflow keeps functioning afterwards.
+    let ok = db.submit_batch("produce", vec![vec![Value::Int(5)]]).unwrap();
+    assert!(ok.iter().all(|o| o.is_committed()));
+    assert_eq!(mid_len(&db), 0);
+}
+
+#[test]
+fn memory_bounded_over_many_batches_with_aborts() {
+    let mut db = pipeline();
+    // Alternate committing and aborting consumers for a while.
+    for i in 0..500i64 {
+        let v = if i % 3 == 0 { -i } else { i };
+        db.submit_batch("produce", vec![vec![Value::Int(v)]]).unwrap();
+    }
+    assert_eq!(mid_len(&db), 0);
+    let bytes = db.engine().db().approx_bytes();
+    // Only the (empty) stream tables remain; a loose generous bound:
+    assert!(bytes < 64 * 1024, "unexpected growth: {bytes} bytes");
+}

@@ -1,0 +1,89 @@
+//! End-to-end time-based windows (`RANGE ... SLIDE ...`): the second
+//! window kind from the paper's §2 ("windows to define finite chunks of
+//! state over (possibly unbounded) streams"), driven by the logical clock.
+
+use sstore_core::common::Value;
+use sstore_core::{ProcSpec, SStoreBuilder, TriggerEvent};
+
+const SEC: i64 = 1_000_000;
+
+/// A rate monitor: events flow into a 10-second time window; on every
+/// 2-second slide an EE trigger refreshes a per-key rate table.
+fn build() -> sstore_core::SStore {
+    let mut db = SStoreBuilder::new().build().unwrap();
+    db.ddl("CREATE STREAM events (key INT)").unwrap();
+    db.ddl(&format!(
+        "CREATE WINDOW w_recent (key INT) RANGE {} SLIDE {}",
+        10 * SEC,
+        2 * SEC
+    ))
+    .unwrap();
+    db.ddl("CREATE TABLE rates (key INT NOT NULL, n INT NOT NULL, PRIMARY KEY (key))")
+        .unwrap();
+    db.create_ee_trigger(
+        "refresh_rates",
+        "w_recent",
+        TriggerEvent::OnSlide,
+        &[
+            "DELETE FROM rates",
+            "INSERT INTO rates SELECT key, COUNT(*) FROM w_recent GROUP BY key",
+        ],
+    )
+    .unwrap();
+    db.register(
+        ProcSpec::new("ingest", |ctx| {
+            for row in ctx.input().rows.clone() {
+                ctx.exec("win", &[row[0].clone()])?;
+            }
+            Ok(())
+        })
+        .consumes("events")
+        .owns_window("w_recent")
+        .stmt("win", "INSERT INTO w_recent VALUES (?)"),
+    )
+    .unwrap();
+    db
+}
+
+#[test]
+fn time_window_evicts_by_clock_and_slides_on_time() {
+    let mut db = build();
+    // One event per second for 30 seconds: key 1 for t<15, key 2 after.
+    for t in 0..30i64 {
+        db.advance_clock(SEC);
+        let key = if t < 15 { 1 } else { 2 };
+        db.submit_batch("ingest", vec![vec![Value::Int(key)]]).unwrap();
+    }
+    // At t=30 the 10s window holds only key-2 events (t in 21..=30).
+    let r = db
+        .query("SELECT key, n FROM rates ORDER BY key", &[])
+        .unwrap();
+    assert_eq!(r.rows.len(), 1, "stale keys must have slid out: {:?}", r.rows);
+    assert_eq!(r.rows[0][0], Value::Int(2));
+    let n = r.rows[0][1].as_int().unwrap();
+    // Slide granularity is 2s, so the refresh may lag one event.
+    assert!((9..=10).contains(&n), "expected ~10 events in window, got {n}");
+
+    // The window table itself is bounded (~10 tuples, never 30).
+    let w = db.engine().db().resolve("w_recent").unwrap();
+    let resident = db.engine().db().table(w).unwrap().len();
+    assert!(resident <= 11, "window holds {resident} tuples");
+    assert!(db.engine().stats().window_slides >= 10);
+}
+
+#[test]
+fn quiet_period_then_burst_expires_everything_old() {
+    let mut db = build();
+    for _ in 0..5 {
+        db.advance_clock(SEC);
+        db.submit_batch("ingest", vec![vec![Value::Int(1)]]).unwrap();
+    }
+    // 60 quiet seconds (no events, clock moves).
+    db.advance_clock(60 * SEC);
+    // A single new event: its insert must evict all five stale tuples.
+    db.submit_batch("ingest", vec![vec![Value::Int(2)]]).unwrap();
+    let w = db.engine().db().resolve("w_recent").unwrap();
+    assert_eq!(db.engine().db().table(w).unwrap().len(), 1);
+    let r = db.query("SELECT key, n FROM rates", &[]).unwrap();
+    assert_eq!(r.rows, vec![vec![Value::Int(2), Value::Int(1)]]);
+}

@@ -1,0 +1,180 @@
+//! Integration test for experiment E1 (paper §3.1): the Voter demo's
+//! correctness claims, end to end across all crates.
+
+use sstore_core::SStoreBuilder;
+use sstore_voter::checker::oracle_state;
+use sstore_voter::{
+    capture_state, diff_states, install, run_hstore, run_sstore, Oracle, VoteGen, VoterConfig,
+    WindowImpl,
+};
+
+fn config() -> VoterConfig {
+    VoterConfig {
+        num_contestants: 25,
+        elimination_every: 100,
+        trending_window: 100,
+        trending_slide: 10,
+    }
+}
+
+#[test]
+fn sstore_is_exact_for_many_seeds_and_batch_sizes() {
+    for seed in [1u64, 7, 42] {
+        let cfg = config();
+        let votes = VoteGen::new(seed, cfg.num_contestants).take(1_500);
+        for batch in [1usize, 3, 25] {
+            let mut db = SStoreBuilder::new().build().unwrap();
+            install(&mut db, WindowImpl::Native, &cfg).unwrap();
+            run_sstore(&mut db, &votes, batch).unwrap();
+
+            let mut oracle = Oracle::new(cfg.clone());
+            for chunk in votes.chunks(batch) {
+                let pairs: Vec<(i64, i64)> =
+                    chunk.iter().map(|v| (v.phone, v.contestant)).collect();
+                oracle.feed_batch(&pairs);
+            }
+            let d = diff_states(&oracle_state(&oracle), &capture_state(&mut db).unwrap());
+            assert!(
+                d.is_clean(),
+                "seed={seed} batch={batch} diverged: {d:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn hstore_anomalies_grow_with_pipelining() {
+    let cfg = config();
+    let votes = VoteGen::new(11, cfg.num_contestants).take(3_000);
+    let mut oracle = Oracle::new(cfg.clone());
+    for v in &votes {
+        oracle.feed(v.phone, v.contestant);
+    }
+    let expected = oracle_state(&oracle);
+
+    let mut totals = Vec::new();
+    for inflight in [1usize, 8, 64] {
+        let mut db = SStoreBuilder::new().hstore_mode().build().unwrap();
+        install(&mut db, WindowImpl::Emulated, &cfg).unwrap();
+        run_hstore(&mut db, &votes, inflight).unwrap();
+        let d = diff_states(&expected, &capture_state(&mut db).unwrap());
+        totals.push(d.total());
+    }
+    assert_eq!(totals[0], 0, "serialized client must be exact");
+    assert!(
+        totals[2] > 0,
+        "deep pipelining must produce anomalies: {totals:?}"
+    );
+    assert!(
+        totals[2] >= totals[1],
+        "anomalies should not shrink with deeper pipelines: {totals:?}"
+    );
+}
+
+#[test]
+fn eliminated_candidates_reject_new_votes_and_free_phones() {
+    let cfg = VoterConfig {
+        num_contestants: 3,
+        elimination_every: 4,
+        ..config()
+    };
+    let mut db = SStoreBuilder::new().build().unwrap();
+    install(&mut db, WindowImpl::Native, &cfg).unwrap();
+    use sstore_core::common::Value;
+    // 4 votes -> contestant with fewest (3) eliminated.
+    for (phone, c) in [(1i64, 1i64), (2, 1), (3, 2), (4, 3)] {
+        db.submit_batch("validate", vec![vec![Value::Int(phone), Value::Int(c)]])
+            .unwrap();
+    }
+    let elim = db
+        .query("SELECT contestant_number FROM eliminations", &[])
+        .unwrap();
+    assert_eq!(elim.rows.len(), 1);
+    let loser = elim.rows[0][0].as_int().unwrap();
+    // The phone that voted for the loser can vote again...
+    let freed_phone = if loser == 2 { 3 } else { 4 };
+    db.submit_batch(
+        "validate",
+        vec![vec![Value::Int(freed_phone), Value::Int(1)]],
+    )
+    .unwrap();
+    // ...while a vote for the loser is rejected.
+    let rejected_before = db
+        .query("SELECT rejected FROM vote_totals WHERE k = 0", &[])
+        .unwrap()
+        .scalar_i64()
+        .unwrap();
+    db.submit_batch("validate", vec![vec![Value::Int(99), Value::Int(loser)]])
+        .unwrap();
+    let rejected_after = db
+        .query("SELECT rejected FROM vote_totals WHERE k = 0", &[])
+        .unwrap()
+        .scalar_i64()
+        .unwrap();
+    assert_eq!(rejected_after, rejected_before + 1);
+}
+
+#[test]
+fn show_runs_to_single_winner_and_stops() {
+    let cfg = VoterConfig {
+        num_contestants: 5,
+        elimination_every: 10,
+        ..config()
+    };
+    let votes = VoteGen::with_mix(3, cfg.num_contestants, 1.2, 0.0, 0.0).take(2_000);
+    let mut db = SStoreBuilder::new().build().unwrap();
+    install(&mut db, WindowImpl::Native, &cfg).unwrap();
+    run_sstore(&mut db, &votes, 1).unwrap();
+    let remaining = db
+        .query("SELECT COUNT(*) FROM contestants", &[])
+        .unwrap()
+        .scalar_i64()
+        .unwrap();
+    assert_eq!(remaining, 1, "exactly one winner must remain");
+    let elims = db
+        .query("SELECT COUNT(*) FROM eliminations", &[])
+        .unwrap()
+        .scalar_i64()
+        .unwrap();
+    assert_eq!(elims, 4);
+}
+
+#[test]
+fn trending_window_reflects_only_recent_votes() {
+    let cfg = VoterConfig {
+        num_contestants: 4,
+        elimination_every: 10_000,
+        trending_window: 10,
+        trending_slide: 1,
+    };
+    let mut db = SStoreBuilder::new().build().unwrap();
+    install(&mut db, WindowImpl::Native, &cfg).unwrap();
+    use sstore_core::common::Value;
+    // 20 votes for candidate 1, then 10 for candidate 2.
+    for i in 0..20i64 {
+        db.submit_batch("validate", vec![vec![Value::Int(100 + i), Value::Int(1)]])
+            .unwrap();
+    }
+    for i in 0..10i64 {
+        db.submit_batch("validate", vec![vec![Value::Int(200 + i), Value::Int(2)]])
+            .unwrap();
+    }
+    let trending = db
+        .query(
+            "SELECT contestant_number, num_votes FROM lb_trending ORDER BY contestant_number",
+            &[],
+        )
+        .unwrap();
+    // Window of 10: only candidate 2 remains trending.
+    assert_eq!(trending.rows.len(), 1);
+    assert_eq!(trending.rows[0][0].as_int().unwrap(), 2);
+    assert_eq!(trending.rows[0][1].as_int().unwrap(), 10);
+    // But the all-time leaderboard still favours candidate 1.
+    let top = db
+        .query(
+            "SELECT contestant_number FROM lb_counts ORDER BY num_votes DESC LIMIT 1",
+            &[],
+        )
+        .unwrap();
+    assert_eq!(top.rows[0][0].as_int().unwrap(), 1);
+}
