@@ -62,21 +62,39 @@ fn main() {
 fn inventory() {
     println!("== F1: architecture inventory (paper Fig. 1) ==\n");
     let rows: &[(&str, &str)] = &[
-        ("client interface (push + OLTP)", "sstore-core::{SStore::submit_batch, invoke}"),
-        ("pipelined/polling client (H-Store demo driver)", "sstore-core::client::PipelinedClient"),
+        (
+            "client interface (push + OLTP)",
+            "sstore-core::{SStore::submit_batch, invoke}",
+        ),
+        (
+            "pipelined/polling client (H-Store demo driver)",
+            "sstore-core::client::PipelinedClient",
+        ),
         ("shared-nothing deployment", "sstore-core::cluster::Cluster"),
         ("PE: stored procedures", "sstore-txn::procedure"),
         ("PE: stream txn model / scheduler", "sstore-txn::partition"),
-        ("PE: workflows + PE triggers", "sstore-txn::workflow + partition::post_te"),
+        (
+            "PE: workflows + PE triggers",
+            "sstore-txn::workflow + partition::post_te",
+        ),
         ("PE: command logging (group commit)", "sstore-txn::log"),
         ("PE: upstream-backup recovery", "sstore-txn::recovery"),
         ("EE: statement execution + undo", "sstore-engine::context"),
-        ("EE: EE triggers (insert/slide)", "sstore-engine::triggers + engine"),
+        (
+            "EE: EE triggers (insert/slide)",
+            "sstore-engine::triggers + engine",
+        ),
         ("EE: native windows (tuple/time)", "sstore-engine::windows"),
         ("EE: stream GC", "sstore-engine::gc"),
         ("SQL: lexer/parser/planner/executor", "sstore-sql"),
-        ("storage: heap tables + indexes", "sstore-storage::{table, index}"),
-        ("storage: catalog (table/stream/window)", "sstore-storage::catalog"),
+        (
+            "storage: heap tables + indexes",
+            "sstore-storage::{table, index}",
+        ),
+        (
+            "storage: catalog (table/stream/window)",
+            "sstore-storage::catalog",
+        ),
         ("storage: snapshots", "sstore-storage::snapshot"),
         ("apps: Voter w/ Leaderboard (Figs 2-3)", "sstore-voter"),
         ("apps: BikeShare (Figs 4-5)", "sstore-bikeshare"),
@@ -96,11 +114,19 @@ fn exp1(scale: usize) {
         let (ds, dh) = exp_e1(600 * scale, inflight);
         println!(
             "   {:>8} | S-Store  | {:>11} | {:>10} | {:>12} | {:>6}",
-            inflight, ds.wrong_eliminations, ds.tally_mismatches, ds.false_leader, ds.total()
+            inflight,
+            ds.wrong_eliminations,
+            ds.tally_mismatches,
+            ds.false_leader,
+            ds.total()
         );
         println!(
             "   {:>8} | H-Store  | {:>11} | {:>10} | {:>12} | {:>6}",
-            inflight, dh.wrong_eliminations, dh.tally_mismatches, dh.false_leader, dh.total()
+            inflight,
+            dh.wrong_eliminations,
+            dh.tally_mismatches,
+            dh.false_leader,
+            dh.total()
         );
     }
     println!();
@@ -189,7 +215,10 @@ fn exp4(scale: usize) {
     println!("   checkouts/returns   {:>8} / {}", r.checkouts, r.returns);
     println!("   GPS pings           {:>8}", r.gps_pings);
     println!("   stolen-bike alerts  {:>8}", r.alerts);
-    println!("   discount accepts    {:>8} ({} conflicts, all serialized)", r.accepts, r.accept_conflicts);
+    println!(
+        "   discount accepts    {:>8} ({} conflicts, all serialized)",
+        r.accepts, r.accept_conflicts
+    );
     println!("   revenue (cents)     {:>8}", r.total_charged);
     println!("   TEs committed       {:>8}", pe.committed);
     println!("   TEs/s (wall)        {:>8.0}", pe.committed as f64 / secs);
@@ -235,9 +264,7 @@ fn exp7(scale: usize) {
         println!("   {:>15} | {:>10}", n, bytes);
         last = bytes;
     }
-    println!(
-        "   (window ROWS 1000 SLIDE 10: steady state ~1000 tuples resident; {last} bytes)\n"
-    );
+    println!("   (window ROWS 1000 SLIDE 10: steady state ~1000 tuples resident; {last} bytes)\n");
 }
 
 /// E8 — batch size sweep.

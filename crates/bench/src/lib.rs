@@ -8,8 +8,8 @@ use sstore_core::{recover, SStore, SStoreBuilder};
 use sstore_voter::checker::oracle_state;
 use sstore_voter::workload::Vote;
 use sstore_voter::{
-    capture_state, diff_states, install, run_hstore, run_sstore, Discrepancies, Oracle,
-    RunReport, VoteGen, VoterConfig, WindowImpl,
+    capture_state, diff_states, install, run_hstore, run_sstore, Discrepancies, Oracle, RunReport,
+    VoteGen, VoterConfig, WindowImpl,
 };
 
 /// Default Voter configuration for experiments (paper's parameters).
@@ -23,11 +23,7 @@ pub fn votes(n: usize) -> Vec<Vote> {
 }
 
 /// Build an installed S-Store Voter instance.
-pub fn sstore_voter(
-    window: WindowImpl,
-    client_cost_us: u64,
-    ee_cost_us: u64,
-) -> SStore {
+pub fn sstore_voter(window: WindowImpl, client_cost_us: u64, ee_cost_us: u64) -> SStore {
     let mut db = SStoreBuilder::new()
         .client_trip_cost(client_cost_us)
         .ee_trip_cost(ee_cost_us)
@@ -38,11 +34,7 @@ pub fn sstore_voter(
 }
 
 /// Build an installed H-Store-mode Voter instance.
-pub fn hstore_voter(
-    window: WindowImpl,
-    client_cost_us: u64,
-    ee_cost_us: u64,
-) -> SStore {
+pub fn hstore_voter(window: WindowImpl, client_cost_us: u64, ee_cost_us: u64) -> SStore {
     let mut db = SStoreBuilder::new()
         .hstore_mode()
         .client_trip_cost(client_cost_us)
@@ -136,7 +128,8 @@ pub fn exp_e6_recovery(dir: &std::path::Path, n_votes: usize) -> (f64, bool) {
     })
     .expect("recover");
     let secs = t0.elapsed().as_secs_f64();
-    let matches = diff_states(&reference, &capture_state(&mut recovered).expect("state")).is_clean();
+    let matches =
+        diff_states(&reference, &capture_state(&mut recovered).expect("state")).is_clean();
     (secs, matches)
 }
 
@@ -146,7 +139,8 @@ pub fn exp_e6_recovery(dir: &std::path::Path, n_votes: usize) -> (f64, bool) {
 pub fn exp_e7(n_tuples: usize) -> usize {
     let mut db = SStoreBuilder::new().build().expect("build");
     db.ddl("CREATE STREAM s_in (v INT)").expect("ddl");
-    db.ddl("CREATE WINDOW w (v INT) ROWS 1000 SLIDE 10").expect("ddl");
+    db.ddl("CREATE WINDOW w (v INT) ROWS 1000 SLIDE 10")
+        .expect("ddl");
     db.register(
         sstore_core::ProcSpec::new("ingest", |ctx| {
             for row in ctx.input().rows.clone() {

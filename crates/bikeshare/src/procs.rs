@@ -34,12 +34,19 @@ fn respond_row(ctx: &mut sstore_core::ProcContext<'_>, columns: &[&str], row: Ve
 fn register_checkout(db: &mut SStore) -> Result<()> {
     db.register(
         ProcSpec::new("checkout", |ctx| {
-            let row = ctx.input().rows.first().cloned().ok_or_else(|| {
-                ctx.abort("checkout requires (rider_id, station_id)")
-            })?;
+            let row = ctx
+                .input()
+                .rows
+                .first()
+                .cloned()
+                .ok_or_else(|| ctx.abort("checkout requires (rider_id, station_id)"))?;
             let rider = row[0].clone();
             let station = row[1].clone();
-            if !ctx.exec("active_ride", std::slice::from_ref(&rider))?.rows.is_empty() {
+            if !ctx
+                .exec("active_ride", std::slice::from_ref(&rider))?
+                .rows
+                .is_empty()
+            {
                 return Err(ctx.abort("rider already has a bike"));
             }
             let bike_q = ctx.exec("pick_bike", std::slice::from_ref(&station))?;
@@ -59,7 +66,11 @@ fn register_checkout(db: &mut SStore) -> Result<()> {
             )?;
             ctx.exec("bike_out", &[rider, bike.clone()])?;
             ctx.exec("station_minus", &[station])?;
-            respond_row(ctx, &["ride_id", "bike_id"], vec![Value::Int(ride_id), bike]);
+            respond_row(
+                ctx,
+                &["ride_id", "bike_id"],
+                vec![Value::Int(ride_id), bike],
+            );
             Ok(())
         })
         .stmt(
@@ -99,17 +110,19 @@ fn register_return(db: &mut SStore, cfg: &BikeConfig) -> Result<()> {
     let price = cfg.price_per_min;
     db.register(
         ProcSpec::new("return_bike", move |ctx| {
-            let row = ctx.input().rows.first().cloned().ok_or_else(|| {
-                ctx.abort("return_bike requires (rider_id, station_id)")
-            })?;
+            let row = ctx
+                .input()
+                .rows
+                .first()
+                .cloned()
+                .ok_or_else(|| ctx.abort("return_bike requires (rider_id, station_id)"))?;
             let rider = row[0].clone();
             let station = row[1].clone();
             let ride_q = ctx.exec("active_ride", std::slice::from_ref(&rider))?;
             let Some(ride) = ride_q.rows.first().cloned() else {
                 return Err(ctx.abort("no active ride for rider"));
             };
-            let (ride_id, bike, start_ts) =
-                (ride[0].clone(), ride[1].clone(), ride[2].as_int()?);
+            let (ride_id, bike, start_ts) = (ride[0].clone(), ride[1].clone(), ride[2].as_int()?);
             let cap = ctx.exec("station_room", std::slice::from_ref(&station))?;
             if cap.rows.is_empty() {
                 return Err(ctx.abort("no free dock at station"));
@@ -160,7 +173,10 @@ fn register_return(db: &mut SStore, cfg: &BikeConfig) -> Result<()> {
              WHERE rider_id = ? AND station_id = ? AND status = 1 AND expires_ts > ? \
              ORDER BY discount_id LIMIT 1",
         )
-        .stmt("redeem", "UPDATE discounts SET status = 3 WHERE discount_id = ?")
+        .stmt(
+            "redeem",
+            "UPDATE discounts SET status = 3 WHERE discount_id = ?",
+        )
         .stmt(
             "station_coords",
             "SELECT x, y FROM stations WHERE station_id = ?",
@@ -189,9 +205,12 @@ fn register_accept_discount(db: &mut SStore, cfg: &BikeConfig) -> Result<()> {
     let expiry = cfg.discount_expiry;
     db.register(
         ProcSpec::new("accept_discount", move |ctx| {
-            let row = ctx.input().rows.first().cloned().ok_or_else(|| {
-                ctx.abort("accept_discount requires (rider_id, discount_id)")
-            })?;
+            let row = ctx
+                .input()
+                .rows
+                .first()
+                .cloned()
+                .ok_or_else(|| ctx.abort("accept_discount requires (rider_id, discount_id)"))?;
             let rider = row[0].clone();
             let did = row[1].clone();
             let q = ctx.exec("get_discount", std::slice::from_ref(&did))?;
@@ -205,11 +224,7 @@ fn register_accept_discount(db: &mut SStore, cfg: &BikeConfig) -> Result<()> {
             }
             ctx.exec(
                 "claim",
-                &[
-                    rider,
-                    Value::Timestamp(ctx.now() + expiry),
-                    did.clone(),
-                ],
+                &[rider, Value::Timestamp(ctx.now() + expiry), did.clone()],
             )?;
             respond_row(ctx, &["discount_id"], vec![did]);
             Ok(())
@@ -368,7 +383,10 @@ fn register_discount_calc(db: &mut SStore, cfg: &BikeConfig, wired: bool) -> Res
         "get_discount_id",
         "SELECT next_discount FROM counters WHERE k = 0",
     )
-    .stmt("offer", "INSERT INTO discounts VALUES (?, ?, NULL, ?, 0, ?)");
+    .stmt(
+        "offer",
+        "INSERT INTO discounts VALUES (?, ?, NULL, ?, 0, ?)",
+    );
     if wired {
         spec = spec.consumes("s_moves");
     }
@@ -482,7 +500,11 @@ mod tests {
         db.advance_clock(SEC);
         db.submit_batch(
             "gps_ingest",
-            vec![vec![Value::Int(bike), Value::Float(110.0), Value::Float(0.0)]],
+            vec![vec![
+                Value::Int(bike),
+                Value::Float(110.0),
+                Value::Float(0.0),
+            ]],
         )
         .unwrap();
         let alerts = db.drain_sink("s_alerts").unwrap();
@@ -508,7 +530,11 @@ mod tests {
         db.advance_clock(SEC);
         db.submit_batch(
             "gps_ingest",
-            vec![vec![Value::Int(bike), Value::Float(10.0), Value::Float(10.0)]],
+            vec![vec![
+                Value::Int(bike),
+                Value::Float(10.0),
+                Value::Float(10.0),
+            ]],
         )
         .unwrap();
         let offers = db
@@ -524,7 +550,11 @@ mod tests {
         db.advance_clock(SEC);
         db.submit_batch(
             "gps_ingest",
-            vec![vec![Value::Int(bike), Value::Float(12.0), Value::Float(12.0)]],
+            vec![vec![
+                Value::Int(bike),
+                Value::Float(12.0),
+                Value::Float(12.0),
+            ]],
         )
         .unwrap();
         let offers = db

@@ -68,7 +68,10 @@ pub struct CitySim {
 impl CitySim {
     /// Build a simulator over an installed BikeShare database.
     pub fn new(db: &mut SStore, cfg: BikeConfig, seed: u64) -> Result<CitySim> {
-        let q = db.query("SELECT station_id, x, y FROM stations ORDER BY station_id", &[])?;
+        let q = db.query(
+            "SELECT station_id, x, y FROM stations ORDER BY station_id",
+            &[],
+        )?;
         let stations = q
             .rows
             .iter()
@@ -122,10 +125,7 @@ impl CitySim {
                 continue;
             }
             let from = self.rng.random_range(0..self.cfg.stations);
-            let out = db.invoke(
-                "checkout",
-                vec![vec![Value::Int(rider), Value::Int(from)]],
-            )?;
+            let out = db.invoke("checkout", vec![vec![Value::Int(rider), Value::Int(from)]])?;
             if !out.is_committed() {
                 self.report.checkout_aborts += 1;
                 continue;
@@ -147,7 +147,11 @@ impl CitySim {
                 dest_station: dest,
                 dest_x: dx,
                 dest_y: dy,
-                speed: if stolen { 30.0 } else { 4.0 + self.rng.random::<f64>() * 4.0 },
+                speed: if stolen {
+                    30.0
+                } else {
+                    4.0 + self.rng.random::<f64>() * 4.0
+                },
                 stolen,
             });
         }
@@ -199,10 +203,7 @@ impl CitySim {
             )?;
             if let Some(row) = offers.rows.first() {
                 let did = row[0].clone();
-                let out = db.invoke(
-                    "accept_discount",
-                    vec![vec![Value::Int(rider), did]],
-                )?;
+                let out = db.invoke("accept_discount", vec![vec![Value::Int(rider), did]])?;
                 if out.is_committed() {
                     self.report.accepts += 1;
                 } else {
@@ -351,7 +352,10 @@ mod tests {
         assert!(r.total_charged >= r.returns as i64 * BikeConfig::tiny().price_per_min);
         // The engine agrees with the client-side tally.
         let charged = db
-            .query("SELECT SUM(charged) FROM rides WHERE end_ts IS NOT NULL", &[])
+            .query(
+                "SELECT SUM(charged) FROM rides WHERE end_ts IS NOT NULL",
+                &[],
+            )
             .unwrap()
             .scalar_i64()
             .unwrap();

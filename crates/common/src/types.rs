@@ -28,7 +28,8 @@ impl DataType {
     /// True if a value of type `from` may be stored in a column of type
     /// `self` (possibly with a widening conversion).
     pub fn accepts(self, from: DataType) -> bool {
-        self == from || (self == DataType::Float && from == DataType::Int)
+        self == from
+            || (self == DataType::Float && from == DataType::Int)
             || (self == DataType::Timestamp && from == DataType::Int)
             || (self == DataType::Int && from == DataType::Timestamp)
     }

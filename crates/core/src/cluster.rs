@@ -44,7 +44,9 @@ impl Cluster {
         deploy: impl Fn(&mut SStore) -> Result<()>,
     ) -> Result<Cluster> {
         if n == 0 {
-            return Err(Error::Schedule("a cluster needs at least 1 partition".into()));
+            return Err(Error::Schedule(
+                "a cluster needs at least 1 partition".into(),
+            ));
         }
         let mut partitions = Vec::with_capacity(n);
         for _ in 0..n {
@@ -153,8 +155,10 @@ mod tests {
     /// Per-key event counting: embarrassingly partitionable.
     fn deploy(db: &mut SStore) -> Result<()> {
         db.ddl("CREATE STREAM ev (key INT, amount INT)")?;
-        db.ddl("CREATE TABLE totals (key INT NOT NULL, n INT NOT NULL, \
-                total INT NOT NULL, PRIMARY KEY (key))")?;
+        db.ddl(
+            "CREATE TABLE totals (key INT NOT NULL, n INT NOT NULL, \
+                total INT NOT NULL, PRIMARY KEY (key))",
+        )?;
         db.register(
             ProcSpec::new("count_events", |ctx| {
                 for row in ctx.input().rows.clone() {

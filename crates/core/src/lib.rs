@@ -61,8 +61,7 @@ pub use sstore_engine::{EeConfig, EeStats, TriggerEvent, TxnScratch};
 pub use sstore_sql::exec::QueryResult;
 pub use sstore_txn::recovery::recover;
 pub use sstore_txn::{
-    ExecMode, Invocation, PeConfig, PeStats, ProcContext, ProcSpec, TxnOutcome, TxnStatus,
-    Workflow,
+    ExecMode, Invocation, PeConfig, PeStats, ProcContext, ProcSpec, TxnOutcome, TxnStatus, Workflow,
 };
 
 /// The S-Store system handle: one single-sited partition, exactly the

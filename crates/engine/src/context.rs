@@ -140,7 +140,13 @@ impl ExecContext for EeContext<'_> {
             }
             TableKind::Stream(_) => {
                 // Rewind counters on abort.
-                let prior = self.db.catalog().meta(table).expect("kind checked").kind.clone();
+                let prior = self
+                    .db
+                    .catalog()
+                    .meta(table)
+                    .expect("kind checked")
+                    .kind
+                    .clone();
                 self.undo.push(UndoOp::KindMeta { table, prior });
                 let seq = {
                     let meta = self.db.catalog_mut().meta_mut(table).expect("kind checked");
@@ -219,7 +225,13 @@ mod tests {
         (db, t, s, w)
     }
 
-    fn ctx_parts() -> (UndoLog, EeStats, TriggerRegistry, EeConfig, Vec<(TableId, Row)>) {
+    fn ctx_parts() -> (
+        UndoLog,
+        EeStats,
+        TriggerRegistry,
+        EeConfig,
+        Vec<(TableId, Row)>,
+    ) {
         (
             UndoLog::new(),
             EeStats::new(),
@@ -249,7 +261,12 @@ mod tests {
         ctx.insert_visible(s, vec![Value::Int(10)]).unwrap();
         ctx.insert_visible(s, vec![Value::Int(11)]).unwrap();
         drop(ctx);
-        let rows: Vec<Row> = db.table(s).unwrap().scan().map(|(_, r)| r.clone()).collect();
+        let rows: Vec<Row> = db
+            .table(s)
+            .unwrap()
+            .scan()
+            .map(|(_, r)| r.clone())
+            .collect();
         assert_eq!(rows[0], vec![Value::Int(10), Value::Int(42), Value::Int(1)]);
         assert_eq!(rows[1], vec![Value::Int(11), Value::Int(42), Value::Int(2)]);
         assert_eq!(appended.len(), 2);

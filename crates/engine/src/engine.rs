@@ -5,8 +5,8 @@
 //! drives it: one [`ExecutionEngine::execute_planned`] call is one PE→EE
 //! round trip; EE triggers cascade *inside* that call.
 
-use crate::context::{EeContext, PendingFire};
 pub use crate::context::EeConfig;
+use crate::context::{EeContext, PendingFire};
 use crate::gc;
 use crate::stats::EeStats;
 use crate::triggers::{EeTrigger, TriggerEvent, TriggerRegistry};
@@ -315,7 +315,8 @@ mod tests {
             .unwrap();
         e.ddl_sql("CREATE STREAM s1 (v INT)").unwrap();
         e.ddl_sql("CREATE STREAM s2 (v INT)").unwrap();
-        e.ddl_sql("CREATE WINDOW w1 (v INT) ROWS 3 SLIDE 1").unwrap();
+        e.ddl_sql("CREATE WINDOW w1 (v INT) ROWS 3 SLIDE 1")
+            .unwrap();
         e
     }
 

@@ -109,9 +109,15 @@ mod tests {
         r.register(trig("b", 0, TriggerEvent::OnInsert)).unwrap();
         r.register(trig("c", 0, TriggerEvent::OnSlide)).unwrap();
         r.register(trig("d", 1, TriggerEvent::OnInsert)).unwrap();
-        assert_eq!(r.matching(TableId::new(0), TriggerEvent::OnInsert), vec![0, 1]);
+        assert_eq!(
+            r.matching(TableId::new(0), TriggerEvent::OnInsert),
+            vec![0, 1]
+        );
         assert_eq!(r.matching(TableId::new(0), TriggerEvent::OnSlide), vec![2]);
-        assert_eq!(r.matching(TableId::new(9), TriggerEvent::OnInsert), Vec::<usize>::new());
+        assert_eq!(
+            r.matching(TableId::new(9), TriggerEvent::OnInsert),
+            Vec::<usize>::new()
+        );
         assert_eq!(r.len(), 4);
     }
 

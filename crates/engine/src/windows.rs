@@ -56,12 +56,7 @@ pub fn insert_into_window(
                 w.total_inserted += 1;
                 (w.spec.kind, w.next_seq)
             }
-            _ => {
-                return Err(Error::Internal(format!(
-                    "`{}` is not a window",
-                    meta.name
-                )))
-            }
+            _ => return Err(Error::Internal(format!("`{}` is not a window", meta.name))),
         }
     };
     undo.push(UndoOp::KindMeta {
@@ -195,8 +190,7 @@ mod tests {
         let mut undo = UndoLog::new();
         let mut slides = 0;
         for i in 0..5 {
-            let r =
-                insert_into_window(&mut db, &mut undo, w, vec![Value::Int(i)], i).unwrap();
+            let r = insert_into_window(&mut db, &mut undo, w, vec![Value::Int(i)], i).unwrap();
             if r.slid {
                 slides += 1;
             }
@@ -212,8 +206,7 @@ mod tests {
         let mut undo = UndoLog::new();
         let mut slide_points = Vec::new();
         for i in 1..=8 {
-            let r =
-                insert_into_window(&mut db, &mut undo, w, vec![Value::Int(i)], i).unwrap();
+            let r = insert_into_window(&mut db, &mut undo, w, vec![Value::Int(i)], i).unwrap();
             if r.slid {
                 slide_points.push(i);
             }
@@ -283,8 +276,7 @@ mod tests {
         let schema = Schema::keyless(vec![Column::new("v", DataType::Int)]).unwrap();
         let t = db.create_table("t", schema).unwrap();
         let mut undo = UndoLog::new();
-        let err =
-            insert_into_window(&mut db, &mut undo, t, vec![Value::Int(1)], 0).unwrap_err();
+        let err = insert_into_window(&mut db, &mut undo, t, vec![Value::Int(1)], 0).unwrap_err();
         assert_eq!(err.kind(), "internal");
     }
 }

@@ -79,9 +79,7 @@ pub fn execute(
         PlannedStmt::Query { subqueries, .. }
         | PlannedStmt::Insert { subqueries, .. }
         | PlannedStmt::Update { subqueries, .. }
-        | PlannedStmt::Delete { subqueries, .. } => {
-            eval_subqueries(subqueries, ctx, params, now)?
-        }
+        | PlannedStmt::Delete { subqueries, .. } => eval_subqueries(subqueries, ctx, params, now)?,
         PlannedStmt::Ddl(_) => Vec::new(),
     };
     let env = EvalEnv {
@@ -197,7 +195,13 @@ fn eval_subqueries(
         let v = rows
             .into_iter()
             .next()
-            .and_then(|mut r| if r.is_empty() { None } else { Some(r.remove(0)) })
+            .and_then(|mut r| {
+                if r.is_empty() {
+                    None
+                } else {
+                    Some(r.remove(0))
+                }
+            })
             .unwrap_or(Value::Null);
         vals.push(v);
     }
@@ -250,11 +254,7 @@ fn matching_rows(
 }
 
 /// Run a read-only plan to a materialized row set.
-pub fn run_plan(
-    plan: &PhysicalPlan,
-    ctx: &dyn ExecContext,
-    env: &EvalEnv<'_>,
-) -> Result<Vec<Row>> {
+pub fn run_plan(plan: &PhysicalPlan, ctx: &dyn ExecContext, env: &EvalEnv<'_>) -> Result<Vec<Row>> {
     match plan {
         PhysicalPlan::Values { rows } => rows
             .iter()
@@ -467,10 +467,7 @@ impl GroupState {
     fn new(aggs: &[AggExpr]) -> GroupState {
         GroupState {
             states: aggs.iter().map(|a| AggState::new(a.func)).collect(),
-            seen: aggs
-                .iter()
-                .map(|a| a.distinct.then(HashSet::new))
-                .collect(),
+            seen: aggs.iter().map(|a| a.distinct.then(HashSet::new)).collect(),
         }
     }
 }
@@ -498,17 +495,12 @@ fn run_aggregate(
             }
         };
         for (i, agg) in aggs.iter().enumerate() {
-            let arg = agg
-                .arg
-                .as_ref()
-                .map(|e| eval(e, row, env))
-                .transpose()?;
+            let arg = agg.arg.as_ref().map(|e| eval(e, row, env)).transpose()?;
             if let Some(seen) = &mut group.seen[i] {
                 match &arg {
-                    Some(v) if !v.is_null()
-                        && !seen.insert(v.clone()) => {
-                            continue; // duplicate: skip for DISTINCT
-                        }
+                    Some(v) if !v.is_null() && !seen.insert(v.clone()) => {
+                        continue; // duplicate: skip for DISTINCT
+                    }
                     _ => {}
                 }
             }
@@ -577,11 +569,7 @@ impl ExecContext for DirectContext<'_> {
 }
 
 /// Parse, plan, and execute a statement in one call (test/tool convenience).
-pub fn run_sql(
-    sql: &str,
-    ctx: &mut dyn ExecContext,
-    params: &[Value],
-) -> Result<QueryResult> {
+pub fn run_sql(sql: &str, ctx: &mut dyn ExecContext, params: &[Value]) -> Result<QueryResult> {
     let stmt = crate::parser::parse(sql)?;
     let planned = crate::planner::plan_statement(&stmt, ctx.db())?;
     execute(&planned, ctx, params)
@@ -688,7 +676,11 @@ mod tests {
     #[test]
     fn global_aggregate_on_empty_table() {
         let mut db = setup();
-        let r = sql(&mut db, "SELECT COUNT(*), SUM(score), AVG(score), MIN(id), MAX(id) FROM t", &[]);
+        let r = sql(
+            &mut db,
+            "SELECT COUNT(*), SUM(score), AVG(score), MIN(id), MAX(id) FROM t",
+            &[],
+        );
         assert_eq!(r.rows.len(), 1);
         assert_eq!(r.rows[0][0], Value::Int(0));
         assert!(r.rows[0][1].is_null());
@@ -742,11 +734,7 @@ mod tests {
         )
         .unwrap();
         db.create_table("u", s2).unwrap();
-        sql(
-            &mut db,
-            "INSERT INTO u VALUES (1, 'x'), (2, 'y')",
-            &[],
-        );
+        sql(&mut db, "INSERT INTO u VALUES (1, 'x'), (2, 'y')", &[]);
         let r = sql(
             &mut db,
             "SELECT t.name, u.tag FROM t JOIN u ON t.id = u.tid ORDER BY t.id",
@@ -823,7 +811,11 @@ mod tests {
         // UPDATE that would re-match its own output must not loop.
         let mut db = setup();
         seed(&mut db);
-        let r = sql(&mut db, "UPDATE t SET score = 100.0 WHERE score < 100.0", &[]);
+        let r = sql(
+            &mut db,
+            "UPDATE t SET score = 100.0 WHERE score < 100.0",
+            &[],
+        );
         assert_eq!(r.rows_affected, 3);
     }
 

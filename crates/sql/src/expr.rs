@@ -496,7 +496,10 @@ mod tests {
     #[test]
     fn overflow_is_an_error_not_a_panic() {
         let e = bin(BinOp::Add, lit(i64::MAX), lit(1));
-        assert_eq!(eval(&e, &[], &EvalEnv::empty()).unwrap_err().kind(), "constraint");
+        assert_eq!(
+            eval(&e, &[], &EvalEnv::empty()).unwrap_err().kind(),
+            "constraint"
+        );
     }
 
     #[test]
@@ -511,10 +514,16 @@ mod tests {
     fn three_valued_and_or() {
         let null = BoundExpr::Literal(Value::Null);
         // false AND NULL = false; true AND NULL = NULL
-        assert_eq!(ev(&bin(BinOp::And, lit(false), null.clone())), Value::Bool(false));
+        assert_eq!(
+            ev(&bin(BinOp::And, lit(false), null.clone())),
+            Value::Bool(false)
+        );
         assert_eq!(ev(&bin(BinOp::And, lit(true), null.clone())), Value::Null);
         // true OR NULL = true; false OR NULL = NULL
-        assert_eq!(ev(&bin(BinOp::Or, lit(true), null.clone())), Value::Bool(true));
+        assert_eq!(
+            ev(&bin(BinOp::Or, lit(true), null.clone())),
+            Value::Bool(true)
+        );
         assert_eq!(ev(&bin(BinOp::Or, lit(false), null)), Value::Null);
     }
 
@@ -522,10 +531,7 @@ mod tests {
     fn comparisons() {
         assert_eq!(ev(&bin(BinOp::Lt, lit(1), lit(2))), Value::Bool(true));
         assert_eq!(ev(&bin(BinOp::Ge, lit(2), lit(2))), Value::Bool(true));
-        assert_eq!(
-            ev(&bin(BinOp::Eq, lit("a"), lit("a"))),
-            Value::Bool(true)
-        );
+        assert_eq!(ev(&bin(BinOp::Eq, lit("a"), lit("a"))), Value::Bool(true));
         assert_eq!(
             ev(&bin(BinOp::Neq, lit(1), BoundExpr::Literal(Value::Null))),
             Value::Null
@@ -597,7 +603,10 @@ mod tests {
             ev(&call(ScalarFn::Power, vec![lit(2.0), lit(10.0)])),
             Value::Float(1024.0)
         );
-        assert_eq!(ev(&call(ScalarFn::Length, vec![lit("héllo")])), Value::Int(5));
+        assert_eq!(
+            ev(&call(ScalarFn::Length, vec![lit("héllo")])),
+            Value::Int(5)
+        );
         assert_eq!(
             ev(&call(ScalarFn::Upper, vec![lit("ab")])),
             Value::Text("AB".into())

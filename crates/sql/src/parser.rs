@@ -94,7 +94,9 @@ impl Parser {
     fn ident(&mut self) -> Result<String> {
         match self.next()? {
             Token::Ident(s) => Ok(s),
-            other => Err(Error::Parse(format!("expected identifier, found {other:?}"))),
+            other => Err(Error::Parse(format!(
+                "expected identifier, found {other:?}"
+            ))),
         }
     }
 
@@ -861,7 +863,12 @@ mod tests {
         let s = sel("SELECT 1 + 2 * 3");
         match &s.items[0] {
             SelectItem::Expr {
-                expr: Expr::Binary { op: BinOp::Add, right, .. },
+                expr:
+                    Expr::Binary {
+                        op: BinOp::Add,
+                        right,
+                        ..
+                    },
                 ..
             } => assert!(matches!(**right, Expr::Binary { op: BinOp::Mul, .. })),
             other => panic!("{other:?}"),
@@ -869,7 +876,11 @@ mod tests {
         // AND binds tighter than OR
         let s = sel("SELECT * FROM t WHERE a OR b AND c");
         match s.where_pred.unwrap() {
-            Expr::Binary { op: BinOp::Or, right, .. } => {
+            Expr::Binary {
+                op: BinOp::Or,
+                right,
+                ..
+            } => {
                 assert!(matches!(*right, Expr::Binary { op: BinOp::And, .. }))
             }
             other => panic!("{other:?}"),
@@ -911,7 +922,9 @@ mod tests {
         assert_eq!(s.items.len(), 5);
         match &s.items[3] {
             SelectItem::Expr {
-                expr: Expr::Unary { op: UnaryOp::Neg, .. },
+                expr: Expr::Unary {
+                    op: UnaryOp::Neg, ..
+                },
                 ..
             } => {}
             other => panic!("{other:?}"),

@@ -217,9 +217,7 @@ impl Binder<'_, '_> {
                 distinct,
             } => {
                 if ast::is_aggregate(name) {
-                    return Err(Error::Parse(format!(
-                        "aggregate `{name}` not allowed here"
-                    )));
+                    return Err(Error::Parse(format!("aggregate `{name}` not allowed here")));
                 }
                 if *distinct {
                     return Err(Error::Parse(format!(
@@ -246,9 +244,7 @@ impl Binder<'_, '_> {
                     },
                 }
             }
-            Expr::Wildcard => {
-                return Err(Error::Parse("`*` only allowed inside COUNT(*)".into()))
-            }
+            Expr::Wildcard => return Err(Error::Parse("`*` only allowed inside COUNT(*)".into())),
             Expr::Subquery(sel) => {
                 let (plan, cols) = plan_select(sel, self.db, self.subs)?;
                 if cols.len() != 1 {
@@ -833,15 +829,23 @@ fn rewrite_post_agg(
         }
         Expr::Unary { op, expr } => BoundExpr::Unary {
             op: *op,
-            expr: Box::new(rewrite_post_agg(expr, group_by, agg_calls, n_groups, db, subs)?),
+            expr: Box::new(rewrite_post_agg(
+                expr, group_by, agg_calls, n_groups, db, subs,
+            )?),
         },
         Expr::Binary { op, left, right } => BoundExpr::Binary {
             op: *op,
-            left: Box::new(rewrite_post_agg(left, group_by, agg_calls, n_groups, db, subs)?),
-            right: Box::new(rewrite_post_agg(right, group_by, agg_calls, n_groups, db, subs)?),
+            left: Box::new(rewrite_post_agg(
+                left, group_by, agg_calls, n_groups, db, subs,
+            )?),
+            right: Box::new(rewrite_post_agg(
+                right, group_by, agg_calls, n_groups, db, subs,
+            )?),
         },
         Expr::IsNull { expr, negated } => BoundExpr::IsNull {
-            expr: Box::new(rewrite_post_agg(expr, group_by, agg_calls, n_groups, db, subs)?),
+            expr: Box::new(rewrite_post_agg(
+                expr, group_by, agg_calls, n_groups, db, subs,
+            )?),
             negated: *negated,
         },
         Expr::InList {
@@ -849,7 +853,9 @@ fn rewrite_post_agg(
             list,
             negated,
         } => BoundExpr::InList {
-            expr: Box::new(rewrite_post_agg(expr, group_by, agg_calls, n_groups, db, subs)?),
+            expr: Box::new(rewrite_post_agg(
+                expr, group_by, agg_calls, n_groups, db, subs,
+            )?),
             list: list
                 .iter()
                 .map(|e| rewrite_post_agg(e, group_by, agg_calls, n_groups, db, subs))
@@ -862,9 +868,15 @@ fn rewrite_post_agg(
             hi,
             negated,
         } => BoundExpr::Between {
-            expr: Box::new(rewrite_post_agg(expr, group_by, agg_calls, n_groups, db, subs)?),
-            lo: Box::new(rewrite_post_agg(lo, group_by, agg_calls, n_groups, db, subs)?),
-            hi: Box::new(rewrite_post_agg(hi, group_by, agg_calls, n_groups, db, subs)?),
+            expr: Box::new(rewrite_post_agg(
+                expr, group_by, agg_calls, n_groups, db, subs,
+            )?),
+            lo: Box::new(rewrite_post_agg(
+                lo, group_by, agg_calls, n_groups, db, subs,
+            )?),
+            hi: Box::new(rewrite_post_agg(
+                hi, group_by, agg_calls, n_groups, db, subs,
+            )?),
             negated: *negated,
         },
         Expr::Func { name, args, .. } => {
@@ -1013,9 +1025,7 @@ fn plan_update(u: &ast::Update, db: &Database) -> Result<PlannedStmt> {
     for (col, e) in &u.sets {
         let pos = layout.resolve(None, col)?;
         if pos >= visible_arity {
-            return Err(Error::Scope(format!(
-                "cannot update hidden column `{col}`"
-            )));
+            return Err(Error::Scope(format!("cannot update hidden column `{col}`")));
         }
         sets.push((pos, binder.bind(e)?));
     }

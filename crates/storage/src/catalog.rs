@@ -232,10 +232,7 @@ impl Catalog {
                     meta.name
                 ))),
             },
-            _ => Err(Error::Internal(format!(
-                "`{}` is not a window",
-                meta.name
-            ))),
+            _ => Err(Error::Internal(format!("`{}` is not a window", meta.name))),
         }
     }
 }
@@ -273,7 +270,10 @@ mod tests {
     fn window_gets_hidden_columns_and_owner_binding() {
         let mut c = Catalog::new();
         let spec = WindowSpec {
-            kind: WindowKind::Tuple { size: 100, slide: 1 },
+            kind: WindowKind::Tuple {
+                size: 100,
+                slide: 1,
+            },
             owner: None,
         };
         let id = c.add_window("w1", schema(), spec).unwrap();

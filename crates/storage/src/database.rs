@@ -57,7 +57,12 @@ impl Database {
     }
 
     /// Create a window (hidden `__seq`/`__ts` columns added).
-    pub fn create_window(&mut self, name: &str, schema: Schema, spec: WindowSpec) -> Result<TableId> {
+    pub fn create_window(
+        &mut self,
+        name: &str,
+        schema: Schema,
+        spec: WindowSpec,
+    ) -> Result<TableId> {
         let id = self.catalog.add_window(name, schema, spec)?;
         self.create(id)
     }
@@ -161,7 +166,10 @@ mod tests {
         assert!(db.create_stream("x", schema()).is_err());
         // Catalog and physical tables stay aligned after the failure.
         let y = db.create_table("y", schema()).unwrap();
-        db.table_mut(y).unwrap().insert(vec![Value::Int(1)]).unwrap();
+        db.table_mut(y)
+            .unwrap()
+            .insert(vec![Value::Int(1)])
+            .unwrap();
         assert_eq!(db.table(y).unwrap().len(), 1);
     }
 }

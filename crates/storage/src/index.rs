@@ -171,11 +171,7 @@ impl Index {
 
     /// Range scan over an ordered index. Bounds are over full composite
     /// keys. Returns row ids in key order. Errors on hash indexes.
-    pub fn range(
-        &self,
-        lo: Bound<Vec<Value>>,
-        hi: Bound<Vec<Value>>,
-    ) -> Result<Vec<RowId>> {
+    pub fn range(&self, lo: Bound<Vec<Value>>, hi: Bound<Vec<Value>>) -> Result<Vec<RowId>> {
         match &self.store {
             IndexStore::Hash(_) => Err(Error::Internal(format!(
                 "index `{}` is not ordered; range scan unsupported",

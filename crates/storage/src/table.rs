@@ -397,10 +397,14 @@ mod tests {
             ordered: false,
         })
         .unwrap();
-        let rids = t.index_lookup("by_name", &[Value::Text("a".into())]).unwrap();
+        let rids = t
+            .index_lookup("by_name", &[Value::Text("a".into())])
+            .unwrap();
         assert_eq!(rids.len(), 2);
         t.insert(row(3, "b")).unwrap();
-        let rids = t.index_lookup("by_name", &[Value::Text("b".into())]).unwrap();
+        let rids = t
+            .index_lookup("by_name", &[Value::Text("b".into())])
+            .unwrap();
         assert_eq!(rids.len(), 1);
     }
 

@@ -182,11 +182,7 @@ mod tests {
         let rid = db.table_mut(t).unwrap().insert(row(1, 10)).unwrap();
         let mut undo = UndoLog::new();
         let old = db.table_mut(t).unwrap().update(rid, row(1, 20)).unwrap();
-        undo.push(UndoOp::Update {
-            table: t,
-            rid,
-            old,
-        });
+        undo.push(UndoOp::Update { table: t, rid, old });
         undo.rollback(&mut db).unwrap();
         assert_eq!(db.table(t).unwrap().get(rid).unwrap()[1], Value::Int(10));
     }
@@ -218,11 +214,7 @@ mod tests {
         let rid = db.table_mut(t).unwrap().insert(row(1, 10)).unwrap();
         undo.push(UndoOp::Insert { table: t, rid });
         let old = db.table_mut(t).unwrap().update(rid, row(1, 30)).unwrap();
-        undo.push(UndoOp::Update {
-            table: t,
-            rid,
-            old,
-        });
+        undo.push(UndoOp::Update { table: t, rid, old });
         undo.rollback(&mut db).unwrap();
         assert!(db.table(t).unwrap().is_empty());
     }

@@ -55,7 +55,9 @@ fn apply(table: &mut Table, model: &mut BTreeMap<i64, i64>, op: &Op) {
         },
         Op::UpdateByKey(k, v) => {
             if let Some(rid) = table.pk_lookup(&[Value::Int(*k)]) {
-                table.update(rid, vec![Value::Int(*k), Value::Int(*v)]).unwrap();
+                table
+                    .update(rid, vec![Value::Int(*k), Value::Int(*v)])
+                    .unwrap();
                 model.insert(*k, *v);
             } else {
                 assert!(!model.contains_key(k));

@@ -116,8 +116,8 @@ impl CommandLog {
     /// Append a record; flushes per group-commit policy. Returns true if
     /// this append triggered an fsync.
     pub fn append(&mut self, record: &LogRecord) -> Result<bool> {
-        let line = serde_json::to_string(record)
-            .map_err(|e| Error::Io(format!("log encode: {e}")))?;
+        let line =
+            serde_json::to_string(record).map_err(|e| Error::Io(format!("log encode: {e}")))?;
         self.writer.write_all(line.as_bytes())?;
         self.writer.write_all(b"\n")?;
         self.records_written += 1;
@@ -264,7 +264,10 @@ mod tests {
         log.append(&batch_record(2)).unwrap();
         drop(log);
         // Simulate a torn write.
-        let mut f = OpenOptions::new().append(true).open(cfg.log_path()).unwrap();
+        let mut f = OpenOptions::new()
+            .append(true)
+            .open(cfg.log_path())
+            .unwrap();
         f.write_all(b"{\"BorderBatch\":{\"batch\":3,").unwrap();
         drop(f);
         let records = read_log(&cfg.log_path()).unwrap();

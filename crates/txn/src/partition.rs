@@ -24,9 +24,7 @@ use crate::procedure::{simulate_cost, stmt_effects, ProcContext, ProcSpec, Proce
 use crate::stats::PeStats;
 use crate::transaction::{Invocation, InvocationOrigin, TxnOutcome, TxnStatus};
 use crate::workflow::Workflow;
-use sstore_common::{
-    Batch, BatchId, Clock, Error, ProcId, Result, Row, TableId, TxnId, Value,
-};
+use sstore_common::{Batch, BatchId, Clock, Error, ProcId, Result, Row, TableId, TxnId, Value};
 use sstore_engine::{EeConfig, ExecutionEngine, TxnScratch};
 use sstore_sql::exec::QueryResult;
 use sstore_storage::snapshot::Snapshot;
@@ -168,7 +166,8 @@ impl Partition {
         columns: &[&str],
         unique: bool,
     ) -> Result<()> {
-        self.engine.create_index(table, name, columns, unique, false)
+        self.engine
+            .create_index(table, name, columns, unique, false)
     }
 
     /// Register an EE trigger (delegates to the engine).
@@ -179,7 +178,8 @@ impl Partition {
         event: sstore_engine::TriggerEvent,
         statements: &[&str],
     ) -> Result<()> {
-        self.engine.create_trigger(name, on_table, event, statements)
+        self.engine
+            .create_trigger(name, on_table, event, statements)
     }
 
     /// Register a stored procedure and rebuild the workflow.
@@ -524,8 +524,7 @@ impl Partition {
                     let rows = &by_stream[stream];
                     let consumers = self.workflow.consumers_of(*stream).to_vec();
                     if !consumers.is_empty() {
-                        self.gc_pending
-                            .insert((*stream, b.raw()), consumers.len());
+                        self.gc_pending.insert((*stream, b.raw()), consumers.len());
                     }
                     for consumer in consumers {
                         self.stats.pe_trigger_firings += 1;
@@ -547,7 +546,6 @@ impl Partition {
                     self.queue.extend(to_schedule);
                 }
             }
-
         }
 
         // GC this TE's *input* stream once all consumers are done. This
@@ -645,10 +643,7 @@ impl Partition {
     }
 
     /// Internal: used by recovery to restore state and replay.
-    pub(crate) fn restore_for_recovery(
-        &mut self,
-        snapshot: Option<Snapshot>,
-    ) -> Result<()> {
+    pub(crate) fn restore_for_recovery(&mut self, snapshot: Option<Snapshot>) -> Result<()> {
         if let Some(snap) = snapshot {
             self.next_batch = snap.last_batch.map(BatchId::raw).unwrap_or(0);
             self.next_txn = snap.last_txn.map(|t| t.raw() + 1).unwrap_or(1);
@@ -757,7 +752,11 @@ mod tests {
         let outcomes = p
             .submit_batch(
                 "validate",
-                vec![vec![Value::Int(1)], vec![Value::Int(-5)], vec![Value::Int(2)]],
+                vec![
+                    vec![Value::Int(1)],
+                    vec![Value::Int(-5)],
+                    vec![Value::Int(2)],
+                ],
             )
             .unwrap();
         // Two TEs: validate then count, same batch id.
@@ -820,18 +819,18 @@ mod tests {
             .stmt("ins", "INSERT INTO t VALUES (?)"),
         )
         .unwrap();
-        p.register(
-            ProcSpec::new("sink_proc", |_ctx| Ok(()))
-                .consumes("s_out"),
-        )
-        .unwrap();
+        p.register(ProcSpec::new("sink_proc", |_ctx| Ok(())).consumes("s_out"))
+            .unwrap();
 
         let outcomes = p.submit_batch("flaky", vec![vec![Value::Int(1)]]).unwrap();
         assert_eq!(outcomes.len(), 1);
         assert_eq!(outcomes[0].status, TxnStatus::Aborted);
         // Table write rolled back; stream append rolled back; no trigger.
         assert_eq!(
-            p.query("SELECT COUNT(*) FROM t", &[]).unwrap().scalar_i64().unwrap(),
+            p.query("SELECT COUNT(*) FROM t", &[])
+                .unwrap()
+                .scalar_i64()
+                .unwrap(),
             0
         );
         assert_eq!(p.stats().pe_trigger_firings, 0);
@@ -939,7 +938,8 @@ mod tests {
             .emits("alerts"),
         )
         .unwrap();
-        p.submit_batch("alerting", vec![vec![Value::Int(7)]]).unwrap();
+        p.submit_batch("alerting", vec![vec![Value::Int(7)]])
+            .unwrap();
         let rows = p.drain_sink("alerts").unwrap();
         assert_eq!(rows, vec![vec![Value::Int(7)]]);
         assert!(p.drain_sink("alerts").unwrap().is_empty());

@@ -229,18 +229,16 @@ impl ProcContext<'_> {
     /// Append a tuple to this procedure's output stream. The tuples
     /// emitted during one TE form the downstream procedure's input batch.
     pub fn emit(&mut self, row: Row) -> Result<()> {
-        let stream = self.output_stream.ok_or_else(|| {
-            Error::Schedule("procedure has no output stream to emit to".into())
-        })?;
+        let stream = self
+            .output_stream
+            .ok_or_else(|| Error::Schedule("procedure has no output stream to emit to".into()))?;
         // Synthesize a parameterized insert through the engine so stream
         // lifecycle (batch/seq stamping, EE triggers) applies.
         let arity = row.len();
         let planned = PlannedStmt::Insert {
             table: stream,
             source: PhysicalPlan::Values {
-                rows: vec![(0..arity)
-                    .map(sstore_sql::expr::BoundExpr::Param)
-                    .collect()],
+                rows: vec![(0..arity).map(sstore_sql::expr::BoundExpr::Param).collect()],
             },
             mapping: (0..arity).map(Some).collect(),
             subqueries: vec![],
@@ -308,7 +306,9 @@ mod tests {
         engine
             .ddl_sql("CREATE TABLE t (id INT, PRIMARY KEY (id))")
             .unwrap();
-        engine.ddl_sql("CREATE TABLE u (id INT, PRIMARY KEY (id))").unwrap();
+        engine
+            .ddl_sql("CREATE TABLE u (id INT, PRIMARY KEY (id))")
+            .unwrap();
         let t = engine.db().resolve("t").unwrap();
         let u = engine.db().resolve("u").unwrap();
 

@@ -132,14 +132,15 @@ mod tests {
                 p.submit_batch("double", vec![vec![Value::Int(i)]]).unwrap();
             }
             assert_eq!(total(&mut p), 30); // 2*(1+..+5)
-            // Crash: partition dropped without snapshot.
+                                           // Crash: partition dropped without snapshot.
         }
         let mut r = recover(config(&dir), setup).unwrap();
         assert_eq!(total(&mut r), 30);
         // The recovered clock resumed past the last record.
         assert!(r.clock().now() >= 50);
         // And the system keeps working, with fresh batch ids.
-        r.submit_batch("double", vec![vec![Value::Int(10)]]).unwrap();
+        r.submit_batch("double", vec![vec![Value::Int(10)]])
+            .unwrap();
         assert_eq!(total(&mut r), 50);
         std::fs::remove_dir_all(dir).ok();
     }
@@ -200,12 +201,14 @@ mod tests {
             p.engine_mut()
                 .execute_sql("INSERT INTO acc VALUES (1, 0)", &[], &mut sc, 0)
                 .unwrap();
-            p.register(ProcSpec::new("bump", |ctx| {
-                let d = ctx.input().rows[0][0].clone();
-                ctx.exec("u", &[d])?;
-                Ok(())
-            })
-            .stmt("u", "UPDATE acc SET n = n + ? WHERE k = 1"))?;
+            p.register(
+                ProcSpec::new("bump", |ctx| {
+                    let d = ctx.input().rows[0][0].clone();
+                    ctx.exec("u", &[d])?;
+                    Ok(())
+                })
+                .stmt("u", "UPDATE acc SET n = n + ? WHERE k = 1"),
+            )?;
             Ok(())
         };
         {

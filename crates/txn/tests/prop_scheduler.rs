@@ -10,7 +10,7 @@
 
 use proptest::prelude::*;
 use sstore_common::Value;
-use sstore_txn::{PeConfig, Partition, ProcSpec};
+use sstore_txn::{Partition, PeConfig, ProcSpec};
 
 /// Build a traced linear workflow of `depth` stages. All stages share the
 /// trace table, so the serial rule applies.
@@ -26,7 +26,8 @@ fn pipeline(depth: usize) -> Partition {
     .unwrap();
     p.ddl("CREATE TABLE seqgen (k INT NOT NULL, n INT NOT NULL, PRIMARY KEY (k))")
         .unwrap();
-    p.setup_sql("INSERT INTO seqgen VALUES (0, 0)", &[]).unwrap();
+    p.setup_sql("INSERT INTO seqgen VALUES (0, 0)", &[])
+        .unwrap();
     for i in 0..depth {
         let last = i == depth - 1;
         let spec = ProcSpec::new(format!("sp{i}"), move |ctx| {

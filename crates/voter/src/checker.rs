@@ -52,15 +52,10 @@ pub fn capture_state(db: &mut SStore) -> Result<VoterState> {
         .iter()
         .map(|r| r[0].as_int())
         .collect::<Result<Vec<_>>>()?;
-    let totals = db.query(
-        "SELECT total, rejected FROM vote_totals WHERE k = 0",
-        &[],
-    )?;
+    let totals = db.query("SELECT total, rejected FROM vote_totals WHERE k = 0", &[])?;
     let total = totals.rows[0][0].as_int()?;
     let rejected = totals.rows[0][1].as_int()?;
-    let live_votes = db
-        .query("SELECT COUNT(*) FROM votes", &[])?
-        .scalar_i64()?;
+    let live_votes = db.query("SELECT COUNT(*) FROM votes", &[])?.scalar_i64()?;
     let leader = db
         .query(
             "SELECT contestant_number FROM lb_counts \

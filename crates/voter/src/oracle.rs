@@ -93,11 +93,7 @@ impl Oracle {
         }
         // Lowest count, ties broken by lowest contestant number — matching
         // SP3's ORDER BY num_votes ASC, contestant_number ASC LIMIT 1.
-        let Some((&loser, _)) = self
-            .counts
-            .iter()
-            .min_by_key(|(&c, &n)| (n, c))
-        else {
+        let Some((&loser, _)) = self.counts.iter().min_by_key(|(&c, &n)| (n, c)) else {
             return;
         };
         self.contestants.remove(&loser);

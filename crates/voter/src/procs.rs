@@ -77,7 +77,11 @@ fn register_sp1(db: &mut SStore, wired: bool) -> Result<()> {
         }
         // The H-Store client forwards these to SP2 itself.
         ctx.respond(QueryResult {
-            columns: vec!["vote_id".into(), "phone_number".into(), "contestant_number".into()],
+            columns: vec![
+                "vote_id".into(),
+                "phone_number".into(),
+                "contestant_number".into(),
+            ],
             rows: validated,
             rows_affected: 0,
         });
@@ -87,12 +91,18 @@ fn register_sp1(db: &mut SStore, wired: bool) -> Result<()> {
         "contestant_exists",
         "SELECT contestant_number FROM contestants WHERE contestant_number = ?",
     )
-    .stmt("phone_voted", "SELECT vote_id FROM votes WHERE phone_number = ?")
+    .stmt(
+        "phone_voted",
+        "SELECT vote_id FROM votes WHERE phone_number = ?",
+    )
     .stmt(
         "bump_vote_id",
         "UPDATE vote_totals SET next_vote_id = next_vote_id + 1 WHERE k = 0",
     )
-    .stmt("get_vote_id", "SELECT next_vote_id FROM vote_totals WHERE k = 0")
+    .stmt(
+        "get_vote_id",
+        "SELECT next_vote_id FROM vote_totals WHERE k = 0",
+    )
     .stmt("record", "INSERT INTO votes VALUES (?, ?, ?, NOW())")
     .stmt(
         "reject",
@@ -163,7 +173,10 @@ fn register_sp2(
         "UPDATE vote_totals SET total = total + 1, since_elim = since_elim + 1 WHERE k = 0",
     )
     .stmt("get_total", "SELECT total FROM vote_totals WHERE k = 0")
-    .stmt("get_since", "SELECT since_elim FROM vote_totals WHERE k = 0")
+    .stmt(
+        "get_since",
+        "SELECT since_elim FROM vote_totals WHERE k = 0",
+    )
     .stmt(
         "reset_since",
         "UPDATE vote_totals SET since_elim = 0 WHERE k = 0",
@@ -219,7 +232,10 @@ fn register_sp3(db: &mut SStore, wired: bool) -> Result<()> {
     .stmt("get_total", "SELECT total FROM vote_totals WHERE k = 0")
     .stmt("elim_count", "SELECT COUNT(*) FROM eliminations")
     .stmt("record_elim", "INSERT INTO eliminations VALUES (?, ?, ?)")
-    .stmt("delete_votes", "DELETE FROM votes WHERE contestant_number = ?")
+    .stmt(
+        "delete_votes",
+        "DELETE FROM votes WHERE contestant_number = ?",
+    )
     .stmt(
         "delete_count",
         "DELETE FROM lb_counts WHERE contestant_number = ?",

@@ -57,7 +57,11 @@ pub fn run_sstore(db: &mut SStore, votes: &[Vote], batch_size: usize) -> Result<
         db.submit_batch("validate", rows)?;
         db.advance_clock(1_000); // 1ms of show time per submission
     }
-    Ok(report(db, votes.len() as u64, start.elapsed().as_secs_f64()))
+    Ok(report(
+        db,
+        votes.len() as u64,
+        start.elapsed().as_secs_f64(),
+    ))
 }
 
 /// Drive `votes` against H-Store mode with a client-owned workflow.
@@ -87,10 +91,7 @@ pub fn run_hstore(db: &mut SStore, votes: &[Vote], inflight: usize) -> Result<Ru
             "leaderboard" => {
                 // The response tells the client how many eliminations to run.
                 if let Some(resp) = &outcome.response {
-                    let signals = resp
-                        .scalar()
-                        .and_then(|v| v.as_int().ok())
-                        .unwrap_or(0);
+                    let signals = resp.scalar().and_then(|v| v.as_int().ok()).unwrap_or(0);
                     for _ in 0..signals {
                         out.push(ClientRequest::follow_up(
                             "eliminate",
@@ -122,7 +123,11 @@ pub fn run_hstore(db: &mut SStore, votes: &[Vote], inflight: usize) -> Result<Ru
             break;
         }
     }
-    Ok(report(db, votes.len() as u64, start.elapsed().as_secs_f64()))
+    Ok(report(
+        db,
+        votes.len() as u64,
+        start.elapsed().as_secs_f64(),
+    ))
 }
 
 #[cfg(test)]

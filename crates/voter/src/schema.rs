@@ -40,7 +40,12 @@ pub fn install_schema(db: &mut SStore, config: &VoterConfig) -> Result<()> {
          contestant_number INT NOT NULL, created TIMESTAMP, PRIMARY KEY (vote_id))",
     )?;
     db.create_index("votes", "votes_by_phone", &["phone_number"], false)?;
-    db.create_index("votes", "votes_by_contestant", &["contestant_number"], false)?;
+    db.create_index(
+        "votes",
+        "votes_by_contestant",
+        &["contestant_number"],
+        false,
+    )?;
     db.ddl(
         "CREATE TABLE lb_counts (contestant_number INT NOT NULL, num_votes INT NOT NULL, \
          PRIMARY KEY (contestant_number))",
@@ -60,9 +65,7 @@ pub fn install_schema(db: &mut SStore, config: &VoterConfig) -> Result<()> {
     )?;
     // Streams connecting the workflow (Fig. 3).
     db.ddl("CREATE STREAM s_votes (phone_number INT, contestant_number INT)")?;
-    db.ddl(
-        "CREATE STREAM s_validated (vote_id INT, phone_number INT, contestant_number INT)",
-    )?;
+    db.ddl("CREATE STREAM s_validated (vote_id INT, phone_number INT, contestant_number INT)")?;
     db.ddl("CREATE STREAM s_elim (at_total INT)")?;
     // Trending window (native path). The emulated path uses this raw table:
     db.ddl(&format!(

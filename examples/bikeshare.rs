@@ -25,13 +25,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("=== BikeShare operations report ===");
     println!("  checkouts            {:>7}", report.checkouts);
     println!("  returns              {:>7}", report.returns);
-    println!("  checkout aborts      {:>7}   (station empty / rider busy)", report.checkout_aborts);
-    println!("  return diversions    {:>7}   (station full)", report.return_aborts);
+    println!(
+        "  checkout aborts      {:>7}   (station empty / rider busy)",
+        report.checkout_aborts
+    );
+    println!(
+        "  return diversions    {:>7}   (station full)",
+        report.return_aborts
+    );
     println!("  GPS pings ingested   {:>7}", report.gps_pings);
     println!("  stolen-bike alerts   {:>7}", report.alerts);
     println!("  discounts accepted   {:>7}", report.accepts);
-    println!("  acceptance conflicts {:>7}   (offer already claimed)", report.accept_conflicts);
-    println!("  revenue              {:>6}.{:02} $", report.total_charged / 100, report.total_charged % 100);
+    println!(
+        "  acceptance conflicts {:>7}   (offer already claimed)",
+        report.accept_conflicts
+    );
+    println!(
+        "  revenue              {:>6}.{:02} $",
+        report.total_charged / 100,
+        report.total_charged % 100
+    );
 
     // --- Fig. 5: stations with availability and live discounts --------------
     println!("\n=== Station dashboard (busiest 10 by traffic) ===");
@@ -59,7 +72,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!("  (none outstanding)");
     }
     for row in &live_offers.rows {
-        println!("  station {:>3}: {}% off for dropping a bike here", row[0], row[1]);
+        println!(
+            "  station {:>3}: {}% off for dropping a bike here",
+            row[0], row[1]
+        );
     }
 
     // --- Ride statistics (Fig. 4's per-ride data) ---------------------------
@@ -69,13 +85,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     )?;
     let r = &rides.rows[0];
     println!("\n=== Completed rides ===");
-    println!("  rides: {}   mean distance: {:.0} m   max speed seen: {:.1} m/s",
-        r[0], r[1].as_float().unwrap_or(0.0), r[2].as_float().unwrap_or(0.0));
+    println!(
+        "  rides: {}   mean distance: {:.0} m   max speed seen: {:.1} m/s",
+        r[0],
+        r[1].as_float().unwrap_or(0.0),
+        r[2].as_float().unwrap_or(0.0)
+    );
 
     // The invariants every GUI relies on still hold after the whole run.
     verify_invariants(&mut db, &cfg)?;
-    println!("\nall transactional invariants verified (bike conservation, dock \
-              capacity, discount exclusivity, single open ride per rider)");
+    println!(
+        "\nall transactional invariants verified (bike conservation, dock \
+              capacity, discount exclusivity, single open ride per rider)"
+    );
 
     let pe = db.stats();
     let ee = db.engine().stats();

@@ -29,7 +29,10 @@ fn deploy(db: &mut SStore) -> Result<()> {
             Ok(())
         })
         .consumes("meter")
-        .stmt("get", "SELECT household FROM usage_totals WHERE household = ?")
+        .stmt(
+            "get",
+            "SELECT household FROM usage_totals WHERE household = ?",
+        )
         .stmt("init", "INSERT INTO usage_totals VALUES (?, 1, ?)")
         .stmt(
             "bump",
@@ -58,8 +61,10 @@ fn main() -> Result<()> {
     // deployed engine pays; without it the in-process workload is so cheap
     // that thread-dispatch overhead hides the parallelism.
     const EE_COST_US: u64 = 2;
-    println!("smart-meter ingestion: {READINGS} readings, batches of {BATCH}, \
-              {EE_COST_US} us/statement dispatch\n");
+    println!(
+        "smart-meter ingestion: {READINGS} readings, batches of {BATCH}, \
+              {EE_COST_US} us/statement dispatch\n"
+    );
     println!("partitions | wall secs | readings/s | speedup");
 
     let mut base = 0.0f64;

@@ -7,7 +7,9 @@
 //! Run with: `cargo run --example recovery`
 
 use sstore_core::{recover, SStoreBuilder};
-use sstore_voter::{capture_state, diff_states, install, run_sstore, VoteGen, VoterConfig, WindowImpl};
+use sstore_voter::{
+    capture_state, diff_states, install, run_sstore, VoteGen, VoterConfig, WindowImpl,
+};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let dir = std::env::temp_dir().join(format!("sstore-recovery-demo-{}", std::process::id()));
@@ -57,7 +59,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "state comparison vs pre-crash: {} anomalies ({})",
         d.total(),
-        if d.is_clean() { "exact match" } else { "MISMATCH" }
+        if d.is_clean() {
+            "exact match"
+        } else {
+            "MISMATCH"
+        }
     );
     assert!(d.is_clean(), "recovery must reproduce exact state");
 

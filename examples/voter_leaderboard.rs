@@ -40,7 +40,10 @@ fn print_leaderboards(db: &mut SStore) -> Result<(), Box<dyn std::error::Error>>
     for r in &bottom.rows {
         println!("    {:<14} {:>5}", r[0], r[1]);
     }
-    println!("  Trending (last {} votes):", VoterConfig::default().trending_window);
+    println!(
+        "  Trending (last {} votes):",
+        VoterConfig::default().trending_window
+    );
     for r in &trending.rows {
         println!("    Candidate {:<4} {:>5}", r[0], r[1]);
     }

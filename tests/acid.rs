@@ -11,7 +11,8 @@ fn mid_procedure_failure_rolls_back_everything() {
     let mut db = SStoreBuilder::new().build().unwrap();
     db.ddl("CREATE STREAM a_in (v INT)").unwrap();
     db.ddl("CREATE STREAM a_out (v INT)").unwrap();
-    db.ddl("CREATE TABLE t (id INT NOT NULL, PRIMARY KEY (id))").unwrap();
+    db.ddl("CREATE TABLE t (id INT NOT NULL, PRIMARY KEY (id))")
+        .unwrap();
     db.ddl("CREATE WINDOW w (v INT) ROWS 3 SLIDE 1").unwrap();
 
     db.register(
@@ -32,13 +33,18 @@ fn mid_procedure_failure_rolls_back_everything() {
     )
     .unwrap();
 
-    let outcomes = db.submit_batch("doomed", vec![vec![Value::Int(0)]]).unwrap();
+    let outcomes = db
+        .submit_batch("doomed", vec![vec![Value::Int(0)]])
+        .unwrap();
     assert_eq!(outcomes.len(), 1);
     assert_eq!(outcomes[0].status, TxnStatus::Failed);
 
     // Every effect is gone: table, window, stream, and downstream.
     assert_eq!(
-        db.query("SELECT COUNT(*) FROM t", &[]).unwrap().scalar_i64().unwrap(),
+        db.query("SELECT COUNT(*) FROM t", &[])
+            .unwrap()
+            .scalar_i64()
+            .unwrap(),
         0
     );
     let w = db.engine().db().resolve("w").unwrap();
@@ -53,7 +59,8 @@ fn ee_trigger_cascade_rolls_back_with_its_transaction() {
     let mut db = SStoreBuilder::new().build().unwrap();
     db.ddl("CREATE STREAM c_in (v INT)").unwrap();
     db.ddl("CREATE STREAM c_mid (v INT)").unwrap();
-    db.ddl("CREATE TABLE audit (n INT NOT NULL, PRIMARY KEY (n))").unwrap();
+    db.ddl("CREATE TABLE audit (n INT NOT NULL, PRIMARY KEY (n))")
+        .unwrap();
     // Insert into c_mid cascades an audit row via EE trigger.
     db.create_ee_trigger(
         "audit_mid",
@@ -73,10 +80,15 @@ fn ee_trigger_cascade_rolls_back_with_its_transaction() {
     )
     .unwrap();
 
-    let outcomes = db.submit_batch("writer", vec![vec![Value::Int(0)]]).unwrap();
+    let outcomes = db
+        .submit_batch("writer", vec![vec![Value::Int(0)]])
+        .unwrap();
     assert_eq!(outcomes[0].status, TxnStatus::Aborted);
     assert_eq!(
-        db.query("SELECT COUNT(*) FROM audit", &[]).unwrap().scalar_i64().unwrap(),
+        db.query("SELECT COUNT(*) FROM audit", &[])
+            .unwrap()
+            .scalar_i64()
+            .unwrap(),
         0,
         "trigger effects must roll back with the transaction"
     );
@@ -90,7 +102,8 @@ fn abort_in_downstream_does_not_undo_upstream() {
     let mut db = SStoreBuilder::new().build().unwrap();
     db.ddl("CREATE STREAM d_in (v INT)").unwrap();
     db.ddl("CREATE STREAM d_mid (v INT)").unwrap();
-    db.ddl("CREATE TABLE up_t (n INT NOT NULL, PRIMARY KEY (n))").unwrap();
+    db.ddl("CREATE TABLE up_t (n INT NOT NULL, PRIMARY KEY (n))")
+        .unwrap();
 
     db.register(
         ProcSpec::new("up", |ctx| {
@@ -106,8 +119,7 @@ fn abort_in_downstream_does_not_undo_upstream() {
     )
     .unwrap();
     db.register(
-        ProcSpec::new("down", |ctx| Err(ctx.abort("downstream refuses")))
-            .consumes("d_mid"),
+        ProcSpec::new("down", |ctx| Err(ctx.abort("downstream refuses"))).consumes("d_mid"),
     )
     .unwrap();
 
@@ -116,7 +128,10 @@ fn abort_in_downstream_does_not_undo_upstream() {
     assert_eq!(outcomes[0].status, TxnStatus::Committed);
     assert_eq!(outcomes[1].status, TxnStatus::Aborted);
     assert_eq!(
-        db.query("SELECT COUNT(*) FROM up_t", &[]).unwrap().scalar_i64().unwrap(),
+        db.query("SELECT COUNT(*) FROM up_t", &[])
+            .unwrap()
+            .scalar_i64()
+            .unwrap(),
         1
     );
 }
@@ -127,7 +142,8 @@ fn per_batch_atomicity_all_tuples_or_none() {
     // of atomicity in the stream transaction model).
     let mut db = SStoreBuilder::new().build().unwrap();
     db.ddl("CREATE STREAM b_in (v INT)").unwrap();
-    db.ddl("CREATE TABLE acc (id INT NOT NULL, PRIMARY KEY (id))").unwrap();
+    db.ddl("CREATE TABLE acc (id INT NOT NULL, PRIMARY KEY (id))")
+        .unwrap();
     db.register(
         ProcSpec::new("ingest", |ctx| {
             for row in ctx.input().rows.clone() {
@@ -143,12 +159,19 @@ fn per_batch_atomicity_all_tuples_or_none() {
     let outcomes = db
         .submit_batch(
             "ingest",
-            vec![vec![Value::Int(1)], vec![Value::Int(2)], vec![Value::Int(1)]],
+            vec![
+                vec![Value::Int(1)],
+                vec![Value::Int(2)],
+                vec![Value::Int(1)],
+            ],
         )
         .unwrap();
     assert_eq!(outcomes[0].status, TxnStatus::Failed);
     assert_eq!(
-        db.query("SELECT COUNT(*) FROM acc", &[]).unwrap().scalar_i64().unwrap(),
+        db.query("SELECT COUNT(*) FROM acc", &[])
+            .unwrap()
+            .scalar_i64()
+            .unwrap(),
         0,
         "partial batch effects must not survive"
     );
@@ -158,7 +181,10 @@ fn per_batch_atomicity_all_tuples_or_none() {
         .unwrap();
     assert_eq!(ok[0].status, TxnStatus::Committed);
     assert_eq!(
-        db.query("SELECT COUNT(*) FROM acc", &[]).unwrap().scalar_i64().unwrap(),
+        db.query("SELECT COUNT(*) FROM acc", &[])
+            .unwrap()
+            .scalar_i64()
+            .unwrap(),
         2
     );
 }
@@ -186,7 +212,8 @@ fn stream_sequence_counters_rewind_on_abort() {
     db.register(ProcSpec::new("sink2", |_| Ok(())).consumes("q_out"))
         .unwrap();
 
-    db.submit_batch("maybe", vec![vec![Value::Int(-1)]]).unwrap(); // aborts
+    db.submit_batch("maybe", vec![vec![Value::Int(-1)]])
+        .unwrap(); // aborts
     db.submit_batch("maybe", vec![vec![Value::Int(5)]]).unwrap(); // commits
     use sstore_storage::catalog::TableKind;
     let out = db.engine().db().resolve("q_out").unwrap();

@@ -112,8 +112,11 @@ fn bikeshare_survives_crash_and_recovery() {
         let mut db = SStoreBuilder::new().durability(&dir, 2).build().unwrap();
         setup.clone()(&mut db).unwrap();
         for rider in 0..4i64 {
-            db.invoke("checkout", vec![vec![Value::Int(rider), Value::Int(rider % 4)]])
-                .unwrap();
+            db.invoke(
+                "checkout",
+                vec![vec![Value::Int(rider), Value::Int(rider % 4)]],
+            )
+            .unwrap();
         }
         db.advance_clock(5 * 60 * 1_000_000);
         for rider in 0..2i64 {

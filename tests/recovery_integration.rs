@@ -2,7 +2,9 @@
 //! the real Voter application, with crash points swept across the run.
 
 use sstore_core::{recover, SStore, SStoreBuilder};
-use sstore_voter::{capture_state, diff_states, install, run_sstore, VoteGen, VoterConfig, WindowImpl};
+use sstore_voter::{
+    capture_state, diff_states, install, run_sstore, VoteGen, VoterConfig, WindowImpl,
+};
 use std::path::PathBuf;
 
 fn tempdir(tag: &str) -> PathBuf {
@@ -115,7 +117,8 @@ fn torn_log_tail_is_discarded_not_fatal() {
         .append(true)
         .open(&log_path)
         .unwrap();
-    f.write_all(b"{\"BorderBatch\":{\"batch\":999,\"proc\":\"validate").unwrap();
+    f.write_all(b"{\"BorderBatch\":{\"batch\":999,\"proc\":\"validate")
+        .unwrap();
     drop(f);
 
     let builder = SStoreBuilder::new().durability(&dir, 1);

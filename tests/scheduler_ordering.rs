@@ -19,7 +19,8 @@ fn traced_pipeline() -> sstore_core::SStore {
     .unwrap();
     db.ddl("CREATE TABLE seqgen (k INT NOT NULL, n INT NOT NULL, PRIMARY KEY (k))")
         .unwrap();
-    db.setup_sql("INSERT INTO seqgen VALUES (0, 0)", &[]).unwrap();
+    db.setup_sql("INSERT INTO seqgen VALUES (0, 0)", &[])
+        .unwrap();
 
     let stage = |name: &'static str, forward: bool| {
         ProcSpec::new(name, move |ctx| {
@@ -166,7 +167,8 @@ fn non_shared_workflows_may_pipeline_but_keep_both_orders() {
 fn window_scope_blocks_foreign_procedures() {
     let mut db = SStoreBuilder::new().build().unwrap();
     db.ddl("CREATE STREAM w_in (v INT)").unwrap();
-    db.ddl("CREATE WINDOW w_owned (v INT) ROWS 4 SLIDE 1").unwrap();
+    db.ddl("CREATE WINDOW w_owned (v INT) ROWS 4 SLIDE 1")
+        .unwrap();
     // Owner writes happily.
     db.register(
         ProcSpec::new("owner", |ctx| {
@@ -181,12 +183,10 @@ fn window_scope_blocks_foreign_procedures() {
     )
     .unwrap();
     // An unrelated procedure trying to read the window must be denied.
-    db.register(
-        ProcSpec::new("intruder", |ctx| {
-            ctx.sql("SELECT COUNT(*) FROM w_owned", &[])?;
-            Ok(())
-        }),
-    )
+    db.register(ProcSpec::new("intruder", |ctx| {
+        ctx.sql("SELECT COUNT(*) FROM w_owned", &[])?;
+        Ok(())
+    }))
     .unwrap();
 
     db.submit_batch("w_in_is_wrong", vec![]).err();

@@ -32,7 +32,11 @@ fn auto_detection_enables_serial_for_voter() {
 }
 
 /// Run the voter workload with `burst` batches queued before each drain.
-fn run_async(serial: Option<bool>, votes: &[sstore_voter::workload::Vote], burst: usize) -> sstore_voter::VoterState {
+fn run_async(
+    serial: Option<bool>,
+    votes: &[sstore_voter::workload::Vote],
+    burst: usize,
+) -> sstore_voter::VoterState {
     let mut builder = SStoreBuilder::new();
     if let Some(s) = serial {
         builder = builder.serial_workflow(s);
@@ -64,7 +68,10 @@ fn serial_execution_is_exact_even_with_async_clients() {
     for burst in [1usize, 8, 64] {
         let state = run_async(None, &votes, burst);
         let d = diff_states(&expected, &state);
-        assert!(d.is_clean(), "burst={burst}: serial S-Store diverged: {d:?}");
+        assert!(
+            d.is_clean(),
+            "burst={burst}: serial S-Store diverged: {d:?}"
+        );
     }
 }
 
@@ -86,10 +93,7 @@ fn disabling_serial_execution_on_shared_tables_breaks_correctness() {
         !d.is_clean(),
         "expected anomalies with serial execution disabled on shared tables"
     );
-    assert!(
-        d.wrong_eliminations > 0 || d.tally_mismatches > 0,
-        "{d:?}"
-    );
+    assert!(d.wrong_eliminations > 0 || d.tally_mismatches > 0, "{d:?}");
 
     // Control: with burst=1 there is nothing to interleave with; even the
     // pipelined scheduler is exact.

@@ -159,7 +159,10 @@ fn parameterized_statements_and_ordering() {
 #[test]
 fn errors_surface_cleanly() {
     let mut db = db_with_data();
-    assert_eq!(db.query("SELECT nope FROM orders", &[]).unwrap_err().kind(), "not_found");
+    assert_eq!(
+        db.query("SELECT nope FROM orders", &[]).unwrap_err().kind(),
+        "not_found"
+    );
     assert_eq!(db.query("SELECT 1 +", &[]).unwrap_err().kind(), "parse");
     assert_eq!(db.query("FETCH ALL", &[]).unwrap_err().kind(), "parse");
     assert_eq!(
@@ -167,9 +170,12 @@ fn errors_surface_cleanly() {
         "constraint"
     );
     assert_eq!(
-        db.query("SELECT amount FROM orders WHERE region GROUP BY region", &[])
-            .unwrap_err()
-            .kind(),
+        db.query(
+            "SELECT amount FROM orders WHERE region GROUP BY region",
+            &[]
+        )
+        .unwrap_err()
+        .kind(),
         "parse", // bare column outside GROUP BY
     );
 }
@@ -178,7 +184,10 @@ fn errors_surface_cleanly() {
 fn select_distinct_deduplicates() {
     let mut db = db_with_data();
     let r = db
-        .query("SELECT DISTINCT customer FROM orders ORDER BY customer", &[])
+        .query(
+            "SELECT DISTINCT customer FROM orders ORDER BY customer",
+            &[],
+        )
         .unwrap();
     let names: Vec<&str> = r.rows.iter().map(|x| x[0].as_text().unwrap()).collect();
     assert_eq!(names, vec!["acme", "globex", "initech"]);
@@ -198,10 +207,7 @@ fn count_distinct() {
             &[],
         )
         .unwrap();
-    assert_eq!(
-        r.rows[0],
-        vec![Value::Int(4), Value::Int(2), Value::Int(3)]
-    );
+    assert_eq!(r.rows[0], vec![Value::Int(4), Value::Int(2), Value::Int(3)]);
     // Grouped distinct.
     let r = db
         .query(

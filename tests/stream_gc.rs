@@ -43,7 +43,8 @@ fn mid_len(db: &sstore_core::SStore) -> usize {
 fn committed_consumption_gcs_the_stream() {
     let mut db = pipeline();
     for i in 0..10i64 {
-        db.submit_batch("produce", vec![vec![Value::Int(i)]]).unwrap();
+        db.submit_batch("produce", vec![vec![Value::Int(i)]])
+            .unwrap();
         assert_eq!(mid_len(&db), 0, "batch {i} left tuples behind");
     }
     assert!(db.engine().stats().rows_gcd >= 10);
@@ -59,7 +60,9 @@ fn aborted_consumption_still_gcs_the_stream() {
     // The batch is terminally consumed: no residue in the stream table.
     assert_eq!(mid_len(&db), 0);
     // And the workflow keeps functioning afterwards.
-    let ok = db.submit_batch("produce", vec![vec![Value::Int(5)]]).unwrap();
+    let ok = db
+        .submit_batch("produce", vec![vec![Value::Int(5)]])
+        .unwrap();
     assert!(ok.iter().all(|o| o.is_committed()));
     assert_eq!(mid_len(&db), 0);
 }
@@ -70,7 +73,8 @@ fn memory_bounded_over_many_batches_with_aborts() {
     // Alternate committing and aborting consumers for a while.
     for i in 0..500i64 {
         let v = if i % 3 == 0 { -i } else { i };
-        db.submit_batch("produce", vec![vec![Value::Int(v)]]).unwrap();
+        db.submit_batch("produce", vec![vec![Value::Int(v)]])
+            .unwrap();
     }
     assert_eq!(mid_len(&db), 0);
     let bytes = db.engine().db().approx_bytes();

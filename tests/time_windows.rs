@@ -52,17 +52,26 @@ fn time_window_evicts_by_clock_and_slides_on_time() {
     for t in 0..30i64 {
         db.advance_clock(SEC);
         let key = if t < 15 { 1 } else { 2 };
-        db.submit_batch("ingest", vec![vec![Value::Int(key)]]).unwrap();
+        db.submit_batch("ingest", vec![vec![Value::Int(key)]])
+            .unwrap();
     }
     // At t=30 the 10s window holds only key-2 events (t in 21..=30).
     let r = db
         .query("SELECT key, n FROM rates ORDER BY key", &[])
         .unwrap();
-    assert_eq!(r.rows.len(), 1, "stale keys must have slid out: {:?}", r.rows);
+    assert_eq!(
+        r.rows.len(),
+        1,
+        "stale keys must have slid out: {:?}",
+        r.rows
+    );
     assert_eq!(r.rows[0][0], Value::Int(2));
     let n = r.rows[0][1].as_int().unwrap();
     // Slide granularity is 2s, so the refresh may lag one event.
-    assert!((9..=10).contains(&n), "expected ~10 events in window, got {n}");
+    assert!(
+        (9..=10).contains(&n),
+        "expected ~10 events in window, got {n}"
+    );
 
     // The window table itself is bounded (~10 tuples, never 30).
     let w = db.engine().db().resolve("w_recent").unwrap();
@@ -76,12 +85,14 @@ fn quiet_period_then_burst_expires_everything_old() {
     let mut db = build();
     for _ in 0..5 {
         db.advance_clock(SEC);
-        db.submit_batch("ingest", vec![vec![Value::Int(1)]]).unwrap();
+        db.submit_batch("ingest", vec![vec![Value::Int(1)]])
+            .unwrap();
     }
     // 60 quiet seconds (no events, clock moves).
     db.advance_clock(60 * SEC);
     // A single new event: its insert must evict all five stale tuples.
-    db.submit_batch("ingest", vec![vec![Value::Int(2)]]).unwrap();
+    db.submit_batch("ingest", vec![vec![Value::Int(2)]])
+        .unwrap();
     let w = db.engine().db().resolve("w_recent").unwrap();
     assert_eq!(db.engine().db().table(w).unwrap().len(), 1);
     let r = db.query("SELECT key, n FROM rates", &[]).unwrap();

@@ -34,10 +34,7 @@ fn sstore_is_exact_for_many_seeds_and_batch_sizes() {
                 oracle.feed_batch(&pairs);
             }
             let d = diff_states(&oracle_state(&oracle), &capture_state(&mut db).unwrap());
-            assert!(
-                d.is_clean(),
-                "seed={seed} batch={batch} diverged: {d:?}"
-            );
+            assert!(d.is_clean(), "seed={seed} batch={batch} diverged: {d:?}");
         }
     }
 }

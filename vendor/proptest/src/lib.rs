@@ -1,0 +1,156 @@
+//! Vendored, offline subset of the `proptest` API.
+//!
+//! The build container cannot reach crates.io, so the workspace vendors a
+//! minimal property-testing framework under the same crate name. It keeps
+//! proptest's programming model for everything this repo's five property
+//! suites use:
+//!
+//! * the [`proptest!`] macro with `#![proptest_config(...)]`, multiple
+//!   `#[test]` functions, and `name in strategy` bindings;
+//! * [`prop_assert!`] / [`prop_assert_eq!`] (early-return test-case errors
+//!   with formatted messages);
+//! * strategies: `any::<T>()`, integer ranges, [`strategy::Just`],
+//!   [`prop_oneof!`], tuples, `&str` regex-lite patterns (`.{a,b}`),
+//!   `prop::collection::{vec, btree_map}`, `.prop_map`, `.prop_recursive`,
+//!   and [`strategy::BoxedStrategy`].
+//!
+//! **Deliberate simplification:** failing cases are *not shrunk*. The
+//! failure report instead includes the deterministic per-case seed and the
+//! generated arguments, which is enough to reproduce (seeds derive from the
+//! test name + case index, so a failure reproduces on re-run).
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// The glob-import surface, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+
+    /// Namespaced strategy modules (`prop::collection::vec(...)`).
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::strategy;
+    }
+}
+
+/// Run each `#[test] fn name(arg in strategy, ...) { body }` against
+/// `config.cases` generated inputs. See the crate docs for the differences
+/// from real proptest (no shrinking).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            cfg = ($crate::test_runner::ProptestConfig::default());
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (cfg = ($cfg:expr);
+     $($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config = $cfg;
+                for __case in 0..__config.cases {
+                    let mut __rng = $crate::test_runner::TestRng::for_case(
+                        stringify!($name),
+                        __case,
+                    );
+                    $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut __rng);)+
+                    let __args_dbg = ::std::format!("{:?}", ($(&$arg,)+));
+                    let __result: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (move || {
+                            $body
+                            ::std::result::Result::Ok(())
+                        })();
+                    if let ::std::result::Result::Err(__e) = __result {
+                        ::std::panic!(
+                            "proptest `{}` case {}/{} failed: {}\n  generated args: {}",
+                            stringify!($name),
+                            __case + 1,
+                            __config.cases,
+                            __e,
+                            __args_dbg,
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Fail the current test case (early return) when the condition is false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(::std::format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Fail the current test case when the two expressions are unequal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l == *__r,
+            "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`",
+            __l,
+            __r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l == *__r,
+            "{}\n  left: `{:?}`\n right: `{:?}`",
+            ::std::format!($($fmt)+),
+            __l,
+            __r
+        );
+    }};
+}
+
+/// Fail the current test case when the two expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l != *__r,
+            "assertion failed: `(left != right)`\n  both: `{:?}`",
+            __l
+        );
+    }};
+}
+
+/// Uniform choice between several strategies producing the same value type.
+/// (Weighted arms from real proptest are not supported.)
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::new(::std::vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}

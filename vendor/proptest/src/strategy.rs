@@ -1,0 +1,228 @@
+//! The [`Strategy`] trait and combinators.
+//!
+//! Unlike real proptest there is no value tree / shrinking machinery: a
+//! strategy is just a recipe for generating one value from the per-case
+//! deterministic RNG.
+
+use crate::test_runner::TestRng;
+use rand::Rng as _;
+use std::ops::Range;
+use std::rc::Rc;
+
+/// A recipe for generating values of `Self::Value`.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generate one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values with a function.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Build a recursive strategy: `recurse` receives the strategy for the
+    /// previous depth level and returns the strategy for one level deeper;
+    /// it is applied `depth` times starting from `self` (the leaf).
+    ///
+    /// The `desired_size` / `expected_branch_size` hints from real proptest
+    /// are accepted and ignored.
+    fn prop_recursive<F, S>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        recurse: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> S,
+        S: Strategy<Value = Self::Value> + 'static,
+    {
+        let mut current = self.boxed();
+        for _ in 0..depth {
+            current = recurse(current).boxed();
+        }
+        current
+    }
+
+    /// Type-erase the strategy (cheaply clonable).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Rc::new(self))
+    }
+}
+
+/// Object-safe view of [`Strategy`] used by [`BoxedStrategy`].
+trait DynStrategy<T> {
+    fn generate_dyn(&self, rng: &mut TestRng) -> T;
+}
+
+impl<S: Strategy> DynStrategy<S::Value> for S {
+    fn generate_dyn(&self, rng: &mut TestRng) -> S::Value {
+        self.generate(rng)
+    }
+}
+
+/// A type-erased, reference-counted strategy.
+pub struct BoxedStrategy<T>(Rc<dyn DynStrategy<T>>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Rc::clone(&self.0))
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.0.generate_dyn(rng)
+    }
+}
+
+/// Always produce a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// [`Strategy::prop_map`] adapter.
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Uniform choice across type-erased arms (the [`crate::prop_oneof!`]
+/// backing type).
+pub struct OneOf<T> {
+    arms: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> OneOf<T> {
+    /// Choice over `arms`; panics if empty.
+    pub fn new(arms: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        OneOf { arms }
+    }
+}
+
+impl<T> Strategy for OneOf<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let i = rng.random_range(0..self.arms.len());
+        self.arms[i].generate(rng)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Ranges
+// ---------------------------------------------------------------------------
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+    )*};
+}
+
+range_strategy!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+// ---------------------------------------------------------------------------
+// Tuples
+// ---------------------------------------------------------------------------
+
+macro_rules! tuple_strategy {
+    ($(($($n:tt $s:ident),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$n.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+}
+
+// ---------------------------------------------------------------------------
+// Regex-lite string patterns
+// ---------------------------------------------------------------------------
+
+/// `&str` patterns act as string strategies, like in real proptest. Only
+/// the forms this repo uses are interpreted:
+///
+/// * `.{a,b}` — a string of `a..=b` arbitrary characters;
+/// * anything else — treated as a literal (generated verbatim).
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        if let Some((lo, hi)) = parse_dot_repeat(self) {
+            let len = rng.random_range(lo..hi + 1);
+            (0..len).map(|_| arbitrary_char(rng)).collect()
+        } else {
+            (*self).to_string()
+        }
+    }
+}
+
+/// Parse `.{a,b}` into `(a, b)`.
+fn parse_dot_repeat(pattern: &str) -> Option<(usize, usize)> {
+    let rest = pattern.strip_prefix(".{")?.strip_suffix('}')?;
+    let (lo, hi) = rest.split_once(',')?;
+    Some((lo.trim().parse().ok()?, hi.trim().parse().ok()?))
+}
+
+/// A character mix that exercises lexers: mostly printable ASCII, with
+/// occasional quotes, whitespace, control characters, and multibyte
+/// code points.
+fn arbitrary_char(rng: &mut TestRng) -> char {
+    const SPICE: &[char] = &[
+        '\'', '"', '\\', '\n', '\t', '\0', ';', '(', ')', ',', '.', '-', '*', '/', '?', '%', '_',
+        'é', '日', '🦀', '\u{7f}', ' ',
+    ];
+    match rng.random_range(0..10u32) {
+        0..=6 => {
+            // Printable ASCII.
+            char::from_u32(rng.random_range(0x20u32..0x7f)).unwrap()
+        }
+        7 | 8 => SPICE[rng.random_range(0..SPICE.len())],
+        _ => {
+            // Any valid scalar value below the astral planes.
+            loop {
+                if let Some(c) = char::from_u32(rng.random_range(0u32..0xFFFF)) {
+                    return c;
+                }
+            }
+        }
+    }
+}

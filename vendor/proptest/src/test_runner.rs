@@ -1,0 +1,82 @@
+//! Test-runner support types: configuration, case errors, and the
+//! deterministic per-case RNG.
+
+use std::collections::hash_map::DefaultHasher;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+
+/// Subset of proptest's run configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    /// 64 cases (overridable via the `PROPTEST_CASES` env var, like the
+    /// real crate).
+    fn default() -> Self {
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(64);
+        ProptestConfig { cases }
+    }
+}
+
+/// A failed (or rejected) test case.
+#[derive(Debug, Clone)]
+pub struct TestCaseError(String);
+
+impl TestCaseError {
+    /// Fail the case with a message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError(msg.into())
+    }
+
+    /// Alias kept for API parity with `TestCaseError::Fail(reason)` users.
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError(msg.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+/// Result alias matching proptest's.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Deterministic per-case RNG: seeded from the test name and case index so
+/// every run generates the same inputs (re-running reproduces a failure).
+#[derive(Debug, Clone)]
+pub struct TestRng(rand::rngs::StdRng);
+
+impl TestRng {
+    /// RNG for case `case` of test `test_name`.
+    pub fn for_case(test_name: &str, case: u32) -> Self {
+        let mut h = DefaultHasher::new();
+        test_name.hash(&mut h);
+        case.hash(&mut h);
+        TestRng(<rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(
+            h.finish(),
+        ))
+    }
+}
+
+impl rand::Rng for TestRng {
+    fn next_u64(&mut self) -> u64 {
+        rand::Rng::next_u64(&mut self.0)
+    }
+}

@@ -1,0 +1,178 @@
+//! Vendored, offline subset of the `rand` 0.9 API.
+//!
+//! Provides exactly what this workspace's workload generators use:
+//! [`rngs::StdRng`], [`SeedableRng::seed_from_u64`], and the [`Rng`]
+//! methods `random`, `random_range`, and `random_bool`. The generator is
+//! SplitMix64-seeded xoshiro256**, which is deterministic, fast, and more
+//! than adequate for workload simulation (it is NOT cryptographic, same as
+//! the real `StdRng` contract of being reproducible across runs given one
+//! seed — do not use for secrets).
+
+use std::ops::Range;
+
+/// Seedable random number generators.
+pub trait SeedableRng: Sized {
+    /// Build a generator from a 64-bit seed (deterministic).
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Core sampling interface (subset of `rand::Rng`).
+pub trait Rng {
+    /// The next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Sample a value of a [`Random`]-implementing type.
+    fn random<T: Random>(&mut self) -> T {
+        T::random(self)
+    }
+
+    /// Sample uniformly from a half-open integer range. Panics if empty.
+    fn random_range<T: UniformInt>(&mut self, range: Range<T>) -> T {
+        T::sample(self, range)
+    }
+
+    /// Bernoulli trial with probability `p` (clamped to [0, 1]).
+    fn random_bool(&mut self, p: f64) -> bool {
+        f64::random(self) < p
+    }
+}
+
+/// Types sampleable uniformly over their whole domain (for floats: [0, 1)).
+pub trait Random {
+    /// Draw one value.
+    fn random<R: Rng + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Random for f64 {
+    fn random<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+        // 53 random mantissa bits scaled into [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Random for bool {
+    fn random<R: Rng + ?Sized>(rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Random for u64 {
+    fn random<R: Rng + ?Sized>(rng: &mut R) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl Random for i64 {
+    fn random<R: Rng + ?Sized>(rng: &mut R) -> i64 {
+        rng.next_u64() as i64
+    }
+}
+
+/// Integer types usable with [`Rng::random_range`].
+pub trait UniformInt: Sized {
+    /// Uniform sample from `range`.
+    fn sample<R: Rng + ?Sized>(rng: &mut R, range: Range<Self>) -> Self;
+}
+
+/// Uniform u64 in [0, n) by widening multiply (Lemire's method, without the
+/// rejection step — the bias is < 2^-32 for the range sizes used here).
+fn uniform_below<R: Rng + ?Sized>(rng: &mut R, n: u64) -> u64 {
+    assert!(n > 0, "cannot sample from an empty range");
+    ((rng.next_u64() as u128 * n as u128) >> 64) as u64
+}
+
+macro_rules! uniform_int_impl {
+    ($($t:ty),*) => {$(
+        impl UniformInt for $t {
+            fn sample<R: Rng + ?Sized>(rng: &mut R, range: Range<$t>) -> $t {
+                assert!(
+                    range.start < range.end,
+                    "random_range: empty range {}..{}", range.start, range.end
+                );
+                let span = range.end.abs_diff(range.start) as u64;
+                let offset = uniform_below(rng, span);
+                // Wrapping add in the unsigned domain handles signed starts.
+                ((range.start as i128) + offset as i128) as $t
+            }
+        }
+    )*};
+}
+
+uniform_int_impl!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+/// Named generators (subset of `rand::rngs`).
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// The standard deterministic generator: xoshiro256** seeded via
+    /// SplitMix64 (the reference seeding procedure from Blackman/Vigna).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            let mut next = || {
+                sm = sm.wrapping_add(0x9E3779B97F4A7C15);
+                let mut z = sm;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+                z ^ (z >> 31)
+            };
+            StdRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_for_a_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v = rng.random_range(-5i64..17);
+            assert!((-5..17).contains(&v));
+            let u = rng.random_range(0usize..3);
+            assert!(u < 3);
+            let f: f64 = rng.random();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn bool_probability_is_sane() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let hits = (0..100_000).filter(|_| rng.random_bool(0.25)).count();
+        assert!((20_000..30_000).contains(&hits), "hits = {hits}");
+    }
+}

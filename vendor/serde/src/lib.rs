@@ -1,0 +1,308 @@
+//! Vendored, offline subset of the `serde` API.
+//!
+//! The build container has no network access to crates.io, so the workspace
+//! vendors a minimal serialization framework under the same crate name.
+//! The programming model matches serde where this repo uses it:
+//!
+//! * `#[derive(Serialize, Deserialize)]` on structs and enums (named,
+//!   tuple/newtype, and unit shapes), including externally-tagged enum
+//!   encoding identical to serde's default;
+//! * the `#[serde(into = "T", try_from = "T")]` container attributes;
+//! * transparent newtype structs (`BatchId(7)` encodes as `7`).
+//!
+//! The intermediate representation is the [`json::Value`] tree; the
+//! companion vendored `serde_json` crate renders/parses JSON text. If the
+//! real serde is ever restored as a dependency, no call site needs to
+//! change — only the two vendored crates get deleted.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+pub mod json;
+
+use std::fmt;
+
+/// Deserialization error: a human-readable path + message.
+#[derive(Debug, Clone)]
+pub struct DeError(pub String);
+
+impl DeError {
+    /// Build an error from any displayable message.
+    pub fn custom(msg: impl fmt::Display) -> Self {
+        DeError(msg.to_string())
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// A type that can encode itself into the [`json::Value`] tree.
+pub trait Serialize {
+    /// Encode `self`.
+    fn to_json(&self) -> json::Value;
+}
+
+/// A type that can decode itself from the [`json::Value`] tree.
+pub trait Deserialize: Sized {
+    /// Decode a value of `Self`, or explain why the tree doesn't match.
+    fn from_json(v: &json::Value) -> Result<Self, DeError>;
+}
+
+// ---------------------------------------------------------------------------
+// Primitive impls
+// ---------------------------------------------------------------------------
+
+macro_rules! int_impl {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json(&self) -> json::Value {
+                json::Value::Int(*self as i128)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_json(v: &json::Value) -> Result<Self, DeError> {
+                match v {
+                    json::Value::Int(i) => <$t>::try_from(*i)
+                        .map_err(|_| DeError::custom(format!(
+                            "integer {i} out of range for {}", stringify!($t)))),
+                    other => Err(DeError::custom(format!(
+                        "expected integer, got {}", other.kind()))),
+                }
+            }
+        }
+    )*};
+}
+
+int_impl!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize, i128);
+
+impl Serialize for f64 {
+    fn to_json(&self) -> json::Value {
+        json::Value::Float(*self)
+    }
+}
+impl Deserialize for f64 {
+    fn from_json(v: &json::Value) -> Result<Self, DeError> {
+        match v {
+            json::Value::Float(f) => Ok(*f),
+            json::Value::Int(i) => Ok(*i as f64),
+            // serde_json encodes non-finite floats as null; accept it back.
+            json::Value::Null => Ok(f64::NAN),
+            other => Err(DeError::custom(format!(
+                "expected number, got {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_json(&self) -> json::Value {
+        json::Value::Float(*self as f64)
+    }
+}
+impl Deserialize for f32 {
+    fn from_json(v: &json::Value) -> Result<Self, DeError> {
+        f64::from_json(v).map(|f| f as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn to_json(&self) -> json::Value {
+        json::Value::Bool(*self)
+    }
+}
+impl Deserialize for bool {
+    fn from_json(v: &json::Value) -> Result<Self, DeError> {
+        match v {
+            json::Value::Bool(b) => Ok(*b),
+            other => Err(DeError::custom(format!(
+                "expected bool, got {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_json(&self) -> json::Value {
+        json::Value::Str(self.clone())
+    }
+}
+impl Deserialize for String {
+    fn from_json(v: &json::Value) -> Result<Self, DeError> {
+        match v {
+            json::Value::Str(s) => Ok(s.clone()),
+            other => Err(DeError::custom(format!(
+                "expected string, got {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_json(&self) -> json::Value {
+        json::Value::Str(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn to_json(&self) -> json::Value {
+        json::Value::Str(self.to_string())
+    }
+}
+impl Deserialize for char {
+    fn from_json(v: &json::Value) -> Result<Self, DeError> {
+        let s = String::from_json(v)?;
+        let mut it = s.chars();
+        match (it.next(), it.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(DeError::custom("expected single-char string")),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Containers
+// ---------------------------------------------------------------------------
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_json(&self) -> json::Value {
+        (**self).to_json()
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn to_json(&self) -> json::Value {
+        (**self).to_json()
+    }
+}
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_json(v: &json::Value) -> Result<Self, DeError> {
+        T::from_json(v).map(Box::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_json(&self) -> json::Value {
+        match self {
+            None => json::Value::Null,
+            Some(t) => t.to_json(),
+        }
+    }
+}
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_json(v: &json::Value) -> Result<Self, DeError> {
+        match v {
+            json::Value::Null => Ok(None),
+            other => T::from_json(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_json(&self) -> json::Value {
+        json::Value::Array(self.iter().map(Serialize::to_json).collect())
+    }
+}
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_json(v: &json::Value) -> Result<Self, DeError> {
+        match v {
+            json::Value::Array(items) => items.iter().map(T::from_json).collect(),
+            other => Err(DeError::custom(format!(
+                "expected array, got {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_json(&self) -> json::Value {
+        json::Value::Array(self.iter().map(Serialize::to_json).collect())
+    }
+}
+
+macro_rules! tuple_impl {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_json(&self) -> json::Value {
+                json::Value::Array(vec![$(self.$n.to_json()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_json(v: &json::Value) -> Result<Self, DeError> {
+                match v {
+                    json::Value::Array(items) => {
+                        let expected = [$(stringify!($n)),+].len();
+                        if items.len() != expected {
+                            return Err(DeError::custom(format!(
+                                "expected {expected}-tuple, got array of {}", items.len())));
+                        }
+                        Ok(($($t::from_json(&items[$n])?,)+))
+                    }
+                    other => Err(DeError::custom(format!(
+                        "expected array (tuple), got {}", other.kind()))),
+                }
+            }
+        }
+    )*};
+}
+
+tuple_impl! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+}
+
+impl<V: Serialize> Serialize for std::collections::HashMap<String, V> {
+    fn to_json(&self) -> json::Value {
+        // Sort keys for deterministic output (tests diff snapshots).
+        let mut keys: Vec<&String> = self.keys().collect();
+        keys.sort();
+        json::Value::Object(
+            keys.into_iter()
+                .map(|k| (k.clone(), self[k].to_json()))
+                .collect(),
+        )
+    }
+}
+impl<V: Deserialize> Deserialize for std::collections::HashMap<String, V> {
+    fn from_json(v: &json::Value) -> Result<Self, DeError> {
+        match v {
+            json::Value::Object(entries) => entries
+                .iter()
+                .map(|(k, v)| Ok((k.clone(), V::from_json(v)?)))
+                .collect(),
+            other => Err(DeError::custom(format!(
+                "expected object, got {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl<V: Serialize> Serialize for std::collections::BTreeMap<String, V> {
+    fn to_json(&self) -> json::Value {
+        json::Value::Object(self.iter().map(|(k, v)| (k.clone(), v.to_json())).collect())
+    }
+}
+impl<V: Deserialize> Deserialize for std::collections::BTreeMap<String, V> {
+    fn from_json(v: &json::Value) -> Result<Self, DeError> {
+        match v {
+            json::Value::Object(entries) => entries
+                .iter()
+                .map(|(k, v)| Ok((k.clone(), V::from_json(v)?)))
+                .collect(),
+            other => Err(DeError::custom(format!(
+                "expected object, got {}",
+                other.kind()
+            ))),
+        }
+    }
+}

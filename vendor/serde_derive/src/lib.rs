@@ -1,0 +1,499 @@
+//! Derive macros for the vendored `serde` subset.
+//!
+//! Implemented without `syn`/`quote` (the build container has no crates.io
+//! access): a small hand-rolled parser walks the raw [`TokenStream`] of the
+//! item and a string-based generator emits the impls. Supports exactly the
+//! shapes this workspace derives on:
+//!
+//! * named structs, tuple/newtype structs, unit structs;
+//! * enums with unit, newtype, tuple, and struct variants
+//!   (externally-tagged encoding, matching real serde's default);
+//! * the container attributes `#[serde(into = "T", try_from = "T")]`.
+//!
+//! Generic containers are intentionally unsupported (none exist in this
+//! repo); deriving on one produces a compile error naming this file.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+// ---------------------------------------------------------------------------
+// Item model
+// ---------------------------------------------------------------------------
+
+struct Item {
+    name: String,
+    into: Option<String>,
+    try_from: Option<String>,
+    shape: Shape,
+}
+
+enum Shape {
+    Named(Vec<String>),
+    Tuple(usize),
+    Unit,
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    let mut into = None;
+    let mut try_from = None;
+
+    // Leading attributes (doc comments arrive as `#[doc = "..."]`).
+    while i + 1 < tokens.len() {
+        let is_attr = matches!(&tokens[i], TokenTree::Punct(p) if p.as_char() == '#');
+        if !is_attr {
+            break;
+        }
+        if let TokenTree::Group(g) = &tokens[i + 1] {
+            parse_serde_attr(g.stream(), &mut into, &mut try_from);
+        }
+        i += 2;
+    }
+
+    // Visibility.
+    if matches!(&tokens[i], TokenTree::Ident(id) if id.to_string() == "pub") {
+        i += 1;
+        if matches!(&tokens[i], TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis) {
+            i += 1;
+        }
+    }
+
+    let kw = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive: expected `struct` or `enum`, found {other}"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive: expected item name, found {other}"),
+    };
+    i += 1;
+
+    if matches!(&tokens[i..], [TokenTree::Punct(p), ..] if p.as_char() == '<') {
+        panic!(
+            "serde_derive (vendored subset) does not support generic type `{name}`; \
+             see vendor/serde_derive/src/lib.rs"
+        );
+    }
+
+    let shape = match kw.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Named(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::Unit,
+            other => panic!("serde_derive: unsupported struct body for `{name}`: {other:?}"),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("serde_derive: unsupported enum body for `{name}`: {other:?}"),
+        },
+        other => panic!("serde_derive: cannot derive for `{other}` items"),
+    };
+
+    Item {
+        name,
+        into,
+        try_from,
+        shape,
+    }
+}
+
+/// If the attribute body is `serde(...)`, record `into`/`try_from` values.
+fn parse_serde_attr(body: TokenStream, into: &mut Option<String>, try_from: &mut Option<String>) {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    match tokens.as_slice() {
+        [TokenTree::Ident(id), TokenTree::Group(args)] if id.to_string() == "serde" => {
+            let inner: Vec<TokenTree> = args.stream().into_iter().collect();
+            let mut j = 0;
+            while j < inner.len() {
+                let key = match &inner[j] {
+                    TokenTree::Ident(id) => id.to_string(),
+                    _ => {
+                        j += 1;
+                        continue;
+                    }
+                };
+                if j + 2 < inner.len()
+                    && matches!(&inner[j + 1], TokenTree::Punct(p) if p.as_char() == '=')
+                {
+                    if let TokenTree::Literal(lit) = &inner[j + 2] {
+                        let val = lit.to_string().trim_matches('"').to_string();
+                        match key.as_str() {
+                            "into" => *into = Some(val),
+                            "try_from" => *try_from = Some(val),
+                            other => panic!(
+                                "serde_derive (vendored subset): unsupported attribute \
+                                 `serde({other} = ...)`"
+                            ),
+                        }
+                        j += 3;
+                        continue;
+                    }
+                }
+                panic!("serde_derive (vendored subset): unsupported `serde(...)` attribute form");
+            }
+        }
+        _ => {} // not a serde attribute (doc comment, repr, ...)
+    }
+}
+
+/// Split a token list on commas that sit outside `<...>` nesting. Bracketed
+/// groups ((), [], {}) are single tokens, so only angle brackets need depth
+/// tracking (e.g. `HashMap<String, TableId>`).
+fn split_top_level(body: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut chunks = vec![Vec::new()];
+    let mut angle_depth = 0i32;
+    for tt in body {
+        if let TokenTree::Punct(p) = &tt {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    chunks.push(Vec::new());
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        chunks.last_mut().unwrap().push(tt);
+    }
+    chunks.retain(|c| !c.is_empty());
+    chunks
+}
+
+/// Extract the field name from one `[attrs] [pub] name: Type` chunk.
+fn field_name(chunk: &[TokenTree]) -> String {
+    let mut i = 0;
+    loop {
+        match &chunk[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => i += 2, // attribute
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
+                i += 1;
+                if matches!(chunk.get(i), Some(TokenTree::Group(g))
+                    if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    i += 1;
+                }
+            }
+            TokenTree::Ident(id) => return id.to_string(),
+            other => panic!("serde_derive: cannot find field name near {other}"),
+        }
+    }
+}
+
+fn parse_named_fields(body: TokenStream) -> Vec<String> {
+    split_top_level(body)
+        .iter()
+        .map(|chunk| field_name(chunk))
+        .collect()
+}
+
+fn count_tuple_fields(body: TokenStream) -> usize {
+    split_top_level(body).len()
+}
+
+fn parse_variants(body: TokenStream) -> Vec<Variant> {
+    split_top_level(body)
+        .into_iter()
+        .map(|chunk| {
+            let mut i = 0;
+            // Skip attributes / doc comments.
+            while matches!(&chunk[i], TokenTree::Punct(p) if p.as_char() == '#') {
+                i += 2;
+            }
+            let name = match &chunk[i] {
+                TokenTree::Ident(id) => id.to_string(),
+                other => panic!("serde_derive: expected variant name, found {other}"),
+            };
+            let shape = match chunk.get(i + 1) {
+                None => VariantShape::Unit,
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    VariantShape::Tuple(count_tuple_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    VariantShape::Named(parse_named_fields(g.stream()))
+                }
+                Some(other) => {
+                    panic!("serde_derive: unsupported variant payload `{name}`: {other}")
+                }
+            };
+            Variant { name, shape }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Serialize generator
+// ---------------------------------------------------------------------------
+
+/// `#[derive(Serialize)]` — encode into the `serde::json::Value` tree.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let name = &item.name;
+
+    let body = if let Some(mirror) = &item.into {
+        format!(
+            "let mirror: {mirror} = <Self as ::std::clone::Clone>::clone(self).into();\n\
+             ::serde::Serialize::to_json(&mirror)"
+        )
+    } else {
+        match &item.shape {
+            Shape::Named(fields) => obj_literal_of_fields(fields, "self."),
+            Shape::Tuple(1) => "::serde::Serialize::to_json(&self.0)".to_string(),
+            Shape::Tuple(n) => {
+                let items: Vec<String> = (0..*n)
+                    .map(|k| format!("::serde::Serialize::to_json(&self.{k})"))
+                    .collect();
+                format!(
+                    "::serde::json::Value::Array(::std::vec![{}])",
+                    items.join(", ")
+                )
+            }
+            Shape::Unit => "::serde::json::Value::Null".to_string(),
+            Shape::Enum(variants) => {
+                let arms: Vec<String> = variants
+                    .iter()
+                    .map(|v| {
+                        let vname = &v.name;
+                        match &v.shape {
+                            VariantShape::Unit => format!(
+                                "{name}::{vname} => ::serde::json::Value::Str(\
+                                 ::std::string::String::from(\"{vname}\")),"
+                            ),
+                            VariantShape::Tuple(1) => format!(
+                                "{name}::{vname}(__f0) => ::serde::json::Value::Object(\
+                                 ::std::vec![(::std::string::String::from(\"{vname}\"), \
+                                 ::serde::Serialize::to_json(__f0))]),"
+                            ),
+                            VariantShape::Tuple(n) => {
+                                let binds: Vec<String> =
+                                    (0..*n).map(|k| format!("__f{k}")).collect();
+                                let items: Vec<String> = (0..*n)
+                                    .map(|k| format!("::serde::Serialize::to_json(__f{k})"))
+                                    .collect();
+                                format!(
+                                    "{name}::{vname}({}) => ::serde::json::Value::Object(\
+                                     ::std::vec![(::std::string::String::from(\"{vname}\"), \
+                                     ::serde::json::Value::Array(::std::vec![{}]))]),",
+                                    binds.join(", "),
+                                    items.join(", ")
+                                )
+                            }
+                            VariantShape::Named(fields) => {
+                                let binds = fields.join(", ");
+                                let inner = obj_literal_of_fields(fields, "");
+                                format!(
+                                    "{name}::{vname} {{ {binds} }} => \
+                                     ::serde::json::Value::Object(::std::vec![(\
+                                     ::std::string::String::from(\"{vname}\"), {inner})]),"
+                                )
+                            }
+                        }
+                    })
+                    .collect();
+                format!("match self {{\n{}\n}}", arms.join("\n"))
+            }
+        }
+    };
+
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_json(&self) -> ::serde::json::Value {{\n{body}\n}}\n\
+         }}"
+    )
+    .parse()
+    .unwrap()
+}
+
+/// `Object(vec![("f", to_json(&PREFIXf)), ...])` for named fields. With an
+/// empty prefix the fields are taken from local bindings (enum match arms);
+/// references are added as needed.
+fn obj_literal_of_fields(fields: &[String], prefix: &str) -> String {
+    let entries: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            let access = if prefix.is_empty() {
+                f.clone()
+            } else {
+                format!("&{prefix}{f}")
+            };
+            format!("(::std::string::String::from(\"{f}\"), ::serde::Serialize::to_json({access}))")
+        })
+        .collect();
+    format!(
+        "::serde::json::Value::Object(::std::vec![{}])",
+        entries.join(", ")
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Deserialize generator
+// ---------------------------------------------------------------------------
+
+/// `#[derive(Deserialize)]` — decode from the `serde::json::Value` tree.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let name = &item.name;
+
+    let body = if let Some(mirror) = &item.try_from {
+        format!(
+            "let mirror: {mirror} = ::serde::Deserialize::from_json(v)?;\n\
+             ::std::convert::TryFrom::try_from(mirror)\
+                 .map_err(|e| ::serde::DeError::custom(e))"
+        )
+    } else {
+        match &item.shape {
+            Shape::Named(fields) => {
+                let inits = named_field_inits(fields);
+                format!(
+                    "let entries = v.as_object().ok_or_else(|| ::serde::DeError::custom(\
+                     \"expected object for {name}\"))?;\n\
+                     ::std::result::Result::Ok({name} {{ {inits} }})"
+                )
+            }
+            Shape::Tuple(1) => {
+                format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_json(v)?))")
+            }
+            Shape::Tuple(n) => {
+                let items: Vec<String> = (0..*n)
+                    .map(|k| format!("::serde::Deserialize::from_json(&items[{k}])?"))
+                    .collect();
+                format!(
+                    "match v {{\n\
+                         ::serde::json::Value::Array(items) if items.len() == {n} => \
+                             ::std::result::Result::Ok({name}({items})),\n\
+                         other => ::std::result::Result::Err(::serde::DeError::custom(\
+                             format!(\"expected {n}-element array for {name}, got {{}}\", \
+                             other.kind()))),\n\
+                     }}",
+                    items = items.join(", ")
+                )
+            }
+            Shape::Unit => format!("::std::result::Result::Ok({name})"),
+            Shape::Enum(variants) => enum_deserialize_body(name, variants),
+        }
+    };
+
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_json(v: &::serde::json::Value) -> \
+                 ::std::result::Result<Self, ::serde::DeError> {{\n{body}\n}}\n\
+         }}"
+    )
+    .parse()
+    .unwrap()
+}
+
+fn named_field_inits(fields: &[String]) -> String {
+    fields
+        .iter()
+        .map(|f| {
+            format!(
+                "{f}: ::serde::Deserialize::from_json(::serde::json::field(entries, \"{f}\")?)?"
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+fn enum_deserialize_body(name: &str, variants: &[Variant]) -> String {
+    // Externally tagged: unit variants decode from a bare string, payload
+    // variants from a single-entry `{"Variant": payload}` object.
+    let unit_arms: Vec<String> = variants
+        .iter()
+        .filter(|v| matches!(v.shape, VariantShape::Unit))
+        .map(|v| {
+            format!(
+                "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}),",
+                vname = v.name
+            )
+        })
+        .collect();
+
+    let tagged_arms: Vec<String> = variants
+        .iter()
+        .filter_map(|v| {
+            let vname = &v.name;
+            match &v.shape {
+                VariantShape::Unit => None,
+                VariantShape::Tuple(1) => Some(format!(
+                    "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}(\
+                     ::serde::Deserialize::from_json(inner)?)),"
+                )),
+                VariantShape::Tuple(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|k| format!("::serde::Deserialize::from_json(&items[{k}])?"))
+                        .collect();
+                    Some(format!(
+                        "\"{vname}\" => match inner {{\n\
+                             ::serde::json::Value::Array(items) if items.len() == {n} => \
+                                 ::std::result::Result::Ok({name}::{vname}({items})),\n\
+                             other => ::std::result::Result::Err(::serde::DeError::custom(\
+                                 format!(\"expected {n}-element array for {name}::{vname}, \
+                                 got {{}}\", other.kind()))),\n\
+                         }},",
+                        items = items.join(", ")
+                    ))
+                }
+                VariantShape::Named(fields) => {
+                    let inits = named_field_inits(fields);
+                    Some(format!(
+                        "\"{vname}\" => {{\n\
+                             let entries = inner.as_object().ok_or_else(|| \
+                                 ::serde::DeError::custom(\
+                                 \"expected object payload for {name}::{vname}\"))?;\n\
+                             ::std::result::Result::Ok({name}::{vname} {{ {inits} }})\n\
+                         }},"
+                    ))
+                }
+            }
+        })
+        .collect();
+
+    format!(
+        "match v {{\n\
+             ::serde::json::Value::Str(tag) => match tag.as_str() {{\n\
+                 {unit_arms}\n\
+                 other => ::std::result::Result::Err(::serde::DeError::custom(\
+                     format!(\"unknown unit variant `{{other}}` for {name}\"))),\n\
+             }},\n\
+             ::serde::json::Value::Object(entries) if entries.len() == 1 => {{\n\
+                 let (tag, inner) = &entries[0];\n\
+                 match tag.as_str() {{\n\
+                     {tagged_arms}\n\
+                     other => ::std::result::Result::Err(::serde::DeError::custom(\
+                         format!(\"unknown variant `{{other}}` for {name}\"))),\n\
+                 }}\n\
+             }},\n\
+             other => ::std::result::Result::Err(::serde::DeError::custom(\
+                 format!(\"expected enum {name}, got {{}}\", other.kind()))),\n\
+         }}",
+        unit_arms = unit_arms.join("\n"),
+        tagged_arms = tagged_arms.join("\n"),
+    )
+}
