@@ -1,0 +1,51 @@
+//! E9 — shared-nothing cluster scaling: the partitionable `count_events`
+//! workload at 1/2/4 partitions, blocking (`sync`) vs ticketed (`async`)
+//! ingest. Each partition worker runs the paper's single-sited serial
+//! discipline; the runtime adds routed parallelism and PE-boundary batch
+//! coalescing on top.
+//!
+//! Set `SSTORE_BENCH_SMOKE=1` for a 1-sample smoke run (CI uses this to
+//! prove the bench executes, not to measure).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sstore_bench::{exp_e9_reference, exp_e9_run};
+
+const BATCH: usize = 250;
+/// Sleep per PE→EE statement dispatch, modelling the round-trip latency
+/// of a remote EE. Blocked time overlaps across partition workers, so
+/// the cluster scales even when the host has fewer cores than partitions
+/// (as in `examples/cluster_scaling.rs`).
+const EE_LATENCY_US: u64 = 50;
+
+fn smoke() -> bool {
+    std::env::var_os("SSTORE_BENCH_SMOKE").is_some()
+}
+
+fn cluster_scaling(c: &mut Criterion) {
+    let events = if smoke() { 200 } else { 1_500 };
+    let mut g = c.benchmark_group("e9_cluster_scaling");
+    g.sample_size(if smoke() { 2 } else { 5 });
+    g.throughput(Throughput::Elements(events as u64));
+
+    // Determinism gate before measuring anything: the partitioned async
+    // run must byte-for-byte match the single-partition reference state.
+    let reference = exp_e9_reference(events, BATCH, EE_LATENCY_US);
+    let (_, partitioned) = exp_e9_run(4, events, BATCH, true, EE_LATENCY_US);
+    assert_eq!(
+        partitioned, reference,
+        "4-partition async state diverged from the single-partition reference"
+    );
+
+    for n in [1usize, 2, 4] {
+        g.bench_function(BenchmarkId::new(format!("sync/{n}p"), events), |b| {
+            b.iter(|| exp_e9_run(n, events, BATCH, false, EE_LATENCY_US))
+        });
+        g.bench_function(BenchmarkId::new(format!("async/{n}p"), events), |b| {
+            b.iter(|| exp_e9_run(n, events, BATCH, true, EE_LATENCY_US))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, cluster_scaling);
+criterion_main!(benches);

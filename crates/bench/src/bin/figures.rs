@@ -55,6 +55,9 @@ fn main() {
     if run("e8") {
         exp8(scale);
     }
+    if run("e9") {
+        exp9(scale);
+    }
 }
 
 /// F1 — the paper's Fig. 1 (architecture): the system inventory, mapping
@@ -70,7 +73,14 @@ fn inventory() {
             "pipelined/polling client (H-Store demo driver)",
             "sstore-core::client::PipelinedClient",
         ),
-        ("shared-nothing deployment", "sstore-core::cluster::Cluster"),
+        (
+            "shared-nothing partition runtime (workers)",
+            "sstore-core::cluster::Cluster",
+        ),
+        (
+            "partition router (hash/range, async tickets)",
+            "sstore-core::router",
+        ),
         ("PE: stored procedures", "sstore-txn::procedure"),
         ("PE: stream txn model / scheduler", "sstore-txn::partition"),
         (
@@ -289,4 +299,34 @@ fn exp8(scale: usize) {
 
 fn sstore_voter_quiet() -> sstore_core::SStore {
     sstore_voter(WindowImpl::Native, 0, 0)
+}
+
+/// E9 — shared-nothing cluster scaling: sync vs async routed ingest.
+fn exp9(scale: usize) {
+    let events = 300 * scale;
+    let (batch, ee_latency_us) = (250usize, 50u64);
+    println!("== E9: cluster scaling — 1/2/4 partitions, sync vs async ingest ==");
+    println!(
+        "   ({events} count_events rows, batches of {batch}, {ee_latency_us} us/statement EE latency)\n"
+    );
+    println!("   partitions | ingest | events/s | speedup vs 1p sync | state matches 1p");
+    let reference = exp_e9_reference(events, batch, ee_latency_us);
+    let mut base = 0.0f64;
+    for n in [1usize, 2, 4] {
+        for asynchronous in [false, true] {
+            let (secs, state) = exp_e9_run(n, events, batch, asynchronous, ee_latency_us);
+            if n == 1 && !asynchronous {
+                base = secs;
+            }
+            println!(
+                "   {:>10} | {:>6} | {:>8.0} | {:>18.2}x | {}",
+                n,
+                if asynchronous { "async" } else { "sync" },
+                events as f64 / secs,
+                base / secs,
+                state == reference
+            );
+        }
+    }
+    println!();
 }

@@ -161,6 +161,85 @@ pub fn exp_e7(n_tuples: usize) -> usize {
     db.engine().db().approx_bytes()
 }
 
+/// E9 deployment: the `count_events` per-key counting workload —
+/// embarrassingly partitionable, the shape the shared-nothing runtime is
+/// built for. One definition for every consumer (bench, `figures`, core
+/// tests): [`sstore_core::workloads::deploy_count_events`].
+pub use sstore_core::workloads::deploy_count_events as count_events_deploy;
+
+/// Deterministic `count_events` input rows (wide key space: 1024 keys).
+pub fn count_events_rows(n: usize) -> Vec<sstore_core::common::Row> {
+    sstore_core::workloads::count_events_rows(n, 1024, 97)
+}
+
+/// E9 reference: the single-partition blocking run. Returns the sorted
+/// final `totals` state that every partitioned configuration must match.
+pub fn exp_e9_reference(
+    events: usize,
+    batch: usize,
+    ee_latency_us: u64,
+) -> Vec<sstore_core::common::Row> {
+    let mut db = SStoreBuilder::new()
+        .ee_trip_latency(ee_latency_us)
+        .build()
+        .expect("build");
+    count_events_deploy(&mut db).expect("deploy");
+    for chunk in count_events_rows(events).chunks(batch) {
+        db.submit_batch("count_events", chunk.to_vec())
+            .expect("submit");
+    }
+    let mut rows = db.query("SELECT * FROM totals", &[]).expect("query").rows;
+    rows.sort();
+    rows
+}
+
+/// E9: push `events` rows through an `partitions`-way cluster in batches
+/// of `batch`, blocking per submission (`asynchronous = false`) or
+/// pipelining tickets through the bounded ingest queues
+/// (`asynchronous = true`). The per-statement `ee_latency_us` sleep
+/// models the round-trip latency of a remote EE — blocked time the
+/// partition workers overlap, which is what lets a cluster scale past
+/// the local core count. Returns the wall seconds spent ingesting and
+/// the sorted final `totals` state.
+pub fn exp_e9_run(
+    partitions: usize,
+    events: usize,
+    batch: usize,
+    asynchronous: bool,
+    ee_latency_us: u64,
+) -> (f64, Vec<sstore_core::common::Row>) {
+    use sstore_core::Cluster;
+    let builder = SStoreBuilder::new().ee_trip_latency(ee_latency_us);
+    let cluster = Cluster::new(partitions, &builder, count_events_deploy).expect("cluster");
+    let rows = count_events_rows(events);
+    let t0 = std::time::Instant::now();
+    if asynchronous {
+        let mut tickets = Vec::new();
+        for chunk in rows.chunks(batch) {
+            tickets.push(
+                cluster
+                    .submit_batch_async("count_events", chunk.to_vec())
+                    .expect("submit"),
+            );
+        }
+        for t in tickets {
+            t.wait().expect("ticket");
+        }
+    } else {
+        for chunk in rows.chunks(batch) {
+            cluster
+                .submit_batch_partitioned("count_events", chunk.to_vec(), 0)
+                .expect("submit");
+        }
+    }
+    let secs = t0.elapsed().as_secs_f64();
+    let mut state = cluster
+        .query_all("SELECT * FROM totals", &[])
+        .expect("query");
+    state.sort();
+    (secs, state)
+}
+
 /// A fresh scratch directory under the system temp dir.
 pub fn scratch_dir(tag: &str) -> std::path::PathBuf {
     let p = std::env::temp_dir().join(format!(

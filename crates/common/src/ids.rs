@@ -64,8 +64,10 @@ id_type!(
     BatchId, u64, "b"
 );
 id_type!(
-    /// Identifies a logical partition (site). The paper demos the
-    /// single-sited case: partition 0.
+    /// Identifies a logical partition (site). Standalone instances are
+    /// partition 0 (the paper's single-sited demo); the cluster runtime
+    /// assigns one id per worker and threads it through `PeConfig`,
+    /// `PeStats`, and the cluster metrics.
     PartitionId, u32, "p"
 );
 

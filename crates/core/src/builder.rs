@@ -1,9 +1,9 @@
 //! Fluent configuration for an S-Store instance.
 
 use crate::SStore;
-use sstore_common::Result;
+use sstore_common::{PartitionId, Result};
 use sstore_engine::EeConfig;
-use sstore_txn::log::LogConfig;
+use sstore_txn::log::{LogConfig, LogRetention};
 use sstore_txn::{ExecMode, PeConfig};
 use std::path::Path;
 
@@ -63,6 +63,15 @@ impl SStoreBuilder {
         self
     }
 
+    /// Sleep `micros` per PE→EE statement dispatch, modelling a *remote*
+    /// EE round trip: the wait blocks this partition but releases the
+    /// core, so cluster workers overlap it (unlike the busy-wait
+    /// [`SStoreBuilder::ee_trip_cost`]).
+    pub fn ee_trip_latency(mut self, micros: u64) -> Self {
+        self.config.ee_trip_latency_micros = micros;
+        self
+    }
+
     /// Enable command logging + snapshots under `dir`, fsyncing every
     /// `group_commit_n` records.
     pub fn durability(mut self, dir: impl AsRef<Path>, group_commit_n: usize) -> Self {
@@ -70,6 +79,22 @@ impl SStoreBuilder {
             dir.as_ref().to_path_buf(),
             group_commit_n,
         ));
+        self
+    }
+
+    /// Snapshot + truncate the command log automatically after every
+    /// `every_n_commits` committed TEs, at the next quiescent point.
+    /// Requires [`SStoreBuilder::durability`]; replay-after-truncate
+    /// recovers from the snapshot plus the log tail.
+    pub fn log_retention(mut self, every_n_commits: u64) -> Self {
+        self.config.retention = Some(LogRetention::every_n_commits(every_n_commits));
+        self
+    }
+
+    /// Assign this partition's site id ([`crate::Cluster`] does this for
+    /// each worker; standalone instances stay p0).
+    pub fn partition_id(mut self, id: PartitionId) -> Self {
+        self.config.partition = id;
         self
     }
 

@@ -1,45 +1,136 @@
-//! Multi-partition deployment.
+//! Persistent shared-nothing partition runtime.
 //!
 //! H-Store — and therefore S-Store — is "designed for shared-nothing
 //! clusters": the database is partitioned so that most transactions run
 //! **single-sited**, serially, on the partition owning their data (paper
-//! §2, citing Pavlo et al. (ref. 8) for partition design). The paper
-//! demonstrates the single-sited case; [`Cluster`] provides the
-//! shared-nothing shape around it: N identically-deployed partitions, a
-//! client-side router that splits border batches by partition key, and
-//! parallel dispatch (one OS thread per partition per call, mirroring
-//! H-Store's one-execution-site-per-core layout).
+//! §2, citing Pavlo et al. (ref. 8) for partition design). [`Cluster`]
+//! realizes that shape as a *runtime*, not a per-call simulation:
 //!
-//! Cross-partition transactions are deliberately **not** implemented —
-//! the paper's demo never leaves one site, and a faithful distributed
-//! coordinator is beyond its scope. Routing a tuple to the wrong partition
-//! yields the same answer a mis-partitioned H-Store would: each partition
-//! sees only its share.
+//! * **N long-lived worker threads**, one per partition, mirroring
+//!   H-Store's one-execution-site-per-core layout. Each worker *owns* its
+//!   [`SStore`] outright (shared-nothing: no locks, no shared state) and
+//!   drains a bounded MPSC ingest queue in FIFO order — per-partition
+//!   submission order is execution order, which keeps parallel runs
+//!   deterministic.
+//! * **Routed ingest** via [`Router`]: a declared partition-key column
+//!   with hash or explicit range placement splits each border batch into
+//!   per-partition shards. `NULL` keys are rejected, never silently
+//!   hashed.
+//! * **Async submission**: [`Cluster::submit_batch_async`] enqueues shards
+//!   and returns a [`Ticket`] that later resolves to per-TE outcomes;
+//!   [`Cluster::submit_batch_partitioned`] is the blocking wrapper
+//!   preserving the original API. While a ticket is in flight the worker
+//!   may **coalesce** queued batches for the same procedure into one
+//!   scheduler pass ([`sstore_txn::Partition::submit_batch_group`]),
+//!   cutting per-submission PE-boundary overhead exactly where the paper
+//!   claims EE/PE round-trip savings.
+//! * **Scatter-gather reads**: [`Cluster::query_all`] fans a read-only
+//!   query out to every worker in parallel and concatenates rows in
+//!   partition order (cross-partition aggregation stays the caller's job,
+//!   as in any shared-nothing system).
+//!
+//! Cross-partition *transactions* are still deliberately out of scope —
+//! the paper's demo never leaves one site. Routing a tuple to the wrong
+//! partition yields the same answer a mis-partitioned H-Store would: each
+//! partition sees only its share.
 
 use crate::builder::SStoreBuilder;
+use crate::metrics::{ClusterMetrics, PartitionMetrics};
+use crate::router::{RouteSpec, Router, Ticket};
 use crate::SStore;
-use sstore_common::{Error, Result, Row, Value};
+use sstore_common::{Error, PartitionId, Result, Row, Value};
 use sstore_txn::TxnOutcome;
+use std::sync::mpsc;
+use std::thread::JoinHandle;
 
-/// A shared-nothing group of identically-deployed partitions.
+/// Default bound of each worker's ingest queue, in queued submissions.
+/// A full queue applies backpressure: `submit_batch_async` blocks until
+/// the worker drains a slot.
+pub const DEFAULT_INGEST_QUEUE_DEPTH: usize = 256;
+
+/// One unit of work on a partition worker's queue.
+enum Job {
+    /// A border-batch shard for this partition.
+    Ingest {
+        proc: String,
+        rows: Vec<Row>,
+        reply: mpsc::Sender<Result<Vec<TxnOutcome>>>,
+    },
+    /// One leg of a scatter-gather read-only query.
+    Query {
+        sql: String,
+        params: Vec<Value>,
+        reply: mpsc::Sender<Result<Vec<Row>>>,
+    },
+    /// Arbitrary code against the owned partition (stats, snapshots,
+    /// tests). The closure captures its own reply channel.
+    Exec(Box<dyn FnOnce(&mut SStore) + Send>),
+    /// Advance the partition's logical clock.
+    AdvanceClock(i64),
+}
+
+/// Handle to one partition worker thread.
+struct Worker {
+    id: PartitionId,
+    /// `None` once the cluster began shutdown.
+    tx: Option<mpsc::SyncSender<Job>>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl Worker {
+    fn send(&self, job: Job) -> Result<()> {
+        self.tx
+            .as_ref()
+            .ok_or_else(|| Error::Internal(format!("partition {} is shut down", self.id)))?
+            .send(job)
+            .map_err(|_| Error::Internal(format!("partition worker {} disconnected", self.id)))
+    }
+}
+
+/// A shared-nothing group of identically-deployed partitions, each run by
+/// a persistent worker thread (see module docs).
 pub struct Cluster {
-    partitions: Vec<SStore>,
+    workers: Vec<Worker>,
+    router: Router,
 }
 
 impl std::fmt::Debug for Cluster {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Cluster")
-            .field("partitions", &self.partitions.len())
+            .field("partitions", &self.workers.len())
+            .field("router", &self.router)
             .finish()
     }
 }
 
 impl Cluster {
-    /// Build `n` partitions from one builder, running the same `deploy`
-    /// (DDL + procedure registration + seeding) on each — deterministic
-    /// redeployment, exactly like the recovery contract.
+    /// Build `n` partitions from one builder with the default routing
+    /// (hash over column 0) and queue depth. See [`Cluster::with_config`].
     pub fn new(
         n: usize,
+        builder: &SStoreBuilder,
+        deploy: impl Fn(&mut SStore) -> Result<()>,
+    ) -> Result<Cluster> {
+        Cluster::with_config(
+            n,
+            RouteSpec::hash(0),
+            DEFAULT_INGEST_QUEUE_DEPTH,
+            builder,
+            deploy,
+        )
+    }
+
+    /// Build `n` partitions from one builder, running the same `deploy`
+    /// (DDL + procedure registration + seeding) on each — deterministic
+    /// redeployment, exactly like the recovery contract. Each partition
+    /// gets its own [`PartitionId`] (threaded into its stats) and, when
+    /// durability is configured, its own `p{i}` subdirectory of the
+    /// builder's log dir. The partitions are then moved onto long-lived
+    /// worker threads owning them until the cluster drops.
+    pub fn with_config(
+        n: usize,
+        route: RouteSpec,
+        queue_depth: usize,
         builder: &SStoreBuilder,
         deploy: impl Fn(&mut SStore) -> Result<()>,
     ) -> Result<Cluster> {
@@ -48,199 +139,278 @@ impl Cluster {
                 "a cluster needs at least 1 partition".into(),
             ));
         }
-        let mut partitions = Vec::with_capacity(n);
-        for _ in 0..n {
-            let mut p = builder.clone().build()?;
+        let router = Router::new(route, n)?;
+        let depth = queue_depth.max(1);
+        let mut workers = Vec::with_capacity(n);
+        for i in 0..n {
+            let id = PartitionId::new(i as u32);
+            let mut b = builder.clone().partition_id(id);
+            if let Some(log) = b.config().log.clone() {
+                // Shared-nothing durability too: one log dir per site.
+                b = b.durability(log.dir.join(format!("p{i}")), log.group_commit_n);
+            }
+            let mut p = b.build()?;
             deploy(&mut p)?;
-            partitions.push(p);
+            let (tx, rx) = mpsc::sync_channel::<Job>(depth);
+            let handle = std::thread::Builder::new()
+                .name(format!("sstore-p{i}"))
+                .spawn(move || worker_loop(p, rx))
+                .map_err(|e| Error::Internal(format!("spawn partition worker: {e}")))?;
+            workers.push(Worker {
+                id,
+                tx: Some(tx),
+                handle: Some(handle),
+            });
         }
-        Ok(Cluster { partitions })
+        Ok(Cluster { workers, router })
     }
 
     /// Number of partitions.
     pub fn len(&self) -> usize {
-        self.partitions.len()
+        self.workers.len()
     }
 
     /// True when the cluster has no partitions (never, post-construction).
     pub fn is_empty(&self) -> bool {
-        self.partitions.is_empty()
+        self.workers.is_empty()
     }
 
-    /// Direct access to one partition (dashboards, tests).
-    pub fn partition_mut(&mut self, i: usize) -> &mut SStore {
-        &mut self.partitions[i]
+    /// The declared router.
+    pub fn router(&self) -> &Router {
+        &self.router
     }
 
-    /// Hash-partition a routing value into a partition index.
-    pub fn route(&self, key: &Value) -> usize {
-        use std::hash::{Hash, Hasher};
-        let mut h = std::collections::hash_map::DefaultHasher::new();
-        key.hash(&mut h);
-        (h.finish() % self.partitions.len() as u64) as usize
+    /// Replace the routing declaration (validated against the partition
+    /// count). Affects subsequent submissions only.
+    pub fn declare_route(&mut self, spec: RouteSpec) -> Result<()> {
+        self.router = Router::new(spec, self.workers.len())?;
+        Ok(())
     }
 
-    /// Submit a border batch, splitting rows across partitions by
-    /// `key_col` (a visible column index used as the partition key).
-    /// Sub-batches execute **in parallel**, one thread per partition —
-    /// legal because partitions share nothing. Returns per-partition
-    /// outcomes (empty for partitions that received no rows).
+    /// Run `f` against one partition on its worker thread and return the
+    /// result (dashboards, tests, snapshots). Blocks until the worker
+    /// reaches this job in queue order.
+    ///
+    /// # Panics
+    /// Panics if the worker has died — which only happens when a previous
+    /// `with_partition` closure panicked on it (a caller bug; the runtime
+    /// itself replies with `Err` rather than panicking).
+    pub fn with_partition<R, F>(&self, i: usize, f: F) -> R
+    where
+        R: Send + 'static,
+        F: FnOnce(&mut SStore) -> R + Send + 'static,
+    {
+        let (tx, rx) = mpsc::channel();
+        self.workers[i]
+            .send(Job::Exec(Box::new(move |db| {
+                let _ = tx.send(f(db));
+            })))
+            .expect("partition worker disconnected");
+        rx.recv().expect("partition worker dropped reply")
+    }
+
+    /// Submit a border batch asynchronously: shard by the declared route,
+    /// enqueue each shard on its partition's ingest queue (blocking only
+    /// if a queue is full — backpressure), and return a [`Ticket`] that
+    /// resolves to per-partition TE outcomes. Rows with `NULL` partition
+    /// keys are rejected before anything is enqueued.
+    pub fn submit_batch_async(&self, proc: &str, rows: Vec<Row>) -> Result<Ticket> {
+        let shards = self.router.shard(rows)?;
+        self.submit_shards(proc, shards)
+    }
+
+    /// Submit a border batch split by the declared route, and block for
+    /// the results — the original synchronous API, now a wrapper over the
+    /// async path. Returns per-partition outcomes (empty for partitions
+    /// that received no rows).
+    ///
+    /// `key_col` must name the cluster's declared partition-key column
+    /// (anything else is rejected — routing the same table by two
+    /// different columns would silently split a key's state across
+    /// partitions). To route by another column, [`Cluster::declare_route`]
+    /// first.
     pub fn submit_batch_partitioned(
-        &mut self,
+        &self,
         proc: &str,
         rows: Vec<Row>,
         key_col: usize,
     ) -> Result<Vec<Vec<TxnOutcome>>> {
-        let n = self.partitions.len();
-        let mut shards: Vec<Vec<Row>> = vec![Vec::new(); n];
-        for row in rows {
-            let key = row.get(key_col).ok_or_else(|| {
-                Error::Schedule(format!("partition key column {key_col} out of range"))
-            })?;
-            let target = self.route(key);
-            shards[target].push(row);
+        let declared = self.router.spec().key_col();
+        if declared != key_col {
+            return Err(Error::Schedule(format!(
+                "cluster routes on partition-key column {declared}; cannot route by \
+                 column {key_col} (declare_route first to change the partition key)"
+            )));
         }
-        let mut results: Vec<Result<Vec<TxnOutcome>>> = Vec::with_capacity(n);
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = self
-                .partitions
-                .iter_mut()
-                .zip(shards)
-                .map(|(p, shard)| {
-                    scope.spawn(move || {
-                        if shard.is_empty() {
-                            Ok(Vec::new())
-                        } else {
-                            p.submit_batch(proc, shard)
-                        }
-                    })
-                })
-                .collect();
-            for h in handles {
-                results.push(h.join().expect("partition thread panicked"));
-            }
-        });
-        results.into_iter().collect()
+        let ticket = self.submit_shards(proc, self.router.shard(rows)?)?;
+        let mut results: Vec<Vec<TxnOutcome>> =
+            (0..self.workers.len()).map(|_| Vec::new()).collect();
+        for po in ticket.wait()? {
+            results[po.partition.raw() as usize] = po.outcomes;
+        }
+        Ok(results)
     }
 
-    /// Run a read-only query on every partition and concatenate the rows
-    /// (a scatter-gather read; aggregation across partitions is the
-    /// caller's job, as in any shared-nothing system).
-    pub fn query_all(&mut self, sql: &str, params: &[Value]) -> Result<Vec<Row>> {
+    fn submit_shards(&self, proc: &str, shards: Vec<Vec<Row>>) -> Result<Ticket> {
+        let mut pending = Vec::new();
+        for (worker, shard) in self.workers.iter().zip(shards) {
+            if shard.is_empty() {
+                continue;
+            }
+            let (tx, rx) = mpsc::channel();
+            worker.send(Job::Ingest {
+                proc: proc.to_string(),
+                rows: shard,
+                reply: tx,
+            })?;
+            pending.push((worker.id, rx));
+        }
+        Ok(Ticket { pending })
+    }
+
+    /// Run a read-only query on every partition **in parallel** and
+    /// concatenate the rows in partition order (a scatter-gather read;
+    /// aggregation across partitions is the caller's job, as in any
+    /// shared-nothing system).
+    pub fn query_all(&self, sql: &str, params: &[Value]) -> Result<Vec<Row>> {
+        let mut replies = Vec::with_capacity(self.workers.len());
+        for worker in &self.workers {
+            let (tx, rx) = mpsc::channel();
+            worker.send(Job::Query {
+                sql: sql.to_string(),
+                params: params.to_vec(),
+                reply: tx,
+            })?;
+            replies.push((worker.id, rx));
+        }
         let mut out = Vec::new();
-        for p in &mut self.partitions {
-            out.extend(p.query(sql, params)?.rows);
+        for (id, rx) in replies {
+            let rows = rx
+                .recv()
+                .map_err(|_| Error::Internal(format!("partition worker {id} disconnected")))??;
+            out.extend(rows);
         }
         Ok(out)
     }
 
-    /// Advance every partition's logical clock in lockstep.
-    pub fn advance_clock(&self, micros: i64) {
-        for p in &self.partitions {
-            p.advance_clock(micros);
+    /// Advance every partition's logical clock in lockstep. The advance
+    /// is queued FIFO like any other job, so it lands at a deterministic
+    /// point relative to this caller's submissions.
+    pub fn advance_clock(&self, micros: i64) -> Result<()> {
+        for worker in &self.workers {
+            worker.send(Job::AdvanceClock(micros))?;
+        }
+        Ok(())
+    }
+
+    /// Capture per-partition counters. The capture jobs are enqueued on
+    /// every worker first and then collected, so the wait is bounded by
+    /// the slowest single worker (like [`Cluster::query_all`]), and each
+    /// capture reflects everything queued on its partition before it.
+    pub fn metrics(&self) -> ClusterMetrics {
+        let mut replies = Vec::with_capacity(self.workers.len());
+        for worker in &self.workers {
+            let (tx, rx) = mpsc::channel();
+            worker
+                .send(Job::Exec(Box::new(move |db| {
+                    let _ = tx.send(PartitionMetrics::capture(db));
+                })))
+                .expect("partition worker disconnected");
+            replies.push(rx);
+        }
+        ClusterMetrics {
+            partitions: replies
+                .into_iter()
+                .map(|rx| rx.recv().expect("partition worker dropped reply"))
+                .collect(),
         }
     }
 
     /// Sum of committed TEs across partitions.
     pub fn total_committed(&self) -> u64 {
-        self.partitions.iter().map(|p| p.stats().committed).sum()
+        self.metrics().total_committed()
     }
 }
 
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use sstore_txn::ProcSpec;
-
-    /// Per-key event counting: embarrassingly partitionable.
-    fn deploy(db: &mut SStore) -> Result<()> {
-        db.ddl("CREATE STREAM ev (key INT, amount INT)")?;
-        db.ddl(
-            "CREATE TABLE totals (key INT NOT NULL, n INT NOT NULL, \
-                total INT NOT NULL, PRIMARY KEY (key))",
-        )?;
-        db.register(
-            ProcSpec::new("count_events", |ctx| {
-                for row in ctx.input().rows.clone() {
-                    let key = row[0].clone();
-                    let amount = row[1].clone();
-                    let seen = ctx.exec("get", std::slice::from_ref(&key))?;
-                    if seen.rows.is_empty() {
-                        ctx.exec("init", &[key, amount])?;
-                    } else {
-                        ctx.exec("bump", &[amount, key])?;
-                    }
-                }
-                Ok(())
-            })
-            .consumes("ev")
-            .stmt("get", "SELECT key FROM totals WHERE key = ?")
-            .stmt("init", "INSERT INTO totals VALUES (?, 1, ?)")
-            .stmt(
-                "bump",
-                "UPDATE totals SET n = n + 1, total = total + ? WHERE key = ?",
-            ),
-        )?;
-        Ok(())
-    }
-
-    fn workload(n: usize) -> Vec<Row> {
-        (0..n)
-            .map(|i| vec![Value::Int((i % 37) as i64), Value::Int((i % 11) as i64)])
-            .collect()
-    }
-
-    #[test]
-    fn partitioned_run_matches_single_partition() {
-        // Single partition reference.
-        let builder = SStoreBuilder::new();
-        let mut single = builder.clone().build().unwrap();
-        deploy(&mut single).unwrap();
-        single.submit_batch("count_events", workload(500)).unwrap();
-        let mut reference = single
-            .query("SELECT key, n, total FROM totals", &[])
-            .unwrap()
-            .rows;
-        reference.sort();
-
-        // Four-way cluster.
-        let mut cluster = Cluster::new(4, &builder, deploy).unwrap();
-        cluster
-            .submit_batch_partitioned("count_events", workload(500), 0)
-            .unwrap();
-        let mut merged = cluster
-            .query_all("SELECT key, n, total FROM totals", &[])
-            .unwrap();
-        merged.sort();
-
-        assert_eq!(merged, reference);
-        assert!(cluster.total_committed() >= 4); // every non-empty shard ran
-    }
-
-    #[test]
-    fn routing_is_stable_and_total() {
-        let cluster = Cluster::new(3, &SStoreBuilder::new(), |_| Ok(())).unwrap();
-        for i in 0..100i64 {
-            let a = cluster.route(&Value::Int(i));
-            let b = cluster.route(&Value::Int(i));
-            assert_eq!(a, b);
-            assert!(a < 3);
+impl Drop for Cluster {
+    fn drop(&mut self) {
+        // Closing the queues lets each worker finish everything already
+        // enqueued, then exit.
+        for w in &mut self.workers {
+            w.tx = None;
+        }
+        for w in &mut self.workers {
+            if let Some(h) = w.handle.take() {
+                let _ = h.join();
+            }
         }
     }
+}
 
-    #[test]
-    fn empty_cluster_rejected() {
-        assert!(Cluster::new(0, &SStoreBuilder::new(), |_| Ok(())).is_err());
-    }
-
-    #[test]
-    fn per_partition_outcomes_reported() {
-        let mut cluster = Cluster::new(2, &SStoreBuilder::new(), deploy).unwrap();
-        let results = cluster
-            .submit_batch_partitioned("count_events", workload(20), 0)
-            .unwrap();
-        assert_eq!(results.len(), 2);
-        let total_tes: usize = results.iter().map(Vec::len).sum();
-        assert!(total_tes >= 1);
+/// The partition worker: drain the ingest queue in FIFO order until the
+/// cluster handle drops. Consecutive queued submissions for the same
+/// procedure are coalesced into one PE scheduler pass
+/// ([`sstore_txn::Partition::submit_batch_group`]) — per-submission order
+/// is preserved, so the final state is byte-for-byte what one-at-a-time
+/// execution would produce, minus the per-submission boundary overhead.
+fn worker_loop(mut db: SStore, rx: mpsc::Receiver<Job>) {
+    let mut carry: Option<Job> = None;
+    loop {
+        let job = match carry.take() {
+            Some(j) => j,
+            None => match rx.recv() {
+                Ok(j) => j,
+                Err(_) => break, // cluster dropped; queue fully drained
+            },
+        };
+        match job {
+            Job::Ingest { proc, rows, reply } => {
+                let mut group = vec![(rows, reply)];
+                // Opportunistically coalesce same-procedure submissions
+                // already waiting in the queue. A job for a different
+                // procedure (or kind) is carried into the next iteration
+                // so FIFO order holds.
+                while carry.is_none() {
+                    match rx.try_recv() {
+                        Ok(Job::Ingest {
+                            proc: p,
+                            rows,
+                            reply,
+                        }) if p == proc => group.push((rows, reply)),
+                        Ok(other) => carry = Some(other),
+                        Err(_) => break,
+                    }
+                }
+                if group.len() == 1 {
+                    let (rows, reply) = group.pop().expect("one submission");
+                    let _ = reply.send(db.submit_batch(&proc, rows));
+                } else {
+                    let (batches, replies): (Vec<_>, Vec<_>) = group.into_iter().unzip();
+                    match db.submit_batch_group(&proc, batches) {
+                        // Per-submission results: a batch that committed
+                        // resolves Ok even when a later group member
+                        // failed to enqueue — the same answer it would
+                        // have gotten uncoalesced.
+                        Ok(results) => {
+                            for (reply, result) in replies.into_iter().zip(results) {
+                                let _ = reply.send(result);
+                            }
+                        }
+                        Err(e) => {
+                            for reply in replies {
+                                let _ = reply.send(Err(e.clone()));
+                            }
+                        }
+                    }
+                }
+            }
+            Job::Query { sql, params, reply } => {
+                let _ = reply.send(db.query(&sql, &params).map(|r| r.rows));
+            }
+            Job::Exec(f) => f(&mut db),
+            Job::AdvanceClock(micros) => {
+                db.advance_clock(micros);
+            }
+        }
     }
 }

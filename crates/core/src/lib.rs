@@ -50,11 +50,14 @@ pub mod builder;
 pub mod client;
 pub mod cluster;
 pub mod metrics;
+pub mod router;
+pub mod workloads;
 
 pub use builder::SStoreBuilder;
 pub use client::{ClientRequest, PipelinedClient, RequestKind};
 pub use cluster::Cluster;
-pub use metrics::Throughput;
+pub use metrics::{ClusterMetrics, PartitionMetrics, Throughput};
+pub use router::{PartitionOutcomes, RouteSpec, Router, Ticket};
 
 // The operational surface, re-exported so applications depend on one crate.
 pub use sstore_engine::{EeConfig, EeStats, TriggerEvent, TxnScratch};
@@ -74,4 +77,4 @@ pub mod common {
 }
 
 /// Re-export of the durability configuration.
-pub use sstore_txn::log::LogConfig;
+pub use sstore_txn::log::{LogConfig, LogRetention};

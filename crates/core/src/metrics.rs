@@ -1,6 +1,86 @@
-//! Throughput measurement helpers for the demo dashboards and benches.
+//! Throughput measurement and per-partition metrics for dashboards and
+//! benches.
 
+use sstore_common::PartitionId;
 use std::time::Instant;
+
+/// Point-in-time counters for one partition, captured on its worker
+/// thread by [`crate::Cluster::metrics`] (so the numbers are consistent
+/// with everything queued before the capture).
+#[derive(Debug, Clone)]
+pub struct PartitionMetrics {
+    /// The site these counters belong to.
+    pub partition: PartitionId,
+    /// Committed TEs.
+    pub committed: u64,
+    /// Border batches submitted to this partition.
+    pub batches_submitted: u64,
+    /// Batches whose whole workflow committed.
+    pub batches_completed: u64,
+    /// Coalesced scheduler passes (several queued batches, one PE entry).
+    pub group_submissions: u64,
+    /// Border batches that arrived inside a coalesced group.
+    pub batches_coalesced: u64,
+    /// Client↔PE round trips charged.
+    pub client_pe_trips: u64,
+    /// Mean committed-TE latency in microseconds.
+    pub mean_latency_us: f64,
+}
+
+impl PartitionMetrics {
+    /// Snapshot a partition's counters.
+    pub fn capture(p: &sstore_txn::Partition) -> PartitionMetrics {
+        let s = p.stats();
+        PartitionMetrics {
+            partition: s.partition,
+            committed: s.committed,
+            batches_submitted: s.batches_submitted,
+            batches_completed: s.batches_completed,
+            group_submissions: s.group_submissions,
+            batches_coalesced: s.batches_coalesced,
+            client_pe_trips: s.client_pe_trips,
+            mean_latency_us: s.mean_latency_us(),
+        }
+    }
+}
+
+/// Cluster-wide view: one [`PartitionMetrics`] per site, in partition
+/// order.
+#[derive(Debug, Clone)]
+pub struct ClusterMetrics {
+    /// Per-partition captures.
+    pub partitions: Vec<PartitionMetrics>,
+}
+
+impl ClusterMetrics {
+    /// Sum of committed TEs across partitions.
+    pub fn total_committed(&self) -> u64 {
+        self.partitions.iter().map(|p| p.committed).sum()
+    }
+
+    /// Border batches that entered the PE inside a coalesced group,
+    /// cluster-wide — the PE-boundary round trips the runtime saved.
+    pub fn total_coalesced(&self) -> u64 {
+        self.partitions.iter().map(|p| p.batches_coalesced).sum()
+    }
+
+    /// Load imbalance: max per-partition committed TEs over the mean
+    /// (1.0 = perfectly even; meaningful only after some commits).
+    pub fn skew(&self) -> f64 {
+        let max = self
+            .partitions
+            .iter()
+            .map(|p| p.committed)
+            .max()
+            .unwrap_or(0);
+        let total = self.total_committed();
+        if total == 0 || self.partitions.is_empty() {
+            return 1.0;
+        }
+        let mean = total as f64 / self.partitions.len() as f64;
+        max as f64 / mean
+    }
+}
 
 /// Counts events against wall-clock time.
 #[derive(Debug, Clone)]
@@ -59,6 +139,28 @@ impl Throughput {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn cluster_metrics_aggregate() {
+        let pm = |partition, committed, coalesced| PartitionMetrics {
+            partition: PartitionId::new(partition),
+            committed,
+            batches_submitted: 0,
+            batches_completed: 0,
+            group_submissions: 0,
+            batches_coalesced: coalesced,
+            client_pe_trips: 0,
+            mean_latency_us: 0.0,
+        };
+        let m = ClusterMetrics {
+            partitions: vec![pm(0, 30, 4), pm(1, 10, 0)],
+        };
+        assert_eq!(m.total_committed(), 40);
+        assert_eq!(m.total_coalesced(), 4);
+        assert!((m.skew() - 1.5).abs() < 1e-9);
+        let empty = ClusterMetrics { partitions: vec![] };
+        assert_eq!(empty.skew(), 1.0);
+    }
 
     #[test]
     fn counts_and_rates() {

@@ -1,0 +1,251 @@
+//! Routing of border batches across shared-nothing partitions.
+//!
+//! H-Store partitions every table on a partition key so that most
+//! transactions are single-sited (paper §2); the router is the client-side
+//! half of that contract. A [`RouteSpec`] declares the partition-key
+//! column and the placement function — [`RouteSpec::Hash`] for uniform
+//! spread or [`RouteSpec::Range`] for explicit key ranges — and the
+//! compiled [`Router`] splits each border batch into per-partition shards.
+//!
+//! Routing is **total and stable**: every non-NULL key maps to exactly one
+//! partition, and the same key always maps to the same partition (the hash
+//! is `DefaultHasher` with its fixed initial state, not a per-process
+//! random seed). `NULL` keys are rejected with [`Error::Schedule`] rather
+//! than silently hashed onto one partition — a NULL key means the client
+//! never declared where the row lives, and mis-partitioned rows would
+//! quietly produce per-partition answers that merge to garbage.
+
+use sstore_common::{Error, PartitionId, Result, Row, Value};
+use sstore_txn::TxnOutcome;
+use std::sync::mpsc;
+
+/// Declarative placement: which column is the partition key and how keys
+/// map to partitions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RouteSpec {
+    /// Hash the key column over all partitions (uniform spread).
+    Hash {
+        /// Visible column index of the partition key.
+        key_col: usize,
+    },
+    /// Explicit ranges over an integer key: partition `i` takes keys
+    /// strictly below `bounds[i]`; the last partition takes the rest.
+    /// Requires `bounds.len() == partitions - 1`, strictly increasing.
+    Range {
+        /// Visible column index of the partition key.
+        key_col: usize,
+        /// Upper-exclusive bounds, one per non-final partition.
+        bounds: Vec<i64>,
+    },
+}
+
+impl RouteSpec {
+    /// Hash routing over `key_col`.
+    pub fn hash(key_col: usize) -> RouteSpec {
+        RouteSpec::Hash { key_col }
+    }
+
+    /// Range routing over `key_col` with upper-exclusive `bounds`.
+    pub fn range(key_col: usize, bounds: Vec<i64>) -> RouteSpec {
+        RouteSpec::Range { key_col, bounds }
+    }
+
+    /// The declared partition-key column.
+    pub fn key_col(&self) -> usize {
+        match self {
+            RouteSpec::Hash { key_col } | RouteSpec::Range { key_col, .. } => *key_col,
+        }
+    }
+}
+
+/// A route spec compiled against a partition count.
+#[derive(Debug, Clone)]
+pub struct Router {
+    spec: RouteSpec,
+    partitions: usize,
+}
+
+impl Router {
+    /// Validate `spec` against `partitions` and build the router.
+    pub fn new(spec: RouteSpec, partitions: usize) -> Result<Router> {
+        if partitions == 0 {
+            return Err(Error::Schedule(
+                "a router needs at least 1 partition".into(),
+            ));
+        }
+        if let RouteSpec::Range { bounds, .. } = &spec {
+            if bounds.len() + 1 != partitions {
+                return Err(Error::Schedule(format!(
+                    "range routing over {partitions} partitions needs {} bounds, got {}",
+                    partitions - 1,
+                    bounds.len()
+                )));
+            }
+            if bounds.windows(2).any(|w| w[0] >= w[1]) {
+                return Err(Error::Schedule(
+                    "range-routing bounds must be strictly increasing".into(),
+                ));
+            }
+        }
+        Ok(Router { spec, partitions })
+    }
+
+    /// Number of partitions routed over.
+    pub fn partitions(&self) -> usize {
+        self.partitions
+    }
+
+    /// The spec this router was compiled from.
+    pub fn spec(&self) -> &RouteSpec {
+        &self.spec
+    }
+
+    /// Route one key value to its owning partition. `NULL` keys are
+    /// rejected (see module docs).
+    pub fn route_key(&self, key: &Value) -> Result<PartitionId> {
+        if matches!(key, Value::Null) {
+            return Err(Error::Schedule(
+                "partition key is NULL; cannot route a row without a key".into(),
+            ));
+        }
+        match &self.spec {
+            RouteSpec::Hash { .. } => {
+                use std::hash::{Hash, Hasher};
+                let mut h = std::collections::hash_map::DefaultHasher::new();
+                key.hash(&mut h);
+                Ok(PartitionId::new(
+                    (h.finish() % self.partitions as u64) as u32,
+                ))
+            }
+            RouteSpec::Range { bounds, .. } => {
+                let k = key.as_int()?;
+                let idx = bounds.partition_point(|b| *b <= k);
+                Ok(PartitionId::new(idx as u32))
+            }
+        }
+    }
+
+    /// Route one row by the declared partition-key column.
+    pub fn route(&self, row: &Row) -> Result<PartitionId> {
+        let col = self.spec.key_col();
+        let key = row
+            .get(col)
+            .ok_or_else(|| Error::Schedule(format!("partition key column {col} out of range")))?;
+        self.route_key(key)
+    }
+
+    /// Split `rows` into per-partition shards, preserving the relative
+    /// order of rows within each shard (per-partition FIFO is what makes
+    /// the parallel run deterministic).
+    pub fn shard(&self, rows: Vec<Row>) -> Result<Vec<Vec<Row>>> {
+        let mut shards: Vec<Vec<Row>> = vec![Vec::new(); self.partitions];
+        for row in rows {
+            let p = self.route(&row)?;
+            shards[p.raw() as usize].push(row);
+        }
+        Ok(shards)
+    }
+}
+
+/// Outcomes from one partition's share of an async submission.
+#[derive(Debug)]
+pub struct PartitionOutcomes {
+    /// The partition that executed this share.
+    pub partition: PartitionId,
+    /// Its TE outcomes, in execution order.
+    pub outcomes: Vec<TxnOutcome>,
+}
+
+/// Handle to an in-flight asynchronous submission
+/// ([`crate::Cluster::submit_batch_async`]). The submission is already
+/// enqueued on every involved partition's ingest queue; [`Ticket::wait`]
+/// blocks until each has executed its share and resolves to the per-TE
+/// outcomes.
+#[derive(Debug)]
+#[must_use = "dropping a Ticket discards per-batch outcomes AND errors; call wait()"]
+pub struct Ticket {
+    pub(crate) pending: Vec<(PartitionId, mpsc::Receiver<Result<Vec<TxnOutcome>>>)>,
+}
+
+impl Ticket {
+    /// Partitions involved in this submission (those that received rows).
+    pub fn partitions(&self) -> Vec<PartitionId> {
+        self.pending.iter().map(|(p, _)| *p).collect()
+    }
+
+    /// Block until every involved partition finished its share; returns
+    /// per-partition outcomes in partition order.
+    pub fn wait(self) -> Result<Vec<PartitionOutcomes>> {
+        let mut out = Vec::with_capacity(self.pending.len());
+        for (partition, rx) in self.pending {
+            let outcomes = rx.recv().map_err(|_| {
+                Error::Internal(format!("partition worker {partition} disconnected"))
+            })??;
+            out.push(PartitionOutcomes {
+                partition,
+                outcomes,
+            });
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hash_routing_is_total_and_stable() {
+        let r = Router::new(RouteSpec::hash(0), 3).unwrap();
+        for i in 0..200i64 {
+            let a = r.route_key(&Value::Int(i)).unwrap();
+            let b = r.route_key(&Value::Int(i)).unwrap();
+            assert_eq!(a, b);
+            assert!((a.raw() as usize) < 3);
+        }
+    }
+
+    #[test]
+    fn null_keys_rejected() {
+        let r = Router::new(RouteSpec::hash(0), 2).unwrap();
+        let err = r.route_key(&Value::Null).unwrap_err();
+        assert_eq!(err.kind(), "schedule");
+        let err = r.route(&vec![Value::Null, Value::Int(1)]).unwrap_err();
+        assert_eq!(err.kind(), "schedule");
+    }
+
+    #[test]
+    fn range_routing_respects_bounds() {
+        let r = Router::new(RouteSpec::range(0, vec![10, 20]), 3).unwrap();
+        assert_eq!(r.route_key(&Value::Int(-5)).unwrap().raw(), 0);
+        assert_eq!(r.route_key(&Value::Int(9)).unwrap().raw(), 0);
+        assert_eq!(r.route_key(&Value::Int(10)).unwrap().raw(), 1);
+        assert_eq!(r.route_key(&Value::Int(19)).unwrap().raw(), 1);
+        assert_eq!(r.route_key(&Value::Int(20)).unwrap().raw(), 2);
+        assert_eq!(r.route_key(&Value::Int(1_000_000)).unwrap().raw(), 2);
+    }
+
+    #[test]
+    fn bad_specs_rejected() {
+        assert!(Router::new(RouteSpec::hash(0), 0).is_err());
+        assert!(Router::new(RouteSpec::range(0, vec![1]), 3).is_err());
+        assert!(Router::new(RouteSpec::range(0, vec![5, 5]), 3).is_err());
+    }
+
+    #[test]
+    fn shard_preserves_order_and_key_errors_surface() {
+        let r = Router::new(RouteSpec::range(1, vec![100]), 2).unwrap();
+        let rows = vec![
+            vec![Value::Int(1), Value::Int(5)],
+            vec![Value::Int(2), Value::Int(500)],
+            vec![Value::Int(3), Value::Int(6)],
+        ];
+        let shards = r.shard(rows).unwrap();
+        assert_eq!(shards[0].len(), 2);
+        assert_eq!(shards[0][0][0], Value::Int(1));
+        assert_eq!(shards[0][1][0], Value::Int(3));
+        assert_eq!(shards[1].len(), 1);
+        // Out-of-range key column.
+        assert!(r.shard(vec![vec![Value::Int(1)]]).is_err());
+    }
+}

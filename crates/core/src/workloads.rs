@@ -1,0 +1,81 @@
+//! Reference workloads shared by the benches, the `figures` harness, the
+//! cluster integration tests, and the router property suite.
+//!
+//! Keeping these in one place means every consumer — including the E9
+//! determinism gate, which compares a partitioned run byte-for-byte
+//! against the single-partition reference — deploys the *same* schema and
+//! procedure; a copy-paste drift between a bench and its correctness
+//! test would otherwise go unnoticed.
+
+use crate::SStore;
+use sstore_common::{Result, Row, Value};
+use sstore_txn::ProcSpec;
+
+/// Deploy the `count_events` workload: a `ev (key, amount)` stream feeding
+/// per-key counters in a `totals` table. Embarrassingly partitionable by
+/// `key` (column 0) — the shape the shared-nothing runtime is built for.
+pub fn deploy_count_events(db: &mut SStore) -> Result<()> {
+    db.ddl("CREATE STREAM ev (key INT, amount INT)")?;
+    db.ddl(
+        "CREATE TABLE totals (key INT NOT NULL, n INT NOT NULL, \
+            total INT NOT NULL, PRIMARY KEY (key))",
+    )?;
+    db.register(
+        ProcSpec::new("count_events", |ctx| {
+            for row in ctx.input().rows.clone() {
+                let key = row[0].clone();
+                let amount = row[1].clone();
+                let seen = ctx.exec("get", std::slice::from_ref(&key))?;
+                if seen.rows.is_empty() {
+                    ctx.exec("init", &[key, amount])?;
+                } else {
+                    ctx.exec("bump", &[amount, key])?;
+                }
+            }
+            Ok(())
+        })
+        .consumes("ev")
+        .stmt("get", "SELECT key FROM totals WHERE key = ?")
+        .stmt("init", "INSERT INTO totals VALUES (?, 1, ?)")
+        .stmt(
+            "bump",
+            "UPDATE totals SET n = n + 1, total = total + ? WHERE key = ?",
+        ),
+    )?;
+    Ok(())
+}
+
+/// Deterministic `count_events` input rows: key `i % key_mod`, amount
+/// `i % amount_mod`. Benches use wide key spaces (many keys per
+/// partition); tests use narrow ones (collisions exercise the
+/// init-vs-bump path).
+pub fn count_events_rows(n: usize, key_mod: i64, amount_mod: i64) -> Vec<Row> {
+    (0..n)
+        .map(|i| {
+            vec![
+                Value::Int(i as i64 % key_mod),
+                Value::Int(i as i64 % amount_mod),
+            ]
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SStoreBuilder;
+
+    #[test]
+    fn count_events_counts() {
+        let mut db = SStoreBuilder::new().build().unwrap();
+        deploy_count_events(&mut db).unwrap();
+        db.submit_batch("count_events", count_events_rows(10, 5, 3))
+            .unwrap();
+        let n: i64 = db
+            .query("SELECT SUM(n) FROM totals", &[])
+            .unwrap()
+            .scalar_i64()
+            .unwrap();
+        assert_eq!(n, 10);
+    }
+}

@@ -28,6 +28,7 @@ pub mod stats;
 pub mod transaction;
 pub mod workflow;
 
+pub use log::{LogConfig, LogRetention};
 pub use partition::{ExecMode, Partition, PeConfig};
 pub use procedure::{ProcContext, ProcSpec};
 pub use stats::PeStats;

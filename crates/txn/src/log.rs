@@ -49,6 +49,29 @@ pub enum LogRecord {
     },
 }
 
+/// Automatic snapshot-then-truncate retention policy.
+///
+/// When configured (see `PeConfig::retention`), the partition writes a
+/// snapshot and truncates the command log after every `every_n_commits`
+/// committed TEs, at the next quiescent point (the scheduler queue is
+/// empty between client calls, so the snapshot captures a workflow-
+/// consistent state). Replay-after-truncate recovers from the snapshot
+/// plus whatever the log accumulated since.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LogRetention {
+    /// Snapshot + truncate after this many committed TEs (min 1).
+    pub every_n_commits: u64,
+}
+
+impl LogRetention {
+    /// Policy firing every `n` commits (clamped to at least 1).
+    pub fn every_n_commits(n: u64) -> Self {
+        LogRetention {
+            every_n_commits: n.max(1),
+        }
+    }
+}
+
 /// Durability settings.
 #[derive(Debug, Clone)]
 pub struct LogConfig {

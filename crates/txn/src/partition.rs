@@ -19,12 +19,14 @@
 //! the paper's baseline; §3.1's anomalies come precisely from the client's
 //! delayed polling racing with new input.
 
-use crate::log::{CommandLog, LogConfig, LogRecord};
+use crate::log::{CommandLog, LogConfig, LogRecord, LogRetention};
 use crate::procedure::{simulate_cost, stmt_effects, ProcContext, ProcSpec, Procedure};
 use crate::stats::PeStats;
 use crate::transaction::{Invocation, InvocationOrigin, TxnOutcome, TxnStatus};
 use crate::workflow::Workflow;
-use sstore_common::{Batch, BatchId, Clock, Error, ProcId, Result, Row, TableId, TxnId, Value};
+use sstore_common::{
+    Batch, BatchId, Clock, Error, PartitionId, ProcId, Result, Row, TableId, TxnId, Value,
+};
 use sstore_engine::{EeConfig, ExecutionEngine, TxnScratch};
 use sstore_sql::exec::QueryResult;
 use sstore_storage::snapshot::Snapshot;
@@ -47,6 +49,12 @@ pub enum ExecMode {
 pub struct PeConfig {
     /// S-Store vs H-Store behaviour.
     pub mode: ExecMode,
+    /// This partition's site id (p0 standalone; the cluster runtime
+    /// assigns one id per worker so stats and metrics stay attributable).
+    pub partition: PartitionId,
+    /// Automatic snapshot-then-truncate policy (requires `log`). `None`
+    /// leaves truncation manual, as before.
+    pub retention: Option<LogRetention>,
     /// PE triggers (ablation E3a; forced off in H-Store mode).
     pub pe_triggers_enabled: bool,
     /// Override the serial-workflow decision (None = derive from shared
@@ -56,6 +64,9 @@ pub struct PeConfig {
     pub client_trip_cost_micros: u64,
     /// Simulated PE↔EE dispatch cost in µs (busy-wait per statement).
     pub ee_trip_cost_micros: u64,
+    /// Simulated PE↔EE dispatch latency in µs (sleep per statement;
+    /// overlappable across partition workers, unlike the busy-wait).
+    pub ee_trip_latency_micros: u64,
     /// Command logging (None = durability off).
     pub log: Option<LogConfig>,
     /// Execution-engine tunables.
@@ -66,10 +77,13 @@ impl Default for PeConfig {
     fn default() -> Self {
         PeConfig {
             mode: ExecMode::SStore,
+            partition: PartitionId::new(0),
+            retention: None,
             pe_triggers_enabled: true,
             serial_workflow: None,
             client_trip_cost_micros: 0,
             ee_trip_cost_micros: 0,
+            ee_trip_latency_micros: 0,
             log: None,
             ee: EeConfig::default(),
         }
@@ -106,6 +120,8 @@ pub struct Partition {
     batch_refs: HashMap<u64, usize>,
     /// Remaining consumers per (stream, batch) before GC may run.
     gc_pending: HashMap<(TableId, u64), usize>,
+    /// Committed TEs since the last snapshot (drives `LogRetention`).
+    commits_since_snapshot: u64,
     /// True while replaying the log (suppresses re-logging).
     replaying: bool,
     /// Output rows of the TE that just committed, handed from `run_te` to
@@ -132,6 +148,10 @@ impl Partition {
             Some(cfg) => Some(CommandLog::open(cfg.clone())?),
             None => None,
         };
+        let stats = PeStats {
+            partition: config.partition,
+            ..PeStats::new()
+        };
         Ok(Partition {
             engine: ExecutionEngine::with_config(config.ee.clone()),
             procs: Vec::new(),
@@ -139,13 +159,14 @@ impl Partition {
             workflow: Workflow::default(),
             clock: Clock::new(),
             log,
-            stats: PeStats::new(),
+            stats,
             config,
             queue: VecDeque::new(),
             next_txn: 1,
             next_batch: 0,
             batch_refs: HashMap::new(),
             gc_pending: HashMap::new(),
+            commits_since_snapshot: 0,
             replaying: false,
             pending_outputs: Vec::new(),
         })
@@ -266,10 +287,18 @@ impl Partition {
         &self.stats
     }
 
-    /// Reset PE and EE counters.
+    /// Reset PE and EE counters (the partition id is preserved).
     pub fn reset_stats(&mut self) {
-        self.stats = PeStats::new();
+        self.stats = PeStats {
+            partition: self.config.partition,
+            ..PeStats::new()
+        };
         self.engine.reset_stats();
+    }
+
+    /// This partition's site id.
+    pub fn id(&self) -> PartitionId {
+        self.config.partition
     }
 
     /// The logical clock.
@@ -347,14 +376,101 @@ impl Partition {
     /// batch-major; pipelined ones let batch *b+1*'s border TE run before
     /// batch *b*'s interior TEs.
     pub fn submit_batch_async(&mut self, proc: &str, rows: Vec<Row>) -> Result<BatchId> {
+        let pid = self.border_proc_id(proc)?;
+        self.stats.client_pe_trips += 1;
+        simulate_cost(self.config.client_trip_cost_micros);
+        self.enqueue_border(pid, proc, rows)
+    }
+
+    /// Submit a *group* of border batches for one procedure in a single
+    /// scheduler pass: one client↔PE round trip for the whole group, all
+    /// records logged back-to-back (group commit amortizes the fsyncs),
+    /// then one drain. This is the PE-boundary saving the cluster runtime
+    /// exploits when its ingest queue holds several batches for the same
+    /// procedure.
+    ///
+    /// Returns one result **per submission**, in submission order: `Ok`
+    /// with that batch's TEs (execution order) when it ran, `Err` when it
+    /// was never enqueued (e.g. a log write failed). Earlier batches of a
+    /// partially-failed group still execute — they are already durably
+    /// logged, so running them keeps live state identical to what
+    /// recovery would replay — and resolve `Ok` exactly as they would
+    /// have uncoalesced. The outer `Err` is reserved for whole-group
+    /// rejection (unknown/interior procedure, empty group is `Ok(vec![])`)
+    /// and engine-level drain failures — the latter means an engine
+    /// invariant broke mid-drain (rollback failure), the partition's
+    /// state is indeterminate, and *every* member of the group reports
+    /// the error even if its own TEs committed first.
+    ///
+    /// Determinism: batch ids are assigned in submission order and the
+    /// scheduler sees exactly the state it would have seen under
+    /// [`Partition::submit_batch_async`] calls followed by one
+    /// [`Partition::run_queued`] — final state is identical to submitting
+    /// the batches one by one.
+    #[allow(clippy::type_complexity)]
+    pub fn submit_batch_group(
+        &mut self,
+        proc: &str,
+        batches: Vec<Vec<Row>>,
+    ) -> Result<Vec<Result<Vec<TxnOutcome>>>> {
+        if batches.is_empty() {
+            return Ok(Vec::new());
+        }
+        let pid = self.border_proc_id(proc)?;
+        self.stats.client_pe_trips += 1;
+        simulate_cost(self.config.client_trip_cost_micros);
+        self.stats.group_submissions += 1;
+        self.stats.batches_coalesced += batches.len() as u64;
+        let n = batches.len();
+        let mut ids = Vec::with_capacity(n);
+        let mut enqueue_err: Option<Error> = None;
+        for rows in batches {
+            match self.enqueue_border(pid, proc, rows) {
+                Ok(id) => ids.push(id),
+                Err(e) => {
+                    // This submission (and the rest of the group) was
+                    // never enqueued; the already-enqueued prefix still
+                    // runs below.
+                    enqueue_err = Some(e);
+                    break;
+                }
+            }
+        }
+        let outcomes = self.drain()?;
+        // Attribute execution-order outcomes back to their border batch
+        // (downstream TEs carry the border batch's id).
+        let index: HashMap<u64, usize> =
+            ids.iter().enumerate().map(|(i, b)| (b.raw(), i)).collect();
+        let mut groups: Vec<Vec<TxnOutcome>> = ids.iter().map(|_| Vec::new()).collect();
+        for o in outcomes {
+            if let Some(&i) = index.get(&o.batch.raw()) {
+                groups[i].push(o);
+            }
+        }
+        let mut results: Vec<Result<Vec<TxnOutcome>>> = groups.into_iter().map(Ok).collect();
+        while results.len() < n {
+            results.push(Err(enqueue_err.clone().unwrap_or_else(|| {
+                Error::Internal("group submission not enqueued".into())
+            })));
+        }
+        Ok(results)
+    }
+
+    /// Resolve `proc`, enforcing the border-procedure rule in S-Store mode.
+    fn border_proc_id(&self, proc: &str) -> Result<ProcId> {
         let pid = self.proc_id(proc)?;
         if self.config.mode == ExecMode::SStore && !self.workflow.is_border(pid) {
             return Err(Error::Schedule(format!(
                 "`{proc}` is an interior procedure; only PE triggers may invoke it"
             )));
         }
-        self.stats.client_pe_trips += 1;
-        simulate_cost(self.config.client_trip_cost_micros);
+        Ok(pid)
+    }
+
+    /// Assign the next batch id, log the border record, and enqueue the
+    /// invocation. No round-trip accounting — callers decide how many
+    /// client↔PE trips the submission cost.
+    fn enqueue_border(&mut self, pid: ProcId, proc: &str, rows: Vec<Row>) -> Result<BatchId> {
         self.next_batch += 1;
         let batch = BatchId::new(self.next_batch);
         self.log_record(&LogRecord::BorderBatch {
@@ -414,7 +530,8 @@ impl Partition {
             .ok_or_else(|| Error::Internal("invoke produced no outcome".into()))
     }
 
-    /// Drain the ready queue, running TEs serially.
+    /// Drain the ready queue, running TEs serially. At quiescence (the
+    /// queue is empty again) the retention policy may snapshot + truncate.
     fn drain(&mut self) -> Result<Vec<TxnOutcome>> {
         let mut outcomes = Vec::new();
         while let Some(inv) = self.queue.pop_front() {
@@ -422,7 +539,27 @@ impl Partition {
             self.post_te(&inv, &outcome)?;
             outcomes.push(outcome);
         }
+        self.maybe_snapshot_for_retention();
         Ok(outcomes)
+    }
+
+    /// Apply `LogRetention`: when enough commits accumulated since the
+    /// last snapshot, write one and truncate the log. Only at quiescence
+    /// (callers guarantee the queue is empty) and never during replay.
+    /// A failed snapshot must not fail the batch that just committed —
+    /// the log still covers everything, so durability is intact; the
+    /// failure is counted and the policy retries at the next quiescent
+    /// point (`commits_since_snapshot` keeps accumulating).
+    fn maybe_snapshot_for_retention(&mut self) {
+        if self.replaying || self.log.is_none() {
+            return;
+        }
+        let Some(retention) = self.config.retention else {
+            return;
+        };
+        if self.commits_since_snapshot >= retention.every_n_commits && self.snapshot().is_err() {
+            self.stats.retention_failures += 1;
+        }
     }
 
     fn serial_workflow(&self) -> bool {
@@ -453,6 +590,7 @@ impl Partition {
             output_stream,
             response: None,
             ee_trip_cost_micros: self.config.ee_trip_cost_micros,
+            ee_trip_latency_micros: self.config.ee_trip_latency_micros,
         };
         let result = handler(&mut ctx);
         let response = ctx.response.take();
@@ -461,6 +599,7 @@ impl Partition {
             Ok(()) => {
                 scratch.undo.commit();
                 self.stats.committed += 1;
+                self.commits_since_snapshot += 1;
                 self.stats.record_latency(start.elapsed().as_nanos());
                 TxnOutcome {
                     txn,
@@ -639,6 +778,7 @@ impl Partition {
         if let Some(log) = &mut self.log {
             log.truncate()?;
         }
+        self.commits_since_snapshot = 0;
         Ok(())
     }
 
@@ -700,16 +840,14 @@ mod tests {
 
     /// votes_in -> validate -> validated -> count
     /// `validate` drops negative values; `count` bumps a counter table.
-    fn pipeline(config: PeConfig) -> Partition {
-        let mut p = Partition::new(config).unwrap();
-        p.ddl("CREATE STREAM votes_in (v INT)").unwrap();
-        p.ddl("CREATE STREAM validated (v INT)").unwrap();
-        p.ddl("CREATE TABLE totals (k INT NOT NULL, n INT NOT NULL, PRIMARY KEY (k))")
-            .unwrap();
+    /// Deployment is a standalone function so recovery can redeploy it.
+    fn deploy_pipeline(p: &mut Partition) -> Result<()> {
+        p.ddl("CREATE STREAM votes_in (v INT)")?;
+        p.ddl("CREATE STREAM validated (v INT)")?;
+        p.ddl("CREATE TABLE totals (k INT NOT NULL, n INT NOT NULL, PRIMARY KEY (k))")?;
         let mut sc = TxnScratch::new(None, BatchId::new(0));
         p.engine_mut()
-            .execute_sql("INSERT INTO totals VALUES (1, 0)", &[], &mut sc, 0)
-            .unwrap();
+            .execute_sql("INSERT INTO totals VALUES (1, 0)", &[], &mut sc, 0)?;
 
         p.register(
             ProcSpec::new("validate", |ctx| {
@@ -723,8 +861,7 @@ mod tests {
             })
             .consumes("votes_in")
             .emits("validated"),
-        )
-        .unwrap();
+        )?;
 
         p.register(
             ProcSpec::new("count", |ctx| {
@@ -734,8 +871,13 @@ mod tests {
             })
             .consumes("validated")
             .stmt("bump", "UPDATE totals SET n = n + ? WHERE k = 1"),
-        )
-        .unwrap();
+        )?;
+        Ok(())
+    }
+
+    fn pipeline(config: PeConfig) -> Partition {
+        let mut p = Partition::new(config).unwrap();
+        deploy_pipeline(&mut p).unwrap();
         p
     }
 
@@ -909,6 +1051,92 @@ mod tests {
         let mut sorted = second_batches.clone();
         sorted.sort_unstable();
         assert_eq!(second_batches, sorted, "TE order violated for `second`");
+    }
+
+    #[test]
+    fn grouped_submission_matches_one_by_one_with_fewer_trips() {
+        let batches: Vec<Vec<Row>> = (0..6)
+            .map(|i| vec![vec![Value::Int(i)], vec![Value::Int(-i)]])
+            .collect();
+
+        // Reference: one submission at a time.
+        let mut one_by_one = pipeline(PeConfig::default());
+        for b in batches.clone() {
+            one_by_one.submit_batch("validate", b).unwrap();
+        }
+        let reference = total(&mut one_by_one);
+        let reference_trips = one_by_one.stats().client_pe_trips;
+
+        // Coalesced: the whole group in one scheduler pass.
+        let mut grouped = pipeline(PeConfig::default());
+        let results = grouped
+            .submit_batch_group("validate", batches.clone())
+            .unwrap();
+        assert_eq!(results.len(), batches.len());
+        // Each submission resolves to its own workflow TEs (validate +
+        // count when anything passed validation), committed, same batch.
+        for result in &results {
+            let group = result.as_ref().unwrap();
+            assert!(!group.is_empty());
+            assert!(group.iter().all(|o| o.is_committed()));
+            assert!(group.iter().all(|o| o.batch == group[0].batch));
+        }
+        assert_eq!(total(&mut grouped), reference);
+        assert_eq!(grouped.stats().group_submissions, 1);
+        assert_eq!(grouped.stats().batches_coalesced, 6);
+        // The whole group cost ONE client trip; one-by-one cost six.
+        // (Both also paid query trips from `total`.)
+        assert_eq!(reference_trips - grouped.stats().client_pe_trips, 5);
+    }
+
+    #[test]
+    fn grouped_submission_rejects_interior_procs_and_empty_is_noop() {
+        let mut p = pipeline(PeConfig::default());
+        let err = p
+            .submit_batch_group("count", vec![vec![vec![Value::Int(1)]]])
+            .unwrap_err();
+        assert_eq!(err.kind(), "schedule");
+        assert!(p.submit_batch_group("validate", vec![]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn retention_truncates_log_and_recovery_still_works() {
+        use crate::log::{read_log, LogRetention};
+        use crate::recovery::recover;
+
+        let dir = std::env::temp_dir().join(format!("sstore-retention-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        let config = PeConfig {
+            log: Some(LogConfig::new(&dir)),
+            retention: Some(LogRetention::every_n_commits(4)),
+            ..PeConfig::default()
+        };
+        let mut p = pipeline(config.clone());
+        for i in 0..10 {
+            p.submit_batch("validate", vec![vec![Value::Int(i)]])
+                .unwrap();
+        }
+        let reference = total(&mut p);
+        assert_eq!(reference, 10);
+
+        // Each accepted batch commits 2 TEs (validate + count); the policy
+        // fired multiple times, so the log holds far fewer than the 10
+        // submitted border records, and a snapshot exists.
+        let tail = read_log(&LogConfig::new(&dir).log_path()).unwrap();
+        assert!(
+            tail.len() < 10,
+            "retention never truncated: {} records",
+            tail.len()
+        );
+        assert!(LogConfig::new(&dir).snapshot_path().exists());
+
+        // Crash + recover: snapshot + log tail reproduce the state. The
+        // redeploy closure rebuilds the same schema and procedures.
+        drop(p);
+        let mut recovered = recover(config, deploy_pipeline).unwrap();
+        assert_eq!(total(&mut recovered), reference);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -1,8 +1,13 @@
 //! Partition-engine counters and latency tracking.
 
+use sstore_common::PartitionId;
+
 /// Monotone counters for one partition.
 #[derive(Debug, Clone, Default)]
 pub struct PeStats {
+    /// Which partition these counters belong to (p0 in the single-sited
+    /// case; the cluster runtime assigns one id per worker).
+    pub partition: PartitionId,
     /// Client→PE round trips (batch submissions, direct invocations, and —
     /// in H-Store mode — client polls). The quantity experiment E3a sweeps.
     pub client_pe_trips: u64,
@@ -16,6 +21,15 @@ pub struct PeStats {
     pub pe_trigger_firings: u64,
     /// Border batches submitted.
     pub batches_submitted: u64,
+    /// Coalesced client submissions: groups of queued border batches for
+    /// one procedure that entered the PE in a single scheduler pass
+    /// (one client↔PE round trip for the whole group).
+    pub group_submissions: u64,
+    /// Border batches that arrived inside a coalesced group.
+    pub batches_coalesced: u64,
+    /// Automatic retention snapshots that failed (the policy retries at
+    /// the next quiescent point; the command log still covers the state).
+    pub retention_failures: u64,
     /// Batches whose entire workflow committed (acked for upstream backup).
     pub batches_completed: u64,
     /// Command-log records written.

@@ -34,7 +34,8 @@
 pub use sstore_core as core;
 
 pub use sstore_core::{
-    common, recover, ClientRequest, Cluster, EeConfig, EeStats, ExecMode, Invocation, LogConfig,
-    PeConfig, PeStats, PipelinedClient, ProcContext, ProcSpec, QueryResult, RequestKind, SStore,
-    SStoreBuilder, Throughput, TriggerEvent, TxnOutcome, TxnStatus, Workflow,
+    common, recover, ClientRequest, Cluster, ClusterMetrics, EeConfig, EeStats, ExecMode,
+    Invocation, LogConfig, LogRetention, PartitionMetrics, PartitionOutcomes, PeConfig, PeStats,
+    PipelinedClient, ProcContext, ProcSpec, QueryResult, RequestKind, RouteSpec, Router, SStore,
+    SStoreBuilder, Throughput, Ticket, TriggerEvent, TxnOutcome, TxnStatus, Workflow,
 };
