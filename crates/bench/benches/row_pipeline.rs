@@ -1,0 +1,46 @@
+//! E10 — zero-copy row pipeline: per-row handling cost through the SQL
+//! executor (scan/filter, join/aggregate), window-slide maintenance, and
+//! batch hand-off into procedure contexts.
+//!
+//! Set `SSTORE_BENCH_SMOKE=1` for a 1-sample smoke run (CI uses this to
+//! prove the bench executes, not to measure).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sstore_bench::{
+    exp_e10_batch_handoff, exp_e10_build, exp_e10_handoff_build, exp_e10_join_agg,
+    exp_e10_scan_filter, exp_e10_window_slide,
+};
+
+fn smoke() -> bool {
+    std::env::var_os("SSTORE_BENCH_SMOKE").is_some()
+}
+
+fn row_pipeline(c: &mut Criterion) {
+    let n = if smoke() { 10_000 } else { 100_000 };
+    let mut g = c.benchmark_group("e10_row_pipeline");
+    g.sample_size(if smoke() { 2 } else { 10 });
+    g.throughput(Throughput::Elements(n as u64));
+
+    let mut db = exp_e10_build(n);
+    g.bench_function(BenchmarkId::new("scan_filter", n), |b| {
+        b.iter(|| exp_e10_scan_filter(&mut db))
+    });
+    g.bench_function(BenchmarkId::new("join_agg", n), |b| {
+        b.iter(|| exp_e10_join_agg(&mut db))
+    });
+
+    let slide_n = if smoke() { 4_000 } else { 20_000 };
+    g.bench_function(BenchmarkId::new("window_slide", slide_n), |b| {
+        b.iter(|| exp_e10_window_slide(slide_n))
+    });
+
+    let handoff = if smoke() { 4_000 } else { 20_000 };
+    let (mut hdb, hrows) = exp_e10_handoff_build(handoff);
+    g.bench_function(BenchmarkId::new("batch_handoff", handoff), |b| {
+        b.iter(|| exp_e10_batch_handoff(&mut hdb, &hrows, 250))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, row_pipeline);
+criterion_main!(benches);

@@ -58,6 +58,9 @@ fn main() {
     if run("e9") {
         exp9(scale);
     }
+    if run("e10") {
+        exp10(scale);
+    }
 }
 
 /// F1 — the paper's Fig. 1 (architecture): the system inventory, mapping
@@ -329,4 +332,50 @@ fn exp9(scale: usize) {
         }
     }
     println!();
+}
+
+/// E10 — zero-copy row pipeline: per-path timings plus the row-sharing
+/// counters that prove where copies went.
+fn exp10(scale: usize) {
+    use sstore_core::common::RowMetrics;
+    println!("== E10: zero-copy row pipeline — shared COW rows end-to-end ==\n");
+    let n = 20_000 * scale;
+    let mut db = exp_e10_build(n);
+    println!("   path                  | elems   | ms      | M elem/s");
+    let t0 = Instant::now();
+    let kept = exp_e10_scan_filter(&mut db);
+    let ms = t0.elapsed().as_secs_f64() * 1e3;
+    println!(
+        "   scan+filter ({kept:>6} kept) | {n:>7} | {ms:>7.2} | {:>8.2}",
+        n as f64 / ms / 1e3
+    );
+    let t0 = Instant::now();
+    let groups = exp_e10_join_agg(&mut db);
+    let ms = t0.elapsed().as_secs_f64() * 1e3;
+    println!(
+        "   join+agg ({groups} groups)     | {n:>7} | {ms:>7.2} | {:>8.2}",
+        n as f64 / ms / 1e3
+    );
+    let slide_n = 4_000 * scale;
+    let t0 = Instant::now();
+    exp_e10_window_slide(slide_n);
+    let ms = t0.elapsed().as_secs_f64() * 1e3;
+    println!(
+        "   window slide          | {slide_n:>7} | {ms:>7.2} | {:>8.2}",
+        slide_n as f64 / ms / 1e3
+    );
+    let before = RowMetrics::snapshot();
+    let (mut hdb, hrows) = exp_e10_handoff_build(slide_n);
+    let t0 = Instant::now();
+    exp_e10_batch_handoff(&mut hdb, &hrows, 250);
+    let ms = t0.elapsed().as_secs_f64() * 1e3;
+    println!(
+        "   batch hand-off        | {slide_n:>7} | {ms:>7.2} | {:>8.2}",
+        slide_n as f64 / ms / 1e3
+    );
+    let delta = RowMetrics::snapshot().since(&before);
+    println!(
+        "\n   hand-off row metrics: {} shares, {} deep copies, {} COW breaks\n",
+        delta.shares, delta.deep_copies, delta.cow_breaks
+    );
 }

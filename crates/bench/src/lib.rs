@@ -254,3 +254,152 @@ pub fn scratch_dir(tag: &str) -> std::path::PathBuf {
     std::fs::create_dir_all(&p).expect("mkdir");
     p
 }
+
+// ---------------------------------------------------------------------------
+// E10 — row-pipeline hot paths (zero-copy row refactor)
+// ---------------------------------------------------------------------------
+
+/// Build a visible row from owned values (`Row` is cheap-to-clone and
+/// shares storage; this is the one place benches materialize fresh rows).
+pub fn e10_row(vals: Vec<sstore_core::common::Value>) -> sstore_core::common::Row {
+    vals.into()
+}
+
+/// E10 setup: an SStore with a `events(id, k, v)` table of `n` rows and a
+/// tiny `dims(k, name)` dimension table (8 rows).
+pub fn exp_e10_build(n: usize) -> SStore {
+    use sstore_core::common::Value;
+    let mut db = SStoreBuilder::new().build().expect("build");
+    db.ddl(
+        "CREATE TABLE events (id INT NOT NULL, k INT NOT NULL, v FLOAT NOT NULL, PRIMARY KEY (id))",
+    )
+    .expect("ddl");
+    db.ddl("CREATE TABLE dims (k INT NOT NULL, name VARCHAR NOT NULL, PRIMARY KEY (k))")
+        .expect("ddl");
+    for k in 0..8i64 {
+        db.setup_sql(
+            "INSERT INTO dims VALUES (?, ?)",
+            &[Value::Int(k), Value::Text(format!("dim-{k}"))],
+        )
+        .expect("seed dims");
+    }
+    // Seed in multi-row VALUES chunks: one parse per 500 rows.
+    let mut i = 0usize;
+    while i < n {
+        let hi = (i + 500).min(n);
+        let mut sql = String::from("INSERT INTO events VALUES ");
+        for (j, id) in (i..hi).enumerate() {
+            if j > 0 {
+                sql.push(',');
+            }
+            sql.push_str(&format!("({}, {}, {}.5)", id, id % 8, id % 100));
+        }
+        db.setup_sql(&sql, &[]).expect("seed events");
+        i = hi;
+    }
+    db
+}
+
+/// E10a: full scan + filter over `events`, materializing roughly half the
+/// table — measures per-row handling cost through Scan/Filter/Project.
+pub fn exp_e10_scan_filter(db: &mut SStore) -> usize {
+    db.query("SELECT id, k, v FROM events WHERE v >= 50.0", &[])
+        .expect("query")
+        .rows
+        .len()
+}
+
+/// E10b: nested-loop join + aggregate — measures row concatenation and
+/// group-key handling.
+pub fn exp_e10_join_agg(db: &mut SStore) -> usize {
+    db.query(
+        "SELECT d.name, COUNT(*) FROM events e JOIN dims d ON e.k = d.k GROUP BY d.name",
+        &[],
+    )
+    .expect("query")
+    .rows
+    .len()
+}
+
+/// E10c: window-slide maintenance — `n` tuples through a ROWS 5000 SLIDE 10
+/// window, the path that used to rescan the whole window table per slide
+/// (cost grew with window size; the arrival deque makes it O(slide)).
+pub fn exp_e10_window_slide(n: usize) -> usize {
+    use sstore_core::common::Value;
+    let mut db = SStoreBuilder::new().build().expect("build");
+    db.ddl("CREATE STREAM s_in (v INT)").expect("ddl");
+    db.ddl("CREATE WINDOW w (v INT) ROWS 5000 SLIDE 10")
+        .expect("ddl");
+    db.register(
+        sstore_core::ProcSpec::new("ingest", |ctx| {
+            for row in ctx.input().rows.clone() {
+                ctx.exec("win", &[row[0].clone()])?;
+            }
+            Ok(())
+        })
+        .consumes("s_in")
+        .owns_window("w")
+        .stmt("win", "INSERT INTO w VALUES (?)"),
+    )
+    .expect("register");
+    for chunk_start in (0..n).step_by(64) {
+        let rows: Vec<sstore_core::common::Row> = (chunk_start..(chunk_start + 64).min(n))
+            .map(|i| e10_row(vec![Value::Int(i as i64)]))
+            .collect();
+        db.submit_batch("ingest", rows).expect("submit");
+    }
+    db.engine().db().approx_bytes()
+}
+
+/// E10d setup: an SStore with a border `observe` procedure that consumes
+/// its batch directly (no per-row SQL), plus `events` wide input rows
+/// (three ints and a 64-byte payload string each).
+pub fn exp_e10_handoff_build(events: usize) -> (SStore, Vec<sstore_core::common::Row>) {
+    use sstore_core::common::Value;
+    let mut db = SStoreBuilder::new().build().expect("build");
+    db.ddl("CREATE STREAM s_in (k INT, a INT, b INT, payload VARCHAR)")
+        .expect("ddl");
+    db.register(
+        sstore_core::ProcSpec::new("observe", |ctx| {
+            // A consumer that reads every row of its batch; the hand-off
+            // into this context is what's measured.
+            let mut checksum = 0i64;
+            for row in &ctx.input().rows {
+                checksum += row[0].as_int()? + row[3].as_text()?.len() as i64;
+            }
+            std::hint::black_box(checksum);
+            Ok(())
+        })
+        .consumes("s_in"),
+    )
+    .expect("register");
+    let payload = "x".repeat(64);
+    let rows: Vec<sstore_core::common::Row> = (0..events)
+        .map(|i| {
+            e10_row(vec![
+                Value::Int(i as i64),
+                Value::Int((i % 97) as i64),
+                Value::Int((i % 7) as i64),
+                Value::Text(payload.clone()),
+            ])
+        })
+        .collect();
+    (db, rows)
+}
+
+/// E10d: batch hand-off — push the prebuilt rows through the ingest path
+/// in batches of `batch`. Exercises exactly the hand-off the zero-copy
+/// refactor targets: client submission → command-log record construction →
+/// scheduler queue → procedure-context input batch. Before the refactor
+/// every stage deep-copied each row (including the payload string); now
+/// each stage is a refcount bump.
+pub fn exp_e10_batch_handoff(
+    db: &mut SStore,
+    rows: &[sstore_core::common::Row],
+    batch: usize,
+) -> u64 {
+    for chunk in rows.chunks(batch) {
+        db.submit_batch("observe", chunk.to_vec()).expect("submit");
+    }
+    db.stats().committed
+}

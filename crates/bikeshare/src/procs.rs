@@ -25,7 +25,7 @@ pub fn install(db: &mut SStore, cfg: &BikeConfig) -> Result<()> {
 fn respond_row(ctx: &mut sstore_core::ProcContext<'_>, columns: &[&str], row: Vec<Value>) {
     ctx.respond(QueryResult {
         columns: columns.iter().map(|c| c.to_string()).collect(),
-        rows: vec![row],
+        rows: vec![row.into()],
         rows_affected: 0,
     });
 }

@@ -19,7 +19,7 @@ pub mod value;
 pub use clock::Clock;
 pub use error::{Error, Result};
 pub use ids::{BatchId, PartitionId, ProcId, TableId, TxnId};
-pub use row::{Batch, Row};
+pub use row::{Batch, Row, RowMetrics};
 pub use schema::{Column, Schema};
 pub use types::DataType;
 pub use value::Value;

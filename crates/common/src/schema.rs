@@ -106,13 +106,16 @@ impl Schema {
     }
 
     /// Extract the primary-key values from a (validated) row.
-    pub fn pk_of(&self, row: &Row) -> Vec<Value> {
+    pub fn pk_of(&self, row: &[Value]) -> Vec<Value> {
         self.pk.iter().map(|&i| row[i].clone()).collect()
     }
 
     /// Validate arity, coerce each value to its column type, and enforce
-    /// NOT NULL. Returns the (possibly coerced) row.
-    pub fn validate(&self, mut row: Row) -> Result<Row> {
+    /// NOT NULL. Returns the (possibly coerced) row. Rows whose cells
+    /// already match their column types pass through without touching the
+    /// shared allocation; only an actual coercion triggers copy-on-write.
+    pub fn validate(&self, row: impl Into<Row>) -> Result<Row> {
+        let mut row = row.into();
         if row.len() != self.columns.len() {
             return Err(Error::Constraint(format!(
                 "row arity {} does not match schema arity {}",
@@ -121,7 +124,7 @@ impl Schema {
             )));
         }
         for (i, col) in self.columns.iter().enumerate() {
-            let v = std::mem::replace(&mut row[i], Value::Null);
+            let v = &row[i];
             if v.is_null() {
                 if !col.nullable {
                     return Err(Error::Constraint(format!(
@@ -131,10 +134,15 @@ impl Schema {
                 }
                 continue; // leave Null in place
             }
+            if v.data_type() == Some(col.ty) {
+                continue; // already the declared type: no write needed
+            }
+            let cells = row.make_mut();
+            let v = std::mem::replace(&mut cells[i], Value::Null);
             let coerced = col.ty.coerce(v).ok_or_else(|| {
                 Error::TypeMismatch(format!("column `{}` expects {}", col.name, col.ty))
             })?;
-            row[i] = coerced;
+            cells[i] = coerced;
         }
         Ok(row)
     }

@@ -214,7 +214,8 @@ impl Cluster {
     /// if a queue is full — backpressure), and return a [`Ticket`] that
     /// resolves to per-partition TE outcomes. Rows with `NULL` partition
     /// keys are rejected before anything is enqueued.
-    pub fn submit_batch_async(&self, proc: &str, rows: Vec<Row>) -> Result<Ticket> {
+    pub fn submit_batch_async<R: Into<Row>>(&self, proc: &str, rows: Vec<R>) -> Result<Ticket> {
+        let rows: Vec<Row> = rows.into_iter().map(Into::into).collect();
         let shards = self.router.shard(rows)?;
         self.submit_shards(proc, shards)
     }
@@ -229,10 +230,10 @@ impl Cluster {
     /// different columns would silently split a key's state across
     /// partitions). To route by another column, [`Cluster::declare_route`]
     /// first.
-    pub fn submit_batch_partitioned(
+    pub fn submit_batch_partitioned<R: Into<Row>>(
         &self,
         proc: &str,
-        rows: Vec<Row>,
+        rows: Vec<R>,
         key_col: usize,
     ) -> Result<Vec<Vec<TxnOutcome>>> {
         let declared = self.router.spec().key_col();
@@ -242,6 +243,7 @@ impl Cluster {
                  column {key_col} (declare_route first to change the partition key)"
             )));
         }
+        let rows: Vec<Row> = rows.into_iter().map(Into::into).collect();
         let ticket = self.submit_shards(proc, self.router.shard(rows)?)?;
         let mut results: Vec<Vec<TxnOutcome>> =
             (0..self.workers.len()).map(|_| Vec::new()).collect();
@@ -323,6 +325,7 @@ impl Cluster {
                 .into_iter()
                 .map(|rx| rx.recv().expect("partition worker dropped reply"))
                 .collect(),
+            rows: sstore_common::RowMetrics::snapshot(),
         }
     }
 

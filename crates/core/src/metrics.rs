@@ -1,7 +1,7 @@
 //! Throughput measurement and per-partition metrics for dashboards and
 //! benches.
 
-use sstore_common::PartitionId;
+use sstore_common::{PartitionId, RowMetrics};
 use std::time::Instant;
 
 /// Point-in-time counters for one partition, captured on its worker
@@ -45,11 +45,15 @@ impl PartitionMetrics {
 }
 
 /// Cluster-wide view: one [`PartitionMetrics`] per site, in partition
-/// order.
+/// order, plus the process-wide row-sharing counters.
 #[derive(Debug, Clone)]
 pub struct ClusterMetrics {
     /// Per-partition captures.
     pub partitions: Vec<PartitionMetrics>,
+    /// Row pipeline behaviour (shares vs deep copies vs COW breaks) at
+    /// capture time. Process-wide: the counters are global atomics, so
+    /// they cover every partition worker in this process.
+    pub rows: RowMetrics,
 }
 
 impl ClusterMetrics {
@@ -154,11 +158,15 @@ mod tests {
         };
         let m = ClusterMetrics {
             partitions: vec![pm(0, 30, 4), pm(1, 10, 0)],
+            rows: RowMetrics::snapshot(),
         };
         assert_eq!(m.total_committed(), 40);
         assert_eq!(m.total_coalesced(), 4);
         assert!((m.skew() - 1.5).abs() < 1e-9);
-        let empty = ClusterMetrics { partitions: vec![] };
+        let empty = ClusterMetrics {
+            partitions: vec![],
+            rows: RowMetrics::snapshot(),
+        };
         assert_eq!(empty.skew(), 1.0);
     }
 

@@ -126,7 +126,7 @@ impl Router {
     }
 
     /// Route one row by the declared partition-key column.
-    pub fn route(&self, row: &Row) -> Result<PartitionId> {
+    pub fn route(&self, row: &[Value]) -> Result<PartitionId> {
         let col = self.spec.key_col();
         let key = row
             .get(col)
@@ -210,7 +210,7 @@ mod tests {
         let r = Router::new(RouteSpec::hash(0), 2).unwrap();
         let err = r.route_key(&Value::Null).unwrap_err();
         assert_eq!(err.kind(), "schedule");
-        let err = r.route(&vec![Value::Null, Value::Int(1)]).unwrap_err();
+        let err = r.route(&[Value::Null, Value::Int(1)]).unwrap_err();
         assert_eq!(err.kind(), "schedule");
     }
 
@@ -235,10 +235,10 @@ mod tests {
     #[test]
     fn shard_preserves_order_and_key_errors_surface() {
         let r = Router::new(RouteSpec::range(1, vec![100]), 2).unwrap();
-        let rows = vec![
-            vec![Value::Int(1), Value::Int(5)],
-            vec![Value::Int(2), Value::Int(500)],
-            vec![Value::Int(3), Value::Int(6)],
+        let rows: Vec<Row> = vec![
+            vec![Value::Int(1), Value::Int(5)].into(),
+            vec![Value::Int(2), Value::Int(500)].into(),
+            vec![Value::Int(3), Value::Int(6)].into(),
         ];
         let shards = r.shard(rows).unwrap();
         assert_eq!(shards[0].len(), 2);
@@ -246,6 +246,6 @@ mod tests {
         assert_eq!(shards[0][1][0], Value::Int(3));
         assert_eq!(shards[1].len(), 1);
         // Out-of-range key column.
-        assert!(r.shard(vec![vec![Value::Int(1)]]).is_err());
+        assert!(r.shard(vec![vec![Value::Int(1)].into()]).is_err());
     }
 }

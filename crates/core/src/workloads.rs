@@ -52,10 +52,10 @@ pub fn deploy_count_events(db: &mut SStore) -> Result<()> {
 pub fn count_events_rows(n: usize, key_mod: i64, amount_mod: i64) -> Vec<Row> {
     (0..n)
         .map(|i| {
-            vec![
+            Row::new(vec![
                 Value::Int(i as i64 % key_mod),
                 Value::Int(i as i64 % amount_mod),
-            ]
+            ])
         })
         .collect()
 }

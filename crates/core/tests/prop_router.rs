@@ -50,7 +50,7 @@ proptest! {
         let rows: Vec<Row> = keys
             .iter()
             .enumerate()
-            .map(|(i, k)| vec![Value::Int(*k), Value::Int(i as i64)])
+            .map(|(i, k)| Row::new(vec![Value::Int(*k), Value::Int(i as i64)]))
             .collect();
         let shards = r.shard(rows.clone()).unwrap();
         let total: usize = shards.iter().map(Vec::len).sum();
@@ -90,7 +90,7 @@ proptest! {
     ) {
         let rows: Vec<Row> = events
             .iter()
-            .map(|(k, a)| vec![Value::Int(*k), Value::Int(*a)])
+            .map(|(k, a)| Row::new(vec![Value::Int(*k), Value::Int(*a)]))
             .collect();
 
         // Single-partition reference, one synchronous batch at a time.

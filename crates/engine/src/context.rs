@@ -26,9 +26,9 @@ use std::collections::VecDeque;
 pub struct PendingFire {
     /// Index into the trigger registry.
     pub trigger: usize,
-    /// Statement parameters (the inserted row for insert triggers; empty
-    /// for slide triggers).
-    pub params: Vec<Value>,
+    /// Statement parameters (the inserted row for insert triggers — a
+    /// shared handle, not a copy; empty for slide triggers).
+    pub params: Row,
     /// Cascade depth (insert → trigger → insert → trigger ...).
     pub depth: u32,
 }
@@ -99,7 +99,7 @@ impl EeContext<'_> {
         Ok(())
     }
 
-    fn enqueue(&mut self, table: TableId, event: TriggerEvent, params: Vec<Value>) {
+    fn enqueue(&mut self, table: TableId, event: TriggerEvent, params: Row) {
         if !self.config.ee_triggers_enabled {
             return;
         }
@@ -158,15 +158,16 @@ impl ExecContext for EeContext<'_> {
                         _ => unreachable!(),
                     }
                 };
-                let visible = row.clone();
-                let mut full = row;
-                full.push(Value::Int(self.batch.raw() as i64));
-                full.push(Value::Int(seq as i64));
+                // The stored row widens the visible one with the hidden
+                // lifecycle columns; the visible handle itself is shared
+                // into the output batch and any trigger parameters.
+                let full = row
+                    .with_appended([Value::Int(self.batch.raw() as i64), Value::Int(seq as i64)]);
                 let rid = self.db.table_mut(table)?.insert(full)?;
                 self.undo.push(UndoOp::Insert { table, rid });
                 self.stats.stream_appends += 1;
-                self.appended.push((table, visible.clone()));
-                self.enqueue(table, TriggerEvent::OnInsert, visible);
+                self.appended.push((table, row.clone()));
+                self.enqueue(table, TriggerEvent::OnInsert, row);
                 Ok(rid)
             }
             TableKind::Window(_) => {
@@ -177,7 +178,7 @@ impl ExecContext for EeContext<'_> {
                 self.enqueue(table, TriggerEvent::OnInsert, visible);
                 if outcome.slid {
                     self.stats.window_slides += 1;
-                    self.enqueue(table, TriggerEvent::OnSlide, vec![]);
+                    self.enqueue(table, TriggerEvent::OnSlide, Row::default());
                 }
                 Ok(outcome.rid)
             }
@@ -191,6 +192,15 @@ impl ExecContext for EeContext<'_> {
             rid,
             row: row.clone(),
         });
+        // An ad-hoc delete on a window must excise its arrival-deque entry
+        // so slide maintenance never sees a stale row id.
+        if self.db.kind(table).is_ok_and(|k| k.is_window()) {
+            let meta = self.db.catalog_mut().meta_mut(table).expect("kind checked");
+            if let Some(pos) = meta.arrivals.iter().position(|&r| r == rid) {
+                meta.arrivals.remove(pos);
+                self.undo.push(UndoOp::WindowExcised { table, rid, pos });
+            }
+        }
         Ok(row)
     }
 
@@ -258,8 +268,8 @@ mod tests {
             queue: VecDeque::new(),
             depth: 0,
         };
-        ctx.insert_visible(s, vec![Value::Int(10)]).unwrap();
-        ctx.insert_visible(s, vec![Value::Int(11)]).unwrap();
+        ctx.insert_visible(s, vec![Value::Int(10)].into()).unwrap();
+        ctx.insert_visible(s, vec![Value::Int(11)].into()).unwrap();
         drop(ctx);
         let rows: Vec<Row> = db
             .table(s)
@@ -344,7 +354,7 @@ mod tests {
             queue: VecDeque::new(),
             depth: 0,
         };
-        ctx.insert_visible(s, vec![Value::Int(9)]).unwrap();
+        ctx.insert_visible(s, vec![Value::Int(9)].into()).unwrap();
         assert_eq!(ctx.queue.len(), 1);
         let f = &ctx.queue[0];
         assert_eq!(f.params, vec![Value::Int(9)]);
@@ -376,7 +386,7 @@ mod tests {
             queue: VecDeque::new(),
             depth: 0,
         };
-        ctx.insert_visible(s, vec![Value::Int(9)]).unwrap();
+        ctx.insert_visible(s, vec![Value::Int(9)].into()).unwrap();
         assert!(ctx.queue.is_empty());
     }
 
@@ -397,8 +407,8 @@ mod tests {
             queue: VecDeque::new(),
             depth: 0,
         };
-        let rid = ctx.insert_visible(t, vec![Value::Int(1)]).unwrap();
-        ctx.update_row(t, rid, vec![Value::Int(2)]).unwrap();
+        let rid = ctx.insert_visible(t, vec![Value::Int(1)].into()).unwrap();
+        ctx.update_row(t, rid, vec![Value::Int(2)].into()).unwrap();
         ctx.delete_row(t, rid).unwrap();
         drop(ctx);
         assert_eq!(undo.len(), 3);

@@ -7,8 +7,19 @@
 //! transaction, with undo recorded for each step so aborts restore both
 //! rows *and* counters exactly.
 //!
-//! The paper contrasts this with emulating windows in client SQL over a
-//! plain table, which costs extra PE↔EE round trips per insert
+//! **Eviction is O(evicted), not O(window).** Each window keeps an
+//! arrival-ordered deque of row ids (`TableMeta::arrivals`, front =
+//! oldest). Sequence numbers increase strictly and `__ts` stamps come from
+//! the partition's monotone logical clock, so every eviction predicate
+//! (tuple cutoff, time expiry) selects a *prefix* of the deque: slide
+//! maintenance pops from the front until the first survivor instead of
+//! rescanning the whole window table per insert. Deque changes are
+//! undo-logged (`WindowPushed`/`WindowPopped`) so aborts restore the
+//! arrival order exactly; ad-hoc SQL deletes excise their entry through
+//! the execution context.
+//!
+//! The paper contrasts native windows with emulating them in client SQL
+//! over a plain table, which costs extra PE↔EE round trips per insert
 //! (experiment E3b reproduces that comparison).
 
 use sstore_common::{Error, Result, Row, TableId, Value};
@@ -35,9 +46,10 @@ pub fn insert_into_window(
     db: &mut Database,
     undo: &mut UndoLog,
     table: TableId,
-    visible_row: Row,
+    visible_row: impl Into<Row>,
     now: i64,
 ) -> Result<WindowInsert> {
+    let visible_row = visible_row.into();
     // Save the lifecycle counters for undo before touching them.
     let prior_kind = db
         .catalog()
@@ -65,11 +77,15 @@ pub fn insert_into_window(
     });
 
     // Build the storage row: visible columns + __seq + __ts.
-    let mut row = visible_row;
-    row.push(Value::Int(seq as i64));
-    row.push(Value::Timestamp(now));
+    let row = visible_row.with_appended([Value::Int(seq as i64), Value::Timestamp(now)]);
     let rid = db.table_mut(table)?.insert(row)?;
     undo.push(UndoOp::Insert { table, rid });
+    let meta = db
+        .catalog_mut()
+        .meta_mut(table)
+        .expect("meta existence checked");
+    meta.arrivals.push_back(rid);
+    undo.push(UndoOp::WindowPushed { table });
 
     // Slide/eviction bookkeeping.
     let mut slid = false;
@@ -119,8 +135,11 @@ pub fn insert_into_window(
     Ok(WindowInsert { rid, slid, evicted })
 }
 
-/// Delete window rows matching `pred(storage_row, seq_pos, ts_pos)`,
-/// recording undo. Returns the eviction count.
+/// Delete the expired prefix of the window's arrival deque — rows matching
+/// `pred(storage_row, seq_pos, ts_pos)` — recording undo for both the rows
+/// and the deque. Stops at the first surviving row (the predicate is
+/// monotone in arrival order), so the cost is O(evicted), not O(window).
+/// Returns the eviction count.
 fn evict(
     db: &mut Database,
     undo: &mut UndoLog,
@@ -128,20 +147,33 @@ fn evict(
     pred: impl Fn(&Row, usize, usize) -> Result<bool>,
 ) -> Result<usize> {
     let (seq_pos, ts_pos) = hidden_positions(db, table)?;
-    let victims: Vec<RowId> = {
-        let tb = db.table(table)?;
-        let mut v = Vec::new();
-        for (rid, row) in tb.scan() {
-            if pred(row, seq_pos, ts_pos)? {
-                v.push(rid);
+    let mut n = 0usize;
+    loop {
+        let front: Option<RowId> = db
+            .catalog()
+            .meta(table)
+            .and_then(|m| m.arrivals.front().copied());
+        let Some(rid) = front else { break };
+        // A stale entry (row already deleted out-of-band) is dropped and
+        // skipped; a surviving row ends the prefix.
+        let expired = match db.table(table)?.get(rid) {
+            None => false,
+            Some(row) => {
+                if pred(row, seq_pos, ts_pos)? {
+                    true
+                } else {
+                    break;
+                }
             }
+        };
+        let meta = db.catalog_mut().meta_mut(table).expect("meta checked");
+        meta.arrivals.pop_front();
+        undo.push(UndoOp::WindowPopped { table, rid });
+        if expired {
+            let row = db.table_mut(table)?.delete(rid)?;
+            undo.push(UndoOp::Delete { table, rid, row });
+            n += 1;
         }
-        v
-    };
-    let n = victims.len();
-    for rid in victims {
-        let row = db.table_mut(table)?.delete(rid)?;
-        undo.push(UndoOp::Delete { table, rid, row });
     }
     Ok(n)
 }

@@ -8,7 +8,7 @@
 use crate::expr::{eval, eval_pred, BoundExpr, EvalEnv};
 use crate::plan::{AccessPath, AggExpr, AggFunc, PhysicalPlan, PlannedStmt};
 use sstore_common::{Error, Result, Row, TableId, Value};
-use sstore_storage::{Database, RowId};
+use sstore_storage::{Database, RowId, Table};
 use std::collections::{HashMap, HashSet};
 
 /// The storage/transaction facade the executor runs against.
@@ -135,9 +135,15 @@ pub fn execute(
             let targets = matching_rows(*table, path, pred.as_ref(), ctx, &env)?;
             let mut n = 0;
             for (rid, old_row) in targets {
+                // Evaluate every SET against the old image, then COW once.
+                let vals: Vec<(usize, Value)> = sets
+                    .iter()
+                    .map(|(pos, e)| Ok((*pos, eval(e, &old_row, &env)?)))
+                    .collect::<Result<_>>()?;
                 let mut new_row = old_row.clone();
-                for (pos, e) in sets {
-                    new_row[*pos] = eval(e, &old_row, &env)?;
+                let cells = new_row.make_mut();
+                for (pos, v) in vals {
+                    cells[pos] = v;
                 }
                 ctx.update_row(*table, rid, new_row)?;
                 n += 1;
@@ -193,15 +199,8 @@ fn eval_subqueries(
             )));
         }
         let v = rows
-            .into_iter()
-            .next()
-            .and_then(|mut r| {
-                if r.is_empty() {
-                    None
-                } else {
-                    Some(r.remove(0))
-                }
-            })
+            .first()
+            .and_then(|r| r.first().cloned())
             .unwrap_or(Value::Null);
         vals.push(v);
     }
@@ -220,28 +219,8 @@ fn matching_rows(
 ) -> Result<Vec<(RowId, Row)>> {
     ctx.check_read(table)?;
     let tb = ctx.db().table(table)?;
-    let candidates: Vec<RowId> = match path {
-        AccessPath::Full => tb.scan().map(|(rid, _)| rid).collect(),
-        AccessPath::PkPoint(keys) => {
-            let key: Vec<Value> = keys
-                .iter()
-                .map(|e| eval(e, &[], env))
-                .collect::<Result<_>>()?;
-            tb.pk_lookup(&key).into_iter().collect()
-        }
-        AccessPath::IndexPoint(name, keys) => {
-            let key: Vec<Value> = keys
-                .iter()
-                .map(|e| eval(e, &[], env))
-                .collect::<Result<_>>()?;
-            tb.index_lookup(name, &key)?
-        }
-    };
     let mut out = Vec::new();
-    for rid in candidates {
-        let row = tb
-            .get(rid)
-            .ok_or_else(|| Error::Internal(format!("dangling row id {rid}")))?;
+    for_each_candidate(tb, path, env, |rid, row| {
         let keep = match pred {
             Some(p) => eval_pred(p, row, env)?,
             None => true,
@@ -249,8 +228,52 @@ fn matching_rows(
         if keep {
             out.push((rid, row.clone()));
         }
-    }
+        Ok(())
+    })?;
     Ok(out)
+}
+
+/// Drive `visit(rid, row)` over every row an access path selects, in
+/// deterministic order (slot order for full scans, bucket order for point
+/// probes). Shared by DML target collection and the Scan operator.
+fn for_each_candidate(
+    tb: &Table,
+    path: &AccessPath,
+    env: &EvalEnv<'_>,
+    mut visit: impl FnMut(RowId, &Row) -> Result<()>,
+) -> Result<()> {
+    match path {
+        AccessPath::Full => {
+            for (rid, row) in tb.scan() {
+                visit(rid, row)?;
+            }
+        }
+        AccessPath::PkPoint(keys) => {
+            let key: Vec<Value> = keys
+                .iter()
+                .map(|e| eval(e, &[], env))
+                .collect::<Result<_>>()?;
+            if let Some(rid) = tb.pk_lookup(&key) {
+                let row = tb
+                    .get(rid)
+                    .ok_or_else(|| Error::Internal(format!("dangling row id {rid}")))?;
+                visit(rid, row)?;
+            }
+        }
+        AccessPath::IndexPoint(name, keys) => {
+            let key: Vec<Value> = keys
+                .iter()
+                .map(|e| eval(e, &[], env))
+                .collect::<Result<_>>()?;
+            for &rid in tb.index_lookup(name, &key)? {
+                let row = tb
+                    .get(rid)
+                    .ok_or_else(|| Error::Internal(format!("dangling row id {rid}")))?;
+                visit(rid, row)?;
+            }
+        }
+    }
+    Ok(())
 }
 
 /// Run a read-only plan to a materialized row set.
@@ -268,35 +291,17 @@ pub fn run_plan(plan: &PhysicalPlan, ctx: &dyn ExecContext, env: &EvalEnv<'_>) -
             ctx.check_read(*table)?;
             let tb = ctx.db().table(*table)?;
             let mut out = Vec::new();
-            let candidates: Vec<RowId> = match path {
-                AccessPath::Full => tb.scan().map(|(rid, _)| rid).collect(),
-                AccessPath::PkPoint(keys) => {
-                    let key: Vec<Value> = keys
-                        .iter()
-                        .map(|e| eval(e, &[], env))
-                        .collect::<Result<_>>()?;
-                    tb.pk_lookup(&key).into_iter().collect()
-                }
-                AccessPath::IndexPoint(name, keys) => {
-                    let key: Vec<Value> = keys
-                        .iter()
-                        .map(|e| eval(e, &[], env))
-                        .collect::<Result<_>>()?;
-                    tb.index_lookup(name, &key)?
-                }
-            };
-            for rid in candidates {
-                let row = tb
-                    .get(rid)
-                    .ok_or_else(|| Error::Internal(format!("dangling row id {rid}")))?;
+            for_each_candidate(tb, path, env, |_, row| {
                 let keep = match residual {
                     Some(p) => eval_pred(p, row, env)?,
                     None => true,
                 };
                 if keep {
+                    // Shared handle: scans hand out refcount bumps, not copies.
                     out.push(row.clone());
                 }
-            }
+                Ok(())
+            })?;
             Ok(out)
         }
         PhysicalPlan::NestedLoopJoin { left, right, on } => {
@@ -305,8 +310,7 @@ pub fn run_plan(plan: &PhysicalPlan, ctx: &dyn ExecContext, env: &EvalEnv<'_>) -
             let mut out = Vec::new();
             for l in &lrows {
                 for r in &rrows {
-                    let mut joined = l.clone();
-                    joined.extend(r.iter().cloned());
+                    let joined = l.concat(r);
                     if eval_pred(on, &joined, env)? {
                         out.push(joined);
                     }
@@ -520,9 +524,9 @@ fn run_aggregate(
     let mut out = Vec::with_capacity(order.len());
     for key in order {
         let group = groups.remove(&key).expect("group recorded");
-        let mut row = key;
-        row.extend(group.states.into_iter().map(AggState::finish));
-        out.push(row);
+        let mut cells = key;
+        cells.extend(group.states.into_iter().map(AggState::finish));
+        out.push(cells.into());
     }
     Ok(out)
 }
@@ -551,16 +555,34 @@ impl ExecContext for DirectContext<'_> {
     fn check_write(&self, _table: TableId) -> Result<()> {
         Ok(())
     }
-    fn insert_visible(&mut self, table: TableId, mut row: Row) -> Result<RowId> {
+    fn insert_visible(&mut self, table: TableId, row: Row) -> Result<RowId> {
         // Pad hidden columns with zeros (streams/windows outside the engine).
         let arity = self.db.table(table)?.schema().arity();
-        while row.len() < arity {
-            row.push(Value::Int(0));
+        let row = if row.len() < arity {
+            row.with_appended(std::iter::repeat_n(Value::Int(0), arity - row.len()))
+        } else {
+            row
+        };
+        let rid = self.db.table_mut(table)?.insert(row)?;
+        // Even without engine lifecycle, keep the window arrival deque
+        // consistent so slide maintenance can still evict this row.
+        if self.db.kind(table).is_ok_and(|k| k.is_window()) {
+            if let Some(meta) = self.db.catalog_mut().meta_mut(table) {
+                meta.arrivals.push_back(rid);
+            }
         }
-        self.db.table_mut(table)?.insert(row)
+        Ok(rid)
     }
     fn delete_row(&mut self, table: TableId, rid: RowId) -> Result<Row> {
-        self.db.table_mut(table)?.delete(rid)
+        let row = self.db.table_mut(table)?.delete(rid)?;
+        if self.db.kind(table).is_ok_and(|k| k.is_window()) {
+            if let Some(meta) = self.db.catalog_mut().meta_mut(table) {
+                if let Some(pos) = meta.arrivals.iter().position(|&r| r == rid) {
+                    meta.arrivals.remove(pos);
+                }
+            }
+        }
+        Ok(row)
     }
     fn update_row(&mut self, table: TableId, rid: RowId, new_row: Row) -> Result<()> {
         self.db.table_mut(table)?.update(rid, new_row)?;

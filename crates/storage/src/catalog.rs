@@ -8,9 +8,10 @@
 //! * **windows** carry hidden `__seq`/`__ts` columns, a [`WindowSpec`], and
 //!   an owner procedure for the paper's transaction-scope rule.
 
+use crate::index::RowId;
 use serde::{Deserialize, Serialize};
 use sstore_common::{Column, DataType, Error, ProcId, Result, Schema, TableId};
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 
 /// Hidden column appended to streams/windows: batch id.
 pub const COL_BATCH: &str = "__batch";
@@ -108,6 +109,15 @@ pub struct TableMeta {
     pub visible_schema: Schema,
     /// Object kind and lifecycle state.
     pub kind: TableKind,
+    /// Window only: live row ids in arrival order (front = oldest).
+    /// Because window timestamps/sequence numbers are assigned from a
+    /// monotone per-partition clock, eviction is always a prefix of this
+    /// deque — slide maintenance pops O(evicted) entries instead of
+    /// rescanning the table. Kept outside [`TableKind`] so the per-insert
+    /// undo snapshot of the lifecycle counters stays O(1); the undo log
+    /// restores the deque through its own `WindowPushed`/`WindowPopped`/
+    /// `WindowExcised` operations. Empty for base tables and streams.
+    pub arrivals: VecDeque<RowId>,
 }
 
 /// Name → metadata registry for one partition.
@@ -135,6 +145,7 @@ impl Catalog {
             name: lname,
             visible_schema,
             kind,
+            arrivals: VecDeque::new(),
         });
         Ok(id)
     }

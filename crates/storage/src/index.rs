@@ -83,6 +83,39 @@ impl TryFrom<IndexSerde> for Index {
     }
 }
 
+/// A probe key for index lookups: borrowed straight out of a row when the
+/// key columns form a contiguous run (the common single-column case), owned
+/// only when a composite key has to be gathered from scattered columns.
+/// Both index kinds accept `&[Value]`, so probing with a borrowed key never
+/// allocates.
+#[derive(Debug)]
+pub enum KeyRef<'a> {
+    /// Key cells borrowed from the row.
+    Borrowed(&'a [Value]),
+    /// Key cells gathered into a fresh vector (non-contiguous composite).
+    Owned(Vec<Value>),
+}
+
+impl std::ops::Deref for KeyRef<'_> {
+    type Target = [Value];
+    fn deref(&self) -> &[Value] {
+        match self {
+            KeyRef::Borrowed(s) => s,
+            KeyRef::Owned(v) => v,
+        }
+    }
+}
+
+impl KeyRef<'_> {
+    /// The key as an owned vector (for map insertion).
+    pub fn into_owned(self) -> Vec<Value> {
+        match self {
+            KeyRef::Borrowed(s) => s.to_vec(),
+            KeyRef::Owned(v) => v,
+        }
+    }
+}
+
 impl Index {
     /// Create an empty index from a definition.
     pub fn new(def: IndexDef) -> Self {
@@ -94,9 +127,23 @@ impl Index {
         Index { def, store }
     }
 
-    /// Extract this index's key from a full row.
+    /// Extract this index's key from a full row (always owned; prefer
+    /// [`Index::key_ref`] for probes and removals).
     pub fn key_of(&self, row: &[Value]) -> Vec<Value> {
         self.def.key_cols.iter().map(|&i| row[i].clone()).collect()
+    }
+
+    /// Borrow this index's key out of a full row without allocating when
+    /// the key columns are contiguous (always true for single-column keys).
+    pub fn key_ref<'a>(&self, row: &'a [Value]) -> KeyRef<'a> {
+        match self.def.key_cols.as_slice() {
+            [] => KeyRef::Borrowed(&[]),
+            &[i] => KeyRef::Borrowed(std::slice::from_ref(&row[i])),
+            cols if cols.windows(2).all(|w| w[1] == w[0] + 1) => {
+                KeyRef::Borrowed(&row[cols[0]..=cols[cols.len() - 1]])
+            }
+            _ => KeyRef::Owned(self.key_of(row)),
+        }
     }
 
     /// Insert a (key, row id) pair. Fails on unique violation.

@@ -103,7 +103,7 @@ impl Table {
     }
 
     /// Validate and insert a row; returns its stable row id.
-    pub fn insert(&mut self, row: Row) -> Result<RowId> {
+    pub fn insert(&mut self, row: impl Into<Row>) -> Result<RowId> {
         let row = self.schema.validate(row)?;
         let rid = match self.free.pop() {
             Some(r) => r,
@@ -136,7 +136,8 @@ impl Table {
     }
 
     /// Replace the row at `rid`; returns the previous row (for undo).
-    pub fn update(&mut self, rid: RowId, new_row: Row) -> Result<Row> {
+    /// The returned old image is a shared handle (refcount bump, no copy).
+    pub fn update(&mut self, rid: RowId, new_row: impl Into<Row>) -> Result<Row> {
         let new_row = self.schema.validate(new_row)?;
         let old = self
             .slots
@@ -188,12 +189,14 @@ impl Table {
         self.pk_index.as_ref()?.get(key).first().copied()
     }
 
-    /// Row ids matching a secondary-index key.
-    pub fn index_lookup(&self, index_name: &str, key: &[Value]) -> Result<Vec<RowId>> {
+    /// Row ids matching a secondary-index key. Returns a borrowed slice
+    /// into the index bucket — no per-lookup allocation; callers that need
+    /// to mutate while iterating must copy explicitly.
+    pub fn index_lookup(&self, index_name: &str, key: &[Value]) -> Result<&[RowId]> {
         let ix = self
             .index(index_name)
             .ok_or_else(|| Error::NotFound(format!("index `{index_name}`")))?;
-        Ok(ix.get(key).to_vec())
+        Ok(ix.get(key))
     }
 
     /// Iterate over (row id, row) for all live rows, in slot order.
@@ -245,13 +248,13 @@ impl Table {
             if let Err(e) = self.indexes[i].insert(key, rid) {
                 // Unwind the partial index inserts.
                 for j in 0..i {
-                    let key = self.indexes[j].key_of(row);
+                    let key = self.indexes[j].key_ref(row);
                     self.indexes[j]
                         .remove(&key, rid)
                         .expect("unwinding fresh index insert cannot fail");
                 }
                 if let Some(pk) = &mut self.pk_index {
-                    let key = pk.key_of(row);
+                    let key = pk.key_ref(row);
                     pk.remove(&key, rid)
                         .expect("unwinding fresh pk insert cannot fail");
                 }
@@ -263,11 +266,11 @@ impl Table {
 
     fn index_remove(&mut self, row: &Row, rid: RowId) -> Result<()> {
         if let Some(pk) = &mut self.pk_index {
-            let key = pk.key_of(row);
+            let key = pk.key_ref(row);
             pk.remove(&key, rid)?;
         }
         for ix in &mut self.indexes {
-            let key = ix.key_of(row);
+            let key = ix.key_ref(row);
             ix.remove(&key, rid)?;
         }
         Ok(())
@@ -278,7 +281,7 @@ impl Table {
     pub fn approx_bytes(&self) -> usize {
         let mut total = self.slots.capacity() * std::mem::size_of::<Option<Row>>();
         for row in self.slots.iter().flatten() {
-            total += row.capacity() * std::mem::size_of::<Value>();
+            total += row.len() * std::mem::size_of::<Value>();
             for v in row {
                 if let Value::Text(s) = v {
                     total += s.capacity();
@@ -307,7 +310,7 @@ mod tests {
     }
 
     fn row(id: i64, name: &str) -> Row {
-        vec![Value::Int(id), Value::Text(name.into())]
+        vec![Value::Int(id), Value::Text(name.into())].into()
     }
 
     #[test]

@@ -47,6 +47,29 @@ pub enum UndoOp {
         /// The prior `TableKind` (with its embedded counters).
         prior: crate::catalog::TableKind,
     },
+    /// A window arrival was recorded (deque push_back); undo pops it.
+    WindowPushed {
+        /// The window table.
+        table: TableId,
+    },
+    /// A window evicted its oldest arrival (deque pop_front); undo pushes
+    /// the entry back to the front (LIFO replay restores original order).
+    WindowPopped {
+        /// The window table.
+        table: TableId,
+        /// The popped row id.
+        rid: RowId,
+    },
+    /// An out-of-band delete excised an arrival from the middle of the
+    /// deque; undo reinserts it at its original position.
+    WindowExcised {
+        /// The window table.
+        table: TableId,
+        /// The excised row id.
+        rid: RowId,
+        /// Its index in the deque before excision.
+        pos: usize,
+    },
 }
 
 /// Append-only undo log for one transaction execution.
@@ -121,6 +144,22 @@ impl UndoLog {
                     meta.kind = prior;
                 }
             }
+            UndoOp::WindowPushed { table } => {
+                if let Some(meta) = db.catalog_mut().meta_mut(table) {
+                    meta.arrivals.pop_back();
+                }
+            }
+            UndoOp::WindowPopped { table, rid } => {
+                if let Some(meta) = db.catalog_mut().meta_mut(table) {
+                    meta.arrivals.push_front(rid);
+                }
+            }
+            UndoOp::WindowExcised { table, rid, pos } => {
+                if let Some(meta) = db.catalog_mut().meta_mut(table) {
+                    let pos = pos.min(meta.arrivals.len());
+                    meta.arrivals.insert(pos, rid);
+                }
+            }
         }
         Ok(())
     }
@@ -146,7 +185,7 @@ mod tests {
     }
 
     fn row(id: i64, v: i64) -> Row {
-        vec![Value::Int(id), Value::Int(v)]
+        vec![Value::Int(id), Value::Int(v)].into()
     }
 
     #[test]

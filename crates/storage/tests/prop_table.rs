@@ -2,7 +2,7 @@
 //! exactness under random operation sequences.
 
 use proptest::prelude::*;
-use sstore_common::{Column, DataType, Schema, Value};
+use sstore_common::{Column, DataType, Row, Schema, Value};
 use sstore_storage::{IndexDef, RowId, Table, UndoLog, UndoOp};
 use std::collections::BTreeMap;
 
@@ -135,7 +135,7 @@ proptest! {
             apply(&mut table, &mut model, op);
         }
         // Snapshot the committed state.
-        let committed: Vec<(RowId, Vec<Value>)> =
+        let committed: Vec<(RowId, Row)> =
             table.scan().map(|(rid, r)| (rid, r.clone())).collect();
 
         // Run a "transaction" recording undo, then roll it back.
@@ -170,18 +170,18 @@ proptest! {
         }
         undo.rollback(&mut db).unwrap();
 
-        let after: Vec<(RowId, Vec<Value>)> =
+        let after: Vec<(RowId, Row)> =
             db.table(t).unwrap().scan().map(|(rid, r)| (rid, r.clone())).collect();
         // Compare as sets keyed by pk (slot ids may differ only if the
         // replayed insert order differed — it didn't, we replayed in scan
         // order, so exact equality must hold).
         let before_sorted = {
-            let mut b: Vec<Vec<Value>> = committed.iter().map(|(_, r)| r.clone()).collect();
+            let mut b: Vec<Row> = committed.iter().map(|(_, r)| r.clone()).collect();
             b.sort();
             b
         };
         let after_sorted = {
-            let mut a: Vec<Vec<Value>> = after.iter().map(|(_, r)| r.clone()).collect();
+            let mut a: Vec<Row> = after.iter().map(|(_, r)| r.clone()).collect();
             a.sort();
             a
         };

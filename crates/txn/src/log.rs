@@ -236,7 +236,7 @@ mod tests {
         LogRecord::BorderBatch {
             batch: BatchId::new(id),
             proc: "sp1".into(),
-            rows: vec![vec![Value::Int(id as i64)]],
+            rows: vec![vec![Value::Int(id as i64)].into()],
             ts: id as i64 * 10,
         }
     }

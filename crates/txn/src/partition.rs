@@ -282,9 +282,12 @@ impl Partition {
         &mut self.engine
     }
 
-    /// Partition counters.
-    pub fn stats(&self) -> &PeStats {
-        &self.stats
+    /// Partition counters (an owned snapshot; the row-sharing metrics in
+    /// it are process-wide, captured at call time).
+    pub fn stats(&self) -> PeStats {
+        let mut s = self.stats.clone();
+        s.rows = sstore_common::RowMetrics::snapshot();
+        s
     }
 
     /// Reset PE and EE counters (the partition id is preserved).
@@ -364,7 +367,11 @@ impl Partition {
     /// Submit one border input batch (S-Store mode's only client entry
     /// point). Runs the batch through the workflow to completion and
     /// returns every TE outcome, workflow order.
-    pub fn submit_batch(&mut self, proc: &str, rows: Vec<Row>) -> Result<Vec<TxnOutcome>> {
+    pub fn submit_batch<R: Into<Row>>(
+        &mut self,
+        proc: &str,
+        rows: Vec<R>,
+    ) -> Result<Vec<TxnOutcome>> {
         self.submit_batch_async(proc, rows)?;
         self.run_queued()
     }
@@ -375,11 +382,15 @@ impl Partition {
     /// scheduling policy becomes observable: serial workflows run
     /// batch-major; pipelined ones let batch *b+1*'s border TE run before
     /// batch *b*'s interior TEs.
-    pub fn submit_batch_async(&mut self, proc: &str, rows: Vec<Row>) -> Result<BatchId> {
+    pub fn submit_batch_async<R: Into<Row>>(
+        &mut self,
+        proc: &str,
+        rows: Vec<R>,
+    ) -> Result<BatchId> {
         let pid = self.border_proc_id(proc)?;
         self.stats.client_pe_trips += 1;
         simulate_cost(self.config.client_trip_cost_micros);
-        self.enqueue_border(pid, proc, rows)
+        self.enqueue_border(pid, proc, rows.into_iter().map(Into::into).collect())
     }
 
     /// Submit a *group* of border batches for one procedure in a single
@@ -408,10 +419,10 @@ impl Partition {
     /// [`Partition::run_queued`] — final state is identical to submitting
     /// the batches one by one.
     #[allow(clippy::type_complexity)]
-    pub fn submit_batch_group(
+    pub fn submit_batch_group<R: Into<Row>>(
         &mut self,
         proc: &str,
-        batches: Vec<Vec<Row>>,
+        batches: Vec<Vec<R>>,
     ) -> Result<Vec<Result<Vec<TxnOutcome>>>> {
         if batches.is_empty() {
             return Ok(Vec::new());
@@ -425,7 +436,7 @@ impl Partition {
         let mut ids = Vec::with_capacity(n);
         let mut enqueue_err: Option<Error> = None;
         for rows in batches {
-            match self.enqueue_border(pid, proc, rows) {
+            match self.enqueue_border(pid, proc, rows.into_iter().map(Into::into).collect()) {
                 Ok(id) => ids.push(id),
                 Err(e) => {
                     // This submission (and the rest of the group) was
@@ -501,8 +512,9 @@ impl Partition {
 
     /// Directly invoke a procedure (H-Store mode requests, and OLTP-style
     /// requests in either mode). One TE; returns its outcome.
-    pub fn invoke(&mut self, proc: &str, rows: Vec<Row>) -> Result<TxnOutcome> {
+    pub fn invoke<R: Into<Row>>(&mut self, proc: &str, rows: Vec<R>) -> Result<TxnOutcome> {
         let pid = self.proc_id(proc)?;
+        let rows: Vec<Row> = rows.into_iter().map(Into::into).collect();
         self.stats.client_pe_trips += 1;
         simulate_cost(self.config.client_trip_cost_micros);
         self.next_batch += 1;
@@ -751,7 +763,7 @@ impl Partition {
             .db()
             .table(sid)?
             .scan()
-            .map(|(_, r)| r[..visible_arity].to_vec())
+            .map(|(_, r)| r.prefix(visible_arity))
             .collect();
         // Everything in a sink stream is by definition consumed now.
         self.engine.gc_stream(sid, BatchId::new(self.next_batch))?;
@@ -924,7 +936,7 @@ mod tests {
     #[test]
     fn interior_procs_rejected_from_clients_in_sstore_mode() {
         let mut p = pipeline(PeConfig::default());
-        let err = p.submit_batch("count", vec![]).unwrap_err();
+        let err = p.submit_batch::<Row>("count", vec![]).unwrap_err();
         assert_eq!(err.kind(), "schedule");
     }
 
@@ -1023,7 +1035,7 @@ mod tests {
             .unwrap();
 
         for i in 0..3 {
-            p.submit_batch("a_in_is_wrong", vec![]).err(); // wrong name ignored
+            p.submit_batch::<Row>("a_in_is_wrong", vec![]).err(); // wrong name ignored
             p.submit_batch("first", vec![vec![Value::Int(i)]]).unwrap();
         }
         let r = p
@@ -1056,7 +1068,7 @@ mod tests {
     #[test]
     fn grouped_submission_matches_one_by_one_with_fewer_trips() {
         let batches: Vec<Vec<Row>> = (0..6)
-            .map(|i| vec![vec![Value::Int(i)], vec![Value::Int(-i)]])
+            .map(|i| vec![vec![Value::Int(i)].into(), vec![Value::Int(-i)].into()])
             .collect();
 
         // Reference: one submission at a time.
@@ -1096,7 +1108,10 @@ mod tests {
             .submit_batch_group("count", vec![vec![vec![Value::Int(1)]]])
             .unwrap_err();
         assert_eq!(err.kind(), "schedule");
-        assert!(p.submit_batch_group("validate", vec![]).unwrap().is_empty());
+        assert!(p
+            .submit_batch_group::<Row>("validate", vec![])
+            .unwrap()
+            .is_empty());
     }
 
     #[test]

@@ -233,7 +233,8 @@ impl ProcContext<'_> {
 
     /// Append a tuple to this procedure's output stream. The tuples
     /// emitted during one TE form the downstream procedure's input batch.
-    pub fn emit(&mut self, row: Row) -> Result<()> {
+    pub fn emit(&mut self, row: impl Into<Row>) -> Result<()> {
+        let row = row.into();
         let stream = self
             .output_stream
             .ok_or_else(|| Error::Schedule("procedure has no output stream to emit to".into()))?;

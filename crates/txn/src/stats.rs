@@ -1,6 +1,6 @@
 //! Partition-engine counters and latency tracking.
 
-use sstore_common::PartitionId;
+use sstore_common::{PartitionId, RowMetrics};
 
 /// Monotone counters for one partition.
 #[derive(Debug, Clone, Default)]
@@ -42,6 +42,10 @@ pub struct PeStats {
     /// Power-of-two latency histogram: bucket i counts TEs with latency in
     /// `[2^i, 2^(i+1))` microseconds; bucket 0 is `< 2µs`.
     pub latency_hist: [u64; 24],
+    /// Row sharing behaviour (shares vs deep copies vs COW breaks).
+    /// **Process-wide**, not per-partition: the counters are global
+    /// atomics, snapshotted when [`crate::Partition::stats`] is called.
+    pub rows: RowMetrics,
 }
 
 impl PeStats {

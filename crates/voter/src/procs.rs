@@ -1,7 +1,7 @@
 //! The three Voter stored procedures (Fig. 3) and their registration.
 
 use crate::schema::{install_schema, VoterConfig};
-use sstore_common::{Result, Value};
+use sstore_common::{Result, Row, Value};
 use sstore_core::{ExecMode, ProcSpec, QueryResult, SStore, TriggerEvent};
 
 /// How the trending window is maintained.
@@ -69,7 +69,7 @@ fn register_sp1(db: &mut SStore, wired: bool) -> Result<()> {
                 "record",
                 &[Value::Int(vid), phone.clone(), contestant.clone()],
             )?;
-            let out = vec![Value::Int(vid), phone, contestant];
+            let out = Row::new(vec![Value::Int(vid), phone, contestant]);
             if ctx.output_stream.is_some() {
                 ctx.emit(out.clone())?;
             }
@@ -158,7 +158,7 @@ fn register_sp2(
         }
         ctx.respond(QueryResult {
             columns: vec!["signals".into()],
-            rows: vec![vec![Value::Int(signals)]],
+            rows: vec![vec![Value::Int(signals)].into()],
             rows_affected: 0,
         });
         Ok(())

@@ -7,7 +7,7 @@
 //!
 //! Run with: `cargo run --release --example cluster_scaling`
 
-use sstore_core::common::{Result, Value};
+use sstore_core::common::{Result, Row, Value};
 use sstore_core::{Cluster, ProcSpec, SStore, SStoreBuilder};
 use std::time::Instant;
 
@@ -46,13 +46,13 @@ fn deploy(db: &mut SStore) -> Result<()> {
     Ok(())
 }
 
-fn workload(n: usize) -> Vec<Vec<Value>> {
+fn workload(n: usize) -> Vec<Row> {
     (0..n)
         .map(|i| {
-            vec![
+            Row::new(vec![
                 Value::Int((i % 10_000) as i64),
                 Value::Int(100 + (i % 900) as i64),
-            ]
+            ])
         })
         .collect()
 }

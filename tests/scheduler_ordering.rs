@@ -1,7 +1,7 @@
 //! Integration test for experiment E5: the stream-oriented transaction
 //! model's ordering guarantees (paper §2) observed end to end.
 
-use sstore_core::common::Value;
+use sstore_core::common::{Row, Value};
 use sstore_core::{ProcSpec, SStoreBuilder};
 
 /// Build a 3-stage workflow that writes an execution trace:
@@ -189,9 +189,9 @@ fn window_scope_blocks_foreign_procedures() {
     }))
     .unwrap();
 
-    db.submit_batch("w_in_is_wrong", vec![]).err();
+    db.submit_batch::<Row>("w_in_is_wrong", vec![]).err();
     db.submit_batch("owner", vec![vec![Value::Int(1)]]).unwrap();
-    let outcome = db.invoke("intruder", vec![]).unwrap();
+    let outcome = db.invoke::<Row>("intruder", vec![]).unwrap();
     assert_eq!(outcome.status, sstore_core::TxnStatus::Failed);
     assert!(outcome.error.unwrap().contains("scope"));
 }
@@ -201,6 +201,6 @@ fn interior_procedures_cannot_be_invoked_by_clients() {
     let mut db = traced_pipeline();
     let err = db.submit_batch("b", vec![vec![Value::Int(1)]]).unwrap_err();
     assert_eq!(err.kind(), "schedule");
-    let err = db.submit_batch("c", vec![]).unwrap_err();
+    let err = db.submit_batch::<Row>("c", vec![]).unwrap_err();
     assert_eq!(err.kind(), "schedule");
 }

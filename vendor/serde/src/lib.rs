@@ -221,6 +221,23 @@ impl<T: Deserialize> Deserialize for Vec<T> {
     }
 }
 
+impl<T: Serialize> Serialize for std::collections::VecDeque<T> {
+    fn to_json(&self) -> json::Value {
+        json::Value::Array(self.iter().map(Serialize::to_json).collect())
+    }
+}
+impl<T: Deserialize> Deserialize for std::collections::VecDeque<T> {
+    fn from_json(v: &json::Value) -> Result<Self, DeError> {
+        match v {
+            json::Value::Array(items) => items.iter().map(T::from_json).collect(),
+            other => Err(DeError::custom(format!(
+                "expected array, got {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
 impl<T: Serialize> Serialize for [T] {
     fn to_json(&self) -> json::Value {
         json::Value::Array(self.iter().map(Serialize::to_json).collect())
