@@ -4,7 +4,7 @@
 //! and the `figures` binary both call into these so numbers line up.
 
 use sstore_bikeshare::{BikeConfig, CitySim, SimReport};
-use sstore_core::{recover, SStore, SStoreBuilder};
+use sstore_core::{recover, DurabilityFormat, SStore, SStoreBuilder};
 use sstore_voter::checker::oracle_state;
 use sstore_voter::workload::Vote;
 use sstore_voter::{
@@ -97,24 +97,38 @@ pub fn exp_e4(ticks: u64, seed: u64) -> (SimReport, SStore) {
     (report, db)
 }
 
-/// E6 support: run `n` voter batches with durability under `dir`.
-pub fn run_durable_voter(dir: &std::path::Path, n_votes: usize, group_commit: usize) -> RunReport {
+/// E6/E4 support: run `n` voter batches with durability under `dir`,
+/// in the given on-disk format (both codecs are live in the same build,
+/// so json-vs-binary is an apples-to-apples sweep on one workload).
+pub fn run_durable_voter(
+    dir: &std::path::Path,
+    n_votes: usize,
+    group_commit: usize,
+    format: DurabilityFormat,
+) -> RunReport {
     let vs = votes(n_votes);
     let mut db = SStoreBuilder::new()
         .durability(dir, group_commit)
+        .log_format(format)
         .build()
         .expect("build");
     install(&mut db, WindowImpl::Native, &voter_config()).expect("install");
     run_sstore(&mut db, &vs, 1).expect("run")
 }
 
-/// E6: measure recovery wall time for a log of `n_votes` border batches.
-pub fn exp_e6_recovery(dir: &std::path::Path, n_votes: usize) -> (f64, bool) {
+/// E6/E4: measure recovery wall time for a log of `n_votes` border
+/// batches written in `format`.
+pub fn exp_e6_recovery(
+    dir: &std::path::Path,
+    n_votes: usize,
+    format: DurabilityFormat,
+) -> (f64, bool) {
     // Populate durable state, capture the reference, then "crash".
     let vs = votes(n_votes);
     let reference = {
         let mut db = SStoreBuilder::new()
             .durability(dir, 8)
+            .log_format(format)
             .build()
             .expect("build");
         install(&mut db, WindowImpl::Native, &voter_config()).expect("install");
@@ -122,7 +136,7 @@ pub fn exp_e6_recovery(dir: &std::path::Path, n_votes: usize) -> (f64, bool) {
         capture_state(&mut db).expect("state")
     };
     let t0 = std::time::Instant::now();
-    let builder = SStoreBuilder::new().durability(dir, 8);
+    let builder = SStoreBuilder::new().durability(dir, 8).log_format(format);
     let mut recovered = recover(builder.config().clone(), |db| {
         install(db, WindowImpl::Native, &voter_config())
     })
@@ -238,6 +252,46 @@ pub fn exp_e9_run(
         .expect("query");
     state.sort();
     (secs, state)
+}
+
+/// E4: command-log append throughput, isolated from the voter engine —
+/// encode + buffered write + group-commit fsync for `records` border
+/// batches of `rows_per_record` rows each (mixed int/text cells, the
+/// shape streaming ingest produces). This is where the codec itself shows
+/// up: both formats pay the same fsync count, so any difference is
+/// serialization + write volume. Returns (bytes written, fsyncs).
+pub fn exp_e4_log_append(
+    dir: &std::path::Path,
+    records: usize,
+    rows_per_record: usize,
+    group_commit: usize,
+    format: DurabilityFormat,
+) -> (u64, u64) {
+    use sstore_core::common::{BatchId, Row, Value};
+    use sstore_core::{CommandLog, LogConfig, LogRecord};
+    let cfg = LogConfig::with_group_commit(dir, group_commit).with_format(format);
+    let mut log = CommandLog::open(cfg).expect("open log");
+    let rows: Vec<Row> = (0..rows_per_record)
+        .map(|i| {
+            Row::new(vec![
+                Value::Int(i as i64),
+                Value::Int((i * 37) as i64 % 1000),
+                Value::Text(format!("device-{i:04}")),
+                Value::Float(i as f64 * 0.5),
+            ])
+        })
+        .collect();
+    for b in 0..records {
+        log.append(&LogRecord::BorderBatch {
+            batch: BatchId::new(b as u64 + 1),
+            proc: "ingest".into(),
+            rows: rows.clone(), // refcount bumps; encode borrows the cells
+            ts: b as i64,
+        })
+        .expect("append");
+    }
+    log.sync().expect("sync");
+    (log.bytes_written(), log.syncs())
 }
 
 /// A fresh scratch directory under the system temp dir.
@@ -402,4 +456,28 @@ pub fn exp_e10_batch_handoff(
         db.submit_batch("observe", chunk.to_vec()).expect("submit");
     }
     db.stats().committed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The binary log writes a fraction of the JSON byte volume for the
+    /// same records at the same fsync count (E4's write-amplification
+    /// claim, pinned as a regression test).
+    #[test]
+    fn binary_log_halves_write_volume() {
+        let jdir = scratch_dir("bytes-json");
+        let bdir = scratch_dir("bytes-bin");
+        let (json_bytes, json_syncs) = exp_e4_log_append(&jdir, 50, 64, 8, DurabilityFormat::Json);
+        let (bin_bytes, bin_syncs) = exp_e4_log_append(&bdir, 50, 64, 8, DurabilityFormat::Binary);
+        std::fs::remove_dir_all(jdir).ok();
+        std::fs::remove_dir_all(bdir).ok();
+        assert_eq!(json_syncs, bin_syncs, "fsync schedule must match");
+        assert!(
+            bin_bytes * 2 < json_bytes,
+            "binary {bin_bytes}B not < half of JSON {json_bytes}B"
+        );
+        println!("log bytes for 50x64-row records: json={json_bytes} binary={bin_bytes}");
+    }
 }

@@ -30,6 +30,10 @@ pub enum Error {
     Scope(String),
     /// Durability subsystem failure (command log or snapshot I/O).
     Io(String),
+    /// Binary encode/decode failure (bad tag, truncated input, version
+    /// from the future). A CRC failure surfaces as `Recovery` instead —
+    /// the codec layer reports *what* broke, recovery decides severity.
+    Codec(String),
     /// Recovery could not reconstruct a consistent state.
     Recovery(String),
     /// Internal invariant broken; indicates a bug in the engine itself.
@@ -50,6 +54,7 @@ impl Error {
             Error::Schedule(_) => "schedule",
             Error::Scope(_) => "scope",
             Error::Io(_) => "io",
+            Error::Codec(_) => "codec",
             Error::Recovery(_) => "recovery",
             Error::Internal(_) => "internal",
         }
@@ -76,6 +81,7 @@ impl fmt::Display for Error {
             Error::Schedule(m) => ("scheduling error", m),
             Error::Scope(m) => ("scope violation", m),
             Error::Io(m) => ("io error", m),
+            Error::Codec(m) => ("codec error", m),
             Error::Recovery(m) => ("recovery error", m),
             Error::Internal(m) => ("internal error", m),
         };

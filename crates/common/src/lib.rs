@@ -9,6 +9,7 @@
 //! paper's terms, §2).
 
 pub mod clock;
+pub mod codec;
 pub mod error;
 pub mod ids;
 pub mod row;
@@ -17,6 +18,7 @@ pub mod types;
 pub mod value;
 
 pub use clock::Clock;
+pub use codec::DurabilityFormat;
 pub use error::{Error, Result};
 pub use ids::{BatchId, PartitionId, ProcId, TableId, TxnId};
 pub use row::{Batch, Row, RowMetrics};

@@ -98,6 +98,18 @@ impl Database {
         self.tables.len()
     }
 
+    /// All physical tables, in `TableId` order (snapshot encoding).
+    pub(crate) fn tables(&self) -> &[Table] {
+        &self.tables
+    }
+
+    /// Reassemble a database from decoded snapshot parts. The caller
+    /// (snapshot loading) is responsible for the catalog/tables alignment
+    /// invariant; [`crate::snapshot::Snapshot::read_from`] checks counts.
+    pub(crate) fn from_parts(catalog: Catalog, tables: Vec<Table>) -> Database {
+        Database { catalog, tables }
+    }
+
     /// The kind of a table.
     pub fn kind(&self, id: TableId) -> Result<&TableKind> {
         self.catalog

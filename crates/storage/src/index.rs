@@ -5,7 +5,7 @@
 //! reject duplicate keys at insert time.
 
 use serde::{Deserialize, Serialize};
-use sstore_common::{Error, Result, Value};
+use sstore_common::{codec, Error, Result, Value};
 use std::collections::{BTreeMap, HashMap};
 use std::ops::Bound;
 
@@ -117,6 +117,69 @@ impl KeyRef<'_> {
 }
 
 impl Index {
+    /// Binary snapshot encoding: the definition (serde-tree bridge; tiny)
+    /// followed by the entries with values and row ids in the compact
+    /// binary codec. Hash-index entries are sorted by key so the encoding
+    /// is deterministic; within an entry the row-id list keeps its exact
+    /// order (lookup results are order-sensitive).
+    pub fn encode_binary(&self, out: &mut Vec<u8>) {
+        codec::put_bytes(out, &codec::to_bytes(&self.def));
+        let encode_entry = |key: &[Value], ids: &[RowId], out: &mut Vec<u8>| {
+            codec::put_uvarint(out, key.len() as u64);
+            for v in key {
+                codec::encode_value(v, out);
+            }
+            codec::put_uvarint(out, ids.len() as u64);
+            for &rid in ids {
+                codec::put_uvarint(out, rid);
+            }
+        };
+        match &self.store {
+            IndexStore::Ordered(m) => {
+                codec::put_uvarint(out, m.len() as u64);
+                for (key, ids) in m {
+                    encode_entry(key, ids, out);
+                }
+            }
+            IndexStore::Hash(m) => {
+                codec::put_uvarint(out, m.len() as u64);
+                let mut entries: Vec<(&Vec<Value>, &Vec<RowId>)> = m.iter().collect();
+                entries.sort_by(|a, b| a.0.cmp(b.0));
+                for (key, ids) in entries {
+                    encode_entry(key, ids, out);
+                }
+            }
+        }
+    }
+
+    /// Decode an index encoded by [`Index::encode_binary`]. Entries are
+    /// loaded verbatim (no uniqueness re-checks: the data already passed
+    /// them when it was live).
+    pub fn decode_binary(r: &mut codec::Reader<'_>) -> Result<Index> {
+        let def: IndexDef = codec::from_bytes(r.bytes()?)?;
+        let n_entries = r.uvarint()? as usize;
+        let mut entries = Vec::with_capacity(n_entries.min(r.remaining()));
+        for _ in 0..n_entries {
+            let key_len = r.uvarint()? as usize;
+            let mut key = Vec::with_capacity(key_len.min(r.remaining()));
+            for _ in 0..key_len {
+                key.push(codec::decode_value(r)?);
+            }
+            let n_ids = r.uvarint()? as usize;
+            let mut ids = Vec::with_capacity(n_ids.min(r.remaining()));
+            for _ in 0..n_ids {
+                ids.push(r.uvarint()?);
+            }
+            entries.push((key, ids));
+        }
+        let store = if def.ordered {
+            IndexStore::Ordered(entries.into_iter().collect())
+        } else {
+            IndexStore::Hash(entries.into_iter().collect())
+        };
+        Ok(Index { def, store })
+    }
+
     /// Create an empty index from a definition.
     pub fn new(def: IndexDef) -> Self {
         let store = if def.ordered {

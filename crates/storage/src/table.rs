@@ -8,7 +8,7 @@
 
 use crate::index::{Index, IndexDef, RowId};
 use serde::{Deserialize, Serialize};
-use sstore_common::{Error, Result, Row, Schema, Value};
+use sstore_common::{codec, Error, Result, Row, Schema, Value};
 
 /// One heap table (also the physical representation of streams and windows).
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -54,6 +54,93 @@ impl Table {
     /// Table name.
     pub fn name(&self) -> &str {
         &self.name
+    }
+
+    /// Binary snapshot encoding of the whole table. The schema goes
+    /// through the serde-tree bridge (cold metadata); slots and indexes —
+    /// the bulk — use the compact value codec, with row encoding borrowing
+    /// the shared COW cells. The free-slot stack is serialized in order:
+    /// recovery must reuse slots in exactly the pre-crash order for
+    /// replay to assign identical row ids.
+    pub fn encode_binary(&self, out: &mut Vec<u8>) {
+        codec::put_str(out, &self.name);
+        codec::put_bytes(out, &codec::to_bytes(&self.schema));
+        codec::put_uvarint(out, self.slots.len() as u64);
+        for slot in &self.slots {
+            match slot {
+                None => out.push(0),
+                Some(row) => {
+                    out.push(1);
+                    codec::encode_row(row, out);
+                }
+            }
+        }
+        codec::put_uvarint(out, self.free.len() as u64);
+        for &rid in &self.free {
+            codec::put_uvarint(out, rid);
+        }
+        match &self.pk_index {
+            None => out.push(0),
+            Some(pk) => {
+                out.push(1);
+                pk.encode_binary(out);
+            }
+        }
+        codec::put_uvarint(out, self.indexes.len() as u64);
+        for ix in &self.indexes {
+            ix.encode_binary(out);
+        }
+    }
+
+    /// Decode a table encoded by [`Table::encode_binary`].
+    pub fn decode_binary(r: &mut codec::Reader<'_>) -> Result<Table> {
+        let name = r.str()?.to_string();
+        let schema: Schema = codec::from_bytes(r.bytes()?)?;
+        let n_slots = r.uvarint()? as usize;
+        let mut slots = Vec::with_capacity(n_slots.min(r.remaining()));
+        let mut live = 0usize;
+        for _ in 0..n_slots {
+            match r.u8()? {
+                0 => slots.push(None),
+                1 => {
+                    slots.push(Some(codec::decode_row(r)?));
+                    live += 1;
+                }
+                tag => {
+                    return Err(Error::Codec(format!(
+                        "bad slot tag {tag} in table `{name}`"
+                    )))
+                }
+            }
+        }
+        let n_free = r.uvarint()? as usize;
+        let mut free = Vec::with_capacity(n_free.min(r.remaining()));
+        for _ in 0..n_free {
+            free.push(r.uvarint()?);
+        }
+        let pk_index = match r.u8()? {
+            0 => None,
+            1 => Some(Index::decode_binary(r)?),
+            tag => {
+                return Err(Error::Codec(format!(
+                    "bad pk-index tag {tag} in table `{name}`"
+                )))
+            }
+        };
+        let n_indexes = r.uvarint()? as usize;
+        let mut indexes = Vec::with_capacity(n_indexes.min(r.remaining()));
+        for _ in 0..n_indexes {
+            indexes.push(Index::decode_binary(r)?);
+        }
+        Ok(Table {
+            name,
+            schema,
+            slots,
+            free,
+            live,
+            pk_index,
+            indexes,
+        })
     }
 
     /// Table schema (including any hidden columns).

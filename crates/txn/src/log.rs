@@ -6,13 +6,46 @@
 //! in H-Store mode, each client invocation) is one record. Replaying the
 //! log through the deterministic procedures reconstructs the state.
 //!
-//! Records are JSON lines. Group commit batches fsyncs: the log flushes
-//! after every `group_commit_n` records (1 = sync per record).
+//! # On-disk formats
+//!
+//! Two formats are live ([`DurabilityFormat`]):
+//!
+//! * **Binary** (default): a `SSLG` magic + version header, then one CRC32
+//!   frame `[len u32 LE][crc32 u32 LE][payload]` per record, with the
+//!   payload in the compact value codec (`sstore_common::codec`). Row
+//!   encoding borrows the batch's shared COW rows — appending a record
+//!   never deep-copies tuples.
+//! * **Json**: the legacy JSON-lines format, kept for back-compat replay
+//!   of pre-binary durability dirs and for the E6 json-vs-binary
+//!   benchmarks.
+//!
+//! [`CommandLog::open`] *sniffs* a non-empty file and keeps appending in
+//! its existing format (mixing formats inside one file would corrupt it);
+//! the configured format takes over at the next truncation or retention
+//! rewrite. [`read_log`] sniffs the same way, so recovery replays either.
+//!
+//! # Group commit
+//!
+//! Appends encode into an in-memory buffer; the buffer is flushed to the
+//! file with **one `write(2)` + one fsync** after every `group_commit_n`
+//! records (1 = sync per record). A whole coalesced batch group therefore
+//! costs a single write + fsync rather than a line-sized write per record.
+//!
+//! # Torn tails vs corruption
+//!
+//! A trailing frame whose bytes run out (header or payload incomplete) is
+//! the signature of a write interrupted by a crash: everything before it
+//! was fsynced, so [`read_log`] drops the tail with a warning and replay
+//! proceeds. A *complete* frame failing its CRC cannot come from a torn
+//! append — the medium corrupted once-intact data — so replay stops with
+//! a clear recovery error instead of silently losing suffix records.
 
 use serde::{Deserialize, Serialize};
-use sstore_common::{BatchId, Error, Result, Row};
-use std::fs::{File, OpenOptions};
-use std::io::{BufRead, BufReader, BufWriter, Write};
+use sstore_common::codec::{self, FrameRead};
+use sstore_common::{BatchId, DurabilityFormat, Error, Result, Row};
+use std::collections::HashSet;
+use std::fs::{self, File, OpenOptions};
+use std::io::{Read, Write};
 use std::path::{Path, PathBuf};
 
 /// One durable record.
@@ -42,24 +75,111 @@ pub enum LogRecord {
         ts: i64,
     },
     /// The workflow for `batch` fully committed (upstream backup may
-    /// discard the batch; used for log truncation and exactly-once checks).
+    /// discard the batch; used for log GC and exactly-once checks).
     Ack {
         /// The completed batch.
         batch: BatchId,
     },
 }
 
-/// Automatic snapshot-then-truncate retention policy.
+const REC_BORDER: u8 = 0;
+const REC_INVOKE: u8 = 1;
+const REC_ACK: u8 = 2;
+
+impl LogRecord {
+    /// The batch this record belongs to.
+    pub fn batch(&self) -> BatchId {
+        match self {
+            LogRecord::BorderBatch { batch, .. }
+            | LogRecord::Invocation { batch, .. }
+            | LogRecord::Ack { batch } => *batch,
+        }
+    }
+
+    /// Append the binary encoding (frame payload). Rows are encoded by
+    /// borrowing their shared cells — no copy.
+    pub fn encode_binary(&self, out: &mut Vec<u8>) {
+        match self {
+            LogRecord::BorderBatch {
+                batch,
+                proc,
+                rows,
+                ts,
+            }
+            | LogRecord::Invocation {
+                batch,
+                proc,
+                rows,
+                ts,
+            } => {
+                out.push(if matches!(self, LogRecord::BorderBatch { .. }) {
+                    REC_BORDER
+                } else {
+                    REC_INVOKE
+                });
+                codec::put_uvarint(out, batch.raw());
+                codec::put_str(out, proc);
+                codec::put_uvarint(out, rows.len() as u64);
+                for row in rows {
+                    codec::encode_row(row, out);
+                }
+                codec::put_ivarint(out, *ts);
+            }
+            LogRecord::Ack { batch } => {
+                out.push(REC_ACK);
+                codec::put_uvarint(out, batch.raw());
+            }
+        }
+    }
+
+    /// Decode one record from a frame payload.
+    pub fn decode_binary(r: &mut codec::Reader<'_>) -> Result<LogRecord> {
+        let tag = r.u8()?;
+        match tag {
+            REC_BORDER | REC_INVOKE => {
+                let batch = BatchId::new(r.uvarint()?);
+                let proc = r.str()?.to_string();
+                let n = r.uvarint()? as usize;
+                let mut rows = Vec::with_capacity(n.min(r.remaining()));
+                for _ in 0..n {
+                    rows.push(codec::decode_row(r)?);
+                }
+                let ts = r.ivarint()?;
+                Ok(if tag == REC_BORDER {
+                    LogRecord::BorderBatch {
+                        batch,
+                        proc,
+                        rows,
+                        ts,
+                    }
+                } else {
+                    LogRecord::Invocation {
+                        batch,
+                        proc,
+                        rows,
+                        ts,
+                    }
+                })
+            }
+            REC_ACK => Ok(LogRecord::Ack {
+                batch: BatchId::new(r.uvarint()?),
+            }),
+            tag => Err(Error::Codec(format!("unknown log record tag {tag}"))),
+        }
+    }
+}
+
+/// Automatic snapshot-then-GC retention policy.
 ///
 /// When configured (see `PeConfig::retention`), the partition writes a
-/// snapshot and truncates the command log after every `every_n_commits`
-/// committed TEs, at the next quiescent point (the scheduler queue is
-/// empty between client calls, so the snapshot captures a workflow-
-/// consistent state). Replay-after-truncate recovers from the snapshot
-/// plus whatever the log accumulated since.
+/// snapshot and garbage-collects the command log after every
+/// `every_n_commits` committed TEs, at the next quiescent point (the
+/// scheduler queue is empty between client calls, so the snapshot captures
+/// a workflow-consistent state). Replay-after-truncate recovers from the
+/// snapshot plus whatever the log accumulated since.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct LogRetention {
-    /// Snapshot + truncate after this many committed TEs (min 1).
+    /// Snapshot + GC after this many committed TEs (min 1).
     pub every_n_commits: u64,
 }
 
@@ -79,6 +199,10 @@ pub struct LogConfig {
     pub dir: PathBuf,
     /// fsync after this many records (group commit). 1 = every record.
     pub group_commit_n: usize,
+    /// On-disk serialization format (binary frames by default; JSON kept
+    /// for back-compat and the E6 benchmarks). Opening an existing log
+    /// file keeps *its* format until the next truncation/GC rewrite.
+    pub format: DurabilityFormat,
 }
 
 impl LogConfig {
@@ -87,15 +211,22 @@ impl LogConfig {
         LogConfig {
             dir: dir.into(),
             group_commit_n: 1,
+            format: DurabilityFormat::default(),
         }
     }
 
     /// Config with group commit every `n` records.
     pub fn with_group_commit(dir: impl Into<PathBuf>, n: usize) -> Self {
         LogConfig {
-            dir: dir.into(),
             group_commit_n: n.max(1),
+            ..LogConfig::new(dir)
         }
+    }
+
+    /// Override the on-disk format.
+    pub fn with_format(mut self, format: DurabilityFormat) -> Self {
+        self.format = format;
+        self
     }
 
     /// Path of the command log file.
@@ -103,46 +234,115 @@ impl LogConfig {
         self.dir.join("command.log")
     }
 
-    /// Path of the snapshot file.
+    /// Path of the snapshot file. The name is format-independent (the
+    /// *content* carries a magic); only writes from the binary-era engine
+    /// use it.
     pub fn snapshot_path(&self) -> PathBuf {
+        self.dir.join("snapshot.dat")
+    }
+
+    /// Snapshot path written by pre-binary versions of the engine.
+    /// Recovery falls back to it when [`LogConfig::snapshot_path`] is
+    /// absent; a successful new snapshot deletes it.
+    pub fn legacy_snapshot_path(&self) -> PathBuf {
         self.dir.join("snapshot.json")
     }
 }
 
-/// Append-only command log writer.
+/// Append-only command log writer with group-commit buffering: appends
+/// encode into an in-memory buffer, and a whole commit group reaches the
+/// file as one write + one fsync.
 #[derive(Debug)]
 pub struct CommandLog {
-    writer: BufWriter<File>,
+    file: File,
+    /// Encoded-but-unwritten records (plus the file header before the
+    /// first sync of a fresh binary log).
+    pending: Vec<u8>,
     config: LogConfig,
+    /// The format of the file being appended to (may differ from
+    /// `config.format` until the next truncation/GC rewrite).
+    active_format: DurabilityFormat,
     unsynced: usize,
     records_written: u64,
     syncs: u64,
+    bytes_written: u64,
 }
 
 impl CommandLog {
-    /// Open (creating or appending to) the log in `config.dir`.
+    /// Open (creating or appending to) the log in `config.dir`. A
+    /// non-empty existing file is sniffed and appended to in its own
+    /// format; the configured format takes effect at the next truncation.
+    /// A torn trailing record left by a crash is trimmed off before
+    /// appends are accepted — otherwise new records would land *after*
+    /// the torn bytes and the next recovery would misread the boundary
+    /// as corruption (binary) or silently drop the suffix (JSON).
     pub fn open(config: LogConfig) -> Result<CommandLog> {
-        std::fs::create_dir_all(&config.dir)?;
-        let file = OpenOptions::new()
-            .create(true)
-            .append(true)
-            .open(config.log_path())?;
+        fs::create_dir_all(&config.dir)?;
+        let path = config.log_path();
+        let file = OpenOptions::new().create(true).append(true).open(&path)?;
+        let len = file.metadata()?.len();
+        let mut pending = Vec::new();
+        let active_format = if len == 0 {
+            if config.format == DurabilityFormat::Binary {
+                codec::put_file_header(&mut pending, codec::LOG_MAGIC);
+            }
+            config.format
+        } else {
+            let format = sniff_format(&path)?.unwrap_or(DurabilityFormat::Json);
+            let bytes = fs::read(&path)?;
+            match intact_prefix_len(&bytes, format) {
+                Some(0) => {
+                    // Nothing survived (e.g. the very first write tore
+                    // inside the file header): restart empty in the
+                    // configured format, exactly like a fresh log.
+                    eprintln!(
+                        "sstore: {}: trimming fully-torn log ({} bytes) and \
+                         restarting empty",
+                        path.display(),
+                        bytes.len()
+                    );
+                    file.set_len(0)?;
+                    file.sync_data()?;
+                    if config.format == DurabilityFormat::Binary {
+                        codec::put_file_header(&mut pending, codec::LOG_MAGIC);
+                    }
+                    config.format
+                }
+                Some(valid_len) => {
+                    eprintln!(
+                        "sstore: {}: trimming torn tail at byte {valid_len} (of {}) \
+                         before resuming appends",
+                        path.display(),
+                        bytes.len()
+                    );
+                    file.set_len(valid_len as u64)?;
+                    file.sync_data()?;
+                    format
+                }
+                None => format,
+            }
+        };
         Ok(CommandLog {
-            writer: BufWriter::new(file),
+            file,
+            pending,
             config,
+            active_format,
             unsynced: 0,
             records_written: 0,
             syncs: 0,
+            bytes_written: 0,
         })
+    }
+
+    /// The format records are currently appended in.
+    pub fn active_format(&self) -> DurabilityFormat {
+        self.active_format
     }
 
     /// Append a record; flushes per group-commit policy. Returns true if
     /// this append triggered an fsync.
     pub fn append(&mut self, record: &LogRecord) -> Result<bool> {
-        let line =
-            serde_json::to_string(record).map_err(|e| Error::Io(format!("log encode: {e}")))?;
-        self.writer.write_all(line.as_bytes())?;
-        self.writer.write_all(b"\n")?;
+        encode_record_into(record, self.active_format, &mut self.pending)?;
         self.records_written += 1;
         self.unsynced += 1;
         if self.unsynced >= self.config.group_commit_n {
@@ -152,13 +352,16 @@ impl CommandLog {
         Ok(false)
     }
 
-    /// Force an fsync of buffered records.
+    /// Force the buffered records down: one write + one fsync for the
+    /// whole group. No-op when nothing is unsynced.
     pub fn sync(&mut self) -> Result<()> {
         if self.unsynced == 0 {
             return Ok(());
         }
-        self.writer.flush()?;
-        self.writer.get_ref().sync_data()?;
+        self.file.write_all(&self.pending)?;
+        self.file.sync_data()?;
+        self.bytes_written += self.pending.len() as u64;
+        self.pending.clear();
         self.unsynced = 0;
         self.syncs += 1;
         Ok(())
@@ -174,45 +377,283 @@ impl CommandLog {
         self.syncs
     }
 
+    /// Bytes written to the file over this log's lifetime.
+    pub fn bytes_written(&self) -> u64 {
+        self.bytes_written
+    }
+
     /// Truncate the log (after a snapshot covers everything in it).
-    /// Consumes buffered state; the log is reopened empty.
+    /// Buffered unsynced records are discarded along with the file
+    /// contents; the log restarts empty in the *configured* format.
     pub fn truncate(&mut self) -> Result<()> {
-        self.writer.flush()?;
+        let path = self.config.log_path();
         let file = OpenOptions::new()
             .create(true)
             .write(true)
             .truncate(true)
-            .open(self.config.log_path())?;
+            .open(&path)?;
         file.sync_all()?;
-        self.writer = BufWriter::new(
-            OpenOptions::new()
-                .append(true)
-                .open(self.config.log_path())?,
-        );
+        self.file = OpenOptions::new().append(true).open(&path)?;
+        self.pending.clear();
         self.unsynced = 0;
+        self.active_format = self.config.format;
+        if self.active_format == DurabilityFormat::Binary {
+            codec::put_file_header(&mut self.pending, codec::LOG_MAGIC);
+        }
         Ok(())
+    }
+
+    /// Upstream-backup garbage collection: rewrite the log dropping every
+    /// record of a batch that is both **acked** (its workflow fully
+    /// completed — no downstream work can still need the input) and
+    /// **covered** by a snapshot (`batch <= covered` — replay skips it
+    /// anyway). Unacked or newer records are kept verbatim, so the log
+    /// stays replayable; at a quiescent point this degenerates to full
+    /// truncation. The rewrite uses the *configured* format, migrating a
+    /// sniffed legacy-JSON log to binary at the first retention point.
+    ///
+    /// Returns the number of records dropped.
+    pub fn gc_acked_through(&mut self, covered: BatchId) -> Result<u64> {
+        self.sync()?; // pending records must be visible to the reader
+        let path = self.config.log_path();
+        let records = read_log(&path)?;
+        let acked: HashSet<u64> = records
+            .iter()
+            .filter_map(|r| match r {
+                LogRecord::Ack { batch } => Some(batch.raw()),
+                _ => None,
+            })
+            .collect();
+        let keep: Vec<&LogRecord> = records
+            .iter()
+            .filter(|r| {
+                let b = r.batch().raw();
+                !(b <= covered.raw() && acked.contains(&b))
+            })
+            .collect();
+        let dropped = (records.len() - keep.len()) as u64;
+        if dropped == 0 && self.active_format == self.config.format {
+            return Ok(0);
+        }
+
+        let mut buf = Vec::new();
+        if self.config.format == DurabilityFormat::Binary {
+            codec::put_file_header(&mut buf, codec::LOG_MAGIC);
+        }
+        for record in keep {
+            encode_record_into(record, self.config.format, &mut buf)?;
+        }
+        let tmp = path.with_extension("rewrite");
+        {
+            let mut file = File::create(&tmp)?;
+            file.write_all(&buf)?;
+            file.sync_all()?;
+        }
+        fs::rename(&tmp, &path)?;
+        self.file = OpenOptions::new().append(true).open(&path)?;
+        self.pending.clear();
+        self.unsynced = 0;
+        self.active_format = self.config.format;
+        Ok(dropped)
     }
 }
 
-/// Read every record in a command log, in append order. Tolerates a
-/// truncated final line (torn write at crash).
-pub fn read_log(path: &Path) -> Result<Vec<LogRecord>> {
-    let file = match File::open(path) {
+impl Drop for CommandLog {
+    /// Best-effort flush of the buffered group on clean shutdown, so a
+    /// non-crash exit never loses the unsynced tail (crash durability is
+    /// still bounded by `group_commit_n`, as before).
+    fn drop(&mut self) {
+        let _ = self.sync();
+    }
+}
+
+/// Encode one record in the given on-disk format: a CRC32 frame (binary)
+/// or a JSON line. The single encoder behind both the append path and
+/// the GC rewrite, so the two can never drift.
+fn encode_record_into(
+    record: &LogRecord,
+    format: DurabilityFormat,
+    out: &mut Vec<u8>,
+) -> Result<()> {
+    match format {
+        DurabilityFormat::Binary => {
+            let frame = codec::begin_frame(out);
+            record.encode_binary(out);
+            codec::end_frame(out, frame);
+        }
+        DurabilityFormat::Json => {
+            let line =
+                serde_json::to_string(record).map_err(|e| Error::Io(format!("log encode: {e}")))?;
+            out.extend_from_slice(line.as_bytes());
+            out.push(b'\n');
+        }
+    }
+    Ok(())
+}
+
+/// Length of the intact record prefix when the file ends in a torn tail
+/// that should be trimmed before appends resume; `None` when the file is
+/// clean — or mid-stream corrupt, which is deliberately left untouched
+/// so replay surfaces the error instead of appends destroying evidence.
+fn intact_prefix_len(bytes: &[u8], format: DurabilityFormat) -> Option<usize> {
+    match format {
+        DurabilityFormat::Binary => {
+            if bytes.len() < codec::FILE_HEADER_LEN {
+                // The very first write tore inside the 8-byte header:
+                // no record was ever durable, restart from scratch.
+                return Some(0);
+            }
+            let mut r = codec::Reader::new(bytes);
+            if codec::check_file_header(&mut r, codec::LOG_MAGIC).is_err() {
+                // Complete header but wrong version — a compatibility
+                // problem, not a torn write; let replay surface it.
+                return None;
+            }
+            let mut valid_len = r.pos();
+            loop {
+                match codec::read_frame(&mut r) {
+                    FrameRead::Frame(_) => valid_len = r.pos(),
+                    FrameRead::Eof => return None,
+                    FrameRead::Torn { .. } => return Some(valid_len),
+                    FrameRead::Corrupt { .. } => return None,
+                }
+            }
+        }
+        DurabilityFormat::Json => {
+            // Valid prefix = every parseable, newline-terminated line.
+            // The writer always terminates lines, so an unterminated
+            // final line — even a parseable one — is a torn write, and
+            // appending after it would concatenate two records into one
+            // unparseable line. Mirroring the binary arm's torn/corrupt
+            // split: trim only when the bad region runs to end-of-file;
+            // a parseable record *after* a bad line means in-place
+            // corruption, which is left untouched (trimming would
+            // silently destroy the intact, fsynced suffix).
+            let mut valid_len = 0usize;
+            let is_record = |line: &[u8]| {
+                std::str::from_utf8(line)
+                    .is_ok_and(|t| serde_json::from_str::<LogRecord>(t.trim_end()).is_ok())
+            };
+            let is_blank =
+                |line: &[u8]| std::str::from_utf8(line).is_ok_and(|t| t.trim().is_empty());
+            let mut lines = bytes.split_inclusive(|&b| b == b'\n');
+            for line in lines.by_ref() {
+                if line.last() != Some(&b'\n') || !(is_blank(line) || is_record(line)) {
+                    let suffix_has_records =
+                        lines.any(|l| l.last() == Some(&b'\n') && is_record(l));
+                    return if suffix_has_records {
+                        None // mid-file corruption, not a torn tail
+                    } else {
+                        Some(valid_len)
+                    };
+                }
+                valid_len += line.len();
+            }
+            None
+        }
+    }
+}
+
+/// Sniff a log file's on-disk format from its first bytes. `None` for a
+/// missing or empty file.
+pub fn sniff_format(path: &Path) -> Result<Option<DurabilityFormat>> {
+    let mut file = match File::open(path) {
         Ok(f) => f,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(e.into()),
+    };
+    let mut head = [0u8; 4];
+    let mut read = 0;
+    while read < 4 {
+        match file.read(&mut head[read..])? {
+            0 => break,
+            n => read += n,
+        }
+    }
+    if read == 0 {
+        return Ok(None);
+    }
+    Ok(Some(if read == 4 && head == codec::LOG_MAGIC {
+        DurabilityFormat::Binary
+    } else {
+        DurabilityFormat::Json
+    }))
+}
+
+/// Read every record in a command log, in append order, sniffing the
+/// format. A torn trailing record (incomplete write at crash) is dropped
+/// with a warning; a checksum failure on a *complete* binary frame is
+/// corruption and fails with a clear error instead of silently dropping
+/// the suffix.
+pub fn read_log(path: &Path) -> Result<Vec<LogRecord>> {
+    let bytes = match fs::read(path) {
+        Ok(b) => b,
         Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(vec![]),
         Err(e) => return Err(e.into()),
     };
-    let reader = BufReader::new(file);
+    if bytes.is_empty() {
+        return Ok(vec![]);
+    }
+    if codec::has_magic(&bytes, codec::LOG_MAGIC) {
+        read_binary_log(path, &bytes)
+    } else {
+        read_json_log(&bytes)
+    }
+}
+
+fn read_binary_log(path: &Path, bytes: &[u8]) -> Result<Vec<LogRecord>> {
+    let mut r = codec::Reader::new(bytes);
+    codec::check_file_header(&mut r, codec::LOG_MAGIC)
+        .map_err(|e| Error::Recovery(format!("command log header: {e}")))?;
     let mut out = Vec::new();
-    for line in reader.lines() {
-        let line = line?;
+    loop {
+        match codec::read_frame(&mut r) {
+            FrameRead::Frame(payload) => {
+                let mut pr = codec::Reader::new(payload);
+                let record = LogRecord::decode_binary(&mut pr).map_err(|e| {
+                    Error::Recovery(format!(
+                        "command log: undecodable record in checksum-valid frame \
+                         (record {}): {e}",
+                        out.len()
+                    ))
+                })?;
+                out.push(record);
+            }
+            FrameRead::Eof => break,
+            FrameRead::Torn { offset } => {
+                eprintln!(
+                    "sstore: {}: dropping torn trailing frame at byte {offset} \
+                     (incomplete write at crash); {} intact records replayed",
+                    path.display(),
+                    out.len()
+                );
+                break;
+            }
+            FrameRead::Corrupt { offset, detail } => {
+                return Err(Error::Recovery(format!(
+                    "command log corrupted at byte {offset}: {detail}; \
+                     {} records before it are intact — replay stopped rather \
+                     than silently dropping the suffix",
+                    out.len()
+                )));
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn read_json_log(bytes: &[u8]) -> Result<Vec<LogRecord>> {
+    let text = String::from_utf8_lossy(bytes);
+    let mut out = Vec::new();
+    for line in text.lines() {
         if line.trim().is_empty() {
             continue;
         }
-        match serde_json::from_str::<LogRecord>(&line) {
+        match serde_json::from_str::<LogRecord>(line) {
             Ok(r) => out.push(r),
             // A torn tail is expected after a crash; anything before it
-            // was fsynced and must parse.
+            // was fsynced and must parse. (The legacy format cannot
+            // distinguish torn from corrupt — one reason it was replaced.)
             Err(_) => break,
         }
     }
@@ -241,34 +682,75 @@ mod tests {
         }
     }
 
-    #[test]
-    fn append_and_read_round_trip() {
-        let dir = tempdir("rt");
-        let mut log = CommandLog::open(LogConfig::new(&dir)).unwrap();
-        for i in 1..=3 {
-            let synced = log.append(&batch_record(i)).unwrap();
-            assert!(synced); // group_commit_n = 1
-        }
-        log.append(&LogRecord::Ack {
-            batch: BatchId::new(1),
-        })
-        .unwrap();
-        drop(log);
-        let records = read_log(&LogConfig::new(&dir).log_path()).unwrap();
-        assert_eq!(records.len(), 4);
-        assert_eq!(records[0], batch_record(1));
-        assert!(matches!(records[3], LogRecord::Ack { .. }));
-        std::fs::remove_dir_all(dir).ok();
+    fn json_config(dir: &Path) -> LogConfig {
+        LogConfig::new(dir).with_format(DurabilityFormat::Json)
     }
 
     #[test]
-    fn group_commit_defers_syncs() {
+    fn append_and_read_round_trip_both_formats() {
+        for (tag, format) in [
+            ("rt-bin", DurabilityFormat::Binary),
+            ("rt-json", DurabilityFormat::Json),
+        ] {
+            let dir = tempdir(tag);
+            let cfg = LogConfig::new(&dir).with_format(format);
+            let mut log = CommandLog::open(cfg.clone()).unwrap();
+            for i in 1..=3 {
+                let synced = log.append(&batch_record(i)).unwrap();
+                assert!(synced); // group_commit_n = 1
+            }
+            log.append(&LogRecord::Ack {
+                batch: BatchId::new(1),
+            })
+            .unwrap();
+            drop(log);
+            assert_eq!(sniff_format(&cfg.log_path()).unwrap(), Some(format));
+            let records = read_log(&cfg.log_path()).unwrap();
+            assert_eq!(records.len(), 4);
+            assert_eq!(records[0], batch_record(1));
+            assert!(matches!(records[3], LogRecord::Ack { .. }));
+            std::fs::remove_dir_all(dir).ok();
+        }
+    }
+
+    #[test]
+    fn binary_records_round_trip_all_value_types() {
+        let record = LogRecord::Invocation {
+            batch: BatchId::new(u64::MAX),
+            proc: String::new(),
+            rows: vec![
+                Row::new(vec![
+                    Value::Null,
+                    Value::Int(i64::MIN),
+                    Value::Float(-0.0),
+                    Value::Text(String::new()),
+                    Value::Bool(true),
+                    Value::Timestamp(-1),
+                ]),
+                Row::new(vec![]),
+            ],
+            ts: i64::MIN,
+        };
+        let mut buf = Vec::new();
+        record.encode_binary(&mut buf);
+        let back = LogRecord::decode_binary(&mut codec::Reader::new(&buf)).unwrap();
+        assert_eq!(back, record);
+    }
+
+    #[test]
+    fn group_commit_defers_syncs_and_batches_writes() {
         let dir = tempdir("gc");
-        let mut log = CommandLog::open(LogConfig::with_group_commit(&dir, 3)).unwrap();
+        let cfg = LogConfig::with_group_commit(&dir, 3);
+        let mut log = CommandLog::open(cfg.clone()).unwrap();
         assert!(!log.append(&batch_record(1)).unwrap());
+        // Nothing reached the file yet: the group is buffered in memory.
+        assert_eq!(std::fs::metadata(cfg.log_path()).unwrap().len(), 0);
         assert!(!log.append(&batch_record(2)).unwrap());
         assert!(log.append(&batch_record(3)).unwrap());
         assert_eq!(log.syncs(), 1);
+        // The whole group (header + 3 frames) landed in one write.
+        let after_group = std::fs::metadata(cfg.log_path()).unwrap().len();
+        assert_eq!(after_group, log.bytes_written());
         log.append(&batch_record(4)).unwrap();
         log.sync().unwrap();
         assert_eq!(log.syncs(), 2);
@@ -279,14 +761,37 @@ mod tests {
     }
 
     #[test]
-    fn torn_tail_tolerated() {
-        let dir = tempdir("torn");
+    fn torn_tail_tolerated_binary() {
+        let dir = tempdir("torn-bin");
         let cfg = LogConfig::new(&dir);
         let mut log = CommandLog::open(cfg.clone()).unwrap();
         log.append(&batch_record(1)).unwrap();
         log.append(&batch_record(2)).unwrap();
         drop(log);
-        // Simulate a torn write.
+        // Simulate a torn write: a frame that never finished.
+        let mut torn = Vec::new();
+        let f = codec::begin_frame(&mut torn);
+        batch_record(3).encode_binary(&mut torn);
+        codec::end_frame(&mut torn, f);
+        let mut file = OpenOptions::new()
+            .append(true)
+            .open(cfg.log_path())
+            .unwrap();
+        file.write_all(&torn[..torn.len() - 2]).unwrap();
+        drop(file);
+        let records = read_log(&cfg.log_path()).unwrap();
+        assert_eq!(records.len(), 2);
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn torn_tail_tolerated_json() {
+        let dir = tempdir("torn-json");
+        let cfg = json_config(&dir);
+        let mut log = CommandLog::open(cfg.clone()).unwrap();
+        log.append(&batch_record(1)).unwrap();
+        log.append(&batch_record(2)).unwrap();
+        drop(log);
         let mut f = OpenOptions::new()
             .append(true)
             .open(cfg.log_path())
@@ -299,10 +804,130 @@ mod tests {
     }
 
     #[test]
+    fn open_trims_torn_tail_before_appending() {
+        for (tag, format) in [
+            ("trim-bin", DurabilityFormat::Binary),
+            ("trim-json", DurabilityFormat::Json),
+        ] {
+            let dir = tempdir(tag);
+            let cfg = LogConfig::new(&dir).with_format(format);
+            {
+                let mut log = CommandLog::open(cfg.clone()).unwrap();
+                log.append(&batch_record(1)).unwrap();
+                log.append(&batch_record(2)).unwrap();
+            }
+            // Crash mid-append: a torn suffix after the intact records.
+            let mut file = OpenOptions::new()
+                .append(true)
+                .open(cfg.log_path())
+                .unwrap();
+            match format {
+                DurabilityFormat::Binary => {
+                    let mut torn = Vec::new();
+                    let f = codec::begin_frame(&mut torn);
+                    batch_record(3).encode_binary(&mut torn);
+                    codec::end_frame(&mut torn, f);
+                    file.write_all(&torn[..torn.len() - 2]).unwrap();
+                }
+                DurabilityFormat::Json => {
+                    file.write_all(b"{\"BorderBatch\":{\"batch\":3,").unwrap();
+                }
+            }
+            drop(file);
+            // Reopen + append: the torn bytes must be trimmed first, or
+            // the new record would be unreachable on the next recovery.
+            {
+                let mut log = CommandLog::open(cfg.clone()).unwrap();
+                log.append(&batch_record(4)).unwrap();
+            }
+            let records = read_log(&cfg.log_path()).unwrap();
+            assert_eq!(
+                records,
+                vec![batch_record(1), batch_record(2), batch_record(4)],
+                "{tag}: post-trim log must be prefix + new record"
+            );
+            std::fs::remove_dir_all(dir).ok();
+        }
+    }
+
+    #[test]
+    fn torn_header_restarts_the_log_empty() {
+        // The very first write tore inside the 8-byte file header: no
+        // record was ever durable, so open() restarts the file from
+        // scratch instead of appending after the partial header (which
+        // would make the log permanently unreadable).
+        let dir = tempdir("torn-header");
+        let cfg = LogConfig::new(&dir);
+        let mut partial = Vec::new();
+        codec::put_file_header(&mut partial, codec::LOG_MAGIC);
+        std::fs::write(cfg.log_path(), &partial[..6]).unwrap();
+
+        let mut log = CommandLog::open(cfg.clone()).unwrap();
+        assert_eq!(log.active_format(), DurabilityFormat::Binary);
+        log.append(&batch_record(1)).unwrap();
+        drop(log);
+        assert_eq!(read_log(&cfg.log_path()).unwrap(), vec![batch_record(1)]);
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn open_leaves_mid_file_json_corruption_untouched() {
+        // In-place corruption of a middle JSON line is NOT a torn tail:
+        // trimming there would destroy the intact, fsynced records after
+        // it. open() must leave the file alone (replay keeps the legacy
+        // stop-at-bad-line behavior).
+        let dir = tempdir("json-midcorrupt");
+        let cfg = json_config(&dir);
+        {
+            let mut log = CommandLog::open(cfg.clone()).unwrap();
+            for i in 1..=3 {
+                log.append(&batch_record(i)).unwrap();
+            }
+        }
+        let mut bytes = std::fs::read(cfg.log_path()).unwrap();
+        // Corrupt a byte inside the SECOND line, keeping its newline.
+        let first_nl = bytes.iter().position(|&b| b == b'\n').unwrap();
+        bytes[first_nl + 5] = b'\x01';
+        std::fs::write(cfg.log_path(), &bytes).unwrap();
+
+        let log = CommandLog::open(cfg.clone()).unwrap();
+        drop(log);
+        assert_eq!(
+            std::fs::metadata(cfg.log_path()).unwrap().len(),
+            bytes.len() as u64,
+            "open() must not truncate away intact records after corruption"
+        );
+        assert_eq!(read_log(&cfg.log_path()).unwrap(), vec![batch_record(1)]);
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn mid_log_corruption_is_a_clear_error_not_a_panic() {
+        let dir = tempdir("corrupt");
+        let cfg = LogConfig::new(&dir);
+        let mut log = CommandLog::open(cfg.clone()).unwrap();
+        for i in 1..=5 {
+            log.append(&batch_record(i)).unwrap();
+        }
+        drop(log);
+        // Flip one payload byte inside the FIRST record's frame — valid
+        // frames follow it, so this must classify as corruption.
+        let mut bytes = std::fs::read(cfg.log_path()).unwrap();
+        let mid = codec::FILE_HEADER_LEN + codec::FRAME_HEADER_LEN + 2;
+        bytes[mid] ^= 0x20;
+        std::fs::write(cfg.log_path(), &bytes).unwrap();
+        let err = read_log(&cfg.log_path()).unwrap_err();
+        assert_eq!(err.kind(), "recovery");
+        assert!(err.to_string().contains("corrupted"), "{err}");
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
     fn missing_log_reads_empty() {
         let dir = tempdir("missing");
         let records = read_log(&dir.join("nope.log")).unwrap();
         assert!(records.is_empty());
+        assert_eq!(sniff_format(&dir.join("nope.log")).unwrap(), None);
         std::fs::remove_dir_all(dir).ok();
     }
 
@@ -318,6 +943,100 @@ mod tests {
         let records = read_log(&cfg.log_path()).unwrap();
         assert_eq!(records.len(), 1);
         assert_eq!(records[0], batch_record(2));
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn open_adopts_existing_format_until_truncate() {
+        let dir = tempdir("adopt");
+        // A legacy JSON log left by a pre-binary engine...
+        {
+            let mut log = CommandLog::open(json_config(&dir)).unwrap();
+            log.append(&batch_record(1)).unwrap();
+        }
+        // ...opened by a binary-configured engine: appends stay JSON so
+        // the file remains self-consistent.
+        let cfg = LogConfig::new(&dir); // binary default
+        let mut log = CommandLog::open(cfg.clone()).unwrap();
+        assert_eq!(log.active_format(), DurabilityFormat::Json);
+        log.append(&batch_record(2)).unwrap();
+        assert_eq!(
+            sniff_format(&cfg.log_path()).unwrap(),
+            Some(DurabilityFormat::Json)
+        );
+        assert_eq!(read_log(&cfg.log_path()).unwrap().len(), 2);
+        // Truncation switches the file to the configured (binary) format.
+        log.truncate().unwrap();
+        log.append(&batch_record(3)).unwrap();
+        drop(log);
+        assert_eq!(
+            sniff_format(&cfg.log_path()).unwrap(),
+            Some(DurabilityFormat::Binary)
+        );
+        assert_eq!(read_log(&cfg.log_path()).unwrap(), vec![batch_record(3)]);
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn gc_drops_only_acked_covered_batches() {
+        let dir = tempdir("gc-acked");
+        let cfg = LogConfig::new(&dir);
+        let mut log = CommandLog::open(cfg.clone()).unwrap();
+        for i in 1..=4 {
+            log.append(&batch_record(i)).unwrap();
+        }
+        // Batches 1 and 2 completed their workflows; 3 and 4 are still
+        // in flight (no ack) — e.g. queued on another partition.
+        for i in 1..=2 {
+            log.append(&LogRecord::Ack {
+                batch: BatchId::new(i),
+            })
+            .unwrap();
+        }
+        let before = std::fs::metadata(cfg.log_path()).unwrap().len();
+        // A snapshot covers everything submitted so far...
+        let dropped = log.gc_acked_through(BatchId::new(4)).unwrap();
+        // ...but only the acked batches (and their acks) may go.
+        assert_eq!(dropped, 4); // 2 batch records + 2 acks
+        let after = std::fs::metadata(cfg.log_path()).unwrap().len();
+        assert!(after < before, "log did not shrink: {before} -> {after}");
+        let remaining = read_log(&cfg.log_path()).unwrap();
+        assert_eq!(remaining, vec![batch_record(3), batch_record(4)]);
+        // Idempotent: nothing more to drop.
+        assert_eq!(log.gc_acked_through(BatchId::new(4)).unwrap(), 0);
+        // The log keeps accepting appends after the rewrite.
+        log.append(&batch_record(5)).unwrap();
+        assert_eq!(read_log(&cfg.log_path()).unwrap().len(), 3);
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn gc_migrates_legacy_json_logs_to_the_configured_format() {
+        let dir = tempdir("gc-migrate");
+        {
+            let mut log = CommandLog::open(json_config(&dir)).unwrap();
+            for i in 1..=3 {
+                log.append(&batch_record(i)).unwrap();
+            }
+            log.append(&LogRecord::Ack {
+                batch: BatchId::new(1),
+            })
+            .unwrap();
+        }
+        let cfg = LogConfig::new(&dir); // binary default
+        let mut log = CommandLog::open(cfg.clone()).unwrap();
+        assert_eq!(log.active_format(), DurabilityFormat::Json);
+        let dropped = log.gc_acked_through(BatchId::new(3)).unwrap();
+        assert_eq!(dropped, 2); // batch 1 + its ack
+        assert_eq!(log.active_format(), DurabilityFormat::Binary);
+        assert_eq!(
+            sniff_format(&cfg.log_path()).unwrap(),
+            Some(DurabilityFormat::Binary)
+        );
+        assert_eq!(
+            read_log(&cfg.log_path()).unwrap(),
+            vec![batch_record(2), batch_record(3)]
+        );
         std::fs::remove_dir_all(dir).ok();
     }
 }

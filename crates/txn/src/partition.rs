@@ -772,8 +772,16 @@ impl Partition {
 
     // ---- durability ------------------------------------------------------------
 
-    /// Write a snapshot and truncate the command log. Must be called at
-    /// quiescence (drain() is synchronous, so any time between client calls).
+    /// Write a snapshot and garbage-collect the command log. Must be
+    /// called at quiescence (drain() is synchronous, so any time between
+    /// client calls).
+    ///
+    /// The log GC drops every record of a batch that is both acked and
+    /// covered by the fresh snapshot ([`CommandLog::gc_acked_through`]);
+    /// at quiescence that empties the log, but unacked records — possible
+    /// once workflows span partitions — are always kept replayable. The
+    /// rewrite also migrates a sniffed legacy-JSON log to the configured
+    /// format.
     pub fn snapshot(&mut self) -> Result<()> {
         let cfg = self
             .config
@@ -786,9 +794,12 @@ impl Partition {
             Some(BatchId::new(self.next_batch)),
             self.clock.now(),
         );
-        snap.write_to(&cfg.snapshot_path())?;
+        snap.write_to(&cfg.snapshot_path(), cfg.format)?;
+        // A pre-binary snapshot under the legacy name is now superseded;
+        // leaving it would let a future recovery read stale state.
+        let _ = std::fs::remove_file(cfg.legacy_snapshot_path());
         if let Some(log) = &mut self.log {
-            log.truncate()?;
+            self.stats.log_gc_dropped += log.gc_acked_through(BatchId::new(self.next_batch))?;
         }
         self.commits_since_snapshot = 0;
         Ok(())
@@ -801,6 +812,17 @@ impl Partition {
             self.next_txn = snap.last_txn.map(|t| t.raw() + 1).unwrap_or(1);
             self.clock = Clock::starting_at(snap.clock_micros);
             self.engine.restore_db(snap.database);
+        }
+        Ok(())
+    }
+
+    /// Internal: append fresh Ack records for `batches` (recovery path).
+    /// Replay suppresses re-logging, so a batch whose pre-crash Ack was
+    /// lost in a torn tail would otherwise stay unacked forever and its
+    /// input record would survive every retention GC.
+    pub(crate) fn ack_batches(&mut self, batches: &[BatchId]) -> Result<()> {
+        for &batch in batches {
+            self.log_record(&LogRecord::Ack { batch })?;
         }
         Ok(())
     }

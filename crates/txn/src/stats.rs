@@ -36,6 +36,9 @@ pub struct PeStats {
     pub log_records: u64,
     /// Command-log fsyncs issued (group commit makes this < records).
     pub log_syncs: u64,
+    /// Command-log records dropped by upstream-backup GC (acked batches
+    /// already covered by a snapshot, removed at retention points).
+    pub log_gc_dropped: u64,
     /// Sum of per-TE wall latencies, in nanoseconds (with `committed` this
     /// gives mean latency; the histogram gives the shape).
     pub latency_ns_total: u128,

@@ -5,12 +5,14 @@
 //! [`BenchmarkGroup::throughput`] / [`BenchmarkGroup::bench_function`],
 //! [`Bencher::iter`] / [`Bencher::iter_with_setup`], [`BenchmarkId`],
 //! [`Throughput`], and the [`criterion_group!`] / [`criterion_main!`]
-//! macros — with a simple mean-of-samples wall-clock measurement instead of
-//! criterion's statistical machinery. Reports are plain text on stdout:
+//! macros — with simple wall-clock sampling instead of criterion's
+//! statistical machinery. Each benchmark reports the mean plus the p50 and
+//! p95 sample quantiles (tail latency matters for fsync-bound paths like
+//! the E4/E6 group-commit sweep). Reports are plain text on stdout:
 //!
 //! ```text
 //! e2_voter_throughput/sstore_push/2000
-//!                         time:   [12.345 ms]  thrpt:  [162.0 Kelem/s]
+//!     time: [12.345 ms]  p50: [12.001 ms]  p95: [14.210 ms]  thrpt: [162.0 Kelem/s]
 //! ```
 
 use std::fmt;
@@ -170,13 +172,27 @@ pub fn black_box<T>(x: T) -> T {
     std::hint::black_box(x)
 }
 
+/// Sample quantile by the nearest-rank method (q in [0, 1]; the samples
+/// slice must be sorted).
+fn quantile(sorted: &[Duration], q: f64) -> Duration {
+    let rank = ((sorted.len() as f64 * q).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
 fn report(id: &str, samples: &[Duration], throughput: Option<Throughput>) {
     if samples.is_empty() {
         println!("{id:<40} (no samples)");
         return;
     }
     let mean = samples.iter().sum::<Duration>() / samples.len() as u32;
-    let mut line = format!("{id:<48} time: [{}]", fmt_duration(mean));
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable();
+    let mut line = format!(
+        "{id:<48} time: [{}]  p50: [{}]  p95: [{}]",
+        fmt_duration(mean),
+        fmt_duration(quantile(&sorted, 0.50)),
+        fmt_duration(quantile(&sorted, 0.95)),
+    );
     if let Some(t) = throughput {
         let per_sec = |count: u64| count as f64 / mean.as_secs_f64();
         match t {
