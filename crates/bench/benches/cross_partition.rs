@@ -1,0 +1,55 @@
+//! E11 — cross-partition transactions: multi-sited batches under
+//! two-phase commit vs the same rows pre-sharded onto the
+//! single-partition fast path, plus the cross-partition workflow edge
+//! pipeline. The interesting numbers are the 2PC overhead per TE (the
+//! price of atomicity across workers) and the fast path staying at PR 2
+//! ingest cost.
+//!
+//! Set `SSTORE_BENCH_SMOKE=1` for a 1-sample smoke run (CI uses this to
+//! prove the bench executes, not to measure).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sstore_bench::{exp_e11_edges, exp_e11_run};
+
+const BATCH: usize = 64;
+
+fn smoke() -> bool {
+    std::env::var_os("SSTORE_BENCH_SMOKE").is_some()
+}
+
+fn cross_partition(c: &mut Criterion) {
+    let events = if smoke() { 256 } else { 4_096 };
+    let mut g = c.benchmark_group("e11_cross_partition");
+    g.sample_size(if smoke() { 2 } else { 5 });
+    g.throughput(Throughput::Elements(events as u64));
+
+    // Correctness gate before measuring: 2PC must give the same answer as
+    // the fast path — atomicity is the product, never a different state.
+    let (_, multi_state, stats) = exp_e11_run(2, events, BATCH, true);
+    let (_, single_state, _) = exp_e11_run(2, events, BATCH, false);
+    assert_eq!(
+        multi_state, single_state,
+        "multi-sited state diverged from single-sited"
+    );
+    assert!(
+        stats.multi_partition_txns > 0,
+        "multi-sited mode never engaged 2PC"
+    );
+
+    for n in [2usize, 4] {
+        g.bench_function(
+            BenchmarkId::new(format!("single_sited/{n}p"), events),
+            |b| b.iter(|| exp_e11_run(n, events, BATCH, false)),
+        );
+        g.bench_function(BenchmarkId::new(format!("multi_sited/{n}p"), events), |b| {
+            b.iter(|| exp_e11_run(n, events, BATCH, true))
+        });
+    }
+    g.bench_function(BenchmarkId::new("workflow_edge/2p", events), |b| {
+        b.iter(|| exp_e11_edges(2, events, BATCH))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, cross_partition);
+criterion_main!(benches);

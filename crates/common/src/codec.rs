@@ -43,16 +43,56 @@ use crate::error::{Error, Result};
 use crate::row::Row;
 use crate::value::Value;
 use serde::{json, Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Format version stamped into every binary log / snapshot header.
 /// Bumped on breaking layout changes; readers reject newer versions.
-pub const CODEC_VERSION: u32 = 1;
+///
+/// * **v1** — the PR 4 layout: snapshot catalog metadata travels through
+///   the serde-tree bridge ([`to_bytes`]), command logs know only the
+///   single-sited record tags.
+/// * **v2** — catalog metadata is encoded straight into the frame buffer
+///   (no intermediate tree), and the command log gains the coordinator
+///   record tags ([`REC_PREPARE`], [`REC_DECISION`], [`REC_FORWARD`],
+///   [`REC_EDGE_HW`]). v1 files remain readable: the snapshot decoder
+///   branches on the header version, and v1 logs simply never contain the
+///   new tags.
+pub const CODEC_VERSION: u32 = 2;
 
 /// Magic bytes opening a binary command log.
 pub const LOG_MAGIC: [u8; 4] = *b"SSLG";
 
 /// Magic bytes opening a binary snapshot.
 pub const SNAPSHOT_MAGIC: [u8; 4] = *b"SSNP";
+
+/// Magic bytes opening a coordinator decision log (`coord.log`).
+pub const COORD_MAGIC: [u8; 4] = *b"SSCO";
+
+// ---------------------------------------------------------------------------
+// Command-log record tags
+// ---------------------------------------------------------------------------
+// One byte opening every binary log-record payload. Defined here (not in
+// the txn crate) so the on-disk vocabulary is owned by the codec layer and
+// every crate that frames records agrees on the numbering.
+
+/// A border input batch entering a workflow.
+pub const REC_BORDER: u8 = 0;
+/// A direct client invocation (H-Store mode / OLTP requests).
+pub const REC_INVOKE: u8 = 1;
+/// A batch's workflow fully committed (upstream backup may discard it).
+pub const REC_ACK: u8 = 2;
+/// A 2PC participant prepared a fragment of a multi-sited transaction
+/// (input logged; undo held open until the decision).
+pub const REC_PREPARE: u8 = 3;
+/// A 2PC participant learned the global outcome of a prepared fragment.
+pub const REC_DECISION: u8 = 4;
+/// A batch forwarded across a cross-partition workflow edge (logged on
+/// the *receiving* partition before execution — the edge's upstream
+/// backup).
+pub const REC_FORWARD: u8 = 5;
+/// Per-(source partition, stream) forwarding high-water marks, appended
+/// at snapshot points so edge dedup survives log GC.
+pub const REC_EDGE_HW: u8 = 6;
 
 /// File header size: magic + version.
 pub const FILE_HEADER_LEN: usize = 8;
@@ -75,6 +115,64 @@ pub enum DurabilityFormat {
     /// back-compat replay of pre-binary durability dirs and for the E6
     /// json-vs-binary benchmarks.
     Json,
+}
+
+// ---------------------------------------------------------------------------
+// Codec metrics
+// ---------------------------------------------------------------------------
+
+static TREE_NODES_ENCODED: AtomicU64 = AtomicU64::new(0);
+static TREE_ENCODES: AtomicU64 = AtomicU64::new(0);
+static DIRECT_META_ENCODES: AtomicU64 = AtomicU64::new(0);
+
+/// Process-wide counters for the metadata encoding paths.
+///
+/// The serde-tree bridge allocates one [`json::Value`] node per field it
+/// serializes; `tree_nodes_encoded` counts those allocations as they
+/// happen, and `direct_meta_encodes` counts metadata blobs (catalogs,
+/// coordinator records) that went straight to the frame buffer instead.
+/// A hot path that used to pay the bridge shows up as `direct` increments
+/// with a flat `tree_nodes` curve.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CodecMetrics {
+    /// Tree nodes allocated by the serde-tree bridge ([`to_bytes`] /
+    /// [`encode_tree`]) — one per encoded scalar, array, or object.
+    pub tree_nodes_encoded: u64,
+    /// Whole-value encodes that went through the tree bridge.
+    pub tree_encodes: u64,
+    /// Metadata encodes that bypassed the tree and wrote straight into
+    /// the frame buffer (zero intermediate allocations counted above).
+    pub direct_meta_encodes: u64,
+}
+
+impl CodecMetrics {
+    /// Current counter values.
+    pub fn snapshot() -> CodecMetrics {
+        CodecMetrics {
+            tree_nodes_encoded: TREE_NODES_ENCODED.load(Ordering::Relaxed),
+            tree_encodes: TREE_ENCODES.load(Ordering::Relaxed),
+            direct_meta_encodes: DIRECT_META_ENCODES.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Counter deltas since `earlier` (saturating).
+    pub fn since(&self, earlier: &CodecMetrics) -> CodecMetrics {
+        CodecMetrics {
+            tree_nodes_encoded: self
+                .tree_nodes_encoded
+                .saturating_sub(earlier.tree_nodes_encoded),
+            tree_encodes: self.tree_encodes.saturating_sub(earlier.tree_encodes),
+            direct_meta_encodes: self
+                .direct_meta_encodes
+                .saturating_sub(earlier.direct_meta_encodes),
+        }
+    }
+}
+
+/// Record one metadata encode that bypassed the serde-tree bridge.
+/// Called by direct metadata codecs (catalog, coordinator log).
+pub fn count_direct_meta_encode() {
+    DIRECT_META_ENCODES.fetch_add(1, Ordering::Relaxed);
 }
 
 // ---------------------------------------------------------------------------
@@ -393,6 +491,7 @@ const TREE_OBJECT: u8 = 7;
 
 /// Binary-encode a serde [`json::Value`] tree.
 pub fn encode_tree(v: &json::Value, out: &mut Vec<u8>) {
+    TREE_NODES_ENCODED.fetch_add(1, Ordering::Relaxed);
     match v {
         json::Value::Null => out.push(TREE_NULL),
         json::Value::Bool(false) => out.push(TREE_FALSE),
@@ -472,6 +571,7 @@ pub fn decode_tree(r: &mut Reader<'_>) -> Result<json::Value> {
 /// Use for cold metadata (catalogs, schemas, index definitions); hot data
 /// has dedicated codecs that skip the tree.
 pub fn to_bytes<T: Serialize + ?Sized>(value: &T) -> Vec<u8> {
+    TREE_ENCODES.fetch_add(1, Ordering::Relaxed);
     let mut out = Vec::new();
     encode_tree(&value.to_json(), &mut out);
     out

@@ -162,6 +162,61 @@ impl Schema {
     pub fn column_names(&self) -> Vec<&str> {
         self.columns.iter().map(|c| c.name.as_str()).collect()
     }
+
+    /// Binary-encode the schema straight into `out` — no serde tree.
+    /// Layout: column count, then `(name, type code, nullable)` per
+    /// column, then the primary-key column indices.
+    pub fn encode_binary(&self, out: &mut Vec<u8>) {
+        crate::codec::put_uvarint(out, self.columns.len() as u64);
+        for c in &self.columns {
+            crate::codec::put_str(out, &c.name);
+            out.push(c.ty.code());
+            out.push(c.nullable as u8);
+        }
+        crate::codec::put_uvarint(out, self.pk.len() as u64);
+        for &i in &self.pk {
+            crate::codec::put_uvarint(out, i as u64);
+        }
+    }
+
+    /// Decode a schema encoded by [`Schema::encode_binary`].
+    pub fn decode_binary(r: &mut crate::codec::Reader<'_>) -> Result<Schema> {
+        let n = r.uvarint()? as usize;
+        if n > r.remaining() {
+            return Err(Error::Codec(format!(
+                "schema column count {n} exceeds remaining input"
+            )));
+        }
+        let mut columns = Vec::with_capacity(n);
+        for _ in 0..n {
+            let name = r.str()?.to_string();
+            let code = r.u8()?;
+            let ty = DataType::from_code(code)
+                .ok_or_else(|| Error::Codec(format!("unknown data-type code {code}")))?;
+            let nullable = match r.u8()? {
+                0 => false,
+                1 => true,
+                b => return Err(Error::Codec(format!("bad nullable flag {b}"))),
+            };
+            columns.push(Column { name, ty, nullable });
+        }
+        let n_pk = r.uvarint()? as usize;
+        if n_pk > columns.len() {
+            return Err(Error::Codec(format!(
+                "schema pk count {n_pk} exceeds {} columns",
+                columns.len()
+            )));
+        }
+        let mut pk = Vec::with_capacity(n_pk);
+        for _ in 0..n_pk {
+            let i = r.uvarint()? as usize;
+            if i >= columns.len() {
+                return Err(Error::Codec(format!("pk column index {i} out of range")));
+            }
+            pk.push(i);
+        }
+        Ok(Schema { columns, pk })
+    }
 }
 
 #[cfg(test)]

@@ -51,6 +51,29 @@ impl DataType {
         }
     }
 
+    /// Stable one-byte code for the binary metadata codec.
+    pub fn code(self) -> u8 {
+        match self {
+            DataType::Int => 0,
+            DataType::Float => 1,
+            DataType::Text => 2,
+            DataType::Bool => 3,
+            DataType::Timestamp => 4,
+        }
+    }
+
+    /// Inverse of [`DataType::code`].
+    pub fn from_code(code: u8) -> Option<DataType> {
+        Some(match code {
+            0 => DataType::Int,
+            1 => DataType::Float,
+            2 => DataType::Text,
+            3 => DataType::Bool,
+            4 => DataType::Timestamp,
+            _ => return None,
+        })
+    }
+
     /// SQL keyword for this type, as accepted by the parser.
     pub fn sql_name(self) -> &'static str {
         match self {

@@ -29,18 +29,54 @@
 //!   partition order (cross-partition aggregation stays the caller's job,
 //!   as in any shared-nothing system).
 //!
-//! Cross-partition *transactions* are still deliberately out of scope —
-//! the paper's demo never leaves one site. Routing a tuple to the wrong
-//! partition yields the same answer a mis-partitioned H-Store would: each
-//! partition sees only its share.
+//! # Cross-partition transactions (2PC)
+//!
+//! A border submission of a procedure declared `multi_partition` whose
+//! rows route to more than one partition runs as **one global
+//! transaction** under two-phase commit ([`crate::coordinator`]):
+//!
+//! 1. the coordinator fragments the batch and sends `WorkerMsg::Prepare`
+//!    down each involved partition's ingest queue;
+//! 2. each participant logs the fragment (fsync), executes it with the
+//!    **undo log held open**, and votes;
+//! 3. the coordinator makes the decision durable (`coord.log` — the
+//!    commit point) and sends `WorkerMsg::Decide`;
+//! 4. participants commit (dropping the undo, firing PE triggers) or
+//!    roll back, and resolve the [`Ticket`].
+//!
+//! Between its vote and the decision a worker **defers** every other
+//! queued job — the fragment's uncommitted writes are in storage, and
+//! serial execution is what makes the rollback sound. A submission whose
+//! rows all land on one partition skips all of this: the coordinator
+//! detects it and takes the PR 2 ingest path byte-for-byte (the
+//! single-partition fast path).
+//!
+//! # Cross-partition workflow edges
+//!
+//! A stream declared a cross-partition edge ([`Cluster::with_edges`])
+//! carries tuples from a committing TE on one partition to the consuming
+//! procedures on the partitions owning the downstream keys: the emitting
+//! worker buffers an envelope, the **forward hub** (a dedicated router
+//! thread) shards it by the edge's key column, and each receiving worker
+//! logs the forward durably (dedup'd by per-edge high-water mark) before
+//! executing it — ordered, exactly-once dataflow across partitions. The
+//! emitting batch's input record stays replayable (unacked) until every
+//! receiver has logged its shard: upstream backup spans the edge.
+//! Workers never block on the hub (its queue is unbounded), and the hub
+//! is the only thread that blocks on worker queues, so forward storms
+//! cannot deadlock the worker set.
 
 use crate::builder::SStoreBuilder;
+use crate::coordinator::{CoordStats, Coordinator, CoordinatorLog};
 use crate::metrics::{ClusterMetrics, PartitionMetrics};
 use crate::router::{RouteSpec, Router, Ticket};
 use crate::SStore;
-use sstore_common::{Error, PartitionId, Result, Row, Value};
+use sstore_common::{BatchId, Error, PartitionId, Result, Row, Value};
+use sstore_txn::recovery::recover_with_decisions;
 use sstore_txn::TxnOutcome;
-use std::sync::mpsc;
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::atomic::{AtomicI64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
 
 /// Default bound of each worker's ingest queue, in queued submissions.
@@ -48,8 +84,8 @@ use std::thread::JoinHandle;
 /// the worker drains a slot.
 pub const DEFAULT_INGEST_QUEUE_DEPTH: usize = 256;
 
-/// One unit of work on a partition worker's queue.
-enum Job {
+/// One message on a partition worker's ingest queue.
+enum WorkerMsg {
     /// A border-batch shard for this partition.
     Ingest {
         proc: String,
@@ -67,31 +103,84 @@ enum Job {
     Exec(Box<dyn FnOnce(&mut SStore) + Send>),
     /// Advance the partition's logical clock.
     AdvanceClock(i64),
+    /// 2PC phase 1: prepare a fragment of global transaction `gtid`.
+    /// The worker votes on `vote`, then blocks (deferring other queued
+    /// jobs) until the matching [`WorkerMsg::Decide`] arrives, and
+    /// finally resolves `reply` with the fragment's outcomes.
+    Prepare {
+        gtid: u64,
+        proc: String,
+        rows: Vec<Row>,
+        vote: mpsc::Sender<Result<()>>,
+        reply: mpsc::Sender<Result<Vec<TxnOutcome>>>,
+    },
+    /// 2PC phase 2: the coordinator's durable decision for `gtid`.
+    Decide { gtid: u64, commit: bool },
+    /// A shard of a cross-partition workflow edge, delivered by the hub.
+    Forward {
+        stream: String,
+        src: PartitionId,
+        src_batch: BatchId,
+        rows: Vec<Row>,
+    },
+    /// Every receiver of `batch`'s edge forwards has durably logged its
+    /// shard: release the emitting batch's upstream backup.
+    EdgeAck { batch: BatchId },
+}
+
+/// Messages to the forward hub (the cross-edge router thread).
+enum HubMsg {
+    /// An emitted batch bound for the partitions owning its keys.
+    Forward {
+        src: PartitionId,
+        fwd: sstore_txn::RemoteForward,
+    },
+    /// A receiver durably logged (or deduplicated) its shard of the
+    /// identified edge instance. `ok = false` means the log write failed:
+    /// the edge ack is withheld so the emitting batch stays replayable.
+    Logged {
+        src: PartitionId,
+        src_batch: BatchId,
+        stream: String,
+        ok: bool,
+    },
+    /// Cluster shutdown: drain what is queued, then exit.
+    Shutdown,
 }
 
 /// Handle to one partition worker thread.
 struct Worker {
     id: PartitionId,
     /// `None` once the cluster began shutdown.
-    tx: Option<mpsc::SyncSender<Job>>,
+    tx: Option<mpsc::SyncSender<WorkerMsg>>,
     handle: Option<JoinHandle<()>>,
 }
 
 impl Worker {
-    fn send(&self, job: Job) -> Result<()> {
+    fn send(&self, msg: WorkerMsg) -> Result<()> {
         self.tx
             .as_ref()
             .ok_or_else(|| Error::Internal(format!("partition {} is shut down", self.id)))?
-            .send(job)
+            .send(msg)
             .map_err(|_| Error::Internal(format!("partition worker {} disconnected", self.id)))
     }
 }
 
 /// A shared-nothing group of identically-deployed partitions, each run by
-/// a persistent worker thread (see module docs).
+/// a persistent worker thread, plus the cross-partition machinery: the
+/// 2PC coordinator and the forward hub (see module docs).
 pub struct Cluster {
     workers: Vec<Worker>,
     router: Router,
+    hub_tx: Option<mpsc::Sender<HubMsg>>,
+    hub_handle: Option<JoinHandle<()>>,
+    /// Outstanding cross-edge work units (envelopes + delivered shards);
+    /// zero ⇔ the dataflow between partitions is quiescent.
+    in_flight: Arc<AtomicI64>,
+    coordinator: Mutex<Coordinator>,
+    /// Procedures declared `multi_partition` (identical on every
+    /// partition; captured from partition 0 at build).
+    multi_partition_procs: HashSet<String>,
 }
 
 impl std::fmt::Debug for Cluster {
@@ -99,6 +188,7 @@ impl std::fmt::Debug for Cluster {
         f.debug_struct("Cluster")
             .field("partitions", &self.workers.len())
             .field("router", &self.router)
+            .field("multi_partition_procs", &self.multi_partition_procs)
             .finish()
     }
 }
@@ -134,6 +224,52 @@ impl Cluster {
         builder: &SStoreBuilder,
         deploy: impl Fn(&mut SStore) -> Result<()>,
     ) -> Result<Cluster> {
+        Cluster::build(n, route, queue_depth, builder, deploy, &[], false)
+    }
+
+    /// [`Cluster::with_config`] plus cross-partition workflow edge
+    /// declarations: each `(stream, key_col)` pair is declared on every
+    /// partition right after `deploy` runs, so emissions onto those
+    /// streams route through the forward hub from the first batch.
+    pub fn with_edges(
+        n: usize,
+        route: RouteSpec,
+        queue_depth: usize,
+        builder: &SStoreBuilder,
+        deploy: impl Fn(&mut SStore) -> Result<()>,
+        edges: &[(&str, usize)],
+    ) -> Result<Cluster> {
+        Cluster::build(n, route, queue_depth, builder, deploy, edges, false)
+    }
+
+    /// Rebuild a cluster from its durable state: reads the coordinator's
+    /// decision log, then recovers every partition from its `p{i}` dir —
+    /// resolving prepared-but-undecided 2PC fragments against the
+    /// coordinator's decisions (in-doubt fragments abort) — and finally
+    /// re-forwards any unacknowledged cross-edge batches (receivers
+    /// deduplicate by high-water mark, so the re-send is exactly-once).
+    /// `deploy` and `edges` must match the pre-crash topology.
+    pub fn recover(
+        n: usize,
+        route: RouteSpec,
+        queue_depth: usize,
+        builder: &SStoreBuilder,
+        deploy: impl Fn(&mut SStore) -> Result<()>,
+        edges: &[(&str, usize)],
+    ) -> Result<Cluster> {
+        Cluster::build(n, route, queue_depth, builder, deploy, edges, true)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn build(
+        n: usize,
+        route: RouteSpec,
+        queue_depth: usize,
+        builder: &SStoreBuilder,
+        deploy: impl Fn(&mut SStore) -> Result<()>,
+        edges: &[(&str, usize)],
+        recover: bool,
+    ) -> Result<Cluster> {
         if n == 0 {
             return Err(Error::Schedule(
                 "a cluster needs at least 1 partition".into(),
@@ -141,7 +277,28 @@ impl Cluster {
         }
         let router = Router::new(route, n)?;
         let depth = queue_depth.max(1);
-        let mut workers = Vec::with_capacity(n);
+
+        // Coordinator durability rides the builder's log dir (the
+        // partitions use `p{i}` subdirectories of it). The decision log
+        // is read on EVERY durable build — not just recovery — because
+        // the gtid sequence must never restart: a reused gtid whose old
+        // incarnation aborted in doubt would be retroactively committed
+        // by a later commit record on the next recovery.
+        let coord_dir = builder.config().log.as_ref().map(|l| l.dir.clone());
+        let past_decisions = match &coord_dir {
+            Some(dir) => CoordinatorLog::read(dir)?,
+            None => HashMap::new(),
+        };
+        let decisions = if recover {
+            past_decisions.clone()
+        } else {
+            HashMap::new()
+        };
+        let mut next_gtid = past_decisions.keys().max().copied().unwrap_or(0) + 1;
+
+        // Build (or recover) the partitions first, then wire the threads.
+        let mut partitions = Vec::with_capacity(n);
+        let mut multi_partition_procs = HashSet::new();
         for i in 0..n {
             let id = PartitionId::new(i as u32);
             let mut b = builder.clone().partition_id(id);
@@ -149,20 +306,80 @@ impl Cluster {
                 // Shared-nothing durability too: one log dir per site.
                 b = b.durability(log.dir.join(format!("p{i}")), log.group_commit_n);
             }
-            let mut p = b.build()?;
-            deploy(&mut p)?;
-            let (tx, rx) = mpsc::sync_channel::<Job>(depth);
+            let setup = |p: &mut SStore| -> Result<()> {
+                deploy(p)?;
+                for &(stream, key_col) in edges {
+                    p.declare_cross_edge(stream, key_col)?;
+                }
+                Ok(())
+            };
+            let p = if recover && b.config().log.is_some() {
+                recover_with_decisions(b.config().clone(), setup, &decisions)?
+            } else {
+                let mut p = b.build()?;
+                setup(&mut p)?;
+                p
+            };
+            if i == 0 {
+                multi_partition_procs = p.multi_partition_procs().into_iter().collect();
+            }
+            // A partition may have prepared gtids the coordinator never
+            // decided (in-doubt at the crash): sequence past those too.
+            next_gtid = next_gtid.max(p.max_gtid_seen() + 1);
+            partitions.push(p);
+        }
+        let coord_log = match &coord_dir {
+            Some(dir) => Some(CoordinatorLog::open(dir)?),
+            None => None,
+        };
+        let coordinator = Mutex::new(Coordinator::new(coord_log, next_gtid));
+
+        // Worker channels, then the hub (it holds every worker's sender),
+        // then the workers (each holds the hub's sender).
+        let mut worker_txs = Vec::with_capacity(n);
+        let mut worker_rxs = Vec::with_capacity(n);
+        for _ in 0..n {
+            let (tx, rx) = mpsc::sync_channel::<WorkerMsg>(depth);
+            worker_txs.push(tx);
+            worker_rxs.push(rx);
+        }
+        let in_flight = Arc::new(AtomicI64::new(0));
+        let (hub_tx, hub_rx) = mpsc::channel::<HubMsg>();
+        let hub_handle = {
+            let workers = worker_txs.clone();
+            let in_flight = Arc::clone(&in_flight);
+            std::thread::Builder::new()
+                .name("sstore-hub".into())
+                .spawn(move || hub_loop(hub_rx, workers, n, in_flight))
+                .map_err(|e| Error::Internal(format!("spawn forward hub: {e}")))?
+        };
+
+        let mut workers = Vec::with_capacity(n);
+        for (i, (p, rx)) in partitions.into_iter().zip(worker_rxs).enumerate() {
+            let id = PartitionId::new(i as u32);
+            let hub = hub_tx.clone();
+            let in_flight = Arc::clone(&in_flight);
             let handle = std::thread::Builder::new()
                 .name(format!("sstore-p{i}"))
-                .spawn(move || worker_loop(p, rx))
+                .spawn(move || worker_loop(id, p, rx, hub, in_flight))
                 .map_err(|e| Error::Internal(format!("spawn partition worker: {e}")))?;
             workers.push(Worker {
                 id,
-                tx: Some(tx),
+                tx: Some(worker_txs[i].clone()),
                 handle: Some(handle),
             });
         }
-        Ok(Cluster { workers, router })
+        drop(worker_txs);
+
+        Ok(Cluster {
+            workers,
+            router,
+            hub_tx: Some(hub_tx),
+            hub_handle: Some(hub_handle),
+            in_flight,
+            coordinator,
+            multi_partition_procs,
+        })
     }
 
     /// Number of partitions.
@@ -187,6 +404,17 @@ impl Cluster {
         Ok(())
     }
 
+    /// Declare `stream` a cross-partition workflow edge on every
+    /// partition (see [`Cluster::with_edges`], which also covers
+    /// recovery). Affects subsequent emissions only.
+    pub fn declare_cross_edge(&self, stream: &str, key_col: usize) -> Result<()> {
+        for i in 0..self.workers.len() {
+            let name = stream.to_string();
+            self.with_partition(i, move |db| db.declare_cross_edge(&name, key_col))?;
+        }
+        Ok(())
+    }
+
     /// Run `f` against one partition on its worker thread and return the
     /// result (dashboards, tests, snapshots). Blocks until the worker
     /// reaches this job in queue order.
@@ -202,7 +430,7 @@ impl Cluster {
     {
         let (tx, rx) = mpsc::channel();
         self.workers[i]
-            .send(Job::Exec(Box::new(move |db| {
+            .send(WorkerMsg::Exec(Box::new(move |db| {
                 let _ = tx.send(f(db));
             })))
             .expect("partition worker disconnected");
@@ -214,10 +442,30 @@ impl Cluster {
     /// if a queue is full — backpressure), and return a [`Ticket`] that
     /// resolves to per-partition TE outcomes. Rows with `NULL` partition
     /// keys are rejected before anything is enqueued.
+    ///
+    /// A procedure declared `multi_partition` whose rows route to more
+    /// than one partition runs as one global transaction under 2PC (see
+    /// the module docs); all other submissions keep the independent
+    /// per-partition semantics.
     pub fn submit_batch_async<R: Into<Row>>(&self, proc: &str, rows: Vec<R>) -> Result<Ticket> {
         let rows: Vec<Row> = rows.into_iter().map(Into::into).collect();
         let shards = self.router.shard(rows)?;
+        if self.multi_partition_procs.contains(proc) {
+            return self.coordinate(proc, shards);
+        }
         self.submit_shards(proc, shards)
+    }
+
+    /// Submit a border batch as **one atomic global transaction**,
+    /// regardless of the procedure's declaration: two-phase commit when
+    /// the rows straddle partitions, the ordinary single-partition path
+    /// when they don't. The returned [`Ticket`] resolves to every
+    /// participant's outcomes; if any participant votes no, the whole
+    /// transaction aborts everywhere and `wait()` surfaces the error.
+    pub fn submit_batch_atomic<R: Into<Row>>(&self, proc: &str, rows: Vec<R>) -> Result<Ticket> {
+        let rows: Vec<Row> = rows.into_iter().map(Into::into).collect();
+        let shards = self.router.shard(rows)?;
+        self.coordinate(proc, shards)
     }
 
     /// Submit a border batch split by the declared route, and block for
@@ -243,8 +491,7 @@ impl Cluster {
                  column {key_col} (declare_route first to change the partition key)"
             )));
         }
-        let rows: Vec<Row> = rows.into_iter().map(Into::into).collect();
-        let ticket = self.submit_shards(proc, self.router.shard(rows)?)?;
+        let ticket = self.submit_batch_async(proc, rows)?;
         let mut results: Vec<Vec<TxnOutcome>> =
             (0..self.workers.len()).map(|_| Vec::new()).collect();
         for po in ticket.wait()? {
@@ -260,7 +507,7 @@ impl Cluster {
                 continue;
             }
             let (tx, rx) = mpsc::channel();
-            worker.send(Job::Ingest {
+            worker.send(WorkerMsg::Ingest {
                 proc: proc.to_string(),
                 rows: shard,
                 reply: tx,
@@ -268,6 +515,115 @@ impl Cluster {
             pending.push((worker.id, rx));
         }
         Ok(Ticket { pending })
+    }
+
+    /// Run one submission through the transaction coordinator: the
+    /// single-partition fast path when at most one shard is non-empty
+    /// (byte-identical to plain ingest — no 2PC messages, no extra log
+    /// records), a full prepare/decide round otherwise. The coordinator
+    /// mutex serializes multi-sited transactions (H-Store's discipline),
+    /// which also rules out distributed deadlock between prepare rounds.
+    fn coordinate(&self, proc: &str, shards: Vec<Vec<Row>>) -> Result<Ticket> {
+        let involved = shards.iter().filter(|s| !s.is_empty()).count();
+        let mut coordinator = self
+            .coordinator
+            .lock()
+            .map_err(|_| Error::Internal("coordinator mutex poisoned".into()))?;
+        if involved <= 1 {
+            coordinator.note_fast_path();
+            drop(coordinator);
+            return self.submit_shards(proc, shards);
+        }
+
+        let gtid = coordinator.begin();
+        coordinator.note_multi_partition(involved);
+
+        // Phase 1: prepare every involved partition.
+        let mut votes = Vec::with_capacity(involved);
+        let mut pending = Vec::with_capacity(involved);
+        let mut participants = Vec::with_capacity(involved);
+        let mut send_err: Option<Error> = None;
+        for (worker, shard) in self.workers.iter().zip(shards) {
+            if shard.is_empty() {
+                continue;
+            }
+            let (vote_tx, vote_rx) = mpsc::channel();
+            let (reply_tx, reply_rx) = mpsc::channel();
+            match worker.send(WorkerMsg::Prepare {
+                gtid,
+                proc: proc.to_string(),
+                rows: shard,
+                vote: vote_tx,
+                reply: reply_tx,
+            }) {
+                Ok(()) => {
+                    votes.push(vote_rx);
+                    pending.push((worker.id, reply_rx));
+                    participants.push(worker.id);
+                }
+                Err(e) => {
+                    send_err = Some(e);
+                    break;
+                }
+            }
+        }
+
+        // Collect votes; any no (or dead worker, or failed send) aborts.
+        let mut commit = send_err.is_none();
+        for rx in votes {
+            match rx.recv() {
+                Ok(Ok(())) => {}
+                Ok(Err(_)) | Err(_) => commit = false,
+            }
+        }
+
+        // Commit point: the decision is durable before any participant
+        // may act on it. A failed commit write whose bytes were rolled
+        // back is *provably absent*, so flipping to abort is safe; a
+        // failure of UNKNOWN durability (kind "recovery") must release
+        // no outcome at all — live participants and a later recovery
+        // could otherwise resolve the gtid differently. The participants
+        // stay blocked until the cluster drops (which aborts them the
+        // same way a crash would) and the error surfaces to the caller.
+        if commit {
+            match coordinator.decide(gtid, true, &participants) {
+                Ok(()) => {}
+                Err(e) if e.kind() == "recovery" => {
+                    drop(coordinator);
+                    return Err(e);
+                }
+                Err(e) => {
+                    eprintln!("sstore: coordinator decision log failed, aborting gtid {gtid}: {e}");
+                    commit = false;
+                    coordinator.decide(gtid, false, &participants).ok();
+                }
+            }
+        } else {
+            // Presumed abort: an absent record already means abort, so a
+            // failed abort write cannot cause divergence.
+            coordinator.decide(gtid, false, &participants).ok();
+        }
+
+        // Phase 2: release the participants.
+        for id in &participants {
+            self.workers[id.raw() as usize]
+                .send(WorkerMsg::Decide { gtid, commit })
+                .ok();
+        }
+        drop(coordinator);
+        if let Some(e) = send_err {
+            return Err(e);
+        }
+        Ok(Ticket { pending })
+    }
+
+    /// The coordinator's counters (fast-path vs 2PC submissions, commit
+    /// and abort decisions).
+    pub fn coordinator_stats(&self) -> CoordStats {
+        self.coordinator
+            .lock()
+            .map(|c| c.stats())
+            .unwrap_or_default()
     }
 
     /// Run a read-only query on every partition **in parallel** and
@@ -278,7 +634,7 @@ impl Cluster {
         let mut replies = Vec::with_capacity(self.workers.len());
         for worker in &self.workers {
             let (tx, rx) = mpsc::channel();
-            worker.send(Job::Query {
+            worker.send(WorkerMsg::Query {
                 sql: sql.to_string(),
                 params: params.to_vec(),
                 reply: tx,
@@ -300,7 +656,44 @@ impl Cluster {
     /// point relative to this caller's submissions.
     pub fn advance_clock(&self, micros: i64) -> Result<()> {
         for worker in &self.workers {
-            worker.send(Job::AdvanceClock(micros))?;
+            worker.send(WorkerMsg::AdvanceClock(micros))?;
+        }
+        Ok(())
+    }
+
+    /// Block until the cross-partition dataflow is quiescent: every
+    /// queued job processed, no edge forwards in flight anywhere (hub or
+    /// worker queues), and every edge ack delivered. Call before reading
+    /// cross-edge results or shutting down cleanly.
+    pub fn quiesce(&self) -> Result<()> {
+        loop {
+            self.barrier()?;
+            if self.in_flight.load(Ordering::SeqCst) == 0 {
+                // Forwards enqueued before the barrier are processed; a
+                // second barrier flushes the edge acks those sent.
+                self.barrier()?;
+                if self.in_flight.load(Ordering::SeqCst) == 0 {
+                    return Ok(());
+                }
+            }
+            std::thread::yield_now();
+        }
+    }
+
+    /// Enqueue a no-op on every worker and wait for all of them — every
+    /// job queued before the barrier has been processed when it returns.
+    fn barrier(&self) -> Result<()> {
+        let mut replies = Vec::with_capacity(self.workers.len());
+        for worker in &self.workers {
+            let (tx, rx) = mpsc::channel::<()>();
+            worker.send(WorkerMsg::Exec(Box::new(move |_db| {
+                let _ = tx.send(());
+            })))?;
+            replies.push((worker.id, rx));
+        }
+        for (id, rx) in replies {
+            rx.recv()
+                .map_err(|_| Error::Internal(format!("partition worker {id} disconnected")))?;
         }
         Ok(())
     }
@@ -314,7 +707,7 @@ impl Cluster {
         for worker in &self.workers {
             let (tx, rx) = mpsc::channel();
             worker
-                .send(Job::Exec(Box::new(move |db| {
+                .send(WorkerMsg::Exec(Box::new(move |db| {
                     let _ = tx.send(PartitionMetrics::capture(db));
                 })))
                 .expect("partition worker disconnected");
@@ -326,6 +719,7 @@ impl Cluster {
                 .map(|rx| rx.recv().expect("partition worker dropped reply"))
                 .collect(),
             rows: sstore_common::RowMetrics::snapshot(),
+            coordinator: self.coordinator_stats(),
         }
     }
 
@@ -337,6 +731,26 @@ impl Cluster {
 
 impl Drop for Cluster {
     fn drop(&mut self) {
+        // Best-effort quiesce so in-flight cross-edge work lands before
+        // the hub goes away (bounded; a wedged worker must not hang the
+        // drop — recovery covers whatever is left).
+        for _ in 0..64 {
+            if self.barrier().is_err() {
+                break;
+            }
+            if self.in_flight.load(Ordering::SeqCst) == 0 {
+                break;
+            }
+            std::thread::yield_now();
+        }
+        // The hub holds clones of every worker sender, so it must exit
+        // before closing the queues can stop the workers.
+        if let Some(tx) = self.hub_tx.take() {
+            let _ = tx.send(HubMsg::Shutdown);
+        }
+        if let Some(h) = self.hub_handle.take() {
+            let _ = h.join();
+        }
         // Closing the queues lets each worker finish everything already
         // enqueued, then exit.
         for w in &mut self.workers {
@@ -350,38 +764,79 @@ impl Drop for Cluster {
     }
 }
 
+/// Push every outbox envelope to the hub. Counted into `in_flight`
+/// *before* the send so quiesce can never observe a gap.
+fn flush_outbox(
+    db: &mut SStore,
+    id: PartitionId,
+    hub: &mpsc::Sender<HubMsg>,
+    in_flight: &AtomicI64,
+) {
+    for fwd in db.take_outbox() {
+        in_flight.fetch_add(1, Ordering::SeqCst);
+        if hub.send(HubMsg::Forward { src: id, fwd }).is_err() {
+            // Hub already gone (shutdown): the batch stays unacked and
+            // replays at the next recovery.
+            in_flight.fetch_sub(1, Ordering::SeqCst);
+        }
+    }
+}
+
 /// The partition worker: drain the ingest queue in FIFO order until the
 /// cluster handle drops. Consecutive queued submissions for the same
 /// procedure are coalesced into one PE scheduler pass
 /// ([`sstore_txn::Partition::submit_batch_group`]) — per-submission order
 /// is preserved, so the final state is byte-for-byte what one-at-a-time
 /// execution would produce, minus the per-submission boundary overhead.
-fn worker_loop(mut db: SStore, rx: mpsc::Receiver<Job>) {
-    let mut carry: Option<Job> = None;
+///
+/// 2PC discipline: after voting on a [`WorkerMsg::Prepare`], the worker
+/// pulls messages looking only for the matching [`WorkerMsg::Decide`],
+/// deferring everything else (order preserved) — the prepared fragment's
+/// uncommitted writes must not be observed by other TEs.
+fn worker_loop(
+    id: PartitionId,
+    mut db: SStore,
+    rx: mpsc::Receiver<WorkerMsg>,
+    hub: mpsc::Sender<HubMsg>,
+    in_flight: Arc<AtomicI64>,
+) {
+    // Jobs pulled off the queue but not yet run (coalescing lookahead and
+    // 2PC deferral both park messages here; front = oldest).
+    let mut pending: VecDeque<WorkerMsg> = VecDeque::new();
+    let mut disconnected = false;
+    // A recovered partition may come up with re-forwards already queued.
+    flush_outbox(&mut db, id, &hub, &in_flight);
     loop {
-        let job = match carry.take() {
-            Some(j) => j,
+        let msg = match pending.pop_front() {
+            Some(m) => m,
+            None if disconnected => break,
             None => match rx.recv() {
-                Ok(j) => j,
+                Ok(m) => m,
                 Err(_) => break, // cluster dropped; queue fully drained
             },
         };
-        match job {
-            Job::Ingest { proc, rows, reply } => {
+        match msg {
+            WorkerMsg::Ingest { proc, rows, reply } => {
                 let mut group = vec![(rows, reply)];
                 // Opportunistically coalesce same-procedure submissions
-                // already waiting in the queue. A job for a different
-                // procedure (or kind) is carried into the next iteration
-                // so FIFO order holds.
-                while carry.is_none() {
-                    match rx.try_recv() {
-                        Ok(Job::Ingest {
-                            proc: p,
-                            rows,
-                            reply,
-                        }) if p == proc => group.push((rows, reply)),
-                        Ok(other) => carry = Some(other),
-                        Err(_) => break,
+                // already waiting. A message for a different procedure
+                // (or kind) stays parked so FIFO order holds.
+                loop {
+                    if pending.is_empty() {
+                        match rx.try_recv() {
+                            Ok(m) => pending.push_back(m),
+                            Err(_) => break,
+                        }
+                    }
+                    match pending.front() {
+                        Some(WorkerMsg::Ingest { proc: p, .. }) if *p == proc => {
+                            let Some(WorkerMsg::Ingest { rows, reply, .. }) = pending.pop_front()
+                            else {
+                                unreachable!("front was a matching Ingest");
+                            };
+                            group.push((rows, reply));
+                        }
+                        _ => break,
                     }
                 }
                 if group.len() == 1 {
@@ -407,13 +862,223 @@ fn worker_loop(mut db: SStore, rx: mpsc::Receiver<Job>) {
                     }
                 }
             }
-            Job::Query { sql, params, reply } => {
+            WorkerMsg::Query { sql, params, reply } => {
                 let _ = reply.send(db.query(&sql, &params).map(|r| r.rows));
             }
-            Job::Exec(f) => f(&mut db),
-            Job::AdvanceClock(micros) => {
+            WorkerMsg::Exec(f) => f(&mut db),
+            WorkerMsg::AdvanceClock(micros) => {
                 db.advance_clock(micros);
+            }
+            WorkerMsg::Prepare {
+                gtid,
+                proc,
+                rows,
+                vote,
+                reply,
+            } => {
+                let prepared = db.prepare_fragment(gtid, &proc, rows);
+                let vote_err = prepared.as_ref().err().cloned();
+                let _ = vote.send(prepared.map(|_| ()));
+                // Block for the decision, deferring everything else.
+                let mut deferred: Vec<WorkerMsg> = Vec::new();
+                let decision = loop {
+                    let next = match pending.pop_front() {
+                        Some(m) => Some(m),
+                        None => rx.recv().ok(),
+                    };
+                    match next {
+                        Some(WorkerMsg::Decide { gtid: g, commit }) if g == gtid => {
+                            break Some(commit)
+                        }
+                        Some(other) => deferred.push(other),
+                        None => break None, // cluster dropped mid-2PC
+                    }
+                };
+                for m in deferred.into_iter().rev() {
+                    pending.push_front(m);
+                }
+                match decision {
+                    Some(commit) => {
+                        let out = match vote_err {
+                            // Voted no: the fragment is already rolled
+                            // back and locally decided; surface the
+                            // original error to the ticket.
+                            Some(e) => Err(e),
+                            None => db.decide_fragment(gtid, commit),
+                        };
+                        let _ = reply.send(out);
+                    }
+                    None => {
+                        // No decision will ever come (shutdown): abort —
+                        // identical to the crash story, where recovery
+                        // presumes abort for the in-doubt fragment.
+                        if vote_err.is_none() {
+                            let _ = db.decide_fragment(gtid, false);
+                        }
+                        disconnected = true;
+                    }
+                }
+            }
+            WorkerMsg::Decide { gtid, commit } => {
+                // A decision with no held fragment: the participant voted
+                // no and already resolved locally (or a stale retry).
+                if db.prepared_gtid() == Some(gtid) {
+                    let _ = db.decide_fragment(gtid, commit);
+                }
+            }
+            WorkerMsg::Forward {
+                stream,
+                src,
+                src_batch,
+                rows,
+            } => {
+                let ok = match db.accept_forward(&stream, src.raw(), src_batch.raw(), rows) {
+                    Ok(Some(_)) => {
+                        if let Err(e) = db.run_queued() {
+                            eprintln!(
+                                "sstore: partition {id}: forwarded batch on `{stream}` \
+                                 failed to execute: {e}"
+                            );
+                        }
+                        true
+                    }
+                    Ok(None) => true, // duplicate: already durable here
+                    Err(e) => {
+                        eprintln!(
+                            "sstore: partition {id}: could not log forward on `{stream}`: {e}"
+                        );
+                        false
+                    }
+                };
+                let _ = hub.send(HubMsg::Logged {
+                    src,
+                    src_batch,
+                    stream,
+                    ok,
+                });
+            }
+            WorkerMsg::EdgeAck { batch } => {
+                if let Err(e) = db.edge_acked(batch) {
+                    eprintln!("sstore: partition {id}: edge ack for {batch} failed: {e}");
+                }
+            }
+        }
+        // Any of the above may have emitted onto a cross-partition edge
+        // (Ingest and Decide through PE triggers, Exec through test
+        // closures, Forward through cascading workflows).
+        flush_outbox(&mut db, id, &hub, &in_flight);
+    }
+}
+
+/// The forward hub: the router thread carrying cross-partition workflow
+/// edges. Workers push envelopes on an unbounded channel (never
+/// blocking); the hub shards each envelope by its edge's key column and
+/// delivers the shards to the receiving workers' bounded queues — the
+/// hub is the only thread that blocks on worker queues, so edge cycles
+/// between partitions cannot deadlock. When every shard of an envelope
+/// is durably logged at its receiver, the hub sends the emitting worker
+/// an edge ack, releasing that batch's upstream backup.
+fn hub_loop(
+    rx: mpsc::Receiver<HubMsg>,
+    workers: Vec<mpsc::SyncSender<WorkerMsg>>,
+    partitions: usize,
+    in_flight: Arc<AtomicI64>,
+) {
+    // Outstanding shard counts (and health) per edge instance.
+    let mut pending_acks: HashMap<(u32, u64, String), (usize, bool)> = HashMap::new();
+    // One router per edge key column, built on first use — the hot
+    // forward path must not re-validate a Router per envelope.
+    let mut routers: HashMap<usize, Router> = HashMap::new();
+    let mut shutting_down = false;
+    loop {
+        let msg = if shutting_down {
+            match rx.try_recv() {
+                Ok(m) => m,
+                Err(_) => break, // queue drained; exit
+            }
+        } else {
+            match rx.recv() {
+                Ok(m) => m,
+                Err(_) => break,
+            }
+        };
+        match msg {
+            HubMsg::Forward { src, fwd } => {
+                // Edges route by hash over the edge's own key column.
+                // (The ingest route's range bounds apply to the ingest
+                // key's value domain, which a re-keyed edge need not
+                // share — hash placement is total over any key.)
+                let router = routers.entry(fwd.key_col).or_insert_with(|| {
+                    Router::new(RouteSpec::hash(fwd.key_col), partitions)
+                        .expect("partition count validated at build")
+                });
+                match router.shard(fwd.rows) {
+                    Ok(shards) => {
+                        let k = shards.iter().filter(|s| !s.is_empty()).count();
+                        if k == 0 {
+                            // An empty envelope (cannot normally happen):
+                            // nothing to deliver, release the sender.
+                            let _ = workers[src.raw() as usize]
+                                .send(WorkerMsg::EdgeAck { batch: fwd.batch });
+                        } else {
+                            pending_acks.insert(
+                                (src.raw(), fwd.batch.raw(), fwd.stream.clone()),
+                                (k, true),
+                            );
+                            in_flight.fetch_add(k as i64, Ordering::SeqCst);
+                            for (i, shard) in shards.into_iter().enumerate() {
+                                if shard.is_empty() {
+                                    continue;
+                                }
+                                let _ = workers[i].send(WorkerMsg::Forward {
+                                    stream: fwd.stream.clone(),
+                                    src,
+                                    src_batch: fwd.batch,
+                                    rows: shard,
+                                });
+                            }
+                        }
+                    }
+                    Err(e) => {
+                        // Unroutable rows (e.g. NULL edge key): the edge
+                        // ack is withheld, so the emitting batch stays
+                        // replayable — loudly, not silently.
+                        eprintln!(
+                            "sstore: cross-edge `{}` from partition {} unroutable: {e}",
+                            fwd.stream, src
+                        );
+                    }
+                }
+                in_flight.fetch_sub(1, Ordering::SeqCst);
+            }
+            HubMsg::Logged {
+                src,
+                src_batch,
+                stream,
+                ok,
+            } => {
+                let key = (src.raw(), src_batch.raw(), stream);
+                if let Some((remaining, all_ok)) = pending_acks.get_mut(&key) {
+                    *remaining -= 1;
+                    *all_ok &= ok;
+                    if *remaining == 0 {
+                        let healthy = *all_ok;
+                        pending_acks.remove(&key);
+                        if healthy {
+                            let _ = workers[src.raw() as usize]
+                                .send(WorkerMsg::EdgeAck { batch: src_batch });
+                        }
+                        // A failed shard withholds the ack: the emitting
+                        // batch stays unacked and replays at recovery.
+                    }
+                }
+                in_flight.fetch_sub(1, Ordering::SeqCst);
+            }
+            HubMsg::Shutdown => {
+                shutting_down = true;
             }
         }
     }
+    // Dropping `workers` here releases the last sender clones so the
+    // worker queues can actually close.
 }

@@ -49,6 +49,7 @@
 pub mod builder;
 pub mod client;
 pub mod cluster;
+pub mod coordinator;
 pub mod metrics;
 pub mod router;
 pub mod workloads;
@@ -56,15 +57,17 @@ pub mod workloads;
 pub use builder::SStoreBuilder;
 pub use client::{ClientRequest, PipelinedClient, RequestKind};
 pub use cluster::Cluster;
+pub use coordinator::{CoordStats, Coordinator, CoordinatorLog};
 pub use metrics::{ClusterMetrics, PartitionMetrics, Throughput};
 pub use router::{PartitionOutcomes, RouteSpec, Router, Ticket};
 
 // The operational surface, re-exported so applications depend on one crate.
 pub use sstore_engine::{EeConfig, EeStats, TriggerEvent, TxnScratch};
 pub use sstore_sql::exec::QueryResult;
-pub use sstore_txn::recovery::recover;
+pub use sstore_txn::recovery::{recover, recover_with_decisions};
 pub use sstore_txn::{
-    ExecMode, Invocation, PeConfig, PeStats, ProcContext, ProcSpec, TxnOutcome, TxnStatus, Workflow,
+    CrossEdge, ExecMode, Invocation, PeConfig, PeStats, ProcContext, ProcSpec, RemoteForward,
+    TxnOutcome, TxnStatus, Workflow,
 };
 
 /// The S-Store system handle: one single-sited partition, exactly the

@@ -1,6 +1,7 @@
 //! Throughput measurement and per-partition metrics for dashboards and
 //! benches.
 
+use crate::coordinator::CoordStats;
 use sstore_common::{PartitionId, RowMetrics};
 use std::time::Instant;
 
@@ -23,6 +24,18 @@ pub struct PartitionMetrics {
     pub batches_coalesced: u64,
     /// Client↔PE round trips charged.
     pub client_pe_trips: u64,
+    /// 2PC fragments prepared on this partition.
+    pub twopc_prepares: u64,
+    /// Prepared fragments committed on the coordinator's decision.
+    pub twopc_commits: u64,
+    /// Prepared fragments rolled back.
+    pub twopc_aborts: u64,
+    /// Batches pushed onto cross-partition workflow edges.
+    pub forwards_out: u64,
+    /// Forwarded batches accepted from other partitions.
+    pub forwards_in: u64,
+    /// Forwarded batches dropped as duplicates (exactly-once dedup).
+    pub forwards_deduped: u64,
     /// Mean committed-TE latency in microseconds.
     pub mean_latency_us: f64,
 }
@@ -39,6 +52,12 @@ impl PartitionMetrics {
             group_submissions: s.group_submissions,
             batches_coalesced: s.batches_coalesced,
             client_pe_trips: s.client_pe_trips,
+            twopc_prepares: s.twopc_prepares,
+            twopc_commits: s.twopc_commits,
+            twopc_aborts: s.twopc_aborts,
+            forwards_out: s.forwards_out,
+            forwards_in: s.forwards_in,
+            forwards_deduped: s.forwards_deduped,
             mean_latency_us: s.mean_latency_us(),
         }
     }
@@ -54,12 +73,19 @@ pub struct ClusterMetrics {
     /// capture time. Process-wide: the counters are global atomics, so
     /// they cover every partition worker in this process.
     pub rows: RowMetrics,
+    /// The transaction coordinator's counters (fast-path vs 2PC).
+    pub coordinator: CoordStats,
 }
 
 impl ClusterMetrics {
     /// Sum of committed TEs across partitions.
     pub fn total_committed(&self) -> u64 {
         self.partitions.iter().map(|p| p.committed).sum()
+    }
+
+    /// Sum of cross-partition edge forwards accepted, cluster-wide.
+    pub fn total_forwards(&self) -> u64 {
+        self.partitions.iter().map(|p| p.forwards_in).sum()
     }
 
     /// Border batches that entered the PE inside a coalesced group,
@@ -154,18 +180,27 @@ mod tests {
             group_submissions: 0,
             batches_coalesced: coalesced,
             client_pe_trips: 0,
+            twopc_prepares: 0,
+            twopc_commits: 0,
+            twopc_aborts: 0,
+            forwards_out: 0,
+            forwards_in: 2,
+            forwards_deduped: 0,
             mean_latency_us: 0.0,
         };
         let m = ClusterMetrics {
             partitions: vec![pm(0, 30, 4), pm(1, 10, 0)],
             rows: RowMetrics::snapshot(),
+            coordinator: CoordStats::default(),
         };
         assert_eq!(m.total_committed(), 40);
         assert_eq!(m.total_coalesced(), 4);
+        assert_eq!(m.total_forwards(), 4);
         assert!((m.skew() - 1.5).abs() < 1e-9);
         let empty = ClusterMetrics {
             partitions: vec![],
             rows: RowMetrics::snapshot(),
+            coordinator: CoordStats::default(),
         };
         assert_eq!(empty.skew(), 1.0);
     }

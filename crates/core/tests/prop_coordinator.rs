@@ -1,0 +1,159 @@
+//! Property tests for the cross-partition transaction coordinator and
+//! cross-partition workflow edges: any interleaving of multi-sited
+//! submissions is state-equivalent to the single-partition reference
+//! execution, atomicity holds under mixed commit/abort workloads, and
+//! edge dataflow is exactly-once at every partition count.
+
+use proptest::prelude::*;
+use sstore_core::common::{Row, Value};
+use sstore_core::workloads::{
+    deploy_count_events, deploy_count_events_multi, deploy_two_stage, TWO_STAGE_EDGES,
+};
+use sstore_core::{Cluster, RouteSpec, SStoreBuilder};
+
+fn sorted(mut rows: Vec<Row>) -> Vec<Row> {
+    rows.sort();
+    rows
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Any chunking of a multi-sited workload through the 2PC coordinator
+    /// merges to the same table state as a single partition executing the
+    /// same chunks serially — ticket waits shuffled to exercise
+    /// interleavings of in-flight global transactions.
+    #[test]
+    fn atomic_submissions_match_single_partition_reference(
+        events in prop::collection::vec((0i64..24, 0i64..50), 1..80),
+        partitions in 1usize..5,
+        chunk in 1usize..24,
+        wait_order_seed in any::<u64>(),
+    ) {
+        let rows: Vec<Row> = events
+            .iter()
+            .map(|(k, a)| Row::new(vec![Value::Int(*k), Value::Int(*a)]))
+            .collect();
+
+        // Single-partition reference (plain submissions: on one partition
+        // the coordinator path degenerates to exactly this).
+        let single = Cluster::new(1, &SStoreBuilder::new(), deploy_count_events).unwrap();
+        for c in rows.chunks(chunk) {
+            single.submit_batch_async("count_events", c.to_vec()).unwrap().wait().unwrap();
+        }
+        let reference = sorted(single.query_all("SELECT * FROM totals", &[]).unwrap());
+
+        // Partitioned run: every chunk is one atomic global transaction.
+        let cluster =
+            Cluster::new(partitions, &SStoreBuilder::new(), deploy_count_events_multi).unwrap();
+        let mut tickets = Vec::new();
+        for c in rows.chunks(chunk) {
+            tickets.push(cluster.submit_batch_atomic("count_events", c.to_vec()).unwrap());
+        }
+        let mut order: Vec<usize> = (0..tickets.len()).collect();
+        let mut s = wait_order_seed | 1;
+        for i in (1..order.len()).rev() {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            order.swap(i, (s >> 33) as usize % (i + 1));
+        }
+        let mut tickets: Vec<Option<sstore_core::Ticket>> =
+            tickets.into_iter().map(Some).collect();
+        for i in order {
+            for po in tickets[i].take().unwrap().wait().unwrap() {
+                prop_assert!(po.outcomes.iter().all(|o| o.is_committed()));
+            }
+        }
+        let merged = sorted(cluster.query_all("SELECT * FROM totals", &[]).unwrap());
+        prop_assert_eq!(merged, reference);
+    }
+
+    /// Mixed workload with aborting transactions: a chunk containing a
+    /// poison row aborts atomically on every partition; the surviving
+    /// state equals the reference executing only the clean chunks.
+    #[test]
+    fn aborted_transactions_leave_no_partial_state(
+        events in prop::collection::vec((0i64..16, 0i64..50), 1..60),
+        poison_mask in any::<u32>(),
+        partitions in 2usize..5,
+        chunk in 1usize..16,
+    ) {
+        let rows: Vec<Row> = events
+            .iter()
+            .map(|(k, a)| Row::new(vec![Value::Int(*k), Value::Int(*a)]))
+            .collect();
+        let chunks: Vec<Vec<Row>> = rows.chunks(chunk).map(|c| c.to_vec()).collect();
+
+        // Reference: only the chunks that will not be poisoned.
+        let single = Cluster::new(1, &SStoreBuilder::new(), deploy_count_events).unwrap();
+        for (i, c) in chunks.iter().enumerate() {
+            if poison_mask & (1 << (i % 32)) == 0 {
+                single.submit_batch_async("count_events", c.clone()).unwrap().wait().unwrap();
+            }
+        }
+        let reference = sorted(single.query_all("SELECT * FROM totals", &[]).unwrap());
+
+        let cluster =
+            Cluster::new(partitions, &SStoreBuilder::new(), deploy_count_events_multi).unwrap();
+        for (i, c) in chunks.iter().enumerate() {
+            let mut c = c.clone();
+            let poisoned = poison_mask & (1 << (i % 32)) != 0;
+            if poisoned {
+                c.push(Row::new(vec![Value::Int(0), Value::Int(-1)]));
+            }
+            // A poisoned chunk must not commit anywhere. (Surface differs
+            // by path: a multi-sited no-vote propagates as Err from
+            // wait(), while a single-partition abort resolves Ok with an
+            // Aborted outcome — both leave zero state.)
+            let committed = match cluster.submit_batch_atomic("count_events", c).unwrap().wait() {
+                Ok(pos) => pos.iter().all(|po| po.outcomes.iter().all(|o| o.is_committed())),
+                Err(_) => false,
+            };
+            prop_assert_eq!(committed, !poisoned);
+        }
+        let merged = sorted(cluster.query_all("SELECT * FROM totals", &[]).unwrap());
+        prop_assert_eq!(merged, reference);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Cross-partition workflow edges deliver every emitted tuple exactly
+    /// once to the partition owning its downstream key: the two-stage
+    /// pipeline's final state matches the single-partition run of the
+    /// identical topology, at any partition count and chunking.
+    #[test]
+    fn cross_edge_dataflow_matches_single_partition_reference(
+        events in prop::collection::vec((0i64..12, 0i64..12, 0i64..9), 1..80),
+        partitions in 1usize..5,
+        chunk in 1usize..20,
+    ) {
+        let rows: Vec<Row> = events
+            .iter()
+            .map(|(s, d, a)| Row::new(vec![Value::Int(*s), Value::Int(*d), Value::Int(*a)]))
+            .collect();
+        let run = |n: usize| -> (Vec<Row>, Vec<Row>) {
+            let cluster = Cluster::with_edges(
+                n,
+                RouteSpec::hash(0),
+                16,
+                &SStoreBuilder::new(),
+                deploy_two_stage,
+                TWO_STAGE_EDGES,
+            )
+            .unwrap();
+            for c in rows.chunks(chunk) {
+                cluster.submit_batch_async("route_events", c.to_vec()).unwrap().wait().unwrap();
+            }
+            cluster.quiesce().unwrap();
+            (
+                sorted(cluster.query_all("SELECT * FROM src_counts", &[]).unwrap()),
+                sorted(cluster.query_all("SELECT * FROM dest_totals", &[]).unwrap()),
+            )
+        };
+        let (ref_src, ref_dest) = run(1);
+        let (got_src, got_dest) = run(partitions);
+        prop_assert_eq!(got_src, ref_src);
+        prop_assert_eq!(got_dest, ref_dest);
+    }
+}

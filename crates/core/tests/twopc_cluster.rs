@@ -1,0 +1,454 @@
+//! Cluster-level tests of the cross-partition transaction coordinator:
+//! atomic commit/abort across workers, the single-partition fast path
+//! (byte-identical to the PR 2 ingest path), cross-partition workflow
+//! edges, and distributed recovery from durable state.
+
+use sstore_core::common::{Row, Value};
+use sstore_core::workloads::{
+    deploy_count_events, deploy_count_events_multi, deploy_two_stage, two_stage_rows,
+    TWO_STAGE_EDGES,
+};
+use sstore_core::{Cluster, RouteSpec, SStoreBuilder};
+use std::path::PathBuf;
+
+fn tempdir(tag: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("sstore-2pc-cluster-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&p);
+    std::fs::create_dir_all(&p).unwrap();
+    p
+}
+
+fn sorted(mut rows: Vec<Row>) -> Vec<Row> {
+    rows.sort();
+    rows
+}
+
+/// Keys guaranteed to straddle at least two partitions of a 2-partition
+/// hash router (0..8 hashes onto both sides for the fixed DefaultHasher).
+fn straddling_rows() -> Vec<Row> {
+    (0..8i64)
+        .map(|k| Row::new(vec![Value::Int(k), Value::Int(k * 10)]))
+        .collect()
+}
+
+#[test]
+fn atomic_batch_commits_on_every_partition_exactly_once() {
+    let cluster = Cluster::new(2, &SStoreBuilder::new(), deploy_count_events_multi).unwrap();
+    let outcomes = cluster
+        .submit_batch_atomic("count_events", straddling_rows())
+        .unwrap()
+        .wait()
+        .unwrap();
+    assert!(outcomes.len() >= 2, "batch must have straddled partitions");
+    for po in &outcomes {
+        assert!(po.outcomes.iter().all(|o| o.is_committed()));
+    }
+    let n: i64 = cluster
+        .query_all("SELECT SUM(n) FROM totals", &[])
+        .unwrap()
+        .iter()
+        .map(|r| r[0].as_int().unwrap())
+        .sum();
+    assert_eq!(n, 8);
+    let stats = cluster.coordinator_stats();
+    assert_eq!(stats.multi_partition_txns, 1);
+    assert_eq!(stats.commits, 1);
+    assert_eq!(stats.prepares_sent, 2);
+    let m = cluster.metrics();
+    assert_eq!(m.partitions.iter().map(|p| p.twopc_commits).sum::<u64>(), 2);
+}
+
+#[test]
+fn one_no_vote_aborts_the_whole_transaction() {
+    let cluster = Cluster::new(2, &SStoreBuilder::new(), deploy_count_events_multi).unwrap();
+    // One poison row (negative amount) makes its partition vote no; every
+    // other fragment must roll back too.
+    let mut rows = straddling_rows();
+    rows.push(Row::new(vec![Value::Int(3), Value::Int(-1)]));
+    let err = cluster
+        .submit_batch_atomic("count_events", rows)
+        .unwrap()
+        .wait()
+        .unwrap_err();
+    assert!(err.to_string().contains("negative amount") || err.kind() == "txn");
+    let n: i64 = cluster
+        .query_all("SELECT COUNT(*) FROM totals", &[])
+        .unwrap()
+        .iter()
+        .map(|r| r[0].as_int().unwrap())
+        .sum();
+    assert_eq!(
+        n, 0,
+        "aborted global transaction must leave no partial state"
+    );
+    let stats = cluster.coordinator_stats();
+    assert_eq!(stats.aborts, 1);
+    assert_eq!(stats.commits, 0);
+    // The cluster keeps accepting work afterwards.
+    cluster
+        .submit_batch_atomic("count_events", straddling_rows())
+        .unwrap()
+        .wait()
+        .unwrap();
+    assert_eq!(cluster.coordinator_stats().commits, 1);
+}
+
+#[test]
+fn declared_multi_partition_procs_upgrade_plain_submissions() {
+    let cluster = Cluster::new(2, &SStoreBuilder::new(), deploy_count_events_multi).unwrap();
+    // The ordinary async path detects the declaration and coordinates.
+    cluster
+        .submit_batch_async("count_events", straddling_rows())
+        .unwrap()
+        .wait()
+        .unwrap();
+    assert_eq!(cluster.coordinator_stats().multi_partition_txns, 1);
+    // An undeclared procedure keeps PR 2's independent-shard semantics.
+    let plain = Cluster::new(2, &SStoreBuilder::new(), deploy_count_events).unwrap();
+    plain
+        .submit_batch_async("count_events", straddling_rows())
+        .unwrap()
+        .wait()
+        .unwrap();
+    assert_eq!(plain.coordinator_stats().multi_partition_txns, 0);
+    assert_eq!(plain.coordinator_stats().single_partition_fast_path, 0);
+}
+
+/// Satellite: a submission whose rows all route to one partition skips
+/// 2PC entirely — no prepares, no extra log records; the durable log of
+/// the involved partition is **byte-identical** to a PR 2-style run with
+/// an undeclared procedure.
+#[test]
+fn single_partition_fast_path_is_byte_identical_to_plain_ingest() {
+    // All rows share one key → one partition, even under hash routing.
+    let rows = || vec![Row::new(vec![Value::Int(5), Value::Int(1)]); 4];
+
+    let dir_multi = tempdir("fastpath-multi");
+    let dir_plain = tempdir("fastpath-plain");
+    {
+        let multi = Cluster::with_config(
+            2,
+            RouteSpec::hash(0),
+            16,
+            &SStoreBuilder::new().durability(&dir_multi, 1),
+            deploy_count_events_multi,
+        )
+        .unwrap();
+        multi
+            .submit_batch_async("count_events", rows())
+            .unwrap()
+            .wait()
+            .unwrap();
+        let stats = multi.coordinator_stats();
+        assert_eq!(stats.single_partition_fast_path, 1);
+        assert_eq!(stats.multi_partition_txns, 0);
+        let m = multi.metrics();
+        assert_eq!(
+            m.partitions.iter().map(|p| p.twopc_prepares).sum::<u64>(),
+            0
+        );
+        // Same rows through an undeclared proc on an identical cluster.
+        let plain = Cluster::with_config(
+            2,
+            RouteSpec::hash(0),
+            16,
+            &SStoreBuilder::new().durability(&dir_plain, 1),
+            deploy_count_events,
+        )
+        .unwrap();
+        plain
+            .submit_batch_async("count_events", rows())
+            .unwrap()
+            .wait()
+            .unwrap();
+    }
+    // Byte-identical per-partition command logs: the fast path added no
+    // records, reordered nothing, and left timestamps untouched.
+    for i in 0..2 {
+        let a = std::fs::read(dir_multi.join(format!("p{i}/command.log"))).unwrap_or_default();
+        let b = std::fs::read(dir_plain.join(format!("p{i}/command.log"))).unwrap_or_default();
+        assert_eq!(a, b, "partition {i} log diverged from the PR 2 hot path");
+    }
+    std::fs::remove_dir_all(dir_multi).ok();
+    std::fs::remove_dir_all(dir_plain).ok();
+}
+
+#[test]
+fn cross_partition_edge_runs_downstream_on_owning_partition() {
+    let cluster = Cluster::with_edges(
+        2,
+        RouteSpec::hash(0),
+        16,
+        &SStoreBuilder::new(),
+        deploy_two_stage,
+        TWO_STAGE_EDGES,
+    )
+    .unwrap();
+    cluster
+        .submit_batch_async("route_events", two_stage_rows(40, 10))
+        .unwrap()
+        .wait()
+        .unwrap();
+    cluster.quiesce().unwrap();
+    let n: i64 = cluster
+        .query_all("SELECT SUM(n) FROM dest_totals", &[])
+        .unwrap()
+        .iter()
+        .map(|r| r[0].as_int().unwrap())
+        .sum();
+    assert_eq!(n, 40, "every tuple must arrive exactly once downstream");
+    let m = cluster.metrics();
+    let fwd_out: u64 = m.partitions.iter().map(|p| p.forwards_out).sum();
+    let fwd_in: u64 = m.partitions.iter().map(|p| p.forwards_in).sum();
+    assert!(fwd_out >= 2, "both partitions should have emitted edges");
+    assert!(fwd_in >= fwd_out, "each envelope lands as >= 1 shard");
+    // dest_totals content matches a single-partition run of the same
+    // topology (the hub self-delivers on 1 partition).
+    let single = Cluster::with_edges(
+        1,
+        RouteSpec::hash(0),
+        16,
+        &SStoreBuilder::new(),
+        deploy_two_stage,
+        TWO_STAGE_EDGES,
+    )
+    .unwrap();
+    single
+        .submit_batch_async("route_events", two_stage_rows(40, 10))
+        .unwrap()
+        .wait()
+        .unwrap();
+    single.quiesce().unwrap();
+    assert_eq!(
+        sorted(cluster.query_all("SELECT * FROM dest_totals", &[]).unwrap()),
+        sorted(single.query_all("SELECT * FROM dest_totals", &[]).unwrap()),
+    );
+}
+
+#[test]
+fn cluster_recovers_to_identical_state_after_shutdown() {
+    let dir = tempdir("recover");
+    let build = |recover: bool| {
+        let builder = SStoreBuilder::new().durability(&dir, 1);
+        if recover {
+            Cluster::recover(
+                2,
+                RouteSpec::hash(0),
+                16,
+                &builder,
+                deploy_two_stage,
+                TWO_STAGE_EDGES,
+            )
+        } else {
+            Cluster::with_edges(
+                2,
+                RouteSpec::hash(0),
+                16,
+                &builder,
+                deploy_two_stage,
+                TWO_STAGE_EDGES,
+            )
+        }
+    };
+    let reference = {
+        let cluster = build(false).unwrap();
+        cluster
+            .submit_batch_async("route_events", two_stage_rows(30, 8))
+            .unwrap()
+            .wait()
+            .unwrap();
+        cluster.quiesce().unwrap();
+        (
+            sorted(cluster.query_all("SELECT * FROM dest_totals", &[]).unwrap()),
+            sorted(cluster.query_all("SELECT * FROM src_counts", &[]).unwrap()),
+        )
+    };
+    let recovered = build(true).unwrap();
+    recovered.quiesce().unwrap();
+    assert_eq!(
+        sorted(
+            recovered
+                .query_all("SELECT * FROM dest_totals", &[])
+                .unwrap()
+        ),
+        reference.0
+    );
+    assert_eq!(
+        sorted(
+            recovered
+                .query_all("SELECT * FROM src_counts", &[])
+                .unwrap()
+        ),
+        reference.1
+    );
+    // The recovered cluster keeps flowing across the same edges.
+    recovered
+        .submit_batch_async("route_events", two_stage_rows(10, 8))
+        .unwrap()
+        .wait()
+        .unwrap();
+    recovered.quiesce().unwrap();
+    let n: i64 = recovered
+        .query_all("SELECT SUM(n) FROM dest_totals", &[])
+        .unwrap()
+        .iter()
+        .map(|r| r[0].as_int().unwrap())
+        .sum();
+    assert_eq!(n, 40);
+    drop(recovered);
+    std::fs::remove_dir_all(dir).ok();
+}
+
+/// A recovered coordinator must sequence past every gtid any partition
+/// ever *prepared* — not just past decided ones. If the in-doubt gtid 1
+/// were reused, the new transaction's commit record would make the next
+/// recovery resolve the OLD aborted fragment as committed, resurrecting
+/// its writes.
+#[test]
+fn recovered_coordinator_never_reuses_in_doubt_gtids() {
+    let dir = tempdir("gtid-reuse");
+    let builder = || SStoreBuilder::new().durability(&dir, 1);
+    {
+        let cluster = Cluster::with_config(
+            2,
+            RouteSpec::hash(0),
+            16,
+            &builder(),
+            deploy_count_events_multi,
+        )
+        .unwrap();
+        // The very first global transaction (gtid 1) crashes in doubt:
+        // prepared on both partitions, never decided anywhere.
+        for i in 0..2 {
+            cluster
+                .with_partition(i, move |db| {
+                    db.prepare_fragment(
+                        1,
+                        "count_events",
+                        vec![vec![Value::Int(700 + i as i64), Value::Int(1)]],
+                    )
+                    .map(|_| ())
+                })
+                .unwrap();
+        }
+    }
+    {
+        // First recovery: gtid 1 presumes abort; a fresh transaction is
+        // then committed — it must get a NEW gtid.
+        let recovered = Cluster::recover(
+            2,
+            RouteSpec::hash(0),
+            16,
+            &builder(),
+            deploy_count_events_multi,
+            &[],
+        )
+        .unwrap();
+        let n: i64 = recovered
+            .query_all("SELECT COUNT(*) FROM totals", &[])
+            .unwrap()
+            .iter()
+            .map(|r| r[0].as_int().unwrap())
+            .sum();
+        assert_eq!(n, 0, "in-doubt fragment must abort");
+        recovered
+            .submit_batch_atomic("count_events", straddling_rows())
+            .unwrap()
+            .wait()
+            .unwrap();
+    }
+    // Second recovery: the new transaction's commit record must not
+    // resurrect the old fragment's keys (700/701).
+    let recovered = Cluster::recover(
+        2,
+        RouteSpec::hash(0),
+        16,
+        &builder(),
+        deploy_count_events_multi,
+        &[],
+    )
+    .unwrap();
+    let keys: Vec<i64> = recovered
+        .query_all("SELECT key FROM totals", &[])
+        .unwrap()
+        .iter()
+        .map(|r| r[0].as_int().unwrap())
+        .collect();
+    assert!(
+        !keys.contains(&700) && !keys.contains(&701),
+        "aborted in-doubt fragment resurrected: keys {keys:?}"
+    );
+    assert_eq!(keys.len(), 8, "the committed transaction must survive");
+    drop(recovered);
+    std::fs::remove_dir_all(dir).ok();
+}
+
+/// An in-doubt fragment left by a crash between prepare and decide
+/// aborts across the cluster: the coordinator's decision log is silent
+/// about the gtid, so every partition presumes abort and the cluster
+/// converges to the pre-transaction state.
+#[test]
+fn cluster_recovery_presumes_abort_for_in_doubt_fragment() {
+    let dir = tempdir("indoubt");
+    {
+        let cluster = Cluster::with_config(
+            2,
+            RouteSpec::hash(0),
+            16,
+            &SStoreBuilder::new().durability(&dir, 1),
+            deploy_count_events_multi,
+        )
+        .unwrap();
+        cluster
+            .submit_batch_atomic("count_events", straddling_rows())
+            .unwrap()
+            .wait()
+            .unwrap();
+        // Prepare a fragment directly on each worker and never decide —
+        // exactly the durable state a crash after phase 1 leaves.
+        for i in 0..2 {
+            cluster
+                .with_partition(i, move |db| {
+                    db.prepare_fragment(
+                        999,
+                        "count_events",
+                        vec![vec![Value::Int(100 + i as i64), Value::Int(1)]],
+                    )
+                    .map(|_| ())
+                })
+                .unwrap();
+        }
+        // Cluster::drop flushes logs; the fragments are in doubt on disk.
+    }
+    let recovered = Cluster::recover(
+        2,
+        RouteSpec::hash(0),
+        16,
+        &SStoreBuilder::new().durability(&dir, 1),
+        deploy_count_events_multi,
+        &[],
+    )
+    .unwrap();
+    let n: i64 = recovered
+        .query_all("SELECT SUM(n) FROM totals", &[])
+        .unwrap()
+        .iter()
+        .map(|r| r[0].as_int().unwrap())
+        .sum();
+    assert_eq!(n, 8, "in-doubt fragments must not commit");
+    let m = recovered.metrics();
+    assert_eq!(
+        m.partitions.iter().map(|p| p.twopc_aborts).sum::<u64>(),
+        2,
+        "both in-doubt fragments abort"
+    );
+    // The committed transaction replayed; work continues.
+    recovered
+        .submit_batch_atomic("count_events", straddling_rows())
+        .unwrap()
+        .wait()
+        .unwrap();
+    drop(recovered);
+    std::fs::remove_dir_all(dir).ok();
+}

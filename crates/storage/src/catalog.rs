@@ -10,7 +10,7 @@
 
 use crate::index::RowId;
 use serde::{Deserialize, Serialize};
-use sstore_common::{Column, DataType, Error, ProcId, Result, Schema, TableId};
+use sstore_common::{codec, Column, DataType, Error, ProcId, Result, Schema, TableId};
 use std::collections::{HashMap, VecDeque};
 
 /// Hidden column appended to streams/windows: batch id.
@@ -225,6 +225,138 @@ impl Catalog {
         self.metas.is_empty()
     }
 
+    /// Binary-encode the whole catalog straight into `out` — no serde
+    /// tree. `by_name` is not serialized (it is derivable from the metas),
+    /// so the encoding is deterministic regardless of hash-map iteration
+    /// order, unlike the tree-bridge form it replaces.
+    pub fn encode_binary(&self, out: &mut Vec<u8>) {
+        codec::count_direct_meta_encode();
+        codec::put_uvarint(out, self.metas.len() as u64);
+        for m in &self.metas {
+            codec::put_str(out, &m.name);
+            m.visible_schema.encode_binary(out);
+            match &m.kind {
+                TableKind::Base => out.push(0),
+                TableKind::Stream(s) => {
+                    out.push(1);
+                    codec::put_uvarint(out, s.next_seq);
+                    match s.gc_watermark {
+                        None => out.push(0),
+                        Some(w) => {
+                            out.push(1);
+                            codec::put_uvarint(out, w);
+                        }
+                    }
+                }
+                TableKind::Window(w) => {
+                    out.push(2);
+                    match w.spec.kind {
+                        WindowKind::Tuple { size, slide } => {
+                            out.push(0);
+                            codec::put_uvarint(out, size);
+                            codec::put_uvarint(out, slide);
+                        }
+                        WindowKind::Time { range, slide } => {
+                            out.push(1);
+                            codec::put_ivarint(out, range);
+                            codec::put_ivarint(out, slide);
+                        }
+                    }
+                    match w.spec.owner {
+                        None => out.push(0),
+                        Some(p) => {
+                            out.push(1);
+                            codec::put_uvarint(out, p.raw() as u64);
+                        }
+                    }
+                    codec::put_uvarint(out, w.next_seq);
+                    codec::put_ivarint(out, w.pending);
+                    codec::put_uvarint(out, w.total_inserted);
+                }
+            }
+            codec::put_uvarint(out, m.arrivals.len() as u64);
+            for &rid in &m.arrivals {
+                codec::put_uvarint(out, rid);
+            }
+        }
+    }
+
+    /// Decode a catalog encoded by [`Catalog::encode_binary`]; `by_name`
+    /// is rebuilt from the decoded metas.
+    pub fn decode_binary(r: &mut codec::Reader<'_>) -> Result<Catalog> {
+        let n = r.uvarint()? as usize;
+        if n > r.remaining() {
+            return Err(Error::Codec(format!(
+                "catalog entry count {n} exceeds remaining input"
+            )));
+        }
+        let mut cat = Catalog::new();
+        for i in 0..n {
+            let name = r.str()?.to_string();
+            let visible_schema = Schema::decode_binary(r)?;
+            let kind = match r.u8()? {
+                0 => TableKind::Base,
+                1 => {
+                    let next_seq = r.uvarint()?;
+                    let gc_watermark = match r.u8()? {
+                        0 => None,
+                        1 => Some(r.uvarint()?),
+                        t => return Err(Error::Codec(format!("bad watermark tag {t}"))),
+                    };
+                    TableKind::Stream(StreamMeta {
+                        next_seq,
+                        gc_watermark,
+                    })
+                }
+                2 => {
+                    let kind = match r.u8()? {
+                        0 => WindowKind::Tuple {
+                            size: r.uvarint()?,
+                            slide: r.uvarint()?,
+                        },
+                        1 => WindowKind::Time {
+                            range: r.ivarint()?,
+                            slide: r.ivarint()?,
+                        },
+                        t => return Err(Error::Codec(format!("bad window-kind tag {t}"))),
+                    };
+                    let owner = match r.u8()? {
+                        0 => None,
+                        1 => Some(ProcId::new(r.uvarint()? as u32)),
+                        t => return Err(Error::Codec(format!("bad owner tag {t}"))),
+                    };
+                    TableKind::Window(WindowMeta {
+                        spec: WindowSpec { kind, owner },
+                        next_seq: r.uvarint()?,
+                        pending: r.ivarint()?,
+                        total_inserted: r.uvarint()?,
+                    })
+                }
+                t => return Err(Error::Codec(format!("bad table-kind tag {t}"))),
+            };
+            let n_arrivals = r.uvarint()? as usize;
+            if n_arrivals > r.remaining() {
+                return Err(Error::Codec(format!(
+                    "arrival count {n_arrivals} exceeds remaining input"
+                )));
+            }
+            let mut arrivals = VecDeque::with_capacity(n_arrivals);
+            for _ in 0..n_arrivals {
+                arrivals.push_back(r.uvarint()?);
+            }
+            let id = TableId::new(i as u32);
+            cat.by_name.insert(name.clone(), id);
+            cat.metas.push(TableMeta {
+                id,
+                name,
+                visible_schema,
+                kind,
+                arrivals,
+            });
+        }
+        Ok(cat)
+    }
+
     /// Bind a window to its owning procedure (scope rule). Errors if the
     /// window is already owned by a different procedure.
     pub fn bind_window_owner(&mut self, id: TableId, owner: ProcId) -> Result<()> {
@@ -304,6 +436,58 @@ mod tests {
         let mut c = Catalog::new();
         let id = c.add_table("t", schema()).unwrap();
         assert!(c.bind_window_owner(id, ProcId::new(1)).is_err());
+    }
+
+    #[test]
+    fn binary_codec_round_trips_all_kinds() {
+        let mut c = Catalog::new();
+        c.add_table(
+            "base_t",
+            Schema::new(vec![Column::new("id", DataType::Int)], &["id"]).unwrap(),
+        )
+        .unwrap();
+        let sid = c.add_stream("s", schema()).unwrap();
+        let wid = c
+            .add_window(
+                "w",
+                schema(),
+                WindowSpec {
+                    kind: WindowKind::Time {
+                        range: 1_000,
+                        slide: -5,
+                    },
+                    owner: Some(ProcId::new(3)),
+                },
+            )
+            .unwrap();
+        // Dirty the lifecycle state so non-default fields round-trip.
+        if let TableKind::Stream(s) = &mut c.meta_mut(sid).unwrap().kind {
+            s.next_seq = 42;
+            s.gc_watermark = Some(7);
+        }
+        c.meta_mut(wid).unwrap().arrivals.extend([9u64, 1, 4]);
+
+        let mut buf = Vec::new();
+        c.encode_binary(&mut buf);
+        let back = Catalog::decode_binary(&mut codec::Reader::new(&buf)).unwrap();
+        assert_eq!(back.len(), 3);
+        assert_eq!(back.resolve("base_t"), c.resolve("base_t"));
+        assert_eq!(back.meta(sid).unwrap().kind, c.meta(sid).unwrap().kind);
+        assert_eq!(back.meta(wid).unwrap().kind, c.meta(wid).unwrap().kind);
+        assert_eq!(
+            back.meta(wid).unwrap().arrivals,
+            c.meta(wid).unwrap().arrivals
+        );
+        assert_eq!(
+            back.meta(sid).unwrap().visible_schema,
+            c.meta(sid).unwrap().visible_schema
+        );
+    }
+
+    #[test]
+    fn binary_codec_rejects_garbage_without_panic() {
+        let garbage: Vec<u8> = (0..48u8).map(|i| i.wrapping_mul(73) ^ 0x5A).collect();
+        assert!(Catalog::decode_binary(&mut codec::Reader::new(&garbage)).is_err());
     }
 
     #[test]

@@ -64,7 +64,7 @@ impl Table {
     /// replay to assign identical row ids.
     pub fn encode_binary(&self, out: &mut Vec<u8>) {
         codec::put_str(out, &self.name);
-        codec::put_bytes(out, &codec::to_bytes(&self.schema));
+        self.schema.encode_binary(out);
         codec::put_uvarint(out, self.slots.len() as u64);
         for slot in &self.slots {
             match slot {
@@ -92,10 +92,16 @@ impl Table {
         }
     }
 
-    /// Decode a table encoded by [`Table::encode_binary`].
-    pub fn decode_binary(r: &mut codec::Reader<'_>) -> Result<Table> {
+    /// Decode a table encoded by [`Table::encode_binary`]. `version` is
+    /// the snapshot file-header version: v1 images carried the schema
+    /// through the serde-tree bridge; v2+ encode it directly.
+    pub fn decode_binary(r: &mut codec::Reader<'_>, version: u32) -> Result<Table> {
         let name = r.str()?.to_string();
-        let schema: Schema = codec::from_bytes(r.bytes()?)?;
+        let schema: Schema = if version >= 2 {
+            Schema::decode_binary(r)?
+        } else {
+            codec::from_bytes(r.bytes()?)?
+        };
         let n_slots = r.uvarint()? as usize;
         let mut slots = Vec::with_capacity(n_slots.min(r.remaining()));
         let mut live = 0usize;
@@ -120,7 +126,7 @@ impl Table {
         }
         let pk_index = match r.u8()? {
             0 => None,
-            1 => Some(Index::decode_binary(r)?),
+            1 => Some(Index::decode_binary(r, version)?),
             tag => {
                 return Err(Error::Codec(format!(
                     "bad pk-index tag {tag} in table `{name}`"
@@ -130,7 +136,7 @@ impl Table {
         let n_indexes = r.uvarint()? as usize;
         let mut indexes = Vec::with_capacity(n_indexes.min(r.remaining()));
         for _ in 0..n_indexes {
-            indexes.push(Index::decode_binary(r)?);
+            indexes.push(Index::decode_binary(r, version)?);
         }
         Ok(Table {
             name,

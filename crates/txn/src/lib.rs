@@ -18,7 +18,16 @@
 //!   batches through the same workflow code;
 //! * an **H-Store compatibility mode**: PE triggers off, client-driven
 //!   invocations only — the paper's baseline, which both loses the ordering
-//!   guarantees (§3.1's anomalies) and pays extra round trips.
+//!   guarantees (§3.1's anomalies) and pays extra round trips;
+//! * **2PC participant hooks** ([`partition`]): a fragment of a
+//!   multi-sited transaction executes at *prepare* with its undo log held
+//!   open, commits or rolls back on the coordinator's decision, and
+//!   leaves `PrepareMarker`/`Decision` records so recovery replays a
+//!   consistent global prefix (in-doubt fragments presume abort);
+//! * **cross-partition workflow edges** ([`workflow`]): streams declared
+//!   remote route their emissions through the cluster runtime to the
+//!   partition owning the downstream key, logged and deduplicated on
+//!   arrival for ordered, exactly-once dataflow.
 
 pub mod log;
 pub mod partition;
@@ -29,8 +38,8 @@ pub mod transaction;
 pub mod workflow;
 
 pub use log::{LogConfig, LogRetention};
-pub use partition::{ExecMode, Partition, PeConfig};
+pub use partition::{ExecMode, Partition, PeConfig, RemoteForward};
 pub use procedure::{ProcContext, ProcSpec};
 pub use stats::PeStats;
 pub use transaction::{Invocation, InvocationOrigin, TxnOutcome, TxnStatus};
-pub use workflow::Workflow;
+pub use workflow::{CrossEdge, Workflow};

@@ -80,20 +80,91 @@ pub enum LogRecord {
         /// The completed batch.
         batch: BatchId,
     },
+    /// This partition prepared its fragment of multi-sited transaction
+    /// `gtid`: the fragment's input is durable and its undo log is held
+    /// open until the coordinator's decision. Written (and fsynced)
+    /// *before* the participant votes yes.
+    PrepareMarker {
+        /// Global transaction id assigned by the coordinator.
+        gtid: u64,
+        /// Local batch id assigned to the fragment.
+        batch: BatchId,
+        /// The fragmented procedure's name.
+        proc: String,
+        /// This partition's share of the input rows.
+        rows: Vec<Row>,
+        /// Logical prepare time (µs).
+        ts: i64,
+    },
+    /// The participant learned the global outcome of prepared fragment
+    /// `gtid`. A prepared fragment with no Decision record is *in doubt*:
+    /// recovery consults the coordinator's decision log, and aborts
+    /// deterministically when that is silent too (presumed abort).
+    Decision {
+        /// Global transaction id.
+        gtid: u64,
+        /// The fragment's local batch id.
+        batch: BatchId,
+        /// True = commit, false = abort.
+        commit: bool,
+    },
+    /// A batch forwarded over a cross-partition workflow edge, logged on
+    /// the **receiving** partition before execution — the edge's upstream
+    /// backup. `(src_partition, stream, src_batch)` identifies the edge
+    /// instance for exactly-once dedup.
+    Forward {
+        /// Local batch id assigned on this (receiving) partition.
+        batch: BatchId,
+        /// The workflow stream the rows travelled on.
+        stream: String,
+        /// The emitting partition.
+        src_partition: u32,
+        /// The emitting partition's batch id.
+        src_batch: u64,
+        /// The forwarded rows.
+        rows: Vec<Row>,
+        /// Logical arrival time on this partition (µs).
+        ts: i64,
+    },
+    /// Per-(source partition, stream) forwarding high-water marks,
+    /// appended at snapshot points so edge dedup survives log GC. A
+    /// later record supersedes earlier ones (the marks are monotone).
+    EdgeHighWater {
+        /// `(src_partition, stream, highest src_batch executed)`.
+        entries: Vec<(u32, String, u64)>,
+    },
 }
 
-const REC_BORDER: u8 = 0;
-const REC_INVOKE: u8 = 1;
-const REC_ACK: u8 = 2;
+use sstore_common::codec::{
+    REC_ACK, REC_BORDER, REC_DECISION, REC_EDGE_HW, REC_FORWARD, REC_INVOKE, REC_PREPARE,
+};
 
 impl LogRecord {
-    /// The batch this record belongs to.
+    /// The batch this record belongs to. [`LogRecord::EdgeHighWater`] is
+    /// batch-less bookkeeping and reports batch 0 (never acked, so GC
+    /// handles it specially rather than through the acked set).
     pub fn batch(&self) -> BatchId {
         match self {
             LogRecord::BorderBatch { batch, .. }
             | LogRecord::Invocation { batch, .. }
+            | LogRecord::PrepareMarker { batch, .. }
+            | LogRecord::Decision { batch, .. }
+            | LogRecord::Forward { batch, .. }
             | LogRecord::Ack { batch } => *batch,
+            LogRecord::EdgeHighWater { .. } => BatchId::new(0),
         }
+    }
+
+    /// True for records that introduce *input* a workflow must process
+    /// (the records upstream backup must keep until acked).
+    pub fn is_input(&self) -> bool {
+        matches!(
+            self,
+            LogRecord::BorderBatch { .. }
+                | LogRecord::Invocation { .. }
+                | LogRecord::PrepareMarker { .. }
+                | LogRecord::Forward { .. }
+        )
     }
 
     /// Append the binary encoding (frame payload). Rows are encoded by
@@ -128,6 +199,61 @@ impl LogRecord {
             LogRecord::Ack { batch } => {
                 out.push(REC_ACK);
                 codec::put_uvarint(out, batch.raw());
+            }
+            LogRecord::PrepareMarker {
+                gtid,
+                batch,
+                proc,
+                rows,
+                ts,
+            } => {
+                out.push(REC_PREPARE);
+                codec::put_uvarint(out, *gtid);
+                codec::put_uvarint(out, batch.raw());
+                codec::put_str(out, proc);
+                codec::put_uvarint(out, rows.len() as u64);
+                for row in rows {
+                    codec::encode_row(row, out);
+                }
+                codec::put_ivarint(out, *ts);
+            }
+            LogRecord::Decision {
+                gtid,
+                batch,
+                commit,
+            } => {
+                out.push(REC_DECISION);
+                codec::put_uvarint(out, *gtid);
+                codec::put_uvarint(out, batch.raw());
+                out.push(*commit as u8);
+            }
+            LogRecord::Forward {
+                batch,
+                stream,
+                src_partition,
+                src_batch,
+                rows,
+                ts,
+            } => {
+                out.push(REC_FORWARD);
+                codec::put_uvarint(out, batch.raw());
+                codec::put_str(out, stream);
+                codec::put_uvarint(out, *src_partition as u64);
+                codec::put_uvarint(out, *src_batch);
+                codec::put_uvarint(out, rows.len() as u64);
+                for row in rows {
+                    codec::encode_row(row, out);
+                }
+                codec::put_ivarint(out, *ts);
+            }
+            LogRecord::EdgeHighWater { entries } => {
+                out.push(REC_EDGE_HW);
+                codec::put_uvarint(out, entries.len() as u64);
+                for (src, stream, hw) in entries {
+                    codec::put_uvarint(out, *src as u64);
+                    codec::put_str(out, stream);
+                    codec::put_uvarint(out, *hw);
+                }
             }
         }
     }
@@ -164,6 +290,60 @@ impl LogRecord {
             REC_ACK => Ok(LogRecord::Ack {
                 batch: BatchId::new(r.uvarint()?),
             }),
+            REC_PREPARE => {
+                let gtid = r.uvarint()?;
+                let batch = BatchId::new(r.uvarint()?);
+                let proc = r.str()?.to_string();
+                let n = r.uvarint()? as usize;
+                let mut rows = Vec::with_capacity(n.min(r.remaining()));
+                for _ in 0..n {
+                    rows.push(codec::decode_row(r)?);
+                }
+                let ts = r.ivarint()?;
+                Ok(LogRecord::PrepareMarker {
+                    gtid,
+                    batch,
+                    proc,
+                    rows,
+                    ts,
+                })
+            }
+            REC_DECISION => Ok(LogRecord::Decision {
+                gtid: r.uvarint()?,
+                batch: BatchId::new(r.uvarint()?),
+                commit: r.u8()? != 0,
+            }),
+            REC_FORWARD => {
+                let batch = BatchId::new(r.uvarint()?);
+                let stream = r.str()?.to_string();
+                let src_partition = r.uvarint()? as u32;
+                let src_batch = r.uvarint()?;
+                let n = r.uvarint()? as usize;
+                let mut rows = Vec::with_capacity(n.min(r.remaining()));
+                for _ in 0..n {
+                    rows.push(codec::decode_row(r)?);
+                }
+                let ts = r.ivarint()?;
+                Ok(LogRecord::Forward {
+                    batch,
+                    stream,
+                    src_partition,
+                    src_batch,
+                    rows,
+                    ts,
+                })
+            }
+            REC_EDGE_HW => {
+                let n = r.uvarint()? as usize;
+                let mut entries = Vec::with_capacity(n.min(r.remaining()));
+                for _ in 0..n {
+                    let src = r.uvarint()? as u32;
+                    let stream = r.str()?.to_string();
+                    let hw = r.uvarint()?;
+                    entries.push((src, stream, hw));
+                }
+                Ok(LogRecord::EdgeHighWater { entries })
+            }
             tag => Err(Error::Codec(format!("unknown log record tag {tag}"))),
         }
     }
@@ -424,12 +604,23 @@ impl CommandLog {
                 _ => None,
             })
             .collect();
+        // Keep only the newest EdgeHighWater record: each one dumps the
+        // full (monotone) mark map, so later records supersede earlier
+        // ones — without this, every snapshot would leak one more.
+        let last_hw = records
+            .iter()
+            .rposition(|r| matches!(r, LogRecord::EdgeHighWater { .. }));
         let keep: Vec<&LogRecord> = records
             .iter()
-            .filter(|r| {
+            .enumerate()
+            .filter(|(i, r)| {
+                if matches!(r, LogRecord::EdgeHighWater { .. }) {
+                    return Some(*i) == last_hw;
+                }
                 let b = r.batch().raw();
                 !(b <= covered.raw() && acked.contains(&b))
             })
+            .map(|(_, r)| r)
             .collect();
         let dropped = (records.len() - keep.len()) as u64;
         if dropped == 0 && self.active_format == self.config.format {

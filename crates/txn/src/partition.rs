@@ -23,7 +23,7 @@ use crate::log::{CommandLog, LogConfig, LogRecord, LogRetention};
 use crate::procedure::{simulate_cost, stmt_effects, ProcContext, ProcSpec, Procedure};
 use crate::stats::PeStats;
 use crate::transaction::{Invocation, InvocationOrigin, TxnOutcome, TxnStatus};
-use crate::workflow::Workflow;
+use crate::workflow::{CrossEdge, Workflow};
 use sstore_common::{
     Batch, BatchId, Clock, Error, PartitionId, ProcId, Result, Row, TableId, TxnId, Value,
 };
@@ -31,6 +31,49 @@ use sstore_engine::{EeConfig, ExecutionEngine, TxnScratch};
 use sstore_sql::exec::QueryResult;
 use sstore_storage::snapshot::Snapshot;
 use std::collections::{HashMap, VecDeque};
+
+/// A fragment of a multi-sited transaction, executed at *prepare* time
+/// with its undo log held open until the coordinator's decision arrives.
+/// Shared-nothing serial execution means at most one fragment is ever
+/// prepared per partition — the worker blocks (deferring queued jobs)
+/// between prepare and decide, so no other TE can observe the fragment's
+/// uncommitted writes.
+struct PreparedFragment {
+    /// Coordinator-assigned global transaction id.
+    gtid: u64,
+    /// Local transaction id consumed by the fragment body.
+    txn: TxnId,
+    /// Local batch id assigned at prepare.
+    batch: BatchId,
+    /// The fragmented procedure.
+    proc: ProcId,
+    /// Wall-clock start, for commit latency accounting.
+    start: std::time::Instant,
+    /// The open undo log: dropped on commit, applied on abort.
+    undo: sstore_storage::UndoLog,
+    /// Stream rows the body emitted (released to PE triggers on commit).
+    appended: Vec<(TableId, Row)>,
+    /// Client response assembled by the body.
+    response: Option<QueryResult>,
+}
+
+/// One batch bound for another partition over a cross-partition workflow
+/// edge. Produced by [`Partition::take_outbox`] after a TE commits onto a
+/// declared remote stream; the cluster runtime routes the rows by
+/// `key_col` and delivers them as forwarded TEs.
+#[derive(Debug, Clone)]
+pub struct RemoteForward {
+    /// Stream name (stream ids are deployment-deterministic, but names
+    /// survive the trip between differently-built partitions).
+    pub stream: String,
+    /// Visible column routing each row to its owning partition.
+    pub key_col: usize,
+    /// The emitting partition's batch id (the edge-instance identity,
+    /// together with the source partition and stream).
+    pub batch: BatchId,
+    /// The emitted rows (shared handles — no copies on the way out).
+    pub rows: Vec<Row>,
+}
 
 /// Which system the partition behaves as.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -127,6 +170,23 @@ pub struct Partition {
     /// Output rows of the TE that just committed, handed from `run_te` to
     /// `post_te` without cloning.
     pending_outputs: Vec<(TableId, Row)>,
+    /// The 2PC fragment currently held between prepare and decision.
+    prepared: Option<PreparedFragment>,
+    /// Declared cross-partition edges by stream name (re-applied to the
+    /// workflow whenever it is rebuilt by `register`).
+    cross_edges: Vec<(String, usize)>,
+    /// Batches emitted onto remote streams, awaiting pickup by the
+    /// cluster runtime ([`Partition::take_outbox`]).
+    outbox: Vec<RemoteForward>,
+    /// Exactly-once dedup state per incoming edge: highest source batch
+    /// id already accepted from `(source partition, stream)`.
+    edge_high_water: HashMap<(u32, String), u64>,
+    /// Highest gtid this partition has ever prepared (live or replayed).
+    /// The cluster's coordinator resumes *past* every partition's mark so
+    /// a recovered cluster can never reuse an in-doubt gtid — reuse would
+    /// let a later commit of the recycled id retroactively commit the
+    /// old aborted fragment on the next recovery.
+    max_gtid_seen: u64,
 }
 
 impl std::fmt::Debug for Partition {
@@ -169,6 +229,11 @@ impl Partition {
             commits_since_snapshot: 0,
             replaying: false,
             pending_outputs: Vec::new(),
+            prepared: None,
+            cross_edges: Vec::new(),
+            outbox: Vec::new(),
+            edge_high_water: HashMap::new(),
+            max_gtid_seen: 0,
         })
     }
 
@@ -263,11 +328,60 @@ impl Partition {
             statements,
             read_set,
             write_set,
+            multi_partition: spec.multi_partition,
             handler: spec.handler,
         });
         self.by_name.insert(spec.name, id);
         self.workflow = Workflow::build(&self.procs)?;
+        self.reapply_cross_edges()?;
         Ok(id)
+    }
+
+    /// Declare `stream` a cross-partition workflow edge: tuples emitted
+    /// onto it are not consumed by this partition's PE triggers but
+    /// buffered in the outbox ([`Partition::take_outbox`]) for the
+    /// cluster runtime to route by `key_col` to the owning partitions.
+    /// Survives workflow rebuilds; redeclaring a stream replaces its
+    /// routing column.
+    pub fn declare_cross_edge(&mut self, stream: &str, key_col: usize) -> Result<()> {
+        let sid = self.engine.db().resolve(stream)?;
+        if !self.engine.db().kind(sid)?.is_stream() {
+            return Err(Error::Constraint(format!(
+                "`{stream}` is not a stream; cross-partition edges ride streams"
+            )));
+        }
+        let arity = self
+            .engine
+            .db()
+            .catalog()
+            .meta(sid)
+            .map(|m| m.visible_schema.arity())
+            .unwrap_or(0);
+        if key_col >= arity {
+            return Err(Error::Constraint(format!(
+                "cross-edge key column {key_col} out of range for `{stream}` (arity {arity})"
+            )));
+        }
+        self.cross_edges.retain(|(s, _)| s != stream);
+        self.cross_edges.push((stream.to_string(), key_col));
+        self.workflow.declare_remote(CrossEdge {
+            stream: sid,
+            key_col,
+        });
+        Ok(())
+    }
+
+    /// Re-apply declared cross edges after `Workflow::build` replaced the
+    /// graph (registration order and edge declaration order commute).
+    fn reapply_cross_edges(&mut self) -> Result<()> {
+        for (name, key_col) in self.cross_edges.clone() {
+            let sid = self.engine.db().resolve(&name)?;
+            self.workflow.declare_remote(CrossEdge {
+                stream: sid,
+                key_col,
+            });
+        }
+        Ok(())
     }
 
     // ---- accessors -----------------------------------------------------------
@@ -542,9 +656,303 @@ impl Partition {
             .ok_or_else(|| Error::Internal("invoke produced no outcome".into()))
     }
 
+    // ---- cross-partition transactions (2PC participant) ----------------------
+
+    /// Phase 1 of two-phase commit: execute this partition's fragment of
+    /// multi-sited transaction `gtid` and **hold its undo log open**.
+    /// The fragment's input is logged (and fsynced) *before* the body
+    /// runs, so a yes-vote is a durable promise: after a crash the
+    /// fragment replays against the coordinator's decision.
+    ///
+    /// Returns the fragment's local batch id on a yes-vote. On `Err` the
+    /// participant has voted no: the body's effects are already rolled
+    /// back and a local abort [`LogRecord::Decision`] is durable — the
+    /// coordinator's abort round is then a no-op here.
+    ///
+    /// Serial execution discipline: at most one fragment may be prepared
+    /// at a time, and the caller (the partition worker) must not run any
+    /// other TE between prepare and [`Partition::decide_fragment`] — the
+    /// fragment's uncommitted writes are visible in storage.
+    pub fn prepare_fragment<R: Into<Row>>(
+        &mut self,
+        gtid: u64,
+        proc: &str,
+        rows: Vec<R>,
+    ) -> Result<BatchId> {
+        let rows: Vec<Row> = rows.into_iter().map(Into::into).collect();
+        if let Some(frag) = &self.prepared {
+            return Err(Error::Txn(format!(
+                "partition {} already holds prepared fragment gtid {}",
+                self.config.partition, frag.gtid
+            )));
+        }
+        let pid = self.border_proc_id(proc)?;
+        self.max_gtid_seen = self.max_gtid_seen.max(gtid);
+        self.stats.twopc_prepares += 1;
+        self.next_batch += 1;
+        let batch = BatchId::new(self.next_batch);
+        self.log_record(&LogRecord::PrepareMarker {
+            gtid,
+            batch,
+            proc: proc.to_string(),
+            rows: rows.clone(),
+            ts: self.clock.now(),
+        })?;
+        self.log_sync()?; // the yes-vote must be durable before it is cast
+        self.stats.batches_submitted += 1;
+        self.batch_refs.insert(batch.raw(), 1);
+
+        let start = std::time::Instant::now();
+        let txn = TxnId::new(self.next_txn);
+        self.next_txn += 1;
+        let now = self.clock.now();
+        let p = &self.procs[pid.raw() as usize];
+        let handler = p.handler.clone();
+        let output_stream = p.output_stream;
+        let input = Batch::new(batch, rows);
+        let mut scratch = TxnScratch::new(Some(pid), batch);
+        let mut ctx = ProcContext {
+            engine: &mut self.engine,
+            scratch: &mut scratch,
+            statements: &p.statements,
+            input: &input,
+            now,
+            output_stream,
+            response: None,
+            ee_trip_cost_micros: self.config.ee_trip_cost_micros,
+            ee_trip_latency_micros: self.config.ee_trip_latency_micros,
+        };
+        let result = handler(&mut ctx);
+        let response = ctx.response.take();
+        match result {
+            Ok(()) => {
+                self.prepared = Some(PreparedFragment {
+                    gtid,
+                    txn,
+                    batch,
+                    proc: pid,
+                    start,
+                    undo: scratch.undo,
+                    appended: scratch.appended,
+                    response,
+                });
+                Ok(batch)
+            }
+            Err(e) => {
+                // Vote no: unilateral abort, decided (and logged) locally.
+                scratch.undo.rollback(self.engine.db_mut())?;
+                self.log_record(&LogRecord::Decision {
+                    gtid,
+                    batch,
+                    commit: false,
+                })?;
+                self.log_sync()?;
+                self.stats.twopc_aborts += 1;
+                if e.is_user_abort() {
+                    self.stats.user_aborts += 1;
+                } else {
+                    self.stats.failed += 1;
+                }
+                self.complete_batch(batch)?;
+                Err(e)
+            }
+        }
+    }
+
+    /// Phase 2 of two-phase commit: apply the coordinator's decision to
+    /// the held fragment. Commit drops the undo log, fires PE triggers on
+    /// the fragment's emissions (scheduling local downstream TEs and/or
+    /// cross-partition forwards), and drains; abort applies the undo log.
+    /// Returns the fragment's outcome followed by any downstream TEs'.
+    pub fn decide_fragment(&mut self, gtid: u64, commit: bool) -> Result<Vec<TxnOutcome>> {
+        let frag = match self.prepared.take() {
+            Some(f) if f.gtid == gtid => f,
+            Some(f) => {
+                let held = f.gtid;
+                self.prepared = Some(f);
+                return Err(Error::Txn(format!(
+                    "decision for gtid {gtid} but partition {} holds gtid {held}",
+                    self.config.partition
+                )));
+            }
+            None => {
+                return Err(Error::Txn(format!(
+                    "no prepared fragment for gtid {gtid} on partition {}",
+                    self.config.partition
+                )))
+            }
+        };
+        self.log_record(&LogRecord::Decision {
+            gtid,
+            batch: frag.batch,
+            commit,
+        })?;
+        self.log_sync()?;
+        let inv = Invocation {
+            proc: frag.proc,
+            batch: Batch::empty(frag.batch),
+            origin: InvocationOrigin::Client,
+        };
+        let outcome = if commit {
+            frag.undo.commit();
+            self.stats.committed += 1;
+            self.stats.twopc_commits += 1;
+            self.commits_since_snapshot += 1;
+            self.stats.record_latency(frag.start.elapsed().as_nanos());
+            self.pending_outputs = frag.appended;
+            TxnOutcome {
+                txn: frag.txn,
+                proc: frag.proc,
+                batch: frag.batch,
+                status: TxnStatus::Committed,
+                response: frag.response,
+                error: None,
+            }
+        } else {
+            frag.undo.rollback(self.engine.db_mut())?;
+            self.stats.twopc_aborts += 1;
+            self.pending_outputs = Vec::new();
+            TxnOutcome {
+                txn: frag.txn,
+                proc: frag.proc,
+                batch: frag.batch,
+                status: TxnStatus::Aborted,
+                response: None,
+                error: Some(format!("aborted by 2PC coordinator (gtid {gtid})")),
+            }
+        };
+        self.post_te(&inv, &outcome)?;
+        let mut outcomes = vec![outcome];
+        outcomes.extend(self.drain()?);
+        Ok(outcomes)
+    }
+
+    /// The gtid of the currently held fragment, if any.
+    pub fn prepared_gtid(&self) -> Option<u64> {
+        self.prepared.as_ref().map(|f| f.gtid)
+    }
+
+    /// Highest gtid ever prepared here (live or during replay). Cluster
+    /// recovery resumes the coordinator's sequence past every
+    /// partition's mark — gtids are never reused.
+    pub fn max_gtid_seen(&self) -> u64 {
+        self.max_gtid_seen
+    }
+
+    // ---- cross-partition workflow edges ---------------------------------------
+
+    /// Accept a batch forwarded over a cross-partition edge. Logs the
+    /// forward (durably — the edge ack that releases the sender's
+    /// upstream backup is only sent once this returns), deduplicates by
+    /// `(src_partition, stream)` high-water mark, and enqueues one TE per
+    /// consuming procedure. Returns the local batch id, or `None` when
+    /// the forward was a duplicate (replay / re-forwarding after
+    /// recovery). Call [`Partition::run_queued`] to execute.
+    pub fn accept_forward(
+        &mut self,
+        stream: &str,
+        src_partition: u32,
+        src_batch: u64,
+        rows: Vec<Row>,
+    ) -> Result<Option<BatchId>> {
+        let sid = self.engine.db().resolve(stream)?;
+        if !self.engine.db().kind(sid)?.is_stream() {
+            return Err(Error::Constraint(format!("`{stream}` is not a stream")));
+        }
+        let key = (src_partition, stream.to_string());
+        if src_batch <= self.edge_high_water.get(&key).copied().unwrap_or(0) {
+            self.stats.forwards_deduped += 1;
+            return Ok(None);
+        }
+        self.next_batch += 1;
+        let batch = BatchId::new(self.next_batch);
+        self.log_record(&LogRecord::Forward {
+            batch,
+            stream: stream.to_string(),
+            src_partition,
+            src_batch,
+            rows: rows.clone(),
+            ts: self.clock.now(),
+        })?;
+        self.log_sync()?;
+        self.edge_high_water.insert(key, src_batch);
+        self.stats.forwards_in += 1;
+        let consumers = self.workflow.consumers_of(sid).to_vec();
+        if consumers.is_empty() {
+            // No consumer deployed here: the forward is terminally
+            // consumed on arrival (still logged + deduped, so replay and
+            // the sender's upstream backup stay correct).
+            self.stats.batches_completed += 1;
+            self.log_record(&LogRecord::Ack { batch })?;
+            return Ok(Some(batch));
+        }
+        self.batch_refs.insert(batch.raw(), consumers.len());
+        for consumer in consumers {
+            self.stats.pe_trigger_firings += 1;
+            self.queue.push_back(Invocation {
+                proc: consumer,
+                batch: Batch::new(batch, rows.clone()),
+                origin: InvocationOrigin::PeTrigger,
+            });
+        }
+        Ok(Some(batch))
+    }
+
+    /// The receiving partition durably logged a forward of `batch`:
+    /// release the edge's share of the emitting batch's upstream backup.
+    /// When the last reference drops, the batch is acked and its input
+    /// record becomes GC-eligible.
+    pub fn edge_acked(&mut self, batch: BatchId) -> Result<()> {
+        self.complete_batch(batch)
+    }
+
+    /// Drain the outbox of batches bound for other partitions.
+    pub fn take_outbox(&mut self) -> Vec<RemoteForward> {
+        std::mem::take(&mut self.outbox)
+    }
+
+    /// True when `batch` still has outstanding references (e.g. an edge
+    /// forward whose receiver has not acked). Recovery must not blanket-
+    /// ack such batches.
+    pub fn has_pending_refs(&self, batch: BatchId) -> bool {
+        self.batch_refs.contains_key(&batch.raw())
+    }
+
+    /// Names of procedures declared `multi_partition` (the cluster
+    /// coordinator routes their border submissions through 2PC).
+    pub fn multi_partition_procs(&self) -> Vec<String> {
+        self.procs
+            .iter()
+            .filter(|p| p.multi_partition)
+            .map(|p| p.name.clone())
+            .collect()
+    }
+
+    /// Decrement `batch`'s reference count; ack it at zero.
+    fn complete_batch(&mut self, batch: BatchId) -> Result<()> {
+        if let Some(refs) = self.batch_refs.get_mut(&batch.raw()) {
+            *refs -= 1;
+            if *refs == 0 {
+                self.batch_refs.remove(&batch.raw());
+                self.stats.batches_completed += 1;
+                self.log_record(&LogRecord::Ack { batch })?;
+            }
+        }
+        Ok(())
+    }
+
     /// Drain the ready queue, running TEs serially. At quiescence (the
     /// queue is empty again) the retention policy may snapshot + truncate.
     fn drain(&mut self) -> Result<Vec<TxnOutcome>> {
+        if let Some(frag) = &self.prepared {
+            // Serial-execution invariant: the prepared fragment's
+            // uncommitted writes are sitting in storage; running another
+            // TE now could read them and make an abort un-rollbackable.
+            return Err(Error::Txn(format!(
+                "cannot run TEs while 2PC fragment gtid {} awaits its decision",
+                frag.gtid
+            )));
+        }
         let mut outcomes = Vec::new();
         while let Some(inv) = self.queue.pop_front() {
             let outcome = self.run_te(&inv)?;
@@ -673,6 +1081,33 @@ impl Partition {
                 let mut to_schedule: Vec<Invocation> = Vec::new();
                 for stream in &order {
                     let rows = &by_stream[stream];
+                    // A declared cross-partition edge: buffer the batch in
+                    // the outbox for the cluster router instead of firing
+                    // local PE triggers. The emitting batch stays open
+                    // (one extra ref) until the receiving partition has
+                    // durably logged the forward — upstream backup across
+                    // the edge.
+                    if let Some(key_col) = self.workflow.remote_key_col(*stream) {
+                        let name = self
+                            .engine
+                            .db()
+                            .catalog()
+                            .meta(*stream)
+                            .map(|m| m.name.clone())
+                            .ok_or_else(|| Error::NotFound(format!("stream {stream}")))?;
+                        self.stats.forwards_out += 1;
+                        *self.batch_refs.entry(b.raw()).or_insert(0) += 1;
+                        self.outbox.push(RemoteForward {
+                            stream: name,
+                            key_col,
+                            batch: b,
+                            rows: rows.clone(),
+                        });
+                        // The envelope holds shared row handles; the
+                        // emitted tuples are terminally consumed locally.
+                        self.engine.gc_stream(*stream, b)?;
+                        continue;
+                    }
                     let consumers = self.workflow.consumers_of(*stream).to_vec();
                     if !consumers.is_empty() {
                         self.gc_pending.insert((*stream, b.raw()), consumers.len());
@@ -713,14 +1148,7 @@ impl Partition {
         }
 
         // Batch completion accounting.
-        if let Some(refs) = self.batch_refs.get_mut(&b.raw()) {
-            *refs -= 1;
-            if *refs == 0 {
-                self.batch_refs.remove(&b.raw());
-                self.stats.batches_completed += 1;
-                self.log_record(&LogRecord::Ack { batch: b })?;
-            }
-        }
+        self.complete_batch(b)?;
         Ok(())
     }
 
@@ -731,6 +1159,20 @@ impl Partition {
         if let Some(log) = &mut self.log {
             log.append(record)?;
             self.stats.log_records += 1;
+            self.stats.log_syncs = log.syncs();
+        }
+        Ok(())
+    }
+
+    /// Force the command log's buffered group down (2PC votes and edge
+    /// acks must not sit in the group-commit buffer: the peer acts on
+    /// them immediately).
+    fn log_sync(&mut self) -> Result<()> {
+        if self.replaying {
+            return Ok(());
+        }
+        if let Some(log) = &mut self.log {
+            log.sync()?;
             self.stats.log_syncs = log.syncs();
         }
         Ok(())
@@ -801,6 +1243,20 @@ impl Partition {
         if let Some(log) = &mut self.log {
             self.stats.log_gc_dropped += log.gc_acked_through(BatchId::new(self.next_batch))?;
         }
+        // Persist the edge high-water marks past the GC: a forwarded
+        // batch's record may just have been dropped (acked + covered), and
+        // without the marks a post-recovery re-forward from an upstream
+        // partition would execute twice.
+        if !self.edge_high_water.is_empty() {
+            let mut entries: Vec<(u32, String, u64)> = self
+                .edge_high_water
+                .iter()
+                .map(|((src, stream), &hw)| (*src, stream.clone(), hw))
+                .collect();
+            entries.sort();
+            self.log_record(&LogRecord::EdgeHighWater { entries })?;
+            self.log_sync()?;
+        }
         self.commits_since_snapshot = 0;
         Ok(())
     }
@@ -827,8 +1283,16 @@ impl Partition {
         Ok(())
     }
 
-    /// Internal: replay one log record (recovery path).
-    pub(crate) fn replay_record(&mut self, record: LogRecord) -> Result<()> {
+    /// Internal: replay one log record (recovery path). `decision` is the
+    /// resolved global outcome for [`LogRecord::PrepareMarker`] records
+    /// (from the local log's Decision records, or the coordinator's
+    /// decision log) — `None` means in doubt, which aborts
+    /// deterministically (presumed abort).
+    pub(crate) fn replay_record(
+        &mut self,
+        record: LogRecord,
+        decision: Option<bool>,
+    ) -> Result<()> {
         match record {
             LogRecord::BorderBatch {
                 batch,
@@ -862,8 +1326,102 @@ impl Partition {
                 self.replaying = false;
                 r.map(|_| ())
             }
+            LogRecord::PrepareMarker {
+                gtid,
+                batch,
+                proc,
+                rows,
+                ts,
+            } => {
+                self.max_gtid_seen = self.max_gtid_seen.max(gtid);
+                if batch.raw() <= self.next_batch {
+                    return Ok(());
+                }
+                self.clock.advance_to(ts);
+                match decision {
+                    Some(true) => {
+                        // Re-run the fragment exactly as live execution
+                        // did: prepare (undo held) then commit + triggers.
+                        self.replaying = true;
+                        self.next_batch = batch.raw() - 1;
+                        let r = self
+                            .prepare_fragment(gtid, &proc, rows)
+                            .and_then(|_| self.decide_fragment(gtid, true));
+                        self.replaying = false;
+                        r.map(|_| ())
+                    }
+                    aborted => {
+                        // Aborted (or in doubt → presumed abort): the
+                        // pre-crash execution had zero net state effect;
+                        // consume the same batch/txn ids and move on.
+                        self.next_batch = batch.raw();
+                        self.next_txn += 1;
+                        if aborted.is_none() {
+                            self.stats.twopc_in_doubt_aborts += 1;
+                        }
+                        self.stats.twopc_aborts += 1;
+                        Ok(())
+                    }
+                }
+            }
+            // Effects of decisions are applied at their PrepareMarker
+            // (the caller resolves them by lookahead); only the gtid
+            // sequencing mark advances here.
+            LogRecord::Decision { gtid, .. } => {
+                self.max_gtid_seen = self.max_gtid_seen.max(gtid);
+                Ok(())
+            }
+            LogRecord::Forward {
+                batch,
+                stream,
+                src_partition,
+                src_batch,
+                rows,
+                ts,
+            } => {
+                if batch.raw() <= self.next_batch {
+                    // Snapshot-covered: the execution is in the image, but
+                    // the dedup mark must still advance.
+                    let hw = self
+                        .edge_high_water
+                        .entry((src_partition, stream))
+                        .or_insert(0);
+                    *hw = (*hw).max(src_batch);
+                    return Ok(());
+                }
+                self.clock.advance_to(ts);
+                self.replaying = true;
+                self.next_batch = batch.raw() - 1;
+                let r = self
+                    .accept_forward(&stream, src_partition, src_batch, rows)
+                    .and_then(|_| self.run_queued());
+                self.replaying = false;
+                r.map(|_| ())
+            }
+            LogRecord::EdgeHighWater { entries } => {
+                for (src, stream, hw) in entries {
+                    let mark = self.edge_high_water.entry((src, stream)).or_insert(0);
+                    *mark = (*mark).max(hw);
+                }
+                Ok(())
+            }
             LogRecord::Ack { .. } => Ok(()),
         }
+    }
+
+    /// Internal: append fresh Decision records (recovery path) for
+    /// fragments whose outcome was resolved from the coordinator's
+    /// decision log (or by presumed abort), so the next recovery is
+    /// self-contained.
+    pub(crate) fn append_decisions(&mut self, decisions: &[(u64, BatchId, bool)]) -> Result<()> {
+        for &(gtid, batch, commit) in decisions {
+            self.log_record(&LogRecord::Decision {
+                gtid,
+                batch,
+                commit,
+            })?;
+        }
+        self.log_sync()
     }
 }
 
@@ -1211,6 +1769,156 @@ mod tests {
         // Draining a consumed stream is refused.
         let mut p2 = pipeline(PeConfig::default());
         assert!(p2.drain_sink("validated").is_err());
+    }
+
+    #[test]
+    fn prepared_fragment_commits_on_decision_and_fires_triggers() {
+        let mut p = pipeline(PeConfig::default());
+        let b = p
+            .prepare_fragment(
+                7,
+                "validate",
+                vec![vec![Value::Int(1)], vec![Value::Int(2)]],
+            )
+            .unwrap();
+        // Held open: nothing committed yet, no downstream TE ran.
+        assert_eq!(p.prepared_gtid(), Some(7));
+        assert_eq!(p.stats().committed, 0);
+        let outcomes = p.decide_fragment(7, true).unwrap();
+        // Fragment TE + downstream count TE, same batch.
+        assert_eq!(outcomes.len(), 2);
+        assert!(outcomes.iter().all(|o| o.is_committed()));
+        assert_eq!(outcomes[0].batch, b);
+        assert_eq!(total(&mut p), 2);
+        let s = p.stats();
+        assert_eq!(s.twopc_prepares, 1);
+        assert_eq!(s.twopc_commits, 1);
+        assert_eq!(s.batches_completed, 1);
+        assert_eq!(p.prepared_gtid(), None);
+    }
+
+    #[test]
+    fn prepared_fragment_aborts_on_decision_with_no_effects() {
+        let mut p = pipeline(PeConfig::default());
+        p.prepare_fragment(9, "validate", vec![vec![Value::Int(5)]])
+            .unwrap();
+        let outcomes = p.decide_fragment(9, false).unwrap();
+        assert_eq!(outcomes.len(), 1);
+        assert_eq!(outcomes[0].status, TxnStatus::Aborted);
+        assert_eq!(total(&mut p), 0);
+        assert_eq!(p.stats().twopc_aborts, 1);
+        assert_eq!(p.stats().pe_trigger_firings, 0);
+        // The partition keeps working normally afterwards.
+        p.submit_batch("validate", vec![vec![Value::Int(1)]])
+            .unwrap();
+        assert_eq!(total(&mut p), 1);
+    }
+
+    #[test]
+    fn failing_fragment_votes_no_and_rolls_back() {
+        let mut p = Partition::new(PeConfig::default()).unwrap();
+        p.ddl("CREATE STREAM s_in (v INT)").unwrap();
+        p.ddl("CREATE TABLE t (id INT NOT NULL, PRIMARY KEY (id))")
+            .unwrap();
+        p.register(
+            ProcSpec::new("boom", |ctx| {
+                ctx.exec("ins", &[Value::Int(1)])?;
+                Err(ctx.abort("no thanks"))
+            })
+            .consumes("s_in")
+            .stmt("ins", "INSERT INTO t VALUES (?)"),
+        )
+        .unwrap();
+        let err = p
+            .prepare_fragment(3, "boom", vec![vec![Value::Int(1)]])
+            .unwrap_err();
+        assert!(err.is_user_abort());
+        assert_eq!(p.prepared_gtid(), None);
+        assert_eq!(
+            p.query("SELECT COUNT(*) FROM t", &[])
+                .unwrap()
+                .scalar_i64()
+                .unwrap(),
+            0
+        );
+        // The abort is decided locally; a later coordinator abort round
+        // has nothing to do.
+        assert!(p.decide_fragment(3, false).is_err());
+        assert_eq!(p.stats().twopc_aborts, 1);
+    }
+
+    #[test]
+    fn mismatched_decision_is_rejected_and_fragment_survives() {
+        let mut p = pipeline(PeConfig::default());
+        p.prepare_fragment(1, "validate", vec![vec![Value::Int(1)]])
+            .unwrap();
+        assert!(p.decide_fragment(2, true).is_err());
+        assert_eq!(p.prepared_gtid(), Some(1));
+        // A second prepare while one is held is refused.
+        assert!(p
+            .prepare_fragment(3, "validate", vec![vec![Value::Int(1)]])
+            .is_err());
+        p.decide_fragment(1, true).unwrap();
+        assert_eq!(total(&mut p), 1);
+    }
+
+    #[test]
+    fn cross_edge_emissions_buffer_in_outbox_not_local_triggers() {
+        let mut p = pipeline(PeConfig::default());
+        p.declare_cross_edge("validated", 0).unwrap();
+        let outcomes = p
+            .submit_batch("validate", vec![vec![Value::Int(4)], vec![Value::Int(-1)]])
+            .unwrap();
+        // Only the border TE ran; the emission went to the outbox.
+        assert_eq!(outcomes.len(), 1);
+        assert_eq!(p.stats().pe_trigger_firings, 0);
+        assert_eq!(p.stats().forwards_out, 1);
+        assert_eq!(total(&mut p), 0);
+        let outbox = p.take_outbox();
+        assert_eq!(outbox.len(), 1);
+        assert_eq!(outbox[0].stream, "validated");
+        assert_eq!(outbox[0].rows, vec![Row::from(vec![Value::Int(4)])]);
+        assert!(p.take_outbox().is_empty());
+        // The batch stays open (upstream backup) until the edge is acked.
+        assert!(p.has_pending_refs(outbox[0].batch));
+        assert_eq!(p.stats().batches_completed, 0);
+        p.edge_acked(outbox[0].batch).unwrap();
+        assert!(!p.has_pending_refs(outbox[0].batch));
+        assert_eq!(p.stats().batches_completed, 1);
+        // The emitted rows were GC'd locally (terminally consumed).
+        let validated = p.engine().db().resolve("validated").unwrap();
+        assert_eq!(p.engine().db().table(validated).unwrap().len(), 0);
+    }
+
+    #[test]
+    fn accept_forward_executes_consumers_and_dedupes() {
+        let mut p = pipeline(PeConfig::default());
+        let b = p
+            .accept_forward("validated", 0, 5, vec![vec![Value::Int(1)].into()])
+            .unwrap();
+        assert!(b.is_some());
+        p.run_queued().unwrap();
+        assert_eq!(total(&mut p), 1);
+        assert_eq!(p.stats().forwards_in, 1);
+        // Same edge instance again (a re-forward after recovery): deduped.
+        let dup = p
+            .accept_forward("validated", 0, 5, vec![vec![Value::Int(1)].into()])
+            .unwrap();
+        assert!(dup.is_none());
+        assert_eq!(p.stats().forwards_deduped, 1);
+        assert_eq!(total(&mut p), 1);
+        // A *newer* source batch is accepted; an older one from a
+        // different source partition is independent.
+        assert!(p
+            .accept_forward("validated", 0, 6, vec![vec![Value::Int(1)].into()])
+            .unwrap()
+            .is_some());
+        assert!(p
+            .accept_forward("validated", 1, 2, vec![vec![Value::Int(1)].into()])
+            .unwrap()
+            .is_some());
+        p.run_queued().unwrap();
+        assert_eq!(total(&mut p), 3);
     }
 
     #[test]

@@ -33,6 +33,12 @@ pub struct ProcSpec {
     pub windows: Vec<String>,
     /// Named SQL statements, planned at registration.
     pub statements: Vec<(String, String)>,
+    /// Declared multi-sited: border submissions of this procedure whose
+    /// rows route to more than one partition run as ONE global transaction
+    /// under the cluster's two-phase-commit coordinator, instead of as
+    /// independent per-partition TEs. Single-partition submissions take
+    /// the ordinary fast path either way.
+    pub multi_partition: bool,
     /// The body.
     pub handler: ProcHandler,
 }
@@ -61,8 +67,15 @@ impl ProcSpec {
             output_stream: None,
             windows: Vec::new(),
             statements: Vec::new(),
+            multi_partition: false,
             handler: Arc::new(handler),
         }
+    }
+
+    /// Declare the procedure multi-sited (see [`ProcSpec::multi_partition`]).
+    pub fn multi_partition(mut self) -> Self {
+        self.multi_partition = true;
+        self
     }
 
     /// Set the input stream.
@@ -106,6 +119,8 @@ pub struct Procedure {
     pub read_set: HashSet<TableId>,
     /// Tables written by the prepared statements.
     pub write_set: HashSet<TableId>,
+    /// Declared multi-sited (see [`ProcSpec::multi_partition`]).
+    pub multi_partition: bool,
     /// The body.
     pub handler: ProcHandler,
 }

@@ -18,17 +18,42 @@
 
 use crate::log::{read_log, LogConfig, LogRecord};
 use crate::partition::{Partition, PeConfig};
-use sstore_common::Result;
+use sstore_common::{BatchId, Result};
 use sstore_storage::snapshot::Snapshot;
+use std::collections::HashMap;
 
 /// Rebuild a partition from its durable state.
 ///
 /// `setup` must recreate exactly the DDL, indexes, EE triggers, and
 /// procedure registrations that the crashed partition had (deterministic
 /// redeployment, as in H-Store).
+///
+/// Prepared-but-undecided 2PC fragments found in the log are aborted
+/// deterministically (presumed abort) — use
+/// [`recover_with_decisions`] to consult a coordinator decision log
+/// instead.
 pub fn recover(
     config: PeConfig,
     setup: impl FnOnce(&mut Partition) -> Result<()>,
+) -> Result<Partition> {
+    recover_with_decisions(config, setup, &HashMap::new())
+}
+
+/// [`recover`], resolving in-doubt 2PC fragments against a coordinator's
+/// decision log (`gtid → commit?`).
+///
+/// Outcome resolution for each `PrepareMarker` in the log, in priority
+/// order: a local `Decision` record (the participant learned the outcome
+/// before the crash); the coordinator's decision log (the coordinator
+/// decided but this participant crashed first); otherwise **presumed
+/// abort** — the coordinator never logged a commit, so no participant can
+/// have committed. Outcomes resolved from the coordinator (or presumed)
+/// are appended as fresh local `Decision` records, making the next
+/// recovery self-contained.
+pub fn recover_with_decisions(
+    config: PeConfig,
+    setup: impl FnOnce(&mut Partition) -> Result<()>,
+    coordinator: &HashMap<u64, bool>,
 ) -> Result<Partition> {
     let log_cfg: LogConfig = config
         .log
@@ -62,19 +87,48 @@ pub fn recover(
             _ => None,
         })
         .collect();
+    let local_decisions: HashMap<u64, bool> = records
+        .iter()
+        .filter_map(|r| match r {
+            LogRecord::Decision { gtid, commit, .. } => Some((*gtid, *commit)),
+            _ => None,
+        })
+        .collect();
     let unacked: Vec<_> = records
         .iter()
-        .filter(|r| !matches!(r, LogRecord::Ack { .. }))
+        .filter(|r| r.is_input())
         .map(|r| r.batch())
         .filter(|b| !acked.contains(&b.raw()))
         .collect();
+    let mut newly_decided: Vec<(u64, BatchId, bool)> = Vec::new();
     for record in records {
-        p.replay_record(record)?;
+        let decision = if let LogRecord::PrepareMarker { gtid, batch, .. } = &record {
+            match local_decisions.get(gtid) {
+                Some(&d) => Some(d),
+                None => {
+                    // In doubt locally: consult the coordinator; silence
+                    // there means the commit point was never reached.
+                    let d = coordinator.get(gtid).copied();
+                    newly_decided.push((*gtid, *batch, d.unwrap_or(false)));
+                    d
+                }
+            }
+        } else {
+            None
+        };
+        p.replay_record(record, decision)?;
     }
+    p.append_decisions(&newly_decided)?;
     // Replay completed every logged workflow (and snapshot-covered ones
     // completed before the crash), but replay suppresses logging — so
     // batches whose Ack was lost to the torn tail get a fresh Ack now,
-    // letting retention GC retire their input records.
+    // letting retention GC retire their input records. Batches still
+    // holding references (an un-acked cross-partition forward the cluster
+    // runtime will re-send) stay open.
+    let unacked: Vec<_> = unacked
+        .into_iter()
+        .filter(|b| !p.has_pending_refs(*b))
+        .collect();
     p.ack_batches(&unacked)?;
     Ok(p)
 }
@@ -82,7 +136,7 @@ pub fn recover(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::log::LogConfig;
+    use crate::log::{read_log, LogConfig};
     use crate::procedure::ProcSpec;
     use sstore_common::Value;
     use std::path::PathBuf;
@@ -397,6 +451,203 @@ mod tests {
             recovered == 12 || recovered == 20,
             "unexpected recovered total {recovered}"
         );
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    // ---- 2PC crash-point tests -------------------------------------------
+    //
+    // Each test kills the run at one stage boundary of the two-phase
+    // commit protocol (by dropping the partition with the durable state of
+    // that moment) and proves recovery converges to a consistent global
+    // decision. CI runs these by name.
+
+    /// Crash **between participant prepare and the coordinator decision**:
+    /// the log holds a PrepareMarker with no Decision anywhere. The
+    /// fragment is in doubt and must abort deterministically (presumed
+    /// abort) — and the recovery must write the abort down so the next
+    /// recovery agrees.
+    #[test]
+    fn crash_between_prepare_and_decide_presumes_abort() {
+        let dir = tempdir("2pc-indoubt");
+        {
+            let mut p = Partition::new(config(&dir)).unwrap();
+            setup(&mut p).unwrap();
+            p.submit_batch("double", vec![vec![Value::Int(1)]]).unwrap();
+            p.prepare_fragment(42, "double", vec![vec![Value::Int(100)]])
+                .unwrap();
+            // Crash: prepared, voted yes, decision never arrived.
+        }
+        let mut r = recover(config(&dir), setup).unwrap();
+        assert_eq!(total(&mut r), 2, "in-doubt fragment must not commit");
+        assert_eq!(r.stats().twopc_in_doubt_aborts, 1);
+        assert_eq!(r.prepared_gtid(), None);
+        // The presumed abort was logged: a second recovery replays the
+        // same outcome without consulting anything.
+        drop(r);
+        let records = read_log(&LogConfig::new(&dir).log_path()).unwrap();
+        assert!(
+            records.iter().any(|rec| matches!(
+                rec,
+                LogRecord::Decision {
+                    gtid: 42,
+                    commit: false,
+                    ..
+                }
+            )),
+            "recovery must append the presumed-abort decision"
+        );
+        let mut r2 = recover(config(&dir), setup).unwrap();
+        assert_eq!(total(&mut r2), 2);
+        assert_eq!(r2.stats().twopc_in_doubt_aborts, 0, "no longer in doubt");
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    /// Crash **after the coordinator logged commit but before this
+    /// participant logged its Decision**: locally in doubt, but the
+    /// coordinator's decision log says commit — recovery must commit the
+    /// fragment and run its downstream workflow.
+    #[test]
+    fn crash_after_coordinator_commit_replays_fragment() {
+        let dir = tempdir("2pc-coordcommit");
+        {
+            let mut p = Partition::new(config(&dir)).unwrap();
+            setup(&mut p).unwrap();
+            p.prepare_fragment(7, "double", vec![vec![Value::Int(10)]])
+                .unwrap();
+            // Crash after the coordinator's commit record became durable,
+            // before the participant heard about it.
+        }
+        let decisions = HashMap::from([(7u64, true)]);
+        let mut r = recover_with_decisions(config(&dir), setup, &decisions).unwrap();
+        assert_eq!(
+            total(&mut r),
+            20,
+            "coordinator-committed fragment must replay"
+        );
+        assert_eq!(r.stats().twopc_commits, 1);
+        // The learned decision is now local: recovery without the
+        // coordinator converges to the same state.
+        drop(r);
+        let mut r2 = recover(config(&dir), setup).unwrap();
+        assert_eq!(total(&mut r2), 20);
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    /// Crash **after the participant logged its commit Decision**: the
+    /// local log alone resolves the fragment; no coordinator needed.
+    #[test]
+    fn crash_after_participant_decision_replays_locally() {
+        let dir = tempdir("2pc-localdecision");
+        {
+            let mut p = Partition::new(config(&dir)).unwrap();
+            setup(&mut p).unwrap();
+            p.prepare_fragment(5, "double", vec![vec![Value::Int(3)]])
+                .unwrap();
+            let outcomes = p.decide_fragment(5, true).unwrap();
+            assert!(outcomes.iter().all(|o| o.is_committed()));
+            assert_eq!(total(&mut p), 6);
+        }
+        let mut r = recover(config(&dir), setup).unwrap();
+        assert_eq!(total(&mut r), 6);
+        // And the system keeps working with fresh ids.
+        r.submit_batch("double", vec![vec![Value::Int(1)]]).unwrap();
+        assert_eq!(total(&mut r), 8);
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    /// Crash **after an aborted decision**: replay consumes the same
+    /// batch/txn ids without re-running the body, so batches logged after
+    /// the abort replay onto identical ids.
+    #[test]
+    fn crash_after_abort_decision_keeps_later_batches_aligned() {
+        let dir = tempdir("2pc-abortalign");
+        let reference;
+        {
+            let mut p = Partition::new(config(&dir)).unwrap();
+            setup(&mut p).unwrap();
+            p.prepare_fragment(11, "double", vec![vec![Value::Int(50)]])
+                .unwrap();
+            p.decide_fragment(11, false).unwrap();
+            p.submit_batch("double", vec![vec![Value::Int(4)]]).unwrap();
+            reference = total(&mut p);
+            assert_eq!(reference, 8);
+        }
+        let mut r = recover(config(&dir), setup).unwrap();
+        assert_eq!(total(&mut r), reference);
+        assert_eq!(r.stats().twopc_aborts, 1);
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    /// Crash on the **receiving side of a cross-partition edge** after the
+    /// forward was logged: replay re-executes it, and a re-forward of the
+    /// same edge instance (the sender's recovery resending) is deduped —
+    /// exactly-once across the crash.
+    #[test]
+    fn crash_after_forward_log_replays_exactly_once() {
+        let dir = tempdir("2pc-forward");
+        {
+            let mut p = Partition::new(config(&dir)).unwrap();
+            setup(&mut p).unwrap();
+            // The upstream half lives on another partition; this one
+            // receives `doubled` rows over the edge.
+            p.accept_forward("doubled", 0, 3, vec![vec![Value::Int(8)].into()])
+                .unwrap();
+            p.run_queued().unwrap();
+            assert_eq!(total(&mut p), 8);
+        }
+        let mut r = recover(config(&dir), setup).unwrap();
+        assert_eq!(total(&mut r), 8, "forwarded batch must replay");
+        // The sender's recovery re-forwards the same edge instance.
+        assert!(r
+            .accept_forward("doubled", 0, 3, vec![vec![Value::Int(8)].into()])
+            .unwrap()
+            .is_none());
+        assert_eq!(total(&mut r), 8, "re-forward must dedupe");
+        assert_eq!(r.stats().forwards_deduped, 1);
+        // A genuinely new edge instance still lands.
+        assert!(r
+            .accept_forward("doubled", 0, 4, vec![vec![Value::Int(1)].into()])
+            .unwrap()
+            .is_some());
+        r.run_queued().unwrap();
+        assert_eq!(total(&mut r), 9);
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    /// Edge high-water marks survive snapshot + log GC: after the forward
+    /// record is GC'd, a re-forward is still deduped on the recovered
+    /// partition (the EdgeHighWater record carries the mark).
+    #[test]
+    fn edge_dedup_survives_snapshot_and_log_gc() {
+        let dir = tempdir("2pc-edgehw");
+        {
+            let mut p = Partition::new(config(&dir)).unwrap();
+            setup(&mut p).unwrap();
+            p.accept_forward("doubled", 2, 9, vec![vec![Value::Int(5)].into()])
+                .unwrap();
+            p.run_queued().unwrap();
+            p.snapshot().unwrap(); // GC drops the acked Forward record
+            let records = read_log(&LogConfig::new(&dir).log_path()).unwrap();
+            assert!(
+                !records
+                    .iter()
+                    .any(|r| matches!(r, LogRecord::Forward { .. })),
+                "forward record should be GC'd"
+            );
+            assert!(
+                records
+                    .iter()
+                    .any(|r| matches!(r, LogRecord::EdgeHighWater { .. })),
+                "high-water record must survive GC"
+            );
+        }
+        let mut r = recover(config(&dir), setup).unwrap();
+        assert_eq!(total(&mut r), 5);
+        assert!(r
+            .accept_forward("doubled", 2, 9, vec![vec![Value::Int(5)].into()])
+            .unwrap()
+            .is_none());
+        assert_eq!(total(&mut r), 5);
         std::fs::remove_dir_all(dir).ok();
     }
 

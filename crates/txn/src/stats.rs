@@ -39,6 +39,24 @@ pub struct PeStats {
     /// Command-log records dropped by upstream-backup GC (acked batches
     /// already covered by a snapshot, removed at retention points).
     pub log_gc_dropped: u64,
+    /// 2PC fragments prepared on this partition (vote requested).
+    pub twopc_prepares: u64,
+    /// Prepared fragments that committed on the coordinator's decision.
+    pub twopc_commits: u64,
+    /// Prepared fragments rolled back (vote-no or coordinator abort).
+    pub twopc_aborts: u64,
+    /// In-doubt fragments aborted during recovery because neither the
+    /// local log nor the coordinator's decision log had an outcome
+    /// (presumed abort).
+    pub twopc_in_doubt_aborts: u64,
+    /// Batches this partition pushed onto cross-partition workflow edges.
+    pub forwards_out: u64,
+    /// Forwarded batches accepted (logged + executed) from other
+    /// partitions.
+    pub forwards_in: u64,
+    /// Forwarded batches dropped as duplicates by the edge high-water
+    /// check (exactly-once under replay/re-forwarding).
+    pub forwards_deduped: u64,
     /// Sum of per-TE wall latencies, in nanoseconds (with `committed` this
     /// gives mean latency; the histogram gives the shape).
     pub latency_ns_total: u128,

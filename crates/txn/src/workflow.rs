@@ -4,10 +4,33 @@
 //! `P → Q` exists when `Q.input_stream == P.output_stream`. Border stored
 //! procedures (BSPs) have no upstream producer; all others are interior
 //! (ISPs) and are only ever invoked by PE triggers (paper §2).
+//!
+//! # Cross-partition edges
+//!
+//! A stream may be declared **remote** ([`Workflow::declare_remote`],
+//! driven by `Cluster::declare_cross_edge`): tuples a TE emits onto it are
+//! not consumed by this partition's PE triggers but routed — by a declared
+//! key column — to the partitions owning the downstream keys, where the
+//! consuming procedures run as forwarded TEs. This is how a PE trigger
+//! firing on partition p0 schedules a downstream TE on p1 while keeping
+//! S-Store's ordered, exactly-once dataflow guarantee: forwards travel
+//! per-source FIFO and are logged (and deduplicated by high-water mark)
+//! on the receiving partition before execution.
 
 use crate::procedure::Procedure;
 use sstore_common::{Error, ProcId, Result, TableId};
 use std::collections::{HashMap, HashSet};
+
+/// Declaration of one cross-partition workflow edge: tuples emitted onto
+/// `stream` are routed to the partition owning `key_col` instead of being
+/// consumed locally.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CrossEdge {
+    /// The stream carrying the edge.
+    pub stream: TableId,
+    /// Visible column of the emitted tuples that routes them.
+    pub key_col: usize,
+}
 
 /// The workflow structure derived from registered procedures.
 #[derive(Debug, Clone, Default)]
@@ -23,6 +46,8 @@ pub struct Workflow {
     /// the condition under which the paper requires serial execution of the
     /// whole workflow per batch.
     shared_writables: bool,
+    /// Streams declared as cross-partition edges: stream → routing column.
+    remote: HashMap<TableId, usize>,
 }
 
 impl Workflow {
@@ -153,6 +178,26 @@ impl Workflow {
         self.shared_writables
     }
 
+    /// Declare `stream` a cross-partition edge routed by `key_col` (see
+    /// the module docs). Emissions onto it are forwarded through the
+    /// cluster router instead of firing local PE triggers.
+    pub fn declare_remote(&mut self, edge: CrossEdge) {
+        self.remote.insert(edge.stream, edge.key_col);
+    }
+
+    /// The routing column of `stream` when it is a declared cross-partition
+    /// edge, `None` for ordinary (local) streams.
+    pub fn remote_key_col(&self, stream: TableId) -> Option<usize> {
+        self.remote.get(&stream).copied()
+    }
+
+    /// All declared cross-partition edges.
+    pub fn remote_edges(&self) -> impl Iterator<Item = CrossEdge> + '_ {
+        self.remote
+            .iter()
+            .map(|(&stream, &key_col)| CrossEdge { stream, key_col })
+    }
+
     /// Number of procedures in the workflow.
     pub fn len(&self) -> usize {
         self.nodes.len()
@@ -190,6 +235,7 @@ mod tests {
             statements: Map::new(),
             read_set: reads.iter().map(|&t| TableId::new(t)).collect(),
             write_set: writes.iter().map(|&t| TableId::new(t)).collect(),
+            multi_partition: false,
             handler: handler(),
         }
     }
