@@ -93,6 +93,11 @@ pub const REC_FORWARD: u8 = 5;
 /// Per-(source partition, stream) forwarding high-water marks, appended
 /// at snapshot points so edge dedup survives log GC.
 pub const REC_EDGE_HW: u8 = 6;
+/// A cross-partition edge envelope logged on the *emitting* partition at
+/// emission time — recovery re-forwards it when a snapshot covers the
+/// emitting batch (so replay won't re-run it) but the receiver never
+/// acknowledged the edge.
+pub const REC_FORWARD_OUT: u8 = 7;
 
 /// File header size: magic + version.
 pub const FILE_HEADER_LEN: usize = 8;

@@ -11,6 +11,7 @@
 pub mod clock;
 pub mod codec;
 pub mod error;
+pub mod fault;
 pub mod ids;
 pub mod row;
 pub mod schema;

@@ -27,6 +27,7 @@
 //! ingest queues lives in [`crate::cluster`].
 
 use sstore_common::codec::{self, FrameRead};
+use sstore_common::fault;
 use sstore_common::{Error, PartitionId, Result};
 use std::collections::HashMap;
 use std::fs::{self, File, OpenOptions};
@@ -110,13 +111,23 @@ impl CoordinatorLog {
             codec::put_uvarint(&mut buf, p.raw() as u64);
         }
         codec::end_frame(&mut buf, frame);
+        // Kill point: every participant voted, the decision exists only
+        // in memory. A crash here leaves the gtid in doubt — recovery
+        // presumes abort.
+        fault::kill_point("pre-commit-point-fsync");
         let old_len = self.file.metadata()?.len();
         let result = self
             .file
             .write_all(&buf)
             .and_then(|_| self.file.sync_data());
         match result {
-            Ok(()) => Ok(()),
+            Ok(()) => {
+                // Kill point: the fsync above IS the commit point — the
+                // outcome is decided but no participant has heard it.
+                // Recovery must finish the second phase from this log.
+                fault::kill_point("post-commit-point-fsync");
+                Ok(())
+            }
             Err(write_err) => {
                 let rolled_back = self
                     .file

@@ -1,0 +1,107 @@
+//! Crash/quiesce interleaving on cross-partition edges: a receiver that
+//! dies at the `forward-logged` kill point (forward durable, edge ack
+//! never sent) must make an in-flight [`Cluster::quiesce`] fail fast
+//! rather than hang, and the unacked envelope must not be stranded —
+//! recovery re-forwards it from the sender's upstream backup and the
+//! receiver's high-water dedupe keeps delivery exactly-once.
+
+use sstore_core::common::fault::{self, KillMode};
+use sstore_core::workloads::{deploy_two_stage, two_stage_rows, TWO_STAGE_EDGES};
+use sstore_core::{Cluster, RouteSpec, SStoreBuilder};
+use std::path::PathBuf;
+
+fn tempdir(tag: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("sstore-quiesce-crash-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&p);
+    std::fs::create_dir_all(&p).unwrap();
+    p
+}
+
+fn recovered_cluster(dir: &PathBuf) -> Cluster {
+    Cluster::recover(
+        2,
+        RouteSpec::hash(0),
+        16,
+        &SStoreBuilder::new().durability(dir, 1),
+        deploy_two_stage,
+        TWO_STAGE_EDGES,
+    )
+    .unwrap()
+}
+
+fn dest_sum(cluster: &Cluster) -> i64 {
+    cluster
+        .query_all("SELECT SUM(n) FROM dest_totals", &[])
+        .unwrap()
+        .iter()
+        .map(|r| r[0].as_int().unwrap())
+        .sum()
+}
+
+#[test]
+fn crash_during_quiesce_does_not_strand_unacked_envelopes() {
+    let dir = tempdir("edges");
+    {
+        let cluster = Cluster::with_edges(
+            2,
+            RouteSpec::hash(0),
+            16,
+            &SStoreBuilder::new().durability(&dir, 1),
+            deploy_two_stage,
+            TWO_STAGE_EDGES,
+        )
+        .unwrap();
+        // Every receiver dies on its first forward (sticky): the forward
+        // is durably logged there, but the edge ack releasing the
+        // sender's upstream backup is never sent.
+        fault::arm("forward-logged", 1, KillMode::Panic);
+        cluster
+            .submit_batch_async("route_events", two_stage_rows(40, 10))
+            .unwrap()
+            .wait()
+            .unwrap();
+        // Quiesce while the edge traffic crashes under it: the in-flight
+        // count can never drain, so it must surface the dead workers as
+        // an error instead of spinning forever.
+        let err = cluster.quiesce();
+        assert!(
+            err.is_err(),
+            "quiesce over crashed edge receivers must fail, not hang"
+        );
+        fault::disarm();
+        // Dropping the wreck is the crash: the dead receivers hold
+        // durable-but-unacked forwards, the senders hold unacked
+        // upstream backups.
+    }
+
+    let recovered = recovered_cluster(&dir);
+    recovered.quiesce().unwrap();
+    assert_eq!(
+        dest_sum(&recovered),
+        40,
+        "every tuple must arrive exactly once after the crash"
+    );
+    let m = recovered.metrics();
+    let deduped: u64 = m.partitions.iter().map(|p| p.forwards_deduped).sum();
+    assert!(
+        deduped >= 1,
+        "the re-forwarded envelope must have hit the high-water dedupe"
+    );
+
+    // The recovered cluster keeps flowing across the same edges, and a
+    // second recovery replays to the same exactly-once state.
+    recovered
+        .submit_batch_async("route_events", two_stage_rows(10, 10))
+        .unwrap()
+        .wait()
+        .unwrap();
+    recovered.quiesce().unwrap();
+    assert_eq!(dest_sum(&recovered), 50);
+    drop(recovered);
+    let again = recovered_cluster(&dir);
+    again.quiesce().unwrap();
+    assert_eq!(dest_sum(&again), 50, "replay of the replay stays exact");
+    drop(again);
+    std::fs::remove_dir_all(dir).ok();
+}

@@ -3,13 +3,27 @@
 //! (byte-identical to the PR 2 ingest path), cross-partition workflow
 //! edges, and distributed recovery from durable state.
 
+use sstore_core::common::fault::{self, KillMode};
 use sstore_core::common::{Row, Value};
 use sstore_core::workloads::{
     deploy_count_events, deploy_count_events_multi, deploy_two_stage, two_stage_rows,
     TWO_STAGE_EDGES,
 };
 use sstore_core::{Cluster, RouteSpec, SStoreBuilder};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
+use std::sync::{Mutex, MutexGuard};
+
+/// The fault registry is process-global, so every test in this binary
+/// serializes through this lock — an armed kill point must never fire in
+/// a neighbouring test's cluster.
+static FAULT_LOCK: Mutex<()> = Mutex::new(());
+
+fn fault_lock() -> MutexGuard<'static, ()> {
+    let guard = FAULT_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+    fault::disarm(); // a poisoned predecessor must not leak an armed point
+    guard
+}
 
 fn tempdir(tag: &str) -> PathBuf {
     let mut p = std::env::temp_dir();
@@ -34,6 +48,7 @@ fn straddling_rows() -> Vec<Row> {
 
 #[test]
 fn atomic_batch_commits_on_every_partition_exactly_once() {
+    let _guard = fault_lock();
     let cluster = Cluster::new(2, &SStoreBuilder::new(), deploy_count_events_multi).unwrap();
     let outcomes = cluster
         .submit_batch_atomic("count_events", straddling_rows())
@@ -61,6 +76,7 @@ fn atomic_batch_commits_on_every_partition_exactly_once() {
 
 #[test]
 fn one_no_vote_aborts_the_whole_transaction() {
+    let _guard = fault_lock();
     let cluster = Cluster::new(2, &SStoreBuilder::new(), deploy_count_events_multi).unwrap();
     // One poison row (negative amount) makes its partition vote no; every
     // other fragment must roll back too.
@@ -96,6 +112,7 @@ fn one_no_vote_aborts_the_whole_transaction() {
 
 #[test]
 fn declared_multi_partition_procs_upgrade_plain_submissions() {
+    let _guard = fault_lock();
     let cluster = Cluster::new(2, &SStoreBuilder::new(), deploy_count_events_multi).unwrap();
     // The ordinary async path detects the declaration and coordinates.
     cluster
@@ -121,6 +138,7 @@ fn declared_multi_partition_procs_upgrade_plain_submissions() {
 /// an undeclared procedure.
 #[test]
 fn single_partition_fast_path_is_byte_identical_to_plain_ingest() {
+    let _guard = fault_lock();
     // All rows share one key → one partition, even under hash routing.
     let rows = || vec![Row::new(vec![Value::Int(5), Value::Int(1)]); 4];
 
@@ -176,6 +194,7 @@ fn single_partition_fast_path_is_byte_identical_to_plain_ingest() {
 
 #[test]
 fn cross_partition_edge_runs_downstream_on_owning_partition() {
+    let _guard = fault_lock();
     let cluster = Cluster::with_edges(
         2,
         RouteSpec::hash(0),
@@ -228,6 +247,7 @@ fn cross_partition_edge_runs_downstream_on_owning_partition() {
 
 #[test]
 fn cluster_recovers_to_identical_state_after_shutdown() {
+    let _guard = fault_lock();
     let dir = tempdir("recover");
     let build = |recover: bool| {
         let builder = SStoreBuilder::new().durability(&dir, 1);
@@ -300,6 +320,38 @@ fn cluster_recovers_to_identical_state_after_shutdown() {
     std::fs::remove_dir_all(dir).ok();
 }
 
+/// Straddling rows with 8 consecutive keys starting at `base` (amount 1
+/// each) — distinguishable from [`straddling_rows`] so a resurrected
+/// fragment is identifiable by key.
+fn straddling_rows_from(base: i64) -> Vec<Row> {
+    (base..base + 8)
+        .map(|k| Row::new(vec![Value::Int(k), Value::Int(1)]))
+        .collect()
+}
+
+/// Crash the cluster at `point` (its first hit) while it runs one atomic
+/// batch, then freeze the wreck: the kill unwinds whichever thread hits
+/// the point, and `mem::forget` stops every graceful-shutdown path (which
+/// would otherwise resolve in-doubt fragments) from running — on-disk
+/// state is exactly what a machine crash at the point leaves behind.
+fn crash_atomic_submission(cluster: Cluster, point: &str, rows: Vec<Row>) {
+    fault::arm(point, 1, KillMode::Panic);
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        // The coordinator runs on this thread: a coordinator-side kill
+        // point panics the call itself; a participant-side kill surfaces
+        // as a dead-worker error from `wait()` instead.
+        cluster
+            .submit_batch_atomic("count_events", rows)
+            .and_then(|t| t.wait())
+    }));
+    assert!(
+        !matches!(outcome, Ok(Ok(_))),
+        "the armed kill point `{point}` must have crashed the transaction"
+    );
+    fault::disarm();
+    std::mem::forget(cluster);
+}
+
 /// A recovered coordinator must sequence past every gtid any partition
 /// ever *prepared* — not just past decided ones. If the in-doubt gtid 1
 /// were reused, the new transaction's commit record would make the next
@@ -307,6 +359,7 @@ fn cluster_recovers_to_identical_state_after_shutdown() {
 /// its writes.
 #[test]
 fn recovered_coordinator_never_reuses_in_doubt_gtids() {
+    let _guard = fault_lock();
     let dir = tempdir("gtid-reuse");
     let builder = || SStoreBuilder::new().durability(&dir, 1);
     {
@@ -319,19 +372,9 @@ fn recovered_coordinator_never_reuses_in_doubt_gtids() {
         )
         .unwrap();
         // The very first global transaction (gtid 1) crashes in doubt:
-        // prepared on both partitions, never decided anywhere.
-        for i in 0..2 {
-            cluster
-                .with_partition(i, move |db| {
-                    db.prepare_fragment(
-                        1,
-                        "count_events",
-                        vec![vec![Value::Int(700 + i as i64), Value::Int(1)]],
-                    )
-                    .map(|_| ())
-                })
-                .unwrap();
-        }
+        // prepared on both partitions, the coordinator dies at the commit
+        // point before its decision is durable — decided nowhere.
+        crash_atomic_submission(cluster, "pre-commit-point-fsync", straddling_rows_from(700));
     }
     {
         // First recovery: gtid 1 presumes abort; a fresh transaction is
@@ -359,7 +402,7 @@ fn recovered_coordinator_never_reuses_in_doubt_gtids() {
             .unwrap();
     }
     // Second recovery: the new transaction's commit record must not
-    // resurrect the old fragment's keys (700/701).
+    // resurrect the old fragment's keys (700..708).
     let recovered = Cluster::recover(
         2,
         RouteSpec::hash(0),
@@ -376,7 +419,7 @@ fn recovered_coordinator_never_reuses_in_doubt_gtids() {
         .map(|r| r[0].as_int().unwrap())
         .collect();
     assert!(
-        !keys.contains(&700) && !keys.contains(&701),
+        keys.iter().all(|k| !(700..708).contains(k)),
         "aborted in-doubt fragment resurrected: keys {keys:?}"
     );
     assert_eq!(keys.len(), 8, "the committed transaction must survive");
@@ -390,6 +433,7 @@ fn recovered_coordinator_never_reuses_in_doubt_gtids() {
 /// converges to the pre-transaction state.
 #[test]
 fn cluster_recovery_presumes_abort_for_in_doubt_fragment() {
+    let _guard = fault_lock();
     let dir = tempdir("indoubt");
     {
         let cluster = Cluster::with_config(
@@ -405,21 +449,11 @@ fn cluster_recovery_presumes_abort_for_in_doubt_fragment() {
             .unwrap()
             .wait()
             .unwrap();
-        // Prepare a fragment directly on each worker and never decide —
-        // exactly the durable state a crash after phase 1 leaves.
-        for i in 0..2 {
-            cluster
-                .with_partition(i, move |db| {
-                    db.prepare_fragment(
-                        999,
-                        "count_events",
-                        vec![vec![Value::Int(100 + i as i64), Value::Int(1)]],
-                    )
-                    .map(|_| ())
-                })
-                .unwrap();
-        }
-        // Cluster::drop flushes logs; the fragments are in doubt on disk.
+        // The next global transaction crashes after phase 1: every
+        // participant's yes-vote (prepare record) is durable, but the
+        // coordinator dies at the commit point before its decision is —
+        // the fragments are in doubt on disk.
+        crash_atomic_submission(cluster, "pre-commit-point-fsync", straddling_rows_from(100));
     }
     let recovered = Cluster::recover(
         2,
@@ -450,5 +484,115 @@ fn cluster_recovery_presumes_abort_for_in_doubt_fragment() {
         .wait()
         .unwrap();
     drop(recovered);
+    std::fs::remove_dir_all(dir).ok();
+}
+
+/// A crash immediately **after** the commit point (the decision fsync
+/// succeeded; no participant ever heard phase 2) must COMMIT the in-doubt
+/// fragments at recovery: the coordinator's durable decision log — not
+/// presumed abort — resolves them, and the transaction survives.
+#[test]
+fn commit_point_crash_completes_phase_two_at_recovery() {
+    let _guard = fault_lock();
+    let dir = tempdir("commit-point");
+    {
+        let cluster = Cluster::with_config(
+            2,
+            RouteSpec::hash(0),
+            16,
+            &SStoreBuilder::new().durability(&dir, 1),
+            deploy_count_events_multi,
+        )
+        .unwrap();
+        crash_atomic_submission(cluster, "post-commit-point-fsync", straddling_rows());
+    }
+    let recovered = Cluster::recover(
+        2,
+        RouteSpec::hash(0),
+        16,
+        &SStoreBuilder::new().durability(&dir, 1),
+        deploy_count_events_multi,
+        &[],
+    )
+    .unwrap();
+    let n: i64 = recovered
+        .query_all("SELECT SUM(n) FROM totals", &[])
+        .unwrap()
+        .iter()
+        .map(|r| r[0].as_int().unwrap())
+        .sum();
+    assert_eq!(
+        n, 8,
+        "a decided commit must survive — recovery finishes phase 2"
+    );
+    let m = recovered.metrics();
+    assert_eq!(
+        m.partitions.iter().map(|p| p.twopc_commits).sum::<u64>(),
+        2,
+        "both fragments resolve as committed from the coordinator log"
+    );
+    drop(recovered);
+    std::fs::remove_dir_all(dir).ok();
+}
+
+/// A participant that crashes after durably logging the coordinator's
+/// commit decision — but before applying it — must finish the commit from
+/// its **local** decision record at replay, without consulting the
+/// coordinator log.
+#[test]
+fn participant_crash_after_decision_logged_replays_the_commit() {
+    let _guard = fault_lock();
+    let dir = tempdir("decide-delivered");
+    {
+        let cluster = Cluster::with_config(
+            2,
+            RouteSpec::hash(0),
+            16,
+            &SStoreBuilder::new().durability(&dir, 1),
+            deploy_count_events_multi,
+        )
+        .unwrap();
+        // Both participants die inside phase 2 (the armed point is
+        // sticky): each has PrepareMarker + Decision(commit) durable and
+        // no effects applied.
+        crash_atomic_submission(cluster, "decide-delivered", straddling_rows());
+    }
+    let recovered = Cluster::recover(
+        2,
+        RouteSpec::hash(0),
+        16,
+        &SStoreBuilder::new().durability(&dir, 1),
+        deploy_count_events_multi,
+        &[],
+    )
+    .unwrap();
+    let n: i64 = recovered
+        .query_all("SELECT SUM(n) FROM totals", &[])
+        .unwrap()
+        .iter()
+        .map(|r| r[0].as_int().unwrap())
+        .sum();
+    assert_eq!(n, 8, "locally-decided commit must be applied by replay");
+    let m = recovered.metrics();
+    assert_eq!(m.partitions.iter().map(|p| p.twopc_commits).sum::<u64>(), 2);
+    // Exactly once: a second recovery replays to the same state.
+    drop(recovered);
+    let again = Cluster::recover(
+        2,
+        RouteSpec::hash(0),
+        16,
+        &SStoreBuilder::new().durability(&dir, 1),
+        deploy_count_events_multi,
+        &[],
+    )
+    .unwrap();
+    let n: i64 = again
+        .query_all("SELECT SUM(n) FROM totals", &[])
+        .unwrap()
+        .iter()
+        .map(|r| r[0].as_int().unwrap())
+        .sum();
+    assert_eq!(n, 8, "replay of the replay must not double-apply");
+    drop(again);
     std::fs::remove_dir_all(dir).ok();
 }

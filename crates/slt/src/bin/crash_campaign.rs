@@ -1,0 +1,82 @@
+//! Crash-fault-injection campaign driver.
+//!
+//! Three roles, one binary:
+//!
+//! * **Campaign parent** (default): `crash_campaign [--trials N] [--start S]`
+//!   runs N seeded trials (seeds S..S+N), spawning itself as the crash
+//!   sandbox for each, and exits non-zero if any trial violates the
+//!   recovery invariants. Every failure line carries the seed and the
+//!   exact command to replay it.
+//! * **Single-seed replay**: `crash_campaign --seed <n>` (or env
+//!   `SSTORE_FAULT_SEED=<n>`) runs exactly one trial and keeps its
+//!   durability directory for inspection.
+//! * **Child** (internal): with `SSTORE_FAULT_CHILD=1`, runs the workload
+//!   with the seed's kill point armed and dies mid-protocol.
+
+use sstore_slt::campaign::{self, run_campaign, run_trial};
+
+fn main() {
+    if std::env::var(campaign::CHILD_ENV).is_ok() {
+        let seed: u64 = std::env::var(campaign::SEED_ENV)
+            .expect("child needs SSTORE_FAULT_SEED")
+            .parse()
+            .expect("SSTORE_FAULT_SEED must be a u64");
+        let dir = std::env::var(campaign::DIR_ENV).expect("child needs SSTORE_FAULT_DIR");
+        if let Err(e) = campaign::run_child(seed, std::path::Path::new(&dir)) {
+            eprintln!("child workload error: {e}");
+            std::process::exit(2);
+        }
+        return;
+    }
+
+    let exe = std::env::current_exe().expect("current_exe");
+    let mut trials = 25u64;
+    let mut start = 0u64;
+    let mut seed: Option<u64> = std::env::var(campaign::SEED_ENV)
+        .ok()
+        .map(|s| s.parse().expect("SSTORE_FAULT_SEED must be a u64"));
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let mut num = |name: &str| -> u64 {
+            args.next()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or_else(|| panic!("{name} needs an integer argument"))
+        };
+        match a.as_str() {
+            "--trials" => trials = num("--trials"),
+            "--start" => start = num("--start"),
+            "--seed" => seed = Some(num("--seed")),
+            other => {
+                eprintln!("unknown argument `{other}`");
+                eprintln!("usage: crash_campaign [--trials N] [--start S] [--seed SEED]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    if let Some(seed) = seed {
+        let r = run_trial(&exe, seed, true);
+        match r.failure {
+            None => println!(
+                "seed {seed} ok (point={} nth={} crashed={}); state at {}",
+                r.plan.point,
+                r.plan.nth,
+                r.crashed,
+                r.dir.display()
+            ),
+            Some(why) => {
+                println!(
+                    "seed {seed} FAILED: {why}\nstate kept at {}",
+                    r.dir.display()
+                );
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+
+    let failures = run_campaign(&exe, start..start + trials);
+    if !failures.is_empty() {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,219 @@
+//! Executes parsed `.slt` files against a fresh engine.
+//!
+//! Each file gets its own [`SStore`] instance (no state leaks between
+//! files); each mismatch becomes one diff line, and a file's failures are
+//! collected rather than stopping at the first — a golden run reports
+//! everything that drifted.
+
+use crate::parser::{parse_slt, SltRecord, SortMode};
+use sstore_common::{Result, Value};
+use sstore_core::{SStore, SStoreBuilder};
+use std::path::{Path, PathBuf};
+
+/// Format one result row the way `.slt` expected blocks are written:
+/// values joined by single spaces, `NULL` for NULL, `(empty)` for the
+/// empty string.
+pub fn format_row(values: &[Value]) -> String {
+    values
+        .iter()
+        .map(|v| match v {
+            Value::Null => "NULL".to_string(),
+            Value::Text(s) if s.is_empty() => "(empty)".to_string(),
+            other => other.to_string(),
+        })
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+/// Run one statement through the right engine entry point: DDL goes to
+/// the catalog path, anything else through immediate-commit SQL.
+fn execute(db: &mut SStore, sql: &str) -> Result<Vec<String>> {
+    let head = sql
+        .split_whitespace()
+        .next()
+        .unwrap_or("")
+        .to_ascii_uppercase();
+    if head == "CREATE" {
+        db.ddl(sql)?;
+        return Ok(Vec::new());
+    }
+    let result = db.setup_sql(sql, &[])?;
+    Ok(result.rows.iter().map(|r| format_row(r)).collect())
+}
+
+/// Run one `.slt` file against a fresh [`SStore`]. Returns the list of
+/// failure messages (empty = pass).
+pub fn run_slt_file(path: &Path) -> Vec<String> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => return vec![format!("{}: unreadable: {e}", path.display())],
+    };
+    let file = match parse_slt(path, &text) {
+        Ok(f) => f,
+        Err(e) => return vec![e],
+    };
+    let mut db = match SStoreBuilder::new().build() {
+        Ok(db) => db,
+        Err(e) => return vec![format!("{}: engine build failed: {e}", path.display())],
+    };
+    let mut failures = Vec::new();
+    for record in &file.records {
+        match record {
+            SltRecord::Clock { micros, .. } => db.advance_clock(*micros),
+            SltRecord::Statement {
+                sql,
+                expect_error,
+                line,
+            } => match (execute(&mut db, sql), expect_error) {
+                (Ok(_), None) => {}
+                (Ok(_), Some(want)) => failures.push(format!(
+                    "{}:{line}: expected error containing `{want}`, statement succeeded\n  {sql}",
+                    path.display()
+                )),
+                (Err(e), Some(want)) => {
+                    let msg = e.to_string();
+                    if !msg.to_lowercase().contains(&want.to_lowercase()) {
+                        failures.push(format!(
+                            "{}:{line}: error `{msg}` does not contain `{want}`\n  {sql}",
+                            path.display()
+                        ));
+                    }
+                }
+                (Err(e), None) => failures.push(format!(
+                    "{}:{line}: statement failed: {e}\n  {sql}",
+                    path.display()
+                )),
+            },
+            SltRecord::Query {
+                sql,
+                expected,
+                sort,
+                line,
+            } => match execute(&mut db, sql) {
+                Err(e) => failures.push(format!(
+                    "{}:{line}: query failed: {e}\n  {sql}",
+                    path.display()
+                )),
+                Ok(mut actual) => {
+                    let mut expected = expected.clone();
+                    if *sort == SortMode::RowSort {
+                        actual.sort();
+                        expected.sort();
+                    }
+                    if actual != expected {
+                        failures.push(format!(
+                            "{}:{line}: result mismatch\n  {sql}\n  expected:\n{}\n  actual:\n{}",
+                            path.display(),
+                            indent(&expected),
+                            indent(&actual)
+                        ));
+                    }
+                }
+            },
+        }
+    }
+    failures
+}
+
+fn indent(lines: &[String]) -> String {
+    if lines.is_empty() {
+        return "    (no rows)".to_string();
+    }
+    lines
+        .iter()
+        .map(|l| format!("    {l}"))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+/// Recursively collect `*.slt` files under `dir`, sorted by path for a
+/// stable run order.
+pub fn discover_slt_files(dir: &Path) -> Vec<PathBuf> {
+    let mut out = Vec::new();
+    let mut stack = vec![dir.to_path_buf()];
+    while let Some(d) = stack.pop() {
+        let Ok(entries) = std::fs::read_dir(&d) else {
+            continue;
+        };
+        for entry in entries.flatten() {
+            let p = entry.path();
+            if p.is_dir() {
+                stack.push(p);
+            } else if p.extension().is_some_and(|e| e == "slt") {
+                out.push(p);
+            }
+        }
+    }
+    out.sort();
+    out
+}
+
+/// Run every `.slt` file under `dir`. Returns `(files run, failures)` —
+/// the caller decides whether an empty directory is itself a failure.
+pub fn run_slt_dir(dir: &Path) -> (usize, Vec<String>) {
+    let files = discover_slt_files(dir);
+    let mut failures = Vec::new();
+    for f in &files {
+        failures.extend(run_slt_file(f));
+    }
+    (files.len(), failures)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_text(text: &str) -> Vec<String> {
+        let mut p = std::env::temp_dir();
+        p.push(format!(
+            "sstore-slt-inline-{}-{:?}.slt",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::write(&p, text).unwrap();
+        let f = run_slt_file(&p);
+        std::fs::remove_file(&p).ok();
+        f
+    }
+
+    #[test]
+    fn passing_script_reports_nothing() {
+        let f = run_text(
+            "statement ok\nCREATE TABLE t (id INT, name TEXT, PRIMARY KEY (id))\n\n\
+             statement ok\nINSERT INTO t VALUES (1, 'a'), (2, 'b')\n\n\
+             query rowsort\nSELECT id, name FROM t\n----\n1 a\n2 b\n",
+        );
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn mismatch_is_reported_with_location() {
+        let f = run_text(
+            "statement ok\nCREATE TABLE t (id INT, PRIMARY KEY (id))\n\n\
+             query\nSELECT COUNT(*) FROM t\n----\n7\n",
+        );
+        assert_eq!(f.len(), 1);
+        assert!(f[0].contains(":4:"), "{}", f[0]);
+        assert!(f[0].contains("result mismatch"), "{}", f[0]);
+    }
+
+    #[test]
+    fn expected_error_matches_substring() {
+        let f = run_text(
+            "statement ok\nCREATE TABLE t (id INT, PRIMARY KEY (id))\n\n\
+             statement ok\nINSERT INTO t VALUES (1)\n\n\
+             statement error duplicate\nINSERT INTO t VALUES (1)\n",
+        );
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn unexpected_success_is_a_failure() {
+        let f = run_text(
+            "statement ok\nCREATE TABLE t (id INT, PRIMARY KEY (id))\n\n\
+             statement error duplicate\nINSERT INTO t VALUES (1)\n",
+        );
+        assert_eq!(f.len(), 1);
+        assert!(f[0].contains("statement succeeded"), "{}", f[0]);
+    }
+}

@@ -1,0 +1,22 @@
+//! The crash campaign as a test target: 25 seeded trials, each spawning
+//! the `crash_campaign` binary as the crash sandbox. Any violated
+//! invariant fails with the seed that reproduces it
+//! (`SSTORE_FAULT_SEED=<seed> cargo run -p sstore-slt --bin crash_campaign`).
+
+use sstore_slt::campaign::run_campaign;
+use std::path::Path;
+
+#[test]
+fn campaign_25_seeds_hold_invariants() {
+    let child = Path::new(env!("CARGO_BIN_EXE_crash_campaign"));
+    let failures = run_campaign(child, 0..25);
+    assert!(
+        failures.is_empty(),
+        "{} campaign failure(s); replay with SSTORE_FAULT_SEED=<seed>: {:?}",
+        failures.len(),
+        failures
+            .iter()
+            .map(|f| (f.plan.seed, f.plan.point, f.failure.clone()))
+            .collect::<Vec<_>>()
+    );
+}

@@ -1,0 +1,22 @@
+//! The golden suite: every `.slt` file under `tests/slt/` runs against a
+//! fresh engine; any drift from the expected results fails with per-file
+//! diffs. Add coverage by adding files — no Rust required.
+
+use std::path::Path;
+
+#[test]
+fn golden_slt_suite_passes() {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/slt");
+    let (files, failures) = sstore_slt::run_slt_dir(&dir);
+    assert!(
+        files >= 15,
+        "expected at least 15 .slt files under {}, found {files}",
+        dir.display()
+    );
+    assert!(
+        failures.is_empty(),
+        "{} slt failure(s):\n{}",
+        failures.len(),
+        failures.join("\n")
+    );
+}

@@ -1,0 +1,76 @@
+//! The telemetry workload against its closed-form oracle, across cluster
+//! widths: per-device stats (stage 1, routed by device), per-area stats
+//! (stage 2, fed only through the cross-partition `area_feed` edge), and
+//! poison-batch atomicity must all match exactly, regardless of how the
+//! rows shard.
+
+use sstore_common::Value;
+use sstore_core::{Cluster, RouteSpec, SStoreBuilder, TxnStatus};
+use sstore_slt::telemetry::{
+    deploy_telemetry, gen_batches, TelemetryOracle, POISON_TEMP, TELEMETRY_EDGES,
+};
+
+fn run_cluster(partitions: usize, seed: u64) {
+    let cluster = Cluster::with_edges(
+        partitions,
+        RouteSpec::hash(0),
+        64,
+        &SStoreBuilder::new(),
+        deploy_telemetry,
+        TELEMETRY_EDGES,
+    )
+    .unwrap();
+    let batches = gen_batches(seed, 20, 4, 8, 3);
+    for (i, batch) in batches.iter().enumerate() {
+        let poison = batch
+            .iter()
+            .any(|r| matches!(r[2], Value::Int(t) if t <= POISON_TEMP));
+        // A poison batch aborts whole — Err on the 2PC path, Ok with an
+        // aborted TE when it lands on a single shard. A clean batch must
+        // commit everywhere.
+        let outcome = cluster
+            .submit_batch_async("ingest", batch.clone())
+            .unwrap()
+            .wait();
+        let committed = outcome.is_ok_and(|outcomes| {
+            outcomes
+                .iter()
+                .all(|po| po.outcomes.iter().all(|o| o.status == TxnStatus::Committed))
+        });
+        assert_eq!(committed, !poison, "batch {i} @ {partitions}p");
+    }
+    cluster.quiesce().unwrap();
+
+    let oracle = TelemetryOracle::of_prefix(&batches, batches.len());
+    let mut device: Vec<Vec<Value>> = cluster
+        .query_all("SELECT device, n, total, hot FROM device_stats", &[])
+        .unwrap()
+        .iter()
+        .map(|r| r.to_values())
+        .collect();
+    device.sort();
+    assert_eq!(device, oracle.device_rows(), "device_stats @ {partitions}p");
+    let mut area: Vec<Vec<Value>> = cluster
+        .query_all("SELECT area, n, total, maxt FROM area_stats", &[])
+        .unwrap()
+        .iter()
+        .map(|r| r.to_values())
+        .collect();
+    area.sort();
+    assert_eq!(area, oracle.area_rows(), "area_stats @ {partitions}p");
+}
+
+#[test]
+fn telemetry_matches_oracle_single_partition() {
+    run_cluster(1, 11);
+}
+
+#[test]
+fn telemetry_matches_oracle_two_partitions() {
+    run_cluster(2, 12);
+}
+
+#[test]
+fn telemetry_matches_oracle_three_partitions() {
+    run_cluster(3, 13);
+}

@@ -26,6 +26,7 @@ use crate::database::Database;
 use crate::table::Table;
 use serde::{Deserialize, Serialize};
 use sstore_common::codec::{self, FrameRead};
+use sstore_common::fault;
 use sstore_common::{BatchId, DurabilityFormat, Error, Result, TxnId};
 use std::fs;
 use std::io::Write;
@@ -82,6 +83,10 @@ impl Snapshot {
             file.write_all(&bytes)?;
             file.sync_all()?;
         }
+        // Kill point: the new image is fully written but not yet visible
+        // under the real name. A crash here must leave recovery reading
+        // the previous snapshot (or none) plus the un-GC'd log.
+        fault::kill_point("snapshot-mid-write");
         fs::rename(&tmp, path)?;
         Ok(())
     }

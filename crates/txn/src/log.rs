@@ -42,6 +42,7 @@
 
 use serde::{Deserialize, Serialize};
 use sstore_common::codec::{self, FrameRead};
+use sstore_common::fault;
 use sstore_common::{BatchId, DurabilityFormat, Error, Result, Row};
 use std::collections::HashSet;
 use std::fs::{self, File, OpenOptions};
@@ -133,10 +134,29 @@ pub enum LogRecord {
         /// `(src_partition, stream, highest src_batch executed)`.
         entries: Vec<(u32, String, u64)>,
     },
+    /// A cross-partition edge envelope, logged on the **emitting**
+    /// partition when the emission is buffered for the cluster router —
+    /// the source half of the edge's upstream backup. Replay normally
+    /// regenerates envelopes by re-running the emitting batch, but a
+    /// retention snapshot may cover that batch while its edge ack is
+    /// still outstanding; this record lets recovery re-forward the
+    /// envelope without re-executing (receivers dedupe, so an extra
+    /// re-forward is exactly-once either way).
+    ForwardOut {
+        /// The emitting batch (shares its upstream-backup lifetime).
+        batch: BatchId,
+        /// The workflow stream the rows travel on.
+        stream: String,
+        /// The edge's routing key column.
+        key_col: u32,
+        /// The emitted rows.
+        rows: Vec<Row>,
+    },
 }
 
 use sstore_common::codec::{
-    REC_ACK, REC_BORDER, REC_DECISION, REC_EDGE_HW, REC_FORWARD, REC_INVOKE, REC_PREPARE,
+    REC_ACK, REC_BORDER, REC_DECISION, REC_EDGE_HW, REC_FORWARD, REC_FORWARD_OUT, REC_INVOKE,
+    REC_PREPARE,
 };
 
 impl LogRecord {
@@ -150,6 +170,7 @@ impl LogRecord {
             | LogRecord::PrepareMarker { batch, .. }
             | LogRecord::Decision { batch, .. }
             | LogRecord::Forward { batch, .. }
+            | LogRecord::ForwardOut { batch, .. }
             | LogRecord::Ack { batch } => *batch,
             LogRecord::EdgeHighWater { .. } => BatchId::new(0),
         }
@@ -255,6 +276,21 @@ impl LogRecord {
                     codec::put_uvarint(out, *hw);
                 }
             }
+            LogRecord::ForwardOut {
+                batch,
+                stream,
+                key_col,
+                rows,
+            } => {
+                out.push(REC_FORWARD_OUT);
+                codec::put_uvarint(out, batch.raw());
+                codec::put_str(out, stream);
+                codec::put_uvarint(out, *key_col as u64);
+                codec::put_uvarint(out, rows.len() as u64);
+                for row in rows {
+                    codec::encode_row(row, out);
+                }
+            }
         }
     }
 
@@ -343,6 +379,22 @@ impl LogRecord {
                     entries.push((src, stream, hw));
                 }
                 Ok(LogRecord::EdgeHighWater { entries })
+            }
+            REC_FORWARD_OUT => {
+                let batch = BatchId::new(r.uvarint()?);
+                let stream = r.str()?.to_string();
+                let key_col = r.uvarint()? as u32;
+                let n = r.uvarint()? as usize;
+                let mut rows = Vec::with_capacity(n.min(r.remaining()));
+                for _ in 0..n {
+                    rows.push(codec::decode_row(r)?);
+                }
+                Ok(LogRecord::ForwardOut {
+                    batch,
+                    stream,
+                    key_col,
+                    rows,
+                })
             }
             tag => Err(Error::Codec(format!("unknown log record tag {tag}"))),
         }
@@ -489,6 +541,7 @@ impl CommandLog {
                     config.format
                 }
                 Some(valid_len) => {
+                    fault::note("log-torn-tail-trimmed");
                     eprintln!(
                         "sstore: {}: trimming torn tail at byte {valid_len} (of {}) \
                          before resuming appends",
@@ -537,6 +590,18 @@ impl CommandLog {
     pub fn sync(&mut self) -> Result<()> {
         if self.unsynced == 0 {
             return Ok(());
+        }
+        if let Some(mode) = fault::should_fire("log-mid-write") {
+            // Injected torn write: half the buffered group reaches disk,
+            // then the process dies — exactly what a crash between
+            // `write` and `fsync` can leave behind. The reader must
+            // treat the partial frame as a benign torn tail.
+            let half = self.pending.len() / 2;
+            let _ = self.file.write_all(&self.pending[..half]);
+            let _ = self.file.sync_data();
+            self.pending.clear();
+            self.unsynced = 0;
+            fault::die("log-mid-write", mode);
         }
         self.file.write_all(&self.pending)?;
         self.file.sync_data()?;
@@ -654,6 +719,12 @@ impl Drop for CommandLog {
     /// non-crash exit never loses the unsynced tail (crash durability is
     /// still bounded by `group_commit_n`, as before).
     fn drop(&mut self) {
+        if std::thread::panicking() {
+            // A thread dying by panic (e.g. an injected kill) must not
+            // flush the buffered group as if shutdown were clean — the
+            // crash contract is that unsynced records are lost.
+            return;
+        }
         let _ = self.sync();
     }
 }
@@ -812,6 +883,7 @@ fn read_binary_log(path: &Path, bytes: &[u8]) -> Result<Vec<LogRecord>> {
             }
             FrameRead::Eof => break,
             FrameRead::Torn { offset } => {
+                fault::note("log-torn-tail");
                 eprintln!(
                     "sstore: {}: dropping torn trailing frame at byte {offset} \
                      (incomplete write at crash); {} intact records replayed",

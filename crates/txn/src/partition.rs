@@ -24,6 +24,7 @@ use crate::procedure::{simulate_cost, stmt_effects, ProcContext, ProcSpec, Proce
 use crate::stats::PeStats;
 use crate::transaction::{Invocation, InvocationOrigin, TxnOutcome, TxnStatus};
 use crate::workflow::{CrossEdge, Workflow};
+use sstore_common::fault;
 use sstore_common::{
     Batch, BatchId, Clock, Error, PartitionId, ProcId, Result, Row, TableId, TxnId, Value,
 };
@@ -187,6 +188,10 @@ pub struct Partition {
     /// let a later commit of the recycled id retroactively commit the
     /// old aborted fragment on the next recovery.
     max_gtid_seen: u64,
+    /// During recovery: highest batch id the restored snapshot covers.
+    /// Replay skips execution of covered batches, so a covered
+    /// `ForwardOut` record must rebuild its envelope from the log.
+    replay_covered: u64,
 }
 
 impl std::fmt::Debug for Partition {
@@ -234,6 +239,7 @@ impl Partition {
             outbox: Vec::new(),
             edge_high_water: HashMap::new(),
             max_gtid_seen: 0,
+            replay_covered: 0,
         })
     }
 
@@ -453,9 +459,19 @@ impl Partition {
     pub fn setup_sql(&mut self, sql: &str, params: &[Value]) -> Result<QueryResult> {
         let mut scratch = TxnScratch::new(None, BatchId::new(0));
         let now = self.clock.now();
-        let result = self.engine.execute_sql(sql, params, &mut scratch, now)?;
-        scratch.undo.commit();
-        Ok(result)
+        match self.engine.execute_sql(sql, params, &mut scratch, now) {
+            Ok(result) => {
+                scratch.undo.commit();
+                Ok(result)
+            }
+            Err(e) => {
+                // Statement atomicity: a failed statement (e.g. a
+                // duplicate key midway through a multi-row INSERT) must
+                // leave nothing behind.
+                scratch.undo.rollback(self.engine.db_mut())?;
+                Err(e)
+            }
+        }
     }
 
     /// Run a read-only query outside any transaction (dashboard/test path;
@@ -699,6 +715,11 @@ impl Partition {
             ts: self.clock.now(),
         })?;
         self.log_sync()?; // the yes-vote must be durable before it is cast
+        if !self.replaying {
+            // Kill point: the durable promise exists, the vote has not
+            // been cast. Recovery must resolve this fragment in doubt.
+            fault::kill_point("prepare-logged");
+        }
         self.stats.batches_submitted += 1;
         self.batch_refs.insert(batch.raw(), 1);
 
@@ -788,6 +809,12 @@ impl Partition {
             commit,
         })?;
         self.log_sync()?;
+        if !self.replaying {
+            // Kill point: the decision reached this participant and is
+            // durable locally, but has not been applied. Replay must
+            // finish the job from the log alone.
+            fault::kill_point("decide-delivered");
+        }
         let inv = Invocation {
             proc: frag.proc,
             batch: Batch::empty(frag.batch),
@@ -875,6 +902,12 @@ impl Partition {
             ts: self.clock.now(),
         })?;
         self.log_sync()?;
+        if !self.replaying {
+            // Kill point: the forward is durable here but the edge ack
+            // has not been sent — the sender must keep its upstream
+            // backup and re-forward; dedupe makes that exactly-once.
+            fault::kill_point("forward-logged");
+        }
         self.edge_high_water.insert(key, src_batch);
         self.stats.forwards_in += 1;
         let consumers = self.workflow.consumers_of(sid).to_vec();
@@ -1097,6 +1130,16 @@ impl Partition {
                             .ok_or_else(|| Error::NotFound(format!("stream {stream}")))?;
                         self.stats.forwards_out += 1;
                         *self.batch_refs.entry(b.raw()).or_insert(0) += 1;
+                        // Source half of the edge's upstream backup: if a
+                        // retention snapshot covers batch `b` before the
+                        // edge ack arrives, replay will skip `b` — this
+                        // record is then the only source of the envelope.
+                        self.log_record(&LogRecord::ForwardOut {
+                            batch: b,
+                            stream: name.clone(),
+                            key_col: key_col as u32,
+                            rows: rows.clone(),
+                        })?;
                         self.outbox.push(RemoteForward {
                             stream: name,
                             key_col,
@@ -1267,6 +1310,7 @@ impl Partition {
             self.next_batch = snap.last_batch.map(BatchId::raw).unwrap_or(0);
             self.next_txn = snap.last_txn.map(|t| t.raw() + 1).unwrap_or(1);
             self.clock = Clock::starting_at(snap.clock_micros);
+            self.replay_covered = self.next_batch;
             self.engine.restore_db(snap.database);
         }
         Ok(())
@@ -1403,6 +1447,33 @@ impl Partition {
                     let mark = self.edge_high_water.entry((src, stream)).or_insert(0);
                     *mark = (*mark).max(hw);
                 }
+                Ok(())
+            }
+            LogRecord::ForwardOut {
+                batch,
+                stream,
+                key_col,
+                rows,
+            } => {
+                if batch.raw() > self.replay_covered {
+                    // The emitting batch was replayed above and its
+                    // execution already rebuilt this envelope (and its
+                    // upstream-backup reference).
+                    return Ok(());
+                }
+                // Snapshot-covered emitter: replay skipped it, so the
+                // envelope exists only here. Rebuild it for the cluster
+                // runtime to re-forward — the receiver's high-water
+                // dedupe makes delivery exactly-once even if the
+                // original send arrived. The reference keeps recovery
+                // from blanket-acking the batch before the edge acks.
+                *self.batch_refs.entry(batch.raw()).or_insert(0) += 1;
+                self.outbox.push(RemoteForward {
+                    stream,
+                    key_col: key_col as usize,
+                    batch,
+                    rows,
+                });
                 Ok(())
             }
             LogRecord::Ack { .. } => Ok(()),

@@ -102,6 +102,13 @@ pub fn recover_with_decisions(
         .collect();
     let mut newly_decided: Vec<(u64, BatchId, bool)> = Vec::new();
     for record in records {
+        // An emitted-envelope record of a fully acked batch: the edge
+        // completed before the crash, nothing to re-forward.
+        if let LogRecord::ForwardOut { batch, .. } = &record {
+            if acked.contains(&batch.raw()) {
+                continue;
+            }
+        }
         let decision = if let LogRecord::PrepareMarker { gtid, batch, .. } = &record {
             match local_decisions.get(gtid) {
                 Some(&d) => Some(d),
