@@ -1,0 +1,185 @@
+//! E12 — vectorized columnar executor: batch kernels vs the row
+//! interpreter over identical queries, plus the incremental window
+//! aggregate cache vs per-read rescans.
+//!
+//! Two outputs:
+//!
+//! * criterion timings for the headline 64k-row configurations;
+//! * a hand-sampled p50/p95 sweep over 4k/64k/256k rows for both
+//!   executor paths, written to `target/BENCH_e12.json` (machine
+//!   readable; CI uploads it as an artifact).
+//!
+//! Set `SSTORE_BENCH_SMOKE=1` for a 1-sample smoke run (CI uses this to
+//! prove the bench executes, not to measure).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sstore_bench::{
+    exp_e12_build, exp_e12_join_count, exp_e12_scan_filter_agg, exp_e12_set_path,
+    exp_e12_window_build, exp_e12_window_tick, ExecPath,
+};
+use std::time::{Duration, Instant};
+
+fn smoke() -> bool {
+    std::env::var_os("SSTORE_BENCH_SMOKE").is_some()
+}
+
+/// Sample `f` `samples` times (after one untimed warmup); return
+/// (p50, p95) in microseconds.
+fn percentiles(samples: usize, mut f: impl FnMut()) -> (f64, f64) {
+    f();
+    let mut times: Vec<Duration> = (0..samples.max(1))
+        .map(|_| {
+            let t0 = Instant::now();
+            f();
+            t0.elapsed()
+        })
+        .collect();
+    times.sort();
+    let pick = |q: f64| {
+        let ix = ((times.len() - 1) as f64 * q).round() as usize;
+        times[ix].as_secs_f64() * 1e6
+    };
+    (pick(0.50), pick(0.95))
+}
+
+struct SweepRow {
+    op: &'static str,
+    rows: usize,
+    path: &'static str,
+    p50_us: f64,
+    p95_us: f64,
+}
+
+fn path_label(path: ExecPath) -> &'static str {
+    match path {
+        ExecPath::Row => "row",
+        ExecPath::Vector => "vector",
+    }
+}
+
+/// The full sweep: scan+filter+agg and equi-join at each size, window
+/// ticks at each window size, for both executor paths.
+fn run_sweep(sizes: &[usize], window_sizes: &[usize], samples: usize) -> Vec<SweepRow> {
+    let mut out = Vec::new();
+    for &n in sizes {
+        let mut db = exp_e12_build(n);
+        for path in [ExecPath::Row, ExecPath::Vector] {
+            exp_e12_set_path(&mut db, path);
+            // The row-path nested-loop join is O(events × dims); cap its
+            // sample count (~100ns per pair visit) so the sweep stays
+            // tractable at 256k rows.
+            let join_samples = if path == ExecPath::Row {
+                samples.min((200_000_000 / (n * sstore_bench::E12_DIMS).max(1)).max(2))
+            } else {
+                samples
+            };
+            let (p50, p95) = percentiles(samples, || {
+                std::hint::black_box(exp_e12_scan_filter_agg(&mut db));
+            });
+            out.push(SweepRow {
+                op: "scan_filter_agg",
+                rows: n,
+                path: path_label(path),
+                p50_us: p50,
+                p95_us: p95,
+            });
+            let (p50, p95) = percentiles(join_samples, || {
+                std::hint::black_box(exp_e12_join_count(&mut db));
+            });
+            out.push(SweepRow {
+                op: "hash_join",
+                rows: n,
+                path: path_label(path),
+                p50_us: p50,
+                p95_us: p95,
+            });
+        }
+    }
+    let ticks = samples.max(2) * 4;
+    for &size in window_sizes {
+        for path in [ExecPath::Row, ExecPath::Vector] {
+            let mut wdb = exp_e12_window_build(size);
+            exp_e12_set_path(&mut wdb, path);
+            let mut i = 0i64;
+            let (p50, p95) = percentiles(ticks, || {
+                i += 1;
+                std::hint::black_box(exp_e12_window_tick(&mut wdb, i));
+            });
+            out.push(SweepRow {
+                op: "window_tick",
+                rows: size,
+                path: path_label(path),
+                p50_us: p50,
+                p95_us: p95,
+            });
+        }
+    }
+    out
+}
+
+/// Write the sweep as a machine-readable artifact under `target/`.
+fn write_artifact(rows: &[SweepRow]) {
+    let mut json = String::from(
+        "{\n  \"experiment\": \"e12_vectorized\",\n  \"unit\": \"us\",\n  \"results\": [\n",
+    );
+    for (i, r) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"op\": \"{}\", \"rows\": {}, \"path\": \"{}\", \"p50_us\": {:.1}, \"p95_us\": {:.1}}}{}\n",
+            r.op,
+            r.rows,
+            r.path,
+            r.p50_us,
+            r.p95_us,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../../target")
+        .join("BENCH_e12.json");
+    if let Err(e) = std::fs::write(&path, &json) {
+        eprintln!("could not write {}: {e}", path.display());
+    } else {
+        println!("wrote {}", path.display());
+    }
+}
+
+fn vectorized(c: &mut Criterion) {
+    // The sweep (and its JSON artifact) runs first; criterion then times
+    // the headline size with its own statistics.
+    let (sizes, window_sizes, samples): (&[usize], &[usize], usize) = if smoke() {
+        (&[2_000], &[2_000], 2)
+    } else {
+        (&[4_000, 64_000, 256_000], &[4_000, 16_000, 64_000], 20)
+    };
+    let sweep = run_sweep(sizes, window_sizes, samples);
+    println!("\n  op              |    rows | path   |   p50 us |   p95 us");
+    for r in &sweep {
+        println!(
+            "  {:<15} | {:>7} | {:<6} | {:>8.1} | {:>8.1}",
+            r.op, r.rows, r.path, r.p50_us, r.p95_us
+        );
+    }
+    write_artifact(&sweep);
+
+    let n = if smoke() { 2_000 } else { 64_000 };
+    let mut g = c.benchmark_group("e12_vectorized");
+    g.sample_size(if smoke() { 2 } else { 10 });
+    g.throughput(Throughput::Elements(n as u64));
+    let mut db = exp_e12_build(n);
+    for path in [ExecPath::Row, ExecPath::Vector] {
+        exp_e12_set_path(&mut db, path);
+        g.bench_function(
+            BenchmarkId::new(format!("scan_filter_agg_{}", path_label(path)), n),
+            |b| b.iter(|| exp_e12_scan_filter_agg(&mut db)),
+        );
+        g.bench_function(
+            BenchmarkId::new(format!("join_{}", path_label(path)), n),
+            |b| b.iter(|| exp_e12_join_count(&mut db)),
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, vectorized);
+criterion_main!(benches);

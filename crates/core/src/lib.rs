@@ -64,6 +64,7 @@ pub use router::{PartitionOutcomes, RouteSpec, Router, Ticket};
 // The operational surface, re-exported so applications depend on one crate.
 pub use sstore_engine::{EeConfig, EeStats, TriggerEvent, TxnScratch};
 pub use sstore_sql::exec::QueryResult;
+pub use sstore_sql::ExecPath;
 pub use sstore_txn::recovery::{recover, recover_with_decisions};
 pub use sstore_txn::{
     CrossEdge, ExecMode, Invocation, PeConfig, PeStats, ProcContext, ProcSpec, RemoteForward,

@@ -17,6 +17,7 @@ use crate::triggers::{TriggerEvent, TriggerRegistry};
 use crate::windows;
 use sstore_common::{BatchId, Error, ProcId, Result, Row, TableId, Value};
 use sstore_sql::exec::ExecContext;
+use sstore_sql::ExecPath;
 use sstore_storage::catalog::TableKind;
 use sstore_storage::{Database, RowId, UndoLog, UndoOp};
 use std::collections::VecDeque;
@@ -41,6 +42,9 @@ pub struct EeConfig {
     pub ee_triggers_enabled: bool,
     /// Maximum trigger cascade depth before the transaction aborts.
     pub max_trigger_depth: u32,
+    /// Which executor eligible read plans run on (vectorized batch
+    /// kernels vs. the row interpreter). Defaults from `SSTORE_EXEC`.
+    pub exec_path: ExecPath,
 }
 
 impl Default for EeConfig {
@@ -48,6 +52,7 @@ impl Default for EeConfig {
         EeConfig {
             ee_triggers_enabled: true,
             max_trigger_depth: 16,
+            exec_path: ExecPath::session_default(),
         }
     }
 }
@@ -186,6 +191,9 @@ impl ExecContext for EeContext<'_> {
     }
 
     fn delete_row(&mut self, table: TableId, rid: RowId) -> Result<Row> {
+        // Snapshot the window counters (incl. the aggregate cache) before
+        // mutating them, so aborts restore the cache with the rows.
+        let window_prior = self.window_kind_snapshot(table);
         let row = self.db.table_mut(table)?.delete(rid)?;
         self.undo.push(UndoOp::Delete {
             table,
@@ -194,8 +202,13 @@ impl ExecContext for EeContext<'_> {
         });
         // An ad-hoc delete on a window must excise its arrival-deque entry
         // so slide maintenance never sees a stale row id.
-        if self.db.kind(table).is_ok_and(|k| k.is_window()) {
+        if let Some(prior) = window_prior {
+            self.undo.push(UndoOp::KindMeta { table, prior });
+            let visible_len = self.db.table(table)?.schema().arity() - 2;
             let meta = self.db.catalog_mut().meta_mut(table).expect("kind checked");
+            if let TableKind::Window(w) = &mut meta.kind {
+                w.aggs.remove(&row[..visible_len]);
+            }
             if let Some(pos) = meta.arrivals.iter().position(|&r| r == rid) {
                 meta.arrivals.remove(pos);
                 self.undo.push(UndoOp::WindowExcised { table, rid, pos });
@@ -205,9 +218,44 @@ impl ExecContext for EeContext<'_> {
     }
 
     fn update_row(&mut self, table: TableId, rid: RowId, new_row: Row) -> Result<()> {
+        let window_prior = self.window_kind_snapshot(table);
         let old = self.db.table_mut(table)?.update(rid, new_row)?;
+        if let Some(prior) = window_prior {
+            self.undo.push(UndoOp::KindMeta { table, prior });
+            let visible_len = self.db.table(table)?.schema().arity() - 2;
+            // Fold the post-coercion stored row so the cache matches what a
+            // rescan would see.
+            let new_vis: Option<Vec<Value>> = self
+                .db
+                .table(table)?
+                .get(rid)
+                .map(|r| r[..visible_len].to_vec());
+            let meta = self.db.catalog_mut().meta_mut(table).expect("kind checked");
+            if let TableKind::Window(w) = &mut meta.kind {
+                w.aggs.remove(&old[..visible_len]);
+                match &new_vis {
+                    Some(cells) => w.aggs.add(cells),
+                    None => w.aggs.invalidate(),
+                }
+            }
+        }
         self.undo.push(UndoOp::Update { table, rid, old });
         Ok(())
+    }
+
+    fn exec_path(&self) -> ExecPath {
+        self.config.exec_path
+    }
+}
+
+impl EeContext<'_> {
+    /// The prior `TableKind` of `table` when it is a window (undo snapshot
+    /// for cache/counter maintenance); `None` for other kinds.
+    fn window_kind_snapshot(&self, table: TableId) -> Option<TableKind> {
+        match self.db.kind(table) {
+            Ok(k @ TableKind::Window(_)) => Some(k.clone()),
+            _ => None,
+        }
     }
 }
 

@@ -103,6 +103,12 @@ impl ExecutionEngine {
         self.config.ee_triggers_enabled = enabled;
     }
 
+    /// Select the executor for eligible read plans (experiment E12:
+    /// vectorized batch kernels vs. the row interpreter).
+    pub fn set_exec_path(&mut self, path: sstore_sql::ExecPath) {
+        self.config.exec_path = path;
+    }
+
     // ---- DDL ---------------------------------------------------------------
 
     /// Execute a DDL operation (outside any transaction, like H-Store).

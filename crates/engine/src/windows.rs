@@ -75,8 +75,14 @@ pub fn insert_into_window(
         table,
         prior: prior_kind,
     });
+    // The KindMeta snapshot above also covers the incremental aggregate
+    // cache, so every cache mutation below rolls back with the counters.
+    // An invalidated cache (recovery, out-of-band writes) is rebuilt here,
+    // once, from a full scan; steady-state maintenance is O(1) per tuple.
+    rebuild_aggs_if_invalid(db, table)?;
 
     // Build the storage row: visible columns + __seq + __ts.
+    let visible_cells = visible_row.clone();
     let row = visible_row.with_appended([Value::Int(seq as i64), Value::Timestamp(now)]);
     let rid = db.table_mut(table)?.insert(row)?;
     undo.push(UndoOp::Insert { table, rid });
@@ -85,6 +91,13 @@ pub fn insert_into_window(
         .meta_mut(table)
         .expect("meta existence checked");
     meta.arrivals.push_back(rid);
+    if let TableKind::Window(w) = &mut meta.kind {
+        // `insert` may coerce cell types, but never in a way the cache
+        // reads wrong: INT↔TIMESTAMP keeps the i64, INT→FLOAT only affects
+        // columns whose sums the fast path never serves, and nullness is
+        // coercion-invariant. Folding the pre-coercion cells is exact.
+        w.aggs.add(visible_cells.as_ref());
+    }
     undo.push(UndoOp::WindowPushed { table });
 
     // Slide/eviction bookkeeping.
@@ -171,11 +184,45 @@ fn evict(
         undo.push(UndoOp::WindowPopped { table, rid });
         if expired {
             let row = db.table_mut(table)?.delete(rid)?;
+            // Hidden __seq/__ts trail the schema, so the visible prefix
+            // ends where the first hidden column starts.
+            let visible_len = seq_pos.min(ts_pos);
+            if let Some(meta) = db.catalog_mut().meta_mut(table) {
+                if let TableKind::Window(w) = &mut meta.kind {
+                    w.aggs.remove(&row[..visible_len]);
+                }
+            }
             undo.push(UndoOp::Delete { table, rid, row });
             n += 1;
         }
     }
     Ok(n)
+}
+
+/// Rebuild the window's incremental aggregate cache from a full scan if
+/// it was invalidated (recovery, snapshot load, out-of-band writes).
+/// No-op when the cache is already trusted.
+fn rebuild_aggs_if_invalid(db: &mut Database, table: TableId) -> Result<()> {
+    let needs_rebuild = matches!(
+        db.catalog().meta(table).map(|m| &m.kind),
+        Some(TableKind::Window(w)) if !w.aggs.valid
+    );
+    if !needs_rebuild {
+        return Ok(());
+    }
+    let (seq_pos, ts_pos) = hidden_positions(db, table)?;
+    let visible_len = seq_pos.min(ts_pos);
+    let visible_rows: Vec<Vec<Value>> = db
+        .table(table)?
+        .scan()
+        .map(|(_, r)| r[..visible_len].to_vec())
+        .collect();
+    if let Some(meta) = db.catalog_mut().meta_mut(table) {
+        if let TableKind::Window(w) = &mut meta.kind {
+            w.aggs.rebuild(visible_rows.iter().map(Vec::as_slice));
+        }
+    }
+    Ok(())
 }
 
 /// Positions of the hidden `__seq` and `__ts` columns of a window.

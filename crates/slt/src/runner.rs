@@ -4,10 +4,18 @@
 //! files); each mismatch becomes one diff line, and a file's failures are
 //! collected rather than stopping at the first — a golden run reports
 //! everything that drifted.
+//!
+//! Every file can run three ways: pinned to the row interpreter
+//! ([`run_slt_file_with`] with [`ExecPath::Row`]), pinned to the
+//! vectorized executor ([`ExecPath::Vector`]), or in **dual** mode
+//! ([`run_slt_file_dual`]) where two engines execute the script in
+//! lockstep and every query's raw output must match row-for-row before
+//! any `rowsort` normalization — a direct parity oracle for the
+//! vectorized path.
 
 use crate::parser::{parse_slt, SltRecord, SortMode};
 use sstore_common::{Result, Value};
-use sstore_core::{SStore, SStoreBuilder};
+use sstore_core::{ExecPath, SStore, SStoreBuilder};
 use std::path::{Path, PathBuf};
 
 /// Format one result row the way `.slt` expected blocks are written:
@@ -41,9 +49,27 @@ fn execute(db: &mut SStore, sql: &str) -> Result<Vec<String>> {
     Ok(result.rows.iter().map(|r| format_row(r)).collect())
 }
 
-/// Run one `.slt` file against a fresh [`SStore`]. Returns the list of
-/// failure messages (empty = pass).
+/// Build a fresh engine pinned to one executor path.
+fn build_engine(path: &Path, exec: ExecPath) -> std::result::Result<SStore, String> {
+    match SStoreBuilder::new().build() {
+        Ok(mut db) => {
+            db.engine_mut().set_exec_path(exec);
+            Ok(db)
+        }
+        Err(e) => Err(format!("{}: engine build failed: {e}", path.display())),
+    }
+}
+
+/// Run one `.slt` file against a fresh [`SStore`] using the session's
+/// default executor path. Returns the list of failure messages (empty =
+/// pass).
 pub fn run_slt_file(path: &Path) -> Vec<String> {
+    run_slt_file_with(path, ExecPath::session_default())
+}
+
+/// Run one `.slt` file against a fresh [`SStore`] pinned to `exec`.
+/// Returns the list of failure messages (empty = pass).
+pub fn run_slt_file_with(path: &Path, exec: ExecPath) -> Vec<String> {
     let text = match std::fs::read_to_string(path) {
         Ok(t) => t,
         Err(e) => return vec![format!("{}: unreadable: {e}", path.display())],
@@ -52,9 +78,9 @@ pub fn run_slt_file(path: &Path) -> Vec<String> {
         Ok(f) => f,
         Err(e) => return vec![e],
     };
-    let mut db = match SStoreBuilder::new().build() {
+    let mut db = match build_engine(path, exec) {
         Ok(db) => db,
-        Err(e) => return vec![format!("{}: engine build failed: {e}", path.display())],
+        Err(e) => return vec![e],
     };
     let mut failures = Vec::new();
     for record in &file.records {
@@ -115,6 +141,128 @@ pub fn run_slt_file(path: &Path) -> Vec<String> {
     failures
 }
 
+/// Run one `.slt` file through **both** executor paths in lockstep: a
+/// row-interpreter engine and a vectorized engine each execute every
+/// record. Statements must agree on success vs. failure; queries are
+/// checked against the expected block on the row engine (the reference
+/// semantics), and the vector engine's *raw* output — before any
+/// `rowsort` normalization — must equal the row engine's raw output.
+/// Any divergence is a parity failure.
+pub fn run_slt_file_dual(path: &Path) -> Vec<String> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => return vec![format!("{}: unreadable: {e}", path.display())],
+    };
+    let file = match parse_slt(path, &text) {
+        Ok(f) => f,
+        Err(e) => return vec![e],
+    };
+    let mut row_db = match build_engine(path, ExecPath::Row) {
+        Ok(db) => db,
+        Err(e) => return vec![e],
+    };
+    let mut vec_db = match build_engine(path, ExecPath::Vector) {
+        Ok(db) => db,
+        Err(e) => return vec![e],
+    };
+    let mut failures = Vec::new();
+    for record in &file.records {
+        match record {
+            SltRecord::Clock { micros, .. } => {
+                row_db.advance_clock(*micros);
+                vec_db.advance_clock(*micros);
+            }
+            SltRecord::Statement {
+                sql,
+                expect_error,
+                line,
+            } => {
+                let row_res = execute(&mut row_db, sql);
+                let vec_res = execute(&mut vec_db, sql);
+                if row_res.is_ok() != vec_res.is_ok() {
+                    failures.push(format!(
+                        "{}:{line}: engines disagree on statement outcome (row: {}, vector: {})\n  {sql}",
+                        path.display(),
+                        outcome(&row_res),
+                        outcome(&vec_res),
+                    ));
+                    continue;
+                }
+                // Expectations are judged against the row engine; the
+                // vector engine only has to agree on ok vs. err.
+                match (&row_res, expect_error) {
+                    (Ok(_), None) | (Err(_), Some(_)) => {}
+                    (Ok(_), Some(want)) => failures.push(format!(
+                        "{}:{line}: expected error containing `{want}`, statement succeeded\n  {sql}",
+                        path.display()
+                    )),
+                    (Err(e), None) => failures.push(format!(
+                        "{}:{line}: statement failed: {e}\n  {sql}",
+                        path.display()
+                    )),
+                }
+            }
+            SltRecord::Query {
+                sql,
+                expected,
+                sort,
+                line,
+            } => {
+                let row_res = execute(&mut row_db, sql);
+                let vec_res = execute(&mut vec_db, sql);
+                match (&row_res, &vec_res) {
+                    (Err(e), Err(_)) => {
+                        // Both engines reject the query; the expected
+                        // block can't match either way, so report once.
+                        failures.push(format!(
+                            "{}:{line}: query failed: {e}\n  {sql}",
+                            path.display()
+                        ));
+                    }
+                    (Ok(row_raw), Ok(vec_raw)) => {
+                        if row_raw != vec_raw {
+                            failures.push(format!(
+                                "{}:{line}: row/vector parity mismatch\n  {sql}\n  row engine:\n{}\n  vector engine:\n{}",
+                                path.display(),
+                                indent(row_raw),
+                                indent(vec_raw)
+                            ));
+                        }
+                        let mut actual = row_raw.clone();
+                        let mut expected = expected.clone();
+                        if *sort == SortMode::RowSort {
+                            actual.sort();
+                            expected.sort();
+                        }
+                        if actual != expected {
+                            failures.push(format!(
+                                "{}:{line}: result mismatch\n  {sql}\n  expected:\n{}\n  actual:\n{}",
+                                path.display(),
+                                indent(&expected),
+                                indent(&actual)
+                            ));
+                        }
+                    }
+                    _ => failures.push(format!(
+                        "{}:{line}: engines disagree on query outcome (row: {}, vector: {})\n  {sql}",
+                        path.display(),
+                        outcome(&row_res),
+                        outcome(&vec_res),
+                    )),
+                }
+            }
+        }
+    }
+    failures
+}
+
+fn outcome(res: &Result<Vec<String>>) -> String {
+    match res {
+        Ok(rows) => format!("ok, {} row(s)", rows.len()),
+        Err(e) => format!("error: {e}"),
+    }
+}
+
 fn indent(lines: &[String]) -> String {
     if lines.is_empty() {
         return "    (no rows)".to_string();
@@ -155,6 +303,26 @@ pub fn run_slt_dir(dir: &Path) -> (usize, Vec<String>) {
     let mut failures = Vec::new();
     for f in &files {
         failures.extend(run_slt_file(f));
+    }
+    (files.len(), failures)
+}
+
+/// Run every `.slt` file under `dir` pinned to one executor path.
+pub fn run_slt_dir_with(dir: &Path, exec: ExecPath) -> (usize, Vec<String>) {
+    let files = discover_slt_files(dir);
+    let mut failures = Vec::new();
+    for f in &files {
+        failures.extend(run_slt_file_with(f, exec));
+    }
+    (files.len(), failures)
+}
+
+/// Run every `.slt` file under `dir` in dual row/vector lockstep mode.
+pub fn run_slt_dir_dual(dir: &Path) -> (usize, Vec<String>) {
+    let files = discover_slt_files(dir);
+    let mut failures = Vec::new();
+    for f in &files {
+        failures.extend(run_slt_file_dual(f));
     }
     (files.len(), failures)
 }

@@ -7,6 +7,7 @@
 
 use crate::expr::{eval, eval_pred, BoundExpr, EvalEnv};
 use crate::plan::{AccessPath, AggExpr, AggFunc, PhysicalPlan, PlannedStmt};
+use crate::vexec::{self, ExecPath};
 use sstore_common::{Error, Result, Row, TableId, Value};
 use sstore_storage::{Database, RowId, Table};
 use std::collections::{HashMap, HashSet};
@@ -39,6 +40,13 @@ pub trait ExecContext {
 
     /// Replace the *full storage* row at `rid`, recording undo.
     fn update_row(&mut self, table: TableId, rid: RowId, new_row: Row) -> Result<()>;
+
+    /// Which executor eligible read plans route through. Defaults to the
+    /// process-wide setting (`SSTORE_EXEC`); the engine overrides this
+    /// with its per-partition configuration.
+    fn exec_path(&self) -> ExecPath {
+        ExecPath::session_default()
+    }
 }
 
 /// Result of executing one statement.
@@ -88,8 +96,21 @@ pub fn execute(
         subs: &subs,
     };
     match stmt {
-        PlannedStmt::Query { plan, columns, .. } => {
-            let rows = run_plan(plan, ctx, &env)?;
+        PlannedStmt::Query {
+            plan,
+            columns,
+            vectorizable,
+            ..
+        } => {
+            // The planner pre-computes eligibility; the context picks the
+            // path. Ineligible (or not-worthwhile) plans run the row
+            // interpreter, whose recursion still re-enters [`run_plan`] so
+            // eligible *subtrees* vectorize.
+            let rows = if *vectorizable && ctx.exec_path() == ExecPath::Vector {
+                vexec::run(plan, &*ctx, &env)?
+            } else {
+                run_plan_row(plan, ctx, &env)?
+            };
             Ok(QueryResult {
                 columns: columns.clone(),
                 rows,
@@ -276,8 +297,29 @@ fn for_each_candidate(
     Ok(())
 }
 
-/// Run a read-only plan to a materialized row set.
+/// Run a read-only plan to a materialized row set, routing through the
+/// vectorized executor when the context requests it and the plan shape
+/// both qualifies ([`vexec::eligible`]) and benefits
+/// ([`vexec::worthwhile`]); otherwise the row interpreter runs.
 pub fn run_plan(plan: &PhysicalPlan, ctx: &dyn ExecContext, env: &EvalEnv<'_>) -> Result<Vec<Row>> {
+    if ctx.exec_path() == ExecPath::Vector && vexec::worthwhile(plan) {
+        let db = ctx.db();
+        let arity = |t: TableId| db.table(t).map(|tb| tb.schema().arity()).unwrap_or(0);
+        if vexec::eligible(plan, &arity) {
+            return vexec::run(plan, ctx, env);
+        }
+    }
+    run_plan_row(plan, ctx, env)
+}
+
+/// The tuple-at-a-time interpreter. Recursive child calls re-enter
+/// [`run_plan`] so vector-eligible subtrees of a row-only plan still take
+/// the batch path.
+pub(crate) fn run_plan_row(
+    plan: &PhysicalPlan,
+    ctx: &dyn ExecContext,
+    env: &EvalEnv<'_>,
+) -> Result<Vec<Row>> {
     match plan {
         PhysicalPlan::Values { rows } => rows
             .iter()
@@ -476,7 +518,7 @@ impl GroupState {
     }
 }
 
-fn run_aggregate(
+pub(crate) fn run_aggregate(
     rows: &[Row],
     group_exprs: &[BoundExpr],
     aggs: &[AggExpr],
@@ -556,12 +598,26 @@ impl ExecContext for DirectContext<'_> {
         Ok(())
     }
     fn insert_visible(&mut self, table: TableId, row: Row) -> Result<RowId> {
-        // Pad hidden columns with zeros (streams/windows outside the engine).
-        let arity = self.db.table(table)?.schema().arity();
-        let row = if row.len() < arity {
-            row.with_appended(std::iter::repeat_n(Value::Int(0), arity - row.len()))
-        } else {
-            row
+        // Pad missing trailing (hidden lifecycle) columns per the column's
+        // own type: NULL where allowed, the type's zero otherwise — never
+        // `Int(0)` into a non-INT column.
+        let row = {
+            let schema = self.db.table(table)?.schema();
+            if row.len() < schema.arity() {
+                let pads: Vec<Value> = schema.columns()[row.len()..]
+                    .iter()
+                    .map(|c| {
+                        if c.nullable {
+                            Value::Null
+                        } else {
+                            zero_value(c.ty)
+                        }
+                    })
+                    .collect();
+                row.with_appended(pads)
+            } else {
+                row
+            }
         };
         let rid = self.db.table_mut(table)?.insert(row)?;
         // Even without engine lifecycle, keep the window arrival deque
@@ -571,6 +627,7 @@ impl ExecContext for DirectContext<'_> {
                 meta.arrivals.push_back(rid);
             }
         }
+        self.invalidate_window_aggs(table);
         Ok(rid)
     }
     fn delete_row(&mut self, table: TableId, rid: RowId) -> Result<Row> {
@@ -582,11 +639,38 @@ impl ExecContext for DirectContext<'_> {
                 }
             }
         }
+        self.invalidate_window_aggs(table);
         Ok(row)
     }
     fn update_row(&mut self, table: TableId, rid: RowId, new_row: Row) -> Result<()> {
         self.db.table_mut(table)?.update(rid, new_row)?;
+        self.invalidate_window_aggs(table);
         Ok(())
+    }
+}
+
+impl DirectContext<'_> {
+    /// There is no undo log here, so incremental maintenance of the window
+    /// aggregate cache cannot be rolled back; dropping the cache on every
+    /// direct window write is always correct (readers fall back to a scan).
+    fn invalidate_window_aggs(&mut self, table: TableId) {
+        if let Some(meta) = self.db.catalog_mut().meta_mut(table) {
+            if let sstore_storage::TableKind::Window(w) = &mut meta.kind {
+                w.aggs.invalidate();
+            }
+        }
+    }
+}
+
+/// The zero of a column type, used to pad non-nullable hidden columns.
+fn zero_value(ty: sstore_common::DataType) -> Value {
+    use sstore_common::DataType;
+    match ty {
+        DataType::Int => Value::Int(0),
+        DataType::Float => Value::Float(0.0),
+        DataType::Text => Value::Text(String::new()),
+        DataType::Bool => Value::Bool(false),
+        DataType::Timestamp => Value::Timestamp(0),
     }
 }
 

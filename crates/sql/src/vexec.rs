@@ -1,0 +1,1102 @@
+//! Vectorized plan execution over [`sstore_vector`] column batches.
+//!
+//! The row interpreter in [`crate::exec`] walks plans a tuple at a time;
+//! this module lowers *eligible* plan shapes onto typed column kernels:
+//! full scans become [`ColumnBatch`] builds, `WHERE` clauses become
+//! selection vectors, global aggregates run as tight loops over native
+//! lanes, and equi-joins use hash build/probe instead of the O(n·m)
+//! nested loop. Anything the kernels cannot express exactly — mixed-type
+//! lanes, `IN`/`BETWEEN`/scalar functions, correlated shapes — falls back
+//! cell-by-cell onto the scalar [`crate::expr::eval`], so results (and
+//! errors) match the row path bit for bit.
+//!
+//! # Path selection
+//!
+//! [`eligible`] is a pure shape check: full-scan leaves, equi-join `ON`
+//! clauses, and any stack of Filter/Project/Aggregate/Sort/Limit/Distinct
+//! above them. [`worthwhile`] additionally requires at least one operator
+//! that benefits from batching (a residual predicate, an aggregate, or a
+//! join) so that trivial `SELECT *` scans keep the row path's
+//! zero-copy row handles. The planner stamps `PlannedStmt::Query` with
+//! the verdict; [`ExecPath`] (per-context, defaulting from the
+//! `SSTORE_EXEC` environment variable) picks the path at run time.
+//!
+//! # Known, documented divergences from the row interpreter
+//!
+//! Both paths always agree on *results*. Error **ordering** may differ in
+//! three corners (an error is still always raised, with the same message):
+//!
+//! * `AND`/`OR` evaluate the left operand for the whole batch before the
+//!   right operand, so a left-side error on row 7 surfaces before a
+//!   right-side error on row 3.
+//! * Projections and aggregates evaluate column-at-a-time, so the first
+//!   erroring *expression* wins rather than the first erroring *row*.
+//! * The hash join only evaluates the `ON` residual on key-matching
+//!   pairs; a residual that would error on a non-matching pair does not
+//!   error here (the row path's nested loop evaluates every pair).
+//!
+//! Additionally the incremental window-aggregate cache answers
+//! `SUM`/`AVG` from an exact `i64` accumulator, which can differ from the
+//! row path's sequential `f64` accumulation only beyond 2^53.
+
+use crate::exec::{run_aggregate, ExecContext};
+use crate::expr::{eval, eval_pred, BoundExpr, EvalEnv};
+use crate::plan::{AccessPath, AggExpr, AggFunc, PhysicalPlan};
+use sstore_common::{DataType, Error, Result, Row, TableId, Value};
+use sstore_storage::TableKind;
+use sstore_vector::compute::{
+    arith_num, avg_num, bool_to_sel, cmp_bool, cmp_num, cmp_str, count_nonnull, min_max_float,
+    min_max_int, sum_float, sum_int, BoolSrc, StrSrc,
+};
+use sstore_vector::join::hash_join_i64;
+use sstore_vector::{ArithOp, Bitmap, CmpOp, Column, ColumnBatch, ColumnData, NumSrc};
+use std::collections::{BTreeSet, HashMap};
+use std::sync::OnceLock;
+
+/// Which executor a context routes eligible queries through.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecPath {
+    /// Tuple-at-a-time interpreter ([`crate::exec`]).
+    Row,
+    /// Columnar batch kernels (this module), with row fallback for
+    /// ineligible plans.
+    Vector,
+}
+
+impl ExecPath {
+    /// Process-wide default, read once from `SSTORE_EXEC`
+    /// (`"row"` forces the interpreter; anything else selects the
+    /// vectorized path).
+    pub fn session_default() -> ExecPath {
+        static DEFAULT: OnceLock<ExecPath> = OnceLock::new();
+        *DEFAULT.get_or_init(|| match std::env::var("SSTORE_EXEC").as_deref() {
+            Ok("row") => ExecPath::Row,
+            _ => ExecPath::Vector,
+        })
+    }
+}
+
+impl Default for ExecPath {
+    fn default() -> Self {
+        ExecPath::session_default()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Shape analysis
+// ---------------------------------------------------------------------------
+
+/// True if every node of `plan` can run on the vector path: full-scan
+/// leaves, joins with at least one top-level equi-conjunct, and the
+/// standard relational operators above them. Point lookups (`PkPoint`/
+/// `IndexPoint`) and `VALUES` stay on the row path.
+pub fn eligible(plan: &PhysicalPlan, table_arity: &dyn Fn(TableId) -> usize) -> bool {
+    match plan {
+        PhysicalPlan::Values { .. } => false,
+        PhysicalPlan::Scan { path, .. } => matches!(path, AccessPath::Full),
+        PhysicalPlan::NestedLoopJoin { left, right, on } => {
+            eligible(left, table_arity)
+                && eligible(right, table_arity)
+                && !equi_pairs(on, left.arity(table_arity)).is_empty()
+        }
+        PhysicalPlan::Filter { input, .. }
+        | PhysicalPlan::Project { input, .. }
+        | PhysicalPlan::Aggregate { input, .. }
+        | PhysicalPlan::Sort { input, .. }
+        | PhysicalPlan::Limit { input, .. }
+        | PhysicalPlan::Distinct { input } => eligible(input, table_arity),
+    }
+}
+
+/// True if the plan contains at least one operator that actually benefits
+/// from batching (filter, aggregate, or join). A bare `SELECT * FROM t`
+/// materializes every cell either way, and the row path's refcounted row
+/// handles are cheaper than a build-then-pivot.
+pub fn worthwhile(plan: &PhysicalPlan) -> bool {
+    match plan {
+        PhysicalPlan::Values { .. } => false,
+        PhysicalPlan::Scan { residual, .. } => residual.is_some(),
+        PhysicalPlan::NestedLoopJoin { .. }
+        | PhysicalPlan::Filter { .. }
+        | PhysicalPlan::Aggregate { .. } => true,
+        PhysicalPlan::Project { input, .. }
+        | PhysicalPlan::Sort { input, .. }
+        | PhysicalPlan::Limit { input, .. }
+        | PhysicalPlan::Distinct { input } => worthwhile(input),
+    }
+}
+
+/// Extract `(left_col, right_col)` equi-join pairs from the top-level
+/// `AND`-conjuncts of `on`. Column offsets in `on` index the concatenated
+/// row; `right_col` is returned relative to the right input.
+pub fn equi_pairs(on: &BoundExpr, left_arity: usize) -> Vec<(usize, usize)> {
+    let mut conjuncts = Vec::new();
+    flatten_and(on, &mut conjuncts);
+    let mut out = Vec::new();
+    for c in conjuncts {
+        if let BoundExpr::Binary {
+            op: crate::ast::BinOp::Eq,
+            left,
+            right,
+        } = c
+        {
+            if let (BoundExpr::ColumnRef(a), BoundExpr::ColumnRef(b)) = (&**left, &**right) {
+                if *a < left_arity && *b >= left_arity {
+                    out.push((*a, *b - left_arity));
+                } else if *b < left_arity && *a >= left_arity {
+                    out.push((*b, *a - left_arity));
+                }
+            }
+        }
+    }
+    out
+}
+
+fn flatten_and<'e>(e: &'e BoundExpr, out: &mut Vec<&'e BoundExpr>) {
+    if let BoundExpr::Binary {
+        op: crate::ast::BinOp::And,
+        left,
+        right,
+    } = e
+    {
+        flatten_and(left, out);
+        flatten_and(right, out);
+    } else {
+        out.push(e);
+    }
+}
+
+/// Collect every `ColumnRef` position mentioned by `e`.
+fn collect_refs(e: &BoundExpr, out: &mut BTreeSet<usize>) {
+    match e {
+        BoundExpr::ColumnRef(i) => {
+            out.insert(*i);
+        }
+        BoundExpr::Literal(_) | BoundExpr::Param(_) | BoundExpr::SubqueryRef(_) => {}
+        BoundExpr::Unary { expr, .. } | BoundExpr::IsNull { expr, .. } => collect_refs(expr, out),
+        BoundExpr::Binary { left, right, .. } => {
+            collect_refs(left, out);
+            collect_refs(right, out);
+        }
+        BoundExpr::InList { expr, list, .. } => {
+            collect_refs(expr, out);
+            for item in list {
+                collect_refs(item, out);
+            }
+        }
+        BoundExpr::Between { expr, lo, hi, .. } => {
+            collect_refs(expr, out);
+            collect_refs(lo, out);
+            collect_refs(hi, out);
+        }
+        BoundExpr::Scalar { args, .. } => {
+            for a in args {
+                collect_refs(a, out);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Batch plumbing
+// ---------------------------------------------------------------------------
+
+/// Intermediate operator output: a batch plus selection while the data can
+/// stay columnar, or materialized rows once an operator pivots.
+enum VOut {
+    Batch {
+        batch: ColumnBatch,
+        /// Surviving physical row indices, in row order. `None` = all.
+        sel: Option<Vec<u32>>,
+    },
+    Rows(Vec<Row>),
+}
+
+fn sel_count(sel: Option<&[u32]>, rows: usize) -> usize {
+    sel.map_or(rows, <[u32]>::len)
+}
+
+fn sel_iter<'a>(sel: Option<&'a [u32]>, rows: usize) -> Box<dyn Iterator<Item = usize> + 'a> {
+    match sel {
+        None => Box::new(0..rows),
+        Some(s) => Box::new(s.iter().map(|&i| i as usize)),
+    }
+}
+
+/// Pivot one physical row out of a batch. Pruned columns yield `Null`
+/// placeholders — callers only read positions the plan references.
+fn row_of(batch: &ColumnBatch, i: usize) -> Row {
+    batch
+        .columns
+        .iter()
+        .map(|c| c.as_ref().map_or(Value::Null, |c| c.value_at(i)))
+        .collect()
+}
+
+fn materialize(batch: &ColumnBatch, sel: Option<&[u32]>) -> Vec<Row> {
+    sel_iter(sel, batch.rows)
+        .map(|i| row_of(batch, i))
+        .collect()
+}
+
+fn materialize_out(out: VOut) -> Vec<Row> {
+    match out {
+        VOut::Rows(rows) => rows,
+        VOut::Batch { batch, sel } => materialize(&batch, sel.as_deref()),
+    }
+}
+
+/// Run an eligible plan on the vector path and materialize the result.
+pub fn run(plan: &PhysicalPlan, ctx: &dyn ExecContext, env: &EvalEnv<'_>) -> Result<Vec<Row>> {
+    vrun(plan, ctx, env, None).map(materialize_out)
+}
+
+/// Recursive batch executor. `needed` is the set of column positions any
+/// ancestor will read (`None` = all); scans prune everything else.
+fn vrun(
+    plan: &PhysicalPlan,
+    ctx: &dyn ExecContext,
+    env: &EvalEnv<'_>,
+    needed: Option<&[usize]>,
+) -> Result<VOut> {
+    match plan {
+        PhysicalPlan::Values { rows } => {
+            let out = rows
+                .iter()
+                .map(|exprs| {
+                    exprs
+                        .iter()
+                        .map(|e| eval(e, &[], env))
+                        .collect::<Result<Row>>()
+                })
+                .collect::<Result<Vec<_>>>()?;
+            Ok(VOut::Rows(out))
+        }
+        PhysicalPlan::Scan {
+            table,
+            path,
+            residual,
+        } => {
+            if !matches!(path, AccessPath::Full) {
+                return Err(Error::Internal(
+                    "vectorized scan requires a full access path".into(),
+                ));
+            }
+            ctx.check_read(*table)?;
+            let scan_needed: Option<Vec<usize>> = needed.map(|n| {
+                let mut set: BTreeSet<usize> = n.iter().copied().collect();
+                if let Some(p) = residual {
+                    collect_refs(p, &mut set);
+                }
+                set.into_iter().collect()
+            });
+            let batch = ctx.db().table(*table)?.column_batch(scan_needed.as_deref());
+            let sel = match residual {
+                None => None,
+                Some(p) => Some(pred_selection(p, &batch, None, env)?),
+            };
+            Ok(VOut::Batch { batch, sel })
+        }
+        PhysicalPlan::Filter { input, pred } => {
+            let child_needed: Option<Vec<usize>> = needed.map(|n| {
+                let mut set: BTreeSet<usize> = n.iter().copied().collect();
+                collect_refs(pred, &mut set);
+                set.into_iter().collect()
+            });
+            match vrun(input, ctx, env, child_needed.as_deref())? {
+                VOut::Rows(rows) => {
+                    let mut out = Vec::new();
+                    for r in rows {
+                        if eval_pred(pred, &r, env)? {
+                            out.push(r);
+                        }
+                    }
+                    Ok(VOut::Rows(out))
+                }
+                VOut::Batch { batch, sel } => {
+                    let sel = pred_selection(pred, &batch, sel.as_deref(), env)?;
+                    Ok(VOut::Batch {
+                        batch,
+                        sel: Some(sel),
+                    })
+                }
+            }
+        }
+        PhysicalPlan::Project { input, exprs } => {
+            let mut set = BTreeSet::new();
+            for e in exprs {
+                collect_refs(e, &mut set);
+            }
+            let child_needed: Vec<usize> = set.into_iter().collect();
+            match vrun(input, ctx, env, Some(&child_needed))? {
+                VOut::Rows(rows) => {
+                    let out = rows
+                        .iter()
+                        .map(|r| {
+                            exprs
+                                .iter()
+                                .map(|e| eval(e, r, env))
+                                .collect::<Result<Row>>()
+                        })
+                        .collect::<Result<Vec<_>>>()?;
+                    Ok(VOut::Rows(out))
+                }
+                VOut::Batch { batch, sel } => {
+                    let sel = sel.as_deref();
+                    if sel_count(sel, batch.rows) == 0 {
+                        return Ok(VOut::Rows(Vec::new()));
+                    }
+                    let cols = exprs
+                        .iter()
+                        .map(|e| veval(e, &batch, sel, env))
+                        .collect::<Result<Vec<_>>>()?;
+                    let out = sel_iter(sel, batch.rows)
+                        .map(|i| cols.iter().map(|c| c.value_at(i)).collect())
+                        .collect();
+                    Ok(VOut::Rows(out))
+                }
+            }
+        }
+        PhysicalPlan::Aggregate {
+            input,
+            group_exprs,
+            aggs,
+        } => {
+            if group_exprs.is_empty() {
+                if let Some(rows) = try_window_fast_path(input, aggs, ctx)? {
+                    return Ok(VOut::Rows(rows));
+                }
+            }
+            let mut set = BTreeSet::new();
+            for e in group_exprs {
+                collect_refs(e, &mut set);
+            }
+            for a in aggs {
+                if let Some(arg) = &a.arg {
+                    collect_refs(arg, &mut set);
+                }
+            }
+            let child_needed: Vec<usize> = set.into_iter().collect();
+            let rows = match vrun(input, ctx, env, Some(&child_needed))? {
+                VOut::Rows(rows) => rows,
+                VOut::Batch { batch, sel } => {
+                    let sel = sel.as_deref();
+                    if group_exprs.is_empty() && sel_count(sel, batch.rows) > 0 {
+                        if let Some(row) = try_global_kernels(&batch, sel, aggs, env)? {
+                            return Ok(VOut::Rows(vec![row]));
+                        }
+                    }
+                    materialize(&batch, sel)
+                }
+            };
+            run_aggregate(&rows, group_exprs, aggs, env).map(VOut::Rows)
+        }
+        PhysicalPlan::Sort { input, keys } => {
+            let child_needed: Option<Vec<usize>> = needed.map(|n| {
+                let mut set: BTreeSet<usize> = n.iter().copied().collect();
+                set.extend(keys.iter().map(|(pos, _)| *pos));
+                set.into_iter().collect()
+            });
+            let mut rows = materialize_out(vrun(input, ctx, env, child_needed.as_deref())?);
+            rows.sort_by(|a, b| {
+                for (pos, desc) in keys {
+                    let ord = a[*pos].cmp_total(&b[*pos]);
+                    let ord = if *desc { ord.reverse() } else { ord };
+                    if ord != std::cmp::Ordering::Equal {
+                        return ord;
+                    }
+                }
+                std::cmp::Ordering::Equal
+            });
+            Ok(VOut::Rows(rows))
+        }
+        PhysicalPlan::Limit { input, n } => {
+            let k = *n as usize;
+            match vrun(input, ctx, env, needed)? {
+                VOut::Rows(mut rows) => {
+                    rows.truncate(k);
+                    Ok(VOut::Rows(rows))
+                }
+                VOut::Batch { batch, sel } => {
+                    if sel_count(sel.as_deref(), batch.rows) <= k {
+                        Ok(VOut::Batch { batch, sel })
+                    } else {
+                        let sel = sel_iter(sel.as_deref(), batch.rows)
+                            .take(k)
+                            .map(|i| i as u32)
+                            .collect();
+                        Ok(VOut::Batch {
+                            batch,
+                            sel: Some(sel),
+                        })
+                    }
+                }
+            }
+        }
+        PhysicalPlan::Distinct { input } => {
+            let rows = materialize_out(vrun(input, ctx, env, None)?);
+            let mut seen = std::collections::HashSet::new();
+            let mut out = Vec::new();
+            for r in rows {
+                if seen.insert(r.clone()) {
+                    out.push(r);
+                }
+            }
+            Ok(VOut::Rows(out))
+        }
+        PhysicalPlan::NestedLoopJoin { left, right, on } => {
+            let db = ctx.db();
+            let arity_fn = |t: TableId| db.table(t).map(|tb| tb.schema().arity()).unwrap_or(0);
+            let left_arity = left.arity(&arity_fn);
+            let lout = vrun(left, ctx, env, None)?;
+            let rout = vrun(right, ctx, env, None)?;
+            let pairs = equi_pairs(on, left_arity);
+            join_outputs(lout, rout, on, &pairs, env).map(VOut::Rows)
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Expression evaluation over batches
+// ---------------------------------------------------------------------------
+
+/// A batch-level expression result: a constant (same value for every
+/// selected row), a borrowed input column, or a freshly computed one.
+enum VCol<'a> {
+    Const(Value),
+    Ref(&'a Column),
+    Owned(Column),
+}
+
+impl VCol<'_> {
+    fn col(&self) -> Option<&Column> {
+        match self {
+            VCol::Const(_) => None,
+            VCol::Ref(c) => Some(c),
+            VCol::Owned(c) => Some(c),
+        }
+    }
+
+    fn value_at(&self, i: usize) -> Value {
+        match self {
+            VCol::Const(v) => v.clone(),
+            VCol::Ref(c) => c.value_at(i),
+            VCol::Owned(c) => c.value_at(i),
+        }
+    }
+
+    fn is_null_at(&self, i: usize) -> bool {
+        match self {
+            VCol::Const(v) => v.is_null(),
+            VCol::Ref(c) => c.is_null_at(i),
+            VCol::Owned(c) => c.is_null_at(i),
+        }
+    }
+}
+
+fn all_null(data: ColumnData, rows: usize) -> Column {
+    Column {
+        data,
+        validity: Some(Bitmap::new_clear(rows)),
+    }
+}
+
+/// View a result as a numeric kernel operand. The `bool` flag marks
+/// timestamp-typed sources, whose arithmetic against floats must take the
+/// scalar fallback (the row path's `as_float` rejects timestamps).
+fn num_src<'v>(v: &'v VCol<'_>) -> Option<(NumSrc<'v>, Option<&'v Bitmap>, bool)> {
+    match v {
+        VCol::Const(Value::Int(k)) => Some((NumSrc::CI(*k), None, false)),
+        VCol::Const(Value::Float(f)) => Some((NumSrc::CF(*f), None, false)),
+        VCol::Const(Value::Timestamp(t)) => Some((NumSrc::CI(*t), None, true)),
+        VCol::Const(_) => None,
+        _ => {
+            let c = v.col()?;
+            let validity = c.validity.as_ref();
+            match &c.data {
+                ColumnData::Int(d) => Some((NumSrc::I(d), validity, false)),
+                ColumnData::Timestamp(d) => Some((NumSrc::I(d), validity, true)),
+                ColumnData::Float(d) => Some((NumSrc::F(d), validity, false)),
+                _ => None,
+            }
+        }
+    }
+}
+
+fn str_src<'v>(v: &'v VCol<'_>) -> Option<(StrSrc<'v>, Option<&'v Bitmap>)> {
+    match v {
+        VCol::Const(Value::Text(s)) => Some((StrSrc::Const(s), None)),
+        VCol::Const(_) => None,
+        _ => match v.col()? {
+            Column {
+                data: ColumnData::Text(d),
+                validity,
+            } => Some((StrSrc::Col(d), validity.as_ref())),
+            _ => None,
+        },
+    }
+}
+
+fn bool_src<'v>(v: &'v VCol<'_>) -> Option<(BoolSrc<'v>, Option<&'v Bitmap>)> {
+    match v {
+        VCol::Const(Value::Bool(b)) => Some((BoolSrc::Const(*b), None)),
+        VCol::Const(_) => None,
+        _ => match v.col()? {
+            Column {
+                data: ColumnData::Bool(d),
+                validity,
+            } => Some((BoolSrc::Col(d), validity.as_ref())),
+            _ => None,
+        },
+    }
+}
+
+fn is_const_null(v: &VCol<'_>) -> bool {
+    matches!(v, VCol::Const(Value::Null))
+}
+
+fn cmp_op_of(op: crate::ast::BinOp) -> CmpOp {
+    match op {
+        crate::ast::BinOp::Eq => CmpOp::Eq,
+        crate::ast::BinOp::Neq => CmpOp::Ne,
+        crate::ast::BinOp::Lt => CmpOp::Lt,
+        crate::ast::BinOp::Le => CmpOp::Le,
+        crate::ast::BinOp::Gt => CmpOp::Gt,
+        crate::ast::BinOp::Ge => CmpOp::Ge,
+        other => unreachable!("not a comparison operator: {other:?}"),
+    }
+}
+
+fn arith_op_of(op: crate::ast::BinOp) -> ArithOp {
+    match op {
+        crate::ast::BinOp::Add => ArithOp::Add,
+        crate::ast::BinOp::Sub => ArithOp::Sub,
+        crate::ast::BinOp::Mul => ArithOp::Mul,
+        crate::ast::BinOp::Div => ArithOp::Div,
+        crate::ast::BinOp::Mod => ArithOp::Mod,
+        other => unreachable!("not an arithmetic operator: {other:?}"),
+    }
+}
+
+/// Kernel dispatch for a comparison; `None` = operand shapes the kernels
+/// don't cover (mixed-type lanes), caller takes the scalar fallback.
+/// Comparisons never type-error (`cmp_total` is total), so heterogeneous
+/// pairs are the only reason to bail.
+fn vcmp(op: CmpOp, l: &VCol<'_>, r: &VCol<'_>, sel: Option<&[u32]>, rows: usize) -> Option<Column> {
+    if is_const_null(l) || is_const_null(r) {
+        return Some(all_null(ColumnData::Bool(vec![false; rows]), rows));
+    }
+    if let (Some((a, av, _)), Some((b, bv, _))) = (num_src(l), num_src(r)) {
+        let (vals, validity) = cmp_num(op, a, av, b, bv, sel, rows);
+        return Some(Column {
+            data: ColumnData::Bool(vals),
+            validity,
+        });
+    }
+    if let (Some((a, av)), Some((b, bv))) = (str_src(l), str_src(r)) {
+        let (vals, validity) = cmp_str(op, a, av, b, bv, sel, rows);
+        return Some(Column {
+            data: ColumnData::Bool(vals),
+            validity,
+        });
+    }
+    if let (Some((a, av)), Some((b, bv))) = (bool_src(l), bool_src(r)) {
+        let (vals, validity) = cmp_bool(op, a, av, b, bv, sel, rows);
+        return Some(Column {
+            data: ColumnData::Bool(vals),
+            validity,
+        });
+    }
+    None
+}
+
+/// Kernel dispatch for arithmetic; `None` = take the scalar fallback.
+fn varith(
+    op: ArithOp,
+    l: &VCol<'_>,
+    r: &VCol<'_>,
+    sel: Option<&[u32]>,
+    rows: usize,
+) -> Option<Result<Column>> {
+    if is_const_null(l) || is_const_null(r) {
+        // The row path checks NULL operands before anything else, so a
+        // NULL constant nulls the whole column regardless of the other
+        // operand's type.
+        return Some(Ok(all_null(ColumnData::Int(vec![0; rows]), rows)));
+    }
+    let (a, av, a_ts) = num_src(l)?;
+    let (b, bv, b_ts) = num_src(r)?;
+    if (a_ts || b_ts) && !(a.is_int() && b.is_int()) {
+        // Timestamp ⊕ Float errors in the row path; go scalar for parity.
+        return None;
+    }
+    Some(arith_num(op, a, av, b, bv, sel, rows).map(|(data, validity)| Column { data, validity }))
+}
+
+/// Evaluate `e` over the selected rows of `batch`. Kernel-backed where the
+/// operand lanes allow, scalar fallback otherwise. Callers must ensure the
+/// selection is non-empty (constant subexpressions are evaluated eagerly,
+/// and the row path never evaluates anything over zero rows).
+fn veval<'a>(
+    e: &BoundExpr,
+    batch: &'a ColumnBatch,
+    sel: Option<&[u32]>,
+    env: &EvalEnv<'_>,
+) -> Result<VCol<'a>> {
+    match e {
+        BoundExpr::Literal(v) => Ok(VCol::Const(v.clone())),
+        BoundExpr::Param(i) => env
+            .params
+            .get(*i)
+            .cloned()
+            .map(VCol::Const)
+            .ok_or_else(|| Error::Constraint(format!("missing parameter ?{i}"))),
+        BoundExpr::SubqueryRef(i) => env
+            .subs
+            .get(*i)
+            .cloned()
+            .map(VCol::Const)
+            .ok_or_else(|| Error::Internal(format!("missing subquery slot {i}"))),
+        BoundExpr::ColumnRef(i) => {
+            if *i >= batch.columns.len() {
+                return Err(Error::Internal(format!("column offset {i} out of range")));
+            }
+            Ok(VCol::Ref(batch.column(*i)))
+        }
+        BoundExpr::Scalar { func, .. } if *func == crate::expr::ScalarFn::Now => {
+            Ok(VCol::Const(Value::Timestamp(env.now)))
+        }
+        BoundExpr::IsNull { expr, negated } => {
+            let c = veval(expr, batch, sel, env)?;
+            let mut vals = vec![false; batch.rows];
+            for i in sel_iter(sel, batch.rows) {
+                vals[i] = c.is_null_at(i) != *negated;
+            }
+            Ok(VCol::Owned(Column {
+                data: ColumnData::Bool(vals),
+                validity: None,
+            }))
+        }
+        BoundExpr::Binary { op, left, right } => match op {
+            crate::ast::BinOp::And => vand_or(true, left, right, batch, sel, env),
+            crate::ast::BinOp::Or => vand_or(false, left, right, batch, sel, env),
+            crate::ast::BinOp::Eq
+            | crate::ast::BinOp::Neq
+            | crate::ast::BinOp::Lt
+            | crate::ast::BinOp::Le
+            | crate::ast::BinOp::Gt
+            | crate::ast::BinOp::Ge => {
+                let l = veval(left, batch, sel, env)?;
+                let r = veval(right, batch, sel, env)?;
+                match vcmp(cmp_op_of(*op), &l, &r, sel, batch.rows) {
+                    Some(c) => Ok(VCol::Owned(c)),
+                    None => veval_cellwise(e, batch, sel, env),
+                }
+            }
+            crate::ast::BinOp::Add
+            | crate::ast::BinOp::Sub
+            | crate::ast::BinOp::Mul
+            | crate::ast::BinOp::Div
+            | crate::ast::BinOp::Mod => {
+                let l = veval(left, batch, sel, env)?;
+                let r = veval(right, batch, sel, env)?;
+                match varith(arith_op_of(*op), &l, &r, sel, batch.rows) {
+                    Some(res) => res.map(VCol::Owned),
+                    None => veval_cellwise(e, batch, sel, env),
+                }
+            }
+        },
+        // IN / BETWEEN / unary ops / scalar functions: scalar fallback —
+        // exact semantics, still batched through the selection.
+        _ => veval_cellwise(e, batch, sel, env),
+    }
+}
+
+/// Scalar fallback: evaluate the whole expression per selected row via
+/// [`eval`], gathering referenced cells into a scratch row. Exact row-path
+/// semantics including error order within the expression.
+fn veval_cellwise(
+    e: &BoundExpr,
+    batch: &ColumnBatch,
+    sel: Option<&[u32]>,
+    env: &EvalEnv<'_>,
+) -> Result<VCol<'static>> {
+    let mut refs = BTreeSet::new();
+    collect_refs(e, &mut refs);
+    let mut scratch = vec![Value::Null; batch.columns.len()];
+    let mut out = vec![Value::Null; batch.rows];
+    for i in sel_iter(sel, batch.rows) {
+        for &r in &refs {
+            scratch[r] = batch.column(r).value_at(i);
+        }
+        out[i] = eval(e, &scratch, env)?;
+    }
+    Ok(VCol::Owned(Column {
+        data: ColumnData::Generic(out),
+        validity: None,
+    }))
+}
+
+/// Three-valued `AND`/`OR` with short-circuit parity: the right operand is
+/// only evaluated on rows the left side did not decide, so `x <> 0 AND
+/// 10 / x > 1` never divides by zero — exactly like the row interpreter.
+fn vand_or(
+    is_and: bool,
+    left: &BoundExpr,
+    right: &BoundExpr,
+    batch: &ColumnBatch,
+    sel: Option<&[u32]>,
+    env: &EvalEnv<'_>,
+) -> Result<VCol<'static>> {
+    let op_name = if is_and { "AND" } else { "OR" };
+    let lcol = veval(left, batch, sel, env)?;
+    let rows = batch.rows;
+    let mut vals = vec![false; rows];
+    let mut validity = Bitmap::new_set(rows);
+    // Left tri-state per selected row; `sub` = rows not short-circuited.
+    let mut ltri: Vec<Option<bool>> = vec![None; rows];
+    let mut sub: Vec<u32> = Vec::new();
+    for i in sel_iter(sel, rows) {
+        let t = match lcol.value_at(i) {
+            Value::Bool(b) => Some(b),
+            Value::Null => None,
+            other => {
+                return Err(Error::TypeMismatch(format!("{op_name} applied to {other}")));
+            }
+        };
+        ltri[i] = t;
+        if t == Some(!is_and) {
+            // AND short-circuits on false, OR on true.
+            vals[i] = !is_and;
+        } else {
+            sub.push(i as u32);
+        }
+    }
+    if !sub.is_empty() {
+        let rcol = veval(right, batch, Some(&sub), env)?;
+        for &iu in &sub {
+            let i = iu as usize;
+            match (rcol.value_at(i), ltri[i]) {
+                // Mirrors the row path's merge: a decisive right side wins
+                // even when the left was NULL.
+                (Value::Bool(b), _) if b != is_and => vals[i] = !is_and,
+                (Value::Null, _) | (Value::Bool(_), None) => validity.set(i, false),
+                (Value::Bool(_), Some(_)) => vals[i] = is_and,
+                (other, _) => {
+                    return Err(Error::TypeMismatch(format!("{op_name} applied to {other}")));
+                }
+            }
+        }
+    }
+    Ok(VCol::Owned(Column {
+        data: ColumnData::Bool(vals),
+        validity: Some(validity),
+    }))
+}
+
+/// Evaluate a predicate over the selection and reduce it to the surviving
+/// row indices. NULL counts as false (SQL `WHERE` semantics).
+fn pred_selection(
+    pred: &BoundExpr,
+    batch: &ColumnBatch,
+    sel: Option<&[u32]>,
+    env: &EvalEnv<'_>,
+) -> Result<Vec<u32>> {
+    if sel_count(sel, batch.rows) == 0 {
+        return Ok(Vec::new());
+    }
+    let c = veval(pred, batch, sel, env)?;
+    if let Some(Column {
+        data: ColumnData::Bool(vals),
+        validity,
+    }) = c.col()
+    {
+        return Ok(bool_to_sel(vals, validity.as_ref(), sel, batch.rows));
+    }
+    let mut out = Vec::new();
+    for i in sel_iter(sel, batch.rows) {
+        match c.value_at(i) {
+            Value::Bool(true) => out.push(i as u32),
+            Value::Bool(false) | Value::Null => {}
+            other => {
+                return Err(Error::TypeMismatch(format!(
+                    "predicate evaluated to non-boolean {other}"
+                )));
+            }
+        }
+    }
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------------
+// Aggregates
+// ---------------------------------------------------------------------------
+
+/// Global (ungrouped) aggregation straight off the lanes. `None` = some
+/// aggregate isn't kernel-representable; caller falls back to the row
+/// accumulator. Caller guarantees a non-empty selection.
+fn try_global_kernels(
+    batch: &ColumnBatch,
+    sel: Option<&[u32]>,
+    aggs: &[AggExpr],
+    env: &EvalEnv<'_>,
+) -> Result<Option<Row>> {
+    if aggs.iter().any(|a| a.distinct) {
+        return Ok(None);
+    }
+    let rows = batch.rows;
+    let n = sel_count(sel, rows) as i64;
+    let mut out: Vec<Value> = Vec::with_capacity(aggs.len());
+    for agg in aggs {
+        if agg.func == AggFunc::CountStar {
+            out.push(Value::Int(n));
+            continue;
+        }
+        let Some(arg) = &agg.arg else {
+            return Ok(None);
+        };
+        let vc = veval(arg, batch, sel, env)?;
+        let value = match (agg.func, vc.col()) {
+            (AggFunc::Count, None) => {
+                // Constant argument: NULL counts nothing, else every row.
+                Value::Int(if vc.is_null_at(0) { 0 } else { n })
+            }
+            (AggFunc::Count, Some(c)) => match &c.data {
+                ColumnData::Generic(_) => {
+                    let mut k = 0i64;
+                    for i in sel_iter(sel, rows) {
+                        if !c.is_null_at(i) {
+                            k += 1;
+                        }
+                    }
+                    Value::Int(k)
+                }
+                _ => Value::Int(count_nonnull(c.validity.as_ref(), sel, rows)),
+            },
+            (AggFunc::Sum, Some(c)) => match &c.data {
+                ColumnData::Int(d) => {
+                    sum_int(d, c.validity.as_ref(), sel, rows)?.map_or(Value::Null, Value::Int)
+                }
+                ColumnData::Float(d) => {
+                    sum_float(d, c.validity.as_ref(), sel, rows).map_or(Value::Null, Value::Float)
+                }
+                // Timestamp/Bool/Text/Generic sums carry row-path type
+                // errors; use the accumulator for exact parity.
+                _ => return Ok(None),
+            },
+            (AggFunc::Avg, Some(c)) => {
+                let src = match &c.data {
+                    ColumnData::Int(d) => NumSrc::I(d),
+                    ColumnData::Float(d) => NumSrc::F(d),
+                    _ => return Ok(None),
+                };
+                let (sum, k) = avg_num(src, c.validity.as_ref(), sel, rows);
+                if k == 0 {
+                    Value::Null
+                } else {
+                    Value::Float(sum / k as f64)
+                }
+            }
+            (AggFunc::Min | AggFunc::Max, Some(c)) => {
+                let want_max = agg.func == AggFunc::Max;
+                match &c.data {
+                    ColumnData::Int(d) => min_max_int(d, c.validity.as_ref(), sel, rows, want_max)
+                        .map_or(Value::Null, Value::Int),
+                    ColumnData::Timestamp(d) => {
+                        min_max_int(d, c.validity.as_ref(), sel, rows, want_max)
+                            .map_or(Value::Null, Value::Timestamp)
+                    }
+                    ColumnData::Float(d) => {
+                        min_max_float(d, c.validity.as_ref(), sel, rows, want_max)
+                            .map_or(Value::Null, Value::Float)
+                    }
+                    _ => return Ok(None),
+                }
+            }
+            _ => return Ok(None),
+        };
+        out.push(value);
+    }
+    Ok(Some(out.into()))
+}
+
+/// Answer ungrouped `COUNT/SUM/AVG` over a bare window scan from the
+/// window's incremental aggregate cache — O(aggs) instead of O(window).
+/// `None` = shape or cache not applicable; caller scans normally.
+fn try_window_fast_path(
+    input: &PhysicalPlan,
+    aggs: &[AggExpr],
+    ctx: &dyn ExecContext,
+) -> Result<Option<Vec<Row>>> {
+    let PhysicalPlan::Scan {
+        table,
+        path: AccessPath::Full,
+        residual: None,
+    } = input
+    else {
+        return Ok(None);
+    };
+    let db = ctx.db();
+    let Ok(TableKind::Window(w)) = db.kind(*table) else {
+        return Ok(None);
+    };
+    if !w.aggs.valid || w.aggs.rows != db.table(*table)?.len() as u64 {
+        return Ok(None);
+    }
+    // Scope enforcement must fire even when the scan itself is skipped.
+    ctx.check_read(*table)?;
+    let meta = db
+        .catalog()
+        .meta(*table)
+        .ok_or_else(|| Error::Internal(format!("table {table} missing from catalog")))?;
+    let vis = &meta.visible_schema;
+    let rows = w.aggs.rows;
+    let mut out: Vec<Value> = Vec::with_capacity(aggs.len());
+    for agg in aggs {
+        if agg.distinct {
+            return Ok(None);
+        }
+        let value = match (agg.func, agg.arg.as_ref()) {
+            (AggFunc::CountStar, _) => Value::Int(rows as i64),
+            (AggFunc::Count, Some(BoundExpr::ColumnRef(i))) if *i < vis.arity() => {
+                match w.aggs.cols.get(*i) {
+                    Some(c) => Value::Int(c.nonnull as i64),
+                    None => return Ok(None),
+                }
+            }
+            (AggFunc::Sum | AggFunc::Avg, Some(BoundExpr::ColumnRef(i)))
+                if *i < vis.arity() && vis.columns()[*i].ty == DataType::Int =>
+            {
+                let Some(c) = w.aggs.cols.get(*i) else {
+                    return Ok(None);
+                };
+                if c.overflow {
+                    // Let the scan path raise the row-order overflow error.
+                    return Ok(None);
+                }
+                if c.nonnull == 0 {
+                    Value::Null
+                } else if agg.func == AggFunc::Sum {
+                    Value::Int(c.overflow_sum)
+                } else {
+                    Value::Float(c.overflow_sum as f64 / c.nonnull as f64)
+                }
+            }
+            _ => return Ok(None),
+        };
+        out.push(value);
+    }
+    Ok(Some(vec![out.into()]))
+}
+
+// ---------------------------------------------------------------------------
+// Joins
+// ---------------------------------------------------------------------------
+
+/// Hash join both inputs on the extracted equi-pairs, then apply the full
+/// `ON` expression to each key-matching pair. Output order matches the
+/// nested loop: left-major, right side in its scan order.
+fn join_outputs(
+    lout: VOut,
+    rout: VOut,
+    on: &BoundExpr,
+    pairs: &[(usize, usize)],
+    env: &EvalEnv<'_>,
+) -> Result<Vec<Row>> {
+    // Fast path: single `INT = INT` key over intact batches — probe with
+    // the i64 kernel, no `Value` boxing on the key.
+    if let (
+        [(lp, rp)],
+        VOut::Batch {
+            batch: lb,
+            sel: lsel,
+        },
+        VOut::Batch {
+            batch: rb,
+            sel: rsel,
+        },
+    ) = (pairs, &lout, &rout)
+    {
+        let lc = lb.column(*lp);
+        let rc = rb.column(*rp);
+        if let (
+            ColumnData::Int(ld) | ColumnData::Timestamp(ld),
+            ColumnData::Int(rd) | ColumnData::Timestamp(rd),
+        ) = (&lc.data, &rc.data)
+        {
+            let matches = hash_join_i64(
+                rd,
+                rc.validity.as_ref(),
+                rsel.as_deref(),
+                ld,
+                lc.validity.as_ref(),
+                lsel.as_deref(),
+            );
+            let mut out = Vec::with_capacity(matches.len());
+            let mut last_li = usize::MAX;
+            let mut lrow = Row::default();
+            for (li, ri) in matches {
+                let (li, ri) = (li as usize, ri as usize);
+                if li != last_li {
+                    lrow = row_of(lb, li);
+                    last_li = li;
+                }
+                let joined = lrow.concat(&row_of(rb, ri));
+                if eval_pred(on, &joined, env)? {
+                    out.push(joined);
+                }
+            }
+            return Ok(out);
+        }
+    }
+    let lrows = materialize_out(lout);
+    let rrows = materialize_out(rout);
+    if pairs.is_empty() {
+        // Defensive: shouldn't happen under `eligible`, but degrade to the
+        // exact nested loop rather than mis-joining.
+        let mut out = Vec::new();
+        for l in &lrows {
+            for r in &rrows {
+                let joined = l.concat(r);
+                if eval_pred(on, &joined, env)? {
+                    out.push(joined);
+                }
+            }
+        }
+        return Ok(out);
+    }
+    // Build on the right (inner) side. NULL key components never match
+    // (`=` is NULL-rejecting), so those rows are skipped outright.
+    let mut table: HashMap<Vec<Value>, Vec<usize>> = HashMap::new();
+    'build: for (j, r) in rrows.iter().enumerate() {
+        let mut key = Vec::with_capacity(pairs.len());
+        for (_, rp) in pairs {
+            let v = &r[*rp];
+            if v.is_null() {
+                continue 'build;
+            }
+            key.push(v.clone());
+        }
+        table.entry(key).or_default().push(j);
+    }
+    let mut out = Vec::new();
+    'probe: for l in &lrows {
+        let mut key = Vec::with_capacity(pairs.len());
+        for (lp, _) in pairs {
+            let v = &l[*lp];
+            if v.is_null() {
+                continue 'probe;
+            }
+            key.push(v.clone());
+        }
+        if let Some(js) = table.get(&key) {
+            for &j in js {
+                let joined = l.concat(&rrows[j]);
+                if eval_pred(on, &joined, env)? {
+                    out.push(joined);
+                }
+            }
+        }
+    }
+    Ok(out)
+}

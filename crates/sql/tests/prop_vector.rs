@@ -1,0 +1,588 @@
+//! Property tests for the vectorized executor: every compute kernel is
+//! bit-identical to evaluating the scalar `expr` path per selected row
+//! (same NULL propagation, same checked-overflow errors in the same
+//! order), and whole queries return identical results through the row
+//! interpreter and the vectorized path.
+
+use proptest::prelude::*;
+use sstore_common::{Column as SchemaColumn, DataType, Result, Row, Schema, TableId, Value};
+use sstore_sql::ast::BinOp;
+use sstore_sql::exec::{run_sql, DirectContext, ExecContext, QueryResult};
+use sstore_sql::expr::{eval, BoundExpr, EvalEnv};
+use sstore_sql::ExecPath;
+use sstore_storage::{Database, RowId};
+use sstore_vector::column::valid_at;
+use sstore_vector::compute::{
+    arith_num, avg_num, bool_to_sel, cmp_num, count_nonnull, min_max_int, sum_float, sum_int,
+};
+use sstore_vector::join::hash_join_i64;
+use sstore_vector::{ArithOp, Bitmap, CmpOp, ColumnData, NumSrc};
+
+// ---------------------------------------------------------------------------
+// Generators and lane-building helpers.
+// ---------------------------------------------------------------------------
+
+/// Columns are generated as fixed-capacity vectors plus a live length
+/// (the vendored proptest has no `prop_flat_map` to tie lengths
+/// together); helpers slice to `n` before building lanes.
+const CAP: usize = 32;
+
+/// Integers biased toward small values but including the overflow edges.
+fn arb_i64() -> impl Strategy<Value = i64> {
+    prop_oneof![
+        (-100i64..100).boxed(),
+        (-100i64..100).boxed(),
+        (-100i64..100).boxed(),
+        any::<i64>().boxed(),
+        Just(i64::MAX).boxed(),
+        Just(i64::MIN).boxed(),
+    ]
+}
+
+fn arb_f64() -> impl Strategy<Value = f64> {
+    prop_oneof![
+        any::<f64>().boxed(),
+        any::<f64>().boxed(),
+        Just(f64::NAN).boxed(),
+        Just(-0.0f64).boxed(),
+        Just(0.0f64).boxed(),
+    ]
+}
+
+/// A nullable column: raw values + null mask (true = NULL).
+fn arb_int_col() -> impl Strategy<Value = (Vec<i64>, Vec<bool>)> {
+    (
+        prop::collection::vec(arb_i64(), CAP..CAP + 1),
+        prop::collection::vec(any::<bool>(), CAP..CAP + 1),
+    )
+}
+
+fn arb_float_col() -> impl Strategy<Value = (Vec<f64>, Vec<bool>)> {
+    (
+        prop::collection::vec(arb_f64(), CAP..CAP + 1),
+        prop::collection::vec(any::<bool>(), CAP..CAP + 1),
+    )
+}
+
+/// Materialize `Option` cells: NULL where the mask (damped to ~25%
+/// nulls by pairing two bools) says so.
+fn int_cells(col: &(Vec<i64>, Vec<bool>), n: usize) -> Vec<Option<i64>> {
+    (0..n).map(|i| (!col.1[i]).then_some(col.0[i])).collect()
+}
+
+fn float_cells(col: &(Vec<f64>, Vec<bool>), n: usize) -> Vec<Option<f64>> {
+    (0..n).map(|i| (!col.1[i]).then_some(col.0[i])).collect()
+}
+
+/// Build an i64 lane + validity bitmap from a nullable column. NULL slots
+/// hold an arbitrary default that kernels must never read.
+fn int_lane(vals: &[Option<i64>]) -> (Vec<i64>, Option<Bitmap>) {
+    let data: Vec<i64> = vals.iter().map(|v| v.unwrap_or(0)).collect();
+    if vals.iter().all(|v| v.is_some()) {
+        return (data, None);
+    }
+    let mut bm = Bitmap::new_set(vals.len());
+    for (i, v) in vals.iter().enumerate() {
+        bm.set(i, v.is_some());
+    }
+    (data, Some(bm))
+}
+
+fn float_lane(vals: &[Option<f64>]) -> (Vec<f64>, Option<Bitmap>) {
+    let data: Vec<f64> = vals.iter().map(|v| v.unwrap_or(0.0)).collect();
+    if vals.iter().all(|v| v.is_some()) {
+        return (data, None);
+    }
+    let mut bm = Bitmap::new_set(vals.len());
+    for (i, v) in vals.iter().enumerate() {
+        bm.set(i, v.is_some());
+    }
+    (data, Some(bm))
+}
+
+/// Selection vector from a keep-mask; `None` when the caller wants dense.
+fn selection(mask: &[bool], dense: bool) -> Option<Vec<u32>> {
+    if dense {
+        None
+    } else {
+        Some(
+            mask.iter()
+                .enumerate()
+                .filter(|(_, &k)| k)
+                .map(|(i, _)| i as u32)
+                .collect(),
+        )
+    }
+}
+
+fn sel_indices(sel: Option<&[u32]>, rows: usize) -> Vec<usize> {
+    match sel {
+        None => (0..rows).collect(),
+        Some(s) => s.iter().map(|&i| i as usize).collect(),
+    }
+}
+
+/// The scalar reference: evaluate `col0 <op> col1` through the row
+/// interpreter's expression evaluator.
+fn scalar_binary(op: BinOp, a: Value, b: Value) -> Result<Value> {
+    let e = BoundExpr::Binary {
+        op,
+        left: Box::new(BoundExpr::ColumnRef(0)),
+        right: Box::new(BoundExpr::ColumnRef(1)),
+    };
+    let env = EvalEnv {
+        params: &[],
+        now: 0,
+        subs: &[],
+    };
+    eval(&e, &[a, b], &env)
+}
+
+fn int_value(v: Option<i64>) -> Value {
+    v.map(Value::Int).unwrap_or(Value::Null)
+}
+
+fn float_value(v: Option<f64>) -> Value {
+    v.map(Value::Float).unwrap_or(Value::Null)
+}
+
+const CMP_OPS: [(CmpOp, BinOp); 6] = [
+    (CmpOp::Eq, BinOp::Eq),
+    (CmpOp::Ne, BinOp::Neq),
+    (CmpOp::Lt, BinOp::Lt),
+    (CmpOp::Le, BinOp::Le),
+    (CmpOp::Gt, BinOp::Gt),
+    (CmpOp::Ge, BinOp::Ge),
+];
+
+const ARITH_OPS: [(ArithOp, BinOp); 5] = [
+    (ArithOp::Add, BinOp::Add),
+    (ArithOp::Sub, BinOp::Sub),
+    (ArithOp::Mul, BinOp::Mul),
+    (ArithOp::Div, BinOp::Div),
+    (ArithOp::Mod, BinOp::Mod),
+];
+
+// ---------------------------------------------------------------------------
+// Kernel ≡ scalar interpreter, per selected row.
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn cmp_int_kernel_matches_scalar(
+        a in arb_int_col(),
+        b in arb_int_col(),
+        shape in (0usize..CAP, prop::collection::vec(any::<bool>(), CAP..CAP + 1), any::<bool>()),
+        op_ix in 0usize..6,
+    ) {
+        let (n, mask, dense) = shape;
+        let (op, binop) = CMP_OPS[op_ix];
+        let a = int_cells(&a, n);
+        let b = int_cells(&b, n);
+        let (ad, av) = int_lane(&a);
+        let (bd, bv) = int_lane(&b);
+        let sel = selection(&mask[..n], dense);
+        let (out, validity) = cmp_num(
+            op, NumSrc::I(&ad), av.as_ref(), NumSrc::I(&bd), bv.as_ref(),
+            sel.as_deref(), n,
+        );
+        for i in sel_indices(sel.as_deref(), n) {
+            let expect = scalar_binary(binop, int_value(a[i]), int_value(b[i])).unwrap();
+            match expect {
+                Value::Null => prop_assert!(!valid_at(validity.as_ref(), i)),
+                Value::Bool(want) => {
+                    prop_assert!(valid_at(validity.as_ref(), i));
+                    prop_assert_eq!(out[i], want);
+                }
+                other => prop_assert!(false, "scalar cmp returned {:?}", other),
+            }
+        }
+    }
+
+    #[test]
+    fn cmp_mixed_kernel_matches_scalar(
+        a in arb_int_col(),
+        b in arb_float_col(),
+        shape in (0usize..CAP, prop::collection::vec(any::<bool>(), CAP..CAP + 1), any::<bool>()),
+        op_ix in 0usize..6,
+    ) {
+        let (n, mask, dense) = shape;
+        let (op, binop) = CMP_OPS[op_ix];
+        let a = int_cells(&a, n);
+        let b = float_cells(&b, n);
+        let (ad, av) = int_lane(&a);
+        let (bd, bv) = float_lane(&b);
+        let sel = selection(&mask[..n], dense);
+        let (out, validity) = cmp_num(
+            op, NumSrc::I(&ad), av.as_ref(), NumSrc::F(&bd), bv.as_ref(),
+            sel.as_deref(), n,
+        );
+        for i in sel_indices(sel.as_deref(), n) {
+            let expect = scalar_binary(binop, int_value(a[i]), float_value(b[i])).unwrap();
+            match expect {
+                Value::Null => prop_assert!(!valid_at(validity.as_ref(), i)),
+                Value::Bool(want) => {
+                    prop_assert!(valid_at(validity.as_ref(), i));
+                    prop_assert_eq!(out[i], want);
+                }
+                other => prop_assert!(false, "scalar cmp returned {:?}", other),
+            }
+        }
+    }
+
+    #[test]
+    fn arith_int_kernel_matches_scalar_with_error_parity(
+        a in arb_int_col(),
+        b in arb_int_col(),
+        shape in (0usize..CAP, prop::collection::vec(any::<bool>(), CAP..CAP + 1), any::<bool>()),
+        op_ix in 0usize..5,
+    ) {
+        let (n, mask, dense) = shape;
+        let (op, binop) = ARITH_OPS[op_ix];
+        let a = int_cells(&a, n);
+        let b = int_cells(&b, n);
+        let (ad, av) = int_lane(&a);
+        let (bd, bv) = int_lane(&b);
+        let sel = selection(&mask[..n], dense);
+        let kernel = arith_num(
+            op, NumSrc::I(&ad), av.as_ref(), NumSrc::I(&bd), bv.as_ref(),
+            sel.as_deref(), n,
+        );
+        // The reference: scalar eval in selection (= row) order, stopping
+        // at the first error exactly like the interpreter does.
+        let mut reference: Vec<(usize, Value)> = Vec::new();
+        let mut ref_err = None;
+        for i in sel_indices(sel.as_deref(), n) {
+            match scalar_binary(binop, int_value(a[i]), int_value(b[i])) {
+                Ok(v) => reference.push((i, v)),
+                Err(e) => { ref_err = Some(e); break; }
+            }
+        }
+        match (kernel, ref_err) {
+            (Err(ke), Some(re)) => prop_assert_eq!(ke, re),
+            (Err(ke), None) => prop_assert!(false, "kernel errored ({ke}) but scalar path succeeded"),
+            (Ok(_), Some(re)) => prop_assert!(false, "scalar path errored ({re}) but kernel succeeded"),
+            (Ok((ColumnData::Int(out), validity)), None) => {
+                for (i, want) in reference {
+                    match want {
+                        Value::Null => prop_assert!(!valid_at(validity.as_ref(), i)),
+                        Value::Int(w) => {
+                            prop_assert!(valid_at(validity.as_ref(), i));
+                            prop_assert_eq!(out[i], w);
+                        }
+                        other => prop_assert!(false, "scalar arith returned {:?}", other),
+                    }
+                }
+            }
+            (Ok((other, _)), None) => prop_assert!(false, "int·int arith produced {:?}", other),
+        }
+    }
+
+    #[test]
+    fn sum_int_kernel_matches_scalar_fold(
+        a in arb_int_col(),
+        shape in (0usize..CAP, prop::collection::vec(any::<bool>(), CAP..CAP + 1), any::<bool>()),
+    ) {
+        let (n, mask, dense) = shape;
+        let a = int_cells(&a, n);
+        let (ad, av) = int_lane(&a);
+        let sel = selection(&mask[..n], dense);
+        let kernel = sum_int(&ad, av.as_ref(), sel.as_deref(), n);
+        // Reference: checked fold in selection order, as the row
+        // aggregate accumulator does.
+        let mut acc: Option<i64> = None;
+        let mut ref_err = false;
+        for i in sel_indices(sel.as_deref(), n) {
+            if let Some(v) = a[i] {
+                match acc.unwrap_or(0).checked_add(v) {
+                    Some(s) => acc = Some(s),
+                    None => { ref_err = true; break; }
+                }
+            }
+        }
+        match kernel {
+            Err(_) => prop_assert!(ref_err, "kernel overflowed but reference did not"),
+            Ok(got) => {
+                prop_assert!(!ref_err, "reference overflowed but kernel returned {:?}", got);
+                prop_assert_eq!(got, acc);
+            }
+        }
+    }
+
+    #[test]
+    fn float_and_minmax_aggregates_match_folds(
+        ints in arb_int_col(),
+        floats in arb_float_col(),
+        shape in (0usize..CAP, prop::collection::vec(any::<bool>(), CAP..CAP + 1), any::<bool>()),
+    ) {
+        let (n, mask, dense) = shape;
+        let ints = int_cells(&ints, n);
+        let floats = float_cells(&floats, n);
+        let (id, iv) = int_lane(&ints);
+        let (fd, fv) = float_lane(&floats);
+        let sel = selection(&mask[..n], dense);
+        let idx = sel_indices(sel.as_deref(), n);
+
+        let live_ints: Vec<i64> = idx.iter().filter_map(|&i| ints[i]).collect();
+        prop_assert_eq!(
+            count_nonnull(iv.as_ref(), sel.as_deref(), n),
+            live_ints.len() as i64
+        );
+        prop_assert_eq!(
+            min_max_int(&id, iv.as_ref(), sel.as_deref(), n, false),
+            live_ints.iter().copied().min()
+        );
+        prop_assert_eq!(
+            min_max_int(&id, iv.as_ref(), sel.as_deref(), n, true),
+            live_ints.iter().copied().max()
+        );
+        let (avg_sum, avg_n) = avg_num(NumSrc::I(&id), iv.as_ref(), sel.as_deref(), n);
+        let mut want_sum = 0f64;
+        for &v in &live_ints { want_sum += v as f64; }
+        prop_assert_eq!(avg_n, live_ints.len() as i64);
+        prop_assert_eq!(avg_sum.to_bits(), want_sum.to_bits());
+
+        let live_floats: Vec<f64> = idx.iter().filter_map(|&i| floats[i]).collect();
+        let mut fsum: Option<f64> = None;
+        for &v in &live_floats { fsum = Some(fsum.unwrap_or(0.0) + v); }
+        let got = sum_float(&fd, fv.as_ref(), sel.as_deref(), n);
+        prop_assert_eq!(got.map(f64::to_bits), fsum.map(f64::to_bits));
+    }
+
+    #[test]
+    fn bool_to_sel_matches_pred_semantics(
+        a in arb_int_col(),
+        b in arb_int_col(),
+        shape in (0usize..CAP, prop::collection::vec(any::<bool>(), CAP..CAP + 1), any::<bool>()),
+    ) {
+        // Derive a boolean column from a comparison, then check the
+        // filter keeps exactly the rows where the scalar predicate says
+        // true (NULL → dropped, as eval_pred maps NULL to false).
+        let (n, mask, dense) = shape;
+        let a = int_cells(&a, n);
+        let b = int_cells(&b, n);
+        let (ad, av) = int_lane(&a);
+        let (bd, bv) = int_lane(&b);
+        let sel = selection(&mask[..n], dense);
+        let (vals, validity) = cmp_num(
+            CmpOp::Lt, NumSrc::I(&ad), av.as_ref(), NumSrc::I(&bd), bv.as_ref(),
+            sel.as_deref(), n,
+        );
+        let got = bool_to_sel(&vals, validity.as_ref(), sel.as_deref(), n);
+        let want: Vec<u32> = sel_indices(sel.as_deref(), n)
+            .into_iter()
+            .filter(|&i| matches!(
+                scalar_binary(BinOp::Lt, int_value(a[i]), int_value(b[i])),
+                Ok(Value::Bool(true))
+            ))
+            .map(|i| i as u32)
+            .collect();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn hash_join_matches_nested_loop(
+        build in (prop::collection::vec(-8i64..8, CAP..CAP + 1), prop::collection::vec(any::<bool>(), CAP..CAP + 1)),
+        probe in (prop::collection::vec(-8i64..8, CAP..CAP + 1), prop::collection::vec(any::<bool>(), CAP..CAP + 1)),
+        shape in (0usize..CAP, 0usize..CAP, any::<bool>(), any::<bool>()),
+        masks in (prop::collection::vec(any::<bool>(), CAP..CAP + 1), prop::collection::vec(any::<bool>(), CAP..CAP + 1)),
+    ) {
+        let (bn, pn, bdense, pdense) = shape;
+        let build = int_cells(&build, bn);
+        let probe = int_cells(&probe, pn);
+        let (bd, bv) = int_lane(&build);
+        let (pd, pv) = int_lane(&probe);
+        let bsel = selection(&masks.0[..bn], bdense);
+        let psel = selection(&masks.1[..pn], pdense);
+        let got = hash_join_i64(
+            &bd, bv.as_ref(), bsel.as_deref(),
+            &pd, pv.as_ref(), psel.as_deref(),
+        );
+        // Reference: the row interpreter's nested loop with the probe
+        // side outer — probe-major, build matches in selection order,
+        // NULL keys never matching.
+        let mut want = Vec::new();
+        for p in sel_indices(psel.as_deref(), pn) {
+            let Some(pk) = probe[p] else { continue };
+            for b in sel_indices(bsel.as_deref(), bn) {
+                if build[b] == Some(pk) {
+                    want.push((p as u32, b as u32));
+                }
+            }
+        }
+        prop_assert_eq!(got, want);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end: whole queries agree between the row interpreter and the
+// vectorized executor.
+// ---------------------------------------------------------------------------
+
+/// Wraps [`DirectContext`] to pin the executor path regardless of the
+/// process-wide `SSTORE_EXEC` setting.
+struct PathCtx<'a> {
+    inner: DirectContext<'a>,
+    path: ExecPath,
+}
+
+impl ExecContext for PathCtx<'_> {
+    fn db(&self) -> &Database {
+        self.inner.db()
+    }
+    fn now(&self) -> i64 {
+        self.inner.now()
+    }
+    fn check_read(&self, table: TableId) -> Result<()> {
+        self.inner.check_read(table)
+    }
+    fn check_write(&self, table: TableId) -> Result<()> {
+        self.inner.check_write(table)
+    }
+    fn insert_visible(&mut self, table: TableId, row: Row) -> Result<RowId> {
+        self.inner.insert_visible(table, row)
+    }
+    fn delete_row(&mut self, table: TableId, rid: RowId) -> Result<Row> {
+        self.inner.delete_row(table, rid)
+    }
+    fn update_row(&mut self, table: TableId, rid: RowId, new_row: Row) -> Result<()> {
+        self.inner.update_row(table, rid, new_row)
+    }
+    fn exec_path(&self) -> ExecPath {
+        self.path
+    }
+}
+
+fn query_with(db: &mut Database, sql: &str, path: ExecPath) -> Result<QueryResult> {
+    let mut ctx = PathCtx {
+        inner: DirectContext { db, now_micros: 7 },
+        path,
+    };
+    run_sql(sql, &mut ctx, &[])
+}
+
+/// Queries stressing every vectorized operator: scan+filter, projection
+/// arithmetic, aggregates, text predicates, joins (both the i64 fast
+/// path and the generic keyed path), sort/limit/distinct, grouped
+/// aggregation, and IN/BETWEEN fallbacks that mix cellwise evaluation
+/// into batches.
+const E2E_QUERIES: &[&str] = &[
+    "SELECT COUNT(*), COUNT(a), SUM(a), AVG(a), MIN(a), MAX(a) FROM t",
+    "SELECT COUNT(*), SUM(f), MIN(f), MAX(f) FROM t WHERE a >= 0",
+    "SELECT id, a + 1, a * 2, f * 0.5 FROM t WHERE a <> 3",
+    "SELECT id, a FROM t WHERE a IS NULL",
+    "SELECT s FROM t WHERE s >= 'f'",
+    "SELECT id FROM t WHERE a IN (1, 2, 3) OR f > 10.0",
+    "SELECT id FROM t WHERE a BETWEEN 0 AND 50 AND f < 100.0",
+    "SELECT id, a FROM t WHERE a > 0 AND f > 0.0 ORDER BY a, id LIMIT 5",
+    "SELECT DISTINCT a FROM t WHERE a IS NOT NULL",
+    "SELECT t.id, d.name FROM t JOIN d ON t.k = d.k",
+    "SELECT t.id, d.name FROM t JOIN d ON t.k = d.k AND t.a > 1",
+    "SELECT COUNT(*) FROM t JOIN d ON t.s = d.name",
+    "SELECT a, COUNT(*), SUM(f) FROM t GROUP BY a",
+];
+
+type E2eRow = (i64, Option<i64>, f64, String);
+
+fn seed_db(rows: &[E2eRow]) -> Database {
+    let mut db = Database::new();
+    db.create_table(
+        "t",
+        Schema::new(
+            vec![
+                SchemaColumn::new("id", DataType::Int),
+                SchemaColumn::nullable("a", DataType::Int),
+                SchemaColumn::new("f", DataType::Float),
+                SchemaColumn::new("s", DataType::Text),
+                SchemaColumn::new("k", DataType::Int),
+            ],
+            &["id"],
+        )
+        .unwrap(),
+    )
+    .unwrap();
+    db.create_table(
+        "d",
+        Schema::new(
+            vec![
+                SchemaColumn::new("k", DataType::Int),
+                SchemaColumn::new("name", DataType::Text),
+            ],
+            &["k"],
+        )
+        .unwrap(),
+    )
+    .unwrap();
+    let mut ctx = DirectContext {
+        db: &mut db,
+        now_micros: 0,
+    };
+    for (id, a, f, s) in rows {
+        run_sql(
+            "INSERT INTO t VALUES (?, ?, ?, ?, ?)",
+            &mut ctx,
+            &[
+                Value::Int(*id),
+                a.map(Value::Int).unwrap_or(Value::Null),
+                Value::Float(*f),
+                Value::Text(s.clone()),
+                Value::Int(id.rem_euclid(6)),
+            ],
+        )
+        .unwrap();
+    }
+    for k in 0..4 {
+        run_sql(
+            "INSERT INTO d VALUES (?, ?)",
+            &mut ctx,
+            &[Value::Int(k), Value::Text(format!("dim{k}"))],
+        )
+        .unwrap();
+    }
+    db
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn queries_agree_between_row_and_vector_paths(
+        ids in prop::collection::vec(0i64..1000, 0..40),
+        avals in prop::collection::vec(-5i64..100, 40..41),
+        anulls in prop::collection::vec(any::<bool>(), 40..41),
+        extra in (prop::collection::vec(any::<f64>(), 40..41), prop::collection::vec(".{0,6}", 40..41)),
+    ) {
+        // Dedup primary keys; keep first occurrence.
+        let mut seen = std::collections::BTreeSet::new();
+        let rows: Vec<E2eRow> = ids
+            .iter()
+            .enumerate()
+            .filter(|(_, id)| seen.insert(**id))
+            .map(|(i, id)| {
+                let a = (!anulls[i]).then_some(avals[i]);
+                (*id, a, extra.0[i], extra.1[i].clone())
+            })
+            .collect();
+        let mut db = seed_db(&rows);
+        for sql in E2E_QUERIES {
+            let row = query_with(&mut db, sql, ExecPath::Row);
+            let vec = query_with(&mut db, sql, ExecPath::Vector);
+            match (row, vec) {
+                (Ok(r), Ok(v)) => prop_assert_eq!(
+                    r.rows, v.rows, "row/vector results differ for `{}`", sql
+                ),
+                (Err(re), Err(ve)) => prop_assert_eq!(
+                    re.to_string(), ve.to_string(),
+                    "row/vector errors differ for `{}`", sql
+                ),
+                (r, v) => prop_assert!(
+                    false,
+                    "row/vector outcome differs for `{}`: row={:?} vector={:?}",
+                    sql, r.map(|q| q.rows.len()), v.map(|q| q.rows.len())
+                ),
+            }
+        }
+    }
+}

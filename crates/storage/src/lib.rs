@@ -19,7 +19,9 @@ pub mod snapshot;
 pub mod table;
 pub mod undo;
 
-pub use catalog::{Catalog, StreamMeta, TableKind, TableMeta, WindowKind, WindowSpec};
+pub use catalog::{
+    Catalog, StreamMeta, TableKind, TableMeta, WindowAggState, WindowKind, WindowMeta, WindowSpec,
+};
 pub use database::Database;
 pub use index::{IndexDef, RowId};
 pub use table::Table;

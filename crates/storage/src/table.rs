@@ -308,6 +308,20 @@ impl Table {
         self.scan().map(|(rid, _)| rid).collect()
     }
 
+    /// Pivot the table's live rows into a columnar batch, in slot order
+    /// (the same order `scan()` feeds the row interpreter). `needed`
+    /// restricts which columns are materialized (`None` = all); pruned
+    /// columns stay `None` in the batch so indices keep lining up with
+    /// the schema.
+    pub fn column_batch(&self, needed: Option<&[usize]>) -> sstore_vector::ColumnBatch {
+        sstore_vector::build_batch(
+            self.schema.arity(),
+            self.live,
+            needed,
+            self.scan().map(|(_, r)| r.as_ref()),
+        )
+    }
+
     /// Remove every row. Keeps indexes defined but empty.
     pub fn truncate(&mut self) {
         self.slots.clear();

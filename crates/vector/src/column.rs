@@ -1,0 +1,441 @@
+//! Typed column vectors, validity bitmaps, and the row → column pivot.
+//!
+//! A [`ColumnBatch`] is the unit of work between vectorized operators: a
+//! set of equal-length columns plus an implicit row count. Columns the
+//! planner proved unused are `None` (pruned) so the scan never pays for
+//! them. Each [`Column`] stores one native lane (`Vec<i64>`, `Vec<f64>`,
+//! …) plus an optional validity [`Bitmap`]; NULL cells hold a default in
+//! the lane and a cleared validity bit. Cells whose runtime type does not
+//! match the rest of the column (possible because table cells are dynamic
+//! [`Value`]s) demote the whole column to a [`ColumnData::Generic`] lane of
+//! boxed values — correctness is never lost, only the fast kernels.
+
+use sstore_common::Value;
+
+/// Fixed-length bitmap, one bit per row. Used for column validity
+/// (bit set = value present, clear = NULL).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Bitmap {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl Bitmap {
+    /// A bitmap of `len` bits, all set.
+    pub fn new_set(len: usize) -> Self {
+        Bitmap {
+            words: vec![u64::MAX; len.div_ceil(64)],
+            len,
+        }
+    }
+
+    /// A bitmap of `len` bits, all clear.
+    pub fn new_clear(len: usize) -> Self {
+        Bitmap {
+            words: vec![0; len.div_ceil(64)],
+            len,
+        }
+    }
+
+    /// Number of bits.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the bitmap has zero bits.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Read bit `i`.
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        debug_assert!(i < self.len);
+        self.words[i / 64] >> (i % 64) & 1 == 1
+    }
+
+    /// Write bit `i`.
+    #[inline]
+    pub fn set(&mut self, i: usize, v: bool) {
+        debug_assert!(i < self.len);
+        let mask = 1u64 << (i % 64);
+        if v {
+            self.words[i / 64] |= mask;
+        } else {
+            self.words[i / 64] &= !mask;
+        }
+    }
+}
+
+/// Reads bit `i` of an optional validity bitmap; absent bitmap = all valid.
+#[inline]
+pub fn valid_at(v: Option<&Bitmap>, i: usize) -> bool {
+    v.is_none_or(|b| b.get(i))
+}
+
+/// The native lane behind a [`Column`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum ColumnData {
+    /// 64-bit integers (`Value::Int`).
+    Int(Vec<i64>),
+    /// 64-bit floats (`Value::Float`).
+    Float(Vec<f64>),
+    /// Booleans (`Value::Bool`).
+    Bool(Vec<bool>),
+    /// UTF-8 strings (`Value::Text`).
+    Text(Vec<String>),
+    /// Microsecond timestamps (`Value::Timestamp`), lane-compatible with Int.
+    Timestamp(Vec<i64>),
+    /// Mixed-type escape hatch: boxed values, no fast kernels.
+    Generic(Vec<Value>),
+}
+
+impl ColumnData {
+    /// Number of cells in the lane.
+    pub fn len(&self) -> usize {
+        match self {
+            ColumnData::Int(d) | ColumnData::Timestamp(d) => d.len(),
+            ColumnData::Float(d) => d.len(),
+            ColumnData::Bool(d) => d.len(),
+            ColumnData::Text(d) => d.len(),
+            ColumnData::Generic(d) => d.len(),
+        }
+    }
+
+    /// True when the lane has zero cells.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// One column of a batch: a typed lane plus optional validity. A missing
+/// validity bitmap means every cell is non-NULL.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Column {
+    /// The typed cell storage.
+    pub data: ColumnData,
+    /// Per-cell validity; `None` = all valid.
+    pub validity: Option<Bitmap>,
+}
+
+impl Column {
+    /// Number of cells.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when the column has zero cells.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// True when cell `i` is NULL. Generic lanes may hold `Value::Null`
+    /// directly, so both the bitmap and the cell are consulted.
+    #[inline]
+    pub fn is_null_at(&self, i: usize) -> bool {
+        if !valid_at(self.validity.as_ref(), i) {
+            return true;
+        }
+        matches!(&self.data, ColumnData::Generic(d) if d[i] == Value::Null)
+    }
+
+    /// Materialize cell `i` back into a dynamic [`Value`].
+    pub fn value_at(&self, i: usize) -> Value {
+        if !valid_at(self.validity.as_ref(), i) {
+            return Value::Null;
+        }
+        match &self.data {
+            ColumnData::Int(d) => Value::Int(d[i]),
+            ColumnData::Float(d) => Value::Float(d[i]),
+            ColumnData::Bool(d) => Value::Bool(d[i]),
+            ColumnData::Text(d) => Value::Text(d[i].clone()),
+            ColumnData::Timestamp(d) => Value::Timestamp(d[i]),
+            ColumnData::Generic(d) => d[i].clone(),
+        }
+    }
+}
+
+/// A set of equal-length columns. `columns[i] = None` means column `i`
+/// was pruned by the planner (never referenced downstream); the slot is
+/// kept so column indices still line up with the table schema.
+#[derive(Debug, Clone)]
+pub struct ColumnBatch {
+    /// Row count (authoritative even when every column is pruned).
+    pub rows: usize,
+    /// One entry per schema column; `None` = pruned.
+    pub columns: Vec<Option<Column>>,
+}
+
+impl ColumnBatch {
+    /// The column at position `i`; panics if it was pruned (a planner bug,
+    /// not a data condition).
+    pub fn column(&self, i: usize) -> &Column {
+        self.columns[i]
+            .as_ref()
+            .expect("column was pruned but is referenced")
+    }
+}
+
+/// Per-column builder state. Starts untyped and adopts the type of the
+/// first non-NULL cell; a later cell of a different type demotes the
+/// column to `Generic`.
+enum LaneBuilder {
+    /// No non-NULL cell seen yet.
+    Unset,
+    Int(Vec<i64>),
+    Float(Vec<f64>),
+    Bool(Vec<bool>),
+    Text(Vec<String>),
+    Timestamp(Vec<i64>),
+    Generic(Vec<Value>),
+}
+
+struct ColBuilder {
+    lane: LaneBuilder,
+    validity: Option<Bitmap>,
+    /// Cells pushed so far (lane may lag while `Unset`).
+    n: usize,
+    rows: usize,
+}
+
+impl ColBuilder {
+    fn new(rows: usize) -> Self {
+        ColBuilder {
+            lane: LaneBuilder::Unset,
+            validity: None,
+            n: 0,
+            rows,
+        }
+    }
+
+    fn mark_null(&mut self) {
+        let v = self
+            .validity
+            .get_or_insert_with(|| Bitmap::new_set(self.rows));
+        v.set(self.n, false);
+    }
+
+    /// Rebuild the typed prefix as boxed values for the `Generic` escape.
+    fn demote(&mut self) {
+        let mut vals: Vec<Value> = (0..self.n)
+            .map(|i| {
+                if !valid_at(self.validity.as_ref(), i) {
+                    return Value::Null;
+                }
+                match &self.lane {
+                    LaneBuilder::Unset => Value::Null,
+                    LaneBuilder::Int(d) => Value::Int(d[i]),
+                    LaneBuilder::Float(d) => Value::Float(d[i]),
+                    LaneBuilder::Bool(d) => Value::Bool(d[i]),
+                    LaneBuilder::Text(d) => Value::Text(d[i].clone()),
+                    LaneBuilder::Timestamp(d) => Value::Timestamp(d[i]),
+                    LaneBuilder::Generic(_) => unreachable!("demote of generic lane"),
+                }
+            })
+            .collect();
+        vals.reserve(self.rows - self.n);
+        self.lane = LaneBuilder::Generic(vals);
+    }
+
+    fn push(&mut self, v: &Value) {
+        match (&mut self.lane, v) {
+            (_, Value::Null) => {
+                self.mark_null();
+                match &mut self.lane {
+                    LaneBuilder::Unset => {}
+                    LaneBuilder::Int(d) | LaneBuilder::Timestamp(d) => d.push(0),
+                    LaneBuilder::Float(d) => d.push(0.0),
+                    LaneBuilder::Bool(d) => d.push(false),
+                    LaneBuilder::Text(d) => d.push(String::new()),
+                    LaneBuilder::Generic(d) => d.push(Value::Null),
+                }
+            }
+            (LaneBuilder::Int(d), Value::Int(x)) => d.push(*x),
+            (LaneBuilder::Float(d), Value::Float(x)) => d.push(*x),
+            (LaneBuilder::Bool(d), Value::Bool(x)) => d.push(*x),
+            (LaneBuilder::Text(d), Value::Text(x)) => d.push(x.clone()),
+            (LaneBuilder::Timestamp(d), Value::Timestamp(x)) => d.push(*x),
+            (LaneBuilder::Generic(d), v) => d.push(v.clone()),
+            (LaneBuilder::Unset, v) => {
+                // First non-NULL cell: adopt its type, backfilling defaults
+                // for the NULL prefix.
+                let n = self.n;
+                self.lane = match v {
+                    Value::Int(x) => {
+                        let mut d = vec![0i64; n];
+                        d.push(*x);
+                        LaneBuilder::Int(d)
+                    }
+                    Value::Float(x) => {
+                        let mut d = vec![0f64; n];
+                        d.push(*x);
+                        LaneBuilder::Float(d)
+                    }
+                    Value::Bool(x) => {
+                        let mut d = vec![false; n];
+                        d.push(*x);
+                        LaneBuilder::Bool(d)
+                    }
+                    Value::Text(x) => {
+                        let mut d = vec![String::new(); n];
+                        d.push(x.clone());
+                        LaneBuilder::Text(d)
+                    }
+                    Value::Timestamp(x) => {
+                        let mut d = vec![0i64; n];
+                        d.push(*x);
+                        LaneBuilder::Timestamp(d)
+                    }
+                    Value::Null => unreachable!("null handled above"),
+                };
+                self.n += 1;
+                return;
+            }
+            // Type drift within the column: demote and retry (the retry
+            // always lands in the Generic arm).
+            (_, v) => {
+                self.demote();
+                if let LaneBuilder::Generic(d) = &mut self.lane {
+                    d.push(v.clone());
+                }
+            }
+        }
+        self.n += 1;
+    }
+
+    fn finish(self) -> Column {
+        let data = match self.lane {
+            // All cells NULL: an Int lane of defaults with an all-clear
+            // validity region is equivalent and keeps numeric kernels usable.
+            LaneBuilder::Unset => ColumnData::Int(vec![0; self.n]),
+            LaneBuilder::Int(d) => ColumnData::Int(d),
+            LaneBuilder::Float(d) => ColumnData::Float(d),
+            LaneBuilder::Bool(d) => ColumnData::Bool(d),
+            LaneBuilder::Text(d) => ColumnData::Text(d),
+            LaneBuilder::Timestamp(d) => ColumnData::Timestamp(d),
+            LaneBuilder::Generic(d) => ColumnData::Generic(d),
+        };
+        Column {
+            data,
+            validity: self.validity,
+        }
+    }
+}
+
+/// Pivot rows into a [`ColumnBatch`]. `arity` is the full schema width;
+/// `needed` restricts which columns are materialized (`None` = all). The
+/// row count must be known up front so validity bitmaps allocate once.
+///
+/// Rows shorter than `arity` contribute NULL for their missing trailing
+/// columns (matches how the row interpreter treats short rows: absent
+/// cells never compare equal to anything).
+pub fn build_batch<'a, I>(
+    arity: usize,
+    rows: usize,
+    needed: Option<&[usize]>,
+    iter: I,
+) -> ColumnBatch
+where
+    I: Iterator<Item = &'a [Value]>,
+{
+    let want: Vec<bool> = match needed {
+        None => vec![true; arity],
+        Some(idx) => {
+            let mut w = vec![false; arity];
+            for &i in idx {
+                if i < arity {
+                    w[i] = true;
+                }
+            }
+            w
+        }
+    };
+    let mut builders: Vec<Option<ColBuilder>> = want
+        .iter()
+        .map(|&w| w.then(|| ColBuilder::new(rows)))
+        .collect();
+    let mut n = 0usize;
+    for row in iter {
+        for (c, b) in builders.iter_mut().enumerate() {
+            if let Some(b) = b {
+                b.push(row.get(c).unwrap_or(&Value::Null));
+            }
+        }
+        n += 1;
+    }
+    debug_assert_eq!(n, rows, "build_batch row count mismatch");
+    ColumnBatch {
+        rows,
+        columns: builders
+            .into_iter()
+            .map(|b| b.map(|b| b.finish()))
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bitmap_set_get_across_word_boundary() {
+        let mut b = Bitmap::new_set(130);
+        assert!(b.get(0) && b.get(63) && b.get(64) && b.get(129));
+        b.set(64, false);
+        b.set(129, false);
+        assert!(!b.get(64) && !b.get(129) && b.get(63) && b.get(128));
+    }
+
+    #[test]
+    fn build_batch_types_lanes_and_nulls() {
+        let rows = [
+            vec![Value::Int(1), Value::Null, Value::Text("a".into())],
+            vec![Value::Int(2), Value::Float(1.5), Value::Null],
+        ];
+        let b = build_batch(3, 2, None, rows.iter().map(|r| r.as_slice()));
+        assert_eq!(b.rows, 2);
+        assert!(matches!(b.column(0).data, ColumnData::Int(_)));
+        assert!(matches!(b.column(1).data, ColumnData::Float(_)));
+        assert!(b.column(1).is_null_at(0) && !b.column(1).is_null_at(1));
+        assert_eq!(b.column(2).value_at(0), Value::Text("a".into()));
+        assert_eq!(b.column(2).value_at(1), Value::Null);
+    }
+
+    #[test]
+    fn build_batch_prunes_columns() {
+        let rows = [vec![Value::Int(1), Value::Int(2)]];
+        let b = build_batch(2, 1, Some(&[1]), rows.iter().map(|r| r.as_slice()));
+        assert!(b.columns[0].is_none());
+        assert_eq!(b.column(1).value_at(0), Value::Int(2));
+    }
+
+    #[test]
+    fn mixed_types_demote_to_generic() {
+        let rows = [
+            vec![Value::Int(1)],
+            vec![Value::Text("x".into())],
+            vec![Value::Null],
+        ];
+        let b = build_batch(1, 3, None, rows.iter().map(|r| r.as_slice()));
+        assert!(matches!(b.column(0).data, ColumnData::Generic(_)));
+        assert_eq!(b.column(0).value_at(0), Value::Int(1));
+        assert_eq!(b.column(0).value_at(1), Value::Text("x".into()));
+        assert!(b.column(0).is_null_at(2));
+    }
+
+    #[test]
+    fn all_null_column_reads_as_null() {
+        let rows = [vec![Value::Null], vec![Value::Null]];
+        let b = build_batch(1, 2, None, rows.iter().map(|r| r.as_slice()));
+        assert!(b.column(0).is_null_at(0) && b.column(0).is_null_at(1));
+        assert_eq!(b.column(0).value_at(1), Value::Null);
+    }
+
+    #[test]
+    fn short_rows_pad_with_null() {
+        let rows: [Vec<Value>; 2] = [vec![Value::Int(1)], vec![Value::Int(2), Value::Int(9)]];
+        let b = build_batch(2, 2, None, rows.iter().map(|r| r.as_slice()));
+        assert!(b.column(1).is_null_at(0));
+        assert_eq!(b.column(1).value_at(1), Value::Int(9));
+    }
+}

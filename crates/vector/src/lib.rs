@@ -1,0 +1,36 @@
+//! Columnar batch execution layer for the S-Store reproduction.
+//!
+//! The row interpreter in `sstore-sql` walks one [`sstore_common::Row`] at a
+//! time and dispatches on [`Value`](sstore_common::Value) per cell; profiling
+//! (ROADMAP E7) showed that per-cell dispatch, not copying, dominates the
+//! scan/filter/aggregate hot path. This crate provides the batch-at-a-time
+//! alternative, shaped after GlareDB rayexec's `rayexec_bullet`:
+//!
+//! - [`mod@column`]: typed column vectors ([`Column`], [`ColumnBatch`]) with a
+//!   validity [`Bitmap`] per column and a *selection vector* threaded
+//!   between operators instead of materializing intermediate rows;
+//! - [`compute`]: type-specialized kernels — comparison, checked arithmetic,
+//!   predicate → selection filtering, and COUNT/SUM/AVG/MIN/MAX reductions —
+//!   each bit-identical to the scalar `expr` evaluator (same NULL
+//!   propagation, same overflow/division error strings, same first-error
+//!   ordering);
+//! - [`join`]: a hash build/probe kernel over `i64` key lanes for equi-joins.
+//!
+//! Everything here is engine-agnostic: the crate depends only on
+//! `sstore-common` and knows nothing about plans or tables. The lowering
+//! from physical plans lives in `sstore_sql::vexec`; the batch builder over
+//! table slots lives in `sstore-storage`.
+//!
+//! Kernel outputs are **row-aligned**: an output vector has one slot per
+//! input row, and only positions named by the selection are written (and
+//! ever read). This keeps selections composable — a downstream kernel can
+//! index outputs with the same positions — at the cost of allocating
+//! `rows` slots even for sparse selections, which is the right trade for
+//! the dense scans this crate exists to accelerate.
+
+pub mod column;
+pub mod compute;
+pub mod join;
+
+pub use column::{build_batch, Bitmap, Column, ColumnBatch, ColumnData};
+pub use compute::{ArithOp, CmpOp, NumSrc};
