@@ -707,6 +707,266 @@ pub fn exp_e12_window_tick(db: &mut SStore, i: i64) -> (i64, f64) {
     (count, avg)
 }
 
+// ---------------------------------------------------------------------------
+// E13 — delta snapshots, parallel recovery, 2PC fast paths
+// ---------------------------------------------------------------------------
+
+/// E13 key-value workload: `load` bulk-inserts live rows, `touch` updates
+/// a hot subset. Deterministic, so recovery can redeploy it.
+pub fn deploy_e13_kv(p: &mut SStore) -> sstore_core::common::Result<()> {
+    p.ddl("CREATE STREAM load_in (k INT, v INT)")?;
+    p.ddl("CREATE STREAM upd_in (k INT, v INT)")?;
+    p.ddl("CREATE TABLE kv (k INT NOT NULL, v INT NOT NULL, PRIMARY KEY (k))")?;
+    p.register(
+        sstore_core::ProcSpec::new("load", |ctx| {
+            for row in ctx.input().rows.clone() {
+                ctx.exec("ins", &[row[0].clone(), row[1].clone()])?;
+            }
+            Ok(())
+        })
+        .consumes("load_in")
+        .stmt("ins", "INSERT INTO kv VALUES (?, ?)"),
+    )?;
+    p.register(
+        sstore_core::ProcSpec::new("touch", |ctx| {
+            for row in ctx.input().rows.clone() {
+                ctx.exec("upd", &[row[1].clone(), row[0].clone()])?;
+            }
+            Ok(())
+        })
+        .consumes("upd_in")
+        .stmt("upd", "UPDATE kv SET v = v + ? WHERE k = ?"),
+    )?;
+    Ok(())
+}
+
+fn e13_config(dir: &std::path::Path, delta: bool) -> sstore_core::PeConfig {
+    use sstore_core::LogConfig;
+    // Cap 0 forces full images at every retention point — the pre-PR-8
+    // behavior — without touching the process-global SSTORE_SNAPSHOT env.
+    let cap = if delta { 64 } else { 0 };
+    sstore_core::PeConfig {
+        log: Some(LogConfig::new(dir).with_delta_chain_cap(cap)),
+        ..sstore_core::PeConfig::default()
+    }
+}
+
+fn e13_rows(range: std::ops::Range<usize>) -> Vec<sstore_core::common::Row> {
+    use sstore_core::common::{Row, Value};
+    range
+        .map(|i| Row::new(vec![Value::Int(i as i64), Value::Int((i % 97) as i64)]))
+        .collect()
+}
+
+/// Populate a durable E13 partition: `live_rows` inserts, one base
+/// snapshot, then `rounds` hot-key update rounds each followed by a
+/// retention-style snapshot (deltas when `delta`, full rewrites when
+/// not). Returns the partition (still open) and the per-snapshot wall
+/// seconds of the post-base snapshots.
+pub fn exp_e13_populate(
+    dir: &std::path::Path,
+    live_rows: usize,
+    hot_keys: usize,
+    rounds: usize,
+    delta: bool,
+) -> (SStore, Vec<f64>) {
+    let mut p = SStore::new(e13_config(dir, delta)).expect("build");
+    deploy_e13_kv(&mut p).expect("deploy");
+    for chunk in e13_rows(0..live_rows).chunks(4096) {
+        p.submit_batch("load", chunk.to_vec()).expect("load");
+    }
+    p.snapshot().expect("base snapshot");
+    let mut snap_secs = Vec::new();
+    for r in 0..rounds {
+        let start = (r * hot_keys) % live_rows.saturating_sub(hot_keys).max(1);
+        let upd = e13_rows(start..start + hot_keys);
+        p.submit_batch("touch", upd).expect("touch");
+        let t0 = std::time::Instant::now();
+        p.snapshot().expect("snapshot");
+        snap_secs.push(t0.elapsed().as_secs_f64());
+    }
+    (p, snap_secs)
+}
+
+/// E13 partition-level recovery leg: crash the populated partition and
+/// time `recover`. Returns (recovery wall seconds, post-base snapshot
+/// wall seconds, live-row checksum match).
+pub fn exp_e13_recovery(
+    dir: &std::path::Path,
+    live_rows: usize,
+    hot_keys: usize,
+    rounds: usize,
+    delta: bool,
+) -> (f64, Vec<f64>, bool) {
+    let (mut p, snap_secs) = exp_e13_populate(dir, live_rows, hot_keys, rounds, delta);
+    let checksum = |p: &mut SStore| -> i64 {
+        p.query("SELECT COUNT(*), SUM(v) FROM kv", &[])
+            .expect("probe")
+            .rows
+            .first()
+            .map(|r| {
+                r.to_values()
+                    .iter()
+                    .map(|v| v.as_int().unwrap_or(0))
+                    .sum::<i64>()
+            })
+            .unwrap_or(0)
+    };
+    let reference = checksum(&mut p);
+    drop(p); // crash
+    let t0 = std::time::Instant::now();
+    let mut r = recover(e13_config(dir, delta), deploy_e13_kv).expect("recover");
+    let secs = t0.elapsed().as_secs_f64();
+    (secs, snap_secs, checksum(&mut r) == reference)
+}
+
+/// E13 cluster leg: populate a `partitions`-way durable cluster with
+/// `count_events` traffic, crash it, and time `Cluster::recover` with
+/// the partition loop forced serial or left parallel (the default).
+/// Returns (recovery wall seconds, recovered state matches).
+pub fn exp_e13_cluster_recovery(
+    dir: &std::path::Path,
+    partitions: usize,
+    events: usize,
+    serial: bool,
+) -> (f64, bool) {
+    use sstore_core::{Cluster, RouteSpec};
+    let builder = SStoreBuilder::new().durability(dir, 8).log_retention(512);
+    let deploy = sstore_core::workloads::deploy_count_events;
+    let reference = {
+        let cluster = Cluster::with_edges(
+            partitions,
+            RouteSpec::hash(0),
+            sstore_core::cluster::DEFAULT_INGEST_QUEUE_DEPTH,
+            &builder,
+            deploy,
+            &[],
+        )
+        .expect("cluster");
+        let rows = sstore_core::workloads::count_events_rows(events, 4096, 97);
+        let mut tickets = Vec::new();
+        for chunk in rows.chunks(256) {
+            tickets.push(
+                cluster
+                    .submit_batch_async("count_events", chunk.to_vec())
+                    .expect("submit"),
+            );
+        }
+        for t in tickets {
+            t.wait().expect("ticket");
+        }
+        cluster.quiesce().expect("quiesce");
+        let mut state = cluster.query_all("SELECT * FROM totals", &[]).expect("ref");
+        state.sort();
+        state
+    }; // crash: cluster dropped
+    if serial {
+        std::env::set_var("SSTORE_RECOVERY", "serial");
+    } else {
+        std::env::remove_var("SSTORE_RECOVERY");
+    }
+    let t0 = std::time::Instant::now();
+    let cluster = Cluster::recover(
+        partitions,
+        RouteSpec::hash(0),
+        sstore_core::cluster::DEFAULT_INGEST_QUEUE_DEPTH,
+        &builder,
+        deploy,
+        &[],
+    )
+    .expect("recover");
+    let secs = t0.elapsed().as_secs_f64();
+    std::env::remove_var("SSTORE_RECOVERY");
+    let mut state = cluster
+        .query_all("SELECT * FROM totals", &[])
+        .expect("state");
+    state.sort();
+    (secs, state == reference)
+}
+
+/// E13 mixed-traffic 2PC leg: multi-partition `count_events` batches
+/// (each a global transaction under 2PC) from one thread, with a second
+/// thread pumping disjoint single-partition `side` batches into the same
+/// cluster. Side ingests that land while a participant is blocked
+/// between its prepare vote and the coordinator's decision are executed
+/// speculatively when speculation is on (the default) and deferred to
+/// after the decision when it is off (`SSTORE_SPECULATION=off`).
+///
+/// Returns (wall seconds, speculative TEs executed, coordinator stats).
+pub fn exp_e13_mixed_2pc(
+    partitions: usize,
+    events: usize,
+    batch: usize,
+    speculate: bool,
+) -> (f64, u64, sstore_core::CoordStats) {
+    use sstore_core::Cluster;
+    if speculate {
+        std::env::remove_var("SSTORE_SPECULATION");
+    } else {
+        std::env::set_var("SSTORE_SPECULATION", "off");
+    }
+    let deploy = |db: &mut SStore| -> sstore_core::common::Result<()> {
+        sstore_core::workloads::deploy_count_events_multi(db)?;
+        db.ddl("CREATE STREAM side_in (k INT, v INT)")?;
+        db.ddl("CREATE TABLE side_totals (k INT NOT NULL, n INT NOT NULL, PRIMARY KEY (k))")?;
+        db.register(
+            sstore_core::ProcSpec::new("side", |ctx| {
+                for row in ctx.input().rows.clone() {
+                    let k = row[0].clone();
+                    let seen = ctx.exec("get", std::slice::from_ref(&k))?;
+                    if seen.rows.is_empty() {
+                        ctx.exec("init", &[k])?;
+                    } else {
+                        ctx.exec("bump", &[k])?;
+                    }
+                }
+                Ok(())
+            })
+            .consumes("side_in")
+            .stmt("get", "SELECT k FROM side_totals WHERE k = ?")
+            .stmt("init", "INSERT INTO side_totals VALUES (?, 1)")
+            .stmt("bump", "UPDATE side_totals SET n = n + 1 WHERE k = ?"),
+        )?;
+        Ok(())
+    };
+    let cluster = Cluster::new(partitions, &SStoreBuilder::new(), deploy).expect("cluster");
+    let global_rows = e11_rows(events);
+    let side_rows = e13_rows(0..events);
+    let t0 = std::time::Instant::now();
+    std::thread::scope(|s| {
+        let c = &cluster;
+        let atomic = s.spawn(move || {
+            let mut tickets = Vec::new();
+            for chunk in global_rows.chunks(batch.max(1)) {
+                tickets.push(
+                    c.submit_batch_atomic("count_events", chunk.to_vec())
+                        .expect("atomic"),
+                );
+            }
+            for t in tickets {
+                t.wait().expect("atomic ticket");
+            }
+        });
+        let mut tickets = Vec::new();
+        for chunk in side_rows.chunks(batch.max(1)) {
+            tickets.push(
+                cluster
+                    .submit_batch_async("side", chunk.to_vec())
+                    .expect("side"),
+            );
+        }
+        for t in tickets {
+            t.wait().expect("side ticket");
+        }
+        atomic.join().expect("atomic thread");
+    });
+    let secs = t0.elapsed().as_secs_f64();
+    std::env::remove_var("SSTORE_SPECULATION");
+    let m = cluster.metrics();
+    let spec: u64 = m.partitions.iter().map(|p| p.speculative_tes).sum();
+    (secs, spec, m.coordinator)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

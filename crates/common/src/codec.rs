@@ -57,7 +57,12 @@ use std::sync::atomic::{AtomicU64, Ordering};
 ///   [`REC_EDGE_HW`]). v1 files remain readable: the snapshot decoder
 ///   branches on the header version, and v1 logs simply never contain the
 ///   new tags.
-pub const CODEC_VERSION: u32 = 2;
+/// * **v3** — snapshot meta frames open with a kind byte (full image vs
+///   incremental delta chained to its base by the base's envelope key),
+///   and the coordinator log gains tagged records (decision vs compaction
+///   checkpoint). v1/v2 files remain readable: decoders branch on the
+///   header version, and pre-v3 layouts simply have no kind/tag byte.
+pub const CODEC_VERSION: u32 = 3;
 
 /// Magic bytes opening a binary command log.
 pub const LOG_MAGIC: [u8; 4] = *b"SSLG";

@@ -46,10 +46,27 @@
 //!
 //! Between its vote and the decision a worker **defers** every other
 //! queued job — the fragment's uncommitted writes are in storage, and
-//! serial execution is what makes the rollback sound. A submission whose
-//! rows all land on one partition skips all of this: the coordinator
-//! detects it and takes the PR 2 ingest path byte-for-byte (the
-//! single-partition fast path).
+//! serial execution is what makes the rollback sound. Two fast paths
+//! relax the protocol without weakening it:
+//!
+//! * **Presumed abort** — abort decisions are never logged; recovery
+//!   reads a gtid's absence from `coord.log` as abort, so the abort
+//!   round skips the coordinator fsync entirely.
+//! * **Early-prepare speculation** — while the prepared fragment waits
+//!   for its decision, queued single-partition submissions whose
+//!   transitive workflow closure is provably disjoint from the
+//!   fragment's keep executing (`SSTORE_SPECULATION=off` disables;
+//!   see [`sstore_txn::Partition::speculation_safe`]).
+//!
+//! A submission whose rows all land on one partition skips all of this:
+//! the coordinator detects it and takes the PR 2 ingest path
+//! byte-for-byte (the single-partition fast path).
+//!
+//! Recovery rebuilds the partitions **in parallel** — each replays its
+//! own `p{i}` log on a scoped thread against the shared decision map —
+//! and only wires the workers (whose startup re-forwards unacked edge
+//! envelopes) once every partition is up. `SSTORE_RECOVERY=serial`
+//! forces the sequential loop for A/B measurement (benchmark E13).
 //!
 //! # Cross-partition workflow edges
 //!
@@ -67,7 +84,7 @@
 //! cannot deadlock the worker set.
 
 use crate::builder::SStoreBuilder;
-use crate::coordinator::{CoordStats, Coordinator, CoordinatorLog};
+use crate::coordinator::{CoordState, CoordStats, Coordinator, CoordinatorLog};
 use crate::metrics::{ClusterMetrics, PartitionMetrics};
 use crate::router::{RouteSpec, Router, Ticket};
 use crate::SStore;
@@ -199,7 +216,7 @@ impl Cluster {
     pub fn new(
         n: usize,
         builder: &SStoreBuilder,
-        deploy: impl Fn(&mut SStore) -> Result<()>,
+        deploy: impl Fn(&mut SStore) -> Result<()> + Sync,
     ) -> Result<Cluster> {
         Cluster::with_config(
             n,
@@ -222,7 +239,7 @@ impl Cluster {
         route: RouteSpec,
         queue_depth: usize,
         builder: &SStoreBuilder,
-        deploy: impl Fn(&mut SStore) -> Result<()>,
+        deploy: impl Fn(&mut SStore) -> Result<()> + Sync,
     ) -> Result<Cluster> {
         Cluster::build(n, route, queue_depth, builder, deploy, &[], false)
     }
@@ -236,7 +253,7 @@ impl Cluster {
         route: RouteSpec,
         queue_depth: usize,
         builder: &SStoreBuilder,
-        deploy: impl Fn(&mut SStore) -> Result<()>,
+        deploy: impl Fn(&mut SStore) -> Result<()> + Sync,
         edges: &[(&str, usize)],
     ) -> Result<Cluster> {
         Cluster::build(n, route, queue_depth, builder, deploy, edges, false)
@@ -254,7 +271,7 @@ impl Cluster {
         route: RouteSpec,
         queue_depth: usize,
         builder: &SStoreBuilder,
-        deploy: impl Fn(&mut SStore) -> Result<()>,
+        deploy: impl Fn(&mut SStore) -> Result<()> + Sync,
         edges: &[(&str, usize)],
     ) -> Result<Cluster> {
         Cluster::build(n, route, queue_depth, builder, deploy, edges, true)
@@ -266,7 +283,7 @@ impl Cluster {
         route: RouteSpec,
         queue_depth: usize,
         builder: &SStoreBuilder,
-        deploy: impl Fn(&mut SStore) -> Result<()>,
+        deploy: impl Fn(&mut SStore) -> Result<()> + Sync,
         edges: &[(&str, usize)],
         recover: bool,
     ) -> Result<Cluster> {
@@ -285,48 +302,97 @@ impl Cluster {
         // incarnation aborted in doubt would be retroactively committed
         // by a later commit record on the next recovery.
         let coord_dir = builder.config().log.as_ref().map(|l| l.dir.clone());
-        let past_decisions = match &coord_dir {
+        let coord_state = match &coord_dir {
             Some(dir) => CoordinatorLog::read(dir)?,
-            None => HashMap::new(),
+            None => CoordState {
+                next_gtid: 1,
+                ..CoordState::default()
+            },
         };
         let decisions = if recover {
-            past_decisions.clone()
+            coord_state.decisions
         } else {
             HashMap::new()
         };
-        let mut next_gtid = past_decisions.keys().max().copied().unwrap_or(0) + 1;
+        let mut next_gtid = coord_state.next_gtid;
 
         // Build (or recover) the partitions first, then wire the threads.
-        let mut partitions = Vec::with_capacity(n);
-        let mut multi_partition_procs = HashSet::new();
-        for i in 0..n {
-            let id = PartitionId::new(i as u32);
-            let mut b = builder.clone().partition_id(id);
+        // The decisions map is read once above and shared; each partition
+        // replays only its own `p{i}` log, so recovery parallelizes
+        // cleanly across scoped threads. Unacked edge envelopes are only
+        // re-forwarded later, by the workers' startup `flush_outbox` —
+        // i.e. after every partition is up and able to receive.
+        let setup = |p: &mut SStore| -> Result<()> {
+            deploy(p)?;
+            for &(stream, key_col) in edges {
+                p.declare_cross_edge(stream, key_col)?;
+            }
+            Ok(())
+        };
+        let site_builder = |i: usize| -> SStoreBuilder {
+            let mut b = builder.clone().partition_id(PartitionId::new(i as u32));
             if let Some(log) = b.config().log.clone() {
                 // Shared-nothing durability too: one log dir per site.
                 b = b.durability(log.dir.join(format!("p{i}")), log.group_commit_n);
             }
-            let setup = |p: &mut SStore| -> Result<()> {
-                deploy(p)?;
-                for &(stream, key_col) in edges {
-                    p.declare_cross_edge(stream, key_col)?;
-                }
-                Ok(())
-            };
-            let p = if recover && b.config().log.is_some() {
-                recover_with_decisions(b.config().clone(), setup, &decisions)?
+            b
+        };
+        // `build_one` is shared across the recovery threads below, so it
+        // captures `setup` by reference (a `&impl Fn` is itself `Fn`).
+        let setup = &setup;
+        let build_one = |b: SStoreBuilder| -> Result<SStore> {
+            if recover && b.config().log.is_some() {
+                recover_with_decisions(b.config().clone(), setup, &decisions)
             } else {
                 let mut p = b.build()?;
                 setup(&mut p)?;
-                p
-            };
+                Ok(p)
+            }
+        };
+        let parallel = recover
+            && n > 1
+            && !matches!(std::env::var("SSTORE_RECOVERY").as_deref(), Ok("serial"));
+        let partitions: Vec<SStore> = if parallel {
+            std::thread::scope(|s| {
+                let handles: Vec<_> = (0..n)
+                    .map(|i| {
+                        let b = site_builder(i);
+                        let build_one = &build_one;
+                        s.spawn(move || build_one(b))
+                    })
+                    .collect();
+                // Join every handle before surfacing the first error: a
+                // short-circuiting collect would leave panicked threads
+                // for the scope to auto-join, and the scope re-panics on
+                // those. A panicking replay (corrupt state tripping an
+                // assertion, an injected fault) must instead surface as
+                // a clean recovery error.
+                let joined: Vec<Result<SStore>> = handles
+                    .into_iter()
+                    .enumerate()
+                    .map(|(i, h)| {
+                        h.join().unwrap_or_else(|_| {
+                            Err(Error::Recovery(format!(
+                                "partition {i} panicked during parallel recovery"
+                            )))
+                        })
+                    })
+                    .collect();
+                joined.into_iter().collect::<Result<Vec<_>>>()
+            })?
+        } else {
+            (0..n)
+                .map(|i| build_one(site_builder(i)))
+                .collect::<Result<Vec<_>>>()?
+        };
+        let mut multi_partition_procs = HashSet::new();
+        for (i, p) in partitions.iter().enumerate() {
             if i == 0 {
                 multi_partition_procs = p.multi_partition_procs().into_iter().collect();
             }
             // A partition may have prepared gtids the coordinator never
             // decided (in-doubt at the crash): sequence past those too.
             next_gtid = next_gtid.max(p.max_gtid_seen() + 1);
-            partitions.push(p);
         }
         let coord_log = match &coord_dir {
             Some(dir) => Some(CoordinatorLog::open(dir)?),
@@ -610,6 +676,18 @@ impl Cluster {
                 .send(WorkerMsg::Decide { gtid, commit })
                 .ok();
         }
+        // Checkpoint compaction, still under the coordinator mutex (no
+        // concurrent decide can interleave). The barrier drains every
+        // worker queue — including the Decides just sent — so each
+        // participant has durably logged its local Decision for every
+        // decided gtid; the coordinator's records are then redundant. A
+        // failed barrier (a dead worker that may never log its decision)
+        // skips the compaction: correctness first.
+        if coordinator.should_compact() && self.barrier().is_ok() {
+            if let Err(e) = coordinator.compact() {
+                eprintln!("sstore: coordinator log compaction failed (retained): {e}");
+            }
+        }
         drop(coordinator);
         if let Some(e) = send_err {
             return Err(e);
@@ -764,6 +842,15 @@ impl Drop for Cluster {
     }
 }
 
+/// `SSTORE_SPECULATION=off` (or `0`) disables early-prepare speculation,
+/// restoring the strict defer-everything 2PC wait for A/B comparison.
+fn speculation_enabled() -> bool {
+    !matches!(
+        std::env::var("SSTORE_SPECULATION").as_deref(),
+        Ok("off") | Ok("OFF") | Ok("0")
+    )
+}
+
 /// Push every outbox envelope to the hub. Counted into `in_flight`
 /// *before* the send so quiesce can never observe a gap.
 fn flush_outbox(
@@ -879,7 +966,13 @@ fn worker_loop(
                 let prepared = db.prepare_fragment(gtid, &proc, rows);
                 let vote_err = prepared.as_ref().err().cloned();
                 let _ = vote.send(prepared.map(|_| ()));
-                // Block for the decision, deferring everything else.
+                // Block for the decision, deferring everything else —
+                // except, while nothing is deferred yet, single-partition
+                // submissions provably disjoint from the prepared
+                // fragment's workflow closure: those execute immediately
+                // (early-prepare speculation). Once anything defers, all
+                // later messages defer too, preserving FIFO order.
+                let speculate = vote_err.is_none() && speculation_enabled();
                 let mut deferred: Vec<WorkerMsg> = Vec::new();
                 let decision = loop {
                     let next = match pending.pop_front() {
@@ -889,6 +982,16 @@ fn worker_loop(
                     match next {
                         Some(WorkerMsg::Decide { gtid: g, commit }) if g == gtid => {
                             break Some(commit)
+                        }
+                        Some(WorkerMsg::Ingest {
+                            proc: sp,
+                            rows,
+                            reply,
+                        }) if speculate && deferred.is_empty() && db.speculation_safe(&sp) => {
+                            let _ = reply.send(db.submit_batch_speculative(&sp, rows));
+                            // Speculative emissions onto cross-partition
+                            // edges must not wait out the 2PC round.
+                            flush_outbox(&mut db, id, &hub, &in_flight);
                         }
                         Some(other) => deferred.push(other),
                         None => break None, // cluster dropped mid-2PC

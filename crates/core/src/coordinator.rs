@@ -20,7 +20,15 @@
 //!   commit decision is sent: that write is the commit point of the
 //!   protocol. Recovery reads it to resolve participants' in-doubt
 //!   fragments; a gtid absent from it can never have committed anywhere,
-//!   so presumed abort is safe.
+//!   so presumed abort is safe — and therefore only *commit* decisions
+//!   are ever written (an abort record would buy nothing but an fsync).
+//!
+//! The log is kept short by **checkpoint compaction**: once every
+//! participant of every decided gtid has durably logged its own local
+//! `Decision` record (the cluster proves this with a worker barrier),
+//! the coordinator's records are redundant and the file is rewritten as
+//! a single checkpoint frame carrying the gtid sequence floor. Startup
+//! then reads O(recent decisions) instead of O(all time).
 //!
 //! The participant half (prepare/decide, undo held open, in-doubt replay)
 //! lives in `sstore_txn::partition`; the message plumbing over the worker
@@ -47,9 +55,32 @@ pub struct CoordStats {
     pub prepares_sent: u64,
     /// Global commits decided.
     pub commits: u64,
-    /// Global aborts decided (any participant voted no).
+    /// Global aborts decided (any participant voted no). Presumed abort
+    /// makes these memory-only: no record is written, no fsync paid.
     pub aborts: u64,
+    /// Checkpoint compactions of the decision log.
+    pub log_compactions: u64,
 }
+
+/// Everything startup needs from `coord.log`: the decided outcomes still
+/// on file and the gtid sequence resume point (already folded across
+/// checkpoint frames and decision records).
+#[derive(Debug, Clone, Default)]
+pub struct CoordState {
+    /// `gtid → commit?` for every decision record in the log.
+    pub decisions: HashMap<u64, bool>,
+    /// First gtid safe to allocate: past every checkpoint floor and every
+    /// decided gtid (at least 1). Partitions may have prepared higher
+    /// gtids that never reached a decision — the cluster folds those in
+    /// via `max_gtid_seen`.
+    pub next_gtid: u64,
+}
+
+// v3 record tags (one byte opening each frame payload). v2 files carry
+// untagged decision payloads; `CoordinatorLog::open` sniffs the header so
+// appends to an old file keep the format its readers expect.
+const TAG_DECISION: u8 = 0;
+const TAG_CHECKPOINT: u8 = 1;
 
 /// Append-only durable decision log: `[SSCO magic + version]` then one
 /// CRC32 frame per decision, each encoded straight into the frame buffer
@@ -60,6 +91,10 @@ pub struct CoordStats {
 pub struct CoordinatorLog {
     file: File,
     path: PathBuf,
+    /// Header version of the file being appended to. v2 files take
+    /// untagged decision records (their readers know nothing else); v3
+    /// files take tagged records and checkpoint frames.
+    version: u32,
 }
 
 impl CoordinatorLog {
@@ -68,14 +103,25 @@ impl CoordinatorLog {
         fs::create_dir_all(dir)?;
         let path = dir.join("coord.log");
         let file = OpenOptions::new().create(true).append(true).open(&path)?;
-        if file.metadata()?.len() == 0 {
+        let version = if file.metadata()?.len() == 0 {
             let mut header = Vec::new();
             codec::put_file_header(&mut header, codec::COORD_MAGIC);
             let mut f = &file;
             f.write_all(&header)?;
             file.sync_data()?;
-        }
-        Ok(CoordinatorLog { file, path })
+            codec::CODEC_VERSION
+        } else {
+            // Appends must match the format the existing header declares.
+            let head = fs::read(&path)?;
+            let mut r = codec::Reader::new(&head[..head.len().min(codec::FILE_HEADER_LEN)]);
+            codec::check_file_header(&mut r, codec::COORD_MAGIC)
+                .map_err(|e| Error::Recovery(format!("coordinator log header: {e}")))?
+        };
+        Ok(CoordinatorLog {
+            file,
+            path,
+            version,
+        })
     }
 
     /// Path of the log file.
@@ -104,6 +150,9 @@ impl CoordinatorLog {
         codec::count_direct_meta_encode();
         let mut buf = Vec::new();
         let frame = codec::begin_frame(&mut buf);
+        if self.version >= 3 {
+            buf.push(TAG_DECISION);
+        }
         codec::put_uvarint(&mut buf, gtid);
         buf.push(commit as u8);
         codec::put_uvarint(&mut buf, participants.len() as u64);
@@ -147,33 +196,57 @@ impl CoordinatorLog {
         }
     }
 
-    /// Read every decision in `dir/coord.log` (`gtid → commit?`). Missing
-    /// or empty file reads empty; a torn trailing frame is dropped (an
-    /// unacknowledged decision — presumed abort covers it); mid-file
-    /// corruption is a recovery error.
-    pub fn read(dir: &Path) -> Result<HashMap<u64, bool>> {
+    /// Read `dir/coord.log`: every decision still on file plus the gtid
+    /// resume floor (checkpoint frames fold in here — after a compaction
+    /// the file is one checkpoint, so this is O(recent), not O(all
+    /// time)). Missing or empty file reads empty; a torn trailing frame
+    /// is dropped (an unacknowledged decision — presumed abort covers
+    /// it); mid-file corruption is a recovery error.
+    pub fn read(dir: &Path) -> Result<CoordState> {
         let path = dir.join("coord.log");
         let bytes = match fs::read(&path) {
             Ok(b) => b,
-            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(HashMap::new()),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                return Ok(CoordState {
+                    next_gtid: 1,
+                    ..CoordState::default()
+                })
+            }
             Err(e) => return Err(e.into()),
         };
         if bytes.is_empty() {
-            return Ok(HashMap::new());
+            return Ok(CoordState {
+                next_gtid: 1,
+                ..CoordState::default()
+            });
         }
         let mut r = codec::Reader::new(&bytes);
-        codec::check_file_header(&mut r, codec::COORD_MAGIC)
+        let version = codec::check_file_header(&mut r, codec::COORD_MAGIC)
             .map_err(|e| Error::Recovery(format!("coordinator log header: {e}")))?;
-        let mut out = HashMap::new();
+        let mut decisions = HashMap::new();
+        let mut floor = 0u64;
         loop {
             match codec::read_frame(&mut r) {
                 FrameRead::Frame(payload) => {
                     let mut pr = codec::Reader::new(payload);
-                    let gtid = pr.uvarint()?;
-                    let commit = pr.u8()? != 0;
-                    // Participant list: present for operators, not needed
-                    // for resolution.
-                    out.insert(gtid, commit);
+                    let tag = if version >= 3 { pr.u8()? } else { TAG_DECISION };
+                    match tag {
+                        TAG_DECISION => {
+                            let gtid = pr.uvarint()?;
+                            let commit = pr.u8()? != 0;
+                            // Participant list: present for operators, not
+                            // needed for resolution.
+                            decisions.insert(gtid, commit);
+                        }
+                        TAG_CHECKPOINT => {
+                            floor = floor.max(pr.uvarint()?);
+                        }
+                        t => {
+                            return Err(Error::Recovery(format!(
+                                "coordinator log: unknown record tag {t}"
+                            )))
+                        }
+                    }
                 }
                 FrameRead::Eof => break,
                 FrameRead::Torn { offset } => {
@@ -191,7 +264,39 @@ impl CoordinatorLog {
                 }
             }
         }
-        Ok(out)
+        let past_decided = decisions.keys().max().map_or(0, |g| g + 1);
+        Ok(CoordState {
+            decisions,
+            next_gtid: floor.max(past_decided).max(1),
+        })
+    }
+
+    /// Rewrite the log as a single checkpoint frame carrying `next_gtid`.
+    ///
+    /// Safety contract: the caller must have proven that every
+    /// participant of every gtid below `next_gtid` holds a durable local
+    /// `Decision` record (the cluster runs a worker barrier after the
+    /// decide fan-out) — only then are this log's records redundant.
+    /// Write-temp-then-rename: a crash leaves either the old file or the
+    /// new one, both complete.
+    pub fn compact(&mut self, next_gtid: u64) -> Result<()> {
+        let mut buf = Vec::new();
+        codec::put_file_header(&mut buf, codec::COORD_MAGIC);
+        let frame = codec::begin_frame(&mut buf);
+        buf.push(TAG_CHECKPOINT);
+        codec::put_uvarint(&mut buf, next_gtid);
+        codec::end_frame(&mut buf, frame);
+        let tmp = self.path.with_extension("tmp");
+        {
+            let mut f = File::create(&tmp)?;
+            f.write_all(&buf)?;
+            f.sync_data()?;
+        }
+        fs::rename(&tmp, &self.path)?;
+        // The old handle points at the unlinked inode; reopen for append.
+        self.file = OpenOptions::new().append(true).open(&self.path)?;
+        self.version = codec::CODEC_VERSION;
+        Ok(())
     }
 }
 
@@ -202,7 +307,14 @@ pub struct Coordinator {
     next_gtid: u64,
     log: Option<CoordinatorLog>,
     stats: CoordStats,
+    /// Decision records appended since the last compaction (commits only
+    /// — aborts never hit the file).
+    records_since_compaction: u64,
 }
+
+/// Appended decision records that trigger a checkpoint compaction of the
+/// coordinator log (see [`Coordinator::should_compact`]).
+pub const COORD_COMPACT_EVERY: u64 = 256;
 
 impl Coordinator {
     /// Build a coordinator resuming after the highest previously-decided
@@ -212,6 +324,7 @@ impl Coordinator {
             next_gtid: next_gtid.max(1),
             log,
             stats: CoordStats::default(),
+            records_since_compaction: 0,
         }
     }
 
@@ -222,17 +335,40 @@ impl Coordinator {
         gtid
     }
 
-    /// Record the global outcome, durably when a decision log is
-    /// configured (the fsync is the commit point).
+    /// Record the global outcome. A commit is written durably when a
+    /// decision log is configured — that fsync is the commit point. An
+    /// abort writes **nothing** (presumed abort): recovery treats a gtid
+    /// absent from the log as aborted, so the record would buy nothing,
+    /// and skipping it removes an fsync from every abort round.
     pub fn decide(&mut self, gtid: u64, commit: bool, participants: &[PartitionId]) -> Result<()> {
-        if let Some(log) = &mut self.log {
-            log.append_decision(gtid, commit, participants)?;
-        }
         if commit {
+            if let Some(log) = &mut self.log {
+                log.append_decision(gtid, true, participants)?;
+                self.records_since_compaction += 1;
+            }
             self.stats.commits += 1;
         } else {
             self.stats.aborts += 1;
         }
+        Ok(())
+    }
+
+    /// True when enough decision records accumulated that the log is
+    /// worth compacting. The cluster checks this after the decide
+    /// fan-out and, when set, proves the records redundant (worker
+    /// barrier) before calling [`Coordinator::compact`].
+    pub fn should_compact(&self) -> bool {
+        self.log.is_some() && self.records_since_compaction >= COORD_COMPACT_EVERY
+    }
+
+    /// Checkpoint-compact the decision log (see
+    /// [`CoordinatorLog::compact`] for the caller's proof obligation).
+    pub fn compact(&mut self) -> Result<()> {
+        if let Some(log) = &mut self.log {
+            log.compact(self.next_gtid)?;
+            self.stats.log_compactions += 1;
+        }
+        self.records_since_compaction = 0;
         Ok(())
     }
 
@@ -278,18 +414,21 @@ mod tests {
         let mut log = CoordinatorLog::open(&dir).unwrap();
         log.append_decision(3, true, &[]).unwrap();
         drop(log);
-        let decisions = CoordinatorLog::read(&dir).unwrap();
-        assert_eq!(decisions.len(), 3);
-        assert_eq!(decisions.get(&1), Some(&true));
-        assert_eq!(decisions.get(&2), Some(&false));
-        assert_eq!(decisions.get(&3), Some(&true));
+        let state = CoordinatorLog::read(&dir).unwrap();
+        assert_eq!(state.decisions.len(), 3);
+        assert_eq!(state.decisions.get(&1), Some(&true));
+        assert_eq!(state.decisions.get(&2), Some(&false));
+        assert_eq!(state.decisions.get(&3), Some(&true));
+        assert_eq!(state.next_gtid, 4);
         fs::remove_dir_all(dir).ok();
     }
 
     #[test]
     fn missing_log_reads_empty_and_torn_tail_drops() {
         let dir = tempdir("torn");
-        assert!(CoordinatorLog::read(&dir).unwrap().is_empty());
+        let empty = CoordinatorLog::read(&dir).unwrap();
+        assert!(empty.decisions.is_empty());
+        assert_eq!(empty.next_gtid, 1);
         let mut log = CoordinatorLog::open(&dir).unwrap();
         log.append_decision(9, true, &[PartitionId::new(0)])
             .unwrap();
@@ -299,9 +438,66 @@ mod tests {
         let mut bytes = fs::read(&path).unwrap();
         bytes.extend_from_slice(&[5, 0, 0, 0, 0xAB]); // half a frame header + garbage
         fs::write(&path, &bytes).unwrap();
-        let decisions = CoordinatorLog::read(&dir).unwrap();
-        assert_eq!(decisions.len(), 1);
-        assert_eq!(decisions.get(&9), Some(&true));
+        let state = CoordinatorLog::read(&dir).unwrap();
+        assert_eq!(state.decisions.len(), 1);
+        assert_eq!(state.decisions.get(&9), Some(&true));
+        fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn checkpoint_compaction_keeps_floor_and_later_decisions() {
+        let dir = tempdir("compact");
+        let mut log = CoordinatorLog::open(&dir).unwrap();
+        for g in 1..=40 {
+            log.append_decision(g, true, &[PartitionId::new(0)])
+                .unwrap();
+        }
+        let before = fs::metadata(dir.join("coord.log")).unwrap().len();
+        log.compact(41).unwrap();
+        let after = fs::metadata(dir.join("coord.log")).unwrap().len();
+        assert!(after < before, "compaction must shrink the log");
+        let state = CoordinatorLog::read(&dir).unwrap();
+        assert!(state.decisions.is_empty(), "settled decisions are dropped");
+        assert_eq!(state.next_gtid, 41, "sequence floor survives");
+        // Appends keep working on the compacted file.
+        log.append_decision(50, true, &[PartitionId::new(1)])
+            .unwrap();
+        drop(log);
+        let state = CoordinatorLog::read(&dir).unwrap();
+        assert_eq!(state.decisions.get(&50), Some(&true));
+        assert_eq!(state.next_gtid, 51);
+        fs::remove_dir_all(dir).ok();
+    }
+
+    /// A pre-compaction (v2) log — untagged decision payloads — reads
+    /// through the version branch, and appends to it stay untagged so
+    /// the file remains self-consistent.
+    #[test]
+    fn v2_log_reads_and_appends_back_compat() {
+        let dir = tempdir("v2");
+        fs::create_dir_all(&dir).unwrap();
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&codec::COORD_MAGIC);
+        bytes.extend_from_slice(&2u32.to_le_bytes());
+        let frame = codec::begin_frame(&mut bytes);
+        codec::put_uvarint(&mut bytes, 7);
+        bytes.push(1);
+        codec::put_uvarint(&mut bytes, 0); // no participants
+        codec::end_frame(&mut bytes, frame);
+        fs::write(dir.join("coord.log"), &bytes).unwrap();
+
+        let state = CoordinatorLog::read(&dir).unwrap();
+        assert_eq!(state.decisions.get(&7), Some(&true));
+        assert_eq!(state.next_gtid, 8);
+
+        let mut log = CoordinatorLog::open(&dir).unwrap();
+        log.append_decision(8, true, &[PartitionId::new(0)])
+            .unwrap();
+        drop(log);
+        let state = CoordinatorLog::read(&dir).unwrap();
+        assert_eq!(state.decisions.len(), 2);
+        assert_eq!(state.decisions.get(&8), Some(&true));
+        assert_eq!(state.next_gtid, 9);
         fs::remove_dir_all(dir).ok();
     }
 
@@ -320,5 +516,30 @@ mod tests {
         assert_eq!(s.prepares_sent, 3);
         assert_eq!(s.commits, 1);
         assert_eq!(s.aborts, 1);
+    }
+
+    /// Presumed abort: abort decisions never touch the file — only
+    /// commits pay the fsync.
+    #[test]
+    fn aborts_write_nothing() {
+        let dir = tempdir("pa");
+        let log = CoordinatorLog::open(&dir).unwrap();
+        let len_empty = fs::metadata(dir.join("coord.log")).unwrap().len();
+        let mut c = Coordinator::new(Some(log), 1);
+        let g1 = c.begin();
+        c.decide(g1, false, &[PartitionId::new(0), PartitionId::new(1)])
+            .unwrap();
+        assert_eq!(
+            fs::metadata(dir.join("coord.log")).unwrap().len(),
+            len_empty,
+            "abort must not grow the log"
+        );
+        let g2 = c.begin();
+        c.decide(g2, true, &[PartitionId::new(0), PartitionId::new(1)])
+            .unwrap();
+        let state = CoordinatorLog::read(&dir).unwrap();
+        assert_eq!(state.decisions.get(&g1), None, "absent means abort");
+        assert_eq!(state.decisions.get(&g2), Some(&true));
+        fs::remove_dir_all(dir).ok();
     }
 }

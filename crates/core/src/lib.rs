@@ -57,7 +57,7 @@ pub mod workloads;
 pub use builder::SStoreBuilder;
 pub use client::{ClientRequest, PipelinedClient, RequestKind};
 pub use cluster::Cluster;
-pub use coordinator::{CoordStats, Coordinator, CoordinatorLog};
+pub use coordinator::{CoordState, CoordStats, Coordinator, CoordinatorLog, COORD_COMPACT_EVERY};
 pub use metrics::{ClusterMetrics, PartitionMetrics, Throughput};
 pub use router::{PartitionOutcomes, RouteSpec, Router, Ticket};
 

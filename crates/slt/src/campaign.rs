@@ -44,6 +44,7 @@ pub const KILL_POINTS: &[&str] = &[
     "decide-delivered",
     "forward-logged",
     "snapshot-mid-write",
+    "delta-snapshot-mid-write",
     "log-mid-write",
 ];
 
@@ -208,7 +209,9 @@ pub fn run_trial(child_exe: &Path, seed: u64, keep_dir: bool) -> TrialResult {
         }
     };
 
-    let failure = check_recovery(&plan, &dir).err();
+    let failure = drill_recovery_fault(&plan, &dir)
+        .err()
+        .or_else(|| check_recovery(&plan, &dir).err());
     if failure.is_none() && !keep_dir {
         let _ = std::fs::remove_dir_all(&dir);
     }
@@ -217,6 +220,42 @@ pub fn run_trial(child_exe: &Path, seed: u64, keep_dir: bool) -> TrialResult {
         crashed,
         failure,
         dir,
+    }
+}
+
+/// The mid-recovery drill: arm `recovery-mid-replay` in panic mode and
+/// attempt a recovery. A partition thread panicking mid-replay must
+/// surface as a clean per-partition [`sstore_common::Error::Recovery`]
+/// from `Cluster::recover` — never a hang, never a process abort — and
+/// must leave the durability directory untouched so the real recovery
+/// that follows still works. An `Ok` recovery is also admissible: it
+/// means the trial's log had nothing left to replay (the child died
+/// before its first record survived), so the point never fired.
+///
+/// **Process-global**: arms a kill point, so only the campaign parent
+/// (which runs trials serially) may call this — never in-process tests.
+pub fn drill_recovery_fault(plan: &FaultPlan, dir: &Path) -> Result<(), String> {
+    fault::disarm();
+    fault::arm("recovery-mid-replay", 1, fault::KillMode::Panic);
+    // The panic is expected; keep its backtrace off the campaign output.
+    let prior = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let attempt = Cluster::recover(
+        plan.partitions,
+        RouteSpec::hash(0),
+        64,
+        &plan.builder(dir),
+        deploy_telemetry,
+        TELEMETRY_EDGES,
+    );
+    std::panic::set_hook(prior);
+    fault::disarm();
+    match attempt {
+        Ok(_) => Ok(()), // nothing to replay: the point never fired
+        Err(e) if e.kind() == "recovery" => Ok(()),
+        Err(e) => Err(format!(
+            "mid-replay panic surfaced as `{e}` instead of a recovery error"
+        )),
     }
 }
 

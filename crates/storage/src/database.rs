@@ -103,11 +103,29 @@ impl Database {
         &self.tables
     }
 
+    /// Give every table a fresh change journal. Called right after a
+    /// snapshot image (full or delta) lands on disk — at that point every
+    /// table's state is reachable from the chain — and after a restore,
+    /// so the journals always describe "changes since the last image".
+    /// Tables created *between* images have no journal and therefore
+    /// embed as full images inside the next delta.
+    pub fn enable_change_tracking(&mut self) {
+        for t in &mut self.tables {
+            t.set_journaling(true);
+        }
+    }
+
     /// Reassemble a database from decoded snapshot parts. The caller
     /// (snapshot loading) is responsible for the catalog/tables alignment
     /// invariant; [`crate::snapshot::Snapshot::read_from`] checks counts.
     pub(crate) fn from_parts(catalog: Catalog, tables: Vec<Table>) -> Database {
         Database { catalog, tables }
+    }
+
+    /// Disassemble into snapshot parts (delta application rebuilds the
+    /// table vector in place, then reassembles with the delta's catalog).
+    pub(crate) fn into_parts(self) -> (Catalog, Vec<Table>) {
+        (self.catalog, self.tables)
     }
 
     /// The kind of a table.

@@ -24,5 +24,5 @@ pub use catalog::{
 };
 pub use database::Database;
 pub use index::{IndexDef, RowId};
-pub use table::Table;
+pub use table::{SlotOp, Table, TableDirt};
 pub use undo::{UndoLog, UndoOp};

@@ -11,7 +11,12 @@ use serde::{Deserialize, Serialize};
 use sstore_common::{codec, Error, Result, Row, Schema, Value};
 
 /// One heap table (also the physical representation of streams and windows).
+///
+/// Serialization goes through [`TableRepr`] so the transient change
+/// journal (delta-snapshot support) never reaches the on-disk JSON form —
+/// the legacy envelope layout is unchanged.
 #[derive(Debug, Clone, Serialize, Deserialize)]
+#[serde(into = "TableRepr", try_from = "TableRepr")]
 pub struct Table {
     name: String,
     schema: Schema,
@@ -25,6 +30,169 @@ pub struct Table {
     pk_index: Option<Index>,
     /// Secondary indexes.
     indexes: Vec<Index>,
+    /// Change journal for delta snapshots; `None` = tracking off. Never
+    /// serialized (runtime bookkeeping, not state).
+    journal: Option<Journal>,
+}
+
+/// Serialization mirror of [`Table`]: exactly the persistent fields, in
+/// the pre-delta-snapshot layout, so JSON snapshots stay byte-compatible.
+#[derive(Serialize, Deserialize)]
+pub struct TableRepr {
+    name: String,
+    schema: Schema,
+    slots: Vec<Option<Row>>,
+    free: Vec<RowId>,
+    live: usize,
+    pk_index: Option<Index>,
+    indexes: Vec<Index>,
+}
+
+impl From<Table> for TableRepr {
+    fn from(t: Table) -> TableRepr {
+        TableRepr {
+            name: t.name,
+            schema: t.schema,
+            slots: t.slots,
+            free: t.free,
+            live: t.live,
+            pk_index: t.pk_index,
+            indexes: t.indexes,
+        }
+    }
+}
+
+// The vendored serde derive only supports `try_from = "T"`, not
+// `from = "T"`, so the conversion must be TryFrom even though it
+// cannot fail.
+#[allow(clippy::infallible_try_from)]
+impl TryFrom<TableRepr> for Table {
+    type Error = std::convert::Infallible;
+    fn try_from(r: TableRepr) -> std::result::Result<Table, Self::Error> {
+        Ok(Table {
+            name: r.name,
+            schema: r.schema,
+            slots: r.slots,
+            free: r.free,
+            live: r.live,
+            pk_index: r.pk_index,
+            indexes: r.indexes,
+            journal: None,
+        })
+    }
+}
+
+/// One journaled slot mutation — the exact physical operations the table
+/// mutators perform, in execution order. Replaying a journal against the
+/// base image drives the *same* mutators, so slot assignment, free-list
+/// order, and index bucket order come out byte-identical to the live
+/// table (a positional diff could not reproduce bucket order).
+#[derive(Debug, Clone, PartialEq)]
+pub enum SlotOp {
+    /// `insert` filled `rid` with `row`.
+    Insert {
+        /// Slot the insert chose (replay asserts the same choice).
+        rid: RowId,
+        /// The validated row.
+        row: Row,
+    },
+    /// `delete` emptied `rid`.
+    Delete {
+        /// Slot that was emptied.
+        rid: RowId,
+    },
+    /// `update` replaced the row at `rid`.
+    Update {
+        /// Slot that was updated.
+        rid: RowId,
+        /// The new (validated) row.
+        row: Row,
+    },
+    /// `restore` re-filled `rid` (undo path).
+    Restore {
+        /// Slot that was re-filled.
+        rid: RowId,
+        /// The restored row.
+        row: Row,
+    },
+    /// `truncate` cleared the table (ops before it are superseded).
+    Truncate,
+}
+
+const OP_INSERT: u8 = 0;
+const OP_DELETE: u8 = 1;
+const OP_UPDATE: u8 = 2;
+const OP_RESTORE: u8 = 3;
+const OP_TRUNCATE: u8 = 4;
+
+impl SlotOp {
+    /// Append the compact binary encoding (delta snapshot frames).
+    pub fn encode_binary(&self, out: &mut Vec<u8>) {
+        match self {
+            SlotOp::Insert { rid, row } => {
+                out.push(OP_INSERT);
+                codec::put_uvarint(out, *rid);
+                codec::encode_row(row, out);
+            }
+            SlotOp::Delete { rid } => {
+                out.push(OP_DELETE);
+                codec::put_uvarint(out, *rid);
+            }
+            SlotOp::Update { rid, row } => {
+                out.push(OP_UPDATE);
+                codec::put_uvarint(out, *rid);
+                codec::encode_row(row, out);
+            }
+            SlotOp::Restore { rid, row } => {
+                out.push(OP_RESTORE);
+                codec::put_uvarint(out, *rid);
+                codec::encode_row(row, out);
+            }
+            SlotOp::Truncate => out.push(OP_TRUNCATE),
+        }
+    }
+
+    /// Decode one op from a delta frame.
+    pub fn decode_binary(r: &mut codec::Reader<'_>) -> Result<SlotOp> {
+        Ok(match r.u8()? {
+            OP_INSERT => SlotOp::Insert {
+                rid: r.uvarint()?,
+                row: codec::decode_row(r)?,
+            },
+            OP_DELETE => SlotOp::Delete { rid: r.uvarint()? },
+            OP_UPDATE => SlotOp::Update {
+                rid: r.uvarint()?,
+                row: codec::decode_row(r)?,
+            },
+            OP_RESTORE => SlotOp::Restore {
+                rid: r.uvarint()?,
+                row: codec::decode_row(r)?,
+            },
+            OP_TRUNCATE => SlotOp::Truncate,
+            tag => return Err(Error::Codec(format!("unknown slot-op tag {tag}"))),
+        })
+    }
+}
+
+/// Accumulated changes since the last snapshot image.
+#[derive(Debug, Clone, Default)]
+struct Journal {
+    ops: Vec<SlotOp>,
+    /// Structural change (index DDL) or op overflow: the next delta must
+    /// carry a full image of this table instead of an op replay.
+    full: bool,
+}
+
+/// What the next delta image must carry for a table.
+#[derive(Debug)]
+pub enum TableDirt<'a> {
+    /// Untouched since the last image — omit from the delta.
+    Clean,
+    /// Replay these ops against the base to reproduce the live state.
+    Ops(&'a [SlotOp]),
+    /// Journal unavailable (tracking started after the base, structural
+    /// change, or overflow): embed a full image.
+    Full,
 }
 
 impl Table {
@@ -48,6 +216,7 @@ impl Table {
             live: 0,
             pk_index,
             indexes: Vec::new(),
+            journal: None,
         }
     }
 
@@ -146,6 +315,7 @@ impl Table {
             live,
             pk_index,
             indexes,
+            journal: None,
         })
     }
 
@@ -182,6 +352,12 @@ impl Table {
             }
         }
         self.indexes.push(ix);
+        // Structural change: an op replay against a base without this
+        // index cannot reproduce it, so force a full image next delta.
+        if let Some(j) = &mut self.journal {
+            j.ops.clear();
+            j.full = true;
+        }
         Ok(())
     }
 
@@ -210,6 +386,12 @@ impl Table {
             self.free.push(rid);
             return Err(e);
         }
+        if self.journal.is_some() {
+            self.journal_record(SlotOp::Insert {
+                rid,
+                row: row.clone(),
+            });
+        }
         self.slots[rid as usize] = Some(row);
         self.live += 1;
         Ok(rid)
@@ -225,6 +407,7 @@ impl Table {
         self.index_remove(&row, rid)?;
         self.free.push(rid);
         self.live -= 1;
+        self.journal_record(SlotOp::Delete { rid });
         Ok(row)
     }
 
@@ -245,6 +428,12 @@ impl Table {
                 .expect("reinserting old index entries cannot fail");
             return Err(e);
         }
+        if self.journal.is_some() {
+            self.journal_record(SlotOp::Update {
+                rid,
+                row: new_row.clone(),
+            });
+        }
         self.slots[rid as usize] = Some(new_row);
         Ok(old)
     }
@@ -264,6 +453,12 @@ impl Table {
         }
         // Undo bypasses validation: the row came out of this table.
         self.index_insert(&row, rid)?;
+        if self.journal.is_some() {
+            self.journal_record(SlotOp::Restore {
+                rid,
+                row: row.clone(),
+            });
+        }
         self.slots[rid as usize] = Some(row);
         if let Some(pos) = self.free.iter().position(|&f| f == rid) {
             self.free.swap_remove(pos);
@@ -333,6 +528,85 @@ impl Table {
         for ix in &mut self.indexes {
             ix.clear();
         }
+        self.journal_record(SlotOp::Truncate);
+    }
+
+    /// Record one op in the change journal (no-op when tracking is off).
+    /// `Truncate` supersedes everything before it; an op count well past
+    /// the slot count means replay would cost more than a full image, so
+    /// the journal gives up and flags the table full.
+    fn journal_record(&mut self, op: SlotOp) {
+        let cap = self.slots.len() + 64;
+        if let Some(j) = &mut self.journal {
+            if j.full {
+                return;
+            }
+            if matches!(op, SlotOp::Truncate) {
+                j.ops.clear();
+            }
+            j.ops.push(op);
+            if j.ops.len() > cap {
+                j.ops.clear();
+                j.full = true;
+            }
+        }
+    }
+
+    /// Turn change tracking on (fresh journal) or off.
+    pub fn set_journaling(&mut self, on: bool) {
+        self.journal = if on { Some(Journal::default()) } else { None };
+    }
+
+    /// True when a change journal is attached.
+    pub fn journaling(&self) -> bool {
+        self.journal.is_some()
+    }
+
+    /// Reset the journal after a successful image write; tracking stays on.
+    pub fn clear_journal(&mut self) {
+        if let Some(j) = &mut self.journal {
+            j.ops.clear();
+            j.full = false;
+        }
+    }
+
+    /// What the next delta image must carry for this table.
+    pub fn dirt(&self) -> TableDirt<'_> {
+        match &self.journal {
+            // Tracking never started for this table (e.g. created after
+            // the chain base): only a full image is safe.
+            None => TableDirt::Full,
+            Some(j) if j.full => TableDirt::Full,
+            Some(j) if j.ops.is_empty() => TableDirt::Clean,
+            Some(j) => TableDirt::Ops(&j.ops),
+        }
+    }
+
+    /// Re-execute one journaled op during delta replay. Drives the normal
+    /// mutators so derived structures (indexes, free list) evolve exactly
+    /// as they did live; `Insert` asserts the slot choice matches the
+    /// journaled one (any divergence means the base image is wrong).
+    pub fn apply_slot_op(&mut self, op: &SlotOp) -> Result<()> {
+        match op {
+            SlotOp::Insert { rid, row } => {
+                let got = self.insert(row.clone())?;
+                if got != *rid {
+                    return Err(Error::Codec(format!(
+                        "delta replay slot divergence in `{}`: journaled rid {rid}, got {got}",
+                        self.name
+                    )));
+                }
+            }
+            SlotOp::Delete { rid } => {
+                self.delete(*rid)?;
+            }
+            SlotOp::Update { rid, row } => {
+                self.update(*rid, row.clone())?;
+            }
+            SlotOp::Restore { rid, row } => self.restore(*rid, row.clone())?,
+            SlotOp::Truncate => self.truncate(),
+        }
+        Ok(())
     }
 
     fn index_insert(&mut self, row: &Row, rid: RowId) -> Result<()> {
@@ -569,5 +843,115 @@ mod tests {
             t.insert(row(i, "some name")).unwrap();
         }
         assert!(t.approx_bytes() > before);
+    }
+
+    #[test]
+    fn journal_replay_reproduces_state() {
+        let mut base = table();
+        base.insert(row(1, "a")).unwrap();
+        base.insert(row(2, "b")).unwrap();
+        let mut live = base.clone();
+        live.set_journaling(true);
+        let r3 = live.insert(row(3, "c")).unwrap();
+        live.delete(live.pk_lookup(&[Value::Int(1)]).unwrap())
+            .unwrap();
+        live.update(r3, row(3, "c2")).unwrap();
+        let r4 = live.insert(row(4, "d")).unwrap();
+        let gone = live.delete(r4).unwrap();
+        live.restore(r4, gone).unwrap();
+        let ops: Vec<SlotOp> = match live.dirt() {
+            TableDirt::Ops(ops) => ops.to_vec(),
+            other => panic!("expected ops, got {other:?}"),
+        };
+        for op in &ops {
+            base.apply_slot_op(op).unwrap();
+        }
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        base.encode_binary(&mut a);
+        live.encode_binary(&mut b);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn journal_truncate_supersedes_prior_ops() {
+        let mut t = table();
+        t.set_journaling(true);
+        for i in 0..10 {
+            t.insert(row(i, "x")).unwrap();
+        }
+        t.truncate();
+        t.insert(row(99, "y")).unwrap();
+        match t.dirt() {
+            TableDirt::Ops(ops) => {
+                assert_eq!(ops.len(), 2);
+                assert!(matches!(ops[0], SlotOp::Truncate));
+            }
+            other => panic!("expected ops, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn journal_overflow_and_ddl_force_full() {
+        let mut t = table();
+        t.set_journaling(true);
+        // Far more ops than live slots: delete/insert churn on one key.
+        for i in 0..200 {
+            let rid = t.insert(row(1, "a")).unwrap();
+            if i < 199 {
+                t.delete(rid).unwrap();
+            }
+        }
+        assert!(matches!(t.dirt(), TableDirt::Full));
+        t.clear_journal();
+        assert!(matches!(t.dirt(), TableDirt::Clean));
+        t.create_index(IndexDef {
+            name: "ix".into(),
+            key_cols: vec![1],
+            unique: false,
+            ordered: false,
+        })
+        .unwrap();
+        assert!(matches!(t.dirt(), TableDirt::Full));
+    }
+
+    #[test]
+    fn slot_op_codec_roundtrip() {
+        let ops = vec![
+            SlotOp::Insert {
+                rid: 7,
+                row: row(1, "a"),
+            },
+            SlotOp::Delete { rid: 7 },
+            SlotOp::Update {
+                rid: 3,
+                row: row(2, "b"),
+            },
+            SlotOp::Restore {
+                rid: 0,
+                row: row(3, "c"),
+            },
+            SlotOp::Truncate,
+        ];
+        let mut buf = Vec::new();
+        for op in &ops {
+            op.encode_binary(&mut buf);
+        }
+        let mut r = codec::Reader::new(&buf);
+        for op in &ops {
+            assert_eq!(*op, SlotOp::decode_binary(&mut r).unwrap());
+        }
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn journal_not_serialized() {
+        let mut t = table();
+        t.set_journaling(true);
+        t.insert(row(1, "a")).unwrap();
+        let json = serde_json::to_string(&t).unwrap();
+        let back: Table = serde_json::from_str(&json).unwrap();
+        assert!(!back.journaling());
+        assert_eq!(back.len(), 1);
     }
 }

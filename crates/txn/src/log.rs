@@ -435,7 +435,15 @@ pub struct LogConfig {
     /// for back-compat and the E6 benchmarks). Opening an existing log
     /// file keeps *its* format until the next truncation/GC rewrite.
     pub format: DurabilityFormat,
+    /// Maximum delta-snapshot chain length before the next retention
+    /// point rewrites a full base image (binary format only; 0 disables
+    /// deltas entirely). Bounds both recovery replay work and the stale
+    /// log a long chain would otherwise pin.
+    pub delta_chain_cap: u64,
 }
+
+/// Default [`LogConfig::delta_chain_cap`].
+pub const DEFAULT_DELTA_CHAIN_CAP: u64 = 8;
 
 impl LogConfig {
     /// Config with per-record sync.
@@ -444,6 +452,7 @@ impl LogConfig {
             dir: dir.into(),
             group_commit_n: 1,
             format: DurabilityFormat::default(),
+            delta_chain_cap: DEFAULT_DELTA_CHAIN_CAP,
         }
     }
 
@@ -461,6 +470,12 @@ impl LogConfig {
         self
     }
 
+    /// Override the delta-snapshot chain cap (0 = full images only).
+    pub fn with_delta_chain_cap(mut self, cap: u64) -> Self {
+        self.delta_chain_cap = cap;
+        self
+    }
+
     /// Path of the command log file.
     pub fn log_path(&self) -> PathBuf {
         self.dir.join("command.log")
@@ -471,6 +486,14 @@ impl LogConfig {
     /// use it.
     pub fn snapshot_path(&self) -> PathBuf {
         self.dir.join("snapshot.dat")
+    }
+
+    /// Path of the `k`-th delta snapshot (k ≥ 1) chained onto
+    /// [`LogConfig::snapshot_path`]. Recovery applies `snapshot.d1.dat`,
+    /// `snapshot.d2.dat`, … until a file is missing or names a
+    /// superseded base.
+    pub fn delta_snapshot_path(&self, k: u64) -> PathBuf {
+        self.dir.join(format!("snapshot.d{k}.dat"))
     }
 
     /// Snapshot path written by pre-binary versions of the engine.

@@ -30,7 +30,7 @@ use sstore_common::{
 };
 use sstore_engine::{EeConfig, ExecutionEngine, TxnScratch};
 use sstore_sql::exec::QueryResult;
-use sstore_storage::snapshot::Snapshot;
+use sstore_storage::snapshot::{Snapshot, SnapshotDelta, SnapshotKey};
 use std::collections::{HashMap, VecDeque};
 
 /// A fragment of a multi-sited transaction, executed at *prepare* time
@@ -173,6 +173,10 @@ pub struct Partition {
     pending_outputs: Vec<(TableId, Row)>,
     /// The 2PC fragment currently held between prepare and decision.
     prepared: Option<PreparedFragment>,
+    /// True while a verified-disjoint TE runs under early-prepare
+    /// speculation ([`Partition::submit_batch_speculative`]) — the one
+    /// case `drain` may run with a fragment held.
+    speculating: bool,
     /// Declared cross-partition edges by stream name (re-applied to the
     /// workflow whenever it is rebuilt by `register`).
     cross_edges: Vec<(String, usize)>,
@@ -192,6 +196,12 @@ pub struct Partition {
     /// Replay skips execution of covered batches, so a covered
     /// `ForwardOut` record must rebuild its envelope from the log.
     replay_covered: u64,
+    /// Identity of the last snapshot image written or restored (base or
+    /// delta); the next delta chains onto it. `None` until the first
+    /// image exists.
+    last_snapshot_key: Option<SnapshotKey>,
+    /// Number of deltas chained onto the current base image.
+    snapshot_chain_len: u64,
 }
 
 impl std::fmt::Debug for Partition {
@@ -235,11 +245,14 @@ impl Partition {
             replaying: false,
             pending_outputs: Vec::new(),
             prepared: None,
+            speculating: false,
             cross_edges: Vec::new(),
             outbox: Vec::new(),
             edge_high_water: HashMap::new(),
             max_gtid_seen: 0,
             replay_covered: 0,
+            last_snapshot_key: None,
+            snapshot_chain_len: 0,
         })
     }
 
@@ -866,6 +879,82 @@ impl Partition {
         self.max_gtid_seen
     }
 
+    /// True when `proc` may run to completion while the currently held
+    /// 2PC fragment awaits its decision, without observing or disturbing
+    /// the fragment's uncommitted writes: the transitive workflow
+    /// closures of the two procedures (own read/write sets plus every
+    /// procedure their emissions can trigger) touch **disjoint** table
+    /// sets. Disjointness makes the interleaving serializable in either
+    /// order and keeps the fragment's undo independent, so a later abort
+    /// rolls back cleanly past the speculated commit — and replay, which
+    /// applies the fragment's decision at its log marker *before* the
+    /// speculated invocation, converges to the identical state.
+    pub fn speculation_safe(&self, proc: &str) -> bool {
+        let Some(frag) = &self.prepared else {
+            return false;
+        };
+        let Some(&pid) = self.by_name.get(proc) else {
+            return false;
+        };
+        if self.procs[pid.raw() as usize].multi_partition {
+            return false;
+        }
+        self.closure_tables(pid)
+            .is_disjoint(&self.closure_tables(frag.proc))
+    }
+
+    /// Every table in the transitive workflow closure of `root`: its own
+    /// read/write sets plus those of every procedure reachable through
+    /// PE triggers on the streams it writes.
+    fn closure_tables(&self, root: ProcId) -> std::collections::HashSet<TableId> {
+        let mut seen = vec![false; self.procs.len()];
+        let mut stack = vec![root];
+        let mut tables = std::collections::HashSet::new();
+        while let Some(pid) = stack.pop() {
+            let i = pid.raw() as usize;
+            if std::mem::replace(&mut seen[i], true) {
+                continue;
+            }
+            let p = &self.procs[i];
+            tables.extend(p.read_set.iter().copied());
+            tables.extend(p.write_set.iter().copied());
+            for &t in &p.write_set {
+                stack.extend(self.workflow.consumers_of(t).iter().copied());
+            }
+        }
+        tables
+    }
+
+    /// Early-prepare speculation: run a border batch verified
+    /// [`Partition::speculation_safe`] against the held fragment while
+    /// the 2PC decision is still in flight. The log orders the
+    /// fragment's marker before this invocation, and replay resolves the
+    /// marker (commit or abort) before replaying it — state convergence
+    /// follows from the closure disjointness the safety check proved.
+    /// Retention snapshots stay suppressed until the fragment resolves
+    /// (an image must not capture uncommitted writes).
+    pub fn submit_batch_speculative<R: Into<Row>>(
+        &mut self,
+        proc: &str,
+        rows: Vec<R>,
+    ) -> Result<Vec<TxnOutcome>> {
+        if !self.speculation_safe(proc) {
+            return Err(Error::Txn(format!(
+                "`{proc}` conflicts with the prepared 2PC fragment; cannot speculate"
+            )));
+        }
+        let pid = self.border_proc_id(proc)?;
+        self.stats.client_pe_trips += 1;
+        simulate_cost(self.config.client_trip_cost_micros);
+        self.enqueue_border(pid, proc, rows.into_iter().map(Into::into).collect())?;
+        self.speculating = true;
+        let result = self.drain();
+        self.speculating = false;
+        let outcomes = result?;
+        self.stats.speculative_tes += outcomes.len() as u64;
+        Ok(outcomes)
+    }
+
     // ---- cross-partition workflow edges ---------------------------------------
 
     /// Accept a batch forwarded over a cross-partition edge. Logs the
@@ -981,10 +1070,14 @@ impl Partition {
             // Serial-execution invariant: the prepared fragment's
             // uncommitted writes are sitting in storage; running another
             // TE now could read them and make an abort un-rollbackable.
-            return Err(Error::Txn(format!(
-                "cannot run TEs while 2PC fragment gtid {} awaits its decision",
-                frag.gtid
-            )));
+            // The one exception is a speculative TE whose workflow
+            // closure was proven disjoint from the fragment's.
+            if !self.speculating {
+                return Err(Error::Txn(format!(
+                    "cannot run TEs while 2PC fragment gtid {} awaits its decision",
+                    frag.gtid
+                )));
+            }
         }
         let mut outcomes = Vec::new();
         while let Some(inv) = self.queue.pop_front() {
@@ -1004,7 +1097,9 @@ impl Partition {
     /// failure is counted and the policy retries at the next quiescent
     /// point (`commits_since_snapshot` keeps accumulating).
     fn maybe_snapshot_for_retention(&mut self) {
-        if self.replaying || self.log.is_none() {
+        // A held fragment's uncommitted writes must never reach an image
+        // (reachable only via speculative drains); retry once resolved.
+        if self.replaying || self.log.is_none() || self.prepared.is_some() {
             return;
         }
         let Some(retention) = self.config.retention else {
@@ -1268,21 +1363,75 @@ impl Partition {
     /// rewrite also migrates a sniffed legacy-JSON log to the configured
     /// format.
     pub fn snapshot(&mut self) -> Result<()> {
+        if let Some(frag) = &self.prepared {
+            return Err(Error::Txn(format!(
+                "cannot snapshot while 2PC fragment gtid {} awaits its decision \
+                 (uncommitted writes are in storage)",
+                frag.gtid
+            )));
+        }
         let cfg = self
             .config
             .log
             .clone()
             .ok_or_else(|| Error::Io("snapshots require a log directory".into()))?;
-        let snap = Snapshot::capture(
-            self.engine.db(),
-            Some(TxnId::new(self.next_txn.saturating_sub(1))),
-            Some(BatchId::new(self.next_batch)),
-            self.clock.now(),
-        );
-        snap.write_to(&cfg.snapshot_path(), cfg.format)?;
-        // A pre-binary snapshot under the legacy name is now superseded;
-        // leaving it would let a future recovery read stale state.
-        let _ = std::fs::remove_file(cfg.legacy_snapshot_path());
+        let last_txn = Some(TxnId::new(self.next_txn.saturating_sub(1)));
+        let last_batch = Some(BatchId::new(self.next_batch));
+        let clock_micros = self.clock.now();
+        // An incremental delta is written when the previous image exists
+        // (its key is the chain link), the chain is under its cap, the
+        // format is binary (the JSON envelope stays full-image), and the
+        // operator hasn't forced full images (`SSTORE_SNAPSHOT=full`).
+        let use_delta = cfg.format == sstore_common::DurabilityFormat::Binary
+            && !delta_snapshots_disabled()
+            && self.snapshot_chain_len < cfg.delta_chain_cap
+            && self.last_snapshot_key.is_some();
+        if use_delta {
+            let base = self.last_snapshot_key.expect("checked above");
+            let k = self.snapshot_chain_len + 1;
+            let delta = SnapshotDelta::capture(
+                self.engine.db(),
+                base,
+                k,
+                last_txn,
+                last_batch,
+                clock_micros,
+            );
+            delta.write_to(&cfg.delta_snapshot_path(k))?;
+            self.snapshot_chain_len = k;
+            self.stats.snapshots_delta += 1;
+        } else {
+            let snap = Snapshot::capture(self.engine.db(), last_txn, last_batch, clock_micros);
+            snap.write_to(&cfg.snapshot_path(), cfg.format)?;
+            // A pre-binary snapshot under the legacy name is now
+            // superseded; leaving it would let a future recovery read
+            // stale state.
+            let _ = std::fs::remove_file(cfg.legacy_snapshot_path());
+            // Deltas of the superseded chain are harmless (their base key
+            // no longer matches) but delete them for disk hygiene. A
+            // crash mid-deletion leaves strays the chain walk rejects.
+            let mut k = 1;
+            while std::fs::remove_file(cfg.delta_snapshot_path(k)).is_ok() {
+                k += 1;
+            }
+            self.snapshot_chain_len = 0;
+            self.stats.snapshots_full += 1;
+        }
+        self.last_snapshot_key = Some(SnapshotKey {
+            last_txn,
+            last_batch,
+            clock_micros,
+        });
+        // Fresh journals: the next delta describes changes since *this*
+        // image (works after both branches — a delta lands the full
+        // current state in the chain too). Skipped entirely when deltas
+        // can never be cut, so full-only configs pay no tracking cost.
+        if cfg.format == sstore_common::DurabilityFormat::Binary
+            && !delta_snapshots_disabled()
+            && cfg.delta_chain_cap > 0
+        {
+            self.engine.db_mut().enable_change_tracking();
+        }
         if let Some(log) = &mut self.log {
             self.stats.log_gc_dropped += log.gc_acked_through(BatchId::new(self.next_batch))?;
         }
@@ -1305,13 +1454,38 @@ impl Partition {
     }
 
     /// Internal: used by recovery to restore state and replay.
-    pub(crate) fn restore_for_recovery(&mut self, snapshot: Option<Snapshot>) -> Result<()> {
+    /// `chain_len` is the number of deltas the loaded snapshot chain
+    /// already carries: when `continue_chain` is set, the next retention
+    /// point extends the chain from there (the restored key is the link)
+    /// instead of forcing a full rewrite. Recovery clears the flag when
+    /// the image came from the legacy JSON path — deltas only ever chain
+    /// onto `snapshot.dat`.
+    pub(crate) fn restore_for_recovery(
+        &mut self,
+        snapshot: Option<Snapshot>,
+        chain_len: u64,
+        continue_chain: bool,
+    ) -> Result<()> {
         if let Some(snap) = snapshot {
             self.next_batch = snap.last_batch.map(BatchId::raw).unwrap_or(0);
             self.next_txn = snap.last_txn.map(|t| t.raw() + 1).unwrap_or(1);
             self.clock = Clock::starting_at(snap.clock_micros);
             self.replay_covered = self.next_batch;
+            if continue_chain {
+                self.last_snapshot_key = Some(snap.key());
+                self.snapshot_chain_len = chain_len;
+            }
             self.engine.restore_db(snap.database);
+            // Track replayed mutations: they are exactly the changes
+            // since the chain tail, so the next image can be a delta.
+            if continue_chain
+                && self.config.log.as_ref().is_some_and(|c| {
+                    c.format == sstore_common::DurabilityFormat::Binary && c.delta_chain_cap > 0
+                })
+                && !delta_snapshots_disabled()
+            {
+                self.engine.db_mut().enable_change_tracking();
+            }
         }
         Ok(())
     }
@@ -1494,6 +1668,16 @@ impl Partition {
         }
         self.log_sync()
     }
+}
+
+/// `SSTORE_SNAPSHOT=full` forces every retention point to write a full
+/// base image (the pre-delta behavior), for A/B measurement and as an
+/// operational escape hatch. Any other value (or unset) allows deltas.
+fn delta_snapshots_disabled() -> bool {
+    matches!(
+        std::env::var("SSTORE_SNAPSHOT").as_deref(),
+        Ok("full") | Ok("FULL")
+    )
 }
 
 #[cfg(test)]
@@ -1931,6 +2115,136 @@ mod tests {
             .is_err());
         p.decide_fragment(1, true).unwrap();
         assert_eq!(total(&mut p), 1);
+    }
+
+    /// audit_in -> audit -> audit_log: a workflow whose closure is disjoint
+    /// from the validate/count pipeline, so it can run speculatively while
+    /// a `validate` fragment is prepared.
+    fn deploy_audit(p: &mut Partition) -> Result<()> {
+        p.ddl("CREATE STREAM audit_in (v INT)")?;
+        p.ddl("CREATE TABLE audit_log (k INT NOT NULL, n INT NOT NULL, PRIMARY KEY (k))")?;
+        let mut sc = TxnScratch::new(None, BatchId::new(0));
+        p.engine_mut()
+            .execute_sql("INSERT INTO audit_log VALUES (1, 0)", &[], &mut sc, 0)?;
+        p.register(
+            ProcSpec::new("audit", |ctx| {
+                let n = ctx.input().len() as i64;
+                ctx.exec("bump", &[Value::Int(n)])?;
+                Ok(())
+            })
+            .consumes("audit_in")
+            .stmt("bump", "UPDATE audit_log SET n = n + ? WHERE k = 1"),
+        )?;
+        Ok(())
+    }
+
+    fn audit_total(p: &mut Partition) -> i64 {
+        p.query("SELECT n FROM audit_log WHERE k = 1", &[])
+            .unwrap()
+            .scalar_i64()
+            .unwrap()
+    }
+
+    #[test]
+    fn speculation_requires_disjoint_closure() {
+        let mut p = pipeline(PeConfig::default());
+        deploy_audit(&mut p).unwrap();
+        // No fragment prepared: nothing to speculate past.
+        assert!(!p.speculation_safe("audit"));
+        p.prepare_fragment(5, "validate", vec![vec![Value::Int(1)]])
+            .unwrap();
+        // Disjoint workflow may run; the fragment's own pipeline may not.
+        assert!(p.speculation_safe("audit"));
+        assert!(!p.speculation_safe("validate"));
+        assert!(!p.speculation_safe("no_such_proc"));
+        let err = p
+            .submit_batch_speculative("validate", vec![vec![Value::Int(2)]])
+            .unwrap_err();
+        assert_eq!(err.kind(), "txn");
+        // Plain submission stays refused while the fragment is held.
+        assert!(p.submit_batch("audit", vec![vec![Value::Int(1)]]).is_err());
+        p.decide_fragment(5, true).unwrap();
+    }
+
+    #[test]
+    fn speculative_te_commits_and_survives_fragment_abort() {
+        let mut p = pipeline(PeConfig::default());
+        deploy_audit(&mut p).unwrap();
+        p.prepare_fragment(8, "validate", vec![vec![Value::Int(3)]])
+            .unwrap();
+        let outcomes = p
+            .submit_batch_speculative("audit", vec![vec![Value::Int(1)], vec![Value::Int(2)]])
+            .unwrap();
+        assert!(outcomes.iter().all(|o| o.is_committed()));
+        assert_eq!(audit_total(&mut p), 2);
+        assert_eq!(p.stats().speculative_tes, 1);
+        // The fragment is still held and aborts cleanly; the speculative
+        // commit is unaffected (disjoint tables, so no cascade).
+        assert_eq!(p.prepared_gtid(), Some(8));
+        p.decide_fragment(8, false).unwrap();
+        assert_eq!(audit_total(&mut p), 2);
+        assert_eq!(total(&mut p), 0);
+    }
+
+    #[test]
+    fn speculative_te_replays_equivalently_after_crash() {
+        use crate::recovery::recover_with_decisions;
+
+        let dir = std::env::temp_dir().join(format!("sstore-spec-replay-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let config = PeConfig {
+            log: Some(LogConfig::new(&dir)),
+            ..PeConfig::default()
+        };
+        let deploy = |p: &mut Partition| {
+            deploy_pipeline(p)?;
+            deploy_audit(p)
+        };
+        let mut p = Partition::new(config.clone()).unwrap();
+        deploy(&mut p).unwrap();
+        p.prepare_fragment(4, "validate", vec![vec![Value::Int(9)]])
+            .unwrap();
+        p.submit_batch_speculative("audit", vec![vec![Value::Int(1)]])
+            .unwrap();
+        p.decide_fragment(4, true).unwrap();
+        let live = (total(&mut p), audit_total(&mut p));
+        assert_eq!(live, (1, 1));
+
+        // Crash + replay: the speculative batch was logged between the
+        // prepare marker and the decision; replay resolves the fragment at
+        // its marker, then the speculative record — same end state.
+        drop(p);
+        let decisions = std::collections::HashMap::from([(4u64, true)]);
+        let mut r = recover_with_decisions(config, deploy, &decisions).unwrap();
+        assert_eq!((total(&mut r), audit_total(&mut r)), live);
+        assert_eq!(r.stats().twopc_commits, 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn retention_snapshot_deferred_while_fragment_prepared() {
+        let dir = std::env::temp_dir().join(format!("sstore-spec-snap-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let config = PeConfig {
+            log: Some(LogConfig::new(&dir)),
+            retention: Some(LogRetention::every_n_commits(1)),
+            ..PeConfig::default()
+        };
+        let mut p = pipeline(config);
+        deploy_audit(&mut p).unwrap();
+        p.prepare_fragment(2, "validate", vec![vec![Value::Int(1)]])
+            .unwrap();
+        // Uncommitted fragment writes live in storage: snapshots refused.
+        assert!(p.snapshot().is_err());
+        p.submit_batch_speculative("audit", vec![vec![Value::Int(1)]])
+            .unwrap();
+        assert!(!LogConfig::new(&dir).snapshot_path().exists());
+        // Once decided, the next retention point snapshots normally.
+        p.decide_fragment(2, true).unwrap();
+        p.submit_batch("validate", vec![vec![Value::Int(1)]])
+            .unwrap();
+        assert!(LogConfig::new(&dir).snapshot_path().exists());
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

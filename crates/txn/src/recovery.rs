@@ -64,19 +64,20 @@ pub fn recover_with_decisions(
     setup(&mut p)?;
 
     // Snapshot (optional). The engine writes `snapshot.dat` (binary or
-    // JSON content, sniffed by magic); pre-binary durability dirs left a
+    // JSON content, sniffed by magic) plus any chained delta images
+    // (`snapshot.d1.dat`, …); pre-binary durability dirs left a
     // `snapshot.json`, which is read transparently and superseded by the
-    // next snapshot write.
+    // next snapshot write. Deltas only ever chain onto `snapshot.dat`,
+    // so the legacy path never walks a chain.
     let snap_path = log_cfg.snapshot_path();
     let legacy_path = log_cfg.legacy_snapshot_path();
-    let snapshot = if snap_path.exists() {
-        Some(Snapshot::read_from(&snap_path)?)
+    if snap_path.exists() {
+        let (snapshot, chain_len) =
+            Snapshot::read_chain(&snap_path, |k| log_cfg.delta_snapshot_path(k))?;
+        p.restore_for_recovery(Some(snapshot), chain_len, true)?;
     } else if legacy_path.exists() {
-        Some(Snapshot::read_from(&legacy_path)?)
-    } else {
-        None
-    };
-    p.restore_for_recovery(snapshot)?;
+        p.restore_for_recovery(Some(Snapshot::read_from(&legacy_path)?), 0, false)?;
+    }
 
     // Replay the tail of the log.
     let records = read_log(&log_cfg.log_path())?;
@@ -102,6 +103,11 @@ pub fn recover_with_decisions(
         .collect();
     let mut newly_decided: Vec<(u64, BatchId, bool)> = Vec::new();
     for record in records {
+        // Kill point: a fault mid-replay (armed Panic) must surface as a
+        // clean per-partition recovery error — the cluster's parallel
+        // recovery catches the unwound thread — never a hang or a
+        // half-replayed partition handed to a worker.
+        sstore_common::fault::kill_point("recovery-mid-replay");
         // An emitted-envelope record of a fully acked batch: the edge
         // completed before the crash, nothing to re-forward.
         if let LogRecord::ForwardOut { batch, .. } = &record {

@@ -39,6 +39,15 @@ pub struct PeStats {
     /// Command-log records dropped by upstream-backup GC (acked batches
     /// already covered by a snapshot, removed at retention points).
     pub log_gc_dropped: u64,
+    /// Retention snapshots written as full base images.
+    pub snapshots_full: u64,
+    /// Retention snapshots written as incremental deltas chained to the
+    /// previous image (see `LogConfig::delta_chain_cap`).
+    pub snapshots_delta: u64,
+    /// Single-partition TEs executed speculatively while a prepared 2PC
+    /// fragment was awaiting its decision (read/write sets disjoint from
+    /// the fragment's, so serializability is preserved).
+    pub speculative_tes: u64,
     /// 2PC fragments prepared on this partition (vote requested).
     pub twopc_prepares: u64,
     /// Prepared fragments that committed on the coordinator's decision.
