@@ -1,0 +1,144 @@
+//! E14 — open-loop overload and admission control.
+//!
+//! A closed-loop probe first measures the cluster's sustained capacity
+//! (blocking submissions, backpressure at full queues). Three paced
+//! open-loop legs then offer 0.5×, 1×, and 2× that rate through the
+//! non-blocking admission-control path (`try_submit_batch_async`):
+//! refused submissions are dropped, not retried, so offered and admitted
+//! throughput diverge once the queues fill, and shedding keeps the
+//! submit→commit p50/p95 bounded no matter how far offered load exceeds
+//! capacity. One JSON artifact: `target/BENCH_e14.json` (offered vs
+//! admitted throughput, shed count, p50/p95 latency per leg).
+//!
+//! Set `SSTORE_BENCH_SMOKE=1` for a tiny smoke run (CI uses this to
+//! prove the bench executes, not to measure).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sstore_bench::{count_events_rows, exp_e14_capacity, exp_e14_open_loop, E14Leg};
+
+fn smoke() -> bool {
+    std::env::var_os("SSTORE_BENCH_SMOKE").is_some()
+}
+
+struct E14Row {
+    load: String,
+    leg: E14Leg,
+}
+
+fn write_artifact(capacity: f64, rows: &[E14Row]) {
+    let mut json = format!(
+        "{{\n  \"experiment\": \"e14_overload\",\n  \"capacity_batches_per_s\": {capacity:.1},\n  \"rows\": [\n"
+    );
+    for (i, r) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"load\": \"{}\", \"offered_per_s\": {:.1}, \"admitted_per_s\": {:.1}, \
+             \"committed\": {}, \"sheds\": {}, \"attempts\": {}, \"p50_ms\": {:.3}, \
+             \"p95_ms\": {:.3}, \"secs\": {:.3}}}{}\n",
+            r.load,
+            r.leg.offered_per_s,
+            r.leg.admitted_per_s,
+            r.leg.committed,
+            r.leg.sheds,
+            r.leg.attempts,
+            r.leg.p50_ms,
+            r.leg.p95_ms,
+            r.leg.secs,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../../target")
+        .join("BENCH_e14.json");
+    if let Err(e) = std::fs::write(&path, &json) {
+        eprintln!("could not write {}: {e}", path.display());
+    } else {
+        println!("wrote {}", path.display());
+    }
+}
+
+fn overload(c: &mut Criterion) {
+    let (partitions, depth, ee_latency_us, batch, cap_secs, leg_secs) = if smoke() {
+        (2, 16, 20, 16, 0.3, 0.5)
+    } else {
+        (2, 32, 50, 32, 1.0, 3.0)
+    };
+
+    let capacity = exp_e14_capacity(partitions, depth, ee_latency_us, batch, cap_secs);
+    println!("measured capacity: {capacity:.1} batches/s");
+
+    let mut rows = Vec::new();
+    for factor in [0.5, 1.0, 2.0] {
+        let leg = exp_e14_open_loop(
+            partitions,
+            depth,
+            ee_latency_us,
+            batch,
+            capacity * factor,
+            leg_secs,
+        );
+        rows.push(E14Row {
+            load: format!("{factor}x"),
+            leg,
+        });
+    }
+
+    println!("\n  load | offered/s | admitted/s | committed |  sheds |  p50 ms |  p95 ms");
+    for r in &rows {
+        println!(
+            "  {:<4} | {:>9.1} | {:>10.1} | {:>9} | {:>6} | {:>7.3} | {:>7.3}",
+            r.load,
+            r.leg.offered_per_s,
+            r.leg.admitted_per_s,
+            r.leg.committed,
+            r.leg.sheds,
+            r.leg.p50_ms,
+            r.leg.p95_ms
+        );
+    }
+
+    // The acceptance claims: at 2× overload the cluster sheds (visible
+    // in ClusterMetrics) instead of queueing without bound, and the p95
+    // of admitted batches stays bounded by queue depth × service time —
+    // 1s is generous by orders of magnitude at these parameters.
+    let two_x = &rows.last().expect("three legs").leg;
+    assert!(
+        two_x.sheds > 0,
+        "2x overload must shed (offered {:.1}/s, admitted {:.1}/s)",
+        two_x.offered_per_s,
+        two_x.admitted_per_s
+    );
+    assert!(
+        two_x.p95_ms < 1_000.0,
+        "p95 under 2x overload must stay bounded, got {:.1} ms",
+        two_x.p95_ms
+    );
+    write_artifact(capacity, &rows);
+
+    // Criterion headline: admission-control submit→commit round trip,
+    // uncontended (the try-path's bookkeeping overhead, not queueing).
+    let cluster = sstore_core::Cluster::with_config(
+        1,
+        sstore_core::RouteSpec::hash(0),
+        depth,
+        &sstore_core::SStoreBuilder::new(),
+        sstore_core::workloads::deploy_count_events,
+    )
+    .expect("cluster");
+    let rows4 = count_events_rows(4);
+    let mut g = c.benchmark_group("e14_overload");
+    g.sample_size(if smoke() { 10 } else { 30 });
+    g.bench_function("try_submit_commit_roundtrip", |b| {
+        b.iter(|| {
+            cluster
+                .try_submit_batch_async("count_events", rows4.clone())
+                .expect("uncontended submit")
+                .wait()
+                .expect("commit")
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, overload);
+criterion_main!(benches);

@@ -967,6 +967,168 @@ pub fn exp_e13_mixed_2pc(
     (secs, spec, m.coordinator)
 }
 
+// ---- E14: open-loop overload and admission control -------------------------
+
+/// One open-loop overload leg's results (E14).
+pub struct E14Leg {
+    /// Batches/sec the load generator offered.
+    pub offered_per_s: f64,
+    /// Batches/sec admission control accepted.
+    pub admitted_per_s: f64,
+    /// Batches the cluster committed.
+    pub committed: u64,
+    /// Submissions refused by admission control (from `ClusterMetrics`).
+    pub sheds: u64,
+    /// Submission attempts.
+    pub attempts: u64,
+    /// Median submit→commit latency, milliseconds.
+    pub p50_ms: f64,
+    /// 95th-percentile submit→commit latency, milliseconds.
+    pub p95_ms: f64,
+    /// Wall time of the leg.
+    pub secs: f64,
+}
+
+fn e14_cluster(partitions: usize, depth: usize, ee_latency_us: u64) -> sstore_core::Cluster {
+    sstore_core::Cluster::with_config(
+        partitions,
+        sstore_core::RouteSpec::hash(0),
+        depth,
+        &SStoreBuilder::new().ee_trip_latency(ee_latency_us),
+        sstore_core::workloads::deploy_count_events,
+    )
+    .expect("cluster")
+}
+
+/// Closed-loop capacity probe: pipelined blocking submissions for
+/// roughly `secs`, returning sustained batches/sec. Blocking
+/// `submit_batch_async` applies backpressure at full queues, so this
+/// measures the cluster's own pace — the open-loop legs are then offered
+/// fractions/multiples of it.
+pub fn exp_e14_capacity(
+    partitions: usize,
+    depth: usize,
+    ee_latency_us: u64,
+    batch: usize,
+    secs: f64,
+) -> f64 {
+    let cluster = e14_cluster(partitions, depth, ee_latency_us);
+    let rows = count_events_rows(batch);
+    let mut outstanding = std::collections::VecDeque::new();
+    let t0 = std::time::Instant::now();
+    let mut done = 0u64;
+    while t0.elapsed().as_secs_f64() < secs {
+        outstanding.push_back(
+            cluster
+                .submit_batch_async("count_events", rows.clone())
+                .expect("submit"),
+        );
+        if outstanding.len() >= depth.max(2) {
+            outstanding.pop_front().unwrap().wait().expect("wait");
+            done += 1;
+        }
+    }
+    for t in outstanding {
+        t.wait().expect("wait");
+        done += 1;
+    }
+    done as f64 / t0.elapsed().as_secs_f64()
+}
+
+/// One paced open-loop leg (E14): offer `rate` batches/sec for `secs`
+/// via the non-blocking admission-control path
+/// (`Cluster::try_submit_batch_async`). Refused submissions are dropped,
+/// not retried — open-loop clients do not stall with the server — so
+/// offered and admitted throughput diverge once the queues fill. A
+/// waiter thread records submit→commit latency for admitted batches;
+/// shedding keeps the queues (and therefore p50/p95) bounded no matter
+/// how far the offered rate exceeds capacity.
+pub fn exp_e14_open_loop(
+    partitions: usize,
+    depth: usize,
+    ee_latency_us: u64,
+    batch: usize,
+    rate: f64,
+    secs: f64,
+) -> E14Leg {
+    let cluster = e14_cluster(partitions, depth, ee_latency_us);
+    let rows = count_events_rows(batch);
+    let (tx, rx) = std::sync::mpsc::channel::<(std::time::Instant, sstore_core::Ticket)>();
+    let (attempts, admitted, lat, committed, wall) = std::thread::scope(|s| {
+        let waiter = s.spawn(move || {
+            let mut lat: Vec<f64> = Vec::new();
+            let mut committed = 0u64;
+            for (sent, ticket) in rx {
+                if ticket.wait().is_ok() {
+                    committed += 1;
+                    lat.push(sent.elapsed().as_secs_f64() * 1e3);
+                }
+            }
+            lat.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            (lat, committed)
+        });
+        let t0 = std::time::Instant::now();
+        let mut attempts = 0u64;
+        let mut admitted = 0u64;
+        loop {
+            let elapsed = t0.elapsed().as_secs_f64();
+            if elapsed >= secs {
+                break;
+            }
+            // Open-loop pacing: submissions fall due on the offered
+            // schedule regardless of how the cluster is keeping up.
+            let due = (rate * elapsed) as u64;
+            while attempts < due {
+                attempts += 1;
+                match cluster.try_submit_batch_async("count_events", rows.clone()) {
+                    Ok(ticket) => {
+                        admitted += 1;
+                        tx.send((std::time::Instant::now(), ticket))
+                            .expect("waiter alive");
+                    }
+                    // Shed: the batch is dropped on the floor, exactly
+                    // what an overloaded open-loop source experiences.
+                    Err(e) if e.kind() == "overloaded" => {}
+                    Err(e) => panic!("unexpected submit error: {e}"),
+                }
+            }
+            std::thread::sleep(std::time::Duration::from_micros(500));
+        }
+        drop(tx);
+        let (lat, committed) = waiter.join().expect("waiter");
+        (
+            attempts,
+            admitted,
+            lat,
+            committed,
+            t0.elapsed().as_secs_f64(),
+        )
+    });
+    let sheds = cluster.metrics().sheds;
+    assert_eq!(
+        sheds,
+        attempts - admitted,
+        "every refused submission must be counted as a shed"
+    );
+    let pct = |p: f64| -> f64 {
+        if lat.is_empty() {
+            0.0
+        } else {
+            lat[((lat.len() - 1) as f64 * p) as usize]
+        }
+    };
+    E14Leg {
+        offered_per_s: attempts as f64 / wall,
+        admitted_per_s: admitted as f64 / wall,
+        committed,
+        sheds,
+        attempts,
+        p50_ms: pct(0.50),
+        p95_ms: pct(0.95),
+        secs: wall,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

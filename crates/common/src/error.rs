@@ -36,6 +36,16 @@ pub enum Error {
     Codec(String),
     /// Recovery could not reconstruct a consistent state.
     Recovery(String),
+    /// Admission control shed the submission: the target ingest queue is
+    /// full. Retryable — the batch was NOT enqueued anywhere.
+    Overloaded(String),
+    /// The target partition's worker is down or restarting. Retryable
+    /// while the supervisor recovers the partition; fatal once it stays
+    /// down (non-durable partitions cannot be restarted).
+    PartitionDown(String),
+    /// A bounded wait expired before the operation resolved. The
+    /// operation itself may still complete on the worker.
+    Timeout(String),
     /// Internal invariant broken; indicates a bug in the engine itself.
     Internal(String),
 }
@@ -56,6 +66,9 @@ impl Error {
             Error::Io(_) => "io",
             Error::Codec(_) => "codec",
             Error::Recovery(_) => "recovery",
+            Error::Overloaded(_) => "overloaded",
+            Error::PartitionDown(_) => "partition_down",
+            Error::Timeout(_) => "timeout",
             Error::Internal(_) => "internal",
         }
     }
@@ -65,6 +78,16 @@ impl Error {
     /// poison the workflow.
     pub fn is_user_abort(&self) -> bool {
         matches!(self, Error::UserAbort(_))
+    }
+
+    /// True when retrying the same call later can reasonably succeed:
+    /// the submission was shed by admission control ([`Error::Overloaded`])
+    /// or the partition is down but may be restarted by the supervisor
+    /// ([`Error::PartitionDown`]). Everything else is either permanent
+    /// (schema, parse, constraint) or of unknown effect (timeout, io) and
+    /// must not be blindly resubmitted.
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, Error::Overloaded(_) | Error::PartitionDown(_))
     }
 }
 
@@ -83,6 +106,9 @@ impl fmt::Display for Error {
             Error::Io(m) => ("io error", m),
             Error::Codec(m) => ("codec error", m),
             Error::Recovery(m) => ("recovery error", m),
+            Error::Overloaded(m) => ("overloaded", m),
+            Error::PartitionDown(m) => ("partition down", m),
+            Error::Timeout(m) => ("timed out", m),
             Error::Internal(m) => ("internal error", m),
         };
         write!(f, "{tag}: {msg}")
@@ -117,6 +143,15 @@ mod tests {
     fn user_abort_detection() {
         assert!(Error::UserAbort("done".into()).is_user_abort());
         assert!(!Error::Txn("oops".into()).is_user_abort());
+    }
+
+    #[test]
+    fn retryable_classification() {
+        assert!(Error::Overloaded("queue full".into()).is_retryable());
+        assert!(Error::PartitionDown("p2 restarting".into()).is_retryable());
+        assert!(!Error::Timeout("5ms".into()).is_retryable());
+        assert!(!Error::Io("disk".into()).is_retryable());
+        assert!(!Error::Constraint("pk".into()).is_retryable());
     }
 
     #[test]

@@ -18,6 +18,7 @@
 //! process — replayed protocol steps skip kill points, but live
 //! post-recovery traffic does not.
 
+use crate::error::Error;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Mutex;
 
@@ -33,13 +34,28 @@ pub enum KillMode {
     Abort,
 }
 
+/// What an armed point injects when it fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FireAction {
+    /// Die at the site (panic or abort) — consumed by [`should_fire`] /
+    /// [`kill_point`].
+    Kill(KillMode),
+    /// Report a disk IO failure at the site — consumed by [`io_error`].
+    /// The site must handle it exactly like a real failed write/fsync:
+    /// no partial state, a typed `Err`, never a panic.
+    IoError,
+}
+
 struct Armed {
     point: String,
     /// 1-based hit index at which the point starts firing. Every hit at
-    /// or past `nth` fires (sticky), so concurrent workers all die.
+    /// or past `nth` fires (sticky, so concurrent workers all die) —
+    /// unless `once` is set, in which case exactly the `nth` hit fires
+    /// and the registry disarms itself.
     nth: u64,
     hits: u64,
-    mode: KillMode,
+    action: FireAction,
+    once: bool,
 }
 
 static ANY_ARMED: AtomicBool = AtomicBool::new(false);
@@ -49,12 +65,32 @@ static NOTES: Mutex<Vec<(String, u64)>> = Mutex::new(Vec::new());
 /// Arm `point`: its `nth` hit (1-based) and every later hit fire with
 /// `mode`. Replaces any previously armed point.
 pub fn arm(point: &str, nth: u64, mode: KillMode) {
+    arm_with(point, nth, FireAction::Kill(mode), false);
+}
+
+/// Arm `point` to fire with `mode` exactly once, on its `nth` hit
+/// (1-based), then self-disarm. Used for supervised-restart drills: the
+/// worker must die once and then come back cleanly, so the restarted
+/// worker's traffic must not re-trip the point.
+pub fn arm_once(point: &str, nth: u64, mode: KillMode) {
+    arm_with(point, nth, FireAction::Kill(mode), true);
+}
+
+/// Arm `point` to inject a disk IO error ([`io_error`]) exactly once, on
+/// its `nth` hit (1-based), then self-disarm. One-shot by design: the
+/// site under test must fail cleanly and then succeed on retry.
+pub fn arm_io_error(point: &str, nth: u64) {
+    arm_with(point, nth, FireAction::IoError, true);
+}
+
+fn arm_with(point: &str, nth: u64, action: FireAction, once: bool) {
     let mut g = ARMED.lock().unwrap_or_else(|p| p.into_inner());
     *g = Some(Armed {
         point: point.to_string(),
         nth: nth.max(1),
         hits: 0,
-        mode,
+        action,
+        once,
     });
     ANY_ARMED.store(true, Ordering::SeqCst);
 }
@@ -68,15 +104,20 @@ pub fn disarm() {
 
 /// Arm from the environment (the child-process sandbox entry):
 /// `SSTORE_FAULT_POINT` names the point, `SSTORE_FAULT_NTH` the 1-based
-/// firing hit (default 1). Mode is always [`KillMode::Abort`] — an
-/// env-armed process is a crash sandbox by definition.
+/// firing hit (default 1), and `SSTORE_FAULT_MODE` selects the action —
+/// `abort` (default: a crash sandbox), `io` (one-shot injected IO error),
+/// or `panic-once` (one-shot worker kill, exercising supervision).
 pub fn arm_from_env() {
     if let Ok(point) = std::env::var("SSTORE_FAULT_POINT") {
         let nth = std::env::var("SSTORE_FAULT_NTH")
             .ok()
             .and_then(|s| s.parse().ok())
             .unwrap_or(1);
-        arm(&point, nth, KillMode::Abort);
+        match std::env::var("SSTORE_FAULT_MODE").as_deref() {
+            Ok("io") => arm_io_error(&point, nth),
+            Ok("panic-once") => arm_once(&point, nth, KillMode::Panic),
+            _ => arm(&point, nth, KillMode::Abort),
+        }
     }
 }
 
@@ -97,11 +138,46 @@ pub fn should_fire(point: &str) -> Option<KillMode> {
     }
     let mut g = ARMED.lock().unwrap_or_else(|p| p.into_inner());
     let armed = g.as_mut()?;
+    let FireAction::Kill(mode) = armed.action else {
+        return None;
+    };
     if armed.point != point {
         return None;
     }
     armed.hits += 1;
-    (armed.hits >= armed.nth).then_some(armed.mode)
+    if armed.hits < armed.nth {
+        return None;
+    }
+    if armed.once {
+        *g = None;
+        ANY_ARMED.store(false, Ordering::SeqCst);
+    }
+    Some(mode)
+}
+
+/// An IO fault site: returns the injected error when `point` is armed
+/// (via [`arm_io_error`]) and due, `None` otherwise. The disarmed fast
+/// path is one atomic load. Firing self-disarms (one-shot), so the call
+/// site's retry path sees a healthy disk.
+pub fn io_error(point: &str) -> Option<Error> {
+    if !ANY_ARMED.load(Ordering::Relaxed) {
+        return None;
+    }
+    let mut g = ARMED.lock().unwrap_or_else(|p| p.into_inner());
+    let armed = g.as_mut()?;
+    if armed.action != FireAction::IoError || armed.point != point {
+        return None;
+    }
+    armed.hits += 1;
+    if armed.hits < armed.nth {
+        return None;
+    }
+    if armed.once {
+        *g = None;
+        ANY_ARMED.store(false, Ordering::SeqCst);
+    }
+    eprintln!("sstore-fault: injected io error at `{point}`");
+    Some(Error::Io(format!("injected io fault at `{point}`")))
 }
 
 /// Die at `point` with `mode`. Diverges.
@@ -162,5 +238,26 @@ mod tests {
         note("evt");
         note("evt");
         assert_eq!(noted("evt"), before + 2);
+
+        // One-shot kill: exactly the nth hit fires, then self-disarms.
+        arm_once("w", 2, KillMode::Panic);
+        assert!(should_fire("w").is_none(), "hit 1 of nth=2 must not fire");
+        assert_eq!(should_fire("w"), Some(KillMode::Panic), "hit 2 fires");
+        assert!(should_fire("w").is_none(), "once-armed self-disarms");
+
+        // IO-error arming: invisible to kill points, one-shot, typed Err.
+        arm_io_error("d", 2);
+        assert!(should_fire("d").is_none(), "io arming never kills");
+        assert!(io_error("other").is_none(), "wrong point never fires");
+        assert!(io_error("d").is_none(), "hit 1 of nth=2 must not fire");
+        let e = io_error("d").expect("hit 2 fires");
+        assert_eq!(e.kind(), "io");
+        assert!(e.to_string().contains("injected io fault at `d`"), "{e}");
+        assert!(io_error("d").is_none(), "io faults are one-shot");
+
+        // Kill arming is invisible to io sites.
+        arm("k", 1, KillMode::Panic);
+        assert!(io_error("k").is_none(), "kill arming never injects io");
+        disarm();
     }
 }

@@ -9,7 +9,7 @@
 //! * **N long-lived worker threads**, one per partition, mirroring
 //!   H-Store's one-execution-site-per-core layout. Each worker *owns* its
 //!   [`SStore`] outright (shared-nothing: no locks, no shared state) and
-//!   drains a bounded MPSC ingest queue in FIFO order — per-partition
+//!   drains a bounded ingest queue in FIFO order — per-partition
 //!   submission order is execution order, which keeps parallel runs
 //!   deterministic.
 //! * **Routed ingest** via [`Router`]: a declared partition-key column
@@ -28,6 +28,37 @@
 //!   query out to every worker in parallel and concatenates rows in
 //!   partition order (cross-partition aggregation stays the caller's job,
 //!   as in any shared-nothing system).
+//!
+//! # Supervision and admission control
+//!
+//! Each worker thread is **supervised**: the drain loop runs under
+//! `catch_unwind`, so a panic inside a procedure, a test closure, or an
+//! injected fault does not silently wedge the partition. The supervisor
+//! transitions the partition through [`PartitionHealth`] states —
+//! `Healthy → Restarting → Healthy` when it can re-run log + snapshot
+//! recovery and re-attach the *same* ingest queue (exactly-once is
+//! preserved by the durable dedupe state: border records replay, edge
+//! forwards dedupe by high-water mark, 2PC fragments resolve against the
+//! coordinator's decision log), or `→ Down` when the partition is
+//! non-durable, recovery fails, or the restart budget
+//! (`SSTORE_MAX_WORKER_RESTARTS`, default 3) is spent. A down partition
+//! resolves everything queued or subsequently sent with typed
+//! [`Error::PartitionDown`] — clients never panic and never hang.
+//!
+//! In-flight work at the moment of the crash resolves by **provable
+//! fate**: submissions the worker had not started are retryable
+//! (`PartitionDown` while restarting); submissions that may already have
+//! reached the command log resolve as non-retryable [`Error::Io`] — the
+//! record replays at recovery, so a blind client resubmit would double
+//! the batch ([`Error::is_retryable`] encodes exactly this split).
+//!
+//! Admission control is the other half of overload hardening:
+//! [`Cluster::try_submit_batch_async`] refuses (rather than blocks) when
+//! a target ingest queue is full, shedding with retryable
+//! [`Error::Overloaded`] *before* anything is enqueued — the
+//! all-or-nothing reservation ([`crate::ingest::IngestQueue::try_send_all`])
+//! guarantees a shed batch landed nowhere. [`crate::RetryPolicy`] is the
+//! matching client loop (exponential backoff, deterministic jitter).
 //!
 //! # Cross-partition transactions (2PC)
 //!
@@ -58,6 +89,13 @@
 //!   fragment's keep executing (`SSTORE_SPECULATION=off` disables;
 //!   see [`sstore_txn::Partition::speculation_safe`]).
 //!
+//! A worker that dies *between its yes-vote and the decision* must not
+//! lose the decision: its supervisor drains the queue for the matching
+//! `Decide` (the coordinator always sends phase 2 once it collected the
+//! vote) and folds it into the recovery decision map, so the restarted
+//! partition resolves the in-doubt fragment exactly as the coordinator
+//! did.
+//!
 //! A submission whose rows all land on one partition skips all of this:
 //! the coordinator detects it and takes the PR 2 ingest path
 //! byte-for-byte (the single-partition fast path).
@@ -81,25 +119,90 @@
 //! receiver has logged its shard: upstream backup spans the edge.
 //! Workers never block on the hub (its queue is unbounded), and the hub
 //! is the only thread that blocks on worker queues, so forward storms
-//! cannot deadlock the worker set.
+//! cannot deadlock the worker set. An edge instance that permanently
+//! fails delivery (a receiver down, an unroutable key, a failed forward
+//! log write) withholds its ack and counts an **edge failure**;
+//! [`Cluster::quiesce`] reports those instead of pretending the dataflow
+//! settled — the unacked batches replay at the next recovery.
 
 use crate::builder::SStoreBuilder;
 use crate::coordinator::{CoordState, CoordStats, Coordinator, CoordinatorLog};
+use crate::ingest::{IngestQueue, SendError, TrySendError};
 use crate::metrics::{ClusterMetrics, PartitionMetrics};
 use crate::router::{RouteSpec, Router, Ticket};
 use crate::SStore;
-use sstore_common::{BatchId, Error, PartitionId, Result, Row, Value};
+use sstore_common::{fault, BatchId, Error, PartitionId, Result, Row, Value};
 use sstore_txn::recovery::recover_with_decisions;
 use sstore_txn::TxnOutcome;
 use std::collections::{HashMap, HashSet, VecDeque};
-use std::sync::atomic::{AtomicI64, Ordering};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, AtomicU8, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
 
 /// Default bound of each worker's ingest queue, in queued submissions.
 /// A full queue applies backpressure: `submit_batch_async` blocks until
-/// the worker drains a slot.
+/// the worker drains a slot ([`Cluster::try_submit_batch_async`] sheds
+/// instead).
 pub const DEFAULT_INGEST_QUEUE_DEPTH: usize = 256;
+
+/// Supervision state of one partition worker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PartitionHealth {
+    /// The worker is draining its queue normally.
+    Healthy = 0,
+    /// The worker died and its supervisor is re-running log + snapshot
+    /// recovery; queued work waits (sends still succeed) and resolves
+    /// once the partition is back.
+    Restarting = 1,
+    /// The partition is permanently down (non-durable, recovery failed,
+    /// or the restart budget is spent). All queued and future work
+    /// resolves with [`Error::PartitionDown`].
+    Down = 2,
+}
+
+/// Cluster-wide supervision state shared by the handle, the workers'
+/// supervisors, and the forward hub.
+struct ClusterShared {
+    /// Per-partition [`PartitionHealth`] discriminants.
+    health: Vec<AtomicU8>,
+    /// Supervised worker restarts, cluster lifetime.
+    restarts: AtomicU64,
+    /// Submissions refused by admission control, cluster lifetime.
+    sheds: AtomicU64,
+    /// Edge instances whose ack was permanently withheld (failed forward
+    /// log write, receiver down, unroutable rows). Non-zero means the
+    /// cross-partition dataflow cannot quiesce: the unacked batches
+    /// replay at the next recovery.
+    edge_failures: AtomicU64,
+    /// False once the hub thread exited (normally only at shutdown).
+    hub_alive: AtomicBool,
+}
+
+impl ClusterShared {
+    fn new(n: usize) -> ClusterShared {
+        ClusterShared {
+            health: (0..n).map(|_| AtomicU8::new(0)).collect(),
+            restarts: AtomicU64::new(0),
+            sheds: AtomicU64::new(0),
+            edge_failures: AtomicU64::new(0),
+            hub_alive: AtomicBool::new(true),
+        }
+    }
+
+    fn health_of(&self, i: usize) -> PartitionHealth {
+        match self.health[i].load(Ordering::SeqCst) {
+            0 => PartitionHealth::Healthy,
+            1 => PartitionHealth::Restarting,
+            _ => PartitionHealth::Down,
+        }
+    }
+
+    fn set_health(&self, id: PartitionId, h: PartitionHealth) {
+        self.health[id.raw() as usize].store(h as u8, Ordering::SeqCst);
+    }
+}
 
 /// One message on a partition worker's ingest queue.
 enum WorkerMsg {
@@ -107,7 +210,7 @@ enum WorkerMsg {
     Ingest {
         proc: String,
         rows: Vec<Row>,
-        reply: mpsc::Sender<Result<Vec<TxnOutcome>>>,
+        reply: ReplyTx,
     },
     /// One leg of a scatter-gather read-only query.
     Query {
@@ -129,7 +232,7 @@ enum WorkerMsg {
         proc: String,
         rows: Vec<Row>,
         vote: mpsc::Sender<Result<()>>,
-        reply: mpsc::Sender<Result<Vec<TxnOutcome>>>,
+        reply: ReplyTx,
     },
     /// 2PC phase 2: the coordinator's durable decision for `gtid`.
     Decide { gtid: u64, commit: bool },
@@ -153,8 +256,9 @@ enum HubMsg {
         fwd: sstore_txn::RemoteForward,
     },
     /// A receiver durably logged (or deduplicated) its shard of the
-    /// identified edge instance. `ok = false` means the log write failed:
-    /// the edge ack is withheld so the emitting batch stays replayable.
+    /// identified edge instance. `ok = false` means the log write failed
+    /// (or the receiver died holding the shard): the edge ack is
+    /// withheld so the emitting batch stays replayable.
     Logged {
         src: PartitionId,
         src_batch: BatchId,
@@ -165,26 +269,75 @@ enum HubMsg {
     Shutdown,
 }
 
-/// Handle to one partition worker thread.
+type ReplyTx = mpsc::Sender<Result<Vec<TxnOutcome>>>;
+
+/// Handle to one partition worker: its supervised thread plus the
+/// ingest queue, whose lifetime is independent of the thread so a
+/// restarted worker resumes the same backlog.
 struct Worker {
     id: PartitionId,
-    /// `None` once the cluster began shutdown.
-    tx: Option<mpsc::SyncSender<WorkerMsg>>,
+    queue: IngestQueue<WorkerMsg>,
     handle: Option<JoinHandle<()>>,
 }
 
 impl Worker {
     fn send(&self, msg: WorkerMsg) -> Result<()> {
-        self.tx
-            .as_ref()
-            .ok_or_else(|| Error::Internal(format!("partition {} is shut down", self.id)))?
-            .send(msg)
-            .map_err(|_| Error::Internal(format!("partition worker {} disconnected", self.id)))
+        self.queue.send(msg).map_err(|e| match e {
+            SendError::Closed => Error::Internal(format!("partition {} is shut down", self.id)),
+            SendError::Down => Error::PartitionDown(format!("partition {} is down", self.id)),
+        })
     }
 }
 
+/// The deterministic redeployment closure every worker's supervisor
+/// re-runs to restart a crashed partition.
+type SetupFn = Arc<dyn Fn(&mut SStore) -> Result<()> + Send + Sync>;
+
+/// Everything a worker's supervisor needs to run — and re-run — the
+/// drain loop: the partition's own site builder (durability already
+/// redirected to its `p{i}` dir), the deterministic redeployment
+/// closure, and the shared cluster plumbing.
+struct WorkerCtx {
+    id: PartitionId,
+    builder: SStoreBuilder,
+    setup: SetupFn,
+    coord_dir: Option<PathBuf>,
+    queue: IngestQueue<WorkerMsg>,
+    hub: mpsc::Sender<HubMsg>,
+    in_flight: Arc<AtomicI64>,
+    shared: Arc<ClusterShared>,
+}
+
+/// Crash bookkeeping the worker maintains *outside* `catch_unwind`, so
+/// its supervisor can resolve in-flight work with the right error after
+/// a panic instead of silently dropping reply channels.
+#[derive(Default)]
+struct CrashCtx {
+    /// Reply channels of the submissions currently executing. Resolved
+    /// by the supervisor: retryable [`Error::PartitionDown`] when the
+    /// crash provably preceded execution (`uncertain == false`),
+    /// non-retryable [`Error::Io`] otherwise (the border record may be
+    /// durable and would replay — a blind resubmit would double it).
+    ingest_replies: Vec<ReplyTx>,
+    /// True from just before the submit call (which writes the border
+    /// record) until its result is in hand.
+    uncertain: bool,
+    /// The edge shard being logged right now: the supervisor reports it
+    /// failed (`Logged { ok: false }`) so the hub's ack bookkeeping
+    /// never leaks an envelope.
+    in_flight_forward: Option<(PartitionId, BatchId, String)>,
+    /// Set between a yes-vote and the coordinator's decision. On a crash
+    /// inside that window the supervisor fails the reply (in-doubt:
+    /// non-retryable), then drains the queue for the decision and folds
+    /// it into restart recovery.
+    awaiting_decision: Option<(u64, ReplyTx)>,
+    /// Messages deferred during a 2PC decision wait; survives a crash in
+    /// that window so no queued work is lost.
+    deferred: Vec<WorkerMsg>,
+}
+
 /// A shared-nothing group of identically-deployed partitions, each run by
-/// a persistent worker thread, plus the cross-partition machinery: the
+/// a supervised worker thread, plus the cross-partition machinery: the
 /// 2PC coordinator and the forward hub (see module docs).
 pub struct Cluster {
     workers: Vec<Worker>,
@@ -194,6 +347,7 @@ pub struct Cluster {
     /// Outstanding cross-edge work units (envelopes + delivered shards);
     /// zero ⇔ the dataflow between partitions is quiescent.
     in_flight: Arc<AtomicI64>,
+    shared: Arc<ClusterShared>,
     coordinator: Mutex<Coordinator>,
     /// Procedures declared `multi_partition` (identical on every
     /// partition; captured from partition 0 at build).
@@ -205,6 +359,7 @@ impl std::fmt::Debug for Cluster {
         f.debug_struct("Cluster")
             .field("partitions", &self.workers.len())
             .field("router", &self.router)
+            .field("health", &self.health())
             .field("multi_partition_procs", &self.multi_partition_procs)
             .finish()
     }
@@ -216,7 +371,7 @@ impl Cluster {
     pub fn new(
         n: usize,
         builder: &SStoreBuilder,
-        deploy: impl Fn(&mut SStore) -> Result<()> + Sync,
+        deploy: impl Fn(&mut SStore) -> Result<()> + Send + Sync + 'static,
     ) -> Result<Cluster> {
         Cluster::with_config(
             n,
@@ -233,13 +388,15 @@ impl Cluster {
     /// gets its own [`PartitionId`] (threaded into its stats) and, when
     /// durability is configured, its own `p{i}` subdirectory of the
     /// builder's log dir. The partitions are then moved onto long-lived
-    /// worker threads owning them until the cluster drops.
+    /// worker threads owning them until the cluster drops. `deploy` is
+    /// retained for the cluster's lifetime: a worker's supervisor re-runs
+    /// it when restarting a crashed partition.
     pub fn with_config(
         n: usize,
         route: RouteSpec,
         queue_depth: usize,
         builder: &SStoreBuilder,
-        deploy: impl Fn(&mut SStore) -> Result<()> + Sync,
+        deploy: impl Fn(&mut SStore) -> Result<()> + Send + Sync + 'static,
     ) -> Result<Cluster> {
         Cluster::build(n, route, queue_depth, builder, deploy, &[], false)
     }
@@ -253,7 +410,7 @@ impl Cluster {
         route: RouteSpec,
         queue_depth: usize,
         builder: &SStoreBuilder,
-        deploy: impl Fn(&mut SStore) -> Result<()> + Sync,
+        deploy: impl Fn(&mut SStore) -> Result<()> + Send + Sync + 'static,
         edges: &[(&str, usize)],
     ) -> Result<Cluster> {
         Cluster::build(n, route, queue_depth, builder, deploy, edges, false)
@@ -271,7 +428,7 @@ impl Cluster {
         route: RouteSpec,
         queue_depth: usize,
         builder: &SStoreBuilder,
-        deploy: impl Fn(&mut SStore) -> Result<()> + Sync,
+        deploy: impl Fn(&mut SStore) -> Result<()> + Send + Sync + 'static,
         edges: &[(&str, usize)],
     ) -> Result<Cluster> {
         Cluster::build(n, route, queue_depth, builder, deploy, edges, true)
@@ -283,7 +440,7 @@ impl Cluster {
         route: RouteSpec,
         queue_depth: usize,
         builder: &SStoreBuilder,
-        deploy: impl Fn(&mut SStore) -> Result<()> + Sync,
+        deploy: impl Fn(&mut SStore) -> Result<()> + Send + Sync + 'static,
         edges: &[(&str, usize)],
         recover: bool,
     ) -> Result<Cluster> {
@@ -322,13 +479,19 @@ impl Cluster {
         // cleanly across scoped threads. Unacked edge envelopes are only
         // re-forwarded later, by the workers' startup `flush_outbox` —
         // i.e. after every partition is up and able to receive.
-        let setup = |p: &mut SStore| -> Result<()> {
+        //
+        // The setup closure is `Arc`'d (not borrowed) because it outlives
+        // this call: each worker's supervisor re-runs it to restart a
+        // crashed partition.
+        let edges_owned: Vec<(String, usize)> =
+            edges.iter().map(|&(s, k)| (s.to_string(), k)).collect();
+        let setup: SetupFn = Arc::new(move |p: &mut SStore| {
             deploy(p)?;
-            for &(stream, key_col) in edges {
-                p.declare_cross_edge(stream, key_col)?;
+            for (stream, key_col) in &edges_owned {
+                p.declare_cross_edge(stream, *key_col)?;
             }
             Ok(())
-        };
+        });
         let site_builder = |i: usize| -> SStoreBuilder {
             let mut b = builder.clone().partition_id(PartitionId::new(i as u32));
             if let Some(log) = b.config().log.clone() {
@@ -337,12 +500,9 @@ impl Cluster {
             }
             b
         };
-        // `build_one` is shared across the recovery threads below, so it
-        // captures `setup` by reference (a `&impl Fn` is itself `Fn`).
-        let setup = &setup;
         let build_one = |b: SStoreBuilder| -> Result<SStore> {
             if recover && b.config().log.is_some() {
-                recover_with_decisions(b.config().clone(), setup, &decisions)
+                recover_with_decisions(b.config().clone(), |p| setup(p), &decisions)
             } else {
                 let mut p = b.build()?;
                 setup(&mut p)?;
@@ -400,42 +560,47 @@ impl Cluster {
         };
         let coordinator = Mutex::new(Coordinator::new(coord_log, next_gtid));
 
-        // Worker channels, then the hub (it holds every worker's sender),
-        // then the workers (each holds the hub's sender).
-        let mut worker_txs = Vec::with_capacity(n);
-        let mut worker_rxs = Vec::with_capacity(n);
-        for _ in 0..n {
-            let (tx, rx) = mpsc::sync_channel::<WorkerMsg>(depth);
-            worker_txs.push(tx);
-            worker_rxs.push(rx);
-        }
+        // Worker queues, then the hub (it holds every queue), then the
+        // supervised workers (each holds the hub's sender). The queues
+        // are plain shared state — not channels tied to a receiver
+        // thread — so a restarted worker resumes the same backlog.
+        let shared = Arc::new(ClusterShared::new(n));
+        let queues: Vec<IngestQueue<WorkerMsg>> = (0..n).map(|_| IngestQueue::new(depth)).collect();
         let in_flight = Arc::new(AtomicI64::new(0));
         let (hub_tx, hub_rx) = mpsc::channel::<HubMsg>();
         let hub_handle = {
-            let workers = worker_txs.clone();
+            let queues = queues.clone();
             let in_flight = Arc::clone(&in_flight);
+            let shared = Arc::clone(&shared);
             std::thread::Builder::new()
                 .name("sstore-hub".into())
-                .spawn(move || hub_loop(hub_rx, workers, n, in_flight))
+                .spawn(move || hub_loop(hub_rx, queues, n, in_flight, shared))
                 .map_err(|e| Error::Internal(format!("spawn forward hub: {e}")))?
         };
 
         let mut workers = Vec::with_capacity(n);
-        for (i, (p, rx)) in partitions.into_iter().zip(worker_rxs).enumerate() {
+        for (i, p) in partitions.into_iter().enumerate() {
             let id = PartitionId::new(i as u32);
-            let hub = hub_tx.clone();
-            let in_flight = Arc::clone(&in_flight);
+            let ctx = WorkerCtx {
+                id,
+                builder: site_builder(i),
+                setup: Arc::clone(&setup),
+                coord_dir: coord_dir.clone(),
+                queue: queues[i].clone(),
+                hub: hub_tx.clone(),
+                in_flight: Arc::clone(&in_flight),
+                shared: Arc::clone(&shared),
+            };
             let handle = std::thread::Builder::new()
                 .name(format!("sstore-p{i}"))
-                .spawn(move || worker_loop(id, p, rx, hub, in_flight))
+                .spawn(move || supervised_worker(ctx, p))
                 .map_err(|e| Error::Internal(format!("spawn partition worker: {e}")))?;
             workers.push(Worker {
                 id,
-                tx: Some(worker_txs[i].clone()),
+                queue: queues[i].clone(),
                 handle: Some(handle),
             });
         }
-        drop(worker_txs);
 
         Ok(Cluster {
             workers,
@@ -443,6 +608,7 @@ impl Cluster {
             hub_tx: Some(hub_tx),
             hub_handle: Some(hub_handle),
             in_flight,
+            shared,
             coordinator,
             multi_partition_procs,
         })
@@ -463,6 +629,13 @@ impl Cluster {
         &self.router
     }
 
+    /// Supervision state of every partition worker, in partition order.
+    pub fn health(&self) -> Vec<PartitionHealth> {
+        (0..self.workers.len())
+            .map(|i| self.shared.health_of(i))
+            .collect()
+    }
+
     /// Replace the routing declaration (validated against the partition
     /// count). Affects subsequent submissions only.
     pub fn declare_route(&mut self, spec: RouteSpec) -> Result<()> {
@@ -476,31 +649,32 @@ impl Cluster {
     pub fn declare_cross_edge(&self, stream: &str, key_col: usize) -> Result<()> {
         for i in 0..self.workers.len() {
             let name = stream.to_string();
-            self.with_partition(i, move |db| db.declare_cross_edge(&name, key_col))?;
+            self.with_partition(i, move |db| db.declare_cross_edge(&name, key_col))??;
         }
         Ok(())
     }
 
     /// Run `f` against one partition on its worker thread and return the
     /// result (dashboards, tests, snapshots). Blocks until the worker
-    /// reaches this job in queue order.
-    ///
-    /// # Panics
-    /// Panics if the worker has died — which only happens when a previous
-    /// `with_partition` closure panicked on it (a caller bug; the runtime
-    /// itself replies with `Err` rather than panicking).
-    pub fn with_partition<R, F>(&self, i: usize, f: F) -> R
+    /// reaches this job in queue order. Returns [`Error::PartitionDown`]
+    /// if the partition went (or was already) down — including when `f`
+    /// itself panicked the worker: the panic is caught by the worker's
+    /// supervisor, never propagated to the caller.
+    pub fn with_partition<R, F>(&self, i: usize, f: F) -> Result<R>
     where
         R: Send + 'static,
         F: FnOnce(&mut SStore) -> R + Send + 'static,
     {
         let (tx, rx) = mpsc::channel();
-        self.workers[i]
-            .send(WorkerMsg::Exec(Box::new(move |db| {
-                let _ = tx.send(f(db));
-            })))
-            .expect("partition worker disconnected");
-        rx.recv().expect("partition worker dropped reply")
+        self.workers[i].send(WorkerMsg::Exec(Box::new(move |db| {
+            let _ = tx.send(f(db));
+        })))?;
+        rx.recv().map_err(|_| {
+            Error::PartitionDown(format!(
+                "partition {} went down before answering",
+                self.workers[i].id
+            ))
+        })
     }
 
     /// Submit a border batch asynchronously: shard by the declared route,
@@ -520,6 +694,68 @@ impl Cluster {
             return self.coordinate(proc, shards);
         }
         self.submit_shards(proc, shards)
+    }
+
+    /// [`Cluster::submit_batch_async`] with **admission control** instead
+    /// of backpressure: if any target ingest queue is full the submission
+    /// is shed with retryable [`Error::Overloaded`] — nothing is enqueued
+    /// anywhere (the reservation across queues is all-or-nothing), so the
+    /// client may back off and resubmit ([`crate::RetryPolicy`]).
+    ///
+    /// Global transactions (a `multi_partition` procedure straddling
+    /// partitions) must take the coordinator's blocking prepare path, so
+    /// their admission check is advisory: full queues shed up front, but
+    /// a queue that fills between the check and the prepare applies
+    /// backpressure as usual.
+    pub fn try_submit_batch_async<R: Into<Row>>(&self, proc: &str, rows: Vec<R>) -> Result<Ticket> {
+        let rows: Vec<Row> = rows.into_iter().map(Into::into).collect();
+        let shards = self.router.shard(rows)?;
+        if self.multi_partition_procs.contains(proc)
+            && shards.iter().filter(|s| !s.is_empty()).count() > 1
+        {
+            for (worker, shard) in self.workers.iter().zip(&shards) {
+                if !shard.is_empty() && worker.queue.is_full() {
+                    self.shared.sheds.fetch_add(1, Ordering::SeqCst);
+                    return Err(Error::Overloaded(format!(
+                        "partition {} ingest queue is full; global transaction shed",
+                        worker.id
+                    )));
+                }
+            }
+            return self.coordinate(proc, shards);
+        }
+        let mut sends = Vec::new();
+        let mut pending = Vec::new();
+        for (worker, shard) in self.workers.iter().zip(shards) {
+            if shard.is_empty() {
+                continue;
+            }
+            let (tx, rx) = mpsc::channel();
+            sends.push((
+                &worker.queue,
+                WorkerMsg::Ingest {
+                    proc: proc.to_string(),
+                    rows: shard,
+                    reply: tx,
+                },
+            ));
+            pending.push((worker.id, rx));
+        }
+        // Workers are iterated in ascending partition order, which is the
+        // globally consistent lock order `try_send_all` requires.
+        match IngestQueue::try_send_all(sends) {
+            Ok(()) => Ok(Ticket { pending }),
+            Err(TrySendError::Full) => {
+                self.shared.sheds.fetch_add(1, Ordering::SeqCst);
+                Err(Error::Overloaded(
+                    "an ingest queue is full; submission shed (nothing enqueued)".into(),
+                ))
+            }
+            Err(TrySendError::Down) => Err(Error::PartitionDown(
+                "a target partition is down; submission refused (nothing enqueued)".into(),
+            )),
+            Err(TrySendError::Closed) => Err(Error::Internal("cluster is shutting down".into())),
+        }
     }
 
     /// Submit a border batch as **one atomic global transaction**,
@@ -681,8 +917,8 @@ impl Cluster {
         // worker queue — including the Decides just sent — so each
         // participant has durably logged its local Decision for every
         // decided gtid; the coordinator's records are then redundant. A
-        // failed barrier (a dead worker that may never log its decision)
-        // skips the compaction: correctness first.
+        // failed barrier (a down partition that may never log its
+        // decision) skips the compaction: correctness first.
         if coordinator.should_compact() && self.barrier().is_ok() {
             if let Err(e) = coordinator.compact() {
                 eprintln!("sstore: coordinator log compaction failed (retained): {e}");
@@ -721,9 +957,9 @@ impl Cluster {
         }
         let mut out = Vec::new();
         for (id, rx) in replies {
-            let rows = rx
-                .recv()
-                .map_err(|_| Error::Internal(format!("partition worker {id} disconnected")))??;
+            let rows = rx.recv().map_err(|_| {
+                Error::PartitionDown(format!("partition {id} went down before answering"))
+            })??;
             out.extend(rows);
         }
         Ok(out)
@@ -743,14 +979,22 @@ impl Cluster {
     /// queued job processed, no edge forwards in flight anywhere (hub or
     /// worker queues), and every edge ack delivered. Call before reading
     /// cross-edge results or shutting down cleanly.
+    ///
+    /// Fails fast — never hangs — when quiescence is unreachable: a
+    /// partition is permanently down ([`Error::PartitionDown`]), an edge
+    /// instance permanently failed delivery or ack ([`Error::Io`]; the
+    /// unacked batches replay at the next recovery), or the hub died
+    /// with edge work in flight.
     pub fn quiesce(&self) -> Result<()> {
         loop {
+            self.check_quiescible()?;
             self.barrier()?;
             if self.in_flight.load(Ordering::SeqCst) == 0 {
                 // Forwards enqueued before the barrier are processed; a
                 // second barrier flushes the edge acks those sent.
                 self.barrier()?;
                 if self.in_flight.load(Ordering::SeqCst) == 0 {
+                    self.check_quiescible()?;
                     return Ok(());
                 }
             }
@@ -758,8 +1002,38 @@ impl Cluster {
         }
     }
 
+    /// The fail-fast half of [`Cluster::quiesce`]: typed errors for the
+    /// states from which the dataflow can never settle.
+    fn check_quiescible(&self) -> Result<()> {
+        for (i, worker) in self.workers.iter().enumerate() {
+            if self.shared.health_of(i) == PartitionHealth::Down {
+                return Err(Error::PartitionDown(format!(
+                    "partition {} is down; the cluster cannot quiesce",
+                    worker.id
+                )));
+            }
+        }
+        let failures = self.shared.edge_failures.load(Ordering::SeqCst);
+        if failures > 0 {
+            return Err(Error::Io(format!(
+                "{failures} cross-edge instance(s) permanently failed delivery or ack; \
+                 the emitting batches stay unacked and replay at the next recovery"
+            )));
+        }
+        if !self.shared.hub_alive.load(Ordering::SeqCst)
+            && self.in_flight.load(Ordering::SeqCst) != 0
+        {
+            return Err(Error::Internal(
+                "forward hub exited with cross-edge work in flight".into(),
+            ));
+        }
+        Ok(())
+    }
+
     /// Enqueue a no-op on every worker and wait for all of them — every
     /// job queued before the barrier has been processed when it returns.
+    /// A worker that goes down mid-barrier surfaces as
+    /// [`Error::PartitionDown`] (its tombstone drops the no-op).
     fn barrier(&self) -> Result<()> {
         let mut replies = Vec::with_capacity(self.workers.len());
         for worker in &self.workers {
@@ -770,8 +1044,9 @@ impl Cluster {
             replies.push((worker.id, rx));
         }
         for (id, rx) in replies {
-            rx.recv()
-                .map_err(|_| Error::Internal(format!("partition worker {id} disconnected")))?;
+            rx.recv().map_err(|_| {
+                Error::PartitionDown(format!("partition {id} went down inside a barrier"))
+            })?;
         }
         Ok(())
     }
@@ -780,24 +1055,38 @@ impl Cluster {
     /// every worker first and then collected, so the wait is bounded by
     /// the slowest single worker (like [`Cluster::query_all`]), and each
     /// capture reflects everything queued on its partition before it.
+    ///
+    /// Never fails and never panics: a partition whose worker is down
+    /// contributes an all-zero [`PartitionMetrics::unavailable`]
+    /// placeholder (`available: false`) — dashboards keep rendering
+    /// through an outage.
     pub fn metrics(&self) -> ClusterMetrics {
         let mut replies = Vec::with_capacity(self.workers.len());
         for worker in &self.workers {
             let (tx, rx) = mpsc::channel();
-            worker
+            let sent = worker
                 .send(WorkerMsg::Exec(Box::new(move |db| {
                     let _ = tx.send(PartitionMetrics::capture(db));
                 })))
-                .expect("partition worker disconnected");
-            replies.push(rx);
+                .is_ok();
+            replies.push((worker.id, sent, rx));
         }
         ClusterMetrics {
             partitions: replies
                 .into_iter()
-                .map(|rx| rx.recv().expect("partition worker dropped reply"))
+                .map(|(id, sent, rx)| {
+                    if !sent {
+                        return PartitionMetrics::unavailable(id);
+                    }
+                    rx.recv()
+                        .unwrap_or_else(|_| PartitionMetrics::unavailable(id))
+                })
                 .collect(),
             rows: sstore_common::RowMetrics::snapshot(),
             coordinator: self.coordinator_stats(),
+            health: self.health(),
+            sheds: self.shared.sheds.load(Ordering::SeqCst),
+            worker_restarts: self.shared.restarts.load(Ordering::SeqCst),
         }
     }
 
@@ -810,7 +1099,7 @@ impl Cluster {
 impl Drop for Cluster {
     fn drop(&mut self) {
         // Best-effort quiesce so in-flight cross-edge work lands before
-        // the hub goes away (bounded; a wedged worker must not hang the
+        // the hub goes away (bounded; a down partition must not hang the
         // drop — recovery covers whatever is left).
         for _ in 0..64 {
             if self.barrier().is_err() {
@@ -821,7 +1110,7 @@ impl Drop for Cluster {
             }
             std::thread::yield_now();
         }
-        // The hub holds clones of every worker sender, so it must exit
+        // The hub holds clones of every worker queue, so it must exit
         // before closing the queues can stop the workers.
         if let Some(tx) = self.hub_tx.take() {
             let _ = tx.send(HubMsg::Shutdown);
@@ -830,9 +1119,9 @@ impl Drop for Cluster {
             let _ = h.join();
         }
         // Closing the queues lets each worker finish everything already
-        // enqueued, then exit.
-        for w in &mut self.workers {
-            w.tx = None;
+        // enqueued, then exit (a tombstone drain ends the same way).
+        for w in &self.workers {
+            w.queue.close();
         }
         for w in &mut self.workers {
             if let Some(h) = w.handle.take() {
@@ -849,6 +1138,16 @@ fn speculation_enabled() -> bool {
         std::env::var("SSTORE_SPECULATION").as_deref(),
         Ok("off") | Ok("OFF") | Ok("0")
     )
+}
+
+/// `SSTORE_MAX_WORKER_RESTARTS` bounds how many times one partition's
+/// supervisor will re-run recovery before declaring the partition down
+/// (default 3 — a deterministic crash must not restart forever).
+fn restart_budget() -> u32 {
+    std::env::var("SSTORE_MAX_WORKER_RESTARTS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(3)
 }
 
 /// Push every outbox envelope to the hub. Counted into `in_flight`
@@ -869,6 +1168,235 @@ fn flush_outbox(
     }
 }
 
+/// Why the drain loop returned (as opposed to panicking out of it).
+enum LoopExit {
+    /// The queue closed: the cluster is shutting down.
+    Shutdown,
+    /// The partition's command log is poisoned (a group write failed AND
+    /// its rollback failed — the log tail has unknown durability). The
+    /// in-memory state is ahead of an unknowable durable prefix, so the
+    /// supervisor must rebuild from disk exactly as after a panic.
+    Poisoned,
+}
+
+/// The supervision frame around one partition's drain loop.
+///
+/// The loop runs under `catch_unwind` with the [`SStore`] moved *into*
+/// the guarded closure: a panic drops the partition during the unwind
+/// (its command log's `Drop` skips the group-commit flush while
+/// `std::thread::panicking()`, so a torn group is discarded, not
+/// synced). The bookkeeping that must survive the panic — parked
+/// messages and [`CrashCtx`] — lives out here and is only *borrowed* by
+/// the loop.
+///
+/// After a crash the supervisor (1) reports a half-logged edge shard to
+/// the hub as failed, (2) resolves in-flight submission replies by
+/// provable fate (see [`CrashCtx`]), (3) re-parks deferred messages,
+/// (4) if the worker died between a yes-vote and the decision, drains
+/// the queue for that decision (the coordinator always sends phase 2),
+/// and (5) either re-runs recovery and re-enters the loop on the same
+/// queue, or — when the partition is non-durable, recovery fails, or
+/// the restart budget is spent — marks the partition down and becomes a
+/// tombstone that resolves all remaining work with
+/// [`Error::PartitionDown`].
+fn supervised_worker(ctx: WorkerCtx, first: SStore) {
+    let mut db_slot = Some(first);
+    let mut pending: VecDeque<WorkerMsg> = VecDeque::new();
+    let mut crash = CrashCtx::default();
+    let mut restarts_here = 0u32;
+    let budget = restart_budget();
+    loop {
+        let db = match db_slot.take() {
+            Some(db) => db,
+            None => {
+                // Unreachable by construction (every path below either
+                // refills the slot or returns), but never panic here.
+                down_tombstone(&ctx, &mut pending);
+                return;
+            }
+        };
+        let exit = catch_unwind(AssertUnwindSafe(|| {
+            worker_loop(&ctx, db, &mut pending, &mut crash)
+        }));
+        match exit {
+            Ok(LoopExit::Shutdown) => return,
+            Ok(LoopExit::Poisoned) => {
+                eprintln!(
+                    "sstore: partition {} command log poisoned; rebuilding from disk",
+                    ctx.id
+                );
+            }
+            Err(_) => {
+                eprintln!("sstore: partition {} worker panicked; supervising", ctx.id);
+            }
+        }
+        ctx.shared.set_health(ctx.id, PartitionHealth::Restarting);
+
+        // (1) A shard that was being logged when the worker died: report
+        // it failed so the hub's envelope bookkeeping completes (the ack
+        // is withheld; the emitter replays the batch at recovery).
+        if let Some((src, src_batch, stream)) = crash.in_flight_forward.take() {
+            let _ = ctx.hub.send(HubMsg::Logged {
+                src,
+                src_batch,
+                stream,
+                ok: false,
+            });
+        }
+
+        // (2) In-flight submission replies, resolved by provable fate.
+        let err = if crash.uncertain {
+            Error::Io(format!(
+                "partition {} restarted mid-batch; the border record may be durable and \
+                 would replay at recovery — do not resubmit blindly",
+                ctx.id
+            ))
+        } else {
+            Error::PartitionDown(format!(
+                "partition {} is restarting; the submission was not executed (retryable)",
+                ctx.id
+            ))
+        };
+        for reply in crash.ingest_replies.drain(..) {
+            let _ = reply.send(Err(err.clone()));
+        }
+        crash.uncertain = false;
+
+        // (3) Messages deferred during a 2PC wait go back to the front,
+        // oldest first.
+        for m in crash.deferred.drain(..).rev() {
+            pending.push_front(m);
+        }
+
+        // (4) Died between a yes-vote and the decision: the in-doubt
+        // reply fails (outcome unknown to this client), and the decision
+        // the coordinator will send — it has our vote, so phase 2 always
+        // follows — must be learned before recovery, or the restarted
+        // partition could resolve the fragment against a decision map
+        // read *before* the coordinator logged its commit.
+        let mut learned: Option<(u64, bool)> = None;
+        let mut closed = false;
+        if let Some((gtid, reply)) = crash.awaiting_decision.take() {
+            let _ = reply.send(Err(Error::Io(format!(
+                "partition {} restarted while gtid {gtid} was in doubt; the outcome \
+                 resolves at recovery",
+                ctx.id
+            ))));
+            loop {
+                match ctx.queue.recv() {
+                    Some(WorkerMsg::Decide { gtid: g, commit }) if g == gtid => {
+                        learned = Some((gtid, commit));
+                        break;
+                    }
+                    Some(other) => pending.push_back(other),
+                    None => {
+                        closed = true;
+                        break;
+                    }
+                }
+            }
+        }
+
+        // (5) Restart or go down.
+        let durable = ctx.builder.config().log.is_some();
+        if closed || !durable || restarts_here >= budget {
+            if !durable {
+                eprintln!(
+                    "sstore: partition {} is non-durable and cannot be restarted; down",
+                    ctx.id
+                );
+            } else if restarts_here >= budget {
+                eprintln!(
+                    "sstore: partition {} spent its restart budget ({budget}); down",
+                    ctx.id
+                );
+            }
+            down_tombstone(&ctx, &mut pending);
+            return;
+        }
+        match restart_partition(&ctx, learned) {
+            Ok(p) => {
+                restarts_here += 1;
+                ctx.shared.restarts.fetch_add(1, Ordering::SeqCst);
+                ctx.shared.set_health(ctx.id, PartitionHealth::Healthy);
+                db_slot = Some(p);
+            }
+            Err(e) => {
+                eprintln!("sstore: partition {} restart failed ({e}); down", ctx.id);
+                down_tombstone(&ctx, &mut pending);
+                return;
+            }
+        }
+    }
+}
+
+/// Re-run log + snapshot recovery for one partition, folding in a 2PC
+/// decision the supervisor learned over the queue (it may be newer than
+/// what `coord.log` held when read).
+fn restart_partition(ctx: &WorkerCtx, learned: Option<(u64, bool)>) -> Result<SStore> {
+    let dir = ctx
+        .coord_dir
+        .as_ref()
+        .ok_or_else(|| Error::Recovery("a non-durable partition cannot be restarted".into()))?;
+    let mut decisions = CoordinatorLog::read(dir)?.decisions;
+    if let Some((gtid, commit)) = learned {
+        decisions.insert(gtid, commit);
+    }
+    recover_with_decisions(ctx.builder.config().clone(), |p| (ctx.setup)(p), &decisions)
+}
+
+/// The terminal state of a down partition: resolve everything queued —
+/// and everything that keeps arriving until the cluster drops — with
+/// typed errors instead of letting reply channels dangle. Clients see
+/// [`Error::PartitionDown`], never a panic or a hang.
+fn down_tombstone(ctx: &WorkerCtx, pending: &mut VecDeque<WorkerMsg>) {
+    ctx.shared.set_health(ctx.id, PartitionHealth::Down);
+    ctx.queue.mark_dead();
+    let down = || Error::PartitionDown(format!("partition {} is down", ctx.id));
+    loop {
+        let msg = match pending.pop_front() {
+            Some(m) => m,
+            None => match ctx.queue.recv() {
+                Some(m) => m,
+                None => return, // queue closed and drained: shutdown
+            },
+        };
+        match msg {
+            WorkerMsg::Ingest { reply, .. } => {
+                let _ = reply.send(Err(down()));
+            }
+            WorkerMsg::Query { reply, .. } => {
+                let _ = reply.send(Err(down()));
+            }
+            // Dropping the closure drops its captured reply sender; the
+            // caller's recv error is mapped to PartitionDown.
+            WorkerMsg::Exec(f) => drop(f),
+            WorkerMsg::AdvanceClock(_) => {}
+            WorkerMsg::Prepare { vote, reply, .. } => {
+                let _ = vote.send(Err(down()));
+                let _ = reply.send(Err(down()));
+            }
+            WorkerMsg::Decide { .. } => {}
+            WorkerMsg::Forward {
+                stream,
+                src,
+                src_batch,
+                ..
+            } => {
+                // Not logged here: withhold the ack so the emitter
+                // replays the batch at the next recovery.
+                let _ = ctx.hub.send(HubMsg::Logged {
+                    src,
+                    src_batch,
+                    stream,
+                    ok: false,
+                });
+            }
+            WorkerMsg::EdgeAck { .. } => {}
+        }
+    }
+}
+
 /// The partition worker: drain the ingest queue in FIFO order until the
 /// cluster handle drops. Consecutive queued submissions for the same
 /// procedure are coalesced into one PE scheduler pass
@@ -880,26 +1408,26 @@ fn flush_outbox(
 /// pulls messages looking only for the matching [`WorkerMsg::Decide`],
 /// deferring everything else (order preserved) — the prepared fragment's
 /// uncommitted writes must not be observed by other TEs.
+///
+/// Runs under the supervisor's `catch_unwind`; `pending` and `crash` are
+/// borrowed from outside the unwind boundary (see [`supervised_worker`]).
 fn worker_loop(
-    id: PartitionId,
+    ctx: &WorkerCtx,
     mut db: SStore,
-    rx: mpsc::Receiver<WorkerMsg>,
-    hub: mpsc::Sender<HubMsg>,
-    in_flight: Arc<AtomicI64>,
-) {
-    // Jobs pulled off the queue but not yet run (coalescing lookahead and
-    // 2PC deferral both park messages here; front = oldest).
-    let mut pending: VecDeque<WorkerMsg> = VecDeque::new();
+    pending: &mut VecDeque<WorkerMsg>,
+    crash: &mut CrashCtx,
+) -> LoopExit {
+    let id = ctx.id;
     let mut disconnected = false;
     // A recovered partition may come up with re-forwards already queued.
-    flush_outbox(&mut db, id, &hub, &in_flight);
+    flush_outbox(&mut db, id, &ctx.hub, &ctx.in_flight);
     loop {
         let msg = match pending.pop_front() {
             Some(m) => m,
-            None if disconnected => break,
-            None => match rx.recv() {
-                Ok(m) => m,
-                Err(_) => break, // cluster dropped; queue fully drained
+            None if disconnected => return LoopExit::Shutdown,
+            None => match ctx.queue.recv() {
+                Some(m) => m,
+                None => return LoopExit::Shutdown, // queue closed + drained
             },
         };
         match msg {
@@ -910,9 +1438,9 @@ fn worker_loop(
                 // (or kind) stays parked so FIFO order holds.
                 loop {
                     if pending.is_empty() {
-                        match rx.try_recv() {
-                            Ok(m) => pending.push_back(m),
-                            Err(_) => break,
+                        match ctx.queue.try_recv() {
+                            Some(m) => pending.push_back(m),
+                            None => break,
                         }
                     }
                     match pending.front() {
@@ -926,6 +1454,12 @@ fn worker_loop(
                         _ => break,
                     }
                 }
+                crash.ingest_replies = group.iter().map(|(_, r)| r.clone()).collect();
+                // Kill point: the group is captured but nothing has been
+                // logged or executed — a crash here resolves every reply
+                // as retryable PartitionDown.
+                fault::kill_point("worker-killed-live");
+                crash.uncertain = true;
                 if group.len() == 1 {
                     let (rows, reply) = group.pop().expect("one submission");
                     let _ = reply.send(db.submit_batch(&proc, rows));
@@ -948,6 +1482,8 @@ fn worker_loop(
                         }
                     }
                 }
+                crash.uncertain = false;
+                crash.ingest_replies.clear();
             }
             WorkerMsg::Query { sql, params, reply } => {
                 let _ = reply.send(db.query(&sql, &params).map(|r| r.rows));
@@ -963,8 +1499,20 @@ fn worker_loop(
                 vote,
                 reply,
             } => {
+                // The fragment log write makes the fate uncertain; a
+                // crash before the vote is sent aborts the gtid anyway
+                // (the coordinator reads the dropped vote channel as a
+                // no), so the reply may simply drop.
+                crash.uncertain = true;
                 let prepared = db.prepare_fragment(gtid, &proc, rows);
+                crash.uncertain = false;
                 let vote_err = prepared.as_ref().err().cloned();
+                if vote_err.is_none() {
+                    // From the yes-vote on, the coordinator may commit:
+                    // a crash in this window must learn the decision
+                    // (see supervised_worker step 4).
+                    crash.awaiting_decision = Some((gtid, reply.clone()));
+                }
                 let _ = vote.send(prepared.map(|_| ()));
                 // Block for the decision, deferring everything else —
                 // except, while nothing is deferred yet, single-partition
@@ -973,11 +1521,10 @@ fn worker_loop(
                 // (early-prepare speculation). Once anything defers, all
                 // later messages defer too, preserving FIFO order.
                 let speculate = vote_err.is_none() && speculation_enabled();
-                let mut deferred: Vec<WorkerMsg> = Vec::new();
                 let decision = loop {
                     let next = match pending.pop_front() {
                         Some(m) => Some(m),
-                        None => rx.recv().ok(),
+                        None => ctx.queue.recv(),
                     };
                     match next {
                         Some(WorkerMsg::Decide { gtid: g, commit }) if g == gtid => {
@@ -987,21 +1534,33 @@ fn worker_loop(
                             proc: sp,
                             rows,
                             reply,
-                        }) if speculate && deferred.is_empty() && db.speculation_safe(&sp) => {
+                        }) if speculate
+                            && crash.deferred.is_empty()
+                            && db.speculation_safe(&sp) =>
+                        {
+                            crash.ingest_replies.push(reply.clone());
+                            crash.uncertain = true;
                             let _ = reply.send(db.submit_batch_speculative(&sp, rows));
+                            crash.uncertain = false;
+                            crash.ingest_replies.clear();
                             // Speculative emissions onto cross-partition
                             // edges must not wait out the 2PC round.
-                            flush_outbox(&mut db, id, &hub, &in_flight);
+                            flush_outbox(&mut db, id, &ctx.hub, &ctx.in_flight);
                         }
-                        Some(other) => deferred.push(other),
+                        Some(other) => crash.deferred.push(other),
                         None => break None, // cluster dropped mid-2PC
                     }
                 };
-                for m in deferred.into_iter().rev() {
+                for m in crash.deferred.drain(..).rev() {
                     pending.push_front(m);
                 }
                 match decision {
                     Some(commit) => {
+                        // The decision is in hand: a crash below no
+                        // longer needs the supervisor's decide-drain
+                        // (commit is durable in coord.log; abort is
+                        // presumed by absence).
+                        crash.awaiting_decision = None;
                         let out = match vote_err {
                             // Voted no: the fragment is already rolled
                             // back and locally decided; surface the
@@ -1015,6 +1574,7 @@ fn worker_loop(
                         // No decision will ever come (shutdown): abort —
                         // identical to the crash story, where recovery
                         // presumes abort for the in-doubt fragment.
+                        crash.awaiting_decision = None;
                         if vote_err.is_none() {
                             let _ = db.decide_fragment(gtid, false);
                         }
@@ -1035,6 +1595,10 @@ fn worker_loop(
                 src_batch,
                 rows,
             } => {
+                // A crash while the shard is half-logged must complete
+                // the hub's envelope bookkeeping: the supervisor reports
+                // it as a failed log (ack withheld, emitter replays).
+                crash.in_flight_forward = Some((src, src_batch, stream.clone()));
                 let ok = match db.accept_forward(&stream, src.raw(), src_batch.raw(), rows) {
                     Ok(Some(_)) => {
                         if let Err(e) = db.run_queued() {
@@ -1053,12 +1617,13 @@ fn worker_loop(
                         false
                     }
                 };
-                let _ = hub.send(HubMsg::Logged {
+                let _ = ctx.hub.send(HubMsg::Logged {
                     src,
                     src_batch,
                     stream,
                     ok,
                 });
+                crash.in_flight_forward = None;
             }
             WorkerMsg::EdgeAck { batch } => {
                 if let Err(e) = db.edge_acked(batch) {
@@ -1066,10 +1631,16 @@ fn worker_loop(
                 }
             }
         }
+        // A group-commit write that failed AND failed to roll back left
+        // the log tail with unknown durability: stop executing on top of
+        // it and let the supervisor rebuild from disk.
+        if db.durability_poisoned() {
+            return LoopExit::Poisoned;
+        }
         // Any of the above may have emitted onto a cross-partition edge
         // (Ingest and Decide through PE triggers, Exec through test
         // closures, Forward through cascading workflows).
-        flush_outbox(&mut db, id, &hub, &in_flight);
+        flush_outbox(&mut db, id, &ctx.hub, &ctx.in_flight);
     }
 }
 
@@ -1080,17 +1651,31 @@ fn worker_loop(
 /// hub is the only thread that blocks on worker queues, so edge cycles
 /// between partitions cannot deadlock. When every shard of an envelope
 /// is durably logged at its receiver, the hub sends the emitting worker
-/// an edge ack, releasing that batch's upstream backup.
+/// an edge ack, releasing that batch's upstream backup; an envelope with
+/// any failed shard (log error, receiver down) withholds the ack and
+/// counts an edge failure, which [`Cluster::quiesce`] reports.
 fn hub_loop(
     rx: mpsc::Receiver<HubMsg>,
-    workers: Vec<mpsc::SyncSender<WorkerMsg>>,
+    workers: Vec<IngestQueue<WorkerMsg>>,
     partitions: usize,
     in_flight: Arc<AtomicI64>,
+    shared: Arc<ClusterShared>,
 ) {
+    // Whatever path exits this thread, record that the hub is gone so
+    // quiesce can distinguish "settling" from "will never settle".
+    struct HubAliveGuard(Arc<ClusterShared>);
+    impl Drop for HubAliveGuard {
+        fn drop(&mut self) {
+            self.0.hub_alive.store(false, Ordering::SeqCst);
+        }
+    }
+    let _alive = HubAliveGuard(Arc::clone(&shared));
     // Outstanding shard counts (and health) per edge instance.
     let mut pending_acks: HashMap<(u32, u64, String), (usize, bool)> = HashMap::new();
     // One router per edge key column, built on first use — the hot
-    // forward path must not re-validate a Router per envelope.
+    // forward path must not re-validate a Router per envelope. Hash
+    // placement is total over any key, so construction cannot fail for
+    // a positive partition count (validated at build).
     let mut routers: HashMap<usize, Router> = HashMap::new();
     let mut shutting_down = false;
     loop {
@@ -1111,10 +1696,20 @@ fn hub_loop(
                 // (The ingest route's range bounds apply to the ingest
                 // key's value domain, which a re-keyed edge need not
                 // share — hash placement is total over any key.)
-                let router = routers.entry(fwd.key_col).or_insert_with(|| {
-                    Router::new(RouteSpec::hash(fwd.key_col), partitions)
-                        .expect("partition count validated at build")
-                });
+                let router = match routers.entry(fwd.key_col) {
+                    std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
+                    std::collections::hash_map::Entry::Vacant(e) => {
+                        match Router::new(RouteSpec::hash(fwd.key_col), partitions) {
+                            Ok(r) => e.insert(r),
+                            Err(err) => {
+                                eprintln!("sstore: edge router build failed: {err}");
+                                shared.edge_failures.fetch_add(1, Ordering::SeqCst);
+                                in_flight.fetch_sub(1, Ordering::SeqCst);
+                                continue;
+                            }
+                        }
+                    }
+                };
                 match router.shard(fwd.rows) {
                     Ok(shards) => {
                         let k = shards.iter().filter(|s| !s.is_empty()).count();
@@ -1124,21 +1719,35 @@ fn hub_loop(
                             let _ = workers[src.raw() as usize]
                                 .send(WorkerMsg::EdgeAck { batch: fwd.batch });
                         } else {
-                            pending_acks.insert(
-                                (src.raw(), fwd.batch.raw(), fwd.stream.clone()),
-                                (k, true),
-                            );
+                            let key = (src.raw(), fwd.batch.raw(), fwd.stream.clone());
+                            pending_acks.insert(key.clone(), (k, true));
                             in_flight.fetch_add(k as i64, Ordering::SeqCst);
                             for (i, shard) in shards.into_iter().enumerate() {
                                 if shard.is_empty() {
                                     continue;
                                 }
-                                let _ = workers[i].send(WorkerMsg::Forward {
-                                    stream: fwd.stream.clone(),
-                                    src,
-                                    src_batch: fwd.batch,
-                                    rows: shard,
-                                });
+                                let delivered = workers[i]
+                                    .send(WorkerMsg::Forward {
+                                        stream: fwd.stream.clone(),
+                                        src,
+                                        src_batch: fwd.batch,
+                                        rows: shard,
+                                    })
+                                    .is_ok();
+                                if !delivered {
+                                    // Receiver down or closing: the shard
+                                    // was never logged there. Complete the
+                                    // envelope bookkeeping as a failure.
+                                    if let Some((remaining, all_ok)) = pending_acks.get_mut(&key) {
+                                        *remaining -= 1;
+                                        *all_ok = false;
+                                        if *remaining == 0 {
+                                            pending_acks.remove(&key);
+                                            shared.edge_failures.fetch_add(1, Ordering::SeqCst);
+                                        }
+                                    }
+                                    in_flight.fetch_sub(1, Ordering::SeqCst);
+                                }
                             }
                         }
                     }
@@ -1150,6 +1759,7 @@ fn hub_loop(
                             "sstore: cross-edge `{}` from partition {} unroutable: {e}",
                             fwd.stream, src
                         );
+                        shared.edge_failures.fetch_add(1, Ordering::SeqCst);
                     }
                 }
                 in_flight.fetch_sub(1, Ordering::SeqCst);
@@ -1168,11 +1778,20 @@ fn hub_loop(
                         let healthy = *all_ok;
                         pending_acks.remove(&key);
                         if healthy {
-                            let _ = workers[src.raw() as usize]
-                                .send(WorkerMsg::EdgeAck { batch: src_batch });
+                            let acked = workers[src.raw() as usize]
+                                .send(WorkerMsg::EdgeAck { batch: src_batch })
+                                .is_ok();
+                            if !acked {
+                                // The emitter is down: its batch stays
+                                // unacked and replays at recovery.
+                                shared.edge_failures.fetch_add(1, Ordering::SeqCst);
+                            }
+                        } else {
+                            // A failed shard withholds the ack: the
+                            // emitting batch stays unacked and replays
+                            // at recovery.
+                            shared.edge_failures.fetch_add(1, Ordering::SeqCst);
                         }
-                        // A failed shard withholds the ack: the emitting
-                        // batch stays unacked and replays at recovery.
                     }
                 }
                 in_flight.fetch_sub(1, Ordering::SeqCst);
@@ -1182,6 +1801,6 @@ fn hub_loop(
             }
         }
     }
-    // Dropping `workers` here releases the last sender clones so the
-    // worker queues can actually close.
+    // Dropping `workers` here releases the hub's queue clones; the
+    // cluster's Drop closes the queues right after joining this thread.
 }

@@ -165,10 +165,17 @@ impl CoordinatorLog {
         // presumes abort.
         fault::kill_point("pre-commit-point-fsync");
         let old_len = self.file.metadata()?.len();
-        let result = self
-            .file
-            .write_all(&buf)
-            .and_then(|_| self.file.sync_data());
+        // Fault point `coord-log-io-error`: an injected write failure
+        // takes the same rollback path as a real one — the decision must
+        // end up provably absent, and the round aborts cleanly.
+        let result: std::result::Result<(), String> = match fault::io_error("coord-log-io-error") {
+            Some(e) => Err(e.to_string()),
+            None => self
+                .file
+                .write_all(&buf)
+                .and_then(|_| self.file.sync_data())
+                .map_err(|e| e.to_string()),
+        };
         match result {
             Ok(()) => {
                 // Kill point: the fsync above IS the commit point — the

@@ -50,15 +50,18 @@ pub mod builder;
 pub mod client;
 pub mod cluster;
 pub mod coordinator;
+pub mod ingest;
 pub mod metrics;
+pub mod retry;
 pub mod router;
 pub mod workloads;
 
 pub use builder::SStoreBuilder;
 pub use client::{ClientRequest, PipelinedClient, RequestKind};
-pub use cluster::Cluster;
+pub use cluster::{Cluster, PartitionHealth};
 pub use coordinator::{CoordState, CoordStats, Coordinator, CoordinatorLog, COORD_COMPACT_EVERY};
 pub use metrics::{ClusterMetrics, PartitionMetrics, Throughput};
+pub use retry::RetryPolicy;
 pub use router::{PartitionOutcomes, RouteSpec, Router, Ticket};
 
 // The operational surface, re-exported so applications depend on one crate.

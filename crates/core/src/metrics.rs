@@ -1,6 +1,7 @@
 //! Throughput measurement and per-partition metrics for dashboards and
 //! benches.
 
+use crate::cluster::PartitionHealth;
 use crate::coordinator::CoordStats;
 use sstore_common::{PartitionId, RowMetrics};
 use std::time::Instant;
@@ -45,9 +46,39 @@ pub struct PartitionMetrics {
     pub snapshots_delta: u64,
     /// Mean committed-TE latency in microseconds.
     pub mean_latency_us: f64,
+    /// False when the capture job could not run (the partition's worker
+    /// is down or restarting): every counter above is zero, not a
+    /// measurement.
+    pub available: bool,
 }
 
 impl PartitionMetrics {
+    /// Placeholder for a partition whose worker could not answer the
+    /// capture (down or restarting): all-zero counters, `available:
+    /// false`.
+    pub fn unavailable(partition: PartitionId) -> PartitionMetrics {
+        PartitionMetrics {
+            partition,
+            committed: 0,
+            batches_submitted: 0,
+            batches_completed: 0,
+            group_submissions: 0,
+            batches_coalesced: 0,
+            client_pe_trips: 0,
+            twopc_prepares: 0,
+            twopc_commits: 0,
+            twopc_aborts: 0,
+            forwards_out: 0,
+            forwards_in: 0,
+            forwards_deduped: 0,
+            speculative_tes: 0,
+            snapshots_full: 0,
+            snapshots_delta: 0,
+            mean_latency_us: 0.0,
+            available: false,
+        }
+    }
+
     /// Snapshot a partition's counters.
     pub fn capture(p: &sstore_txn::Partition) -> PartitionMetrics {
         let s = p.stats();
@@ -69,6 +100,7 @@ impl PartitionMetrics {
             snapshots_full: s.snapshots_full,
             snapshots_delta: s.snapshots_delta,
             mean_latency_us: s.mean_latency_us(),
+            available: true,
         }
     }
 }
@@ -85,6 +117,13 @@ pub struct ClusterMetrics {
     pub rows: RowMetrics,
     /// The transaction coordinator's counters (fast-path vs 2PC).
     pub coordinator: CoordStats,
+    /// Supervision state of each partition worker, in partition order.
+    pub health: Vec<PartitionHealth>,
+    /// Submissions refused by admission control (`try_submit_batch_async`
+    /// on a full queue) over the cluster's lifetime.
+    pub sheds: u64,
+    /// Supervised worker restarts over the cluster's lifetime.
+    pub worker_restarts: u64,
 }
 
 impl ClusterMetrics {
@@ -200,11 +239,15 @@ mod tests {
             snapshots_full: 0,
             snapshots_delta: 0,
             mean_latency_us: 0.0,
+            available: true,
         };
         let m = ClusterMetrics {
             partitions: vec![pm(0, 30, 4), pm(1, 10, 0)],
             rows: RowMetrics::snapshot(),
             coordinator: CoordStats::default(),
+            health: vec![PartitionHealth::Healthy; 2],
+            sheds: 0,
+            worker_restarts: 0,
         };
         assert_eq!(m.total_committed(), 40);
         assert_eq!(m.total_coalesced(), 4);
@@ -214,8 +257,14 @@ mod tests {
             partitions: vec![],
             rows: RowMetrics::snapshot(),
             coordinator: CoordStats::default(),
+            health: vec![],
+            sheds: 0,
+            worker_restarts: 0,
         };
         assert_eq!(empty.skew(), 1.0);
+        let ghost = PartitionMetrics::unavailable(PartitionId::new(3));
+        assert!(!ghost.available);
+        assert_eq!(ghost.committed, 0);
     }
 
     #[test]

@@ -18,6 +18,7 @@
 use sstore_common::{Error, PartitionId, Result, Row, Value};
 use sstore_txn::TxnOutcome;
 use std::sync::mpsc;
+use std::time::{Duration, Instant};
 
 /// Declarative placement: which column is the partition key and how keys
 /// map to partitions.
@@ -175,12 +176,50 @@ impl Ticket {
 
     /// Block until every involved partition finished its share; returns
     /// per-partition outcomes in partition order.
+    ///
+    /// A share whose reply channel was dropped unresolved (the worker
+    /// died mid-processing and its supervisor could not attribute the
+    /// loss) surfaces as [`Error::PartitionDown`].
     pub fn wait(self) -> Result<Vec<PartitionOutcomes>> {
         let mut out = Vec::with_capacity(self.pending.len());
         for (partition, rx) in self.pending {
             let outcomes = rx.recv().map_err(|_| {
-                Error::Internal(format!("partition worker {partition} disconnected"))
+                Error::PartitionDown(format!(
+                    "partition worker {partition} dropped this submission's reply"
+                ))
             })??;
+            out.push(PartitionOutcomes {
+                partition,
+                outcomes,
+            });
+        }
+        Ok(out)
+    }
+
+    /// Like [`Ticket::wait`], but gives the whole submission at most
+    /// `timeout` to resolve. On expiry returns [`Error::Timeout`] — note
+    /// the submission is already enqueued and **still executes** on its
+    /// partitions; only the outcomes are discarded. A timed-out ticket
+    /// must therefore not be blindly resubmitted.
+    pub fn wait_timeout(self, timeout: Duration) -> Result<Vec<PartitionOutcomes>> {
+        let deadline = Instant::now() + timeout;
+        let mut out = Vec::with_capacity(self.pending.len());
+        for (partition, rx) in self.pending {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            let outcomes = match rx.recv_timeout(remaining) {
+                Ok(r) => r?,
+                Err(mpsc::RecvTimeoutError::Timeout) => {
+                    return Err(Error::Timeout(format!(
+                        "submission unresolved after {timeout:?} (still executing on \
+                         partition {partition}; outcomes discarded)"
+                    )))
+                }
+                Err(mpsc::RecvTimeoutError::Disconnected) => {
+                    return Err(Error::PartitionDown(format!(
+                        "partition worker {partition} dropped this submission's reply"
+                    )))
+                }
+            };
             out.push(PartitionOutcomes {
                 partition,
                 outcomes,

@@ -90,6 +90,7 @@ fn range_routing_places_keys_explicitly() {
             .scalar_i64()
             .unwrap()
     });
+    let p0_max = p0_max.unwrap();
     let p1_min = cluster.with_partition(1, |p| {
         p.query("SELECT MIN(key) FROM totals", &[])
             .unwrap()
@@ -97,7 +98,7 @@ fn range_routing_places_keys_explicitly() {
             .unwrap()
     });
     assert!(p0_max <= 18);
-    assert!(p1_min >= 19);
+    assert!(p1_min.unwrap() >= 19);
 }
 
 #[test]
@@ -120,7 +121,7 @@ fn blocking_wrapper_respects_range_route() {
             .scalar_i64()
             .unwrap()
     });
-    assert!(p0_max <= 18);
+    assert!(p0_max.unwrap() <= 18);
     // A different key column would hash-place rows against the declared
     // ranges — rejected outright.
     let err = cluster
@@ -193,6 +194,9 @@ fn clock_advances_in_lockstep() {
     let cluster = Cluster::new(2, &SStoreBuilder::new(), deploy).unwrap();
     cluster.advance_clock(1_000).unwrap();
     for i in 0..2 {
-        assert_eq!(cluster.with_partition(i, |p| p.clock().now()), 1_000);
+        assert_eq!(
+            cluster.with_partition(i, |p| p.clock().now()).unwrap(),
+            1_000
+        );
     }
 }

@@ -1,14 +1,17 @@
 //! The deterministic crash-fault-injection campaign.
 //!
 //! One trial = one seed. The seed expands into a [`FaultPlan`]: which
-//! kill point to arm, on which hit it fires, and the exact telemetry
+//! fault point to arm, on which hit it fires, and the exact telemetry
 //! workload (partition count, batches, rows — see
 //! [`crate::telemetry::gen_batches`]). A **child process** builds a
-//! durable cluster, arms the point in [`sstore_common::fault::KillMode::Abort`]
-//! mode, and submits the batches serially, appending each acknowledged
-//! batch index to `acked.log` — until the kill point vaporizes the
-//! process exactly as a crash would. The **parent** then recovers the
-//! durability directory and checks the crash-consistency invariants:
+//! durable cluster, arms the point — [`KILL_POINTS`] in
+//! [`sstore_common::fault::KillMode::Abort`] mode (the process dies
+//! exactly as a crash would), [`IO_POINTS`] as a one-shot injected disk
+//! error (the process survives and the affected batch must fail
+//! cleanly) — and submits the batches serially, appending one
+//! `"{i} ok|fail|unk"` verdict line per completed submission to
+//! `acked.log`. The **parent** then recovers the durability directory
+//! and checks the crash-consistency invariants:
 //!
 //! * **No lost acked batch** — every index in `acked.log` is reflected
 //!   in recovered state.
@@ -36,7 +39,8 @@ use std::io::Write;
 use std::path::{Path, PathBuf};
 
 /// Every kill point the campaign can arm — the named 2PC/recovery/log
-/// stage boundaries instrumented in `txn`, `core`, and `storage`.
+/// stage boundaries instrumented in `txn`, `core`, and `storage`. The
+/// child process vaporizes (`KillMode::Abort`) exactly as a crash would.
 pub const KILL_POINTS: &[&str] = &[
     "prepare-logged",
     "pre-commit-point-fsync",
@@ -46,6 +50,19 @@ pub const KILL_POINTS: &[&str] = &[
     "snapshot-mid-write",
     "delta-snapshot-mid-write",
     "log-mid-write",
+    "worker-killed-live",
+];
+
+/// Disk-fault points: instead of killing the process, the child arms a
+/// **one-shot injected IO error** (`fault::arm_io_error`) at the named
+/// durability site and runs the whole workload. The affected batch must
+/// fail with a typed error and zero partial state; everything after it
+/// must proceed normally — the recovery check then accepts the recorded
+/// applied set, with IO-failed batches of unknown fate tried both ways.
+pub const IO_POINTS: &[&str] = &[
+    "log-append-io-error",
+    "snapshot-io-error",
+    "coord-log-io-error",
 ];
 
 /// Environment variable selecting the trial seed (replay a failure with
@@ -84,9 +101,14 @@ impl FaultPlan {
     /// Expand `seed` deterministically.
     pub fn from_seed(seed: u64) -> FaultPlan {
         let mut rng = StdRng::seed_from_u64(seed);
+        let idx = rng.random_range(0..KILL_POINTS.len() + IO_POINTS.len());
         FaultPlan {
             seed,
-            point: KILL_POINTS[rng.random_range(0..KILL_POINTS.len())],
+            point: if idx < KILL_POINTS.len() {
+                KILL_POINTS[idx]
+            } else {
+                IO_POINTS[idx - KILL_POINTS.len()]
+            },
             nth: rng.random_range(1..9),
             partitions: rng.random_range(2..4),
             batches: rng.random_range(8..17),
@@ -128,9 +150,15 @@ fn is_poison(batch: &[Row]) -> bool {
         .any(|r| matches!(r[2], Value::Int(t) if t <= POISON_TEMP))
 }
 
-/// Child role: run the workload under the armed kill point. Returns only
-/// if the point never fired (a legitimate trial outcome — the parent
-/// then expects the full oracle).
+/// Child role: run the workload under the armed fault. Kill points abort
+/// the process mid-protocol; IO points inject a one-shot disk error and
+/// the child runs to completion. Returning at all is a legitimate trial
+/// outcome (the point never fired, or the fault was survivable).
+///
+/// Each completed submission appends one `"{i} <verdict>"` line:
+/// `ok` (acked — all fragments committed), `fail` (provably not applied:
+/// a deliberate abort or a retryable refusal), or `unk` (an error of
+/// unknown fate, e.g. an IO failure whose record may still replay).
 pub fn run_child(seed: u64, dir: &Path) -> sstore_common::Result<()> {
     let plan = FaultPlan::from_seed(seed);
     let cluster = Cluster::with_edges(
@@ -142,25 +170,36 @@ pub fn run_child(seed: u64, dir: &Path) -> sstore_common::Result<()> {
         TELEMETRY_EDGES,
     )?;
     let mut acked = std::fs::File::create(acked_log_path(dir))?;
-    fault::arm(plan.point, plan.nth, fault::KillMode::Abort);
+    if IO_POINTS.contains(&plan.point) {
+        fault::arm_io_error(plan.point, plan.nth);
+    } else {
+        fault::arm(plan.point, plan.nth, fault::KillMode::Abort);
+    }
     for (i, batch) in plan.workload().into_iter().enumerate() {
+        let poison = is_poison(&batch);
         let Ok(ticket) = cluster.submit_batch_async("ingest", batch) else {
             break; // a worker died without tripping the whole process
         };
-        // wait() errors both for deliberate aborts (poison) and dead
-        // workers; either way the batch is unacked. If the cluster is
-        // really gone, the next submit breaks the loop.
-        let committed = ticket.wait().is_ok_and(|outcomes| {
-            outcomes
-                .iter()
-                .all(|po| po.outcomes.iter().all(|o| o.status == TxnStatus::Committed))
-        });
-        if committed {
-            // The ack a client would see: only now may the batch be
-            // counted on to survive any crash.
-            writeln!(acked, "{i}")?;
-            acked.flush()?;
-        }
+        let verdict = match ticket.wait() {
+            Ok(outcomes)
+                if outcomes
+                    .iter()
+                    .all(|po| po.outcomes.iter().all(|o| o.status == TxnStatus::Committed)) =>
+            {
+                "ok"
+            }
+            // Explicitly aborted outcomes, deliberate poison aborts, and
+            // retryable refusals (shed / provably-unexecuted) all share
+            // one property: the batch is provably absent from state.
+            Ok(_) => "fail",
+            Err(_) if poison => "fail",
+            Err(e) if e.is_retryable() => "fail",
+            Err(_) => "unk",
+        };
+        // The ack a client would see: only an `ok` batch may be counted
+        // on to survive any crash.
+        writeln!(acked, "{i} {verdict}")?;
+        acked.flush()?;
     }
     let _ = cluster.quiesce();
     Ok(())
@@ -260,14 +299,54 @@ pub fn drill_recovery_fault(plan: &FaultPlan, dir: &Path) -> Result<(), String> 
 }
 
 /// Recover the trial's durability directory and check the invariants.
+///
+/// The child's verdict lines pin each submitted batch to *applied*
+/// (`ok`), *absent* (`fail`), or *uncertain* (`unk` — an IO error whose
+/// record may still replay). A crash additionally leaves the one batch
+/// in flight at the kill uncertain. Recovered state must equal the
+/// oracle of the applied set plus **some subset** of the uncertain
+/// batches — anything else (a lost ack, a resurrected abort, a doubled
+/// edge delivery) matches no candidate and fails with the seed.
 pub fn check_recovery(plan: &FaultPlan, dir: &Path) -> Result<(), String> {
     fault::disarm();
     let batches = plan.workload();
-    let acked: Vec<usize> = std::fs::read_to_string(acked_log_path(dir))
+    let mut applied: Vec<usize> = Vec::new();
+    let mut uncertain: Vec<usize> = Vec::new();
+    let mut recorded = 0usize;
+    for line in std::fs::read_to_string(acked_log_path(dir))
         .unwrap_or_default()
         .lines()
-        .filter_map(|l| l.trim().parse().ok())
-        .collect();
+    {
+        let mut parts = line.split_whitespace();
+        let Some(i) = parts.next().and_then(|t| t.parse::<usize>().ok()) else {
+            continue;
+        };
+        if i != recorded {
+            return Err(format!(
+                "verdict line for batch {i} out of order (expected {recorded}): \
+                 child accounting broken"
+            ));
+        }
+        recorded += 1;
+        match parts.next().unwrap_or("ok") {
+            "ok" => applied.push(i),
+            "fail" => {}
+            _ => uncertain.push(i),
+        }
+    }
+    // Serial submission: the batch in flight when the child died (the
+    // first one with no verdict) may or may not have committed; nothing
+    // after it was ever submitted.
+    if recorded < batches.len() {
+        uncertain.push(recorded);
+    }
+    if uncertain.len() > 6 {
+        return Err(format!(
+            "{} uncertain batches {uncertain:?}: the one-shot faults can leave at \
+             most a couple in doubt — child accounting broken",
+            uncertain.len()
+        ));
+    }
 
     let cluster = Cluster::recover(
         plan.partitions,
@@ -282,41 +361,31 @@ pub fn check_recovery(plan: &FaultPlan, dir: &Path) -> Result<(), String> {
         .quiesce()
         .map_err(|e| format!("post-recovery quiesce failed: {e}"))?;
 
-    // Serial submission + whole-process kill ⇒ the applied batches are a
-    // prefix of the submission order. Everything acked is inside it;
-    // past the last ack, only the first non-poison batch can have
-    // reached its commit point without its ack being observed.
-    let start = acked.iter().copied().max().map(|h| h + 1).unwrap_or(0);
-    for (i, batch) in batches.iter().enumerate().take(start) {
-        if !is_poison(batch) && !acked.contains(&i) {
-            return Err(format!(
-                "acked set {acked:?} skips non-poison batch {i}: child accounting broken"
-            ));
-        }
-    }
-    let candidates: Vec<usize> = match (start..batches.len()).find(|&i| !is_poison(&batches[i])) {
-        None => vec![batches.len()],
-        Some(boundary) => vec![boundary, boundary + 1],
-    };
-
     let got_device = sorted_rows(&cluster, "SELECT device, n, total, hot FROM device_stats")?;
     let got_area = sorted_rows(&cluster, "SELECT area, n, total, maxt FROM area_stats")?;
     let mut diffs = Vec::new();
-    for &k in &candidates {
-        let oracle = TelemetryOracle::of_prefix(&batches, k);
+    for mask in 0u32..(1 << uncertain.len()) {
+        let mut set = applied.clone();
+        for (bit, &i) in uncertain.iter().enumerate() {
+            if mask & (1 << bit) != 0 {
+                set.push(i);
+            }
+        }
+        set.sort_unstable();
+        let oracle = TelemetryOracle::of_batches(&batches, set.iter().copied());
         if got_device == oracle.device_rows() && got_area == oracle.area_rows() {
             return Ok(());
         }
         diffs.push(format!(
-            "  prefix k={k}: expected devices {:?} / areas {:?}",
+            "  set {set:?}: expected devices {:?} / areas {:?}",
             oracle.device_rows(),
             oracle.area_rows()
         ));
     }
     Err(format!(
-        "recovered state matches no admissible prefix (acked through {:?}, candidates {candidates:?})\n\
+        "recovered state matches no admissible applied set \
+         (ok {applied:?}, uncertain {uncertain:?})\n\
          got devices {got_device:?}\n got areas {got_area:?}\n{}",
-        acked.last(),
         diffs.join("\n")
     ))
 }
@@ -383,12 +452,17 @@ mod tests {
         assert_eq!(a.point, b.point);
         assert_eq!(a.nth, b.nth);
         assert_eq!(a.workload(), b.workload());
-        // Across a seed range, every kill point gets picked eventually.
+        // Across a seed range, every kill and IO point gets picked
+        // eventually.
         let mut seen = std::collections::HashSet::new();
-        for seed in 0..64 {
+        for seed in 0..160 {
             seen.insert(FaultPlan::from_seed(seed).point);
         }
-        assert_eq!(seen.len(), KILL_POINTS.len(), "seen: {seen:?}");
+        assert_eq!(
+            seen.len(),
+            KILL_POINTS.len() + IO_POINTS.len(),
+            "seen: {seen:?}"
+        );
     }
 
     #[test]
@@ -429,9 +503,7 @@ mod tests {
                         .iter()
                         .all(|po| po.outcomes.iter().all(|o| o.status == TxnStatus::Committed))
                 });
-            if committed {
-                writeln!(acked, "{i}")?;
-            }
+            writeln!(acked, "{i} {}", if committed { "ok" } else { "fail" })?;
         }
         cluster.quiesce()?;
         Ok(())

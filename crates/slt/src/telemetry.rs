@@ -180,6 +180,24 @@ impl TelemetryOracle {
         o
     }
 
+    /// Expected state after applying exactly the batches at `indices`
+    /// (out-of-range indices are ignored). Every folded statistic is
+    /// commutative, so any submission order yields the same oracle —
+    /// which is what lets the crash campaign try "uncertain" batches
+    /// both included and excluded.
+    pub fn of_batches(
+        batches: &[Vec<Row>],
+        indices: impl IntoIterator<Item = usize>,
+    ) -> TelemetryOracle {
+        let mut o = TelemetryOracle::default();
+        for i in indices {
+            if let Some(batch) = batches.get(i) {
+                o.apply(batch);
+            }
+        }
+        o
+    }
+
     /// Fold one batch in (no-op if it contains a poison reading).
     pub fn apply(&mut self, rows: &[Row]) {
         if rows.iter().any(|r| int(&r[2]) <= POISON_TEMP) {

@@ -1,0 +1,110 @@
+//! A worker killed mid-traffic under the telemetry workload: the
+//! supervisor restarts the partition from its log, the client retries
+//! the one retryable failure, and the final state — device stats, area
+//! stats fed through the cross-partition edge machinery, and a cold
+//! recovery over the same directory — must equal the closed-form oracle
+//! of exactly the applied batches. Exactly-once, checked end to end.
+
+use sstore_core::common::fault::{self, KillMode};
+use sstore_core::common::Value;
+use sstore_core::{Cluster, PartitionHealth, RetryPolicy, RouteSpec, SStoreBuilder, TxnStatus};
+use sstore_slt::telemetry::{deploy_telemetry, gen_batches, TelemetryOracle, TELEMETRY_EDGES};
+use std::path::{Path, PathBuf};
+
+fn tempdir() -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("sstore-supervised-restart-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&p);
+    std::fs::create_dir_all(&p).unwrap();
+    p
+}
+
+fn sorted_rows(cluster: &Cluster, sql: &str) -> Vec<Vec<Value>> {
+    let mut rows: Vec<Vec<Value>> = cluster
+        .query_all(sql, &[])
+        .unwrap()
+        .iter()
+        .map(|r| r.to_values())
+        .collect();
+    rows.sort();
+    rows
+}
+
+fn assert_matches_oracle(cluster: &Cluster, oracle: &TelemetryOracle) {
+    assert_eq!(
+        sorted_rows(cluster, "SELECT device, n, total, hot FROM device_stats"),
+        oracle.device_rows()
+    );
+    assert_eq!(
+        sorted_rows(cluster, "SELECT area, n, total, maxt FROM area_stats"),
+        oracle.area_rows()
+    );
+}
+
+#[test]
+fn worker_killed_mid_traffic_matches_oracle_after_retry() {
+    let dir = tempdir();
+    let batches = gen_batches(11, 20, 4, 6, 3);
+    // One partition so the kill point (on the single-partition ingest
+    // path) is guaranteed traffic; the area edge still exercises the
+    // full hub/forward/ack machinery.
+    let builder = SStoreBuilder::new().durability(&dir, 1);
+    let cluster = Cluster::with_edges(
+        1,
+        RouteSpec::hash(0),
+        64,
+        &builder,
+        deploy_telemetry,
+        TELEMETRY_EDGES,
+    )
+    .unwrap();
+
+    let mut applied: Vec<usize> = Vec::new();
+    for (i, batch) in batches.iter().enumerate() {
+        if i == 7 {
+            // The worker dies holding batch 7, before logging it: the
+            // failure is retryable and the retry must land exactly once.
+            fault::arm_once("worker-killed-live", 1, KillMode::Panic);
+        }
+        let res = RetryPolicy::default()
+            .run(|| cluster.submit_batch_async("ingest", batch.clone())?.wait());
+        // Poison batches abort deliberately (non-retryable, not
+        // applied); everything else must commit — through the restart.
+        let committed = res.is_ok_and(|outcomes| {
+            outcomes
+                .iter()
+                .all(|po| po.outcomes.iter().all(|o| o.status == TxnStatus::Committed))
+        });
+        if committed {
+            applied.push(i);
+        }
+    }
+    assert!(
+        applied.contains(&7),
+        "the killed batch must succeed on retry"
+    );
+    let m = cluster.metrics();
+    assert_eq!(m.worker_restarts, 1, "exactly one supervised restart");
+    assert_eq!(m.health, vec![PartitionHealth::Healthy]);
+    cluster.quiesce().unwrap();
+
+    let oracle = TelemetryOracle::of_batches(&batches, applied.iter().copied());
+    assert_matches_oracle(&cluster, &oracle);
+
+    // A cold recovery over the same directory agrees: the supervised
+    // restart wrote nothing a crash-restart would not.
+    drop(cluster);
+    let recovered = Cluster::recover(
+        1,
+        RouteSpec::hash(0),
+        64,
+        &builder,
+        deploy_telemetry,
+        TELEMETRY_EDGES,
+    )
+    .unwrap();
+    recovered.quiesce().unwrap();
+    assert_matches_oracle(&recovered, &oracle);
+    drop(recovered);
+    std::fs::remove_dir_all(Path::new(&dir)).ok();
+}

@@ -77,6 +77,13 @@ impl Snapshot {
                 .map_err(|e| Error::Io(format!("snapshot encode: {e}")))?
                 .into_bytes(),
         };
+        if let Some(e) = fault::io_error("snapshot-io-error") {
+            // Injected temp-file write failure: nothing reached the real
+            // name, so recovery still reads the previous image (or none)
+            // plus the un-GC'd log. The caller keeps the old retention
+            // state and retries at the next boundary.
+            return Err(e);
+        }
         let tmp = path.with_extension("tmp");
         {
             let mut file = fs::File::create(&tmp)?;
@@ -293,6 +300,11 @@ impl SnapshotDelta {
     /// binary-only: the JSON envelope stays a full-image format.
     pub fn write_to(&self, path: &Path) -> Result<()> {
         let bytes = self.encode_binary();
+        if let Some(e) = fault::io_error("snapshot-io-error") {
+            // Same contract as the base writer: zero partial state, the
+            // chain prefix on disk stays authoritative.
+            return Err(e);
+        }
         let tmp = path.with_extension("tmp");
         {
             let mut file = fs::File::create(&tmp)?;

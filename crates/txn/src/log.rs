@@ -521,6 +521,10 @@ pub struct CommandLog {
     records_written: u64,
     syncs: u64,
     bytes_written: u64,
+    /// Set when a failed group write could not be rolled back: the file
+    /// tail is of unknown durability, so no further append may land
+    /// after it. Every later append/sync fails with `Error::Recovery`.
+    poisoned: bool,
 }
 
 impl CommandLog {
@@ -587,6 +591,7 @@ impl CommandLog {
             records_written: 0,
             syncs: 0,
             bytes_written: 0,
+            poisoned: false,
         })
     }
 
@@ -597,12 +602,28 @@ impl CommandLog {
 
     /// Append a record; flushes per group-commit policy. Returns true if
     /// this append triggered an fsync.
+    ///
+    /// When the flush fails, the *failed record* is dropped from the
+    /// buffer before the error surfaces: the caller reports its batch as
+    /// failed, so the record must not linger and become durable at a
+    /// later sync — a batch the client saw fail would otherwise
+    /// resurrect at replay. Earlier buffered group members stay (their
+    /// callers were told "accepted, not yet synced", which still holds)
+    /// unless the log is poisoned (unknown tail durability).
     pub fn append(&mut self, record: &LogRecord) -> Result<bool> {
+        let base = self.pending.len();
         encode_record_into(record, self.active_format, &mut self.pending)?;
         self.records_written += 1;
         self.unsynced += 1;
         if self.unsynced >= self.config.group_commit_n {
-            self.sync()?;
+            if let Err(e) = self.sync() {
+                if e.kind() != "recovery" {
+                    self.pending.truncate(base);
+                    self.unsynced -= 1;
+                    self.records_written -= 1;
+                }
+                return Err(e);
+            }
             return Ok(true);
         }
         Ok(false)
@@ -610,9 +631,22 @@ impl CommandLog {
 
     /// Force the buffered records down: one write + one fsync for the
     /// whole group. No-op when nothing is unsynced.
+    ///
+    /// A failed (or injected — fault point `log-append-io-error`) group
+    /// write is rolled back to the pre-write file length, so no torn
+    /// frame is left as a durable prefix boundary: the buffered records
+    /// stay pending and the failure surfaces as a retryable
+    /// [`Error::Io`]. Only if the rollback *also* fails is the log
+    /// poisoned — the tail is then of unknown durability, and every
+    /// later append fails with [`Error::Recovery`].
     pub fn sync(&mut self) -> Result<()> {
         if self.unsynced == 0 {
             return Ok(());
+        }
+        if self.poisoned {
+            return Err(Error::Recovery(
+                "command log poisoned by an earlier failed write rollback".into(),
+            ));
         }
         if let Some(mode) = fault::should_fire("log-mid-write") {
             // Injected torn write: half the buffered group reaches disk,
@@ -626,13 +660,45 @@ impl CommandLog {
             self.unsynced = 0;
             fault::die("log-mid-write", mode);
         }
-        self.file.write_all(&self.pending)?;
-        self.file.sync_data()?;
+        let old_len = self.file.metadata()?.len();
+        let write = match fault::io_error("log-append-io-error") {
+            Some(e) => Err(e),
+            None => self
+                .file
+                .write_all(&self.pending)
+                .and_then(|()| self.file.sync_data())
+                .map_err(Error::from),
+        };
+        if let Err(e) = write {
+            let rollback = self
+                .file
+                .set_len(old_len)
+                .and_then(|()| self.file.sync_data());
+            return Err(match rollback {
+                Ok(()) => Error::Io(format!(
+                    "command log group write failed (rolled back, retryable): {e}"
+                )),
+                Err(r) => {
+                    self.poisoned = true;
+                    Error::Recovery(format!(
+                        "command log group write failed and rollback failed — log tail \
+                         of unknown durability: write: {e}; rollback: {r}"
+                    ))
+                }
+            });
+        }
         self.bytes_written += self.pending.len() as u64;
         self.pending.clear();
         self.unsynced = 0;
         self.syncs += 1;
         Ok(())
+    }
+
+    /// True once a failed write rollback left the file tail of unknown
+    /// durability. A poisoned log accepts no further appends; the owning
+    /// partition should go down deliberately and be recovered from disk.
+    pub fn poisoned(&self) -> bool {
+        self.poisoned
     }
 
     /// Records appended over this log's lifetime.
@@ -742,10 +808,12 @@ impl Drop for CommandLog {
     /// non-crash exit never loses the unsynced tail (crash durability is
     /// still bounded by `group_commit_n`, as before).
     fn drop(&mut self) {
-        if std::thread::panicking() {
+        if std::thread::panicking() || self.poisoned {
             // A thread dying by panic (e.g. an injected kill) must not
             // flush the buffered group as if shutdown were clean — the
-            // crash contract is that unsynced records are lost.
+            // crash contract is that unsynced records are lost. A
+            // poisoned log must not write past a tail of unknown
+            // durability either.
             return;
         }
         let _ = self.sync();

@@ -186,6 +186,17 @@ pub struct Partition {
     /// Exactly-once dedup state per incoming edge: highest source batch
     /// id already accepted from `(source partition, stream)`.
     edge_high_water: HashMap<(u32, String), u64>,
+    /// Incoming edges with an unfilled hole: `(source partition, stream)
+    /// → the lowest source batch whose forward was refused` (its log
+    /// write failed). The high-water dedupe is sound only if forwards
+    /// from a source are accepted in order with no holes — accepting a
+    /// *younger* batch after a refusal would advance the mark past the
+    /// hole, and the sender's eventual re-forward of the refused batch
+    /// would then look like a duplicate and be dropped. Until the hole
+    /// is refilled (the refused batch re-forwarded and durably logged),
+    /// every younger forward on that edge is refused too; their acks
+    /// stay withheld upstream, so recovery re-forwards them in order.
+    edge_gaps: HashMap<(u32, String), u64>,
     /// Highest gtid this partition has ever prepared (live or replayed).
     /// The cluster's coordinator resumes *past* every partition's mark so
     /// a recovered cluster can never reuse an in-doubt gtid — reuse would
@@ -202,6 +213,15 @@ pub struct Partition {
     last_snapshot_key: Option<SnapshotKey>,
     /// Number of deltas chained onto the current base image.
     snapshot_chain_len: u64,
+    /// Set when a durability write failed *after* a commit point (a 2PC
+    /// decision record, a post-commit `ForwardOut` emission record): the
+    /// failed record was dropped cleanly from the log buffer, but
+    /// in-memory state now holds effects the log will never reflect. The
+    /// only safe continuation is a rebuild from disk
+    /// ([`Self::durability_poisoned`] tells a supervisor to do exactly
+    /// that); anything else — including a retention snapshot — would
+    /// capture the divergence.
+    state_diverged: bool,
 }
 
 impl std::fmt::Debug for Partition {
@@ -249,10 +269,12 @@ impl Partition {
             cross_edges: Vec::new(),
             outbox: Vec::new(),
             edge_high_water: HashMap::new(),
+            edge_gaps: HashMap::new(),
             max_gtid_seen: 0,
             replay_covered: 0,
             last_snapshot_key: None,
             snapshot_chain_len: 0,
+            state_diverged: false,
         })
     }
 
@@ -421,6 +443,19 @@ impl Partition {
         let mut s = self.stats.clone();
         s.rows = sstore_common::RowMetrics::snapshot();
         s
+    }
+
+    /// True when live state and the durable log can no longer be
+    /// reconciled in place: either the command log was poisoned by a
+    /// failed write rollback (the durable tail is of unknown length), or
+    /// a post-commit-point record (2PC decision, emission envelope)
+    /// failed to log while its effects are already applied in memory.
+    /// The owning worker should take the partition down deliberately and
+    /// recover it from disk — replay reconstructs the consistent state,
+    /// including re-emitting lost cross-partition envelopes (destination
+    /// dedupe keeps them exactly-once).
+    pub fn durability_poisoned(&self) -> bool {
+        self.state_diverged || self.log.as_ref().is_some_and(|l| l.poisoned())
     }
 
     /// Reset PE and EE counters (the partition id is preserved).
@@ -816,12 +851,26 @@ impl Partition {
                 )))
             }
         };
-        self.log_record(&LogRecord::Decision {
-            gtid,
-            batch: frag.batch,
-            commit,
-        })?;
-        self.log_sync()?;
+        if let Err(e) = self
+            .log_record(&LogRecord::Decision {
+                gtid,
+                batch: frag.batch,
+                commit,
+            })
+            .and_then(|()| self.log_sync())
+        {
+            // The failed record was dropped from the log buffer, so
+            // nothing of the decision is durable and nothing has been
+            // applied — but the decision is already final at the
+            // coordinator, and this partition can no longer make it
+            // durable. Put the fragment back untouched and mark the
+            // partition for a rebuild from disk: recovery resolves the
+            // held fragment against the coordinator's decision map and
+            // re-emits whatever the decision implies, exactly once.
+            self.prepared = Some(frag);
+            self.state_diverged = true;
+            return Err(e);
+        }
         if !self.replaying {
             // Kill point: the decision reached this participant and is
             // durable locally, but has not been applied. Replay must
@@ -980,17 +1029,39 @@ impl Partition {
             self.stats.forwards_deduped += 1;
             return Ok(None);
         }
+        if let Some(&gap) = self.edge_gaps.get(&key) {
+            if src_batch > gap {
+                // Accepting this younger batch would advance the
+                // high-water past the refused one and turn its eventual
+                // re-forward into a "duplicate" — a silently lost batch.
+                return Err(Error::Io(format!(
+                    "edge `{stream}` from partition {src_partition} has an unfilled \
+                     hole at source batch {gap}; refusing younger batch {src_batch} \
+                     to preserve in-order exactly-once delivery"
+                )));
+            }
+        }
         self.next_batch += 1;
         let batch = BatchId::new(self.next_batch);
-        self.log_record(&LogRecord::Forward {
-            batch,
-            stream: stream.to_string(),
-            src_partition,
-            src_batch,
-            rows: rows.clone(),
-            ts: self.clock.now(),
-        })?;
-        self.log_sync()?;
+        if let Err(e) = self
+            .log_record(&LogRecord::Forward {
+                batch,
+                stream: stream.to_string(),
+                src_partition,
+                src_batch,
+                rows: rows.clone(),
+                ts: self.clock.now(),
+            })
+            .and_then(|()| self.log_sync())
+        {
+            // The forward is not durable here: leave the high-water
+            // untouched (the ack is withheld, the sender re-forwards)
+            // and mark the hole so no younger batch can leapfrog it.
+            let gap = self.edge_gaps.entry(key).or_insert(src_batch);
+            *gap = (*gap).min(src_batch);
+            return Err(e);
+        }
+        self.edge_gaps.remove(&key);
         if !self.replaying {
             // Kill point: the forward is durable here but the edge ack
             // has not been sent — the sender must keep its upstream
@@ -1229,12 +1300,23 @@ impl Partition {
                         // retention snapshot covers batch `b` before the
                         // edge ack arrives, replay will skip `b` — this
                         // record is then the only source of the envelope.
-                        self.log_record(&LogRecord::ForwardOut {
+                        if let Err(e) = self.log_record(&LogRecord::ForwardOut {
                             batch: b,
                             stream: name.clone(),
                             key_col: key_col as u32,
                             rows: rows.clone(),
-                        })?;
+                        }) {
+                            // Post-commit-point failure: the emitting
+                            // batch is durable and applied, but its
+                            // envelope can never be logged (the failed
+                            // record was dropped from the buffer). Live
+                            // state has diverged from what replay will
+                            // produce — go down for a rebuild from disk,
+                            // which re-runs the batch and re-creates the
+                            // envelope.
+                            self.state_diverged = true;
+                            return Err(e);
+                        }
                         self.outbox.push(RemoteForward {
                             stream: name,
                             key_col,
@@ -1363,6 +1445,15 @@ impl Partition {
     /// rewrite also migrates a sniffed legacy-JSON log to the configured
     /// format.
     pub fn snapshot(&mut self) -> Result<()> {
+        if self.durability_poisoned() {
+            // Live state no longer matches what the log will replay; a
+            // snapshot here would make the divergence durable.
+            return Err(Error::Recovery(
+                "cannot snapshot: durability is poisoned — rebuild the \
+                 partition from disk first"
+                    .into(),
+            ));
+        }
         if let Some(frag) = &self.prepared {
             return Err(Error::Txn(format!(
                 "cannot snapshot while 2PC fragment gtid {} awaits its decision \
