@@ -9,6 +9,8 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use sstore_bench::{exp_e9_reference, exp_e9_run};
+use sstore_common::obs;
+use std::time::Instant;
 
 const BATCH: usize = 250;
 /// Sleep per PE→EE statement dispatch, modelling the round-trip latency
@@ -35,6 +37,37 @@ fn cluster_scaling(c: &mut Criterion) {
         partitioned, reference,
         "4-partition async state diverged from the single-partition reference"
     );
+
+    // Dataflow-tracing overhead A/B: the same 4-partition async run with
+    // stage tracing forced on vs off, interleaved so thermal/scheduler
+    // drift cancels. O(1) relaxed-atomic recording must stay in the
+    // noise next to real work.
+    let pairs = if smoke() { 1 } else { 3 };
+    let (mut with_trace, mut without_trace) = (Vec::new(), Vec::new());
+    for _ in 0..pairs {
+        obs::set_enabled(true);
+        let t = Instant::now();
+        exp_e9_run(4, events, BATCH, true, EE_LATENCY_US);
+        with_trace.push(t.elapsed().as_secs_f64());
+        obs::set_enabled(false);
+        let t = Instant::now();
+        exp_e9_run(4, events, BATCH, true, EE_LATENCY_US);
+        without_trace.push(t.elapsed().as_secs_f64());
+    }
+    obs::set_enabled(true);
+    let best = |v: &[f64]| v.iter().cloned().fold(f64::INFINITY, f64::min);
+    let overhead_pct = (best(&with_trace) / best(&without_trace) - 1.0) * 100.0;
+    println!(
+        "tracing overhead: {overhead_pct:+.2}% (on {:.4}s vs off {:.4}s, best of {pairs})",
+        best(&with_trace),
+        best(&without_trace)
+    );
+    if !smoke() {
+        assert!(
+            overhead_pct <= 3.0,
+            "dataflow tracing overhead {overhead_pct:.2}% exceeds the 3% budget"
+        );
+    }
 
     for n in [1usize, 2, 4] {
         g.bench_function(BenchmarkId::new(format!("sync/{n}p"), events), |b| {

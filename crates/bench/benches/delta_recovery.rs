@@ -25,6 +25,8 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use sstore_bench::{exp_e13_cluster_recovery, exp_e13_mixed_2pc, exp_e13_recovery, scratch_dir};
+use sstore_common::obs;
+use std::collections::BTreeMap;
 
 fn smoke() -> bool {
     std::env::var_os("SSTORE_BENCH_SMOKE").is_some()
@@ -134,7 +136,29 @@ fn write_artifact(rows: &[E13Row]) {
             if i + 1 < rows.len() { "," } else { "" }
         ));
     }
-    json.push_str("  ]\n}\n");
+    // Recovery phase breakdown (base-image read, delta-chain apply, log
+    // replay, partition-parallel join) from the obs phase timers — every
+    // recovery the sweeps ran in this process contributes.
+    let phases: BTreeMap<String, _> = obs::registry_snapshot()
+        .histograms
+        .into_iter()
+        .filter(|(name, _)| name.starts_with("recovery."))
+        .map(|(name, h)| (name, h.report()))
+        .collect();
+    json.push_str("  ],\n  \"recovery_phases\": {\n");
+    let n = phases.len();
+    for (i, (name, r)) in phases.into_iter().enumerate() {
+        json.push_str(&format!(
+            "    \"{name}\": {{\"count\": {}, \"mean_us\": {:.1}, \"p95_us\": {:.1}, \
+             \"max_us\": {:.1}}}{}\n",
+            r.count,
+            r.mean_us,
+            r.p95_us,
+            r.max_us,
+            if i + 1 < n { "," } else { "" }
+        ));
+    }
+    json.push_str("  }\n}\n");
     let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
         .join("../../target")
         .join("BENCH_e13.json");

@@ -15,6 +15,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use sstore_bench::{count_events_rows, exp_e14_capacity, exp_e14_open_loop, E14Leg};
+use sstore_common::obs::{self, HistogramSnapshot};
 
 fn smoke() -> bool {
     std::env::var_os("SSTORE_BENCH_SMOKE").is_some()
@@ -25,7 +26,17 @@ struct E14Row {
     leg: E14Leg,
 }
 
-fn write_artifact(capacity: f64, rows: &[E14Row]) {
+/// Snapshot every dataflow stage histogram (process-wide); two captures
+/// bracketing the open-loop legs give the per-stage latency waterfall of
+/// exactly the overload traffic via [`HistogramSnapshot::since`].
+fn stage_snapshots() -> Vec<HistogramSnapshot> {
+    obs::STAGES
+        .iter()
+        .map(|s| obs::stage_snapshot(*s))
+        .collect()
+}
+
+fn write_artifact(capacity: f64, rows: &[E14Row], stage_base: &[HistogramSnapshot]) {
     let mut json = format!(
         "{{\n  \"experiment\": \"e14_overload\",\n  \"capacity_batches_per_s\": {capacity:.1},\n  \"rows\": [\n"
     );
@@ -46,7 +57,22 @@ fn write_artifact(capacity: f64, rows: &[E14Row]) {
             if i + 1 < rows.len() { "," } else { "" }
         ));
     }
-    json.push_str("  ]\n}\n");
+    json.push_str("  ],\n  \"stages\": {\n");
+    for (i, (stage, base)) in obs::STAGES.iter().zip(stage_base).enumerate() {
+        let r = obs::stage_snapshot(*stage).since(base).report();
+        json.push_str(&format!(
+            "    \"{}\": {{\"count\": {}, \"p50_us\": {:.1}, \"p95_us\": {:.1}, \
+             \"p99_us\": {:.1}, \"max_us\": {:.1}}}{}\n",
+            stage.name(),
+            r.count,
+            r.p50_us,
+            r.p95_us,
+            r.p99_us,
+            r.max_us,
+            if i + 1 < obs::STAGES.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  }\n}\n");
     let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
         .join("../../target")
         .join("BENCH_e14.json");
@@ -67,6 +93,8 @@ fn overload(c: &mut Criterion) {
     let capacity = exp_e14_capacity(partitions, depth, ee_latency_us, batch, cap_secs);
     println!("measured capacity: {capacity:.1} batches/s");
 
+    // Window the per-stage latency waterfall to the open-loop legs.
+    let stage_base = stage_snapshots();
     let mut rows = Vec::new();
     for factor in [0.5, 1.0, 2.0] {
         let leg = exp_e14_open_loop(
@@ -113,7 +141,7 @@ fn overload(c: &mut Criterion) {
         "p95 under 2x overload must stay bounded, got {:.1} ms",
         two_x.p95_ms
     );
-    write_artifact(capacity, &rows);
+    write_artifact(capacity, &rows, &stage_base);
 
     // Criterion headline: admission-control submit→commit round trip,
     // uncontended (the try-path's bookkeeping overhead, not queueing).

@@ -176,7 +176,7 @@ pub fn io_error(point: &str) -> Option<Error> {
         *g = None;
         ANY_ARMED.store(false, Ordering::SeqCst);
     }
-    eprintln!("sstore-fault: injected io error at `{point}`");
+    crate::slog!(Warn; "sstore-fault: injected io error at `{point}`");
     Some(Error::Io(format!("injected io fault at `{point}`")))
 }
 
@@ -184,7 +184,7 @@ pub fn io_error(point: &str) -> Option<Error> {
 pub fn die(point: &str, mode: KillMode) -> ! {
     match mode {
         KillMode::Abort => {
-            eprintln!("sstore-fault: injected crash at `{point}`");
+            crate::slog!(Warn; "sstore-fault: injected crash at `{point}`");
             std::process::abort();
         }
         KillMode::Panic => panic!("sstore-fault: injected kill at `{point}`"),

@@ -13,6 +13,7 @@ pub mod codec;
 pub mod error;
 pub mod fault;
 pub mod ids;
+pub mod obs;
 pub mod row;
 pub mod schema;
 pub mod types;

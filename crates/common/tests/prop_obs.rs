@@ -1,0 +1,107 @@
+//! Property tests for the observability histograms: merging two
+//! snapshots must be indistinguishable from recording the union of
+//! their samples — same counts, same exact mean and max, identical
+//! quantiles at every probe point — and quantiles must stay within the
+//! bucketing scheme's advertised relative error of the true order
+//! statistic.
+
+use proptest::prelude::*;
+use sstore_common::obs::Histogram;
+
+/// Latency-like values spanning the interesting ranges: the exact
+/// linear buckets (< 32), mid-range, and large values where bucket
+/// width matters. Bounded so the histogram's exact running sum cannot
+/// overflow within a test case.
+fn arb_latency() -> impl Strategy<Value = u64> {
+    prop_oneof![
+        0u64..64,
+        64u64..100_000,
+        100_000u64..10_000_000_000,
+        Just(10_000_000_000_000),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn merge_matches_recording_the_union(
+        xs in prop::collection::vec(arb_latency(), 0..200),
+        ys in prop::collection::vec(arb_latency(), 0..200),
+    ) {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        let union = Histogram::new();
+        for &v in &xs {
+            a.record(v);
+            union.record(v);
+        }
+        for &v in &ys {
+            b.record(v);
+            union.record(v);
+        }
+        let mut merged = a.snapshot();
+        merged.merge(&b.snapshot());
+        let direct = union.snapshot();
+
+        prop_assert_eq!(merged.count(), direct.count());
+        prop_assert_eq!(merged.max(), direct.max());
+        prop_assert_eq!(merged.mean().to_bits(), direct.mean().to_bits());
+        for q in [0.0, 0.25, 0.5, 0.9, 0.95, 0.99, 0.999, 1.0] {
+            prop_assert_eq!(
+                merged.quantile(q),
+                direct.quantile(q),
+                "quantile {} diverged after merge", q
+            );
+        }
+        // merge() is exact, so the snapshots must be equal, not merely
+        // percentile-equal.
+        prop_assert_eq!(merged, direct);
+    }
+
+    #[test]
+    fn quantiles_stay_within_bucket_error(
+        samples in prop::collection::vec(0u64..10_000_000_000, 1..300),
+    ) {
+        let h = Histogram::new();
+        for &v in &samples {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        let mut xs = samples;
+        xs.sort_unstable();
+        for q in [0.5, 0.95, 0.99] {
+            let rank = ((q * xs.len() as f64).ceil() as usize).clamp(1, xs.len());
+            let truth = xs[rank - 1];
+            let got = s.quantile(q);
+            // Bucket midpoints are within 1/32 of any member value; the
+            // clamp to the exact max can only help.
+            let tol = (truth as f64 / 32.0).max(1.0) + 0.5;
+            prop_assert!(
+                (got as f64 - truth as f64).abs() <= tol,
+                "q={} got={} truth={} tol={}", q, got, truth, tol
+            );
+        }
+        prop_assert_eq!(s.quantile(1.0), *xs.last().unwrap());
+        prop_assert_eq!(s.count(), xs.len() as u64);
+    }
+
+    #[test]
+    fn since_inverts_merge(
+        xs in prop::collection::vec(arb_latency(), 0..100),
+        ys in prop::collection::vec(arb_latency(), 1..100),
+    ) {
+        let h = Histogram::new();
+        for &v in &xs {
+            h.record(v);
+        }
+        let earlier = h.snapshot();
+        for &v in &ys {
+            h.record(v);
+        }
+        let delta = h.snapshot().since(&earlier);
+        prop_assert_eq!(delta.count(), ys.len() as u64);
+        let expect_mean = ys.iter().map(|&v| v as f64).sum::<f64>() / ys.len() as f64;
+        // Sum is tracked exactly (wrapping aside), so the window mean is
+        // exact too.
+        prop_assert!((delta.mean() - expect_mean).abs() <= expect_mean * 1e-12 + 1e-6);
+    }
+}

@@ -131,7 +131,8 @@ use crate::ingest::{IngestQueue, SendError, TrySendError};
 use crate::metrics::{ClusterMetrics, PartitionMetrics};
 use crate::router::{RouteSpec, Router, Ticket};
 use crate::SStore;
-use sstore_common::{fault, BatchId, Error, PartitionId, Result, Row, Value};
+use sstore_common::obs::{self, Stage, TraceCtx};
+use sstore_common::{fault, slog, BatchId, Error, PartitionId, Result, Row, Value};
 use sstore_txn::recovery::recover_with_decisions;
 use sstore_txn::TxnOutcome;
 use std::collections::{HashMap, HashSet, VecDeque};
@@ -148,18 +149,19 @@ use std::thread::JoinHandle;
 pub const DEFAULT_INGEST_QUEUE_DEPTH: usize = 256;
 
 /// Supervision state of one partition worker.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub enum PartitionHealth {
-    /// The worker is draining its queue normally.
-    Healthy = 0,
+    /// The worker is draining its queue normally. Encoded as 0 in the
+    /// shared health cells (variant order is the encoding).
+    Healthy,
     /// The worker died and its supervisor is re-running log + snapshot
     /// recovery; queued work waits (sends still succeed) and resolves
-    /// once the partition is back.
-    Restarting = 1,
+    /// once the partition is back. Encoded as 1.
+    Restarting,
     /// The partition is permanently down (non-durable, recovery failed,
     /// or the restart budget is spent). All queued and future work
-    /// resolves with [`Error::PartitionDown`].
-    Down = 2,
+    /// resolves with [`Error::PartitionDown`]. Encoded as 2.
+    Down,
 }
 
 /// Cluster-wide supervision state shared by the handle, the workers'
@@ -211,6 +213,8 @@ enum WorkerMsg {
         proc: String,
         rows: Vec<Row>,
         reply: ReplyTx,
+        /// Dataflow trace minted at submission (None when tracing is off).
+        trace: Option<TraceCtx>,
     },
     /// One leg of a scatter-gather read-only query.
     Query {
@@ -233,6 +237,8 @@ enum WorkerMsg {
         rows: Vec<Row>,
         vote: mpsc::Sender<Result<()>>,
         reply: ReplyTx,
+        /// Dataflow trace minted at submission (None when tracing is off).
+        trace: Option<TraceCtx>,
     },
     /// 2PC phase 2: the coordinator's durable decision for `gtid`.
     Decide { gtid: u64, commit: bool },
@@ -242,6 +248,9 @@ enum WorkerMsg {
         src: PartitionId,
         src_batch: BatchId,
         rows: Vec<Row>,
+        /// The emitting batch's trace, carried across the edge so a
+        /// multi-hop dataflow keeps one end-to-end trace id.
+        trace: Option<TraceCtx>,
     },
     /// Every receiver of `batch`'s edge forwards has durably logged its
     /// shard: release the emitting batch's upstream backup.
@@ -352,6 +361,11 @@ pub struct Cluster {
     /// Procedures declared `multi_partition` (identical on every
     /// partition; captured from partition 0 at build).
     multi_partition_procs: HashSet<String>,
+    /// Stage-histogram snapshots, the next trace id, and the wall clock
+    /// at construction time: [`Cluster::observability_report`] subtracts
+    /// this baseline so a report covers only this cluster's traffic even
+    /// when several clusters share the process (tests, benches).
+    pub(crate) obs_baseline: crate::obs_report::ObsBaseline,
 }
 
 impl std::fmt::Debug for Cluster {
@@ -513,32 +527,34 @@ impl Cluster {
             && n > 1
             && !matches!(std::env::var("SSTORE_RECOVERY").as_deref(), Ok("serial"));
         let partitions: Vec<SStore> = if parallel {
-            std::thread::scope(|s| {
-                let handles: Vec<_> = (0..n)
-                    .map(|i| {
-                        let b = site_builder(i);
-                        let build_one = &build_one;
-                        s.spawn(move || build_one(b))
-                    })
-                    .collect();
-                // Join every handle before surfacing the first error: a
-                // short-circuiting collect would leave panicked threads
-                // for the scope to auto-join, and the scope re-panics on
-                // those. A panicking replay (corrupt state tripping an
-                // assertion, an injected fault) must instead surface as
-                // a clean recovery error.
-                let joined: Vec<Result<SStore>> = handles
-                    .into_iter()
-                    .enumerate()
-                    .map(|(i, h)| {
-                        h.join().unwrap_or_else(|_| {
-                            Err(Error::Recovery(format!(
-                                "partition {i} panicked during parallel recovery"
-                            )))
+            obs::timed_phase("recovery.parallel_join", || {
+                std::thread::scope(|s| {
+                    let handles: Vec<_> = (0..n)
+                        .map(|i| {
+                            let b = site_builder(i);
+                            let build_one = &build_one;
+                            s.spawn(move || build_one(b))
                         })
-                    })
-                    .collect();
-                joined.into_iter().collect::<Result<Vec<_>>>()
+                        .collect();
+                    // Join every handle before surfacing the first error: a
+                    // short-circuiting collect would leave panicked threads
+                    // for the scope to auto-join, and the scope re-panics on
+                    // those. A panicking replay (corrupt state tripping an
+                    // assertion, an injected fault) must instead surface as
+                    // a clean recovery error.
+                    let joined: Vec<Result<SStore>> = handles
+                        .into_iter()
+                        .enumerate()
+                        .map(|(i, h)| {
+                            h.join().unwrap_or_else(|_| {
+                                Err(Error::Recovery(format!(
+                                    "partition {i} panicked during parallel recovery"
+                                )))
+                            })
+                        })
+                        .collect();
+                    joined.into_iter().collect::<Result<Vec<_>>>()
+                })
             })?
         } else {
             (0..n)
@@ -611,6 +627,7 @@ impl Cluster {
             shared,
             coordinator,
             multi_partition_procs,
+            obs_baseline: crate::obs_report::ObsBaseline::capture(),
         })
     }
 
@@ -688,12 +705,16 @@ impl Cluster {
     /// the module docs); all other submissions keep the independent
     /// per-partition semantics.
     pub fn submit_batch_async<R: Into<Row>>(&self, proc: &str, rows: Vec<R>) -> Result<Ticket> {
+        let trace = obs::enabled().then(TraceCtx::mint);
         let rows: Vec<Row> = rows.into_iter().map(Into::into).collect();
         let shards = self.router.shard(rows)?;
-        if self.multi_partition_procs.contains(proc) {
-            return self.coordinate(proc, shards);
+        if let Some(t) = trace {
+            obs::record(Stage::Routed, t);
         }
-        self.submit_shards(proc, shards)
+        if self.multi_partition_procs.contains(proc) {
+            return self.coordinate(proc, shards, trace);
+        }
+        self.submit_shards(proc, shards, trace)
     }
 
     /// [`Cluster::submit_batch_async`] with **admission control** instead
@@ -708,8 +729,12 @@ impl Cluster {
     /// a queue that fills between the check and the prepare applies
     /// backpressure as usual.
     pub fn try_submit_batch_async<R: Into<Row>>(&self, proc: &str, rows: Vec<R>) -> Result<Ticket> {
+        let trace = obs::enabled().then(TraceCtx::mint);
         let rows: Vec<Row> = rows.into_iter().map(Into::into).collect();
         let shards = self.router.shard(rows)?;
+        if let Some(t) = trace {
+            obs::record(Stage::Routed, t);
+        }
         if self.multi_partition_procs.contains(proc)
             && shards.iter().filter(|s| !s.is_empty()).count() > 1
         {
@@ -722,7 +747,7 @@ impl Cluster {
                     )));
                 }
             }
-            return self.coordinate(proc, shards);
+            return self.coordinate(proc, shards, trace);
         }
         let mut sends = Vec::new();
         let mut pending = Vec::new();
@@ -737,6 +762,7 @@ impl Cluster {
                     proc: proc.to_string(),
                     rows: shard,
                     reply: tx,
+                    trace,
                 },
             ));
             pending.push((worker.id, rx));
@@ -765,9 +791,13 @@ impl Cluster {
     /// participant's outcomes; if any participant votes no, the whole
     /// transaction aborts everywhere and `wait()` surfaces the error.
     pub fn submit_batch_atomic<R: Into<Row>>(&self, proc: &str, rows: Vec<R>) -> Result<Ticket> {
+        let trace = obs::enabled().then(TraceCtx::mint);
         let rows: Vec<Row> = rows.into_iter().map(Into::into).collect();
         let shards = self.router.shard(rows)?;
-        self.coordinate(proc, shards)
+        if let Some(t) = trace {
+            obs::record(Stage::Routed, t);
+        }
+        self.coordinate(proc, shards, trace)
     }
 
     /// Submit a border batch split by the declared route, and block for
@@ -802,7 +832,12 @@ impl Cluster {
         Ok(results)
     }
 
-    fn submit_shards(&self, proc: &str, shards: Vec<Vec<Row>>) -> Result<Ticket> {
+    fn submit_shards(
+        &self,
+        proc: &str,
+        shards: Vec<Vec<Row>>,
+        trace: Option<TraceCtx>,
+    ) -> Result<Ticket> {
         let mut pending = Vec::new();
         for (worker, shard) in self.workers.iter().zip(shards) {
             if shard.is_empty() {
@@ -813,6 +848,7 @@ impl Cluster {
                 proc: proc.to_string(),
                 rows: shard,
                 reply: tx,
+                trace,
             })?;
             pending.push((worker.id, rx));
         }
@@ -825,7 +861,12 @@ impl Cluster {
     /// records), a full prepare/decide round otherwise. The coordinator
     /// mutex serializes multi-sited transactions (H-Store's discipline),
     /// which also rules out distributed deadlock between prepare rounds.
-    fn coordinate(&self, proc: &str, shards: Vec<Vec<Row>>) -> Result<Ticket> {
+    fn coordinate(
+        &self,
+        proc: &str,
+        shards: Vec<Vec<Row>>,
+        trace: Option<TraceCtx>,
+    ) -> Result<Ticket> {
         let involved = shards.iter().filter(|s| !s.is_empty()).count();
         let mut coordinator = self
             .coordinator
@@ -834,7 +875,7 @@ impl Cluster {
         if involved <= 1 {
             coordinator.note_fast_path();
             drop(coordinator);
-            return self.submit_shards(proc, shards);
+            return self.submit_shards(proc, shards, trace);
         }
 
         let gtid = coordinator.begin();
@@ -857,6 +898,7 @@ impl Cluster {
                 rows: shard,
                 vote: vote_tx,
                 reply: reply_tx,
+                trace,
             }) {
                 Ok(()) => {
                     votes.push(vote_rx);
@@ -895,7 +937,7 @@ impl Cluster {
                     return Err(e);
                 }
                 Err(e) => {
-                    eprintln!("sstore: coordinator decision log failed, aborting gtid {gtid}: {e}");
+                    slog!(Error; "coordinator decision log failed, aborting gtid {gtid}: {e}");
                     commit = false;
                     coordinator.decide(gtid, false, &participants).ok();
                 }
@@ -921,7 +963,7 @@ impl Cluster {
         // decision) skips the compaction: correctness first.
         if coordinator.should_compact() && self.barrier().is_ok() {
             if let Err(e) = coordinator.compact() {
-                eprintln!("sstore: coordinator log compaction failed (retained): {e}");
+                slog!(Warn; "coordinator log compaction failed (retained): {e}");
             }
         }
         drop(coordinator);
@@ -1221,13 +1263,13 @@ fn supervised_worker(ctx: WorkerCtx, first: SStore) {
         match exit {
             Ok(LoopExit::Shutdown) => return,
             Ok(LoopExit::Poisoned) => {
-                eprintln!(
-                    "sstore: partition {} command log poisoned; rebuilding from disk",
-                    ctx.id
+                slog!(
+                    Warn, partition = ctx.id.raw();
+                    "command log poisoned; rebuilding from disk"
                 );
             }
             Err(_) => {
-                eprintln!("sstore: partition {} worker panicked; supervising", ctx.id);
+                slog!(Warn, partition = ctx.id.raw(); "worker panicked; supervising");
             }
         }
         ctx.shared.set_health(ctx.id, PartitionHealth::Restarting);
@@ -1301,14 +1343,14 @@ fn supervised_worker(ctx: WorkerCtx, first: SStore) {
         let durable = ctx.builder.config().log.is_some();
         if closed || !durable || restarts_here >= budget {
             if !durable {
-                eprintln!(
-                    "sstore: partition {} is non-durable and cannot be restarted; down",
-                    ctx.id
+                slog!(
+                    Error, partition = ctx.id.raw();
+                    "partition is non-durable and cannot be restarted; down"
                 );
             } else if restarts_here >= budget {
-                eprintln!(
-                    "sstore: partition {} spent its restart budget ({budget}); down",
-                    ctx.id
+                slog!(
+                    Error, partition = ctx.id.raw();
+                    "partition spent its restart budget ({budget}); down"
                 );
             }
             down_tombstone(&ctx, &mut pending);
@@ -1322,7 +1364,7 @@ fn supervised_worker(ctx: WorkerCtx, first: SStore) {
                 db_slot = Some(p);
             }
             Err(e) => {
-                eprintln!("sstore: partition {} restart failed ({e}); down", ctx.id);
+                slog!(Error, partition = ctx.id.raw(); "restart failed ({e}); down");
                 down_tombstone(&ctx, &mut pending);
                 return;
             }
@@ -1431,8 +1473,13 @@ fn worker_loop(
             },
         };
         match msg {
-            WorkerMsg::Ingest { proc, rows, reply } => {
-                let mut group = vec![(rows, reply)];
+            WorkerMsg::Ingest {
+                proc,
+                rows,
+                reply,
+                trace,
+            } => {
+                let mut group = vec![(rows, reply, trace)];
                 // Opportunistically coalesce same-procedure submissions
                 // already waiting. A message for a different procedure
                 // (or kind) stays parked so FIFO order holds.
@@ -1445,26 +1492,41 @@ fn worker_loop(
                     }
                     match pending.front() {
                         Some(WorkerMsg::Ingest { proc: p, .. }) if *p == proc => {
-                            let Some(WorkerMsg::Ingest { rows, reply, .. }) = pending.pop_front()
+                            let Some(WorkerMsg::Ingest {
+                                rows, reply, trace, ..
+                            }) = pending.pop_front()
                             else {
                                 unreachable!("front was a matching Ingest");
                             };
-                            group.push((rows, reply));
+                            group.push((rows, reply, trace));
                         }
                         _ => break,
                     }
                 }
-                crash.ingest_replies = group.iter().map(|(_, r)| r.clone()).collect();
+                crash.ingest_replies = group.iter().map(|(_, r, _)| r.clone()).collect();
+                // Every group member leaves the queue at this instant;
+                // pending traces are pushed in submission order, which is
+                // the order the partition mints the group's batch ids.
+                for (_, _, t) in &group {
+                    if let Some(t) = *t {
+                        obs::record(Stage::Queued, t);
+                        db.push_pending_trace(t);
+                    }
+                }
+                let traces: Vec<Option<TraceCtx>> = group.iter().map(|(_, _, t)| *t).collect();
                 // Kill point: the group is captured but nothing has been
                 // logged or executed — a crash here resolves every reply
                 // as retryable PartitionDown.
                 fault::kill_point("worker-killed-live");
                 crash.uncertain = true;
                 if group.len() == 1 {
-                    let (rows, reply) = group.pop().expect("one submission");
+                    let (rows, reply, _) = group.pop().expect("one submission");
                     let _ = reply.send(db.submit_batch(&proc, rows));
                 } else {
-                    let (batches, replies): (Vec<_>, Vec<_>) = group.into_iter().unzip();
+                    let (batches, replies): (Vec<_>, Vec<_>) = group
+                        .into_iter()
+                        .map(|(rows, reply, _)| (rows, reply))
+                        .unzip();
                     match db.submit_batch_group(&proc, batches) {
                         // Per-submission results: a batch that committed
                         // resolves Ok even when a later group member
@@ -1482,6 +1544,9 @@ fn worker_loop(
                         }
                     }
                 }
+                for t in traces.into_iter().flatten() {
+                    obs::record(Stage::Executed, t);
+                }
                 crash.uncertain = false;
                 crash.ingest_replies.clear();
             }
@@ -1498,7 +1563,12 @@ fn worker_loop(
                 rows,
                 vote,
                 reply,
+                trace,
             } => {
+                if let Some(t) = trace {
+                    obs::record(Stage::Queued, t);
+                    db.push_pending_trace(t);
+                }
                 // The fragment log write makes the fate uncertain; a
                 // crash before the vote is sent aborts the gtid anyway
                 // (the coordinator reads the dropped vote channel as a
@@ -1506,6 +1576,9 @@ fn worker_loop(
                 crash.uncertain = true;
                 let prepared = db.prepare_fragment(gtid, &proc, rows);
                 crash.uncertain = false;
+                if let (Some(t), true) = (trace, prepared.is_ok()) {
+                    obs::record(Stage::Prepared, t);
+                }
                 let vote_err = prepared.as_ref().err().cloned();
                 if vote_err.is_none() {
                     // From the yes-vote on, the coordinator may commit:
@@ -1534,14 +1607,22 @@ fn worker_loop(
                             proc: sp,
                             rows,
                             reply,
+                            trace: spec_trace,
                         }) if speculate
                             && crash.deferred.is_empty()
                             && db.speculation_safe(&sp) =>
                         {
+                            if let Some(t) = spec_trace {
+                                obs::record(Stage::Queued, t);
+                                db.push_pending_trace(t);
+                            }
                             crash.ingest_replies.push(reply.clone());
                             crash.uncertain = true;
                             let _ = reply.send(db.submit_batch_speculative(&sp, rows));
                             crash.uncertain = false;
+                            if let Some(t) = spec_trace {
+                                obs::record(Stage::Executed, t);
+                            }
                             crash.ingest_replies.clear();
                             // Speculative emissions onto cross-partition
                             // edges must not wait out the 2PC round.
@@ -1566,7 +1647,13 @@ fn worker_loop(
                             // back and locally decided; surface the
                             // original error to the ticket.
                             Some(e) => Err(e),
-                            None => db.decide_fragment(gtid, commit),
+                            None => {
+                                let out = db.decide_fragment(gtid, commit);
+                                if let Some(t) = trace {
+                                    obs::record(Stage::Decided, t);
+                                }
+                                out
+                            }
                         };
                         let _ = reply.send(out);
                     }
@@ -1594,7 +1681,15 @@ fn worker_loop(
                 src,
                 src_batch,
                 rows,
+                trace,
             } => {
+                // The upstream batch's trace follows the rows so the
+                // receiver's batch maps back to the same end-to-end id
+                // (no stage is recorded here — receiver-side batches
+                // would double-count against the emitting submission).
+                if let Some(t) = trace {
+                    db.push_pending_trace(t);
+                }
                 // A crash while the shard is half-logged must complete
                 // the hub's envelope bookkeeping: the supervisor reports
                 // it as a failed log (ack withheld, emitter replays).
@@ -1602,17 +1697,18 @@ fn worker_loop(
                 let ok = match db.accept_forward(&stream, src.raw(), src_batch.raw(), rows) {
                     Ok(Some(_)) => {
                         if let Err(e) = db.run_queued() {
-                            eprintln!(
-                                "sstore: partition {id}: forwarded batch on `{stream}` \
-                                 failed to execute: {e}"
+                            slog!(
+                                Error, partition = id.raw();
+                                "forwarded batch on `{stream}` failed to execute: {e}"
                             );
                         }
                         true
                     }
                     Ok(None) => true, // duplicate: already durable here
                     Err(e) => {
-                        eprintln!(
-                            "sstore: partition {id}: could not log forward on `{stream}`: {e}"
+                        slog!(
+                            Warn, partition = id.raw();
+                            "could not log forward on `{stream}`: {e}"
                         );
                         false
                     }
@@ -1627,7 +1723,7 @@ fn worker_loop(
             }
             WorkerMsg::EdgeAck { batch } => {
                 if let Err(e) = db.edge_acked(batch) {
-                    eprintln!("sstore: partition {id}: edge ack for {batch} failed: {e}");
+                    slog!(Warn, partition = id.raw(); "edge ack for {batch} failed: {e}");
                 }
             }
         }
@@ -1702,7 +1798,7 @@ fn hub_loop(
                         match Router::new(RouteSpec::hash(fwd.key_col), partitions) {
                             Ok(r) => e.insert(r),
                             Err(err) => {
-                                eprintln!("sstore: edge router build failed: {err}");
+                                slog!(Error; "edge router build failed: {err}");
                                 shared.edge_failures.fetch_add(1, Ordering::SeqCst);
                                 in_flight.fetch_sub(1, Ordering::SeqCst);
                                 continue;
@@ -1712,6 +1808,12 @@ fn hub_loop(
                 };
                 match router.shard(fwd.rows) {
                     Ok(shards) => {
+                        // The emitting batch's forward left its partition:
+                        // one Forwarded record per envelope, stamped at
+                        // hub emission.
+                        if let Some(t) = fwd.trace {
+                            obs::record(Stage::Forwarded, t);
+                        }
                         let k = shards.iter().filter(|s| !s.is_empty()).count();
                         if k == 0 {
                             // An empty envelope (cannot normally happen):
@@ -1732,6 +1834,7 @@ fn hub_loop(
                                         src,
                                         src_batch: fwd.batch,
                                         rows: shard,
+                                        trace: fwd.trace,
                                     })
                                     .is_ok();
                                 if !delivered {
@@ -1755,9 +1858,9 @@ fn hub_loop(
                         // Unroutable rows (e.g. NULL edge key): the edge
                         // ack is withheld, so the emitting batch stays
                         // replayable — loudly, not silently.
-                        eprintln!(
-                            "sstore: cross-edge `{}` from partition {} unroutable: {e}",
-                            fwd.stream, src
+                        slog!(
+                            Error, partition = src.raw();
+                            "cross-edge `{}` unroutable: {e}", fwd.stream
                         );
                         shared.edge_failures.fetch_add(1, Ordering::SeqCst);
                     }

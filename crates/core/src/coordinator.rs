@@ -43,7 +43,7 @@ use std::io::Write;
 use std::path::{Path, PathBuf};
 
 /// Counters for the coordinator's view of the cluster's transactions.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct CoordStats {
     /// Submissions of multi-partition-declared procedures whose rows all
     /// routed to one partition: 2PC skipped entirely, the PR 2 ingest
@@ -257,8 +257,9 @@ impl CoordinatorLog {
                 }
                 FrameRead::Eof => break,
                 FrameRead::Torn { offset } => {
-                    eprintln!(
-                        "sstore: {}: dropping torn trailing decision at byte {offset} \
+                    sstore_common::slog!(
+                        Warn;
+                        "{}: dropping torn trailing decision at byte {offset} \
                          (never acknowledged; presumed abort applies)",
                         path.display()
                     );

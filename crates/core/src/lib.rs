@@ -52,6 +52,7 @@ pub mod cluster;
 pub mod coordinator;
 pub mod ingest;
 pub mod metrics;
+pub mod obs_report;
 pub mod retry;
 pub mod router;
 pub mod workloads;
@@ -60,7 +61,8 @@ pub use builder::SStoreBuilder;
 pub use client::{ClientRequest, PipelinedClient, RequestKind};
 pub use cluster::{Cluster, PartitionHealth};
 pub use coordinator::{CoordState, CoordStats, Coordinator, CoordinatorLog, COORD_COMPACT_EVERY};
-pub use metrics::{ClusterMetrics, PartitionMetrics, Throughput};
+pub use metrics::{ClusterMetrics, PartitionMetrics};
+pub use obs_report::ObsReport;
 pub use retry::RetryPolicy;
 pub use router::{PartitionOutcomes, RouteSpec, Router, Ticket};
 

@@ -1,15 +1,19 @@
-//! Throughput measurement and per-partition metrics for dashboards and
-//! benches.
+//! Per-partition and cluster-wide counters for dashboards, benches, and
+//! the observability report ([`crate::Cluster::observability_report`]
+//! embeds a [`ClusterMetrics`] capture verbatim, so both surfaces share
+//! one set of definitions). Throughput is derived in the report
+//! (`committed_per_s` over the report window) rather than kept as a
+//! separate stopwatch type.
 
 use crate::cluster::PartitionHealth;
 use crate::coordinator::CoordStats;
+use serde::{Deserialize, Serialize};
 use sstore_common::{PartitionId, RowMetrics};
-use std::time::Instant;
 
 /// Point-in-time counters for one partition, captured on its worker
 /// thread by [`crate::Cluster::metrics`] (so the numbers are consistent
 /// with everything queued before the capture).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct PartitionMetrics {
     /// The site these counters belong to.
     pub partition: PartitionId,
@@ -107,7 +111,7 @@ impl PartitionMetrics {
 
 /// Cluster-wide view: one [`PartitionMetrics`] per site, in partition
 /// order, plus the process-wide row-sharing counters.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ClusterMetrics {
     /// Per-partition captures.
     pub partitions: Vec<PartitionMetrics>,
@@ -145,73 +149,25 @@ impl ClusterMetrics {
 
     /// Load imbalance: max per-partition committed TEs over the mean
     /// (1.0 = perfectly even; meaningful only after some commits).
+    ///
+    /// Only **available** captures participate: a partition whose worker
+    /// was down at capture time contributes an all-zero placeholder, and
+    /// counting those zeros into the mean would report skew where the
+    /// live partitions are actually balanced.
     pub fn skew(&self) -> f64 {
-        let max = self
+        let live: Vec<u64> = self
             .partitions
             .iter()
+            .filter(|p| p.available)
             .map(|p| p.committed)
-            .max()
-            .unwrap_or(0);
-        let total = self.total_committed();
-        if total == 0 || self.partitions.is_empty() {
+            .collect();
+        let total: u64 = live.iter().sum();
+        if total == 0 || live.is_empty() {
             return 1.0;
         }
-        let mean = total as f64 / self.partitions.len() as f64;
+        let max = *live.iter().max().expect("non-empty");
+        let mean = total as f64 / live.len() as f64;
         max as f64 / mean
-    }
-}
-
-/// Counts events against wall-clock time.
-#[derive(Debug, Clone)]
-pub struct Throughput {
-    start: Instant,
-    events: u64,
-}
-
-impl Default for Throughput {
-    fn default() -> Self {
-        Throughput::new()
-    }
-}
-
-impl Throughput {
-    /// Start measuring now.
-    pub fn new() -> Self {
-        Throughput {
-            start: Instant::now(),
-            events: 0,
-        }
-    }
-
-    /// Record `n` events.
-    pub fn add(&mut self, n: u64) {
-        self.events += n;
-    }
-
-    /// Events recorded.
-    pub fn events(&self) -> u64 {
-        self.events
-    }
-
-    /// Elapsed seconds since construction/reset.
-    pub fn elapsed_secs(&self) -> f64 {
-        self.start.elapsed().as_secs_f64()
-    }
-
-    /// Events per second.
-    pub fn per_sec(&self) -> f64 {
-        let secs = self.elapsed_secs();
-        if secs <= 0.0 {
-            0.0
-        } else {
-            self.events as f64 / secs
-        }
-    }
-
-    /// Reset the window (for rolling displays).
-    pub fn reset(&mut self) {
-        self.start = Instant::now();
-        self.events = 0;
     }
 }
 
@@ -268,13 +224,27 @@ mod tests {
     }
 
     #[test]
-    fn counts_and_rates() {
-        let mut t = Throughput::new();
-        t.add(10);
-        t.add(5);
-        assert_eq!(t.events(), 15);
-        assert!(t.per_sec() > 0.0);
-        t.reset();
-        assert_eq!(t.events(), 0);
+    fn skew_ignores_unavailable_placeholders() {
+        let pm = |partition, committed| PartitionMetrics {
+            committed,
+            ..PartitionMetrics::unavailable(PartitionId::new(partition))
+        };
+        let mut balanced_with_ghost = ClusterMetrics {
+            partitions: vec![pm(0, 20), pm(1, 20), pm(2, 0)],
+            rows: RowMetrics::snapshot(),
+            coordinator: CoordStats::default(),
+            health: vec![
+                PartitionHealth::Healthy,
+                PartitionHealth::Healthy,
+                PartitionHealth::Down,
+            ],
+            sheds: 0,
+            worker_restarts: 0,
+        };
+        balanced_with_ghost.partitions[0].available = true;
+        balanced_with_ghost.partitions[1].available = true;
+        // Two live partitions at 20 each: perfectly even, regardless of
+        // the down partition's zero placeholder.
+        assert!((balanced_with_ghost.skew() - 1.0).abs() < 1e-9);
     }
 }

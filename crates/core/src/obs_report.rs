@@ -1,0 +1,148 @@
+//! The structured telemetry export layer: [`Cluster::observability_report`]
+//! assembles everything the `sstore_common::obs` substrate recorded —
+//! per-stage dataflow latency histograms, registry counters and gauges,
+//! named phase timers (recovery breakdown), the K slowest batch
+//! timelines — together with a [`ClusterMetrics`] capture into one
+//! serde-serializable [`ObsReport`], dumped as JSON by benches and the
+//! CI observability smoke step.
+//!
+//! # Report window
+//!
+//! Stage histograms and trace spans are **windowed to this cluster**: a
+//! baseline snapshot is captured when the cluster is built and
+//! subtracted at report time ([`HistogramSnapshot::since`]), so several
+//! clusters in one process (tests, benches) each report only their own
+//! traffic. Registry counters, gauges, and phase histograms are
+//! **process-wide absolutes** — deliberately, because this cluster's
+//! own recovery phases run *before* its baseline exists and would
+//! vanish from a windowed view.
+//!
+//! # Reconciliation
+//!
+//! With tracing on, every border batch this cluster logged records
+//! exactly one `logged` stage passage, so in a single-cluster process
+//! `stages["logged"].count` equals the cluster-wide
+//! `batches_submitted` total of durable partitions (the standalone
+//! `obs_report` smoke binary asserts this).
+
+use crate::cluster::Cluster;
+use crate::metrics::ClusterMetrics;
+use serde::{Deserialize, Serialize};
+use sstore_common::obs::{self, HistogramReport, HistogramSnapshot, TraceSpan, STAGES};
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+/// How many of the slowest batch timelines a report embeds.
+pub const SLOWEST_SPANS: usize = 8;
+
+/// Observability state at cluster construction, subtracted from
+/// process-wide totals at report time so a report is windowed to one
+/// cluster's lifetime.
+pub struct ObsBaseline {
+    /// One snapshot per [`STAGES`] entry, in stage order.
+    stages: Vec<HistogramSnapshot>,
+    /// Traces minted before this id belong to earlier clusters.
+    first_trace: u64,
+    /// Construction instant (report `uptime_s` window).
+    started: Instant,
+}
+
+impl ObsBaseline {
+    /// Snapshot the current stage histograms and trace horizon.
+    pub fn capture() -> ObsBaseline {
+        ObsBaseline {
+            stages: STAGES.iter().map(|s| obs::stage_snapshot(*s)).collect(),
+            first_trace: obs::next_trace_id(),
+            started: Instant::now(),
+        }
+    }
+}
+
+/// The exported telemetry document. Everything is plain data; the
+/// schema is stable across runs (every key below is always present).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ObsReport {
+    /// Seconds from cluster construction to this report.
+    pub uptime_s: f64,
+    /// Committed TEs per second over the report window.
+    pub committed_per_s: f64,
+    /// Load imbalance across available partitions
+    /// ([`ClusterMetrics::skew`]).
+    pub skew: f64,
+    /// Per-stage cumulative-since-submit latency histograms for traffic
+    /// submitted through this cluster (`routed`, `queued`, `logged`,
+    /// `executed`, `fsynced`, `prepared`, `decided`, `forwarded`,
+    /// `acked`). Because each stage records time since submit, reading
+    /// the p95 column down the pipeline gives a latency waterfall.
+    pub stages: BTreeMap<String, HistogramReport>,
+    /// Process-wide named counters (`log.warn`, …).
+    pub counters: BTreeMap<String, u64>,
+    /// Process-wide named gauges.
+    pub gauges: BTreeMap<String, i64>,
+    /// Process-wide named phase timers (`recovery.base_image`,
+    /// `recovery.delta_apply`, `recovery.log_replay`,
+    /// `recovery.parallel_join`, …), one histogram each.
+    pub phases: BTreeMap<String, HistogramReport>,
+    /// The standard metrics capture (per-partition counters, health,
+    /// coordinator stats, sheds, restarts), embedded verbatim so the
+    /// report is the superset surface.
+    pub metrics: ClusterMetrics,
+    /// The slowest batch timelines observed in the trace rings since
+    /// this cluster was built, slowest first (at most
+    /// [`SLOWEST_SPANS`]).
+    pub slowest_batches: Vec<TraceSpan>,
+    /// Trace-ring events overwritten process-wide: non-zero means the
+    /// slowest-batch list may miss older batches (raise
+    /// `SSTORE_TRACE_RING`).
+    pub trace_ring_overwrites: u64,
+}
+
+impl ObsReport {
+    /// Serialize to JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("ObsReport serializes infallibly")
+    }
+
+    /// Parse a report back from JSON (schema checks in tests and CI).
+    pub fn from_json(s: &str) -> std::result::Result<ObsReport, String> {
+        serde_json::from_str(s).map_err(|e| e.to_string())
+    }
+}
+
+impl Cluster {
+    /// Assemble the full telemetry export: per-stage dataflow latency
+    /// since this cluster was built, registry counters/gauges/phase
+    /// timers, a [`ClusterMetrics`] capture, and the slowest batch
+    /// timelines. See the [module docs](self) for windowing semantics.
+    pub fn observability_report(&self) -> ObsReport {
+        let metrics = self.metrics();
+        let uptime_s = self.obs_baseline.started.elapsed().as_secs_f64();
+        let committed_per_s = if uptime_s > 0.0 {
+            metrics.total_committed() as f64 / uptime_s
+        } else {
+            0.0
+        };
+        let mut stages = BTreeMap::new();
+        for (stage, baseline) in STAGES.iter().zip(&self.obs_baseline.stages) {
+            let delta = obs::stage_snapshot(*stage).since(baseline);
+            stages.insert(stage.name().to_string(), delta.report());
+        }
+        let registry = obs::registry_snapshot();
+        ObsReport {
+            uptime_s,
+            committed_per_s,
+            skew: metrics.skew(),
+            stages,
+            counters: registry.counters,
+            gauges: registry.gauges,
+            phases: registry
+                .histograms
+                .into_iter()
+                .map(|(name, h)| (name, h.report()))
+                .collect(),
+            metrics,
+            slowest_batches: obs::slowest_spans(SLOWEST_SPANS, self.obs_baseline.first_trace),
+            trace_ring_overwrites: obs::collect_events().1,
+        }
+    }
+}

@@ -76,6 +76,30 @@ fn main() {
     }
 
     let failures = run_campaign(&exe, start..start + trials);
+
+    // Every trial's verification recovery ran in this process, so the
+    // obs phase timers hold the campaign-wide recovery breakdown.
+    let phases = sstore_common::obs::registry_snapshot().histograms;
+    let mut names: Vec<_> = phases
+        .iter()
+        .filter(|(name, _)| name.starts_with("recovery."))
+        .collect();
+    names.sort_by_key(|(name, _)| name.as_str());
+    if !names.is_empty() {
+        println!("\nrecovery phase breakdown across the campaign:");
+        println!("  phase                  | count | mean ms |  p95 ms |  max ms");
+        for (name, snap) in names {
+            let r = snap.report();
+            println!(
+                "  {name:<22} | {:>5} | {:>7.3} | {:>7.3} | {:>7.3}",
+                r.count,
+                r.mean_us / 1e3,
+                r.p95_us / 1e3,
+                r.max_us / 1e3
+            );
+        }
+    }
+
     if !failures.is_empty() {
         std::process::exit(1);
     }

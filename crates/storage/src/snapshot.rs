@@ -500,21 +500,25 @@ impl Snapshot {
         base_path: &Path,
         delta_path: impl Fn(u64) -> PathBuf,
     ) -> Result<(Snapshot, u64)> {
-        let mut snap = Snapshot::read_from(base_path)?;
-        let mut applied = 0u64;
-        loop {
-            let next = delta_path(applied + 1);
-            if !next.exists() {
-                break;
+        let mut snap = sstore_common::obs::timed_phase("recovery.base_image", || {
+            Snapshot::read_from(base_path)
+        })?;
+        sstore_common::obs::timed_phase("recovery.delta_apply", || {
+            let mut applied = 0u64;
+            loop {
+                let next = delta_path(applied + 1);
+                if !next.exists() {
+                    break;
+                }
+                let delta = SnapshotDelta::read_from(&next)?;
+                if delta.chain_index != applied + 1 || delta.base != snap.key() {
+                    break;
+                }
+                snap.apply_delta(delta)?;
+                applied += 1;
             }
-            let delta = SnapshotDelta::read_from(&next)?;
-            if delta.chain_index != applied + 1 || delta.base != snap.key() {
-                break;
-            }
-            snap.apply_delta(delta)?;
-            applied += 1;
-        }
-        Ok((snap, applied))
+            Ok((snap, applied))
+        })
     }
 }
 

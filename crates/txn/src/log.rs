@@ -554,9 +554,9 @@ impl CommandLog {
                     // Nothing survived (e.g. the very first write tore
                     // inside the file header): restart empty in the
                     // configured format, exactly like a fresh log.
-                    eprintln!(
-                        "sstore: {}: trimming fully-torn log ({} bytes) and \
-                         restarting empty",
+                    sstore_common::slog!(
+                        Warn;
+                        "{}: trimming fully-torn log ({} bytes) and restarting empty",
                         path.display(),
                         bytes.len()
                     );
@@ -569,9 +569,9 @@ impl CommandLog {
                 }
                 Some(valid_len) => {
                     fault::note("log-torn-tail-trimmed");
-                    eprintln!(
-                        "sstore: {}: trimming torn tail at byte {valid_len} (of {}) \
-                         before resuming appends",
+                    sstore_common::slog!(
+                        Warn;
+                        "{}: trimming torn tail at byte {valid_len} (of {}) before resuming appends",
                         path.display(),
                         bytes.len()
                     );
@@ -975,8 +975,9 @@ fn read_binary_log(path: &Path, bytes: &[u8]) -> Result<Vec<LogRecord>> {
             FrameRead::Eof => break,
             FrameRead::Torn { offset } => {
                 fault::note("log-torn-tail");
-                eprintln!(
-                    "sstore: {}: dropping torn trailing frame at byte {offset} \
+                sstore_common::slog!(
+                    Warn;
+                    "{}: dropping torn trailing frame at byte {offset} \
                      (incomplete write at crash); {} intact records replayed",
                     path.display(),
                     out.len()

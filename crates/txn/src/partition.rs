@@ -25,6 +25,7 @@ use crate::stats::PeStats;
 use crate::transaction::{Invocation, InvocationOrigin, TxnOutcome, TxnStatus};
 use crate::workflow::{CrossEdge, Workflow};
 use sstore_common::fault;
+use sstore_common::obs::{self, Stage, TraceCtx};
 use sstore_common::{
     Batch, BatchId, Clock, Error, PartitionId, ProcId, Result, Row, TableId, TxnId, Value,
 };
@@ -74,6 +75,9 @@ pub struct RemoteForward {
     pub batch: BatchId,
     /// The emitted rows (shared handles — no copies on the way out).
     pub rows: Vec<Row>,
+    /// Lifecycle trace of the emitting border batch, when one was
+    /// attached at submission (recovery-rebuilt envelopes carry `None`).
+    pub trace: Option<TraceCtx>,
 }
 
 /// Which system the partition behaves as.
@@ -222,6 +226,18 @@ pub struct Partition {
     /// that); anything else — including a retention snapshot — would
     /// capture the divergence.
     state_diverged: bool,
+    /// Lifecycle traces handed in by [`Partition::push_pending_trace`],
+    /// consumed FIFO by the next batch-creating entry points (border
+    /// enqueue, 2PC prepare, accepted forward) — order matches batch-id
+    /// assignment, including within a coalesced group.
+    pending_traces: VecDeque<TraceCtx>,
+    /// Live batch id → lifecycle trace, for attributing later stages
+    /// (fsync, forward emission, edge ack) back to the submission.
+    /// Entries die with the batch's last reference.
+    batch_traces: HashMap<u64, TraceCtx>,
+    /// Traces whose border/prepare record sits in the group-commit
+    /// buffer: flushed to the `Fsynced` stage when a sync covers them.
+    unsynced_traces: Vec<TraceCtx>,
 }
 
 impl std::fmt::Debug for Partition {
@@ -275,6 +291,9 @@ impl Partition {
             last_snapshot_key: None,
             snapshot_chain_len: 0,
             state_diverged: false,
+            pending_traces: VecDeque::new(),
+            batch_traces: HashMap::new(),
+            unsynced_traces: Vec::new(),
         })
     }
 
@@ -660,14 +679,16 @@ impl Partition {
     /// invocation. No round-trip accounting — callers decide how many
     /// client↔PE trips the submission cost.
     fn enqueue_border(&mut self, pid: ProcId, proc: &str, rows: Vec<Row>) -> Result<BatchId> {
+        let trace = self.pending_traces.pop_front();
         self.next_batch += 1;
         let batch = BatchId::new(self.next_batch);
-        self.log_record(&LogRecord::BorderBatch {
+        let synced = self.log_record(&LogRecord::BorderBatch {
             batch,
             proc: proc.to_string(),
             rows: rows.clone(),
             ts: self.clock.now(),
         })?;
+        self.note_batch_logged(batch, trace, synced);
         self.stats.batches_submitted += 1;
         self.batch_refs.insert(batch.raw(), 1);
         self.queue.push_back(Invocation {
@@ -751,17 +772,19 @@ impl Partition {
             )));
         }
         let pid = self.border_proc_id(proc)?;
+        let trace = self.pending_traces.pop_front();
         self.max_gtid_seen = self.max_gtid_seen.max(gtid);
         self.stats.twopc_prepares += 1;
         self.next_batch += 1;
         let batch = BatchId::new(self.next_batch);
-        self.log_record(&LogRecord::PrepareMarker {
+        let synced = self.log_record(&LogRecord::PrepareMarker {
             gtid,
             batch,
             proc: proc.to_string(),
             rows: rows.clone(),
             ts: self.clock.now(),
         })?;
+        self.note_batch_logged(batch, trace, synced);
         self.log_sync()?; // the yes-vote must be durable before it is cast
         if !self.replaying {
             // Kill point: the durable promise exists, the vote has not
@@ -857,7 +880,7 @@ impl Partition {
                 batch: frag.batch,
                 commit,
             })
-            .and_then(|()| self.log_sync())
+            .and_then(|_| self.log_sync())
         {
             // The failed record was dropped from the log buffer, so
             // nothing of the decision is durable and nothing has been
@@ -1020,6 +1043,9 @@ impl Partition {
         src_batch: u64,
         rows: Vec<Row>,
     ) -> Result<Option<BatchId>> {
+        // Consume the delivery's trace unconditionally: a dupe or a
+        // refusal drops it (the re-forward brings a fresh push).
+        let trace = self.pending_traces.pop_front();
         let sid = self.engine.db().resolve(stream)?;
         if !self.engine.db().kind(sid)?.is_stream() {
             return Err(Error::Constraint(format!("`{stream}` is not a stream")));
@@ -1052,7 +1078,7 @@ impl Partition {
                 rows: rows.clone(),
                 ts: self.clock.now(),
             })
-            .and_then(|()| self.log_sync())
+            .and_then(|_| self.log_sync())
         {
             // The forward is not durable here: leave the high-water
             // untouched (the ack is withheld, the sender re-forwards)
@@ -1080,6 +1106,12 @@ impl Partition {
             return Ok(Some(batch));
         }
         self.batch_refs.insert(batch.raw(), consumers.len());
+        if let Some(t) = trace {
+            // Keep the originating submission's trace attached to the
+            // local batch so onward hops (forwards emitted by this
+            // batch's TEs) stay attributable to it.
+            self.batch_traces.insert(batch.raw(), t);
+        }
         for consumer in consumers {
             self.stats.pe_trigger_firings += 1;
             self.queue.push_back(Invocation {
@@ -1096,6 +1128,9 @@ impl Partition {
     /// When the last reference drops, the batch is acked and its input
     /// record becomes GC-eligible.
     pub fn edge_acked(&mut self, batch: BatchId) -> Result<()> {
+        if let Some(&t) = self.batch_traces.get(&batch.raw()) {
+            obs::record(Stage::Acked, t);
+        }
         self.complete_batch(batch)
     }
 
@@ -1127,6 +1162,7 @@ impl Partition {
             *refs -= 1;
             if *refs == 0 {
                 self.batch_refs.remove(&batch.raw());
+                self.batch_traces.remove(&batch.raw());
                 self.stats.batches_completed += 1;
                 self.log_record(&LogRecord::Ack { batch })?;
             }
@@ -1322,6 +1358,7 @@ impl Partition {
                             key_col,
                             batch: b,
                             rows: rows.clone(),
+                            trace: self.batch_traces.get(&b.raw()).copied(),
                         });
                         // The envelope holds shared row handles; the
                         // emitted tuples are terminally consumed locally.
@@ -1372,16 +1409,20 @@ impl Partition {
         Ok(())
     }
 
-    fn log_record(&mut self, record: &LogRecord) -> Result<()> {
+    /// Append `record` to the command log. Returns whether the append
+    /// triggered a group-commit fsync (so callers can resolve the
+    /// `Fsynced` trace stage for everything the sync covered).
+    fn log_record(&mut self, record: &LogRecord) -> Result<bool> {
         if self.replaying {
-            return Ok(());
+            return Ok(false);
         }
         if let Some(log) = &mut self.log {
-            log.append(record)?;
+            let synced = log.append(record)?;
             self.stats.log_records += 1;
             self.stats.log_syncs = log.syncs();
+            return Ok(synced);
         }
-        Ok(())
+        Ok(false)
     }
 
     /// Force the command log's buffered group down (2PC votes and edge
@@ -1394,8 +1435,48 @@ impl Partition {
         if let Some(log) = &mut self.log {
             log.sync()?;
             self.stats.log_syncs = log.syncs();
+            self.flush_fsynced_traces();
         }
         Ok(())
+    }
+
+    // ---- batch lifecycle tracing ----------------------------------------------
+
+    /// Attach a lifecycle trace to the next batch this partition creates
+    /// (border enqueue, 2PC prepare, or accepted forward). Traces are
+    /// consumed FIFO, so pushing one per batch before a group submission
+    /// attributes them in batch-id order.
+    pub fn push_pending_trace(&mut self, trace: TraceCtx) {
+        self.pending_traces.push_back(trace);
+    }
+
+    /// The lifecycle trace attached to a live batch, if any.
+    pub fn batch_trace(&self, batch: BatchId) -> Option<TraceCtx> {
+        self.batch_traces.get(&batch.raw()).copied()
+    }
+
+    /// Bookkeeping after a batch's input record hit the log: record the
+    /// `Logged` stage, remember the trace for the batch's later stages,
+    /// and resolve `Fsynced` when the append triggered a group commit.
+    fn note_batch_logged(&mut self, batch: BatchId, trace: Option<TraceCtx>, synced: bool) {
+        if let Some(t) = trace {
+            if self.log.is_some() && !self.replaying {
+                obs::record(Stage::Logged, t);
+                self.unsynced_traces.push(t);
+            }
+            self.batch_traces.insert(batch.raw(), t);
+        }
+        if synced {
+            self.flush_fsynced_traces();
+        }
+    }
+
+    /// A durable fsync just covered every buffered record: resolve the
+    /// `Fsynced` stage for the traces that were waiting on it.
+    fn flush_fsynced_traces(&mut self) {
+        for t in self.unsynced_traces.drain(..) {
+            obs::record(Stage::Fsynced, t);
+        }
     }
 
     /// Read rows currently buffered in a sink stream (a stream with no
@@ -1738,6 +1819,7 @@ impl Partition {
                     key_col: key_col as usize,
                     batch,
                     rows,
+                    trace: None,
                 });
                 Ok(())
             }

@@ -80,6 +80,7 @@ pub fn recover_with_decisions(
     }
 
     // Replay the tail of the log.
+    let replay_start = std::time::Instant::now();
     let records = read_log(&log_cfg.log_path())?;
     let acked: std::collections::HashSet<u64> = records
         .iter()
@@ -143,6 +144,10 @@ pub fn recover_with_decisions(
         .filter(|b| !p.has_pending_refs(*b))
         .collect();
     p.ack_batches(&unacked)?;
+    sstore_common::obs::record_phase_ns(
+        "recovery.log_replay",
+        replay_start.elapsed().as_nanos() as u64,
+    );
     Ok(p)
 }
 

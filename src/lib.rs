@@ -35,7 +35,7 @@ pub use sstore_core as core;
 
 pub use sstore_core::{
     common, recover, ClientRequest, Cluster, ClusterMetrics, EeConfig, EeStats, ExecMode,
-    Invocation, LogConfig, LogRetention, PartitionMetrics, PartitionOutcomes, PeConfig, PeStats,
-    PipelinedClient, ProcContext, ProcSpec, QueryResult, RequestKind, RouteSpec, Router, SStore,
-    SStoreBuilder, Throughput, Ticket, TriggerEvent, TxnOutcome, TxnStatus, Workflow,
+    Invocation, LogConfig, LogRetention, ObsReport, PartitionMetrics, PartitionOutcomes, PeConfig,
+    PeStats, PipelinedClient, ProcContext, ProcSpec, QueryResult, RequestKind, RouteSpec, Router,
+    SStore, SStoreBuilder, Ticket, TriggerEvent, TxnOutcome, TxnStatus, Workflow,
 };

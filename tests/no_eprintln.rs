@@ -1,0 +1,55 @@
+//! Gate: library code must log through `sstore_common::slog!` (leveled,
+//! structured, counted in the obs registry) — never raw `eprintln!`.
+//! Binaries (`src/bin/`, `crates/*/src/bin/`) are exempt: they talk to a
+//! human terminal by design. Doc prose mentioning the macro name without
+//! the call's open paren is fine too.
+
+use std::path::{Path, PathBuf};
+
+fn rust_sources(dir: &Path, out: &mut Vec<PathBuf>) {
+    for entry in std::fs::read_dir(dir).unwrap() {
+        let path = entry.unwrap().path();
+        if path.is_dir() {
+            // Binary targets are allowed to print to stderr directly.
+            if path.file_name().is_some_and(|n| n == "bin") {
+                continue;
+            }
+            rust_sources(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+#[test]
+fn library_sources_use_slog_not_eprintln() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let mut sources = Vec::new();
+    rust_sources(&root.join("src"), &mut sources);
+    for entry in std::fs::read_dir(root.join("crates")).unwrap() {
+        let src = entry.unwrap().path().join("src");
+        if src.is_dir() {
+            rust_sources(&src, &mut sources);
+        }
+    }
+    assert!(
+        sources.len() > 20,
+        "walk looks broken: only {} sources found",
+        sources.len()
+    );
+
+    let mut offenders = Vec::new();
+    for path in sources {
+        let text = std::fs::read_to_string(&path).unwrap();
+        for (i, line) in text.lines().enumerate() {
+            if line.contains("eprintln!(") {
+                offenders.push(format!("{}:{}: {}", path.display(), i + 1, line.trim()));
+            }
+        }
+    }
+    assert!(
+        offenders.is_empty(),
+        "raw eprintln! in library code (use sstore_common::slog! instead):\n{}",
+        offenders.join("\n")
+    );
+}
